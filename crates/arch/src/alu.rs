@@ -1,0 +1,186 @@
+//! ALU capability description.
+//!
+//! The FPFA ALU (described in detail in the companion architecture papers) is
+//! a two-level data-path: a first level that can perform multiplications and
+//! other word operations on the four register-bank inputs, and a second level
+//! that can combine intermediate results (e.g. a multiply feeding an add, the
+//! classic MAC pattern of DSP kernels). The clustering phase of the mapper
+//! packs CDFG operations into groups that fit this data-path; the
+//! [`AluCapability`] type states what "fits" means.
+
+use std::fmt;
+
+/// Coarse classification of word operations by the ALU level that can execute
+/// them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluClass {
+    /// Multiplications — executed by the level-1 multiplier array.
+    Multiply,
+    /// Additive/logical/comparison operations — executable on either level.
+    General,
+    /// Memory interface operations (`ST`, `FE`, `DEL`) — use the PP's local
+    /// memory ports rather than the arithmetic data-path.
+    MemoryAccess,
+    /// Multiplexer / selection.
+    Select,
+}
+
+impl fmt::Display for AluClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluClass::Multiply => "multiply",
+            AluClass::General => "general",
+            AluClass::MemoryAccess => "memory",
+            AluClass::Select => "select",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a single ALU can execute within one clock cycle.
+///
+/// The clustering phase groups dependent CDFG operations into a cluster that
+/// one ALU executes in one cycle; a cluster is feasible when it respects these
+/// limits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AluCapability {
+    /// Maximum number of external word inputs a cluster may consume. The FPFA
+    /// ALU reads from its four input register banks, so the default is 4.
+    pub max_inputs: usize,
+    /// Maximum number of chained (dependent) operations in one cluster — the
+    /// depth of the ALU data-path. The default of 2 models the
+    /// multiply-accumulate pattern (level-1 multiply feeding a level-2 add).
+    pub max_depth: usize,
+    /// Maximum total number of operations in one cluster. The default of 3
+    /// allows two independent level-1 operations feeding one level-2
+    /// operation (e.g. the FFT butterfly `a*w + b`-style groups).
+    pub max_ops: usize,
+    /// Maximum number of multiplications per cluster (the multiplier array is
+    /// the scarce resource).
+    pub max_multiplies: usize,
+    /// Maximum number of external results a cluster may produce (write-back
+    /// ports towards the crossbar).
+    pub max_outputs: usize,
+    /// Maximum number of memory-access operations (`ST`/`FE`/`DEL`) per
+    /// cluster; memory operations occupy a memory port of the PP.
+    pub max_memory_ops: usize,
+}
+
+impl AluCapability {
+    /// Capability of the FPFA ALU as used throughout the paper's flow.
+    pub fn paper() -> Self {
+        AluCapability {
+            max_inputs: 4,
+            max_depth: 2,
+            max_ops: 3,
+            max_multiplies: 2,
+            max_outputs: 2,
+            max_memory_ops: 2,
+        }
+    }
+
+    /// A deliberately minimal ALU executing exactly one operation per cycle.
+    ///
+    /// Used by the "no clustering" ablation baseline.
+    pub fn single_op() -> Self {
+        AluCapability {
+            max_inputs: 4,
+            max_depth: 1,
+            max_ops: 1,
+            max_multiplies: 1,
+            max_outputs: 1,
+            max_memory_ops: 1,
+        }
+    }
+
+    /// Checks a cluster summary against the capability.
+    ///
+    /// Returns `None` when the cluster fits, otherwise a human-readable reason
+    /// why it does not.
+    pub fn check(
+        &self,
+        inputs: usize,
+        depth: usize,
+        ops: usize,
+        multiplies: usize,
+        outputs: usize,
+        memory_ops: usize,
+    ) -> Option<String> {
+        if inputs > self.max_inputs {
+            return Some(format!("{inputs} inputs exceed limit {}", self.max_inputs));
+        }
+        if depth > self.max_depth {
+            return Some(format!("depth {depth} exceeds limit {}", self.max_depth));
+        }
+        if ops > self.max_ops {
+            return Some(format!("{ops} operations exceed limit {}", self.max_ops));
+        }
+        if multiplies > self.max_multiplies {
+            return Some(format!(
+                "{multiplies} multiplies exceed limit {}",
+                self.max_multiplies
+            ));
+        }
+        if outputs > self.max_outputs {
+            return Some(format!(
+                "{outputs} outputs exceed limit {}",
+                self.max_outputs
+            ));
+        }
+        if memory_ops > self.max_memory_ops {
+            return Some(format!(
+                "{memory_ops} memory operations exceed limit {}",
+                self.max_memory_ops
+            ));
+        }
+        None
+    }
+}
+
+impl Default for AluCapability {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capability_accepts_mac() {
+        let cap = AluCapability::paper();
+        // multiply + add chained: 2 ops, depth 2, 3 inputs, 1 multiply.
+        assert!(cap.check(3, 2, 2, 1, 1, 0).is_none());
+    }
+
+    #[test]
+    fn paper_capability_rejects_deep_chains() {
+        let cap = AluCapability::paper();
+        let reason = cap.check(4, 3, 3, 1, 1, 0);
+        assert!(reason.unwrap().contains("depth 3"));
+    }
+
+    #[test]
+    fn single_op_rejects_any_grouping() {
+        let cap = AluCapability::single_op();
+        assert!(cap.check(2, 1, 1, 0, 1, 0).is_none());
+        assert!(cap.check(3, 2, 2, 1, 1, 0).is_some());
+    }
+
+    #[test]
+    fn limits_are_reported_in_order() {
+        let cap = AluCapability::paper();
+        assert!(cap.check(5, 1, 1, 0, 1, 0).unwrap().contains("inputs"));
+        assert!(cap.check(4, 1, 4, 0, 1, 0).unwrap().contains("operations"));
+        assert!(cap.check(4, 1, 3, 3, 1, 0).unwrap().contains("multiplies"));
+        assert!(cap.check(4, 1, 3, 2, 3, 0).unwrap().contains("outputs"));
+        assert!(cap.check(4, 1, 3, 2, 2, 3).unwrap().contains("memory"));
+    }
+
+    #[test]
+    fn display_of_classes() {
+        assert_eq!(AluClass::Multiply.to_string(), "multiply");
+        assert_eq!(AluClass::MemoryAccess.to_string(), "memory");
+    }
+}

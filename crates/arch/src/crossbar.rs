@@ -1,0 +1,124 @@
+//! Crossbar switch connecting ALU outputs to register banks and memories.
+//!
+//! The paper: *"A crossbar-switch makes flexible routing between the ALUs,
+//! registers and memories possible. The crossbar enables an ALU to write back
+//! their result to any register or memory within a tile."* The crossbar has a
+//! bounded number of buses; the resource allocator must not schedule more
+//! simultaneous transfers than there are buses, and the simulator re-checks
+//! this every cycle.
+
+use crate::error::ArchError;
+
+/// Book-keeping for crossbar bus usage within one clock cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Crossbar {
+    buses: usize,
+    in_use: usize,
+    /// Total number of transfers routed over the lifetime of the crossbar
+    /// (for energy accounting).
+    total_transfers: u64,
+}
+
+impl Crossbar {
+    /// Creates a crossbar with `buses` global buses.
+    pub fn new(buses: usize) -> Self {
+        Crossbar {
+            buses,
+            in_use: 0,
+            total_transfers: 0,
+        }
+    }
+
+    /// Number of buses.
+    pub fn buses(&self) -> usize {
+        self.buses
+    }
+
+    /// Number of buses claimed in the current cycle.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Total transfers routed since construction.
+    pub fn total_transfers(&self) -> u64 {
+        self.total_transfers
+    }
+
+    /// Claims one bus for a transfer in the current cycle.
+    ///
+    /// # Errors
+    /// [`ArchError::CrossbarOversubscribed`] when all buses are already used
+    /// this cycle.
+    pub fn claim(&mut self) -> Result<(), ArchError> {
+        if self.in_use >= self.buses {
+            return Err(ArchError::CrossbarOversubscribed {
+                requested: self.in_use + 1,
+                available: self.buses,
+            });
+        }
+        self.in_use += 1;
+        self.total_transfers += 1;
+        Ok(())
+    }
+
+    /// Claims `n` buses at once.
+    ///
+    /// # Errors
+    /// [`ArchError::CrossbarOversubscribed`] when fewer than `n` buses are
+    /// free; no bus is claimed in that case.
+    pub fn claim_many(&mut self, n: usize) -> Result<(), ArchError> {
+        if self.in_use + n > self.buses {
+            return Err(ArchError::CrossbarOversubscribed {
+                requested: self.in_use + n,
+                available: self.buses,
+            });
+        }
+        self.in_use += n;
+        self.total_transfers += n as u64;
+        Ok(())
+    }
+
+    /// Releases all buses at the end of a cycle.
+    pub fn next_cycle(&mut self) {
+        self.in_use = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_up_to_capacity() {
+        let mut xb = Crossbar::new(3);
+        assert_eq!(xb.buses(), 3);
+        xb.claim().unwrap();
+        xb.claim().unwrap();
+        xb.claim().unwrap();
+        assert_eq!(xb.in_use(), 3);
+        assert!(matches!(
+            xb.claim(),
+            Err(ArchError::CrossbarOversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn next_cycle_frees_buses() {
+        let mut xb = Crossbar::new(1);
+        xb.claim().unwrap();
+        xb.next_cycle();
+        xb.claim().unwrap();
+        assert_eq!(xb.total_transfers(), 2);
+    }
+
+    #[test]
+    fn claim_many_is_atomic() {
+        let mut xb = Crossbar::new(4);
+        xb.claim_many(3).unwrap();
+        let err = xb.claim_many(2).unwrap_err();
+        assert!(matches!(err, ArchError::CrossbarOversubscribed { .. }));
+        // Nothing was claimed by the failing call.
+        assert_eq!(xb.in_use(), 3);
+        xb.claim().unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Relative energy model.
+//!
+//! The paper argues that exploiting *locality of reference* (keeping operands
+//! in the small register banks instead of re-reading them from memory) saves
+//! energy. We cannot measure the silicon, so we use a parameterised relative
+//! model: each architectural event has a cost in arbitrary energy units, with
+//! the usual ordering `register access < memory access < crossbar transfer`
+//! taken from the CGRA literature. Only *relative* comparisons between two
+//! mappings of the same kernel are meaningful.
+
+use std::fmt;
+
+/// Energy cost (arbitrary units) per architectural event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyModel {
+    /// Cost of one ALU operation.
+    pub alu_op: f64,
+    /// Cost of reading one register.
+    pub reg_read: f64,
+    /// Cost of writing one register.
+    pub reg_write: f64,
+    /// Cost of reading one local-memory word.
+    pub mem_read: f64,
+    /// Cost of writing one local-memory word.
+    pub mem_write: f64,
+    /// Cost of routing one value over the crossbar.
+    pub crossbar_transfer: f64,
+    /// Static cost per executed clock cycle (control unit, clock tree).
+    pub cycle_overhead: f64,
+}
+
+impl EnergyModel {
+    /// Default model: memory accesses are an order of magnitude more
+    /// expensive than register accesses.
+    pub fn default_model() -> Self {
+        EnergyModel {
+            alu_op: 1.0,
+            reg_read: 0.2,
+            reg_write: 0.3,
+            mem_read: 2.5,
+            mem_write: 3.0,
+            crossbar_transfer: 0.6,
+            cycle_overhead: 0.5,
+        }
+    }
+
+    /// Computes the total energy of an event census.
+    pub fn total(&self, counts: &EventCounts) -> f64 {
+        self.alu_op * counts.alu_ops as f64
+            + self.reg_read * counts.reg_reads as f64
+            + self.reg_write * counts.reg_writes as f64
+            + self.mem_read * counts.mem_reads as f64
+            + self.mem_write * counts.mem_writes as f64
+            + self.crossbar_transfer * counts.crossbar_transfers as f64
+            + self.cycle_overhead * counts.cycles as f64
+    }
+
+    /// Builds a full report (per-category breakdown plus total).
+    pub fn report(&self, counts: EventCounts) -> EnergyReport {
+        EnergyReport {
+            counts,
+            total: self.total(&counts),
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+/// Census of architectural events over one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EventCounts {
+    /// Executed clock cycles.
+    pub cycles: u64,
+    /// ALU operations executed.
+    pub alu_ops: u64,
+    /// Register reads.
+    pub reg_reads: u64,
+    /// Register writes.
+    pub reg_writes: u64,
+    /// Local memory reads.
+    pub mem_reads: u64,
+    /// Local memory writes.
+    pub mem_writes: u64,
+    /// Values routed over the crossbar.
+    pub crossbar_transfers: u64,
+}
+
+impl EventCounts {
+    /// Sum of register and memory accesses (reads + writes).
+    pub fn total_accesses(&self) -> u64 {
+        self.reg_reads + self.reg_writes + self.mem_reads + self.mem_writes
+    }
+
+    /// Fraction of operand reads served from registers rather than memory
+    /// (the locality-of-reference metric of experiment T2). `None` when no
+    /// reads happened.
+    pub fn register_hit_rate(&self) -> Option<f64> {
+        let reads = self.reg_reads + self.mem_reads;
+        if reads == 0 {
+            None
+        } else {
+            Some(self.reg_reads as f64 / reads as f64)
+        }
+    }
+}
+
+/// An event census together with its energy total.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyReport {
+    /// The architectural event counts.
+    pub counts: EventCounts,
+    /// Total energy in arbitrary units.
+    pub total: f64,
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles {:6}  alu {:6}  reg r/w {:5}/{:5}  mem r/w {:5}/{:5}  xbar {:5}",
+            self.counts.cycles,
+            self.counts.alu_ops,
+            self.counts.reg_reads,
+            self.counts.reg_writes,
+            self.counts.mem_reads,
+            self.counts.mem_writes,
+            self.counts.crossbar_transfers
+        )?;
+        write!(f, "total energy {:.1} units", self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_weighted_sums() {
+        let model = EnergyModel::default_model();
+        let counts = EventCounts {
+            cycles: 10,
+            alu_ops: 20,
+            reg_reads: 30,
+            reg_writes: 10,
+            mem_reads: 5,
+            mem_writes: 5,
+            crossbar_transfers: 8,
+        };
+        let expected = 1.0 * 20.0 + 0.2 * 30.0 + 0.3 * 10.0 + 2.5 * 5.0 + 3.0 * 5.0 + 0.6 * 8.0 + 0.5 * 10.0;
+        assert!((model.total(&counts) - expected).abs() < 1e-9);
+        let report = model.report(counts);
+        assert!((report.total - expected).abs() < 1e-9);
+        assert!(report.to_string().contains("total energy"));
+    }
+
+    #[test]
+    fn register_hits_are_cheaper_than_memory_hits() {
+        let model = EnergyModel::default_model();
+        let from_regs = EventCounts {
+            cycles: 10,
+            alu_ops: 10,
+            reg_reads: 20,
+            ..EventCounts::default()
+        };
+        let from_mem = EventCounts {
+            cycles: 10,
+            alu_ops: 10,
+            mem_reads: 20,
+            ..EventCounts::default()
+        };
+        assert!(model.total(&from_regs) < model.total(&from_mem));
+    }
+
+    #[test]
+    fn hit_rate_metric() {
+        let counts = EventCounts {
+            reg_reads: 6,
+            mem_reads: 2,
+            ..EventCounts::default()
+        };
+        assert!((counts.register_hit_rate().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(EventCounts::default().register_hit_rate(), None);
+        assert_eq!(counts.total_accesses(), 8);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for architecture-model operations.
+
+use std::fmt;
+
+/// Errors raised by the structural tile model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ArchError {
+    /// A processing-part index is out of range for the tile configuration.
+    UnknownPp(usize),
+    /// A register reference addresses a bank or register that does not exist.
+    InvalidRegister {
+        /// Description of the offending reference.
+        reference: String,
+    },
+    /// A memory reference addresses a memory or word that does not exist.
+    InvalidMemory {
+        /// Description of the offending reference.
+        reference: String,
+    },
+    /// A memory port was used more times in one cycle than it physically has.
+    PortConflict {
+        /// Description of the conflicting resource.
+        resource: String,
+        /// Number of uses requested this cycle.
+        requested: usize,
+        /// Number of ports available.
+        available: usize,
+    },
+    /// The crossbar does not have enough buses for the requested transfers.
+    CrossbarOversubscribed {
+        /// Number of simultaneous transfers requested.
+        requested: usize,
+        /// Number of buses available.
+        available: usize,
+    },
+    /// The tile configuration itself is inconsistent (zero PPs, zero-size
+    /// memory, ...).
+    InvalidConfig(String),
+    /// A value was read from a register or memory word that was never
+    /// written.
+    UninitializedRead {
+        /// Description of the location.
+        location: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnknownPp(i) => write!(f, "processing part {i} does not exist"),
+            ArchError::InvalidRegister { reference } => {
+                write!(f, "invalid register reference {reference}")
+            }
+            ArchError::InvalidMemory { reference } => {
+                write!(f, "invalid memory reference {reference}")
+            }
+            ArchError::PortConflict {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "port conflict on {resource}: {requested} accesses requested, {available} ports"
+            ),
+            ArchError::CrossbarOversubscribed {
+                requested,
+                available,
+            } => write!(
+                f,
+                "crossbar oversubscribed: {requested} transfers requested, {available} buses"
+            ),
+            ArchError::InvalidConfig(reason) => write!(f, "invalid tile configuration: {reason}"),
+            ArchError::UninitializedRead { location } => {
+                write!(f, "read of uninitialised location {location}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ArchError::UnknownPp(7).to_string(),
+            "processing part 7 does not exist"
+        );
+        assert!(ArchError::CrossbarOversubscribed {
+            requested: 12,
+            available: 10
+        }
+        .to_string()
+        .contains("12 transfers"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ArchError>();
+    }
+}

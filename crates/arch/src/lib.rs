@@ -1,0 +1,55 @@
+//! Structural model of the FPFA processor tile.
+//!
+//! Section II of *"Mapping Applications to an FPFA Tile"* describes the
+//! target: a tile with **five identical Processing Parts (PPs)** sharing a
+//! control unit. Each PP contains
+//!
+//! * an ALU whose data-path can chain a small number of word operations per
+//!   cycle (e.g. a multiply feeding an add),
+//! * four input register banks `Ra`, `Rb`, `Rc`, `Rd` of four registers each,
+//! * two local memories `MEM1`, `MEM2` of 512 words each.
+//!
+//! A crossbar switch lets every ALU write its result to any register bank or
+//! memory in the tile.
+//!
+//! This crate models the tile's *structure and capacities* — the register
+//! files, memories, crossbar and ALU capability limits that the resource
+//! allocator must respect — plus a parameterised energy model. The dynamic
+//! behaviour (executing a mapped program cycle by cycle) lives in `fpfa-sim`,
+//! and the mapping decisions (which operation runs on which ALU in which
+//! cycle) live in `fpfa-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use fpfa_arch::{TileConfig, Tile};
+//!
+//! let config = TileConfig::paper();        // the DATE'03 tile
+//! assert_eq!(config.num_pps, 5);
+//! assert_eq!(config.regs_per_bank, 4);
+//! let tile = Tile::new(config);
+//! assert_eq!(tile.processing_parts().len(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alu;
+pub mod config;
+pub mod crossbar;
+pub mod energy;
+pub mod error;
+pub mod memory;
+pub mod pp;
+pub mod regbank;
+pub mod tile;
+
+pub use alu::{AluCapability, AluClass};
+pub use config::TileConfig;
+pub use crossbar::Crossbar;
+pub use energy::{EnergyModel, EnergyReport, EventCounts};
+pub use error::ArchError;
+pub use memory::{LocalMemory, MemId, MemRef};
+pub use pp::{PpId, ProcessingPart};
+pub use regbank::{RegBankName, RegRef, RegisterBank};
+pub use tile::Tile;

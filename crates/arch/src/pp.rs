@@ -1,0 +1,165 @@
+//! Processing part: one ALU plus its register banks and local memories.
+
+use crate::config::TileConfig;
+use crate::error::ArchError;
+use crate::memory::{LocalMemory, MemId};
+use crate::regbank::{RegBankName, RegisterBank};
+
+/// Index of a processing part within its tile.
+pub type PpId = usize;
+
+/// One processing part: the storage attached to one ALU.
+///
+/// The arithmetic behaviour of the ALU is modelled by the simulator; this
+/// type holds the PP's state (register banks and local memories) and enforces
+/// their capacities.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProcessingPart {
+    id: PpId,
+    banks: Vec<RegisterBank>,
+    memories: Vec<LocalMemory>,
+}
+
+impl ProcessingPart {
+    /// Creates an empty processing part according to the tile configuration.
+    pub fn new(id: PpId, config: &TileConfig) -> Self {
+        let banks = (0..config.banks_per_pp)
+            .map(|i| RegisterBank::new(RegBankName::from_index(i % 4), config.regs_per_bank))
+            .collect();
+        let memories = (0..config.mems_per_pp)
+            .map(|i| LocalMemory::new(MemId::from_index(i % 2), config.mem_words))
+            .collect();
+        ProcessingPart {
+            id,
+            banks,
+            memories,
+        }
+    }
+
+    /// Index of this PP within its tile.
+    pub fn id(&self) -> PpId {
+        self.id
+    }
+
+    /// Register banks of this PP.
+    pub fn banks(&self) -> &[RegisterBank] {
+        &self.banks
+    }
+
+    /// Local memories of this PP.
+    pub fn memories(&self) -> &[LocalMemory] {
+        &self.memories
+    }
+
+    /// Mutable access to a register bank by name.
+    ///
+    /// # Errors
+    /// [`ArchError::InvalidRegister`] when the PP has no bank with that name.
+    pub fn bank_mut(&mut self, name: RegBankName) -> Result<&mut RegisterBank, ArchError> {
+        let id = self.id;
+        self.banks
+            .iter_mut()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| ArchError::InvalidRegister {
+                reference: format!("pp{id}.{name}"),
+            })
+    }
+
+    /// Access to a register bank by name.
+    ///
+    /// # Errors
+    /// [`ArchError::InvalidRegister`] when the PP has no bank with that name.
+    pub fn bank(&self, name: RegBankName) -> Result<&RegisterBank, ArchError> {
+        self.banks
+            .iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| ArchError::InvalidRegister {
+                reference: format!("pp{}.{name}", self.id),
+            })
+    }
+
+    /// Mutable access to a local memory by id.
+    ///
+    /// # Errors
+    /// [`ArchError::InvalidMemory`] when the PP has no memory with that id.
+    pub fn memory_mut(&mut self, mem: MemId) -> Result<&mut LocalMemory, ArchError> {
+        let id = self.id;
+        self.memories
+            .iter_mut()
+            .find(|m| m.id() == mem)
+            .ok_or_else(|| ArchError::InvalidMemory {
+                reference: format!("pp{id}.{mem}"),
+            })
+    }
+
+    /// Access to a local memory by id.
+    ///
+    /// # Errors
+    /// [`ArchError::InvalidMemory`] when the PP has no memory with that id.
+    pub fn memory(&self, mem: MemId) -> Result<&LocalMemory, ArchError> {
+        self.memories
+            .iter()
+            .find(|m| m.id() == mem)
+            .ok_or_else(|| ArchError::InvalidMemory {
+                reference: format!("pp{}.{mem}", self.id),
+            })
+    }
+
+    /// Total number of registers currently holding a value.
+    pub fn registers_occupied(&self) -> usize {
+        self.banks.iter().map(RegisterBank::occupied).sum()
+    }
+
+    /// Total number of memory words currently holding a value.
+    pub fn memory_words_occupied(&self) -> usize {
+        self.memories.iter().map(LocalMemory::occupied).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_is_built_from_config() {
+        let pp = ProcessingPart::new(2, &TileConfig::paper());
+        assert_eq!(pp.id(), 2);
+        assert_eq!(pp.banks().len(), 4);
+        assert_eq!(pp.memories().len(), 2);
+        assert_eq!(pp.registers_occupied(), 0);
+        assert_eq!(pp.memory_words_occupied(), 0);
+    }
+
+    #[test]
+    fn bank_and_memory_lookup() {
+        let mut pp = ProcessingPart::new(0, &TileConfig::paper());
+        pp.bank_mut(RegBankName::Rc).unwrap().write(1, 5).unwrap();
+        assert_eq!(pp.bank(RegBankName::Rc).unwrap().read(1).unwrap(), 5);
+        pp.memory_mut(MemId::Mem2).unwrap().write(100, 7).unwrap();
+        assert_eq!(pp.memory(MemId::Mem2).unwrap().read(100).unwrap(), 7);
+        assert_eq!(pp.registers_occupied(), 1);
+        assert_eq!(pp.memory_words_occupied(), 1);
+    }
+
+    #[test]
+    fn missing_bank_is_reported() {
+        let config = TileConfig::paper().with_register_files(1, 4);
+        let mut pp = ProcessingPart::new(0, &config);
+        assert!(pp.bank(RegBankName::Ra).is_ok());
+        assert!(matches!(
+            pp.bank_mut(RegBankName::Rd),
+            Err(ArchError::InvalidRegister { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_memory_is_reported() {
+        let config = TileConfig::paper().with_memories(1, 16);
+        let pp = ProcessingPart::new(0, &config);
+        assert!(pp.memory(MemId::Mem1).is_ok());
+        assert!(matches!(
+            pp.memory(MemId::Mem2),
+            Err(ArchError::InvalidMemory { .. })
+        ));
+    }
+}

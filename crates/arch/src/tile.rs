@@ -1,0 +1,146 @@
+//! The FPFA tile: five processing parts behind a crossbar.
+
+use crate::config::TileConfig;
+use crate::crossbar::Crossbar;
+use crate::error::ArchError;
+use crate::pp::{PpId, ProcessingPart};
+use std::fmt;
+
+/// A complete FPFA tile instance: storage state of every PP plus the
+/// crossbar.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tile {
+    config: TileConfig,
+    pps: Vec<ProcessingPart>,
+    crossbar: Crossbar,
+}
+
+impl Tile {
+    /// Creates an empty tile from a configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid; call
+    /// [`TileConfig::validate`] first when the configuration comes from
+    /// untrusted input.
+    pub fn new(config: TileConfig) -> Self {
+        config
+            .validate()
+            .expect("tile configuration must be valid; validate() before constructing");
+        let pps = (0..config.num_pps)
+            .map(|i| ProcessingPart::new(i, &config))
+            .collect();
+        let crossbar = Crossbar::new(config.crossbar_buses);
+        Tile {
+            config,
+            pps,
+            crossbar,
+        }
+    }
+
+    /// The configuration this tile was built from.
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+
+    /// The processing parts of the tile.
+    pub fn processing_parts(&self) -> &[ProcessingPart] {
+        &self.pps
+    }
+
+    /// Access to one processing part.
+    ///
+    /// # Errors
+    /// [`ArchError::UnknownPp`] when the index is out of range.
+    pub fn pp(&self, id: PpId) -> Result<&ProcessingPart, ArchError> {
+        self.pps.get(id).ok_or(ArchError::UnknownPp(id))
+    }
+
+    /// Mutable access to one processing part.
+    ///
+    /// # Errors
+    /// [`ArchError::UnknownPp`] when the index is out of range.
+    pub fn pp_mut(&mut self, id: PpId) -> Result<&mut ProcessingPart, ArchError> {
+        self.pps.get_mut(id).ok_or(ArchError::UnknownPp(id))
+    }
+
+    /// The crossbar book-keeping.
+    pub fn crossbar(&self) -> &Crossbar {
+        &self.crossbar
+    }
+
+    /// Mutable crossbar book-keeping (used by the simulator).
+    pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+        &mut self.crossbar
+    }
+
+    /// Human-readable inventory of the tile (the "Fig. 1" table).
+    pub fn inventory(&self) -> String {
+        let c = &self.config;
+        let mut out = String::new();
+        out.push_str(&format!("FPFA tile: {} processing parts\n", c.num_pps));
+        out.push_str(&format!(
+            "  per PP: 1 ALU (<= {} ops/cycle, depth {}), {} register banks x {} registers, {} memories x {} words\n",
+            c.alu.max_ops, c.alu.max_depth, c.banks_per_pp, c.regs_per_bank, c.mems_per_pp, c.mem_words
+        ));
+        out.push_str(&format!(
+            "  crossbar: {} buses; memory ports per cycle: {}; register write ports: {}\n",
+            c.crossbar_buses, c.mem_ports, c.regbank_write_ports
+        ));
+        out.push_str(&format!(
+            "  totals: {} registers, {} memory words",
+            c.total_registers(),
+            c.total_memory_words()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Tile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.inventory())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regbank::RegBankName;
+
+    #[test]
+    fn paper_tile_has_five_pps() {
+        let tile = Tile::new(TileConfig::paper());
+        assert_eq!(tile.processing_parts().len(), 5);
+        assert_eq!(tile.crossbar().buses(), 10);
+        assert!(tile.pp(4).is_ok());
+        assert!(matches!(tile.pp(5), Err(ArchError::UnknownPp(5))));
+    }
+
+    #[test]
+    fn pp_state_is_independent() {
+        let mut tile = Tile::new(TileConfig::paper());
+        tile.pp_mut(0)
+            .unwrap()
+            .bank_mut(RegBankName::Ra)
+            .unwrap()
+            .write(0, 11)
+            .unwrap();
+        assert_eq!(tile.pp(0).unwrap().registers_occupied(), 1);
+        assert_eq!(tile.pp(1).unwrap().registers_occupied(), 0);
+    }
+
+    #[test]
+    fn inventory_mentions_key_figures() {
+        let tile = Tile::new(TileConfig::paper());
+        let inv = tile.inventory();
+        assert!(inv.contains("5 processing parts"));
+        assert!(inv.contains("512 words"));
+        assert!(inv.contains("80 registers"));
+        assert_eq!(tile.to_string(), inv);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile configuration must be valid")]
+    fn invalid_config_panics_on_construction() {
+        let _ = Tile::new(TileConfig::paper().with_num_pps(0));
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion benches: end-to-end mapping time per workload kernel (drives the
+//! per-kernel rows of experiments T1/T2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpfa_core::pipeline::Mapper;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_kernel");
+    group.sample_size(20);
+    for kernel in fpfa_workloads::registry() {
+        group.bench_function(&kernel.name, |b| {
+            b.iter(|| {
+                let mapping = Mapper::new()
+                    .map_source(black_box(&kernel.source))
+                    .expect("kernel maps");
+                black_box(mapping.report.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

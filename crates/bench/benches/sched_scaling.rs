@@ -1,0 +1,35 @@
+//! Criterion benches: scheduler runtime vs. cluster count on layered random
+//! DAGs — the measured series behind experiment T3 (linear complexity claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpfa_core::cluster::ClusteredGraph;
+use fpfa_core::schedule::Scheduler;
+use std::hint::black_box;
+
+fn layered_dag(n: usize, width: usize) -> ClusteredGraph {
+    let mut edges = Vec::new();
+    for i in width..n {
+        edges.push((i - width, i));
+        if i % 3 == 0 && i >= width + 1 {
+            edges.push((i - width - 1, i));
+        }
+    }
+    ClusteredGraph::from_dependencies(n, &edges)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_clusters");
+    group.sample_size(20);
+    let scheduler = Scheduler::new(5);
+    for &n in &[50usize, 200, 1000, 4000] {
+        let dag = layered_dag(n, 8);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dag, |b, dag| {
+            b.iter(|| black_box(scheduler.schedule(black_box(dag)).unwrap().level_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benches: cycle-accurate simulation throughput on mapped kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpfa_core::pipeline::Mapper;
+use fpfa_sim::{SimInputs, Simulator};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_kernel");
+    group.sample_size(30);
+    for kernel in [fpfa_workloads::fir(16), fpfa_workloads::matmul(3)] {
+        let mapping = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let mut inputs = SimInputs::new();
+        for (name, values) in &kernel.arrays {
+            let sym = mapping.layout.array(name).expect("array in layout");
+            inputs.statespace.store_array(sym.base, values);
+        }
+        group.bench_function(&kernel.name, |b| {
+            b.iter(|| {
+                let outcome = Simulator::new(black_box(&mapping.program))
+                    .run(black_box(&inputs))
+                    .expect("simulation succeeds");
+                black_box(outcome.counts.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

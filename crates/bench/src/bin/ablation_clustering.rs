@@ -1,0 +1,37 @@
+//! Ablation A1 — the contribution of phase-1 clustering.
+//!
+//! Maps every kernel twice: with the Sarkar-style clustering / ALU data-path
+//! mapping of Section VI-A, and with clustering disabled (every operation is
+//! its own cluster). Reports schedule length, cycles and inter-ALU traffic.
+
+use fpfa_core::baseline;
+use fpfa_core::pipeline::Mapper;
+
+fn main() {
+    println!("A1 — effect of clustering (Sarkar edge-zeroing + ALU data-path packing)");
+    println!(
+        "{:<12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "kernel", "clusters", "flat", "levels", "flat", "cycles", "flat", "traffic", "flat"
+    );
+    for kernel in fpfa_workloads::registry() {
+        let clustered = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let flat = baseline::unclustered(&kernel.source).expect("baseline maps");
+        let traffic = clustered
+            .clustered
+            .inter_cluster_values(&clustered.mapping_graph);
+        let traffic_flat = flat.clustered.inter_cluster_values(&flat.mapping_graph);
+        println!(
+            "{:<12} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+            kernel.name,
+            clustered.report.clusters,
+            flat.report.clusters,
+            clustered.report.levels,
+            flat.report.levels,
+            clustered.report.cycles,
+            flat.report.cycles,
+            traffic,
+            traffic_flat
+        );
+    }
+    println!("\n(\"flat\" columns: clustering disabled; traffic = values crossing cluster boundaries)");
+}

@@ -1,0 +1,22 @@
+//! Experiment FIG1 — the processor tile of Fig. 1.
+//!
+//! Prints the structural inventory of the modelled tile so it can be checked
+//! against the figure: five processing parts, each with one ALU, four
+//! register banks of four registers and two memories of 512 words, connected
+//! by a crossbar.
+
+use fpfa_arch::{Tile, TileConfig};
+
+fn main() {
+    let config = TileConfig::paper();
+    let tile = Tile::new(config);
+    println!("FIG1 — FPFA processor tile inventory");
+    println!("{}", tile.inventory());
+    println!();
+    println!("paper (Fig. 1): 5 PPs; per PP: ALU, register banks Ra/Rb/Rc/Rd (4 x 4 registers), MEM1 + MEM2 (2 x 512 words); crossbar between all ALUs, registers and memories");
+    assert_eq!(config.num_pps, 5);
+    assert_eq!(config.banks_per_pp, 4);
+    assert_eq!(config.regs_per_bank, 4);
+    assert_eq!(config.mems_per_pp, 2);
+    assert_eq!(config.mem_words, 512);
+}

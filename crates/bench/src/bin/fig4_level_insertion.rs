@@ -1,0 +1,60 @@
+//! Experiment FIG4 — scheduling clusters on 5 ALUs with level insertion.
+//!
+//! Rebuilds the 11-cluster task graph of Fig. 4: before scheduling, six
+//! clusters (Clu1..Clu6) sit on level 0, which exceeds the five physical
+//! ALUs; after scheduling, one of them moves down and a new level is
+//! inserted, so the schedule grows from 4 to 5 levels while every level holds
+//! at most 5 clusters.
+
+use fpfa_core::cluster::ClusteredGraph;
+use fpfa_core::schedule::Scheduler;
+
+fn main() {
+    // Dependence edges reconstructed from Fig. 4 (cluster indices as in the
+    // figure): Clu1..Clu6 are sources; Clu0 and Clu7 consume them; Clu8/Clu9
+    // consume the middle layer; Clu10 is the sink.
+    let edges: Vec<(usize, usize)> = vec![
+        (1, 0),
+        (2, 0),
+        (3, 7),
+        (4, 7),
+        (5, 7),
+        (6, 7),
+        (0, 8),
+        (7, 8),
+        (7, 9),
+        (8, 10),
+        (9, 10),
+    ];
+    let clustered = ClusteredGraph::from_dependencies(11, &edges);
+
+    println!("FIG4 — level-by-level scheduling with level insertion");
+    println!(
+        "cluster graph: 11 clusters, critical path {} levels",
+        clustered.critical_path()
+    );
+
+    // (a) Before scheduling: ASAP levels with unbounded ALUs.
+    let unbounded = Scheduler::new(usize::MAX.min(64)).schedule(&clustered).unwrap();
+    println!("\n(a) before scheduling (unbounded ALUs — ASAP levels):");
+    print!("{unbounded}");
+    println!(
+        "largest level holds {} clusters (exceeds the 5 ALUs)",
+        unbounded.max_parallelism()
+    );
+
+    // (b) After scheduling on the 5 physical ALUs.
+    let bounded = Scheduler::new(5).schedule(&clustered).unwrap();
+    println!("\n(b) after scheduling on 5 ALUs:");
+    print!("{bounded}");
+    println!(
+        "levels: {} -> {} (one level inserted), max clusters per level {}",
+        unbounded.level_count(),
+        bounded.level_count(),
+        bounded.max_parallelism()
+    );
+
+    assert!(unbounded.max_parallelism() > 5);
+    assert!(bounded.max_parallelism() <= 5);
+    assert_eq!(bounded.level_count(), unbounded.level_count() + 1);
+}

@@ -1,0 +1,61 @@
+//! Experiment T1 — kernel sweep: cycles on the 5-ALU tile vs. the sequential
+//! single-ALU baseline ("maximum parallelism" claim of Sections VI/VII).
+//!
+//! For every workload kernel the table reports the operation count, the
+//! clustered mapping's levels and cycles, the sequential baseline's cycles,
+//! the speed-up, and the ALU utilisation. Cycle counts are measured by the
+//! cycle-accurate simulator (which also re-verifies functional equivalence).
+
+use fpfa_core::baseline;
+use fpfa_core::pipeline::Mapper;
+use fpfa_sim::{check_against_cdfg, SimInputs};
+use fpfa_workloads::Kernel;
+
+fn simulate(kernel: &Kernel, mapping: &fpfa_core::MappingResult) -> u64 {
+    let mut inputs = SimInputs::new();
+    for (name, values) in &kernel.arrays {
+        let sym = mapping.layout.array(name).expect("array in layout");
+        inputs.statespace.store_array(sym.base, values);
+    }
+    for (name, value) in &kernel.scalars {
+        inputs.scalars.insert(name.clone(), *value);
+    }
+    let report = check_against_cdfg(&mapping.simplified, &mapping.program, &inputs)
+        .expect("simulation succeeds");
+    assert!(
+        report.is_equivalent(),
+        "{}: mapped program diverges from the CDFG",
+        kernel.name
+    );
+    report.outcome.counts.cycles
+}
+
+fn main() {
+    println!("T1 — kernel cycles: clustered 5-ALU mapping vs. sequential 1-ALU baseline");
+    println!(
+        "{:<12} {:>5} {:>9} {:>8} {:>8} {:>10} {:>9} {:>7}",
+        "kernel", "ops", "clusters", "levels", "cycles", "seq cycles", "speedup", "util"
+    );
+    let mut speedups = Vec::new();
+    for kernel in fpfa_workloads::registry() {
+        let mapped = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let sequential = baseline::sequential(&kernel.source).expect("baseline maps");
+        let mapped_cycles = simulate(&kernel, &mapped);
+        let sequential_cycles = simulate(&kernel, &sequential);
+        let speedup = sequential_cycles as f64 / mapped_cycles.max(1) as f64;
+        speedups.push(speedup);
+        println!(
+            "{:<12} {:>5} {:>9} {:>8} {:>8} {:>10} {:>9.2} {:>7.2}",
+            kernel.name,
+            mapped.report.operations,
+            mapped.report.clusters,
+            mapped.report.levels,
+            mapped_cycles,
+            sequential_cycles,
+            speedup,
+            mapped.report.alu_utilization
+        );
+    }
+    let geo_mean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("\ngeometric-mean speed-up over the sequential baseline: {geo_mean:.2}x");
+}

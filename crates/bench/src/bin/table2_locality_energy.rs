@@ -1,0 +1,63 @@
+//! Experiment T2 — locality of reference and energy.
+//!
+//! "High performance and low power consumption are achieved by exploiting
+//! maximum parallelism and locality of reference respectively." The table
+//! compares, for every kernel, the locality-aware allocator with the
+//! memory-only baseline: register hit rate, memory reads, crossbar transfers
+//! and the relative energy estimate from the simulator's event counts.
+
+use fpfa_arch::EnergyModel;
+use fpfa_core::baseline;
+use fpfa_core::pipeline::Mapper;
+use fpfa_sim::{SimInputs, Simulator};
+use fpfa_workloads::Kernel;
+
+fn simulate(kernel: &Kernel, mapping: &fpfa_core::MappingResult) -> fpfa_sim::SimOutcome {
+    let mut inputs = SimInputs::new();
+    for (name, values) in &kernel.arrays {
+        let sym = mapping.layout.array(name).expect("array in layout");
+        inputs.statespace.store_array(sym.base, values);
+    }
+    for (name, value) in &kernel.scalars {
+        inputs.scalars.insert(name.clone(), *value);
+    }
+    Simulator::new(&mapping.program)
+        .run(&inputs)
+        .expect("simulation succeeds")
+}
+
+fn main() {
+    let model = EnergyModel::default_model();
+    println!("T2 — locality of reference: locality-aware allocator vs. memory-only baseline");
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "kernel", "hit rate", "mem reads", "mem base", "energy", "energy base", "saving"
+    );
+    let mut savings = Vec::new();
+    for kernel in fpfa_workloads::registry() {
+        let with = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let without = baseline::no_locality(&kernel.source).expect("baseline maps");
+        let outcome_with = simulate(&kernel, &with);
+        let outcome_without = simulate(&kernel, &without);
+        let energy_with = model.total(&outcome_with.counts);
+        let energy_without = model.total(&outcome_without.counts);
+        let saving = 1.0 - energy_with / energy_without;
+        savings.push(saving);
+        println!(
+            "{:<12} {:>9} {:>10} {:>10} {:>10.1} {:>10.1} {:>9.1}%",
+            kernel.name,
+            with.report
+                .register_hit_rate()
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            outcome_with.counts.mem_reads,
+            outcome_without.counts.mem_reads,
+            energy_with,
+            energy_without,
+            saving * 100.0
+        );
+    }
+    let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+    println!("\nmean energy saving from locality of reference: {:.1}%", mean * 100.0);
+    println!("(relative energy model: register access 0.2/0.3, memory access 2.5/3.0, crossbar 0.6, ALU 1.0)");
+}

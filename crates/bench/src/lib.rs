@@ -1,0 +1,7 @@
+//! Experiment harness for the FPFA mapping reproduction.
+//!
+//! The interesting code lives in the `benches/` Criterion targets and the
+//! `src/bin/` experiment binaries; this library only hosts small shared
+//! helpers.
+
+pub mod table;

@@ -1,0 +1,37 @@
+//! Minimal fixed-width table printer shared by the experiment binaries.
+
+/// Prints a row of columns, left-aligned, with the given widths.
+pub fn row(widths: &[usize], cells: &[String]) -> String {
+    let mut out = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let width = widths.get(i).copied().unwrap_or(12);
+        out.push_str(&format!("{cell:<width$}  "));
+    }
+    out.trim_end().to_string()
+}
+
+/// Prints a separator line matching the given widths.
+pub fn separator(widths: &[usize]) -> String {
+    widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&[4, 6], &["ab".into(), "cdef".into()]);
+        assert!(r.starts_with("ab  "));
+        assert!(r.contains("cdef"));
+    }
+
+    #[test]
+    fn separator_width() {
+        assert_eq!(separator(&[3, 2]), "-----2".replace('2', "--"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Structural analyses used by the mapper: ASAP/ALAP levels, critical path
+//! and mobility.
+//!
+//! The scheduling phase of the paper (Section VI-B) reasons about *levels*:
+//! the ASAP level of a node is the length of the longest path from any source
+//! to the node, the ALAP level is derived from the longest path to any sink,
+//! and the *mobility* (ALAP − ASAP) tells how far a non-critical node can be
+//! moved without stretching the schedule.
+
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+use std::collections::HashMap;
+
+/// Per-node level information computed by [`levelize`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LevelInfo {
+    /// As-soon-as-possible level of every node (sources at level 0).
+    pub asap: HashMap<NodeId, usize>,
+    /// As-late-as-possible level of every node.
+    pub alap: HashMap<NodeId, usize>,
+    /// Length of the critical path measured in levels (number of levels).
+    pub depth: usize,
+}
+
+impl LevelInfo {
+    /// Mobility (scheduling freedom) of a node: `alap - asap`.
+    pub fn mobility(&self, node: NodeId) -> Option<usize> {
+        match (self.asap.get(&node), self.alap.get(&node)) {
+            (Some(a), Some(l)) => Some(l.saturating_sub(*a)),
+            _ => None,
+        }
+    }
+
+    /// `true` when the node lies on a critical path (mobility 0).
+    pub fn is_critical(&self, node: NodeId) -> bool {
+        self.mobility(node) == Some(0)
+    }
+
+    /// Nodes grouped by ASAP level, index = level.
+    ///
+    /// Interface nodes that sit below the last computation level (for example
+    /// `Output` nodes) appear in a trailing bucket, so the returned vector may
+    /// be one longer than [`LevelInfo::depth`].
+    pub fn asap_levels(&self) -> Vec<Vec<NodeId>> {
+        let buckets = self.asap.values().copied().max().map_or(0, |m| m + 1);
+        let mut levels = vec![Vec::new(); buckets];
+        for (node, level) in &self.asap {
+            levels[*level].push(*node);
+        }
+        for level in &mut levels {
+            level.sort();
+        }
+        levels
+    }
+}
+
+/// Computes ASAP and ALAP levels for every node of an acyclic graph.
+///
+/// Only *computation* nodes (see [`NodeKind::is_computation`]) consume a
+/// level; interface nodes (`Input`, `Output`, `Const`, `Copy`) are
+/// transparent, which matches the paper's level numbering where a level is
+/// one machine cycle of ALU work.
+///
+/// # Errors
+/// [`CdfgError::CycleDetected`] when the graph contains a cycle.
+pub fn levelize(graph: &Cdfg) -> Result<LevelInfo, CdfgError> {
+    let order = graph.topo_order()?;
+    let mut asap: HashMap<NodeId, usize> = HashMap::new();
+
+    // ASAP: longest path from sources, counting computation nodes.
+    for &id in &order {
+        let preds = graph.predecessors(id);
+        let base = preds
+            .iter()
+            .map(|p| {
+                let occupies = node_occupies_level(graph, *p);
+                asap.get(p).copied().unwrap_or(0) + usize::from(occupies)
+            })
+            .max()
+            .unwrap_or(0);
+        asap.insert(id, base);
+    }
+
+    let depth = order
+        .iter()
+        .map(|id| asap[id] + usize::from(node_occupies_level(graph, *id)))
+        .max()
+        .unwrap_or(0);
+
+    // ALAP: longest path to sinks.
+    let mut dist_to_sink: HashMap<NodeId, usize> = HashMap::new();
+    for &id in order.iter().rev() {
+        let succs = graph.successors(id);
+        let below = succs
+            .iter()
+            .map(|s| {
+                let occupies = node_occupies_level(graph, *s);
+                dist_to_sink.get(s).copied().unwrap_or(0) + usize::from(occupies)
+            })
+            .max()
+            .unwrap_or(0);
+        dist_to_sink.insert(id, below);
+    }
+    let mut alap = HashMap::new();
+    for &id in &order {
+        let own = usize::from(node_occupies_level(graph, id));
+        let latest = depth
+            .saturating_sub(dist_to_sink[&id])
+            .saturating_sub(own);
+        alap.insert(id, latest.max(asap[&id]));
+    }
+
+    Ok(LevelInfo { asap, alap, depth })
+}
+
+fn node_occupies_level(graph: &Cdfg, id: NodeId) -> bool {
+    graph
+        .kind(id)
+        .map(NodeKind::is_computation)
+        .unwrap_or(false)
+}
+
+/// Length (in computation nodes) of the critical path of the graph.
+///
+/// # Errors
+/// [`CdfgError::CycleDetected`] when the graph contains a cycle.
+pub fn critical_path_length(graph: &Cdfg) -> Result<usize, CdfgError> {
+    Ok(levelize(graph)?.depth)
+}
+
+/// Nodes reachable (backwards) from any `Output` node.
+///
+/// Everything outside this set is dead code.
+pub fn live_nodes(graph: &Cdfg) -> Vec<NodeId> {
+    let mut stack: Vec<NodeId> = graph.outputs().into_iter().map(|(_, id)| id).collect();
+    let mut live: Vec<NodeId> = Vec::new();
+    while let Some(id) = stack.pop() {
+        if live.contains(&id) {
+            continue;
+        }
+        live.push(id);
+        for pred in graph.predecessors(id) {
+            if !live.contains(&pred) {
+                stack.push(pred);
+            }
+        }
+    }
+    live.sort();
+    live
+}
+
+/// Transitive-closure reachability query: can `from` reach `to` following
+/// dataflow edges?
+pub fn reaches(graph: &Cdfg, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut stack = vec![from];
+    let mut seen = vec![false; graph.node_bound()];
+    while let Some(id) = stack.pop() {
+        if id == to {
+            return true;
+        }
+        if id.index() < seen.len() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+        }
+        stack.extend(graph.successors(id));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BinOp;
+
+    /// Chain of three adds feeding an output, plus one independent multiply.
+    fn diamond() -> (Cdfg, Vec<NodeId>) {
+        let mut g = Cdfg::new("t");
+        let a = g.add_node(NodeKind::Input("a".into()));
+        let b = g.add_node(NodeKind::Input("b".into()));
+        let add1 = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let add2 = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let add3 = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let mul = g.add_node(NodeKind::BinOp(BinOp::Mul));
+        let out = g.add_node(NodeKind::Output("r".into()));
+        let out2 = g.add_node(NodeKind::Output("s".into()));
+        g.connect(a, 0, add1, 0).unwrap();
+        g.connect(b, 0, add1, 1).unwrap();
+        g.connect(add1, 0, add2, 0).unwrap();
+        g.connect(b, 0, add2, 1).unwrap();
+        g.connect(add2, 0, add3, 0).unwrap();
+        g.connect(a, 0, add3, 1).unwrap();
+        g.connect(add3, 0, out, 0).unwrap();
+        g.connect(a, 0, mul, 0).unwrap();
+        g.connect(b, 0, mul, 1).unwrap();
+        g.connect(mul, 0, out2, 0).unwrap();
+        (g, vec![a, b, add1, add2, add3, mul, out, out2])
+    }
+
+    #[test]
+    fn asap_levels_follow_chain() {
+        let (g, n) = diamond();
+        let info = levelize(&g).unwrap();
+        assert_eq!(info.asap[&n[2]], 0); // add1
+        assert_eq!(info.asap[&n[3]], 1); // add2
+        assert_eq!(info.asap[&n[4]], 2); // add3
+        assert_eq!(info.asap[&n[5]], 0); // mul
+        assert_eq!(info.depth, 3);
+    }
+
+    #[test]
+    fn mobility_and_criticality() {
+        let (g, n) = diamond();
+        let info = levelize(&g).unwrap();
+        // The add chain is critical.
+        assert!(info.is_critical(n[2]));
+        assert!(info.is_critical(n[3]));
+        assert!(info.is_critical(n[4]));
+        // The single multiply can slide to the last level.
+        assert_eq!(info.mobility(n[5]), Some(2));
+        assert!(!info.is_critical(n[5]));
+        assert_eq!(info.mobility(NodeId::from_index(999)), None);
+    }
+
+    #[test]
+    fn asap_level_grouping_covers_all_computation() {
+        let (g, _) = diamond();
+        let info = levelize(&g).unwrap();
+        let levels = info.asap_levels();
+        assert_eq!(levels.len(), 4);
+        let total: usize = levels.iter().map(Vec::len).sum();
+        // Every node appears exactly once in some level bucket.
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn critical_path_of_empty_graph_is_zero() {
+        let g = Cdfg::new("empty");
+        assert_eq!(critical_path_length(&g).unwrap(), 0);
+    }
+
+    #[test]
+    fn live_nodes_excludes_dead_code() {
+        let (mut g, n) = diamond();
+        // Add a dangling multiply not connected to any output.
+        let dead = g.add_node(NodeKind::BinOp(BinOp::Mul));
+        g.connect(n[0], 0, dead, 0).unwrap();
+        g.connect(n[1], 0, dead, 1).unwrap();
+        let live = live_nodes(&g);
+        assert!(!live.contains(&dead));
+        assert!(live.contains(&n[4]));
+        assert!(live.contains(&n[0]));
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let (g, n) = diamond();
+        assert!(reaches(&g, n[0], n[6]));
+        assert!(reaches(&g, n[2], n[4]));
+        assert!(!reaches(&g, n[4], n[2]));
+        assert!(!reaches(&g, n[5], n[6]));
+        assert!(reaches(&g, n[3], n[3]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Graphviz (DOT) export of CDFGs for inspection and debugging.
+
+use crate::graph::Cdfg;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// Statespace edges are drawn dashed, interface nodes are boxed, and
+/// statespace primitives (`ST`, `FE`, `DEL`) are filled, mirroring the visual
+/// conventions of Figs. 2–3 of the paper.
+pub fn to_dot(graph: &Cdfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for (id, node) in graph.nodes() {
+        let (shape, style) = match &node.kind {
+            NodeKind::Input(_) | NodeKind::Output(_) => ("box", "rounded"),
+            NodeKind::Const(_) => ("plaintext", "solid"),
+            NodeKind::Store | NodeKind::Fetch | NodeKind::Delete => ("box", "filled"),
+            NodeKind::Loop(_) => ("box3d", "solid"),
+            _ => ("ellipse", "solid"),
+        };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape={}, style={}];",
+            id,
+            sanitize(&node.kind.label()),
+            shape,
+            style
+        );
+    }
+    for (_, edge) in graph.edges() {
+        let is_state = graph
+            .kind(edge.from.node)
+            .map(|k| {
+                matches!(
+                    k,
+                    NodeKind::Store | NodeKind::Delete
+                ) || matches!(k, NodeKind::Input(name) if name.contains("mem") || name.contains("state"))
+            })
+            .unwrap_or(false);
+        let style = if is_state { " [style=dashed]" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} -> {} [taillabel=\"{}\", headlabel=\"{}\"]{};",
+            edge.from.node, edge.to.node, edge.from.port, edge.to.port, style
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BinOp;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Cdfg::new("fir");
+        let a = g.add_node(NodeKind::Input("mem".into()));
+        let c = g.add_node(NodeKind::Const(3));
+        let fe = g.add_node(NodeKind::Fetch);
+        let mul = g.add_node(NodeKind::BinOp(BinOp::Mul));
+        let out = g.add_node(NodeKind::Output("r".into()));
+        g.connect(a, 0, fe, 0).unwrap();
+        g.connect(c, 0, fe, 1).unwrap();
+        g.connect(fe, 0, mul, 0).unwrap();
+        g.connect(c, 0, mul, 1).unwrap();
+        g.connect(mul, 0, out, 0).unwrap();
+
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"fir\""));
+        assert!(dot.contains("label=\"FE\""));
+        assert!(dot.contains("label=\"*\""));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One line per node and edge plus wrapper lines.
+        assert!(dot.lines().count() >= g.node_count() + g.edge_count() + 2);
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g = Cdfg::new("weird\"name");
+        let dot = to_dot(&g);
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Error type shared by all CDFG operations.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced by graph construction, validation or interpretation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CdfgError {
+    /// A node id does not exist (or has been removed) in this graph.
+    UnknownNode(NodeId),
+    /// An edge id does not exist (or has been removed) in this graph.
+    UnknownEdge(EdgeId),
+    /// A port index is out of range for the node kind.
+    PortOutOfRange {
+        /// Offending node.
+        node: NodeId,
+        /// Requested port index.
+        port: usize,
+        /// Number of ports of that direction on the node.
+        arity: usize,
+        /// `true` when the port is an input port.
+        is_input: bool,
+    },
+    /// An input port already has an incoming edge.
+    PortAlreadyDriven {
+        /// Offending node.
+        node: NodeId,
+        /// Input port index.
+        port: usize,
+    },
+    /// An input port has no incoming edge but one was required.
+    PortUnconnected {
+        /// Offending node.
+        node: NodeId,
+        /// Input port index.
+        port: usize,
+    },
+    /// The graph contains a cycle, which is not allowed outside loop bodies.
+    CycleDetected,
+    /// A named graph input was not bound before interpretation.
+    UnboundInput(String),
+    /// Two graph interface nodes use the same name.
+    DuplicateName(String),
+    /// A word was required but a statespace token (or vice versa) was found.
+    TypeMismatch {
+        /// Node at which the mismatch was detected.
+        node: NodeId,
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it actually received.
+        found: &'static str,
+    },
+    /// Division or remainder by zero during interpretation.
+    DivisionByZero(NodeId),
+    /// A `FE` or `DEL` primitive addressed a tuple that does not exist.
+    UnboundAddress {
+        /// The fetching/deleting node.
+        node: NodeId,
+        /// The missing address.
+        address: i64,
+    },
+    /// A loop failed to terminate within the interpreter's iteration budget.
+    LoopBudgetExceeded {
+        /// The loop node.
+        node: NodeId,
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// A structured loop specification is malformed (missing variables,
+    /// missing condition output, arity mismatch, ...).
+    MalformedLoop {
+        /// The loop node.
+        node: NodeId,
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// Generic validation failure with an explanation.
+    Invalid(String),
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            CdfgError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            CdfgError::PortOutOfRange {
+                node,
+                port,
+                arity,
+                is_input,
+            } => write!(
+                f,
+                "{} port {port} out of range on {node} (arity {arity})",
+                if *is_input { "input" } else { "output" }
+            ),
+            CdfgError::PortAlreadyDriven { node, port } => {
+                write!(f, "input port {port} of {node} is already driven")
+            }
+            CdfgError::PortUnconnected { node, port } => {
+                write!(f, "input port {port} of {node} is not connected")
+            }
+            CdfgError::CycleDetected => write!(f, "graph contains a cycle"),
+            CdfgError::UnboundInput(name) => write!(f, "graph input `{name}` was not bound"),
+            CdfgError::DuplicateName(name) => {
+                write!(f, "duplicate interface name `{name}`")
+            }
+            CdfgError::TypeMismatch {
+                node,
+                expected,
+                found,
+            } => write!(f, "type mismatch at {node}: expected {expected}, found {found}"),
+            CdfgError::DivisionByZero(n) => write!(f, "division by zero at {n}"),
+            CdfgError::UnboundAddress { node, address } => {
+                write!(f, "statespace address {address} not bound (at {node})")
+            }
+            CdfgError::LoopBudgetExceeded { node, budget } => {
+                write!(f, "loop {node} exceeded the iteration budget of {budget}")
+            }
+            CdfgError::MalformedLoop { node, reason } => {
+                write!(f, "malformed loop {node}: {reason}")
+            }
+            CdfgError::Invalid(reason) => write!(f, "invalid graph: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CdfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let n = NodeId::from_index(4);
+        assert_eq!(CdfgError::UnknownNode(n).to_string(), "unknown node n4");
+        assert_eq!(
+            CdfgError::DivisionByZero(n).to_string(),
+            "division by zero at n4"
+        );
+        assert_eq!(
+            CdfgError::UnboundAddress { node: n, address: 7 }.to_string(),
+            "statespace address 7 not bound (at n4)"
+        );
+        assert!(CdfgError::PortOutOfRange {
+            node: n,
+            port: 9,
+            arity: 2,
+            is_input: true
+        }
+        .to_string()
+        .contains("input port 9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CdfgError>();
+    }
+}

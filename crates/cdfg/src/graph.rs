@@ -1,0 +1,593 @@
+//! The CDFG graph container and its mutation primitives.
+
+use crate::edge::{Edge, Endpoint};
+use crate::error::CdfgError;
+use crate::ids::{EdgeId, NodeId};
+use crate::node::{Node, NodeKind};
+use std::collections::HashMap;
+
+/// A Control Data Flow Graph.
+///
+/// The graph owns its nodes and edges. Nodes expose a fixed number of input
+/// and output ports determined by their [`NodeKind`]; each input port is
+/// driven by at most one edge, while output ports may fan out to any number of
+/// consumers. Removed nodes and edges leave holes in the internal storage so
+/// that identifiers stay stable; [`Cdfg::compact`] rebuilds a dense graph.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Cdfg {
+    name: String,
+    nodes: Vec<Option<Node>>,
+    edges: Vec<Option<Edge>>,
+}
+
+impl Cdfg {
+    /// Creates an empty graph with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cdfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Descriptive name of the graph (usually the source function name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the graph.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    // ------------------------------------------------------------------
+    // Node and edge accessors
+    // ------------------------------------------------------------------
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Upper bound of node indices (including holes); useful for dense side
+    /// tables indexed by [`NodeId::index`].
+    pub fn node_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the node with the given id.
+    ///
+    /// # Errors
+    /// [`CdfgError::UnknownNode`] if the id is stale or out of range.
+    pub fn node(&self, id: NodeId) -> Result<&Node, CdfgError> {
+        self.nodes
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(CdfgError::UnknownNode(id))
+    }
+
+    /// Returns the kind of a node.
+    ///
+    /// # Errors
+    /// [`CdfgError::UnknownNode`] if the id is stale or out of range.
+    pub fn kind(&self, id: NodeId) -> Result<&NodeKind, CdfgError> {
+        Ok(&self.node(id)?.kind)
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Errors
+    /// [`CdfgError::UnknownEdge`] if the id is stale or out of range.
+    pub fn edge(&self, id: EdgeId) -> Result<&Edge, CdfgError> {
+        self.edges
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(CdfgError::UnknownEdge(id))
+    }
+
+    /// `true` when the node id refers to a live node.
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        self.nodes.get(id.index()).map(Option::is_some).unwrap_or(false)
+    }
+
+    /// Iterates over `(id, node)` pairs of live nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId::from_index(i), n)))
+    }
+
+    /// Iterates over the ids of live nodes in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().map(|(id, _)| id)
+    }
+
+    /// Iterates over `(id, edge)` pairs of live edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (EdgeId::from_index(i), e)))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Some(Node::new(kind)));
+        id
+    }
+
+    /// Connects output port `from_port` of `from` to input port `to_port` of
+    /// `to` and returns the new edge id.
+    ///
+    /// # Errors
+    /// * [`CdfgError::UnknownNode`] if either node does not exist;
+    /// * [`CdfgError::PortOutOfRange`] if a port index exceeds the node arity;
+    /// * [`CdfgError::PortAlreadyDriven`] if the input port already has a
+    ///   driver.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+    ) -> Result<EdgeId, CdfgError> {
+        {
+            let from_node = self.node(from)?;
+            if from_port >= from_node.output_count() {
+                return Err(CdfgError::PortOutOfRange {
+                    node: from,
+                    port: from_port,
+                    arity: from_node.output_count(),
+                    is_input: false,
+                });
+            }
+            let to_node = self.node(to)?;
+            if to_port >= to_node.input_count() {
+                return Err(CdfgError::PortOutOfRange {
+                    node: to,
+                    port: to_port,
+                    arity: to_node.input_count(),
+                    is_input: true,
+                });
+            }
+            if to_node.inputs[to_port].is_some() {
+                return Err(CdfgError::PortAlreadyDriven {
+                    node: to,
+                    port: to_port,
+                });
+            }
+        }
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(Some(Edge::new(
+            Endpoint::new(from, from_port),
+            Endpoint::new(to, to_port),
+        )));
+        self.nodes[from.index()].as_mut().expect("checked").outputs[from_port].push(id);
+        self.nodes[to.index()].as_mut().expect("checked").inputs[to_port] = Some(id);
+        Ok(id)
+    }
+
+    /// Removes an edge, leaving the destination port unconnected.
+    ///
+    /// # Errors
+    /// [`CdfgError::UnknownEdge`] if the edge does not exist.
+    pub fn disconnect(&mut self, id: EdgeId) -> Result<Edge, CdfgError> {
+        let edge = self.edge(id).copied()?;
+        if let Some(Some(node)) = self.nodes.get_mut(edge.from.node.index()) {
+            let port = edge.from.port_index();
+            if port < node.outputs.len() {
+                node.outputs[port].retain(|e| *e != id);
+            }
+        }
+        if let Some(Some(node)) = self.nodes.get_mut(edge.to.node.index()) {
+            let port = edge.to.port_index();
+            if port < node.inputs.len() && node.inputs[port] == Some(id) {
+                node.inputs[port] = None;
+            }
+        }
+        self.edges[id.index()] = None;
+        Ok(edge)
+    }
+
+    /// Removes a node and every edge attached to it.
+    ///
+    /// # Errors
+    /// [`CdfgError::UnknownNode`] if the node does not exist.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<Node, CdfgError> {
+        self.node(id)?;
+        let attached: Vec<EdgeId> = self
+            .edges()
+            .filter(|(_, e)| e.from.node == id || e.to.node == id)
+            .map(|(eid, _)| eid)
+            .collect();
+        for eid in attached {
+            self.disconnect(eid)?;
+        }
+        Ok(self.nodes[id.index()].take().expect("checked above"))
+    }
+
+    /// Source endpoint driving input port `port` of `node`, if connected.
+    pub fn input_source(&self, node: NodeId, port: usize) -> Option<Endpoint> {
+        let n = self.node(node).ok()?;
+        let eid = n.input_edge(port)?;
+        self.edge(eid).ok().map(|e| e.from)
+    }
+
+    /// All `(node, port)` endpoints consuming output port `port` of `node`.
+    pub fn output_sinks(&self, node: NodeId, port: usize) -> Vec<Endpoint> {
+        let Ok(n) = self.node(node) else {
+            return Vec::new();
+        };
+        n.output_edges(port)
+            .iter()
+            .filter_map(|eid| self.edge(*eid).ok().map(|e| e.to))
+            .collect()
+    }
+
+    /// Predecessor nodes of `node` (one entry per connected input port, in
+    /// port order, deduplicated).
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let Ok(n) = self.node(node) else {
+            return Vec::new();
+        };
+        let mut preds = Vec::new();
+        for eid in n.inputs.iter().flatten() {
+            if let Ok(edge) = self.edge(*eid) {
+                if !preds.contains(&edge.from.node) {
+                    preds.push(edge.from.node);
+                }
+            }
+        }
+        preds
+    }
+
+    /// Successor nodes of `node` (deduplicated, in discovery order).
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        let Ok(n) = self.node(node) else {
+            return Vec::new();
+        };
+        let mut succs = Vec::new();
+        for port_edges in &n.outputs {
+            for eid in port_edges {
+                if let Ok(edge) = self.edge(*eid) {
+                    if !succs.contains(&edge.to.node) {
+                        succs.push(edge.to.node);
+                    }
+                }
+            }
+        }
+        succs
+    }
+
+    /// Rewires every consumer of output `from_port` of `from` so that it is
+    /// driven by output `to_port` of `to` instead, returning the number of
+    /// rewired edges.
+    ///
+    /// This is the workhorse of the transformation passes ("replace all uses
+    /// of X with Y").
+    ///
+    /// # Errors
+    /// Propagates [`CdfgError::UnknownNode`]/[`CdfgError::PortOutOfRange`]
+    /// errors from the underlying connect operations.
+    pub fn replace_uses(
+        &mut self,
+        from: NodeId,
+        from_port: usize,
+        to: NodeId,
+        to_port: usize,
+    ) -> Result<usize, CdfgError> {
+        let uses: Vec<Endpoint> = self.output_sinks(from, from_port);
+        let mut moved = 0;
+        for sink in uses {
+            let eid = self
+                .node(sink.node)?
+                .input_edge(sink.port_index())
+                .ok_or(CdfgError::PortUnconnected {
+                    node: sink.node,
+                    port: sink.port_index(),
+                })?;
+            self.disconnect(eid)?;
+            self.connect(to, to_port, sink.node, sink.port_index())?;
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    // ------------------------------------------------------------------
+    // Interface nodes
+    // ------------------------------------------------------------------
+
+    /// All `Input` nodes as `(name, id)` pairs in id order.
+    pub fn inputs(&self) -> Vec<(String, NodeId)> {
+        self.nodes()
+            .filter_map(|(id, n)| match &n.kind {
+                NodeKind::Input(name) => Some((name.clone(), id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All `Output` nodes as `(name, id)` pairs in id order.
+    pub fn outputs(&self) -> Vec<(String, NodeId)> {
+        self.nodes()
+            .filter_map(|(id, n)| match &n.kind {
+                NodeKind::Output(name) => Some((name.clone(), id)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Finds the `Input` node with the given name.
+    pub fn input_named(&self, name: &str) -> Option<NodeId> {
+        self.inputs().into_iter().find(|(n, _)| n == name).map(|(_, id)| id)
+    }
+
+    /// Finds the `Output` node with the given name.
+    pub fn output_named(&self, name: &str) -> Option<NodeId> {
+        self.outputs().into_iter().find(|(n, _)| n == name).map(|(_, id)| id)
+    }
+
+    // ------------------------------------------------------------------
+    // Ordering
+    // ------------------------------------------------------------------
+
+    /// Topological order of all live nodes (Kahn's algorithm).
+    ///
+    /// # Errors
+    /// [`CdfgError::CycleDetected`] when the graph contains a cycle.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, CdfgError> {
+        let bound = self.node_bound();
+        let mut in_deg = vec![0usize; bound];
+        let mut live = 0usize;
+        for (id, node) in self.nodes() {
+            live += 1;
+            in_deg[id.index()] = node.inputs.iter().flatten().count();
+        }
+        let mut ready: Vec<NodeId> = self
+            .nodes()
+            .filter(|(id, _)| in_deg[id.index()] == 0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut order = Vec::with_capacity(live);
+        while let Some(id) = ready.pop() {
+            order.push(id);
+            for succ in self.successors(id) {
+                // A successor may be connected through several ports; decrement
+                // once per connecting edge.
+                let node = self.node(succ).expect("successor exists");
+                let incoming_from_id = node
+                    .inputs
+                    .iter()
+                    .flatten()
+                    .filter(|eid| {
+                        self.edge(**eid)
+                            .map(|e| e.from.node == id)
+                            .unwrap_or(false)
+                    })
+                    .count();
+                let slot = &mut in_deg[succ.index()];
+                *slot = slot.saturating_sub(incoming_from_id);
+                if *slot == 0 && !order.contains(&succ) && !ready.contains(&succ) {
+                    ready.push(succ);
+                }
+            }
+        }
+        if order.len() == live {
+            Ok(order)
+        } else {
+            Err(CdfgError::CycleDetected)
+        }
+    }
+
+    /// `true` when the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_ok()
+    }
+
+    /// Rebuilds the graph without holes, returning the compacted graph and a
+    /// mapping from old to new node ids.
+    pub fn compact(&self) -> (Cdfg, HashMap<NodeId, NodeId>) {
+        let mut out = Cdfg::new(self.name.clone());
+        let mut remap = HashMap::new();
+        for (id, node) in self.nodes() {
+            let new_id = out.add_node(node.kind.clone());
+            remap.insert(id, new_id);
+        }
+        for (_, edge) in self.edges() {
+            let from = remap[&edge.from.node];
+            let to = remap[&edge.to.node];
+            out.connect(from, edge.from.port_index(), to, edge.to.port_index())
+                .expect("edges of a well-formed graph remain connectable");
+        }
+        (out, remap)
+    }
+
+    /// Copies another graph into this one, returning the node id remapping.
+    ///
+    /// Interface (`Input`/`Output`) nodes of the spliced graph are copied
+    /// verbatim; callers typically rewire or remove them afterwards (this is
+    /// what the loop-unrolling transformation does).
+    pub fn splice(&mut self, other: &Cdfg) -> HashMap<NodeId, NodeId> {
+        let mut remap = HashMap::new();
+        for (id, node) in other.nodes() {
+            let new_id = self.add_node(node.kind.clone());
+            remap.insert(id, new_id);
+        }
+        for (_, edge) in other.edges() {
+            let from = remap[&edge.from.node];
+            let to = remap[&edge.to.node];
+            self.connect(from, edge.from.port_index(), to, edge.to.port_index())
+                .expect("edges of a well-formed graph remain connectable");
+        }
+        remap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BinOp;
+
+    fn mac_graph() -> (Cdfg, NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Cdfg::new("mac");
+        let a = g.add_node(NodeKind::Input("a".into()));
+        let b = g.add_node(NodeKind::Input("b".into()));
+        let c = g.add_node(NodeKind::Input("c".into()));
+        let mul = g.add_node(NodeKind::BinOp(BinOp::Mul));
+        let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let out = g.add_node(NodeKind::Output("out".into()));
+        g.connect(a, 0, mul, 0).unwrap();
+        g.connect(b, 0, mul, 1).unwrap();
+        g.connect(mul, 0, add, 0).unwrap();
+        g.connect(c, 0, add, 1).unwrap();
+        g.connect(add, 0, out, 0).unwrap();
+        (g, a, b, c, mul, add, out)
+    }
+
+    #[test]
+    fn build_and_count() {
+        let (g, ..) = mac_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.inputs().len(), 3);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.name(), "mac");
+    }
+
+    #[test]
+    fn connect_rejects_bad_ports() {
+        let mut g = Cdfg::new("t");
+        let a = g.add_node(NodeKind::Const(1));
+        let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+        assert!(matches!(
+            g.connect(a, 1, add, 0),
+            Err(CdfgError::PortOutOfRange { is_input: false, .. })
+        ));
+        assert!(matches!(
+            g.connect(a, 0, add, 2),
+            Err(CdfgError::PortOutOfRange { is_input: true, .. })
+        ));
+        g.connect(a, 0, add, 0).unwrap();
+        assert!(matches!(
+            g.connect(a, 0, add, 0),
+            Err(CdfgError::PortAlreadyDriven { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_rejects_unknown_nodes() {
+        let mut g = Cdfg::new("t");
+        let a = g.add_node(NodeKind::Const(1));
+        let ghost = NodeId::from_index(99);
+        assert!(matches!(
+            g.connect(a, 0, ghost, 0),
+            Err(CdfgError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            g.connect(ghost, 0, a, 0),
+            Err(CdfgError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let (g, a, b, c, mul, add, out) = mac_graph();
+        assert_eq!(g.predecessors(mul), vec![a, b]);
+        assert_eq!(g.predecessors(add), vec![mul, c]);
+        assert_eq!(g.successors(mul), vec![add]);
+        assert_eq!(g.successors(add), vec![out]);
+        assert!(g.predecessors(a).is_empty());
+        assert!(g.successors(out).is_empty());
+    }
+
+    #[test]
+    fn disconnect_and_remove() {
+        let (mut g, _a, _b, _c, mul, add, _out) = mac_graph();
+        let eid = g.node(add).unwrap().input_edge(0).unwrap();
+        let edge = g.disconnect(eid).unwrap();
+        assert_eq!(edge.from.node, mul);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.node(add).unwrap().input_edge(0).is_none());
+
+        g.remove_node(mul).unwrap();
+        assert!(!g.contains_node(mul));
+        assert!(matches!(g.node(mul), Err(CdfgError::UnknownNode(_))));
+        // Edges from a and b into mul are gone too.
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn replace_uses_rewires_consumers() {
+        let (mut g, _a, _b, c, mul, add, _out) = mac_graph();
+        // Replace uses of mul's output with c: add.0 should now be driven by c.
+        let moved = g.replace_uses(mul, 0, c, 0).unwrap();
+        assert_eq!(moved, 1);
+        assert_eq!(g.input_source(add, 0).unwrap().node, c);
+        assert!(g.output_sinks(mul, 0).is_empty());
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let (g, ..) = mac_graph();
+        let order = g.topo_order().unwrap();
+        assert_eq!(order.len(), 6);
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for (_, edge) in g.edges() {
+            assert!(pos[&edge.from.node] < pos[&edge.to.node]);
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = Cdfg::new("cyc");
+        let x = g.add_node(NodeKind::Copy);
+        let y = g.add_node(NodeKind::Copy);
+        g.connect(x, 0, y, 0).unwrap();
+        g.connect(y, 0, x, 0).unwrap();
+        assert!(!g.is_acyclic());
+        assert!(matches!(g.topo_order(), Err(CdfgError::CycleDetected)));
+    }
+
+    #[test]
+    fn compact_preserves_structure() {
+        let (mut g, _a, _b, _c, mul, _add, _out) = mac_graph();
+        g.remove_node(mul).unwrap();
+        let (compacted, remap) = g.compact();
+        assert_eq!(compacted.node_count(), 5);
+        assert_eq!(compacted.edge_count(), g.edge_count());
+        assert_eq!(remap.len(), 5);
+        assert_eq!(compacted.node_bound(), 5);
+    }
+
+    #[test]
+    fn splice_copies_everything() {
+        let (mut g, ..) = mac_graph();
+        let (other, ..) = mac_graph();
+        let before_nodes = g.node_count();
+        let before_edges = g.edge_count();
+        let remap = g.splice(&other);
+        assert_eq!(g.node_count(), before_nodes * 2);
+        assert_eq!(g.edge_count(), before_edges * 2);
+        assert_eq!(remap.len(), before_nodes);
+    }
+
+    #[test]
+    fn interface_lookup() {
+        let (g, a, ..) = mac_graph();
+        assert_eq!(g.input_named("a"), Some(a));
+        assert_eq!(g.input_named("missing"), None);
+        assert!(g.output_named("out").is_some());
+    }
+}

@@ -1,0 +1,92 @@
+//! Strongly typed identifiers for graph entities.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`Cdfg`](crate::Cdfg).
+///
+/// `NodeId`s are only meaningful for the graph that created them; they are
+/// never reused after a node has been removed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of an edge inside a [`Cdfg`](crate::Cdfg).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of this node (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index.
+    ///
+    /// Intended for dense side tables and tests; a `NodeId` fabricated for an
+    /// index that does not exist in the graph will be rejected by graph
+    /// accessors.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl EdgeId {
+    /// Raw index of this edge (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn edge_id_round_trip() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "e7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(9));
+    }
+}

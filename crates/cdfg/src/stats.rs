@@ -1,0 +1,157 @@
+//! Census of a CDFG: node counts per category.
+//!
+//! The Fig. 3 experiment (FIR filter CDFG after full unrolling and
+//! simplification) is reported as a node census, so the census is a
+//! first-class type here.
+
+use crate::graph::Cdfg;
+use crate::node::NodeKind;
+use std::fmt;
+
+/// Node counts per category for one graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GraphStats {
+    /// Total number of live nodes.
+    pub nodes: usize,
+    /// Total number of live edges.
+    pub edges: usize,
+    /// `Input` nodes.
+    pub inputs: usize,
+    /// `Output` nodes.
+    pub outputs: usize,
+    /// `Const` nodes.
+    pub constants: usize,
+    /// Binary arithmetic/logic operations.
+    pub binops: usize,
+    /// Unary operations.
+    pub unops: usize,
+    /// Multiplexers.
+    pub muxes: usize,
+    /// `ST` store primitives.
+    pub stores: usize,
+    /// `FE` fetch primitives.
+    pub fetches: usize,
+    /// `DEL` delete primitives.
+    pub deletes: usize,
+    /// `Copy` nodes.
+    pub copies: usize,
+    /// Structured loop nodes.
+    pub loops: usize,
+    /// Multiplications (subset of `binops`, reported separately because the
+    /// FIR figure distinguishes `*` and `+`).
+    pub multiplies: usize,
+    /// Additions (subset of `binops`).
+    pub additions: usize,
+}
+
+impl GraphStats {
+    /// Computes the census of a graph.
+    pub fn of(graph: &Cdfg) -> Self {
+        let mut s = GraphStats {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            ..GraphStats::default()
+        };
+        for (_, node) in graph.nodes() {
+            match &node.kind {
+                NodeKind::Input(_) => s.inputs += 1,
+                NodeKind::Output(_) => s.outputs += 1,
+                NodeKind::Const(_) => s.constants += 1,
+                NodeKind::BinOp(op) => {
+                    s.binops += 1;
+                    match op {
+                        crate::node::BinOp::Mul => s.multiplies += 1,
+                        crate::node::BinOp::Add => s.additions += 1,
+                        _ => {}
+                    }
+                }
+                NodeKind::UnOp(_) => s.unops += 1,
+                NodeKind::Mux => s.muxes += 1,
+                NodeKind::Store => s.stores += 1,
+                NodeKind::Fetch => s.fetches += 1,
+                NodeKind::Delete => s.deletes += 1,
+                NodeKind::Copy => s.copies += 1,
+                NodeKind::Loop(_) => s.loops += 1,
+            }
+        }
+        s
+    }
+
+    /// Number of nodes that occupy an ALU when mapped (computation nodes).
+    pub fn computation_nodes(&self) -> usize {
+        self.binops + self.unops + self.muxes + self.stores + self.fetches + self.deletes
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes: {:4}  edges: {:4}", self.nodes, self.edges)?;
+        writeln!(
+            f,
+            "  interface: {} in / {} out, const: {}",
+            self.inputs, self.outputs, self.constants
+        )?;
+        writeln!(
+            f,
+            "  ops: {} binary ({} mul, {} add), {} unary, {} mux",
+            self.binops, self.multiplies, self.additions, self.unops, self.muxes
+        )?;
+        writeln!(
+            f,
+            "  statespace: {} ST, {} FE, {} DEL",
+            self.stores, self.fetches, self.deletes
+        )?;
+        write!(f, "  other: {} copy, {} loop", self.copies, self.loops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BinOp;
+
+    #[test]
+    fn census_counts_every_category() {
+        let mut g = Cdfg::new("t");
+        let mem = g.add_node(NodeKind::Input("mem".into()));
+        let a0 = g.add_node(NodeKind::Const(0));
+        let fe = g.add_node(NodeKind::Fetch);
+        let two = g.add_node(NodeKind::Const(2));
+        let mul = g.add_node(NodeKind::BinOp(BinOp::Mul));
+        let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let st = g.add_node(NodeKind::Store);
+        let out = g.add_node(NodeKind::Output("mem".into()));
+        g.connect(mem, 0, fe, 0).unwrap();
+        g.connect(a0, 0, fe, 1).unwrap();
+        g.connect(fe, 0, mul, 0).unwrap();
+        g.connect(two, 0, mul, 1).unwrap();
+        g.connect(mul, 0, add, 0).unwrap();
+        g.connect(fe, 0, add, 1).unwrap();
+        g.connect(mem, 0, st, 0).unwrap();
+        g.connect(a0, 0, st, 1).unwrap();
+        g.connect(add, 0, st, 2).unwrap();
+        g.connect(st, 0, out, 0).unwrap();
+
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 8);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.constants, 2);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.multiplies, 1);
+        assert_eq!(s.additions, 1);
+        assert_eq!(s.computation_nodes(), 4);
+        let text = s.to_string();
+        assert!(text.contains("1 ST"));
+        assert!(text.contains("1 FE"));
+    }
+
+    #[test]
+    fn census_of_empty_graph() {
+        let s = GraphStats::of(&Cdfg::new("e"));
+        assert_eq!(s, GraphStats::default());
+        assert_eq!(s.computation_nodes(), 0);
+    }
+}

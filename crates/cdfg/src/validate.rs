@@ -1,0 +1,243 @@
+//! Well-formedness checking of CDFGs.
+
+use crate::error::CdfgError;
+use crate::graph::Cdfg;
+use crate::node::{LoopSpec, NodeKind};
+use std::collections::HashSet;
+
+/// Checks that a graph is well formed:
+///
+/// * every input port of every node is driven by exactly one edge;
+/// * every edge refers to live nodes and in-range ports;
+/// * the graph is acyclic (cycles only exist *inside* loop bodies, which are
+///   separate graphs);
+/// * interface names (`Input`, `Output`) are unique within their direction;
+/// * loop specifications are internally consistent (condition graph exposes
+///   `%cond`, body produces every carried variable) and their sub-graphs are
+///   themselves valid.
+///
+/// # Errors
+/// The first problem found is returned as a [`CdfgError`].
+pub fn validate(graph: &Cdfg) -> Result<(), CdfgError> {
+    // Port connectivity.
+    for (id, node) in graph.nodes() {
+        for port in 0..node.input_count() {
+            if node.input_edge(port).is_none() {
+                return Err(CdfgError::PortUnconnected { node: id, port });
+            }
+        }
+    }
+
+    // Edge endpoints refer to live nodes and valid ports (connect() enforces
+    // this at insertion time, but transformations may have removed nodes).
+    for (_, edge) in graph.edges() {
+        let from = graph.node(edge.from.node)?;
+        if edge.from.port_index() >= from.output_count() {
+            return Err(CdfgError::PortOutOfRange {
+                node: edge.from.node,
+                port: edge.from.port_index(),
+                arity: from.output_count(),
+                is_input: false,
+            });
+        }
+        let to = graph.node(edge.to.node)?;
+        if edge.to.port_index() >= to.input_count() {
+            return Err(CdfgError::PortOutOfRange {
+                node: edge.to.node,
+                port: edge.to.port_index(),
+                arity: to.input_count(),
+                is_input: true,
+            });
+        }
+    }
+
+    // Acyclicity.
+    graph.topo_order()?;
+
+    // Unique interface names.
+    let mut seen_in = HashSet::new();
+    for (name, _) in graph.inputs() {
+        if !seen_in.insert(name.clone()) {
+            return Err(CdfgError::DuplicateName(name));
+        }
+    }
+    let mut seen_out = HashSet::new();
+    for (name, _) in graph.outputs() {
+        if !seen_out.insert(name.clone()) {
+            return Err(CdfgError::DuplicateName(name));
+        }
+    }
+
+    // Loop specifications.
+    for (id, node) in graph.nodes() {
+        if let NodeKind::Loop(spec) = &node.kind {
+            validate_loop(graph, id, spec)?;
+        }
+    }
+
+    Ok(())
+}
+
+fn validate_loop(
+    graph: &Cdfg,
+    id: crate::ids::NodeId,
+    spec: &LoopSpec,
+) -> Result<(), CdfgError> {
+    let _ = graph;
+    if spec.vars.is_empty() {
+        return Err(CdfgError::MalformedLoop {
+            node: id,
+            reason: "loop has no carried variables".into(),
+        });
+    }
+    let mut seen = HashSet::new();
+    for var in &spec.vars {
+        if !seen.insert(var.clone()) {
+            return Err(CdfgError::MalformedLoop {
+                node: id,
+                reason: format!("duplicate loop variable `{var}`"),
+            });
+        }
+    }
+    // Condition graph must expose %cond and may only read carried variables.
+    if spec.cond.output_named(LoopSpec::COND_OUTPUT).is_none() {
+        return Err(CdfgError::MalformedLoop {
+            node: id,
+            reason: format!("condition graph lacks `{}` output", LoopSpec::COND_OUTPUT),
+        });
+    }
+    for (name, _) in spec.cond.inputs() {
+        if !spec.vars.contains(&name) {
+            return Err(CdfgError::MalformedLoop {
+                node: id,
+                reason: format!("condition graph reads `{name}` which is not loop carried"),
+            });
+        }
+    }
+    // Body graph must produce every carried variable and only read carried
+    // variables.
+    for var in &spec.vars {
+        if spec.body.output_named(var).is_none() {
+            return Err(CdfgError::MalformedLoop {
+                node: id,
+                reason: format!("body graph does not produce `{var}`"),
+            });
+        }
+    }
+    for (name, _) in spec.body.inputs() {
+        if !spec.vars.contains(&name) {
+            return Err(CdfgError::MalformedLoop {
+                node: id,
+                reason: format!("body graph reads `{name}` which is not loop carried"),
+            });
+        }
+    }
+    // Sub-graphs must themselves be valid.
+    validate(&spec.cond).map_err(|e| CdfgError::MalformedLoop {
+        node: id,
+        reason: format!("condition graph invalid: {e}"),
+    })?;
+    validate(&spec.body).map_err(|e| CdfgError::MalformedLoop {
+        node: id,
+        reason: format!("body graph invalid: {e}"),
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BinOp;
+
+    #[test]
+    fn accepts_valid_graph() {
+        let mut g = Cdfg::new("ok");
+        let a = g.add_node(NodeKind::Input("a".into()));
+        let b = g.add_node(NodeKind::Input("b".into()));
+        let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let out = g.add_node(NodeKind::Output("r".into()));
+        g.connect(a, 0, add, 0).unwrap();
+        g.connect(b, 0, add, 1).unwrap();
+        g.connect(add, 0, out, 0).unwrap();
+        assert!(validate(&g).is_ok());
+    }
+
+    #[test]
+    fn rejects_unconnected_port() {
+        let mut g = Cdfg::new("bad");
+        let a = g.add_node(NodeKind::Input("a".into()));
+        let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+        g.connect(a, 0, add, 0).unwrap();
+        assert!(matches!(
+            validate(&g),
+            Err(CdfgError::PortUnconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_input_names() {
+        let mut g = Cdfg::new("bad");
+        let a1 = g.add_node(NodeKind::Input("a".into()));
+        let a2 = g.add_node(NodeKind::Input("a".into()));
+        let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+        let out = g.add_node(NodeKind::Output("r".into()));
+        g.connect(a1, 0, add, 0).unwrap();
+        g.connect(a2, 0, add, 1).unwrap();
+        g.connect(add, 0, out, 0).unwrap();
+        assert_eq!(validate(&g), Err(CdfgError::DuplicateName("a".into())));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut g = Cdfg::new("bad");
+        let c1 = g.add_node(NodeKind::Copy);
+        let c2 = g.add_node(NodeKind::Copy);
+        g.connect(c1, 0, c2, 0).unwrap();
+        g.connect(c2, 0, c1, 0).unwrap();
+        assert_eq!(validate(&g), Err(CdfgError::CycleDetected));
+    }
+
+    #[test]
+    fn rejects_malformed_loop_spec() {
+        // Loop with empty variable list.
+        let spec = LoopSpec {
+            vars: vec![],
+            cond: Cdfg::new("c"),
+            body: Cdfg::new("b"),
+        };
+        let mut g = Cdfg::new("bad");
+        let _lp = g.add_node(NodeKind::Loop(Box::new(spec)));
+        assert!(matches!(
+            validate(&g),
+            Err(CdfgError::MalformedLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_loop_without_cond_output() {
+        let mut cond = Cdfg::new("c");
+        let i = cond.add_node(NodeKind::Input("i".into()));
+        let o = cond.add_node(NodeKind::Output("not_cond".into()));
+        cond.connect(i, 0, o, 0).unwrap();
+
+        let mut body = Cdfg::new("b");
+        let bi = body.add_node(NodeKind::Input("i".into()));
+        let bo = body.add_node(NodeKind::Output("i".into()));
+        body.connect(bi, 0, bo, 0).unwrap();
+
+        let spec = LoopSpec {
+            vars: vec!["i".into()],
+            cond,
+            body,
+        };
+        let mut g = Cdfg::new("bad");
+        let i0 = g.add_node(NodeKind::Const(0));
+        let lp = g.add_node(NodeKind::Loop(Box::new(spec)));
+        let out = g.add_node(NodeKind::Output("r".into()));
+        g.connect(i0, 0, lp, 0).unwrap();
+        g.connect(lp, 0, out, 0).unwrap();
+        let err = validate(&g).unwrap_err();
+        assert!(matches!(err, CdfgError::MalformedLoop { .. }));
+        assert!(err.to_string().contains("%cond"));
+    }
+}

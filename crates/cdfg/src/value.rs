@@ -1,0 +1,119 @@
+//! Runtime values flowing along CDFG edges.
+
+use crate::statespace::StateSpace;
+use std::fmt;
+
+/// A value produced by a CDFG node during interpretation.
+///
+/// Edges of the CDFG either carry machine words (the FPFA is a word-level
+/// reconfigurable architecture) or a *statespace* token representing the whole
+/// abstract C memory (Section IV of the paper).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// A signed machine word. Booleans are encoded as `0` / `1`.
+    Word(i64),
+    /// A statespace token: the abstract set of `(address, data)` tuples.
+    State(StateSpace),
+}
+
+impl Value {
+    /// Returns the contained word, if this value is a word.
+    pub fn as_word(&self) -> Option<i64> {
+        match self {
+            Value::Word(w) => Some(*w),
+            Value::State(_) => None,
+        }
+    }
+
+    /// Returns a reference to the contained statespace, if any.
+    pub fn as_state(&self) -> Option<&StateSpace> {
+        match self {
+            Value::Word(_) => None,
+            Value::State(s) => Some(s),
+        }
+    }
+
+    /// Consumes the value and returns the statespace, if any.
+    pub fn into_state(self) -> Option<StateSpace> {
+        match self {
+            Value::Word(_) => None,
+            Value::State(s) => Some(s),
+        }
+    }
+
+    /// `true` when the value is a word and non-zero (C truthiness).
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Word(w) if *w != 0)
+    }
+
+    /// Short human-readable tag used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Word(_) => "word",
+            Value::State(_) => "statespace",
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(w: i64) -> Self {
+        Value::Word(w)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Word(i64::from(b))
+    }
+}
+
+impl From<StateSpace> for Value {
+    fn from(s: StateSpace) -> Self {
+        Value::State(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Word(w) => write!(f, "{w}"),
+            Value::State(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_conversions() {
+        let v = Value::from(12);
+        assert_eq!(v.as_word(), Some(12));
+        assert!(v.as_state().is_none());
+        assert!(v.is_truthy());
+        assert!(!Value::from(0).is_truthy());
+        assert_eq!(Value::from(true), Value::Word(1));
+        assert_eq!(Value::from(false), Value::Word(0));
+    }
+
+    #[test]
+    fn state_conversions() {
+        let mut ss = StateSpace::new();
+        ss.store(3, 9);
+        let v = Value::from(ss.clone());
+        assert_eq!(v.as_state(), Some(&ss));
+        assert!(v.as_word().is_none());
+        assert!(!v.is_truthy());
+        assert_eq!(v.kind_name(), "statespace");
+        assert_eq!(v.into_state(), Some(ss));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Word(-4).to_string(), "-4");
+        let mut ss = StateSpace::new();
+        ss.store(1, 2);
+        assert!(Value::State(ss).to_string().contains("(1, 2)"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests on the CDFG container and interpreter.
+
+use fpfa_cdfg::builder::Wire;
+use fpfa_cdfg::interp::Interpreter;
+use fpfa_cdfg::{analysis, BinOp, Cdfg, CdfgBuilder, GraphStats, NodeKind, UnOp, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A recipe for building a random expression DAG: each step either introduces
+/// a constant/input leaf or combines two previously built values.
+#[derive(Clone, Debug)]
+enum Step {
+    Const(i64),
+    Input,
+    Bin(BinOp, usize, usize),
+    Un(UnOp, usize),
+    Mux(usize, usize, usize),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Lt),
+        Just(BinOp::Max),
+        Just(BinOp::Min),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-100i64..100).prop_map(Step::Const),
+        Just(Step::Input),
+        (arb_binop(), any::<usize>(), any::<usize>()).prop_map(|(op, a, b)| Step::Bin(op, a, b)),
+        (
+            prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)],
+            any::<usize>()
+        )
+            .prop_map(|(op, a)| Step::Un(op, a)),
+        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(c, a, b)| Step::Mux(c, a, b)),
+    ]
+}
+
+/// Builds a graph from a recipe; returns the graph and the number of inputs.
+fn build(steps: &[Step]) -> (Cdfg, usize) {
+    let mut b = CdfgBuilder::new("random");
+    let mut wires: Vec<Wire> = Vec::new();
+    let mut inputs = 0usize;
+    for step in steps {
+        let wire = match step {
+            Step::Const(v) => b.constant(*v),
+            Step::Input => {
+                let w = b.input(format!("x{inputs}"));
+                inputs += 1;
+                w
+            }
+            Step::Bin(op, a, c) => {
+                if wires.is_empty() {
+                    b.constant(1)
+                } else {
+                    let a = wires[a % wires.len()];
+                    let c = wires[c % wires.len()];
+                    b.binop(*op, a, c)
+                }
+            }
+            Step::Un(op, a) => {
+                if wires.is_empty() {
+                    b.constant(1)
+                } else {
+                    b.unop(*op, wires[a % wires.len()])
+                }
+            }
+            Step::Mux(c, t, e) => {
+                if wires.is_empty() {
+                    b.constant(1)
+                } else {
+                    let c = wires[c % wires.len()];
+                    let t = wires[t % wires.len()];
+                    let e = wires[e % wires.len()];
+                    b.mux(c, t, e)
+                }
+            }
+        };
+        wires.push(wire);
+    }
+    let last = *wires.last().expect("at least one step");
+    b.output("result", last);
+    (b.finish().expect("recipe graphs are well formed"), inputs)
+}
+
+fn bind_inputs(interp: &mut Interpreter<'_>, inputs: usize, values: &[i64]) {
+    for i in 0..inputs {
+        let v = values.get(i).copied().unwrap_or(0);
+        interp.bind(format!("x{i}"), Value::Word(v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_graphs_are_acyclic_and_topologically_orderable(
+        steps in prop::collection::vec(arb_step(), 1..40),
+    ) {
+        let (graph, _) = build(&steps);
+        prop_assert!(graph.is_acyclic());
+        let order = graph.topo_order().unwrap();
+        prop_assert_eq!(order.len(), graph.node_count());
+        let position: HashMap<_, _> = order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for (_, edge) in graph.edges() {
+            prop_assert!(position[&edge.from.node] < position[&edge.to.node]);
+        }
+    }
+
+    #[test]
+    fn interpretation_is_deterministic(
+        steps in prop::collection::vec(arb_step(), 1..40),
+        values in prop::collection::vec(-50i64..50, 0..12),
+    ) {
+        let (graph, inputs) = build(&steps);
+        let run = || {
+            let mut interp = Interpreter::new(&graph);
+            bind_inputs(&mut interp, inputs, &values);
+            interp.run()
+        };
+        match (run(), run()) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.sorted(), b.sorted()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "non-deterministic outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_interpretation(
+        steps in prop::collection::vec(arb_step(), 1..30),
+        values in prop::collection::vec(-50i64..50, 0..12),
+    ) {
+        let (graph, inputs) = build(&steps);
+        let (compacted, _) = graph.compact();
+        let run = |g: &Cdfg| {
+            let mut interp = Interpreter::new(g);
+            bind_inputs(&mut interp, inputs, &values);
+            interp.run().map(|r| r.word("result"))
+        };
+        match (run(&graph), run(&compacted)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "compaction changed behaviour: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn levels_respect_dependences(
+        steps in prop::collection::vec(arb_step(), 1..40),
+    ) {
+        let (graph, _) = build(&steps);
+        let info = analysis::levelize(&graph).unwrap();
+        for (_, edge) in graph.edges() {
+            let from_level = info.asap[&edge.from.node];
+            let to_level = info.asap[&edge.to.node];
+            prop_assert!(from_level <= to_level);
+            // Mobility is always non-negative and consistent.
+            prop_assert!(info.alap[&edge.from.node] >= info.asap[&edge.from.node]);
+        }
+        prop_assert!(info.depth <= graph.node_count());
+    }
+
+    #[test]
+    fn stats_census_counts_every_node(
+        steps in prop::collection::vec(arb_step(), 1..40),
+    ) {
+        let (graph, _) = build(&steps);
+        let stats = GraphStats::of(&graph);
+        let by_kind: usize = graph
+            .nodes()
+            .map(|(_, n)| match n.kind {
+                NodeKind::Loop(_) => 1,
+                _ => 1,
+            })
+            .sum();
+        prop_assert_eq!(stats.nodes, by_kind);
+        prop_assert_eq!(stats.edges, graph.edge_count());
+        prop_assert!(stats.computation_nodes() <= stats.nodes);
+    }
+
+    #[test]
+    fn dot_export_never_panics_and_mentions_every_node(
+        steps in prop::collection::vec(arb_step(), 1..25),
+    ) {
+        let (graph, _) = build(&steps);
+        let dot = fpfa_cdfg::dot::to_dot(&graph);
+        prop_assert!(dot.lines().count() >= graph.node_count());
+    }
+}

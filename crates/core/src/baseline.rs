@@ -1,0 +1,98 @@
+//! Baseline mappings used as comparison points in the evaluation.
+//!
+//! The paper's claims are relative: clustering plus five ALUs exploits
+//! "maximum parallelism" compared with sequential execution, and locality of
+//! reference reduces memory traffic and energy compared with a memory-only
+//! allocator. These baselines make those comparisons concrete:
+//!
+//! * [`sequential`] — a single-PP tile whose ALU executes one operation per
+//!   cycle (what a simple embedded processor core would do);
+//! * [`unclustered`] — the five-PP tile with phase-1 clustering disabled
+//!   (every operation is its own cluster), isolating the contribution of the
+//!   data-path mapping;
+//! * [`no_locality`] — the full mapper but with the allocator's locality
+//!   levers disabled (every operand is re-read from memory, clusters are
+//!   placed round-robin).
+
+use crate::error::MapError;
+use crate::pipeline::{Mapper, MappingResult};
+use fpfa_arch::{AluCapability, TileConfig};
+
+/// Maps `source` onto a single-ALU tile executing one operation per cycle.
+///
+/// # Errors
+/// Propagates mapping errors.
+pub fn sequential(source: &str) -> Result<MappingResult, MapError> {
+    let config = TileConfig::single_alu().with_alu(AluCapability::single_op());
+    Mapper::new()
+        .with_config(config)
+        .without_clustering()
+        .map_source(source)
+}
+
+/// Maps `source` onto the paper tile with clustering disabled.
+///
+/// # Errors
+/// Propagates mapping errors.
+pub fn unclustered(source: &str) -> Result<MappingResult, MapError> {
+    Mapper::new().without_clustering().map_source(source)
+}
+
+/// Maps `source` onto the paper tile with locality of reference disabled.
+///
+/// # Errors
+/// Propagates mapping errors.
+pub fn no_locality(source: &str) -> Result<MappingResult, MapError> {
+    Mapper::new().without_locality().map_source(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOT: &str = r#"
+        void main() {
+            int x[6];
+            int y[6];
+            int acc;
+            int i;
+            acc = 0; i = 0;
+            while (i < 6) { acc = acc + x[i] * y[i]; i = i + 1; }
+        }
+    "#;
+
+    #[test]
+    fn sequential_baseline_uses_one_alu() {
+        let result = sequential(DOT).unwrap();
+        assert_eq!(result.report.alus_used, 1);
+        // One op per cluster on the sequential baseline.
+        assert_eq!(result.report.clusters, result.report.operations);
+    }
+
+    #[test]
+    fn full_mapper_beats_the_sequential_baseline() {
+        let fast = Mapper::new().map_source(DOT).unwrap();
+        let slow = sequential(DOT).unwrap();
+        assert!(
+            fast.report.cycles < slow.report.cycles,
+            "clustered 5-ALU mapping ({}) should need fewer cycles than sequential ({})",
+            fast.report.cycles,
+            slow.report.cycles
+        );
+    }
+
+    #[test]
+    fn unclustered_baseline_has_more_clusters() {
+        let clustered = Mapper::new().map_source(DOT).unwrap();
+        let flat = unclustered(DOT).unwrap();
+        assert!(flat.report.clusters > clustered.report.clusters);
+    }
+
+    #[test]
+    fn no_locality_baseline_reads_memory_more_often() {
+        let with = Mapper::new().map_source(DOT).unwrap();
+        let without = no_locality(DOT).unwrap();
+        assert!(without.report.register_hits <= with.report.register_hits);
+        assert!(without.report.register_misses >= with.report.register_misses);
+    }
+}

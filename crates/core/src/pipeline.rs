@@ -1,0 +1,219 @@
+//! End-to-end mapping pipeline: C source → CDFG → transformations →
+//! clustering → scheduling → allocation.
+
+use crate::allocate::Allocator;
+use crate::cluster::{ClusteredGraph, Clusterer};
+use crate::dfg::MappingGraph;
+use crate::error::MapError;
+use crate::program::TileProgram;
+use crate::report::MappingReport;
+use crate::schedule::{Schedule, Scheduler};
+use fpfa_arch::TileConfig;
+use fpfa_cdfg::Cdfg;
+use fpfa_frontend::MemoryLayout;
+use fpfa_transform::Pipeline as TransformPipeline;
+use std::time::Instant;
+
+/// Everything produced by one mapping run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MappingResult {
+    /// The CDFG after the transformation pipeline.
+    pub simplified: Cdfg,
+    /// The extracted mapping IR.
+    pub mapping_graph: MappingGraph,
+    /// The clustering of phase 1.
+    pub clustered: ClusteredGraph,
+    /// The level schedule of phase 2.
+    pub schedule: Schedule,
+    /// The allocated tile program of phase 3.
+    pub program: TileProgram,
+    /// Headline statistics.
+    pub report: MappingReport,
+    /// Statespace layout of the source program's arrays (empty for mappings
+    /// that started from a hand-built CDFG).
+    pub layout: MemoryLayout,
+}
+
+/// The configurable end-to-end mapper.
+#[derive(Clone, Debug)]
+pub struct Mapper {
+    config: TileConfig,
+    clustering: bool,
+    locality: bool,
+    simplify: bool,
+}
+
+impl Mapper {
+    /// Creates a mapper targeting the paper's five-PP tile with all
+    /// optimisations enabled.
+    pub fn new() -> Self {
+        Mapper {
+            config: TileConfig::paper(),
+            clustering: true,
+            locality: true,
+            simplify: true,
+        }
+    }
+
+    /// Targets a different tile configuration.
+    pub fn with_config(mut self, config: TileConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Disables phase-1 clustering (one operation per cluster) — ablation A1.
+    pub fn without_clustering(mut self) -> Self {
+        self.clustering = false;
+        self
+    }
+
+    /// Disables locality of reference in the allocator — experiment T2
+    /// baseline.
+    pub fn without_locality(mut self) -> Self {
+        self.locality = false;
+        self
+    }
+
+    /// Skips the CDFG simplification pipeline (the graph must already be
+    /// loop-free).
+    pub fn without_simplification(mut self) -> Self {
+        self.simplify = false;
+        self
+    }
+
+    /// The tile configuration this mapper targets.
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+
+    /// Maps a C-subset source string.
+    ///
+    /// # Errors
+    /// Propagates frontend, transformation and mapping errors.
+    pub fn map_source(&self, source: &str) -> Result<MappingResult, MapError> {
+        let program = fpfa_frontend::compile(source)?;
+        self.map_cdfg_with_layout(&program.cdfg, program.layout)
+    }
+
+    /// Maps an already-built CDFG.
+    ///
+    /// # Errors
+    /// Propagates transformation and mapping errors.
+    pub fn map_cdfg(&self, cdfg: &Cdfg) -> Result<MappingResult, MapError> {
+        self.map_cdfg_with_layout(cdfg, MemoryLayout::new())
+    }
+
+    fn map_cdfg_with_layout(
+        &self,
+        cdfg: &Cdfg,
+        layout: MemoryLayout,
+    ) -> Result<MappingResult, MapError> {
+        let mut simplified = cdfg.clone();
+        if self.simplify {
+            TransformPipeline::standard().run(&mut simplified)?;
+        }
+        let mapping_graph = MappingGraph::from_cdfg(&simplified)?;
+
+        let started = Instant::now();
+        let clusterer = if self.clustering {
+            Clusterer::new(self.config.alu)
+        } else {
+            Clusterer::disabled(self.config.alu)
+        };
+        let clustered = clusterer.cluster(&mapping_graph)?;
+        let schedule = Scheduler::new(self.config.num_pps).schedule(&clustered)?;
+        let allocator = if self.locality {
+            Allocator::new(self.config)
+        } else {
+            Allocator::new(self.config).without_locality()
+        };
+        let program = allocator.allocate(&mapping_graph, &clustered, &schedule)?;
+        let mapping_time_us = started.elapsed().as_micros();
+
+        let mut report = MappingReport {
+            kernel: mapping_graph.name.clone(),
+            operations: mapping_graph.op_count(),
+            clusters: clustered.len(),
+            critical_path: clustered.critical_path(),
+            levels: schedule.level_count(),
+            mapping_time_us,
+            ..MappingReport::default()
+        };
+        report.absorb_program(&program);
+
+        Ok(MappingResult {
+            simplified,
+            mapping_graph,
+            clustered,
+            schedule,
+            program,
+            report,
+            layout,
+        })
+    }
+}
+
+impl Default for Mapper {
+    fn default() -> Self {
+        Mapper::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIR: &str = r#"
+        void main() {
+            int a[5];
+            int c[5];
+            int sum;
+            int i;
+            sum = 0; i = 0;
+            while (i < 5) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+    "#;
+
+    #[test]
+    fn maps_the_paper_example_end_to_end() {
+        let result = Mapper::new().map_source(FIR).unwrap();
+        assert_eq!(result.mapping_graph.multiply_count(), 5);
+        assert!(result.report.clusters <= result.report.operations);
+        assert!(result.report.levels >= result.report.critical_path);
+        assert!(result.report.cycles >= result.report.levels);
+        assert!(result.report.alus_used <= 5);
+        assert!(result.layout.array("a").is_some());
+    }
+
+    #[test]
+    fn clustering_ablation_increases_levels_or_keeps_them() {
+        let with = Mapper::new().map_source(FIR).unwrap();
+        let without = Mapper::new().without_clustering().map_source(FIR).unwrap();
+        assert!(without.report.clusters >= with.report.clusters);
+        assert!(without.report.levels >= with.report.levels);
+    }
+
+    #[test]
+    fn single_alu_configuration_is_slower() {
+        let five = Mapper::new().map_source(FIR).unwrap();
+        let one = Mapper::new()
+            .with_config(fpfa_arch::TileConfig::single_alu())
+            .map_source(FIR)
+            .unwrap();
+        assert!(one.report.cycles >= five.report.cycles);
+        assert_eq!(one.report.alus_used, 1);
+    }
+
+    #[test]
+    fn frontend_errors_are_propagated() {
+        let err = Mapper::new().map_source("void main() { x = 1; }").unwrap_err();
+        assert!(matches!(err, MapError::Frontend(_)));
+    }
+
+    #[test]
+    fn unresolvable_loops_are_reported() {
+        let src = "void main() { int n; int s; int i; s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } }";
+        let err = Mapper::new().map_source(src).unwrap_err();
+        assert!(matches!(err, MapError::Transform(_)));
+    }
+}

@@ -1,0 +1,293 @@
+//! The tile program: "the job of an FPFA tile for each clock cycle" (Fig. 5).
+//!
+//! A [`TileProgram`] is the output of the resource-allocation phase and the
+//! input of the cycle-accurate simulator. Each [`CycleJob`] lists, for one
+//! clock cycle,
+//!
+//! * the register loads ([`MoveJob`]) that bring operands from a local memory
+//!   into a register bank,
+//! * the ALU work of every processing part ([`AluJob`]),
+//! * the write-backs ([`WritebackJob`]) that commit ALU results to a local
+//!   memory over the crossbar.
+//!
+//! The program also records the pre-load image (where kernel inputs and
+//! statespace words live before cycle 0), where every scalar output can be
+//! read after the last cycle, and the mapping from statespace addresses to
+//! physical memory words.
+
+use crate::cluster::ClusterId;
+use crate::dfg::{OpId, OpKind, ValueRef};
+use fpfa_arch::{MemRef, PpId, RegRef, TileConfig};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a word lives on the tile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Location {
+    /// In a register.
+    Reg(RegRef),
+    /// In a local memory word.
+    Mem(MemRef),
+    /// Nowhere: the value is a compile-time constant.
+    Constant(i64),
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Reg(r) => write!(f, "{r}"),
+            Location::Mem(m) => write!(f, "{m}"),
+            Location::Constant(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+/// Source of one ALU operand.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OperandSource {
+    /// Read from a register of the executing PP.
+    Register(RegRef),
+    /// An immediate from the configuration.
+    Immediate(i64),
+    /// The result of an earlier micro-operation of the same cluster (ALU
+    /// internal forwarding).
+    Internal(usize),
+}
+
+/// One operation executed inside an ALU cluster.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MicroOp {
+    /// The mapping-graph operation this micro-op implements.
+    pub op: OpId,
+    /// What it computes.
+    pub kind: OpKind,
+    /// Operand sources in port order.
+    pub operands: Vec<OperandSource>,
+}
+
+/// The work of one ALU in one cycle: a cluster of micro-operations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AluJob {
+    /// The processing part executing the cluster.
+    pub pp: PpId,
+    /// The cluster being executed.
+    pub cluster: ClusterId,
+    /// Micro-operations in dependence order.
+    pub micro_ops: Vec<MicroOp>,
+}
+
+/// A register load: one word moved from a local memory into a register.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MoveJob {
+    /// The value being moved (for tracing).
+    pub value: ValueRef,
+    /// Source memory word.
+    pub src: MemRef,
+    /// Destination register.
+    pub dst: RegRef,
+    /// `true` when the move crosses processing parts and therefore occupies a
+    /// crossbar bus.
+    pub via_crossbar: bool,
+}
+
+/// A write-back: an ALU result committed to a local memory.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WritebackJob {
+    /// The operation whose result is written.
+    pub op: OpId,
+    /// The processing part that produced the result.
+    pub src_pp: PpId,
+    /// Destination memory word.
+    pub dest: MemRef,
+    /// `true` when the write-back crosses processing parts over the crossbar.
+    pub via_crossbar: bool,
+}
+
+/// Everything the tile does in one clock cycle.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CycleJob {
+    /// Register loads performed this cycle.
+    pub moves: Vec<MoveJob>,
+    /// ALU work, at most one job per processing part.
+    pub alus: Vec<AluJob>,
+    /// Results committed to memory this cycle.
+    pub writebacks: Vec<WritebackJob>,
+}
+
+impl CycleJob {
+    /// `true` when the cycle does nothing (a pure stall).
+    pub fn is_idle(&self) -> bool {
+        self.moves.is_empty() && self.alus.is_empty() && self.writebacks.is_empty()
+    }
+
+    /// Number of ALUs busy this cycle.
+    pub fn busy_alus(&self) -> usize {
+        self.alus.len()
+    }
+}
+
+/// Counters filled in by the allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AllocationStats {
+    /// Total clock cycles of the program.
+    pub cycles: usize,
+    /// Cycles that only load registers (inserted by the Fig. 5 rule).
+    pub stall_cycles: usize,
+    /// ALU operations executed (micro-operations).
+    pub alu_ops: usize,
+    /// Operand reads satisfied from a register already holding the value.
+    pub register_hits: usize,
+    /// Operand reads that required a memory-to-register move.
+    pub register_misses: usize,
+    /// Results written back to memory.
+    pub mem_writebacks: usize,
+    /// Values routed over the crossbar (moves plus write-backs that cross
+    /// processing parts).
+    pub crossbar_transfers: usize,
+}
+
+impl AllocationStats {
+    /// Fraction of operand reads served by a register that already held the
+    /// value (`None` when nothing was read).
+    pub fn register_hit_rate(&self) -> Option<f64> {
+        let total = self.register_hits + self.register_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.register_hits as f64 / total as f64)
+        }
+    }
+}
+
+/// A fully allocated program for one FPFA tile.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TileProgram {
+    /// The tile configuration the program was allocated for.
+    pub config: TileConfig,
+    /// Per-cycle jobs.
+    pub cycles: Vec<CycleJob>,
+    /// Values that must be present in memory before cycle 0 (kernel inputs
+    /// and statespace words), with their locations.
+    pub preload: Vec<(ValueRef, MemRef)>,
+    /// Names of the scalar kernel inputs, indexed by
+    /// [`ValueRef::ScalarInput`].
+    pub scalar_input_names: Vec<String>,
+    /// Where each scalar output can be read after the last cycle.
+    pub scalar_outputs: Vec<(String, Location)>,
+    /// Physical location of every statespace address the kernel touches.
+    pub statespace_map: HashMap<i64, MemRef>,
+    /// Statespace addresses written by the kernel.
+    pub written_addresses: Vec<i64>,
+    /// Allocation counters.
+    pub stats: AllocationStats,
+}
+
+impl TileProgram {
+    /// Number of clock cycles.
+    pub fn cycle_count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Name of the scalar kernel input with the given index, if any.
+    pub fn scalar_input_name(&self, index: usize) -> Option<&str> {
+        self.scalar_input_names.get(index).map(String::as_str)
+    }
+
+    /// Average number of busy ALUs over all cycles.
+    pub fn alu_utilization(&self) -> f64 {
+        if self.cycles.is_empty() {
+            return 0.0;
+        }
+        let busy: usize = self.cycles.iter().map(CycleJob::busy_alus).sum();
+        busy as f64 / (self.cycles.len() * self.config.num_pps) as f64
+    }
+
+    /// Human-readable per-cycle listing (the Fig. 5 "job of an FPFA tile for
+    /// each clock cycle").
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, cycle) in self.cycles.iter().enumerate() {
+            out.push_str(&format!("cycle {i:3}:"));
+            if cycle.is_idle() {
+                out.push_str(" (idle)\n");
+                continue;
+            }
+            out.push('\n');
+            for mv in &cycle.moves {
+                out.push_str(&format!(
+                    "  move  {} -> {}   ({}{})\n",
+                    mv.src,
+                    mv.dst,
+                    mv.value,
+                    if mv.via_crossbar { ", crossbar" } else { "" }
+                ));
+            }
+            for alu in &cycle.alus {
+                let ops: Vec<String> = alu
+                    .micro_ops
+                    .iter()
+                    .map(|m| m.kind.mnemonic())
+                    .collect();
+                out.push_str(&format!(
+                    "  alu   pp{} executes {} [{}]\n",
+                    alu.pp,
+                    alu.cluster,
+                    ops.join(" ")
+                ));
+            }
+            for wb in &cycle.writebacks {
+                out.push_str(&format!(
+                    "  store {} -> {}{}\n",
+                    wb.op,
+                    wb.dest,
+                    if wb.via_crossbar { "   (crossbar)" } else { "" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_arch::{MemId, RegBankName};
+
+    #[test]
+    fn cycle_job_idleness() {
+        let mut job = CycleJob::default();
+        assert!(job.is_idle());
+        job.moves.push(MoveJob {
+            value: ValueRef::Const(0),
+            src: MemRef::new(0, MemId::Mem1, 0),
+            dst: RegRef::new(0, RegBankName::Ra, 0),
+            via_crossbar: false,
+        });
+        assert!(!job.is_idle());
+        assert_eq!(job.busy_alus(), 0);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = AllocationStats {
+            register_hits: 3,
+            register_misses: 1,
+            ..AllocationStats::default()
+        };
+        assert!((stats.register_hit_rate().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(AllocationStats::default().register_hit_rate(), None);
+    }
+
+    #[test]
+    fn location_display() {
+        assert_eq!(Location::Constant(5).to_string(), "#5");
+        assert_eq!(
+            Location::Mem(MemRef::new(1, MemId::Mem2, 3)).to_string(),
+            "pp1.MEM2[3]"
+        );
+        assert_eq!(
+            Location::Reg(RegRef::new(2, RegBankName::Rb, 1)).to_string(),
+            "pp2.Rb[1]"
+        );
+    }
+}

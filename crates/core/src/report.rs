@@ -1,0 +1,112 @@
+//! Summary statistics of one mapping run.
+
+use crate::program::TileProgram;
+use std::fmt;
+
+/// Headline numbers describing a mapping (used by the experiment tables).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MappingReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Operations in the mapping graph (after simplification).
+    pub operations: usize,
+    /// Number of clusters after phase 1.
+    pub clusters: usize,
+    /// Critical path of the cluster graph (minimum levels with unbounded
+    /// ALUs).
+    pub critical_path: usize,
+    /// Number of schedule levels after phase 2.
+    pub levels: usize,
+    /// Total clock cycles after phase 3 (including inserted load cycles).
+    pub cycles: usize,
+    /// Stall (pure load) cycles inserted by the allocator.
+    pub stall_cycles: usize,
+    /// Largest number of ALUs busy in any level.
+    pub alus_used: usize,
+    /// Average ALU utilisation over the whole program (0..1).
+    pub alu_utilization: f64,
+    /// Operand reads served from registers already holding the value.
+    pub register_hits: usize,
+    /// Operand reads that needed a memory-to-register move.
+    pub register_misses: usize,
+    /// Results written back to local memories.
+    pub mem_writebacks: usize,
+    /// Values routed over the crossbar.
+    pub crossbar_transfers: usize,
+    /// Time spent in the mapping phases, in microseconds (clustering +
+    /// scheduling + allocation).
+    pub mapping_time_us: u128,
+}
+
+impl MappingReport {
+    /// Register hit rate (`None` when no operands were read).
+    pub fn register_hit_rate(&self) -> Option<f64> {
+        let total = self.register_hits + self.register_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.register_hits as f64 / total as f64)
+        }
+    }
+
+    /// Fills the allocation-related fields from a tile program.
+    pub fn absorb_program(&mut self, program: &TileProgram) {
+        self.cycles = program.cycle_count();
+        self.stall_cycles = program.stats.stall_cycles;
+        self.alu_utilization = program.alu_utilization();
+        self.alus_used = program
+            .cycles
+            .iter()
+            .map(|c| c.busy_alus())
+            .max()
+            .unwrap_or(0);
+        self.register_hits = program.stats.register_hits;
+        self.register_misses = program.stats.register_misses;
+        self.mem_writebacks = program.stats.mem_writebacks;
+        self.crossbar_transfers = program.stats.crossbar_transfers;
+    }
+}
+
+impl fmt::Display for MappingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} ops -> {} clusters (critical path {}) -> {} levels -> {} cycles ({} stalls)",
+            self.kernel,
+            self.operations,
+            self.clusters,
+            self.critical_path,
+            self.levels,
+            self.cycles,
+            self.stall_cycles
+        )?;
+        write!(
+            f,
+            "  ALUs used {} (utilization {:.2}), reg hits/misses {}/{}, writebacks {}, crossbar {}",
+            self.alus_used,
+            self.alu_utilization,
+            self.register_hits,
+            self.register_misses,
+            self.mem_writebacks,
+            self.crossbar_transfers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_display() {
+        let report = MappingReport {
+            kernel: "fir".into(),
+            register_hits: 1,
+            register_misses: 3,
+            ..MappingReport::default()
+        };
+        assert!((report.register_hit_rate().unwrap() - 0.25).abs() < 1e-9);
+        assert!(report.to_string().contains("fir"));
+        assert_eq!(MappingReport::default().register_hit_rate(), None);
+    }
+}

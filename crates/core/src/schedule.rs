@@ -1,0 +1,306 @@
+//! Phase 2: scheduling clusters level by level onto the physical ALUs.
+//!
+//! "In the scheduling phase, the graph obtained from the clustering phase is
+//! scheduled according to the maximum number of ALUs (in our case 5). This
+//! means that at most 5 clusters can be on the same level. [...] The clusters
+//! that do not belong to any critical path can be moved up and down within
+//! the range where the dependence relations among the tasks are satisfied.
+//! Here we adopt a heuristic procedure in which the clusters are scheduled
+//! level by level. The complexity is thus linear to the number of clusters."
+//! (Section VI-B, Fig. 4)
+
+use crate::cluster::{ClusterId, ClusteredGraph};
+use crate::error::MapError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The level-by-level schedule of a clustered graph.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schedule {
+    levels: Vec<Vec<ClusterId>>,
+    level_of: HashMap<ClusterId, usize>,
+}
+
+impl Schedule {
+    /// Number of levels (machine cycles of ALU work before allocation).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Clusters scheduled at `level`.
+    pub fn level(&self, level: usize) -> &[ClusterId] {
+        self.levels.get(level).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All levels in order.
+    pub fn levels(&self) -> &[Vec<ClusterId>] {
+        &self.levels
+    }
+
+    /// The level a cluster was scheduled at.
+    pub fn level_of(&self, cluster: ClusterId) -> Option<usize> {
+        self.level_of.get(&cluster).copied()
+    }
+
+    /// The largest number of clusters sharing one level.
+    pub fn max_parallelism(&self) -> usize {
+        self.levels.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average number of busy ALUs per level.
+    pub fn average_parallelism(&self) -> f64 {
+        if self.levels.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.levels.iter().map(Vec::len).sum();
+        total as f64 / self.levels.len() as f64
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, level) in self.levels.iter().enumerate() {
+            let names: Vec<String> = level.iter().map(|c| c.to_string()).collect();
+            writeln!(f, "level {i}: {}", names.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The level scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    /// Number of physical ALUs (5 on the paper's tile).
+    pub num_alus: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for a tile with `num_alus` processing parts.
+    pub fn new(num_alus: usize) -> Self {
+        Scheduler { num_alus }
+    }
+
+    /// Schedules the clustered graph level by level.
+    ///
+    /// Clusters are visited in a topological order; each cluster is placed at
+    /// the earliest level that satisfies its dependences and still has a free
+    /// ALU — when every level in that range is full, a new level is appended
+    /// (the "insert a new level when necessary" rule of Fig. 4).
+    ///
+    /// # Errors
+    /// [`MapError::AllocationFailed`] when `num_alus` is zero.
+    pub fn schedule(&self, clustered: &ClusteredGraph) -> Result<Schedule, MapError> {
+        if self.num_alus == 0 {
+            return Err(MapError::AllocationFailed {
+                reason: "cannot schedule on a tile with zero ALUs".into(),
+            });
+        }
+        let mut schedule = Schedule::default();
+        // Process clusters level by level: order by ASAP level, breaking ties
+        // by criticality (lower mobility first) so critical clusters keep
+        // their level and movable ones fill the gaps or get pushed down.
+        let order = clustered.topo_order();
+        let asap = asap_levels(clustered, &order);
+        let alap = alap_levels(clustered, &order);
+        let mut sorted: Vec<ClusterId> = order.clone();
+        sorted.sort_by_key(|c| {
+            let mobility = alap[c].saturating_sub(asap[c]);
+            (asap[c], mobility, c.index())
+        });
+
+        // `next_free[l]` points at the first level >= l that may still have a
+        // free ALU (a union-find style skip list with path compression), so
+        // that the whole schedule is built in time linear in the number of
+        // clusters — the complexity the paper claims for this phase.
+        let mut next_free: Vec<usize> = Vec::new();
+        for cluster in sorted {
+            // Earliest level satisfying the dependences.
+            let earliest = clustered
+                .predecessors(cluster)
+                .iter()
+                .map(|p| {
+                    schedule
+                        .level_of(*p)
+                        .expect("predecessors are scheduled before successors")
+                        + 1
+                })
+                .max()
+                .unwrap_or(0);
+            // First level at or after `earliest` with a free ALU.
+            let level = find_free_level(&mut next_free, earliest);
+            if level >= schedule.levels.len() {
+                schedule.levels.resize(level + 1, Vec::new());
+            }
+            schedule.levels[level].push(cluster);
+            schedule.level_of.insert(cluster, level);
+            if schedule.levels[level].len() >= self.num_alus {
+                // The level is now full: future searches skip past it.
+                mark_full(&mut next_free, level);
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new(5)
+    }
+}
+
+/// Returns the first possibly-free level at or after `from`, compressing the
+/// skip pointers along the way.
+fn find_free_level(next_free: &mut Vec<usize>, from: usize) -> usize {
+    if from >= next_free.len() {
+        next_free.extend(next_free.len()..=from);
+    }
+    // Follow the skip chain.
+    let mut level = from;
+    let mut path = Vec::new();
+    while next_free[level] != level {
+        path.push(level);
+        level = next_free[level];
+        if level >= next_free.len() {
+            next_free.extend(next_free.len()..=level);
+        }
+    }
+    // Path compression.
+    for visited in path {
+        next_free[visited] = level;
+    }
+    level
+}
+
+/// Marks `level` as full so that future searches resolve to `level + 1`.
+fn mark_full(next_free: &mut Vec<usize>, level: usize) {
+    if level + 1 >= next_free.len() {
+        next_free.extend(next_free.len()..=level + 1);
+    }
+    next_free[level] = level + 1;
+}
+
+fn asap_levels(
+    clustered: &ClusteredGraph,
+    order: &[ClusterId],
+) -> HashMap<ClusterId, usize> {
+    let mut asap = HashMap::new();
+    for &id in order {
+        let level = clustered
+            .predecessors(id)
+            .iter()
+            .map(|p| asap.get(p).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        asap.insert(id, level);
+    }
+    asap
+}
+
+fn alap_levels(
+    clustered: &ClusteredGraph,
+    order: &[ClusterId],
+) -> HashMap<ClusterId, usize> {
+    let depth = clustered.critical_path();
+    let mut height = HashMap::new();
+    for &id in order.iter().rev() {
+        let h = clustered
+            .successors(id)
+            .iter()
+            .map(|s| height.get(s).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        height.insert(id, h);
+    }
+    order
+        .iter()
+        .map(|id| (*id, depth.saturating_sub(1).saturating_sub(height[id])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clusterer;
+    use crate::dfg::MappingGraph;
+    use fpfa_transform::Pipeline;
+
+    fn clustered_fir(taps: usize) -> (MappingGraph, ClusteredGraph) {
+        let src = format!(
+            r#"
+            void main() {{
+                int a[{taps}];
+                int c[{taps}];
+                int sum;
+                int i;
+                sum = 0; i = 0;
+                while (i < {taps}) {{ sum = sum + a[i] * c[i]; i = i + 1; }}
+            }}
+            "#
+        );
+        let program = fpfa_frontend::compile(&src).unwrap();
+        let mut g = program.cdfg;
+        Pipeline::standard().run(&mut g).unwrap();
+        let m = MappingGraph::from_cdfg(&g).unwrap();
+        let clustered = Clusterer::default().cluster(&m).unwrap();
+        (m, clustered)
+    }
+
+    #[test]
+    fn dependences_are_respected() {
+        let (_, clustered) = clustered_fir(8);
+        let schedule = Scheduler::new(5).schedule(&clustered).unwrap();
+        for id in clustered.ids() {
+            let level = schedule.level_of(id).unwrap();
+            for pred in clustered.predecessors(id) {
+                assert!(schedule.level_of(*pred).unwrap() < level);
+            }
+        }
+    }
+
+    #[test]
+    fn no_level_exceeds_the_alu_count() {
+        for alus in [1usize, 2, 5] {
+            let (_, clustered) = clustered_fir(12);
+            let schedule = Scheduler::new(alus).schedule(&clustered).unwrap();
+            assert!(schedule.max_parallelism() <= alus);
+            // Every cluster is scheduled exactly once.
+            let total: usize = schedule.levels().iter().map(Vec::len).sum();
+            assert_eq!(total, clustered.len());
+        }
+    }
+
+    #[test]
+    fn schedule_length_is_bounded_below_by_critical_path() {
+        let (_, clustered) = clustered_fir(10);
+        let schedule = Scheduler::new(5).schedule(&clustered).unwrap();
+        assert!(schedule.level_count() >= clustered.critical_path());
+    }
+
+    #[test]
+    fn fewer_alus_never_shorten_the_schedule() {
+        let (_, clustered) = clustered_fir(16);
+        let with_one = Scheduler::new(1).schedule(&clustered).unwrap();
+        let with_five = Scheduler::new(5).schedule(&clustered).unwrap();
+        assert!(with_one.level_count() >= with_five.level_count());
+        // A single ALU serialises everything.
+        assert_eq!(with_one.level_count(), clustered.len());
+    }
+
+    #[test]
+    fn zero_alus_is_rejected() {
+        let (_, clustered) = clustered_fir(4);
+        assert!(matches!(
+            Scheduler::new(0).schedule(&clustered),
+            Err(MapError::AllocationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn display_lists_levels() {
+        let (_, clustered) = clustered_fir(4);
+        let schedule = Scheduler::new(5).schedule(&clustered).unwrap();
+        let text = schedule.to_string();
+        assert!(text.contains("level 0:"));
+        assert!(schedule.average_parallelism() > 0.0);
+    }
+}

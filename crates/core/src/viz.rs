@@ -1,0 +1,128 @@
+//! Graphviz export of mapper artefacts: the clustered task graph and the
+//! level schedule.
+//!
+//! These renderings correspond to the two halves of Fig. 4 of the paper: the
+//! cluster dependence graph with its ASAP levels, and the schedule after
+//! placing at most five clusters per level.
+
+use crate::cluster::ClusteredGraph;
+use crate::dfg::MappingGraph;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+/// Renders the clustered graph in Graphviz DOT syntax.
+///
+/// Each cluster node is labelled with its id and the mnemonics of the
+/// operations it contains; edges are the cluster dependences.
+pub fn clusters_to_dot(graph: &MappingGraph, clustered: &ClusteredGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}-clusters\" {{", graph.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for id in clustered.ids() {
+        let ops: Vec<String> = clustered
+            .cluster(id)
+            .ops
+            .iter()
+            .map(|op| graph.op(*op).kind.mnemonic())
+            .collect();
+        let _ = writeln!(out, "  c{} [label=\"{}\\n{}\"];", id.index(), id, ops.join(" "));
+    }
+    for id in clustered.ids() {
+        for pred in clustered.predecessors(id) {
+            let _ = writeln!(out, "  c{} -> c{};", pred.index(), id.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a schedule in Graphviz DOT syntax, one `rank=same` row per level
+/// (the visual layout of Fig. 4).
+pub fn schedule_to_dot(
+    graph: &MappingGraph,
+    clustered: &ClusteredGraph,
+    schedule: &Schedule,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}-schedule\" {{", graph.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for (level, clusters) in schedule.levels().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph level{level} {{");
+        let _ = writeln!(out, "    rank=same;");
+        let _ = writeln!(
+            out,
+            "    l{level} [label=\"level {level}\", shape=plaintext];"
+        );
+        for id in clusters {
+            let ops: Vec<String> = clustered
+                .cluster(*id)
+                .ops
+                .iter()
+                .map(|op| graph.op(*op).kind.mnemonic())
+                .collect();
+            let _ = writeln!(
+                out,
+                "    c{} [label=\"{}\\n{}\"];",
+                id.index(),
+                id,
+                ops.join(" ")
+            );
+        }
+        let _ = writeln!(out, "  }}");
+        if level > 0 {
+            let _ = writeln!(out, "  l{} -> l{level} [style=invis];", level - 1);
+        }
+    }
+    for id in clustered.ids() {
+        for pred in clustered.predecessors(id) {
+            let _ = writeln!(out, "  c{} -> c{};", pred.index(), id.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Mapper;
+
+    const FIR: &str = r#"
+        void main() {
+            int a[4];
+            int c[4];
+            int sum;
+            int i;
+            sum = 0; i = 0;
+            while (i < 4) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+    "#;
+
+    #[test]
+    fn cluster_dot_mentions_every_cluster() {
+        let mapping = Mapper::new().map_source(FIR).unwrap();
+        let dot = clusters_to_dot(&mapping.mapping_graph, &mapping.clustered);
+        assert!(dot.starts_with("digraph"));
+        for id in mapping.clustered.ids() {
+            assert!(dot.contains(&format!("c{} [", id.index())));
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn schedule_dot_has_one_rank_per_level() {
+        let mapping = Mapper::new().map_source(FIR).unwrap();
+        let dot = schedule_to_dot(
+            &mapping.mapping_graph,
+            &mapping.clustered,
+            &mapping.schedule,
+        );
+        assert_eq!(
+            dot.matches("rank=same").count(),
+            mapping.schedule.level_count()
+        );
+        assert!(dot.contains("level 0"));
+    }
+}

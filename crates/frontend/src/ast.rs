@@ -1,0 +1,230 @@
+//! Abstract syntax tree of the C subset.
+
+use crate::token::Span;
+use fpfa_cdfg::{BinOp, UnOp};
+
+/// A binary operator as written in the source.
+///
+/// `&&` and `||` are kept distinct from `&`/`|` so that the lowering phase
+/// can normalise their operands to 0/1 before combining them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AstBinOp {
+    /// A word operator that maps one-to-one onto a CDFG [`BinOp`].
+    Word(BinOp),
+    /// Logical and (`&&`), non-short-circuiting in this subset.
+    LogicalAnd,
+    /// Logical or (`||`), non-short-circuiting in this subset.
+    LogicalOr,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Literal {
+        /// The literal value.
+        value: i64,
+        /// Source position.
+        span: Span,
+    },
+    /// Scalar variable reference.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source position.
+        span: Span,
+    },
+    /// Array element read `name[index]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Source position.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Source position.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source position of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Literal { span, .. }
+            | Expr::Var { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. } => *span,
+        }
+    }
+}
+
+/// The target of an assignment.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LValue {
+    /// Scalar variable.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source position.
+        span: Span,
+    },
+    /// Array element `name[index]`.
+    Index {
+        /// Array name.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Source position.
+        span: Span,
+    },
+}
+
+impl LValue {
+    /// Source position of the l-value.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Var { span, .. } | LValue::Index { span, .. } => *span,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// Scalar declaration `int x;` or `int x = expr;`.
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Optional initialiser.
+        init: Option<Expr>,
+        /// Source position.
+        span: Span,
+    },
+    /// Array declaration `int a[N];`.
+    DeclArray {
+        /// Array name.
+        name: String,
+        /// Compile-time length.
+        len: i64,
+        /// Source position.
+        span: Span,
+    },
+    /// Assignment `lvalue = expr;`.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Value expression.
+        value: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `if (cond) { then } else { otherwise }`.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (empty when absent).
+        else_branch: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Condition expression.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// A nested block of statements (also used by the `for`-loop desugaring).
+    Block {
+        /// The statements of the block.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+    /// Empty statement `;`.
+    Empty {
+        /// Source position.
+        span: Span,
+    },
+}
+
+/// A function definition (only `main` is accepted by the lowering phase).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Statements of the body.
+    pub body: Vec<Stmt>,
+    /// Source position of the definition.
+    pub span: Span,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TranslationUnit {
+    /// The functions defined in the unit.
+    pub functions: Vec<Function>,
+}
+
+impl TranslationUnit {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_are_reachable() {
+        let e = Expr::Literal {
+            value: 1,
+            span: Span::new(4, 2),
+        };
+        assert_eq!(e.span(), Span::new(4, 2));
+        let lv = LValue::Var {
+            name: "x".into(),
+            span: Span::new(1, 1),
+        };
+        assert_eq!(lv.span(), Span::new(1, 1));
+    }
+
+    #[test]
+    fn unit_function_lookup() {
+        let unit = TranslationUnit {
+            functions: vec![Function {
+                name: "main".into(),
+                body: vec![],
+                span: Span::default(),
+            }],
+        };
+        assert!(unit.function("main").is_some());
+        assert!(unit.function("other").is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! Hand-written lexer for the C subset.
+
+use crate::error::FrontendError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Splits source text into tokens.
+///
+/// # Errors
+/// Returns [`FrontendError::UnexpectedChar`],
+/// [`FrontendError::IntegerOverflow`] or
+/// [`FrontendError::UnterminatedComment`] on malformed input.
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontendError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    _source: &'s str,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            _source: source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(ch)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(ch) = self.peek() else {
+                tokens.push(Token::new(TokenKind::Eof, span));
+                return Ok(tokens);
+            };
+            let kind = if ch.is_ascii_digit() {
+                self.lex_number(span)?
+            } else if ch.is_ascii_alphabetic() || ch == '_' {
+                self.lex_ident()
+            } else {
+                self.lex_symbol(span)?
+            };
+            tokens.push(Token::new(kind, span));
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(FrontendError::UnterminatedComment { span: start })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<TokenKind, FrontendError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| FrontendError::IntegerOverflow {
+                literal: text,
+                span,
+            })
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "void" => TokenKind::KwVoid,
+            "int" => TokenKind::KwInt,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    fn lex_symbol(&mut self, span: Span) -> Result<TokenKind, FrontendError> {
+        let ch = self.bump().expect("caller checked peek()");
+        let two = |lexer: &mut Self, next: char, double: TokenKind, single: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                double
+            } else {
+                single
+            }
+        };
+        let kind = match ch {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ';' => TokenKind::Semicolon,
+            ',' => TokenKind::Comma,
+            '+' => TokenKind::Plus,
+            '-' => TokenKind::Minus,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '^' => TokenKind::Caret,
+            '~' => TokenKind::Tilde,
+            '=' => two(self, '=', TokenKind::EqEq, TokenKind::Assign),
+            '!' => two(self, '=', TokenKind::NotEq, TokenKind::Bang),
+            '&' => two(self, '&', TokenKind::AndAnd, TokenKind::Amp),
+            '|' => two(self, '|', TokenKind::OrOr, TokenKind::Pipe),
+            '<' => {
+                if self.peek() == Some('<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, '=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, '=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            other => return Err(FrontendError::UnexpectedChar { ch: other, span }),
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_fir_snippet() {
+        let toks = kinds("sum = sum + a[i] * c[i]; i = i + 1;");
+        assert_eq!(toks[0], TokenKind::Ident("sum".into()));
+        assert_eq!(toks[1], TokenKind::Assign);
+        assert!(toks.contains(&TokenKind::LBracket));
+        assert!(toks.contains(&TokenKind::Star));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let toks = kinds("void int if else while for return whilex");
+        assert_eq!(
+            toks[..8],
+            [
+                TokenKind::KwVoid,
+                TokenKind::KwInt,
+                TokenKind::KwIf,
+                TokenKind::KwElse,
+                TokenKind::KwWhile,
+                TokenKind::KwFor,
+                TokenKind::KwReturn,
+                TokenKind::Ident("whilex".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_character_operators() {
+        let toks = kinds("<= >= == != && || << >> < >");
+        assert_eq!(
+            toks[..10],
+            [
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // line comment\n /* block\n comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_reported() {
+        let err = lex("x /* never closed").unwrap_err();
+        assert!(matches!(err, FrontendError::UnterminatedComment { .. }));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(matches!(err, FrontendError::UnexpectedChar { ch: '@', .. }));
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(matches!(err, FrontendError::IntegerOverflow { .. }));
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+}

@@ -1,0 +1,91 @@
+//! C-subset frontend for the FPFA mapping flow.
+//!
+//! The paper's flow starts from "code written in a high level source
+//! language, like C", which is "first translated into a Control Dataflow
+//! graph (CDFG)". This crate provides that translation for the C subset the
+//! flow needs:
+//!
+//! * `void main() { ... }` as the single entry function;
+//! * `int` scalars and one-dimensional `int` arrays;
+//! * assignments, arithmetic / logical / comparison expressions;
+//! * `if`/`else` (converted to multiplexers), `while` and `for` loops
+//!   (lowered to structured [`fpfa_cdfg::LoopSpec`] nodes which the
+//!   transformation engine later unrolls).
+//!
+//! Scalars become pure dataflow values; arrays live in the *statespace* and
+//! are accessed through the `FE`/`ST` primitives, with a compile-time base
+//! address per array recorded in the returned [`MemoryLayout`]. This differs
+//! from the paper's internal toolset only in that scalar locals are kept in
+//! dataflow form instead of being stored to the statespace; the array
+//! traffic — what the figures of the paper count — is identical.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), fpfa_frontend::FrontendError> {
+//! let source = r#"
+//!     void main() {
+//!         int a[4];
+//!         int sum;
+//!         int i;
+//!         sum = 0;
+//!         i = 0;
+//!         while (i < 4) {
+//!             sum = sum + a[i];
+//!             i = i + 1;
+//!         }
+//!     }
+//! "#;
+//! let program = fpfa_frontend::compile(source)?;
+//! assert!(program.layout.array("a").is_some());
+//! assert!(program.cdfg.output_named("sum").is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod layout;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::FrontendError;
+pub use layout::{ArraySymbol, MemoryLayout};
+pub use lower::{lower, Program};
+
+use fpfa_cdfg::StateSpace;
+
+/// Compiles a C-subset source string into a CDFG program.
+///
+/// This is the convenience entry point combining [`lexer`], [`parser`] and
+/// [`lower()`].
+///
+/// # Errors
+/// Returns a [`FrontendError`] describing the first lexical, syntactic or
+/// semantic problem found.
+pub fn compile(source: &str) -> Result<Program, FrontendError> {
+    let tokens = lexer::lex(source)?;
+    let unit = parser::parse(&tokens)?;
+    lower::lower(&unit)
+}
+
+/// Builds an initial statespace for a compiled program from named arrays.
+///
+/// Each `(name, values)` pair is placed at the base address the frontend
+/// assigned to that array. Unknown array names are ignored so callers can
+/// share one data set across kernels.
+pub fn initial_state(layout: &MemoryLayout, arrays: &[(&str, &[i64])]) -> StateSpace {
+    let mut state = StateSpace::new();
+    for (name, values) in arrays {
+        if let Some(sym) = layout.array(name) {
+            let n = values.len().min(sym.len);
+            state.store_array(sym.base, &values[..n]);
+        }
+    }
+    state
+}

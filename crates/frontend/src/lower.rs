@@ -1,0 +1,928 @@
+//! Lowering of the AST to a CDFG.
+//!
+//! * Scalar locals become pure dataflow values (an environment maps each name
+//!   to the wire holding its current value).
+//! * Arrays are placed in the statespace ([`crate::MemoryLayout`]); reads and
+//!   writes become `FE`/`ST` primitives threaded through a single statespace
+//!   token, which enters the graph as the input `mem` and leaves it as the
+//!   output `mem`.
+//! * `if`/`else` is if-converted: both branches are lowered and every scalar
+//!   (and the statespace token) modified in either branch is merged with a
+//!   multiplexer controlled by the condition.
+//! * `while` loops become structured [`LoopSpec`] nodes whose condition and
+//!   body are separate CDFGs over the loop-carried variables; the
+//!   transformation engine unrolls them later.
+//! * A scalar that is read before ever being assigned becomes a named graph
+//!   input, so kernels can take scalar parameters.
+//! * At the end of `main` every declared scalar that holds a value becomes a
+//!   named graph output, alongside the final statespace.
+
+use crate::ast::{AstBinOp, Expr, Function, LValue, Stmt, TranslationUnit};
+use crate::error::FrontendError;
+use crate::layout::MemoryLayout;
+use fpfa_cdfg::builder::Wire;
+use fpfa_cdfg::{BinOp, Cdfg, LoopSpec, NodeKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Name of the statespace input/output of every lowered program.
+pub const STATE_NAME: &str = "mem";
+/// Internal name used for the statespace as a loop-carried variable.
+const STATE_VAR: &str = "@state";
+
+/// A compiled program: the CDFG plus the statespace layout of its arrays.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    /// The control dataflow graph of `main`.
+    pub cdfg: Cdfg,
+    /// Statespace addresses of the declared arrays.
+    pub layout: MemoryLayout,
+}
+
+/// Lowers a parsed translation unit (its `main` function) into a CDFG.
+///
+/// # Errors
+/// Returns a [`FrontendError`] when `main` is missing or the body uses names
+/// inconsistently (undeclared identifiers, duplicate declarations, arrays
+/// used as scalars, ...).
+pub fn lower(unit: &TranslationUnit) -> Result<Program, FrontendError> {
+    let main = unit.function("main").ok_or(FrontendError::MissingMain)?;
+    lower_function(main)
+}
+
+/// Lowers a single function definition into a CDFG.
+///
+/// # Errors
+/// See [`lower`].
+pub fn lower_function(function: &Function) -> Result<Program, FrontendError> {
+    let mut layout = MemoryLayout::new();
+    let mut ctx = Lowerer::new(function.name.clone(), &mut layout);
+    ctx.lower_block(&function.body)?;
+    let cdfg = ctx.finish()?;
+    Ok(Program { cdfg, layout })
+}
+
+#[derive(Clone, Debug)]
+enum Symbol {
+    Scalar { value: Option<Wire> },
+    Array,
+}
+
+struct Lowerer<'l> {
+    graph: Cdfg,
+    env: HashMap<String, Symbol>,
+    /// Declaration order of scalars, for deterministic output ordering.
+    scalar_order: Vec<String>,
+    state: Wire,
+    layout: &'l mut MemoryLayout,
+    /// `true` when this lowerer builds a loop condition/body sub-graph; the
+    /// statespace interface then uses [`STATE_VAR`] instead of [`STATE_NAME`].
+    nested: bool,
+}
+
+impl<'l> Lowerer<'l> {
+    fn new(name: String, layout: &'l mut MemoryLayout) -> Self {
+        let mut graph = Cdfg::new(name);
+        let mem = graph.add_node(NodeKind::Input(STATE_NAME.to_string()));
+        Lowerer {
+            graph,
+            env: HashMap::new(),
+            scalar_order: Vec::new(),
+            state: Wire { node: mem, port: 0 },
+            layout,
+            nested: false,
+        }
+    }
+
+    /// Creates a lowerer for a loop condition or body sub-graph.
+    ///
+    /// `arrays` lists the array names visible in the enclosing scope; their
+    /// statespace bases live in the shared [`MemoryLayout`].
+    fn nested(
+        name: String,
+        layout: &'l mut MemoryLayout,
+        carried: &[String],
+        arrays: &[String],
+    ) -> Self {
+        let mut graph = Cdfg::new(name);
+        let mut env = HashMap::new();
+        let mut scalar_order = Vec::new();
+        let mut state = None;
+        for array in arrays {
+            env.insert(array.clone(), Symbol::Array);
+        }
+        for var in carried {
+            let id = graph.add_node(NodeKind::Input(var.clone()));
+            let wire = Wire { node: id, port: 0 };
+            if var == STATE_VAR {
+                state = Some(wire);
+            } else {
+                env.insert(var.clone(), Symbol::Scalar { value: Some(wire) });
+                scalar_order.push(var.clone());
+            }
+        }
+        let state = state.unwrap_or_else(|| {
+            // The loop does not touch the statespace; a dummy input keeps the
+            // wire plumbing uniform but is never referenced.
+            let id = graph.add_node(NodeKind::Const(0));
+            Wire { node: id, port: 0 }
+        });
+        Lowerer {
+            graph,
+            env,
+            scalar_order,
+            state,
+            layout,
+            nested: true,
+        }
+    }
+
+    fn constant(&mut self, value: i64) -> Wire {
+        let id = self.graph.add_node(NodeKind::Const(value));
+        Wire { node: id, port: 0 }
+    }
+
+    fn binop(&mut self, op: BinOp, a: Wire, b: Wire) -> Wire {
+        let id = self.graph.add_node(NodeKind::BinOp(op));
+        self.graph
+            .connect(a.node, a.port, id, 0)
+            .expect("wires produced by this lowerer are valid");
+        self.graph
+            .connect(b.node, b.port, id, 1)
+            .expect("wires produced by this lowerer are valid");
+        Wire { node: id, port: 0 }
+    }
+
+    fn mux(&mut self, cond: Wire, if_true: Wire, if_false: Wire) -> Wire {
+        let id = self.graph.add_node(NodeKind::Mux);
+        for (port, w) in [cond, if_true, if_false].into_iter().enumerate() {
+            self.graph
+                .connect(w.node, w.port, id, port)
+                .expect("wires produced by this lowerer are valid");
+        }
+        Wire { node: id, port: 0 }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn lower_block(&mut self, stmts: &[Stmt]) -> Result<(), FrontendError> {
+        for stmt in stmts {
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), FrontendError> {
+        match stmt {
+            Stmt::Empty { .. } => Ok(()),
+            Stmt::Block { body, .. } => self.lower_block(body),
+            Stmt::DeclScalar { name, init, span } => {
+                if self.env.contains_key(name) {
+                    return Err(FrontendError::DuplicateDeclaration {
+                        name: name.clone(),
+                        span: *span,
+                    });
+                }
+                let value = match init {
+                    Some(expr) => Some(self.lower_expr(expr)?),
+                    None => None,
+                };
+                self.env.insert(name.clone(), Symbol::Scalar { value });
+                self.scalar_order.push(name.clone());
+                Ok(())
+            }
+            Stmt::DeclArray { name, len, span } => {
+                if self.env.contains_key(name) {
+                    return Err(FrontendError::DuplicateDeclaration {
+                        name: name.clone(),
+                        span: *span,
+                    });
+                }
+                self.layout.allocate(name.clone(), *len as usize);
+                self.env
+                    .insert(name.clone(), Symbol::Array);
+                Ok(())
+            }
+            Stmt::Assign {
+                target,
+                value,
+                span: _,
+            } => {
+                let value_wire = self.lower_expr(value)?;
+                match target {
+                    LValue::Var { name, span } => {
+                        match self.env.get_mut(name) {
+                            Some(Symbol::Scalar { value }) => {
+                                *value = Some(value_wire);
+                                Ok(())
+                            }
+                            Some(Symbol::Array) => Err(FrontendError::KindMismatch {
+                                name: name.clone(),
+                                expected: "a scalar",
+                                span: *span,
+                            }),
+                            None => Err(FrontendError::UndeclaredIdentifier {
+                                name: name.clone(),
+                                span: *span,
+                            }),
+                        }
+                    }
+                    LValue::Index { name, index, span } => {
+                        let address = self.array_address(name, index, *span)?;
+                        let st = self.graph.add_node(NodeKind::Store);
+                        let state = self.state;
+                        self.graph
+                            .connect(state.node, state.port, st, 0)
+                            .expect("valid wires");
+                        self.graph
+                            .connect(address.node, address.port, st, 1)
+                            .expect("valid wires");
+                        self.graph
+                            .connect(value_wire.node, value_wire.port, st, 2)
+                            .expect("valid wires");
+                        self.state = Wire { node: st, port: 0 };
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => self.lower_if(cond, then_branch, else_branch),
+            Stmt::While { cond, body, span } => self.lower_while(cond, body, *span),
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_branch: &[Stmt],
+        else_branch: &[Stmt],
+    ) -> Result<(), FrontendError> {
+        let cond_wire = self.lower_expr(cond)?;
+
+        // Lower both branches on snapshots of the environment, then merge.
+        let snapshot_env = self.env.clone();
+        let snapshot_order = self.scalar_order.clone();
+        let snapshot_state = self.state;
+
+        self.lower_block(then_branch)?;
+        let then_env = self.env.clone();
+        let then_state = self.state;
+
+        self.env = snapshot_env.clone();
+        self.scalar_order = snapshot_order.clone();
+        self.state = snapshot_state;
+        self.lower_block(else_branch)?;
+        let else_env = self.env.clone();
+        let else_state = self.state;
+
+        // Restore the pre-branch scope (declarations inside branches do not
+        // escape) and merge modified values.
+        self.env = snapshot_env.clone();
+        self.scalar_order = snapshot_order;
+        for (name, symbol) in &snapshot_env {
+            let Symbol::Scalar { value: before } = symbol else {
+                continue;
+            };
+            let then_value = match then_env.get(name) {
+                Some(Symbol::Scalar { value }) => *value,
+                _ => *before,
+            };
+            let else_value = match else_env.get(name) {
+                Some(Symbol::Scalar { value }) => *value,
+                _ => *before,
+            };
+            let merged = match (then_value, else_value) {
+                (Some(t), Some(e)) if t != e => Some(self.mux(cond_wire, t, e)),
+                (t, e) => {
+                    if t == e {
+                        t
+                    } else {
+                        // One branch assigned a previously-unset variable; the
+                        // other path keeps it unset. Materialise the unset
+                        // side as 0 so the merge is well defined.
+                        let zero = self.constant(0);
+                        let t = t.unwrap_or(zero);
+                        let e = e.unwrap_or(zero);
+                        Some(self.mux(cond_wire, t, e))
+                    }
+                }
+            };
+            self.env.insert(name.clone(), Symbol::Scalar { value: merged });
+        }
+        self.state = if then_state != else_state {
+            self.mux(cond_wire, then_state, else_state)
+        } else {
+            then_state
+        };
+        Ok(())
+    }
+
+    fn lower_while(
+        &mut self,
+        cond: &Expr,
+        body: &[Stmt],
+        span: crate::token::Span,
+    ) -> Result<(), FrontendError> {
+        // Collect the loop-carried variables: every outer scalar referenced
+        // in the condition or body, plus the statespace when arrays are
+        // touched.
+        let mut usage = Usage::default();
+        collect_expr(cond, &mut usage);
+        collect_stmts(body, &mut usage);
+
+        let mut carried: Vec<String> = Vec::new();
+        for name in usage.names() {
+            match self.env.get(&name) {
+                Some(Symbol::Scalar { .. }) => carried.push(name),
+                Some(Symbol::Array) => {}
+                None => {
+                    // Declared inside the loop body; not carried. Detecting a
+                    // truly undeclared identifier is deferred to the nested
+                    // lowering which reports it with a precise span.
+                }
+            }
+        }
+        carried.sort();
+        let touches_state = usage.touches_state;
+        if touches_state {
+            carried.push(STATE_VAR.to_string());
+        }
+        if carried.is_empty() {
+            // A loop that neither reads nor writes anything observable: the
+            // condition is either always false (dead code) or the loop never
+            // terminates. Reject it as unsupported rather than silently
+            // dropping it.
+            return Err(FrontendError::Unsupported {
+                feature: "loops with no observable effect".into(),
+                span,
+            });
+        }
+
+        // Array names visible to the loop sub-graphs.
+        let visible_arrays: Vec<String> = self
+            .env
+            .iter()
+            .filter(|(_, s)| matches!(s, Symbol::Array))
+            .map(|(n, _)| n.clone())
+            .collect();
+
+        // Build the condition sub-graph.
+        let cond_graph = {
+            let mut sub = Lowerer::nested(
+                format!("{}::cond", self.graph.name()),
+                self.layout,
+                &carried,
+                &visible_arrays,
+            );
+            let wire = sub.lower_expr(cond)?;
+            let out = sub.graph.add_node(NodeKind::Output(LoopSpec::COND_OUTPUT.into()));
+            sub.graph
+                .connect(wire.node, wire.port, out, 0)
+                .expect("valid wires");
+            sub.prune_dead_interface();
+            sub.graph
+        };
+
+        // Build the body sub-graph.
+        let body_graph = {
+            let mut sub = Lowerer::nested(
+                format!("{}::body", self.graph.name()),
+                self.layout,
+                &carried,
+                &visible_arrays,
+            );
+            sub.lower_block(body)?;
+            // Emit one output per carried variable with its final value.
+            for var in &carried {
+                let wire = if var == STATE_VAR {
+                    sub.state
+                } else {
+                    match sub.env.get(var) {
+                        Some(Symbol::Scalar { value: Some(w) }) => *w,
+                        _ => {
+                            // Not assigned in the body: pass the input through.
+                            let input = sub
+                                .graph
+                                .input_named(var)
+                                .expect("carried variables are inputs of the body graph");
+                            Wire { node: input, port: 0 }
+                        }
+                    }
+                };
+                let out = sub.graph.add_node(NodeKind::Output(var.clone()));
+                sub.graph
+                    .connect(wire.node, wire.port, out, 0)
+                    .expect("valid wires");
+            }
+            sub.prune_dead_interface();
+            sub.graph
+        };
+
+        // Initial values for the carried variables in the outer graph.
+        let mut initial = Vec::with_capacity(carried.len());
+        for var in &carried {
+            let wire = if var == STATE_VAR {
+                self.state
+            } else {
+                match self.env.get(var) {
+                    // An outer value exists: use it.
+                    Some(Symbol::Scalar { value: Some(w) }) => *w,
+                    // No outer value. A variable that is (re)assigned inside
+                    // the loop gets a don't-care initial value of 0; a
+                    // variable that is only *read* by the loop is a genuine
+                    // kernel input.
+                    _ if usage.writes.contains(var) => self.constant(0),
+                    _ => self.read_scalar(var, span)?,
+                }
+            };
+            initial.push(wire);
+        }
+
+        let spec = LoopSpec {
+            vars: carried.clone(),
+            cond: cond_graph,
+            body: body_graph,
+        };
+        let loop_node = self.graph.add_node(NodeKind::Loop(Box::new(spec)));
+        for (port, wire) in initial.iter().enumerate() {
+            self.graph
+                .connect(wire.node, wire.port, loop_node, port)
+                .expect("valid wires");
+        }
+
+        // Bind the loop outputs back into the environment.
+        for (port, var) in carried.iter().enumerate() {
+            let wire = Wire {
+                node: loop_node,
+                port,
+            };
+            if var == STATE_VAR {
+                self.state = wire;
+            } else {
+                self.env
+                    .insert(var.clone(), Symbol::Scalar { value: Some(wire) });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes `Input` nodes of a nested graph that ended up unused (for
+    /// example a carried variable that the condition graph never reads) so
+    /// that interpretation of the sub-graph does not demand bindings for
+    /// them... except that carried variables are *always* bound by the loop
+    /// node, so unused inputs are kept for arity consistency. Only the dummy
+    /// constant introduced when the loop does not touch the statespace is
+    /// pruned here.
+    fn prune_dead_interface(&mut self) {
+        let dead: Vec<_> = self
+            .graph
+            .nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Const(_)) && n.fanout() == 0)
+            .map(|(id, _)| id)
+            .collect();
+        for id in dead {
+            let _ = self.graph.remove_node(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<Wire, FrontendError> {
+        match expr {
+            Expr::Literal { value, .. } => Ok(self.constant(*value)),
+            Expr::Var { name, span } => self.read_scalar(name, *span),
+            Expr::Index { name, index, span } => {
+                let address = self.array_address(name, index, *span)?;
+                let fe = self.graph.add_node(NodeKind::Fetch);
+                let state = self.state;
+                self.graph
+                    .connect(state.node, state.port, fe, 0)
+                    .expect("valid wires");
+                self.graph
+                    .connect(address.node, address.port, fe, 1)
+                    .expect("valid wires");
+                Ok(Wire { node: fe, port: 0 })
+            }
+            Expr::Unary { op, operand, .. } => {
+                let w = self.lower_expr(operand)?;
+                let id = self.graph.add_node(NodeKind::UnOp(*op));
+                self.graph
+                    .connect(w.node, w.port, id, 0)
+                    .expect("valid wires");
+                Ok(Wire { node: id, port: 0 })
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.lower_expr(lhs)?;
+                let b = self.lower_expr(rhs)?;
+                match op {
+                    AstBinOp::Word(word_op) => Ok(self.binop(*word_op, a, b)),
+                    AstBinOp::LogicalAnd => {
+                        let an = self.normalize_bool(a);
+                        let bn = self.normalize_bool(b);
+                        Ok(self.binop(BinOp::And, an, bn))
+                    }
+                    AstBinOp::LogicalOr => {
+                        let an = self.normalize_bool(a);
+                        let bn = self.normalize_bool(b);
+                        Ok(self.binop(BinOp::Or, an, bn))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Normalises a word to 0/1 (`x != 0`).
+    fn normalize_bool(&mut self, w: Wire) -> Wire {
+        let zero = self.constant(0);
+        self.binop(BinOp::Ne, w, zero)
+    }
+
+    fn read_scalar(
+        &mut self,
+        name: &str,
+        span: crate::token::Span,
+    ) -> Result<Wire, FrontendError> {
+        match self.env.get(name) {
+            Some(Symbol::Scalar { value: Some(w) }) => Ok(*w),
+            Some(Symbol::Scalar { value: None }) => {
+                // Declared but never assigned: the scalar becomes a kernel
+                // input (unless we are inside a loop sub-graph, where every
+                // readable scalar is already an input).
+                if self.nested {
+                    return Err(FrontendError::UseBeforeAssignment {
+                        name: name.to_string(),
+                        span,
+                    });
+                }
+                let id = self.graph.add_node(NodeKind::Input(name.to_string()));
+                let wire = Wire { node: id, port: 0 };
+                self.env
+                    .insert(name.to_string(), Symbol::Scalar { value: Some(wire) });
+                Ok(wire)
+            }
+            Some(Symbol::Array) => Err(FrontendError::KindMismatch {
+                name: name.to_string(),
+                expected: "a scalar",
+                span,
+            }),
+            None => Err(FrontendError::UndeclaredIdentifier {
+                name: name.to_string(),
+                span,
+            }),
+        }
+    }
+
+    fn array_address(
+        &mut self,
+        name: &str,
+        index: &Expr,
+        span: crate::token::Span,
+    ) -> Result<Wire, FrontendError> {
+        match self.env.get(name) {
+            Some(Symbol::Array) => {}
+            Some(Symbol::Scalar { .. }) => {
+                return Err(FrontendError::KindMismatch {
+                    name: name.to_string(),
+                    expected: "an array",
+                    span,
+                })
+            }
+            None => {
+                return Err(FrontendError::UndeclaredIdentifier {
+                    name: name.to_string(),
+                    span,
+                })
+            }
+        }
+        let base = self
+            .layout
+            .array(name)
+            .map(|a| a.base)
+            .ok_or_else(|| FrontendError::UndeclaredIdentifier {
+                name: name.to_string(),
+                span,
+            })?;
+        let index_wire = self.lower_expr(index)?;
+        if base == 0 {
+            return Ok(index_wire);
+        }
+        let base_wire = self.constant(base);
+        Ok(self.binop(BinOp::Add, base_wire, index_wire))
+    }
+
+    // ------------------------------------------------------------------
+    // Finalisation
+    // ------------------------------------------------------------------
+
+    fn finish(mut self) -> Result<Cdfg, FrontendError> {
+        // Emit outputs for every declared scalar holding a value, in
+        // declaration order, then the final statespace.
+        for name in self.scalar_order.clone() {
+            if let Some(Symbol::Scalar { value: Some(w) }) = self.env.get(&name).cloned() {
+                let out = self.graph.add_node(NodeKind::Output(name.clone()));
+                self.graph.connect(w.node, w.port, out, 0)?;
+            }
+        }
+        let out = self
+            .graph
+            .add_node(NodeKind::Output(STATE_NAME.to_string()));
+        let state = self.state;
+        self.graph.connect(state.node, state.port, out, 0)?;
+        fpfa_cdfg::validate::validate(&self.graph)?;
+        Ok(self.graph)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Variable usage analysis (for loop-carried variable discovery)
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct Usage {
+    reads: BTreeSet<String>,
+    writes: BTreeSet<String>,
+    /// Names declared locally inside the analysed statements; these are not
+    /// loop carried.
+    locals: BTreeSet<String>,
+    touches_state: bool,
+}
+
+impl Usage {
+    fn names(&self) -> Vec<String> {
+        self.reads
+            .union(&self.writes)
+            .filter(|n| !self.locals.contains(*n))
+            .cloned()
+            .collect()
+    }
+}
+
+fn collect_expr(expr: &Expr, usage: &mut Usage) {
+    match expr {
+        Expr::Literal { .. } => {}
+        Expr::Var { name, .. } => {
+            usage.reads.insert(name.clone());
+        }
+        Expr::Index { index, .. } => {
+            usage.touches_state = true;
+            collect_expr(index, usage);
+        }
+        Expr::Unary { operand, .. } => collect_expr(operand, usage),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, usage);
+            collect_expr(rhs, usage);
+        }
+    }
+}
+
+fn collect_stmts(stmts: &[Stmt], usage: &mut Usage) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Empty { .. } => {}
+            Stmt::Block { body, .. } => collect_stmts(body, usage),
+            Stmt::DeclScalar { name, init, .. } => {
+                if let Some(init) = init {
+                    collect_expr(init, usage);
+                }
+                usage.locals.insert(name.clone());
+            }
+            Stmt::DeclArray { name, .. } => {
+                usage.locals.insert(name.clone());
+            }
+            Stmt::Assign { target, value, .. } => {
+                collect_expr(value, usage);
+                match target {
+                    LValue::Var { name, .. } => {
+                        usage.writes.insert(name.clone());
+                    }
+                    LValue::Index { index, .. } => {
+                        usage.touches_state = true;
+                        collect_expr(index, usage);
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_expr(cond, usage);
+                collect_stmts(then_branch, usage);
+                collect_stmts(else_branch, usage);
+            }
+            Stmt::While { cond, body, .. } => {
+                collect_expr(cond, usage);
+                collect_stmts(body, usage);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use fpfa_cdfg::interp::Interpreter;
+    use fpfa_cdfg::Value;
+
+    fn run(
+        source: &str,
+        arrays: &[(&str, &[i64])],
+        scalars: &[(&str, i64)],
+    ) -> fpfa_cdfg::interp::RunResult {
+        let program = compile(source).unwrap();
+        let state = crate::initial_state(&program.layout, arrays);
+        let mut interp = Interpreter::new(&program.cdfg);
+        interp.bind(STATE_NAME, Value::State(state));
+        for (name, value) in scalars {
+            interp.bind(*name, Value::Word(*value));
+        }
+        interp.run().unwrap()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let result = run(
+            "void main() { int x; int y; x = 3; y = x * 4 + 2; }",
+            &[],
+            &[],
+        );
+        assert_eq!(result.word("x"), Some(3));
+        assert_eq!(result.word("y"), Some(14));
+    }
+
+    #[test]
+    fn scalar_inputs_are_created_for_unassigned_reads() {
+        let program = compile("void main() { int n; int y; y = n * 2; }").unwrap();
+        assert!(program.cdfg.input_named("n").is_some());
+        let result = run("void main() { int n; int y; y = n * 2; }", &[], &[("n", 21)]);
+        assert_eq!(result.word("y"), Some(42));
+    }
+
+    #[test]
+    fn array_reads_and_writes_go_through_the_statespace() {
+        let src = "void main() { int a[4]; int b[4]; b[0] = a[1] + a[2]; }";
+        let program = compile(src).unwrap();
+        assert_eq!(program.layout.array("a").unwrap().base, 0);
+        assert_eq!(program.layout.array("b").unwrap().base, 4);
+        let result = run(src, &[("a", &[10, 20, 30, 40])], &[]);
+        let mem = result.state(STATE_NAME).unwrap();
+        assert_eq!(mem.fetch(4), Some(50));
+    }
+
+    #[test]
+    fn if_else_becomes_mux() {
+        let src = "void main() { int x; int y; if (x > 0) { y = 1; } else { y = 2; } }";
+        let program = compile(src).unwrap();
+        let stats = fpfa_cdfg::GraphStats::of(&program.cdfg);
+        assert!(stats.muxes >= 1);
+        assert_eq!(run(src, &[], &[("x", 5)]).word("y"), Some(1));
+        assert_eq!(run(src, &[], &[("x", -5)]).word("y"), Some(2));
+    }
+
+    #[test]
+    fn if_without_else_keeps_old_value() {
+        let src = "void main() { int x; int y; y = 7; if (x > 0) { y = 1; } }";
+        assert_eq!(run(src, &[], &[("x", 3)]).word("y"), Some(1));
+        assert_eq!(run(src, &[], &[("x", 0)]).word("y"), Some(7));
+    }
+
+    #[test]
+    fn conditional_store_muxes_the_statespace() {
+        let src = "void main() { int a[2]; int x; if (x > 0) { a[0] = 9; } }";
+        let with = run(src, &[("a", &[1, 2])], &[("x", 1)]);
+        assert_eq!(with.state(STATE_NAME).unwrap().fetch(0), Some(9));
+        let without = run(src, &[("a", &[1, 2])], &[("x", 0)]);
+        assert_eq!(without.state(STATE_NAME).unwrap().fetch(0), Some(1));
+    }
+
+    #[test]
+    fn paper_fir_example_computes_dot_product() {
+        let src = r#"
+            void main() {
+                int a[5];
+                int c[5];
+                int sum;
+                int i;
+                sum = 0; i = 0;
+                while (i < 5) {
+                    sum = sum + a[i] * c[i]; i = i + 1;
+                }
+            }
+        "#;
+        let result = run(
+            src,
+            &[("a", &[1, 2, 3, 4, 5]), ("c", &[10, 20, 30, 40, 50])],
+            &[],
+        );
+        assert_eq!(result.word("sum"), Some(10 + 40 + 90 + 160 + 250));
+        assert_eq!(result.word("i"), Some(5));
+        // The un-unrolled graph contains exactly one loop node.
+        let program = compile(src).unwrap();
+        assert_eq!(fpfa_cdfg::GraphStats::of(&program.cdfg).loops, 1);
+    }
+
+    #[test]
+    fn for_loop_matches_while_loop() {
+        let src_for =
+            "void main() { int s; int i; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } }";
+        let src_while =
+            "void main() { int s; int i; s = 0; i = 0; while (i < 10) { s = s + i; i = i + 1; } }";
+        assert_eq!(
+            run(src_for, &[], &[]).word("s"),
+            run(src_while, &[], &[]).word("s")
+        );
+        assert_eq!(run(src_for, &[], &[]).word("s"), Some(45));
+    }
+
+    #[test]
+    fn nested_loops_execute() {
+        let src = r#"
+            void main() {
+                int total;
+                int i;
+                int j;
+                total = 0;
+                i = 0;
+                while (i < 3) {
+                    j = 0;
+                    while (j < 4) {
+                        total = total + 1;
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+            }
+        "#;
+        assert_eq!(run(src, &[], &[]).word("total"), Some(12));
+    }
+
+    #[test]
+    fn loop_over_arrays_writes_results() {
+        let src = r#"
+            void main() {
+                int x[4];
+                int y[4];
+                int i;
+                i = 0;
+                while (i < 4) {
+                    y[i] = x[i] * x[i];
+                    i = i + 1;
+                }
+            }
+        "#;
+        let result = run(src, &[("x", &[1, 2, 3, 4])], &[]);
+        let mem = result.state(STATE_NAME).unwrap();
+        let y_base = compile(src).unwrap().layout.array("y").unwrap().base;
+        let squares: Vec<_> = (0..4).map(|i| mem.fetch(y_base + i).unwrap()).collect();
+        assert_eq!(squares, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn logical_operators_normalise_to_bool() {
+        let src = "void main() { int x; int y; int r; r = x && y || 0; }";
+        assert_eq!(run(src, &[], &[("x", 5), ("y", 3)]).word("r"), Some(1));
+        assert_eq!(run(src, &[], &[("x", 5), ("y", 0)]).word("r"), Some(0));
+    }
+
+    #[test]
+    fn undeclared_identifier_is_rejected() {
+        let err = compile("void main() { x = 1; }").unwrap_err();
+        assert!(matches!(err, FrontendError::UndeclaredIdentifier { .. }));
+    }
+
+    #[test]
+    fn duplicate_declaration_is_rejected() {
+        let err = compile("void main() { int x; int x; }").unwrap_err();
+        assert!(matches!(err, FrontendError::DuplicateDeclaration { .. }));
+    }
+
+    #[test]
+    fn array_scalar_confusion_is_rejected() {
+        let err = compile("void main() { int a[3]; int x; x = a + 1; }").unwrap_err();
+        assert!(matches!(err, FrontendError::KindMismatch { .. }));
+        let err = compile("void main() { int x; int y; y = x[0]; }").unwrap_err();
+        assert!(matches!(err, FrontendError::KindMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_main_is_rejected() {
+        let err = compile("void other() { }").unwrap_err();
+        assert!(matches!(err, FrontendError::MissingMain));
+    }
+
+    #[test]
+    fn mem_interface_is_always_present() {
+        let program = compile("void main() { int x; x = 1; }").unwrap();
+        assert!(program.cdfg.input_named(STATE_NAME).is_some());
+        assert!(program.cdfg.output_named(STATE_NAME).is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Functional equivalence checking between the mapped program and the CDFG.
+//!
+//! The mapping flow is only useful when the tile computes exactly what the
+//! source program computes. This module runs the CDFG reference interpreter
+//! and the cycle-accurate simulator on the same inputs and compares every
+//! scalar output and the final statespace.
+
+use crate::error::SimError;
+use crate::exec::{SimInputs, SimOutcome, Simulator};
+use fpfa_cdfg::interp::Interpreter;
+use fpfa_cdfg::{Cdfg, Value};
+use fpfa_core::TileProgram;
+use std::fmt;
+
+/// The result of one equivalence check.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EquivalenceReport {
+    /// Differences found (empty when the behaviours match).
+    pub mismatches: Vec<String>,
+    /// The simulation outcome (for further inspection).
+    pub outcome: SimOutcome,
+}
+
+impl EquivalenceReport {
+    /// `true` when the mapped program matches the CDFG semantics.
+    pub fn is_equivalent(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+impl fmt::Display for EquivalenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_equivalent() {
+            write!(f, "mapped program matches the CDFG semantics")
+        } else {
+            writeln!(f, "{} mismatches:", self.mismatches.len())?;
+            for m in &self.mismatches {
+                writeln!(f, "  {m}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Errors raised by the equivalence checker.
+#[derive(Clone, PartialEq, Debug)]
+pub enum EquivalenceError {
+    /// The reference interpreter failed.
+    Interpreter(fpfa_cdfg::CdfgError),
+    /// The simulator failed.
+    Simulator(SimError),
+}
+
+impl fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivalenceError::Interpreter(e) => write!(f, "reference interpreter failed: {e}"),
+            EquivalenceError::Simulator(e) => write!(f, "simulator failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+/// Runs the CDFG interpreter and the tile simulator on the same inputs and
+/// compares their results.
+///
+/// The CDFG is expected to use the frontend conventions: the statespace flows
+/// through the `mem` input/output and scalar inputs are bound by name.
+///
+/// # Errors
+/// Returns [`EquivalenceError`] when either execution fails; behavioural
+/// differences are reported through [`EquivalenceReport::mismatches`], not as
+/// errors.
+pub fn check_against_cdfg(
+    cdfg: &Cdfg,
+    program: &TileProgram,
+    inputs: &SimInputs,
+) -> Result<EquivalenceReport, EquivalenceError> {
+    // Reference interpretation.
+    let mut interp = Interpreter::new(cdfg);
+    interp.bind("mem", Value::State(inputs.statespace.clone()));
+    for (name, value) in &inputs.scalars {
+        interp.bind(name.clone(), Value::Word(*value));
+    }
+    let reference = interp.run().map_err(EquivalenceError::Interpreter)?;
+
+    // Simulation.
+    let outcome = Simulator::new(program)
+        .run(inputs)
+        .map_err(EquivalenceError::Simulator)?;
+
+    let mut mismatches = Vec::new();
+    for (name, value) in reference.sorted() {
+        match value {
+            Value::Word(expected) => match outcome.scalar(name) {
+                Some(actual) if actual == *expected => {}
+                Some(actual) => mismatches.push(format!(
+                    "scalar `{name}`: interpreter {expected}, simulator {actual}"
+                )),
+                None => mismatches.push(format!(
+                    "scalar `{name}`: interpreter {expected}, simulator produced nothing"
+                )),
+            },
+            Value::State(expected) => {
+                if *expected != outcome.final_statespace {
+                    // Report the first few differing addresses for debugging.
+                    let mut detail = Vec::new();
+                    for (addr, value) in expected.iter() {
+                        if outcome.final_statespace.fetch(addr) != Some(value) {
+                            detail.push(format!(
+                                "mem[{addr}]: interpreter {value}, simulator {:?}",
+                                outcome.final_statespace.fetch(addr)
+                            ));
+                        }
+                        if detail.len() >= 4 {
+                            break;
+                        }
+                    }
+                    for (addr, value) in outcome.final_statespace.iter() {
+                        if expected.fetch(addr).is_none() {
+                            detail.push(format!("mem[{addr}]: simulator wrote spurious {value}"));
+                        }
+                        if detail.len() >= 8 {
+                            break;
+                        }
+                    }
+                    mismatches.push(format!(
+                        "final statespace differs: {}",
+                        detail.join("; ")
+                    ));
+                }
+            }
+        }
+    }
+    Ok(EquivalenceReport {
+        mismatches,
+        outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_core::pipeline::Mapper;
+
+    #[test]
+    fn fir_mapping_is_equivalent_to_the_cdfg() {
+        let src = r#"
+            void main() {
+                int a[6];
+                int c[6];
+                int sum;
+                int i;
+                sum = 0; i = 0;
+                while (i < 6) { sum = sum + a[i] * c[i]; i = i + 1; }
+            }
+        "#;
+        let mapping = Mapper::new().map_source(src).unwrap();
+        let inputs = SimInputs::new()
+            .array(0, &[1, -2, 3, -4, 5, -6])
+            .array(6, &[7, 8, 9, 10, 11, 12]);
+        let report =
+            check_against_cdfg(&mapping.simplified, &mapping.program, &inputs).unwrap();
+        assert!(report.is_equivalent(), "{report}");
+        assert!(report.to_string().contains("matches"));
+    }
+
+    #[test]
+    fn array_writing_kernels_are_equivalent() {
+        let src = r#"
+            void main() {
+                int x[5];
+                int y[5];
+                int i;
+                i = 0;
+                while (i < 5) { y[i] = (x[i] + 1) * x[i]; i = i + 1; }
+            }
+        "#;
+        let mapping = Mapper::new().map_source(src).unwrap();
+        let inputs = SimInputs::new().array(0, &[3, 0, -7, 2, 9]);
+        let report =
+            check_against_cdfg(&mapping.simplified, &mapping.program, &inputs).unwrap();
+        assert!(report.is_equivalent(), "{report}");
+    }
+
+    #[test]
+    fn interpreter_failures_are_distinguished_from_mismatches() {
+        let src = "void main() { int a[2]; int r; r = a[0] + a[1]; }";
+        let mapping = Mapper::new().map_source(src).unwrap();
+        // No array contents provided: both engines fail on the missing input.
+        let err = check_against_cdfg(&mapping.simplified, &mapping.program, &SimInputs::new())
+            .unwrap_err();
+        assert!(matches!(err, EquivalenceError::Interpreter(_)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the simulator.
+
+use fpfa_arch::ArchError;
+use fpfa_core::OpId;
+use std::fmt;
+
+/// Errors raised while executing a tile program.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SimError {
+    /// A structural tile constraint was violated at run time (ports, buses,
+    /// invalid references, uninitialised reads).
+    Arch {
+        /// The cycle at which the violation happened.
+        cycle: usize,
+        /// The underlying architectural error.
+        source: ArchError,
+    },
+    /// Two ALU jobs target the same processing part in the same cycle.
+    AluConflict {
+        /// The cycle at which the conflict happened.
+        cycle: usize,
+        /// The contested processing part.
+        pp: usize,
+    },
+    /// An ALU cluster violates the ALU data-path capability.
+    CapabilityViolated {
+        /// The cycle at which the violation happened.
+        cycle: usize,
+        /// The contested processing part.
+        pp: usize,
+        /// Why the cluster does not fit.
+        reason: String,
+    },
+    /// A kernel input required by the pre-load image was not provided.
+    MissingInput {
+        /// Description of the missing input.
+        what: String,
+    },
+    /// A write-back refers to an operation whose result was never computed.
+    MissingResult {
+        /// The cycle of the write-back.
+        cycle: usize,
+        /// The operation.
+        op: OpId,
+    },
+    /// Division (or remainder) by zero during ALU execution.
+    DivisionByZero {
+        /// The cycle of the offending operation.
+        cycle: usize,
+        /// The operation.
+        op: OpId,
+    },
+    /// An internal operand referenced a micro-op that has not executed yet.
+    BadInternalOperand {
+        /// The cycle of the offending operation.
+        cycle: usize,
+        /// The operation.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Arch { cycle, source } => write!(f, "cycle {cycle}: {source}"),
+            SimError::AluConflict { cycle, pp } => {
+                write!(f, "cycle {cycle}: two clusters assigned to pp{pp}")
+            }
+            SimError::CapabilityViolated { cycle, pp, reason } => {
+                write!(f, "cycle {cycle}: cluster on pp{pp} exceeds the ALU data-path: {reason}")
+            }
+            SimError::MissingInput { what } => write!(f, "missing kernel input: {what}"),
+            SimError::MissingResult { cycle, op } => {
+                write!(f, "cycle {cycle}: write-back of {op} before it was computed")
+            }
+            SimError::DivisionByZero { cycle, op } => {
+                write!(f, "cycle {cycle}: division by zero in {op}")
+            }
+            SimError::BadInternalOperand { cycle, op } => {
+                write!(f, "cycle {cycle}: {op} reads an internal operand that has not executed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Arch { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Arch {
+            cycle: 3,
+            source: ArchError::UnknownPp(9),
+        };
+        assert!(e.to_string().contains("cycle 3"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SimError::AluConflict { cycle: 1, pp: 2 }
+            .to_string()
+            .contains("pp2"));
+    }
+}

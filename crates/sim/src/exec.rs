@@ -1,0 +1,500 @@
+//! Cycle-by-cycle execution of a tile program.
+
+use crate::error::SimError;
+use crate::trace::{CycleTrace, Trace};
+use fpfa_arch::{ArchError, EnergyModel, EnergyReport, EventCounts, MemRef, RegRef, Tile};
+use fpfa_cdfg::StateSpace;
+use fpfa_core::program::{CycleJob, Location, OperandSource};
+use fpfa_core::{OpId, OpKind, TileProgram, ValueRef};
+use std::collections::HashMap;
+
+/// Run-time inputs of a kernel: scalar values plus the initial statespace.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SimInputs {
+    /// Values of the named scalar kernel inputs.
+    pub scalars: HashMap<String, i64>,
+    /// Initial statespace (array contents).
+    pub statespace: StateSpace,
+}
+
+impl SimInputs {
+    /// Creates empty inputs.
+    pub fn new() -> Self {
+        SimInputs::default()
+    }
+
+    /// Sets a scalar input.
+    pub fn scalar(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.scalars.insert(name.into(), value);
+        self
+    }
+
+    /// Loads an array at a base address of the statespace.
+    pub fn array(mut self, base: i64, values: &[i64]) -> Self {
+        self.statespace.store_array(base, values);
+        self
+    }
+}
+
+/// The result of one simulation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimOutcome {
+    /// Scalar outputs by name.
+    pub scalars: HashMap<String, i64>,
+    /// The final statespace (initial contents overlaid with every address the
+    /// kernel wrote).
+    pub final_statespace: StateSpace,
+    /// Architectural event counts.
+    pub counts: EventCounts,
+    /// Per-cycle trace.
+    pub trace: Trace,
+}
+
+impl SimOutcome {
+    /// Value of a scalar output.
+    pub fn scalar(&self, name: &str) -> Option<i64> {
+        self.scalars.get(name).copied()
+    }
+
+    /// Energy estimate under the given model.
+    pub fn energy(&self, model: &EnergyModel) -> EnergyReport {
+        model.report(self.counts)
+    }
+}
+
+/// The cycle-accurate simulator.
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p TileProgram,
+    check_structure: bool,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator for a program.
+    pub fn new(program: &'p TileProgram) -> Self {
+        Simulator {
+            program,
+            check_structure: true,
+        }
+    }
+
+    /// Disables the per-cycle structural re-checks (ports, buses, ALU
+    /// capability). Only useful for performance experiments on very large
+    /// programs; the default re-checks everything.
+    pub fn without_structural_checks(mut self) -> Self {
+        self.check_structure = false;
+        self
+    }
+
+    /// Executes the program.
+    ///
+    /// # Errors
+    /// Returns a [`SimError`] when an input is missing, a structural
+    /// constraint is violated, or the program reads values that were never
+    /// produced.
+    pub fn run(&self, inputs: &SimInputs) -> Result<SimOutcome, SimError> {
+        let config = self.program.config;
+        let mut tile = Tile::new(config);
+        let mut counts = EventCounts::default();
+        let mut trace = Trace::default();
+        let mut results: HashMap<OpId, i64> = HashMap::new();
+
+        // ------------------------------------------------------------------
+        // Pre-load: kernel inputs into the local memories.
+        // ------------------------------------------------------------------
+        for (value, home) in &self.program.preload {
+            let word = match value {
+                ValueRef::Const(c) => *c,
+                ValueRef::MemWord(addr) => {
+                    inputs
+                        .statespace
+                        .fetch(*addr)
+                        .ok_or_else(|| SimError::MissingInput {
+                            what: format!("statespace word at address {addr}"),
+                        })?
+                }
+                ValueRef::ScalarInput(index) => {
+                    // Index into the preserved input-name table is not carried
+                    // by the program; the allocator preserves the order, so we
+                    // recover the name through the scalar output map when
+                    // possible. The mapping result's graph knows the names;
+                    // the program's preload only needs the value, which the
+                    // caller supplies by name. We look the name up from the
+                    // program's scalar inputs table.
+                    let name = self
+                        .program
+                        .scalar_input_name(*index as usize)
+                        .ok_or_else(|| SimError::MissingInput {
+                            what: format!("scalar input #{index}"),
+                        })?;
+                    *inputs
+                        .scalars
+                        .get(name)
+                        .ok_or_else(|| SimError::MissingInput {
+                            what: format!("scalar input `{name}`"),
+                        })?
+                }
+                ValueRef::Op(op) => {
+                    return Err(SimError::MissingInput {
+                        what: format!("pre-load of computed value {op}"),
+                    })
+                }
+            };
+            write_mem(&mut tile, *home, word, 0)?;
+        }
+
+        // ------------------------------------------------------------------
+        // Cycle loop.
+        // ------------------------------------------------------------------
+        for (cycle_index, cycle) in self.program.cycles.iter().enumerate() {
+            if self.check_structure {
+                self.check_cycle(cycle_index, cycle)?;
+            }
+            let mut cycle_trace = CycleTrace {
+                cycle: cycle_index,
+                ..CycleTrace::default()
+            };
+
+            // Register loads.
+            for mv in &cycle.moves {
+                let word = read_mem(&tile, mv.src, cycle_index)?;
+                write_reg(&mut tile, mv.dst, word, cycle_index)?;
+                counts.mem_reads += 1;
+                counts.reg_writes += 1;
+                if mv.via_crossbar {
+                    counts.crossbar_transfers += 1;
+                    cycle_trace.crossbar_transfers += 1;
+                }
+                cycle_trace.moves += 1;
+            }
+
+            // ALU execution.
+            for alu in &cycle.alus {
+                let mut internal: Vec<i64> = Vec::with_capacity(alu.micro_ops.len());
+                for micro in &alu.micro_ops {
+                    let mut operands = Vec::with_capacity(micro.operands.len());
+                    for source in &micro.operands {
+                        let value = match source {
+                            OperandSource::Immediate(c) => *c,
+                            OperandSource::Register(reg) => {
+                                counts.reg_reads += 1;
+                                read_reg(&tile, *reg, cycle_index)?
+                            }
+                            OperandSource::Internal(pos) => *internal.get(*pos).ok_or(
+                                SimError::BadInternalOperand {
+                                    cycle: cycle_index,
+                                    op: micro.op,
+                                },
+                            )?,
+                        };
+                        operands.push(value);
+                    }
+                    let result = eval_op(micro.kind, &operands).ok_or(SimError::DivisionByZero {
+                        cycle: cycle_index,
+                        op: micro.op,
+                    })?;
+                    internal.push(result);
+                    results.insert(micro.op, result);
+                    counts.alu_ops += 1;
+                    cycle_trace.alu_ops += 1;
+                }
+                cycle_trace.busy_alus += 1;
+            }
+
+            // Write-backs.
+            for wb in &cycle.writebacks {
+                let value = *results.get(&wb.op).ok_or(SimError::MissingResult {
+                    cycle: cycle_index,
+                    op: wb.op,
+                })?;
+                write_mem(&mut tile, wb.dest, value, cycle_index)?;
+                counts.mem_writes += 1;
+                if wb.via_crossbar {
+                    counts.crossbar_transfers += 1;
+                    cycle_trace.crossbar_transfers += 1;
+                }
+                cycle_trace.writebacks += 1;
+            }
+
+            counts.cycles += 1;
+            trace.cycles.push(cycle_trace);
+        }
+
+        // ------------------------------------------------------------------
+        // Read back outputs.
+        // ------------------------------------------------------------------
+        let mut scalars = HashMap::new();
+        for (name, location) in &self.program.scalar_outputs {
+            let value = match location {
+                Location::Constant(c) => *c,
+                Location::Mem(mem) => read_mem(&tile, *mem, self.program.cycle_count())?,
+                Location::Reg(reg) => read_reg(&tile, *reg, self.program.cycle_count())?,
+            };
+            scalars.insert(name.clone(), value);
+        }
+
+        let mut final_statespace = inputs.statespace.clone();
+        for (addr, home) in &self.program.statespace_map {
+            let value = read_mem(&tile, *home, self.program.cycle_count())?;
+            final_statespace.store(*addr, value);
+        }
+
+        Ok(SimOutcome {
+            scalars,
+            final_statespace,
+            counts,
+            trace,
+        })
+    }
+
+    /// Re-checks the structural constraints of one cycle.
+    fn check_cycle(&self, cycle_index: usize, cycle: &CycleJob) -> Result<(), SimError> {
+        let config = &self.program.config;
+        // One cluster per PP.
+        let mut pps_seen: Vec<usize> = Vec::new();
+        for alu in &cycle.alus {
+            if pps_seen.contains(&alu.pp) {
+                return Err(SimError::AluConflict {
+                    cycle: cycle_index,
+                    pp: alu.pp,
+                });
+            }
+            pps_seen.push(alu.pp);
+            // ALU capability: count ops, multiplies, depth (approximated by
+            // the number of internal dependencies on the longest chain),
+            // register operands.
+            let ops = alu.micro_ops.len();
+            let multiplies = alu
+                .micro_ops
+                .iter()
+                .filter(|m| m.kind.is_multiply())
+                .count();
+            let mut depth = vec![1usize; ops];
+            for (i, micro) in alu.micro_ops.iter().enumerate() {
+                for source in &micro.operands {
+                    if let OperandSource::Internal(pos) = source {
+                        if *pos < i {
+                            depth[i] = depth[i].max(depth[*pos] + 1);
+                        }
+                    }
+                }
+            }
+            let max_depth = depth.iter().copied().max().unwrap_or(0);
+            let register_inputs: std::collections::HashSet<RegRef> = alu
+                .micro_ops
+                .iter()
+                .flat_map(|m| m.operands.iter())
+                .filter_map(|s| match s {
+                    OperandSource::Register(r) => Some(*r),
+                    _ => None,
+                })
+                .collect();
+            if let Some(reason) = config.alu.check(
+                register_inputs.len(),
+                max_depth,
+                ops,
+                multiplies,
+                config.alu.max_outputs,
+                0,
+            ) {
+                return Err(SimError::CapabilityViolated {
+                    cycle: cycle_index,
+                    pp: alu.pp,
+                    reason,
+                });
+            }
+        }
+        // Memory ports.
+        let mut mem_accesses: HashMap<(usize, fpfa_arch::MemId), usize> = HashMap::new();
+        for mv in &cycle.moves {
+            *mem_accesses.entry((mv.src.pp, mv.src.mem)).or_insert(0) += 1;
+        }
+        for wb in &cycle.writebacks {
+            *mem_accesses.entry((wb.dest.pp, wb.dest.mem)).or_insert(0) += 1;
+        }
+        for ((pp, mem), used) in &mem_accesses {
+            if *used > config.mem_ports {
+                return Err(SimError::Arch {
+                    cycle: cycle_index,
+                    source: ArchError::PortConflict {
+                        resource: format!("pp{pp}.{mem}"),
+                        requested: *used,
+                        available: config.mem_ports,
+                    },
+                });
+            }
+        }
+        // Crossbar buses.
+        let transfers = cycle.moves.iter().filter(|m| m.via_crossbar).count()
+            + cycle.writebacks.iter().filter(|w| w.via_crossbar).count();
+        if transfers > config.crossbar_buses {
+            return Err(SimError::Arch {
+                cycle: cycle_index,
+                source: ArchError::CrossbarOversubscribed {
+                    requested: transfers,
+                    available: config.crossbar_buses,
+                },
+            });
+        }
+        // Register-bank write ports.
+        let mut bank_writes: HashMap<(usize, fpfa_arch::RegBankName), usize> = HashMap::new();
+        for mv in &cycle.moves {
+            *bank_writes.entry((mv.dst.pp, mv.dst.bank)).or_insert(0) += 1;
+        }
+        for ((pp, bank), used) in &bank_writes {
+            if *used > config.regbank_write_ports {
+                return Err(SimError::Arch {
+                    cycle: cycle_index,
+                    source: ArchError::PortConflict {
+                        resource: format!("pp{pp}.{bank}"),
+                        requested: *used,
+                        available: config.regbank_write_ports,
+                    },
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn eval_op(kind: OpKind, operands: &[i64]) -> Option<i64> {
+    match kind {
+        OpKind::Bin(op) => op.eval(operands[0], operands[1]),
+        OpKind::Un(op) => Some(op.eval(operands[0])),
+        OpKind::Mux => Some(if operands[0] != 0 {
+            operands[1]
+        } else {
+            operands[2]
+        }),
+    }
+}
+
+fn read_mem(tile: &Tile, mem: MemRef, cycle: usize) -> Result<i64, SimError> {
+    tile.pp(mem.pp)
+        .and_then(|pp| pp.memory(mem.mem))
+        .and_then(|m| m.read(mem.offset))
+        .map_err(|source| SimError::Arch { cycle, source })
+}
+
+fn write_mem(tile: &mut Tile, mem: MemRef, value: i64, cycle: usize) -> Result<(), SimError> {
+    tile.pp_mut(mem.pp)
+        .and_then(|pp| pp.memory_mut(mem.mem))
+        .and_then(|m| m.write(mem.offset, value))
+        .map_err(|source| SimError::Arch { cycle, source })
+}
+
+fn read_reg(tile: &Tile, reg: RegRef, cycle: usize) -> Result<i64, SimError> {
+    tile.pp(reg.pp)
+        .and_then(|pp| pp.bank(reg.bank))
+        .and_then(|b| b.read(reg.index))
+        .map_err(|source| SimError::Arch { cycle, source })
+}
+
+fn write_reg(tile: &mut Tile, reg: RegRef, value: i64, cycle: usize) -> Result<(), SimError> {
+    tile.pp_mut(reg.pp)
+        .and_then(|pp| pp.bank_mut(reg.bank))
+        .and_then(|b| b.write(reg.index, value))
+        .map_err(|source| SimError::Arch { cycle, source })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_core::pipeline::Mapper;
+
+    const FIR: &str = r#"
+        void main() {
+            int a[4];
+            int c[4];
+            int sum;
+            int i;
+            sum = 0; i = 0;
+            while (i < 4) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+    "#;
+
+    fn fir_inputs() -> SimInputs {
+        SimInputs::new()
+            .array(0, &[1, 2, 3, 4])
+            .array(4, &[10, 20, 30, 40])
+    }
+
+    #[test]
+    fn executes_the_fir_kernel_correctly() {
+        let mapping = Mapper::new().map_source(FIR).unwrap();
+        let outcome = Simulator::new(&mapping.program).run(&fir_inputs()).unwrap();
+        assert_eq!(outcome.scalar("sum"), Some(10 + 40 + 90 + 160));
+        assert_eq!(outcome.scalar("i"), Some(4));
+        assert_eq!(outcome.counts.cycles as usize, mapping.program.cycle_count());
+        assert!(outcome.counts.alu_ops >= 7);
+        assert!(outcome.trace.len() > 0);
+    }
+
+    #[test]
+    fn missing_array_data_is_reported() {
+        let mapping = Mapper::new().map_source(FIR).unwrap();
+        let err = Simulator::new(&mapping.program)
+            .run(&SimInputs::new())
+            .unwrap_err();
+        assert!(matches!(err, SimError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn scalar_inputs_are_passed_by_name() {
+        let src = "void main() { int n; int r; r = n * 3 + 1; }";
+        let mapping = Mapper::new().map_source(src).unwrap();
+        let outcome = Simulator::new(&mapping.program)
+            .run(&SimInputs::new().scalar("n", 13))
+            .unwrap();
+        assert_eq!(outcome.scalar("r"), Some(40));
+        let err = Simulator::new(&mapping.program)
+            .run(&SimInputs::new())
+            .unwrap_err();
+        assert!(matches!(err, SimError::MissingInput { .. }));
+    }
+
+    #[test]
+    fn statespace_writes_appear_in_the_final_state() {
+        let src = r#"
+            void main() {
+                int x[4];
+                int y[4];
+                int i;
+                i = 0;
+                while (i < 4) { y[i] = x[i] * x[i]; i = i + 1; }
+            }
+        "#;
+        let mapping = Mapper::new().map_source(src).unwrap();
+        let inputs = SimInputs::new().array(0, &[1, 2, 3, 4]);
+        let outcome = Simulator::new(&mapping.program).run(&inputs).unwrap();
+        let y_base = mapping.layout.array("y").unwrap().base;
+        for i in 0..4 {
+            assert_eq!(
+                outcome.final_statespace.fetch(y_base + i),
+                Some(((i + 1) * (i + 1)) as i64)
+            );
+        }
+        // Inputs are unchanged.
+        assert_eq!(outcome.final_statespace.fetch(0), Some(1));
+    }
+
+    #[test]
+    fn event_counts_feed_the_energy_model() {
+        let mapping = Mapper::new().map_source(FIR).unwrap();
+        let outcome = Simulator::new(&mapping.program).run(&fir_inputs()).unwrap();
+        let energy = outcome.energy(&EnergyModel::default_model());
+        assert!(energy.total > 0.0);
+        assert!(outcome.counts.mem_reads > 0);
+        assert!(outcome.counts.reg_writes >= outcome.counts.mem_reads);
+    }
+
+    #[test]
+    fn structural_checks_can_be_disabled() {
+        let mapping = Mapper::new().map_source(FIR).unwrap();
+        let outcome = Simulator::new(&mapping.program)
+            .without_structural_checks()
+            .run(&fir_inputs())
+            .unwrap();
+        assert_eq!(outcome.scalar("sum"), Some(10 + 40 + 90 + 160));
+    }
+}

@@ -1,0 +1,87 @@
+//! Execution traces: what the tile did in every cycle.
+
+use std::fmt;
+
+/// Summary of one executed cycle.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CycleTrace {
+    /// Cycle index.
+    pub cycle: usize,
+    /// Number of register loads performed.
+    pub moves: usize,
+    /// Number of busy ALUs.
+    pub busy_alus: usize,
+    /// Number of ALU micro-operations executed.
+    pub alu_ops: usize,
+    /// Number of results written back to memory.
+    pub writebacks: usize,
+    /// Number of crossbar transfers.
+    pub crossbar_transfers: usize,
+}
+
+/// A whole-program execution trace.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    /// Per-cycle summaries in execution order.
+    pub cycles: Vec<CycleTrace>,
+}
+
+impl Trace {
+    /// Number of traced cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` when nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Number of cycles in which no ALU was busy (pure load/stall cycles).
+    pub fn idle_alu_cycles(&self) -> usize {
+        self.cycles.iter().filter(|c| c.busy_alus == 0).count()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycle  moves  alus  ops  stores  xbar")?;
+        for c in &self.cycles {
+            writeln!(
+                f,
+                "{:5}  {:5}  {:4}  {:3}  {:6}  {:4}",
+                c.cycle, c.moves, c.busy_alus, c.alu_ops, c.writebacks, c.crossbar_transfers
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_cycle_counting() {
+        let trace = Trace {
+            cycles: vec![
+                CycleTrace {
+                    cycle: 0,
+                    moves: 2,
+                    busy_alus: 0,
+                    ..CycleTrace::default()
+                },
+                CycleTrace {
+                    cycle: 1,
+                    busy_alus: 3,
+                    alu_ops: 5,
+                    ..CycleTrace::default()
+                },
+            ],
+        };
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.idle_alu_cycles(), 1);
+        assert!(trace.to_string().contains("cycle"));
+    }
+}

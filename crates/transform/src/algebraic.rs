@@ -1,0 +1,261 @@
+//! Algebraic simplification of operations with one constant operand.
+
+use crate::const_fold::const_input;
+use crate::error::TransformError;
+use crate::pass::{replace_with_const, Transform};
+use fpfa_cdfg::{BinOp, Cdfg, NodeId, NodeKind};
+
+/// Applies algebraic identities:
+///
+/// * `x + 0`, `0 + x`, `x - 0`, `x | 0`, `x ^ 0`, `x << 0`, `x >> 0` → `x`
+/// * `x * 1`, `1 * x`, `x / 1` → `x`
+/// * `x * 0`, `0 * x`, `x & 0`, `0 & x` → `0`
+/// * `x - x`, `x ^ x` → `0`
+/// * `x & x`, `x | x`, `min(x,x)`, `max(x,x)` → `x`
+/// * `x == x`, `x <= x`, `x >= x` → `1`; `x != x`, `x < x`, `x > x` → `0`
+pub struct AlgebraicSimplify;
+
+impl Transform for AlgebraicSimplify {
+    fn name(&self) -> &'static str {
+        "algebraic"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            let NodeKind::BinOp(op) = graph.kind(id)?.clone() else {
+                continue;
+            };
+            let lhs = graph.input_source(id, 0);
+            let rhs = graph.input_source(id, 1);
+            let (Some(lhs), Some(rhs)) = (lhs, rhs) else {
+                continue;
+            };
+            let lc = const_input(graph, id, 0);
+            let rc = const_input(graph, id, 1);
+            let same_operand = lhs == rhs;
+
+            // Rewrite to the left operand, the right operand, or a constant.
+            enum Rewrite {
+                ToLhs,
+                ToRhs,
+                ToConst(i64),
+                None,
+            }
+            let rewrite = match op {
+                BinOp::Add => match (lc, rc) {
+                    (_, Some(0)) => Rewrite::ToLhs,
+                    (Some(0), _) => Rewrite::ToRhs,
+                    _ => Rewrite::None,
+                },
+                BinOp::Sub => {
+                    if same_operand {
+                        Rewrite::ToConst(0)
+                    } else if rc == Some(0) {
+                        Rewrite::ToLhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Mul => match (lc, rc) {
+                    (_, Some(0)) | (Some(0), _) => Rewrite::ToConst(0),
+                    (_, Some(1)) => Rewrite::ToLhs,
+                    (Some(1), _) => Rewrite::ToRhs,
+                    _ => Rewrite::None,
+                },
+                BinOp::Div => {
+                    if rc == Some(1) {
+                        Rewrite::ToLhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::And => {
+                    if same_operand {
+                        Rewrite::ToLhs
+                    } else if lc == Some(0) || rc == Some(0) {
+                        Rewrite::ToConst(0)
+                    } else if rc == Some(-1) {
+                        Rewrite::ToLhs
+                    } else if lc == Some(-1) {
+                        Rewrite::ToRhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Or => {
+                    if same_operand {
+                        Rewrite::ToLhs
+                    } else if rc == Some(0) {
+                        Rewrite::ToLhs
+                    } else if lc == Some(0) {
+                        Rewrite::ToRhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Xor => {
+                    if same_operand {
+                        Rewrite::ToConst(0)
+                    } else if rc == Some(0) {
+                        Rewrite::ToLhs
+                    } else if lc == Some(0) {
+                        Rewrite::ToRhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Shl | BinOp::Shr => {
+                    if rc == Some(0) {
+                        Rewrite::ToLhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Eq | BinOp::Le | BinOp::Ge => {
+                    if same_operand {
+                        Rewrite::ToConst(1)
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Ne | BinOp::Lt | BinOp::Gt => {
+                    if same_operand {
+                        Rewrite::ToConst(0)
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Min | BinOp::Max => {
+                    if same_operand {
+                        Rewrite::ToLhs
+                    } else {
+                        Rewrite::None
+                    }
+                }
+                BinOp::Rem => Rewrite::None,
+            };
+
+            match rewrite {
+                Rewrite::ToLhs => {
+                    graph.replace_uses(id, 0, lhs.node, lhs.port_index())?;
+                    graph.remove_node(id)?;
+                    changes += 1;
+                }
+                Rewrite::ToRhs => {
+                    graph.replace_uses(id, 0, rhs.node, rhs.port_index())?;
+                    graph.remove_node(id)?;
+                    changes += 1;
+                }
+                Rewrite::ToConst(v) => {
+                    replace_with_const(graph, id, v)?;
+                    changes += 1;
+                }
+                Rewrite::None => {}
+            }
+        }
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::{CdfgBuilder, GraphStats};
+
+    fn simplified_stats(build: impl FnOnce(&mut CdfgBuilder)) -> GraphStats {
+        let mut b = CdfgBuilder::new("t");
+        build(&mut b);
+        let mut g = b.finish().unwrap();
+        AlgebraicSimplify.apply(&mut g).unwrap();
+        GraphStats::of(&g)
+    }
+
+    #[test]
+    fn add_zero_is_removed() {
+        let stats = simplified_stats(|b| {
+            let x = b.input("x");
+            let zero = b.constant(0);
+            let sum = b.add(x, zero);
+            b.output("r", sum);
+        });
+        assert_eq!(stats.additions, 0);
+    }
+
+    #[test]
+    fn multiply_by_zero_becomes_constant() {
+        let stats = simplified_stats(|b| {
+            let x = b.input("x");
+            let zero = b.constant(0);
+            let product = b.mul(zero, x);
+            b.output("r", product);
+        });
+        assert_eq!(stats.multiplies, 0);
+    }
+
+    #[test]
+    fn multiply_by_one_is_removed() {
+        let stats = simplified_stats(|b| {
+            let x = b.input("x");
+            let one = b.constant(1);
+            let product = b.mul(x, one);
+            b.output("r", product);
+        });
+        assert_eq!(stats.multiplies, 0);
+    }
+
+    #[test]
+    fn subtract_self_becomes_zero() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let diff = b.sub(x, x);
+        b.output("r", diff);
+        let mut g = b.finish().unwrap();
+        assert_eq!(AlgebraicSimplify.apply(&mut g).unwrap(), 1);
+        let out = g.output_named("r").unwrap();
+        let src = g.input_source(out, 0).unwrap();
+        assert_eq!(g.kind(src.node).unwrap(), &NodeKind::Const(0));
+    }
+
+    #[test]
+    fn comparisons_of_identical_operands_fold() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let eq = b.binop(BinOp::Eq, x, x);
+        let lt = b.binop(BinOp::Lt, x, x);
+        b.output("eq", eq);
+        b.output("lt", lt);
+        let mut g = b.finish().unwrap();
+        assert_eq!(AlgebraicSimplify.apply(&mut g).unwrap(), 2);
+        let eq_src = g.input_source(g.output_named("eq").unwrap(), 0).unwrap();
+        let lt_src = g.input_source(g.output_named("lt").unwrap(), 0).unwrap();
+        assert_eq!(g.kind(eq_src.node).unwrap(), &NodeKind::Const(1));
+        assert_eq!(g.kind(lt_src.node).unwrap(), &NodeKind::Const(0));
+    }
+
+    #[test]
+    fn shifts_by_zero_are_removed() {
+        let stats = simplified_stats(|b| {
+            let x = b.input("x");
+            let zero = b.constant(0);
+            let shifted = b.binop(BinOp::Shl, x, zero);
+            b.output("r", shifted);
+        });
+        assert_eq!(stats.binops, 0);
+    }
+
+    #[test]
+    fn unrelated_operations_are_untouched() {
+        let stats = simplified_stats(|b| {
+            let x = b.input("x");
+            let y = b.input("y");
+            let sum = b.add(x, y);
+            b.output("r", sum);
+        });
+        assert_eq!(stats.additions, 1);
+    }
+}

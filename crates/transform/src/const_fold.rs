@@ -1,0 +1,159 @@
+//! Constant folding and propagation.
+
+use crate::error::TransformError;
+use crate::pass::{replace_with_const, Transform};
+use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
+
+/// Folds operations whose inputs are all constants, and multiplexers whose
+/// select input is constant.
+///
+/// Because consumers of a folded node are rewired to a fresh `Const` node,
+/// repeating the pass propagates constants through arbitrarily deep
+/// expressions; the [`Pipeline`](crate::Pipeline) fixpoint loop takes care of
+/// the repetition.
+pub struct ConstantFold;
+
+impl Transform for ConstantFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        // Iterate over a snapshot of ids; nodes added during the pass are
+        // constants and never need folding themselves.
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            let kind = graph.kind(id)?.clone();
+            match kind {
+                NodeKind::BinOp(op) => {
+                    let (Some(a), Some(b)) = (const_input(graph, id, 0), const_input(graph, id, 1))
+                    else {
+                        continue;
+                    };
+                    // Division by zero is left in place so that the runtime
+                    // error is preserved.
+                    if let Some(result) = op.eval(a, b) {
+                        replace_with_const(graph, id, result)?;
+                        changes += 1;
+                    }
+                }
+                NodeKind::UnOp(op) => {
+                    let Some(a) = const_input(graph, id, 0) else {
+                        continue;
+                    };
+                    replace_with_const(graph, id, op.eval(a))?;
+                    changes += 1;
+                }
+                NodeKind::Mux => {
+                    let Some(sel) = const_input(graph, id, 0) else {
+                        continue;
+                    };
+                    let chosen_port = if sel != 0 { 1 } else { 2 };
+                    let src = graph
+                        .input_source(id, chosen_port)
+                        .expect("validated graphs have fully connected muxes");
+                    graph.replace_uses(id, 0, src.node, src.port_index())?;
+                    graph.remove_node(id)?;
+                    changes += 1;
+                }
+                _ => {}
+            }
+        }
+        Ok(changes)
+    }
+}
+
+/// Returns the constant driving input `port` of `node`, if any.
+pub(crate) fn const_input(graph: &Cdfg, node: NodeId, port: usize) -> Option<i64> {
+    let src = graph.input_source(node, port)?;
+    match graph.kind(src.node).ok()? {
+        NodeKind::Const(v) => Some(*v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::{BinOp, CdfgBuilder, GraphStats, UnOp};
+
+    #[test]
+    fn folds_constant_binops() {
+        let mut b = CdfgBuilder::new("t");
+        let two = b.constant(2);
+        let three = b.constant(3);
+        let sum = b.add(two, three);
+        b.output("r", sum);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ConstantFold.apply(&mut g).unwrap(), 1);
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.binops, 0);
+        // The output is now driven by a constant 5.
+        let out = g.output_named("r").unwrap();
+        let src = g.input_source(out, 0).unwrap();
+        assert_eq!(g.kind(src.node).unwrap(), &NodeKind::Const(5));
+    }
+
+    #[test]
+    fn folds_unops_and_cascades_over_rounds() {
+        let mut b = CdfgBuilder::new("t");
+        let four = b.constant(4);
+        let neg = b.unop(UnOp::Neg, four);
+        let one = b.constant(1);
+        let sum = b.add(neg, one);
+        b.output("r", sum);
+        let mut g = b.finish().unwrap();
+        // First application folds the negation (the addition may or may not
+        // fold in the same sweep depending on id order); a second application
+        // reaches the fixpoint.
+        let first = ConstantFold.apply(&mut g).unwrap();
+        assert!(first >= 1);
+        ConstantFold.apply(&mut g).unwrap();
+        let out = g.output_named("r").unwrap();
+        let src = g.input_source(out, 0).unwrap();
+        assert_eq!(g.kind(src.node).unwrap(), &NodeKind::Const(-3));
+    }
+
+    #[test]
+    fn folds_mux_with_constant_select() {
+        let mut b = CdfgBuilder::new("t");
+        let sel = b.constant(1);
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.mux(sel, x, y);
+        b.output("r", m);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ConstantFold.apply(&mut g).unwrap(), 1);
+        let out = g.output_named("r").unwrap();
+        let src = g.input_source(out, 0).unwrap();
+        assert_eq!(src.node, g.input_named("x").unwrap());
+        assert_eq!(GraphStats::of(&g).muxes, 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let mut b = CdfgBuilder::new("t");
+        let ten = b.constant(10);
+        let zero = b.constant(0);
+        let div = b.binop(BinOp::Div, ten, zero);
+        b.output("r", div);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ConstantFold.apply(&mut g).unwrap(), 0);
+        assert_eq!(GraphStats::of(&g).binops, 1);
+    }
+
+    #[test]
+    fn non_constant_inputs_are_left_alone() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let one = b.constant(1);
+        let sum = b.add(x, one);
+        b.output("r", sum);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ConstantFold.apply(&mut g).unwrap(), 0);
+    }
+}

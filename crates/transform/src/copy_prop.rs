@@ -1,0 +1,72 @@
+//! Copy propagation: removal of `Copy` wire nodes.
+
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
+
+/// Rewires consumers of a `Copy` node to the copy's source and removes the
+/// copy.
+///
+/// `Copy` nodes are introduced as temporary placeholders by other
+/// transformations (and may appear in hand-built graphs); they carry no
+/// semantics.
+pub struct CopyPropagation;
+
+impl Transform for CopyPropagation {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            if !matches!(graph.kind(id)?, NodeKind::Copy) {
+                continue;
+            }
+            let Some(src) = graph.input_source(id, 0) else {
+                continue;
+            };
+            graph.replace_uses(id, 0, src.node, src.port_index())?;
+            graph.remove_node(id)?;
+            changes += 1;
+        }
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::{Cdfg, GraphStats};
+
+    #[test]
+    fn removes_copy_chains() {
+        let mut g = Cdfg::new("t");
+        let x = g.add_node(NodeKind::Input("x".into()));
+        let c1 = g.add_node(NodeKind::Copy);
+        let c2 = g.add_node(NodeKind::Copy);
+        let out = g.add_node(NodeKind::Output("r".into()));
+        g.connect(x, 0, c1, 0).unwrap();
+        g.connect(c1, 0, c2, 0).unwrap();
+        g.connect(c2, 0, out, 0).unwrap();
+
+        let first = CopyPropagation.apply(&mut g).unwrap();
+        let second = CopyPropagation.apply(&mut g).unwrap();
+        assert_eq!(first + second, 2);
+        assert_eq!(GraphStats::of(&g).copies, 0);
+        assert_eq!(g.input_source(out, 0).unwrap().node, x);
+    }
+
+    #[test]
+    fn leaves_other_nodes_alone() {
+        let mut g = Cdfg::new("t");
+        let x = g.add_node(NodeKind::Input("x".into()));
+        let out = g.add_node(NodeKind::Output("r".into()));
+        g.connect(x, 0, out, 0).unwrap();
+        assert_eq!(CopyPropagation.apply(&mut g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Common-subexpression elimination.
+
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::{Cdfg, Endpoint, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// Merges structurally identical pure operations.
+///
+/// Two nodes are merged when they have the same kind and the same input
+/// sources (for commutative operators the operand order is normalised first).
+/// Pure operations are constants, binary/unary operators, multiplexers and
+/// `FE` fetches — a fetch is pure because it does not modify the statespace,
+/// so two fetches of the same address from the same statespace token always
+/// yield the same value. `ST`/`DEL` are never merged.
+pub struct CommonSubexpressionElimination;
+
+impl Transform for CommonSubexpressionElimination {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        // Value-numbering table: structural key -> representative node.
+        let mut table: HashMap<String, NodeId> = HashMap::new();
+        // Process in topological order so representatives are found before
+        // their duplicates' consumers.
+        let order = graph.topo_order()?;
+        for id in order {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            let kind = graph.kind(id)?.clone();
+            let Some(key) = structural_key(graph, id, &kind) else {
+                continue;
+            };
+            match table.get(&key) {
+                Some(&representative) if representative != id => {
+                    graph.replace_uses(id, 0, representative, 0)?;
+                    graph.remove_node(id)?;
+                    changes += 1;
+                }
+                Some(_) => {}
+                None => {
+                    table.insert(key, id);
+                }
+            }
+        }
+        Ok(changes)
+    }
+}
+
+/// Builds the value-numbering key of a node, or `None` when the node must not
+/// participate in CSE.
+fn structural_key(graph: &Cdfg, id: NodeId, kind: &NodeKind) -> Option<String> {
+    let mut inputs: Vec<Endpoint> = Vec::new();
+    let node = graph.node(id).ok()?;
+    for port in 0..node.input_count() {
+        inputs.push(graph.input_source(id, port)?);
+    }
+    let key = match kind {
+        NodeKind::Const(v) => format!("const:{v}"),
+        NodeKind::UnOp(op) => format!("un:{op:?}:{}", fmt_inputs(&inputs)),
+        NodeKind::BinOp(op) => {
+            let mut operands = inputs.clone();
+            if op.is_commutative() {
+                operands.sort();
+            }
+            format!("bin:{op:?}:{}", fmt_inputs(&operands))
+        }
+        NodeKind::Mux => format!("mux:{}", fmt_inputs(&inputs)),
+        NodeKind::Fetch => format!("fe:{}", fmt_inputs(&inputs)),
+        // Interface nodes, stores, deletes, copies and loops are not merged.
+        _ => return None,
+    };
+    Some(key)
+}
+
+fn fmt_inputs(inputs: &[Endpoint]) -> String {
+    inputs
+        .iter()
+        .map(|e| format!("{}.{}", e.node.index(), e.port))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::{CdfgBuilder, GraphStats};
+
+    #[test]
+    fn identical_additions_are_merged() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s1 = b.add(x, y);
+        let s2 = b.add(x, y);
+        let product = b.mul(s1, s2);
+        b.output("r", product);
+        let mut g = b.finish().unwrap();
+        assert_eq!(CommonSubexpressionElimination.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).additions, 1);
+    }
+
+    #[test]
+    fn commutative_operands_are_normalised() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s1 = b.add(x, y);
+        let s2 = b.add(y, x);
+        let product = b.mul(s1, s2);
+        b.output("r", product);
+        let mut g = b.finish().unwrap();
+        assert_eq!(CommonSubexpressionElimination.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).additions, 1);
+    }
+
+    #[test]
+    fn non_commutative_operand_order_matters() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let d1 = b.sub(x, y);
+        let d2 = b.sub(y, x);
+        let product = b.mul(d1, d2);
+        b.output("r", product);
+        let mut g = b.finish().unwrap();
+        assert_eq!(CommonSubexpressionElimination.apply(&mut g).unwrap(), 0);
+        assert_eq!(GraphStats::of(&g).binops, 3);
+    }
+
+    #[test]
+    fn duplicate_constants_are_merged() {
+        let mut b = CdfgBuilder::new("t");
+        let c1 = b.constant(7);
+        let c2 = b.constant(7);
+        let sum = b.add(c1, c2);
+        b.output("r", sum);
+        let mut g = b.finish().unwrap();
+        assert_eq!(CommonSubexpressionElimination.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).constants, 1);
+    }
+
+    #[test]
+    fn duplicate_fetches_from_same_state_are_merged() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.constant(3);
+        let f1 = b.fetch(mem, addr);
+        let f2 = b.fetch(mem, addr);
+        let sum = b.add(f1, f2);
+        b.output("r", sum);
+        b.output("mem", mem);
+        let mut g = b.finish().unwrap();
+        assert_eq!(CommonSubexpressionElimination.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).fetches, 1);
+    }
+
+    #[test]
+    fn stores_are_never_merged() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.constant(3);
+        let value = b.constant(9);
+        let s1 = b.store(mem, addr, value);
+        let s2 = b.store(mem, addr, value);
+        b.output("m1", s1);
+        b.output("m2", s2);
+        let mut g = b.finish().unwrap();
+        assert_eq!(CommonSubexpressionElimination.apply(&mut g).unwrap(), 0);
+        assert_eq!(GraphStats::of(&g).stores, 2);
+    }
+
+    #[test]
+    fn cascading_duplicates_need_repeated_passes() {
+        // (x+y)*2 duplicated twice: after the first pass the adds merge, after
+        // the second the multiplies merge too.
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let two = b.constant(2);
+        let s1 = b.add(x, y);
+        let s2 = b.add(x, y);
+        let m1 = b.mul(s1, two);
+        let m2 = b.mul(s2, two);
+        let sum = b.add(m1, m2);
+        b.output("r", sum);
+        let mut g = b.finish().unwrap();
+        let mut total = 0;
+        loop {
+            let changes = CommonSubexpressionElimination.apply(&mut g).unwrap();
+            if changes == 0 {
+                break;
+            }
+            total += changes;
+        }
+        assert!(total >= 2);
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.multiplies, 1);
+    }
+}

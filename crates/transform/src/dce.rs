@@ -1,0 +1,98 @@
+//! Dead-code elimination.
+
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::analysis::live_nodes;
+use fpfa_cdfg::{Cdfg, NodeKind};
+
+/// Removes every node from which no `Output` node is reachable.
+///
+/// Graph interface nodes (`Input` and `Output`) are always kept: removing an
+/// unused `Input` would silently change the calling convention of the kernel.
+pub struct DeadCodeElimination;
+
+impl Transform for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let live = live_nodes(graph);
+        let mut is_live = vec![false; graph.node_bound()];
+        for id in &live {
+            is_live[id.index()] = true;
+        }
+        let dead: Vec<_> = graph
+            .node_ids()
+            .filter(|id| !is_live[id.index()])
+            .filter(|id| {
+                !matches!(
+                    graph.kind(*id),
+                    Ok(NodeKind::Input(_)) | Ok(NodeKind::Output(_))
+                )
+            })
+            .collect();
+        let mut changes = 0;
+        for id in dead {
+            graph.remove_node(id)?;
+            changes += 1;
+        }
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::{CdfgBuilder, GraphStats};
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let used = b.add(x, y);
+        let _unused = b.mul(x, y);
+        b.output("r", used);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadCodeElimination.apply(&mut g).unwrap(), 1);
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.multiplies, 0);
+        assert_eq!(stats.additions, 1);
+    }
+
+    #[test]
+    fn keeps_unused_inputs() {
+        let mut b = CdfgBuilder::new("t");
+        let _x = b.input("x");
+        let y = b.input("y");
+        b.output("r", y);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadCodeElimination.apply(&mut g).unwrap(), 0);
+        assert_eq!(g.inputs().len(), 2);
+    }
+
+    #[test]
+    fn removes_transitively_dead_chains() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let a = b.add(x, x);
+        let bb = b.mul(a, x);
+        let _c = b.sub(bb, x);
+        b.output("r", x);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadCodeElimination.apply(&mut g).unwrap(), 3);
+        assert_eq!(GraphStats::of(&g).binops, 0);
+    }
+
+    #[test]
+    fn is_idempotent() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let _dead = b.add(x, x);
+        b.output("r", x);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadCodeElimination.apply(&mut g).unwrap(), 1);
+        assert_eq!(DeadCodeElimination.apply(&mut g).unwrap(), 0);
+    }
+}

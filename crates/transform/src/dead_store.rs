@@ -1,0 +1,146 @@
+//! Dead-store elimination.
+
+use crate::const_fold::const_input;
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
+
+/// Removes stores that are provably overwritten before they can be observed.
+///
+/// The rewrite is deliberately conservative: a store `ST(s0, A, d)` is removed
+/// only when
+///
+/// * its address `A` is a compile-time constant,
+/// * its statespace output has exactly one consumer,
+/// * that consumer is another store to the same constant address.
+///
+/// In that situation no fetch, delete or graph output can observe the first
+/// value, so the second store may read its statespace directly from `s0`.
+pub struct DeadStoreElimination;
+
+impl Transform for DeadStoreElimination {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            if !matches!(graph.kind(id)?, NodeKind::Store) {
+                continue;
+            }
+            let Some(addr) = const_input(graph, id, 1) else {
+                continue;
+            };
+            let sinks = graph.output_sinks(id, 0);
+            if sinks.len() != 1 {
+                continue;
+            }
+            let consumer = sinks[0];
+            // The consumer must use the token as its *statespace* input
+            // (port 0) and be a store to the same constant address.
+            if consumer.port_index() != 0 {
+                continue;
+            }
+            if !matches!(graph.kind(consumer.node)?, NodeKind::Store) {
+                continue;
+            }
+            let Some(next_addr) = const_input(graph, consumer.node, 1) else {
+                continue;
+            };
+            if next_addr != addr {
+                continue;
+            }
+            // Rewire the overwriting store to this store's statespace input
+            // and drop this store.
+            let upstream = graph
+                .input_source(id, 0)
+                .expect("validated stores have a statespace input");
+            let edge = graph
+                .node(consumer.node)?
+                .input_edge(0)
+                .expect("consumer statespace port is connected");
+            graph.disconnect(edge)?;
+            graph.connect(upstream.node, upstream.port_index(), consumer.node, 0)?;
+            graph.remove_node(id)?;
+            changes += 1;
+        }
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::interp::Interpreter;
+    use fpfa_cdfg::{CdfgBuilder, GraphStats, StateSpace, Value};
+
+    #[test]
+    fn overwritten_store_is_removed() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.constant(4);
+        let v1 = b.constant(1);
+        let v2 = b.constant(2);
+        let st1 = b.store(mem, addr, v1);
+        let st2 = b.store(st1, addr, v2);
+        b.output("mem", st2);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadStoreElimination.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).stores, 1);
+
+        let mut interp = Interpreter::new(&g);
+        interp.bind("mem", Value::State(StateSpace::new()));
+        let result = interp.run().unwrap();
+        assert_eq!(result.state("mem").unwrap().fetch(4), Some(2));
+    }
+
+    #[test]
+    fn store_observed_by_fetch_is_kept() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.constant(4);
+        let v1 = b.constant(1);
+        let v2 = b.constant(2);
+        let st1 = b.store(mem, addr, v1);
+        let observed = b.fetch(st1, addr);
+        let st2 = b.store(st1, addr, v2);
+        b.output("r", observed);
+        b.output("mem", st2);
+        let mut g = b.finish().unwrap();
+        // st1 has two consumers (fetch and st2), so it must stay.
+        assert_eq!(DeadStoreElimination.apply(&mut g).unwrap(), 0);
+        assert_eq!(GraphStats::of(&g).stores, 2);
+    }
+
+    #[test]
+    fn stores_to_different_addresses_are_kept() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let a0 = b.constant(0);
+        let a1 = b.constant(1);
+        let v = b.constant(9);
+        let st1 = b.store(mem, a0, v);
+        let st2 = b.store(st1, a1, v);
+        b.output("mem", st2);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadStoreElimination.apply(&mut g).unwrap(), 0);
+    }
+
+    #[test]
+    fn dynamic_addresses_are_kept() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let p = b.input("p");
+        let v = b.constant(9);
+        let st1 = b.store(mem, p, v);
+        let st2 = b.store(st1, p, v);
+        b.output("mem", st2);
+        let mut g = b.finish().unwrap();
+        assert_eq!(DeadStoreElimination.apply(&mut g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the transformation engine.
+
+use fpfa_cdfg::CdfgError;
+use std::fmt;
+
+/// Errors produced while transforming a CDFG.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TransformError {
+    /// The underlying graph operation failed (stale ids, cycles, ...).
+    Graph(CdfgError),
+    /// A loop could not be unrolled because its trip count is not statically
+    /// decidable with the available constant information.
+    UnresolvableLoop {
+        /// Name of the loop-carried variable (or condition) that blocked the
+        /// decision, when known.
+        detail: String,
+    },
+    /// A loop exceeded the unrolling budget (probably an unbounded loop).
+    UnrollBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// The fixpoint pipeline did not converge within its iteration budget.
+    PipelineDiverged {
+        /// Number of pipeline rounds executed.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::Graph(e) => write!(f, "graph operation failed: {e}"),
+            TransformError::UnresolvableLoop { detail } => {
+                write!(f, "loop cannot be statically unrolled: {detail}")
+            }
+            TransformError::UnrollBudgetExceeded { budget } => {
+                write!(f, "loop unrolling exceeded the budget of {budget} iterations")
+            }
+            TransformError::PipelineDiverged { rounds } => {
+                write!(f, "transformation pipeline did not converge after {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransformError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CdfgError> for TransformError {
+    fn from(e: CdfgError) -> Self {
+        TransformError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: TransformError = CdfgError::CycleDetected.into();
+        assert!(e.to_string().contains("cycle"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(TransformError::UnrollBudgetExceeded { budget: 9 }
+            .to_string()
+            .contains("9"));
+    }
+}

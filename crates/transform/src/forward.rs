@@ -1,0 +1,179 @@
+//! Store-to-load forwarding through the statespace.
+
+use crate::const_fold::const_input;
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
+
+/// Forwards stored values to later fetches when both addresses are
+/// compile-time constants.
+///
+/// For a fetch `FE(state, A)` whose statespace token is produced by a store
+/// `ST(state0, B, data)`:
+///
+/// * if `A == B`, the fetch always reads the just-stored value, so its
+///   consumers are rewired to `data` and the fetch is removed;
+/// * if `A != B`, the store cannot affect the fetch, so the fetch is rewired
+///   to read from `state0`, hopping over the store. Repeated application
+///   walks a fetch backwards over whole chains of unrelated stores until it
+///   reaches the original statespace input — at which point the fetch reads a
+///   kernel input value and cannot be simplified further.
+///
+/// Fetches or stores with non-constant addresses are left untouched (the
+/// addresses could alias).
+pub struct ForwardStores;
+
+impl Transform for ForwardStores {
+    fn name(&self) -> &'static str {
+        "forward"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            if !matches!(graph.kind(id)?, NodeKind::Fetch) {
+                continue;
+            }
+            let Some(fetch_addr) = const_input(graph, id, 1) else {
+                continue;
+            };
+            let Some(state_src) = graph.input_source(id, 0) else {
+                continue;
+            };
+            if !matches!(graph.kind(state_src.node)?, NodeKind::Store) {
+                continue;
+            }
+            let store = state_src.node;
+            let Some(store_addr) = const_input(graph, store, 1) else {
+                continue;
+            };
+            if fetch_addr == store_addr {
+                // Forward the stored data to the fetch's consumers.
+                let data = graph
+                    .input_source(store, 2)
+                    .expect("validated stores have a data input");
+                graph.replace_uses(id, 0, data.node, data.port_index())?;
+                graph.remove_node(id)?;
+                changes += 1;
+            } else {
+                // The store is irrelevant for this fetch: read from the
+                // store's own statespace input instead.
+                let upstream = graph
+                    .input_source(store, 0)
+                    .expect("validated stores have a statespace input");
+                let edge = graph
+                    .node(id)?
+                    .input_edge(0)
+                    .expect("fetch statespace port is connected");
+                graph.disconnect(edge)?;
+                graph.connect(upstream.node, upstream.port_index(), id, 0)?;
+                changes += 1;
+            }
+        }
+        Ok(changes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::interp::Interpreter;
+    use fpfa_cdfg::{CdfgBuilder, GraphStats, StateSpace, Value};
+
+    #[test]
+    fn fetch_of_just_stored_value_is_forwarded() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.constant(5);
+        let data = b.input("x");
+        let st = b.store(mem, addr, data);
+        let fe = b.fetch(st, addr);
+        b.output("r", fe);
+        b.output("mem", st);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ForwardStores.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).fetches, 0);
+        let out = g.output_named("r").unwrap();
+        assert_eq!(
+            g.input_source(out, 0).unwrap().node,
+            g.input_named("x").unwrap()
+        );
+    }
+
+    #[test]
+    fn fetch_hops_over_unrelated_stores() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let a0 = b.constant(0);
+        let a1 = b.constant(1);
+        let v = b.constant(99);
+        let st = b.store(mem, a1, v);
+        let fe = b.fetch(st, a0);
+        b.output("r", fe);
+        b.output("mem", st);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ForwardStores.apply(&mut g).unwrap(), 1);
+        // The fetch survives but now reads directly from the input statespace.
+        let fe_node = g
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::Fetch))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(
+            g.input_source(fe_node, 0).unwrap().node,
+            g.input_named("mem").unwrap()
+        );
+
+        // Behaviour is unchanged.
+        let mut interp = Interpreter::new(&g);
+        interp.bind("mem", Value::State(StateSpace::from_tuples([(0, 42)])));
+        assert_eq!(interp.run().unwrap().word("r"), Some(42));
+    }
+
+    #[test]
+    fn chains_of_stores_need_repeated_passes() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let target = b.constant(0);
+        let a1 = b.constant(1);
+        let a2 = b.constant(2);
+        let v = b.constant(7);
+        let st1 = b.store(mem, a1, v);
+        let st2 = b.store(st1, a2, v);
+        let fe = b.fetch(st2, target);
+        b.output("r", fe);
+        b.output("mem", st2);
+        let mut g = b.finish().unwrap();
+        let mut total = 0;
+        loop {
+            let c = ForwardStores.apply(&mut g).unwrap();
+            if c == 0 {
+                break;
+            }
+            total += c;
+        }
+        assert_eq!(total, 2);
+        let mut interp = Interpreter::new(&g);
+        interp.bind("mem", Value::State(StateSpace::from_tuples([(0, 5)])));
+        assert_eq!(interp.run().unwrap().word("r"), Some(5));
+    }
+
+    #[test]
+    fn non_constant_addresses_block_forwarding() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.input("p");
+        let v = b.constant(7);
+        let st = b.store(mem, addr, v);
+        let const_addr = b.constant(3);
+        let fe = b.fetch(st, const_addr);
+        b.output("r", fe);
+        b.output("mem", st);
+        let mut g = b.finish().unwrap();
+        assert_eq!(ForwardStores.apply(&mut g).unwrap(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Strength reduction: replace expensive operations by cheaper ones.
+
+use crate::const_fold::const_input;
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::{BinOp, Cdfg, NodeId, NodeKind};
+
+/// Replaces multiplications and divisions by positive powers of two with
+/// shifts.
+///
+/// On the FPFA ALU the multiplier array is the scarce data-path resource (see
+/// [`fpfa_arch::AluCapability`](https://docs.rs) — `max_multiplies` is the
+/// tightest per-cluster limit), so turning `x * 2^k` into `x << k` directly
+/// improves clustering freedom.
+pub struct StrengthReduce;
+
+impl Transform for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.contains_node(id) {
+                continue;
+            }
+            let NodeKind::BinOp(op) = graph.kind(id)?.clone() else {
+                continue;
+            };
+            match op {
+                BinOp::Mul => {
+                    // x * 2^k  or  2^k * x  →  x << k   (k >= 1; the *1 case
+                    // belongs to algebraic simplification).
+                    let lc = const_input(graph, id, 0);
+                    let rc = const_input(graph, id, 1);
+                    let (variable_port, shift) = match (lc, rc) {
+                        (_, Some(c)) if is_power_of_two(c) => (0, c.trailing_zeros() as i64),
+                        (Some(c), _) if is_power_of_two(c) => (1, c.trailing_zeros() as i64),
+                        _ => continue,
+                    };
+                    let variable = graph
+                        .input_source(id, variable_port)
+                        .expect("validated graphs have fully connected binops");
+                    let shl = graph.add_node(NodeKind::BinOp(BinOp::Shl));
+                    let amount = graph.add_node(NodeKind::Const(shift));
+                    graph.connect(variable.node, variable.port_index(), shl, 0)?;
+                    graph.connect(amount, 0, shl, 1)?;
+                    graph.replace_uses(id, 0, shl, 0)?;
+                    graph.remove_node(id)?;
+                    changes += 1;
+                }
+                BinOp::Div => {
+                    // x / 2^k → x >> k is only valid for non-negative x in
+                    // general; the CDFG has no value-range information, so the
+                    // rewrite is applied only for k = 0 handled elsewhere.
+                    // Division strength reduction is therefore skipped.
+                }
+                _ => {}
+            }
+        }
+        Ok(changes)
+    }
+}
+
+fn is_power_of_two(v: i64) -> bool {
+    v >= 2 && (v & (v - 1)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::interp::Interpreter;
+    use fpfa_cdfg::{CdfgBuilder, GraphStats, Value};
+
+    #[test]
+    fn multiplication_by_eight_becomes_shift() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let eight = b.constant(8);
+        let product = b.mul(x, eight);
+        b.output("r", product);
+        let mut g = b.finish().unwrap();
+        assert_eq!(StrengthReduce.apply(&mut g).unwrap(), 1);
+        let stats = GraphStats::of(&g);
+        assert_eq!(stats.multiplies, 0);
+
+        let mut interp = Interpreter::new(&g);
+        interp.bind("x", Value::Word(5));
+        assert_eq!(interp.run().unwrap().word("r"), Some(40));
+    }
+
+    #[test]
+    fn constant_on_the_left_also_reduces() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let four = b.constant(4);
+        let product = b.binop(BinOp::Mul, four, x);
+        b.output("r", product);
+        let mut g = b.finish().unwrap();
+        assert_eq!(StrengthReduce.apply(&mut g).unwrap(), 1);
+        let mut interp = Interpreter::new(&g);
+        interp.bind("x", Value::Word(-3));
+        assert_eq!(interp.run().unwrap().word("r"), Some(-12));
+    }
+
+    #[test]
+    fn non_power_of_two_multiplications_are_kept() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let three = b.constant(3);
+        let product = b.mul(x, three);
+        b.output("r", product);
+        let mut g = b.finish().unwrap();
+        assert_eq!(StrengthReduce.apply(&mut g).unwrap(), 0);
+        assert_eq!(GraphStats::of(&g).multiplies, 1);
+    }
+
+    #[test]
+    fn division_is_left_untouched() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let two = b.constant(2);
+        let quotient = b.binop(BinOp::Div, x, two);
+        b.output("r", quotient);
+        let mut g = b.finish().unwrap();
+        assert_eq!(StrengthReduce.apply(&mut g).unwrap(), 0);
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(1));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(-4));
+        assert!(!is_power_of_two(6));
+    }
+}

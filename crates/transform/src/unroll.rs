@@ -1,0 +1,505 @@
+//! Complete loop unrolling.
+//!
+//! Fig. 3 of the paper shows the FIR kernel "after complete loop unrolling
+//! and full simplification": the `while` loop disappears and its body is
+//! replicated once per iteration, exposing all the parallelism to the
+//! clustering phase. This pass performs that unrolling for structured
+//! [`LoopSpec`] nodes whose trip count can be decided
+//! statically:
+//!
+//! 1. resolve the current value of every loop-carried variable to a constant
+//!    where possible (running constant folding over the host graph first);
+//! 2. evaluate the condition sub-graph on those constants — if any variable
+//!    the condition actually reads is unknown, the loop is left in place and
+//!    reported as unresolvable;
+//! 3. while the condition holds, splice one copy of the body into the host
+//!    graph, wiring the body's inputs to the current variable wires and
+//!    taking the body's outputs as the next variable wires;
+//! 4. when the condition becomes false, rewire the loop node's consumers to
+//!    the final variable wires and delete the loop node.
+
+use crate::const_fold::ConstantFold;
+use crate::error::TransformError;
+use crate::pass::Transform;
+use fpfa_cdfg::builder::Wire;
+use fpfa_cdfg::interp::eval_graph;
+use fpfa_cdfg::{Cdfg, LoopSpec, NodeId, NodeKind, Value};
+use std::collections::HashMap;
+
+/// Default maximum number of iterations a single loop may be unrolled to.
+pub const DEFAULT_UNROLL_BUDGET: usize = 4096;
+
+/// Completely unrolls statically-counted structured loops.
+#[derive(Clone, Copy, Debug)]
+pub struct UnrollLoops {
+    /// Maximum number of iterations to unroll per loop.
+    pub budget: usize,
+    /// When `true` (the default), a loop whose trip count cannot be decided
+    /// is a hard error; when `false` the loop is silently left in place.
+    pub strict: bool,
+}
+
+impl Default for UnrollLoops {
+    fn default() -> Self {
+        UnrollLoops {
+            budget: DEFAULT_UNROLL_BUDGET,
+            strict: true,
+        }
+    }
+}
+
+impl UnrollLoops {
+    /// A lenient unroller that leaves undecidable loops in place.
+    pub fn lenient() -> Self {
+        UnrollLoops {
+            strict: false,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the per-loop iteration budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl Transform for UnrollLoops {
+    fn name(&self) -> &'static str {
+        "unroll"
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        // Peel every loop as far as its condition can be decided, repeating
+        // until no loop makes progress. Nested loops resolve naturally: a
+        // spliced inner loop is fully unrolled in the same round, which lets
+        // constant folding resolve the outer loop's counter for the next
+        // peel.
+        loop {
+            let loops: Vec<NodeId> = graph
+                .node_ids()
+                .filter(|id| matches!(graph.kind(*id), Ok(NodeKind::Loop(_))))
+                .collect();
+            if loops.is_empty() {
+                return Ok(changes);
+            }
+            let mut progressed = false;
+            for id in loops {
+                if !graph.contains_node(id) {
+                    continue;
+                }
+                let (peeled, removed) = self.unroll_one(graph, id)?;
+                if peeled > 0 || removed {
+                    progressed = true;
+                }
+                changes += peeled + usize::from(removed);
+            }
+            if !progressed {
+                let remaining: Vec<String> = graph
+                    .nodes()
+                    .filter_map(|(_, n)| match &n.kind {
+                        NodeKind::Loop(spec) => Some(format!("[{}]", spec.vars.join(", "))),
+                        _ => None,
+                    })
+                    .collect();
+                if self.strict {
+                    return Err(TransformError::UnresolvableLoop {
+                        detail: format!(
+                            "loops over {} depend on non-constant values",
+                            remaining.join(", ")
+                        ),
+                    });
+                }
+                return Ok(changes);
+            }
+        }
+    }
+}
+
+impl UnrollLoops {
+    /// Peels decided iterations of one loop. Returns `(iterations peeled,
+    /// loop removed)`; an undecidable condition stops peeling without error
+    /// (the caller decides whether leftover loops are fatal).
+    fn unroll_one(
+        &self,
+        graph: &mut Cdfg,
+        loop_node: NodeId,
+    ) -> Result<(usize, bool), TransformError> {
+        let NodeKind::Loop(spec) = graph.kind(loop_node)?.clone() else {
+            return Ok((0, false));
+        };
+        let spec: LoopSpec = *spec;
+
+        // The loop node's own input edges are used as anchors for the current
+        // value of every carried variable: constant folding rewires consumers
+        // when it replaces nodes, so reading the wires through the loop node
+        // after each folding round always yields live nodes.
+        let read_vars = |graph: &Cdfg| -> Result<Vec<Wire>, TransformError> {
+            (0..spec.arity())
+                .map(|port| {
+                    graph
+                        .input_source(loop_node, port)
+                        .map(|e| Wire {
+                            node: e.node,
+                            port: e.port_index(),
+                        })
+                        .ok_or(TransformError::Graph(
+                            fpfa_cdfg::CdfgError::PortUnconnected {
+                                node: loop_node,
+                                port,
+                            },
+                        ))
+                })
+                .collect()
+        };
+
+        let mut iterations = 0usize;
+        loop {
+            // Fold constants so that loop counters computed by previous
+            // iterations become visible as `Const` nodes.
+            ConstantFold.apply(graph)?;
+            let vars = read_vars(graph)?;
+
+            let known = resolve_constants(graph, &vars, &spec.vars);
+            if !self.condition_inputs_known(&spec, &known) {
+                // Undecidable (for now): stop peeling and keep the loop in
+                // place; the iterations already peeled remain valid.
+                return Ok((iterations, false));
+            }
+            let proceed = evaluate_condition(&spec, &known)?;
+            if !proceed {
+                break;
+            }
+            if iterations >= self.budget {
+                return Err(TransformError::UnrollBudgetExceeded {
+                    budget: self.budget,
+                });
+            }
+            let next = splice_body(graph, &spec, &vars)?;
+            // Re-anchor the loop node's inputs on the values produced by the
+            // iteration that was just spliced.
+            for (port, wire) in next.iter().enumerate() {
+                let edge = graph
+                    .node(loop_node)?
+                    .input_edge(port)
+                    .expect("loop inputs stay connected");
+                graph.disconnect(edge)?;
+                graph.connect(wire.node, wire.port, loop_node, port)?;
+            }
+            iterations += 1;
+        }
+
+        // The loop is finished: route its outputs to the final variable wires
+        // and remove it.
+        let vars = read_vars(graph)?;
+        for (port, wire) in vars.iter().enumerate() {
+            graph.replace_uses(loop_node, port, wire.node, wire.port)?;
+        }
+        graph.remove_node(loop_node)?;
+        Ok((iterations, true))
+    }
+
+    fn condition_inputs_known(&self, spec: &LoopSpec, known: &HashMap<String, i64>) -> bool {
+        for (name, id) in spec.cond.inputs() {
+            let used = spec
+                .cond
+                .node(id)
+                .map(|n| n.fanout() > 0)
+                .unwrap_or(false);
+            if used && name != "@state" && !known.contains_key(&name) {
+                return false;
+            }
+            if used && name == "@state" {
+                // A condition that inspects memory cannot be decided
+                // statically by this pass.
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Maps carried-variable names to constants where the driving wire is a
+/// `Const` node.
+fn resolve_constants(graph: &Cdfg, vars: &[Wire], names: &[String]) -> HashMap<String, i64> {
+    let mut known = HashMap::new();
+    for (wire, name) in vars.iter().zip(names) {
+        if let Ok(NodeKind::Const(v)) = graph.kind(wire.node) {
+            known.insert(name.clone(), *v);
+        }
+    }
+    known
+}
+
+/// Evaluates the loop condition on the known constants.
+fn evaluate_condition(
+    spec: &LoopSpec,
+    known: &HashMap<String, i64>,
+) -> Result<bool, TransformError> {
+    let mut bindings: HashMap<String, Value> = HashMap::new();
+    for (name, _) in spec.cond.inputs() {
+        let value = known.get(&name).copied().unwrap_or(0);
+        bindings.insert(name, Value::Word(value));
+    }
+    let mut evaluations = 0;
+    let outputs = eval_graph(&spec.cond, &bindings, 1, &mut evaluations)?;
+    let cond = outputs
+        .get(LoopSpec::COND_OUTPUT)
+        .ok_or_else(|| TransformError::UnresolvableLoop {
+            detail: "condition graph produced no %cond output".into(),
+        })?;
+    Ok(cond.is_truthy())
+}
+
+/// Splices one copy of the loop body into `graph`, wiring its inputs to the
+/// current variable wires, and returns the wires of the body's outputs.
+fn splice_body(
+    graph: &mut Cdfg,
+    spec: &LoopSpec,
+    vars: &[Wire],
+) -> Result<Vec<Wire>, TransformError> {
+    let remap = graph.splice(&spec.body);
+
+    // Rewire spliced Input nodes to the current variable wires.
+    for (name, original_id) in spec.body.inputs() {
+        let spliced = remap[&original_id];
+        let port = spec.port_of(&name).ok_or_else(|| {
+            TransformError::UnresolvableLoop {
+                detail: format!("body reads `{name}` which is not loop carried"),
+            }
+        })?;
+        let wire = vars[port];
+        graph.replace_uses(spliced, 0, wire.node, wire.port)?;
+        graph.remove_node(spliced)?;
+    }
+
+    // Collect the wires feeding the spliced Output nodes, in carried-variable
+    // order, then remove those outputs.
+    let mut next = vec![None; spec.arity()];
+    for (name, original_id) in spec.body.outputs() {
+        let spliced = remap[&original_id];
+        let Some(port) = spec.port_of(&name) else {
+            // Outputs that are not carried variables should not exist; drop
+            // them defensively.
+            graph.remove_node(spliced)?;
+            continue;
+        };
+        let src = graph
+            .input_source(spliced, 0)
+            .expect("body outputs are connected");
+        next[port] = Some(Wire {
+            node: src.node,
+            port: src.port_index(),
+        });
+        graph.remove_node(spliced)?;
+    }
+    next.into_iter()
+        .enumerate()
+        .map(|(port, wire)| {
+            wire.ok_or_else(|| TransformError::UnresolvableLoop {
+                detail: format!("body does not produce `{}`", spec.vars[port]),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::Pipeline;
+    use fpfa_cdfg::interp::Interpreter;
+    use fpfa_cdfg::{BinOp, GraphStats, StateSpace};
+
+    /// Builds `sum = 0; i = 0; while (i < n_const) { sum += i; i += 1 }` with
+    /// a literal bound, as a hand-constructed loop node.
+    fn counted_sum_graph(bound: i64) -> Cdfg {
+        let mut cond = Cdfg::new("cond");
+        let i = cond.add_node(NodeKind::Input("i".into()));
+        let _s = cond.add_node(NodeKind::Input("sum".into()));
+        let n = cond.add_node(NodeKind::Const(bound));
+        let lt = cond.add_node(NodeKind::BinOp(BinOp::Lt));
+        let out = cond.add_node(NodeKind::Output(LoopSpec::COND_OUTPUT.into()));
+        cond.connect(i, 0, lt, 0).unwrap();
+        cond.connect(n, 0, lt, 1).unwrap();
+        cond.connect(lt, 0, out, 0).unwrap();
+
+        let mut body = Cdfg::new("body");
+        let bi = body.add_node(NodeKind::Input("i".into()));
+        let bs = body.add_node(NodeKind::Input("sum".into()));
+        let one = body.add_node(NodeKind::Const(1));
+        let inc = body.add_node(NodeKind::BinOp(BinOp::Add));
+        let acc = body.add_node(NodeKind::BinOp(BinOp::Add));
+        let oi = body.add_node(NodeKind::Output("i".into()));
+        let os = body.add_node(NodeKind::Output("sum".into()));
+        body.connect(bi, 0, inc, 0).unwrap();
+        body.connect(one, 0, inc, 1).unwrap();
+        body.connect(bs, 0, acc, 0).unwrap();
+        body.connect(bi, 0, acc, 1).unwrap();
+        body.connect(inc, 0, oi, 0).unwrap();
+        body.connect(acc, 0, os, 0).unwrap();
+
+        let spec = LoopSpec {
+            vars: vec!["i".into(), "sum".into()],
+            cond,
+            body,
+        };
+
+        let mut g = Cdfg::new("sum");
+        let i0 = g.add_node(NodeKind::Const(0));
+        let s0 = g.add_node(NodeKind::Const(0));
+        let lp = g.add_node(NodeKind::Loop(Box::new(spec)));
+        let out = g.add_node(NodeKind::Output("sum".into()));
+        g.connect(i0, 0, lp, 0).unwrap();
+        g.connect(s0, 0, lp, 1).unwrap();
+        g.connect(lp, 1, out, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn unrolls_counted_loop_completely() {
+        let mut g = counted_sum_graph(5);
+        let changes = UnrollLoops::default().apply(&mut g).unwrap();
+        assert!(changes >= 5);
+        assert_eq!(GraphStats::of(&g).loops, 0);
+        // Behaviour is preserved: sum of 0..5 = 10.
+        let result = Interpreter::new(&g).run().unwrap();
+        assert_eq!(result.word("sum"), Some(10));
+    }
+
+    #[test]
+    fn zero_trip_loops_collapse_to_initial_values() {
+        let mut g = counted_sum_graph(0);
+        UnrollLoops::default().apply(&mut g).unwrap();
+        assert_eq!(GraphStats::of(&g).loops, 0);
+        assert_eq!(Interpreter::new(&g).run().unwrap().word("sum"), Some(0));
+    }
+
+    #[test]
+    fn budget_overrun_is_reported() {
+        let mut g = counted_sum_graph(100);
+        let err = UnrollLoops::default()
+            .with_budget(10)
+            .apply(&mut g)
+            .unwrap_err();
+        assert!(matches!(err, TransformError::UnrollBudgetExceeded { .. }));
+    }
+
+    /// A loop whose bound is a runtime input cannot be unrolled.
+    fn unbounded_graph() -> Cdfg {
+        let mut cond = Cdfg::new("cond");
+        let i = cond.add_node(NodeKind::Input("i".into()));
+        let n = cond.add_node(NodeKind::Input("n".into()));
+        let lt = cond.add_node(NodeKind::BinOp(BinOp::Lt));
+        let out = cond.add_node(NodeKind::Output(LoopSpec::COND_OUTPUT.into()));
+        cond.connect(i, 0, lt, 0).unwrap();
+        cond.connect(n, 0, lt, 1).unwrap();
+        cond.connect(lt, 0, out, 0).unwrap();
+
+        let mut body = Cdfg::new("body");
+        let bi = body.add_node(NodeKind::Input("i".into()));
+        let bn = body.add_node(NodeKind::Input("n".into()));
+        let one = body.add_node(NodeKind::Const(1));
+        let inc = body.add_node(NodeKind::BinOp(BinOp::Add));
+        let oi = body.add_node(NodeKind::Output("i".into()));
+        let on = body.add_node(NodeKind::Output("n".into()));
+        body.connect(bi, 0, inc, 0).unwrap();
+        body.connect(one, 0, inc, 1).unwrap();
+        body.connect(inc, 0, oi, 0).unwrap();
+        body.connect(bn, 0, on, 0).unwrap();
+
+        let spec = LoopSpec {
+            vars: vec!["i".into(), "n".into()],
+            cond,
+            body,
+        };
+        let mut g = Cdfg::new("dyn");
+        let i0 = g.add_node(NodeKind::Const(0));
+        let n_in = g.add_node(NodeKind::Input("n".into()));
+        let lp = g.add_node(NodeKind::Loop(Box::new(spec)));
+        let out = g.add_node(NodeKind::Output("i".into()));
+        g.connect(i0, 0, lp, 0).unwrap();
+        g.connect(n_in, 0, lp, 1).unwrap();
+        g.connect(lp, 0, out, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn dynamic_bounds_are_reported_in_strict_mode() {
+        let mut g = unbounded_graph();
+        let err = UnrollLoops::default().apply(&mut g).unwrap_err();
+        assert!(matches!(err, TransformError::UnresolvableLoop { .. }));
+    }
+
+    #[test]
+    fn dynamic_bounds_are_kept_in_lenient_mode() {
+        let mut g = unbounded_graph();
+        let changes = UnrollLoops::lenient().apply(&mut g).unwrap();
+        assert_eq!(changes, 0);
+        assert_eq!(GraphStats::of(&g).loops, 1);
+    }
+
+    #[test]
+    fn frontend_fir_unrolls_and_matches_reference() {
+        let src = r#"
+            void main() {
+                int a[5];
+                int c[5];
+                int sum;
+                int i;
+                sum = 0; i = 0;
+                while (i < 5) {
+                    sum = sum + a[i] * c[i]; i = i + 1;
+                }
+            }
+        "#;
+        let program = fpfa_frontend::compile(src).unwrap();
+        let mut unrolled = program.cdfg.clone();
+        Pipeline::standard().run(&mut unrolled).unwrap();
+        assert_eq!(GraphStats::of(&unrolled).loops, 0);
+        // The unrolled FIR has exactly 5 multiplications (one per tap).
+        assert_eq!(GraphStats::of(&unrolled).multiplies, 5);
+
+        // Behaviour matches the loop version.
+        let a = [3, 1, 4, 1, 5];
+        let c = [2, 7, 1, 8, 2];
+        let expected: i64 = a.iter().zip(c.iter()).map(|(x, y)| x * y).sum();
+        let state = StateSpace::from_tuples(
+            a.iter()
+                .enumerate()
+                .map(|(i, v)| (i as i64, *v))
+                .chain(c.iter().enumerate().map(|(i, v)| (5 + i as i64, *v))),
+        );
+        let mut interp = Interpreter::new(&unrolled);
+        interp.bind("mem", Value::State(state));
+        assert_eq!(interp.run().unwrap().word("sum"), Some(expected));
+    }
+
+    #[test]
+    fn nested_frontend_loops_unroll() {
+        let src = r#"
+            void main() {
+                int total;
+                int i;
+                int j;
+                total = 0;
+                i = 0;
+                while (i < 3) {
+                    j = 0;
+                    while (j < 2) {
+                        total = total + i * j;
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+            }
+        "#;
+        let program = fpfa_frontend::compile(src).unwrap();
+        let mut g = program.cdfg.clone();
+        Pipeline::standard().run(&mut g).unwrap();
+        assert_eq!(GraphStats::of(&g).loops, 0);
+        let mut interp = Interpreter::new(&g);
+        interp.bind("mem", Value::State(StateSpace::new()));
+        assert_eq!(interp.run().unwrap().word("total"), Some(0 + 0 + 0 + 1 + 0 + 2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Interpreter-based equivalence checking.
+//!
+//! Every transformation must be behaviour preserving; this module provides
+//! the oracle used by tests and by the pipeline's self-checks: run the
+//! reference interpreter on the original and on the transformed graph with
+//! the same input bindings and compare every output.
+
+use fpfa_cdfg::interp::Interpreter;
+use fpfa_cdfg::{Cdfg, CdfgError, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A difference found between the outputs of two graphs.
+#[derive(Clone, PartialEq, Debug)]
+pub struct EquivalenceMismatch {
+    /// Name of the differing output (or a description of a missing output).
+    pub output: String,
+    /// Value produced by the original graph, if any.
+    pub original: Option<Value>,
+    /// Value produced by the transformed graph, if any.
+    pub transformed: Option<Value>,
+}
+
+impl fmt::Display for EquivalenceMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output `{}` differs: original {:?}, transformed {:?}",
+            self.output, self.original, self.transformed
+        )
+    }
+}
+
+impl std::error::Error for EquivalenceMismatch {}
+
+/// Runs both graphs on the same bindings and compares their outputs.
+///
+/// Outputs present in only one of the graphs are reported as mismatches; the
+/// transformation passes never add or remove `Output` nodes, so a disagreeing
+/// interface is itself a bug.
+///
+/// # Errors
+/// * [`CdfgError`] when either interpretation fails;
+/// * the boxed [`EquivalenceMismatch`] is returned through `Ok(Err(..))` so
+///   that callers can distinguish "interpretation failed" from "results
+///   differ".
+pub fn check_equivalence(
+    original: &Cdfg,
+    transformed: &Cdfg,
+    bindings: &HashMap<String, Value>,
+) -> Result<Result<(), EquivalenceMismatch>, CdfgError> {
+    let run = |graph: &Cdfg| -> Result<HashMap<String, Value>, CdfgError> {
+        let mut interp = Interpreter::new(graph);
+        for (name, value) in bindings {
+            interp.bind(name.clone(), value.clone());
+        }
+        let result = interp.run()?;
+        Ok(result
+            .sorted()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect())
+    };
+    let a = run(original)?;
+    let b = run(transformed)?;
+    for (name, value) in &a {
+        match b.get(name) {
+            Some(other) if other == value => {}
+            other => {
+                return Ok(Err(EquivalenceMismatch {
+                    output: name.clone(),
+                    original: Some(value.clone()),
+                    transformed: other.cloned(),
+                }))
+            }
+        }
+    }
+    for (name, value) in &b {
+        if !a.contains_key(name) {
+            return Ok(Err(EquivalenceMismatch {
+                output: name.clone(),
+                original: None,
+                transformed: Some(value.clone()),
+            }));
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// Convenience wrapper asserting equivalence, for use in tests.
+///
+/// # Panics
+/// Panics when interpretation fails or the graphs disagree.
+pub fn assert_equivalent(original: &Cdfg, transformed: &Cdfg, bindings: &HashMap<String, Value>) {
+    match check_equivalence(original, transformed, bindings) {
+        Ok(Ok(())) => {}
+        Ok(Err(mismatch)) => panic!("graphs are not equivalent: {mismatch}"),
+        Err(e) => panic!("interpretation failed during equivalence check: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::Pipeline;
+    use fpfa_cdfg::{CdfgBuilder, StateSpace};
+
+    #[test]
+    fn identical_graphs_are_equivalent() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let two = b.constant(2);
+        let r = b.mul(x, two);
+        b.output("r", r);
+        let g = b.finish().unwrap();
+        let bindings: HashMap<String, Value> = [("x".to_string(), Value::Word(3))].into();
+        assert!(check_equivalence(&g, &g, &bindings).unwrap().is_ok());
+    }
+
+    #[test]
+    fn detects_behaviour_change() {
+        let mut b1 = CdfgBuilder::new("t");
+        let x = b1.input("x");
+        let two = b1.constant(2);
+        let r = b1.mul(x, two);
+        b1.output("r", r);
+        let g1 = b1.finish().unwrap();
+
+        let mut b2 = CdfgBuilder::new("t");
+        let x = b2.input("x");
+        let three = b2.constant(3);
+        let r = b2.mul(x, three);
+        b2.output("r", r);
+        let g2 = b2.finish().unwrap();
+
+        let bindings: HashMap<String, Value> = [("x".to_string(), Value::Word(1))].into();
+        let mismatch = check_equivalence(&g1, &g2, &bindings).unwrap().unwrap_err();
+        assert_eq!(mismatch.output, "r");
+        assert!(mismatch.to_string().contains("differs"));
+    }
+
+    #[test]
+    fn detects_interface_changes() {
+        let mut b1 = CdfgBuilder::new("t");
+        let x = b1.input("x");
+        b1.output("r", x);
+        let g1 = b1.finish().unwrap();
+
+        let mut b2 = CdfgBuilder::new("t");
+        let x = b2.input("x");
+        b2.output("r", x);
+        b2.output("extra", x);
+        let g2 = b2.finish().unwrap();
+
+        let bindings: HashMap<String, Value> = [("x".to_string(), Value::Word(1))].into();
+        assert!(check_equivalence(&g1, &g2, &bindings).unwrap().is_err());
+        assert!(check_equivalence(&g2, &g1, &bindings).unwrap().is_err());
+    }
+
+    #[test]
+    fn standard_pipeline_preserves_fir_behaviour() {
+        let src = r#"
+            void main() {
+                int a[4];
+                int c[4];
+                int sum;
+                int i;
+                sum = 0; i = 0;
+                while (i < 4) {
+                    sum = sum + a[i] * c[i]; i = i + 1;
+                }
+            }
+        "#;
+        let program = fpfa_frontend::compile(src).unwrap();
+        let mut transformed = program.cdfg.clone();
+        Pipeline::standard().run(&mut transformed).unwrap();
+
+        let state = StateSpace::from_tuples([
+            (0, 1),
+            (1, -2),
+            (2, 3),
+            (3, -4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+        ]);
+        let bindings: HashMap<String, Value> =
+            [("mem".to_string(), Value::State(state))].into();
+        assert_equivalent(&program.cdfg, &transformed, &bindings);
+    }
+}

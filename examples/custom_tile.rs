@@ -1,0 +1,51 @@
+//! Design-space exploration: map the same kernel onto differently shaped
+//! tiles (number of ALUs, ALU data-path depth, allocator look-back window)
+//! and compare cycle counts.
+//!
+//! ```text
+//! cargo run --example custom_tile
+//! ```
+
+use fpfa::arch::{AluCapability, TileConfig};
+use fpfa::core::pipeline::Mapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = fpfa::workloads::dct4(2);
+    println!("kernel: {kernel}\n");
+    println!(
+        "{:<28} {:>6} {:>7} {:>7} {:>7}",
+        "tile configuration", "ALUs", "levels", "cycles", "util"
+    );
+
+    let configurations: Vec<(String, TileConfig)> = vec![
+        ("paper tile (5 PPs)".into(), TileConfig::paper()),
+        ("single ALU".into(), TileConfig::single_alu()),
+        ("3 PPs".into(), TileConfig::paper().with_num_pps(3)),
+        ("8 PPs".into(), TileConfig::paper().with_num_pps(8)),
+        (
+            "5 PPs, single-op ALU".into(),
+            TileConfig::paper().with_alu(AluCapability::single_op()),
+        ),
+        (
+            "5 PPs, look-back window 1".into(),
+            TileConfig::paper().with_input_move_window(1),
+        ),
+        (
+            "5 PPs, narrow crossbar (2)".into(),
+            TileConfig::paper().with_crossbar_buses(2),
+        ),
+    ];
+
+    for (label, config) in configurations {
+        let mapping = Mapper::new().with_config(config).map_source(&kernel.source)?;
+        println!(
+            "{:<28} {:>6} {:>7} {:>7} {:>7.2}",
+            label,
+            config.num_pps,
+            mapping.report.levels,
+            mapping.report.cycles,
+            mapping.report.alu_utilization
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Map the whole workload suite and print a summary table: operations,
+//! clusters, schedule levels, cycles, speed-up over the sequential baseline
+//! and register hit rate — the numbers behind the repository's T1/T2
+//! experiments.
+//!
+//! ```text
+//! cargo run --release --example kernel_sweep
+//! ```
+
+use fpfa::core::baseline;
+use fpfa::core::pipeline::Mapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<12} {:>5} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "kernel", "ops", "clusters", "levels", "cycles", "seq", "speedup", "hit rate"
+    );
+    for kernel in fpfa::workloads::registry() {
+        let mapped = Mapper::new().map_source(&kernel.source)?;
+        let sequential = baseline::sequential(&kernel.source)?;
+        let speedup = sequential.report.cycles as f64 / mapped.report.cycles.max(1) as f64;
+        let hit_rate = mapped
+            .report
+            .register_hit_rate()
+            .map(|r| format!("{:.2}", r))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<12} {:>5} {:>8} {:>7} {:>7} {:>9} {:>9.2} {:>9}",
+            kernel.name,
+            mapped.report.operations,
+            mapped.report.clusters,
+            mapped.report.levels,
+            mapped.report.cycles,
+            sequential.report.cycles,
+            speedup,
+            hit_rate
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! `fpfa-map` — command-line front door to the mapping flow.
+//!
+//! Reads a C-subset kernel, maps it onto an FPFA tile and prints the
+//! requested artefacts: the mapping report, the per-cycle listing, Graphviz
+//! renderings of the CDFG / cluster graph / schedule, or a simulation run.
+//!
+//! ```text
+//! fpfa-map kernel.c                  # report only
+//! fpfa-map kernel.c --listing        # plus the per-cycle tile job
+//! fpfa-map kernel.c --dot schedule   # Graphviz of the schedule (cdfg|clusters|schedule)
+//! fpfa-map kernel.c --pps 3          # target a 3-PP tile
+//! fpfa-map kernel.c --no-clustering --no-locality
+//! fpfa-map kernel.c --simulate       # run on the cycle-accurate simulator
+//! ```
+//!
+//! With `--simulate`, every array of the kernel is filled with the
+//! deterministic test signal also used by the benchmark suite, and every
+//! scalar input is set to 1.
+
+use fpfa::arch::TileConfig;
+use fpfa::core::pipeline::Mapper;
+use fpfa::core::viz;
+use fpfa::sim::{SimInputs, Simulator};
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    pps: usize,
+    clustering: bool,
+    locality: bool,
+    listing: bool,
+    dot: Option<String>,
+    simulate: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fpfa-map <kernel.c> [--pps N] [--no-clustering] [--no-locality] \
+     [--listing] [--dot cdfg|clusters|schedule] [--simulate]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        path: String::new(),
+        pps: TileConfig::paper().num_pps,
+        clustering: true,
+        locality: true,
+        listing: false,
+        dot: None,
+        simulate: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--pps" => {
+                let value = iter.next().ok_or("--pps needs a value")?;
+                options.pps = value.parse().map_err(|_| "--pps needs a number")?;
+            }
+            "--no-clustering" => options.clustering = false,
+            "--no-locality" => options.locality = false,
+            "--listing" => options.listing = true,
+            "--simulate" => options.simulate = true,
+            "--dot" => {
+                let value = iter.next().ok_or("--dot needs cdfg|clusters|schedule")?;
+                options.dot = Some(value.clone());
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{}", usage()))
+            }
+            other => {
+                if !options.path.is_empty() {
+                    return Err(format!("more than one input file given\n{}", usage()));
+                }
+                options.path = other.to_string();
+            }
+        }
+    }
+    if options.path.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(options)
+}
+
+/// The deterministic test signal also used by `fpfa-workloads`.
+fn test_signal(len: usize, phase: i64) -> Vec<i64> {
+    (0..len as i64)
+        .map(|i| ((i * 7 + phase * 3) % 13) - 6)
+        .collect()
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let source = std::fs::read_to_string(&options.path)
+        .map_err(|e| format!("cannot read {}: {e}", options.path))?;
+
+    let config = TileConfig::paper().with_num_pps(options.pps);
+    let mut mapper = Mapper::new().with_config(config);
+    if !options.clustering {
+        mapper = mapper.without_clustering();
+    }
+    if !options.locality {
+        mapper = mapper.without_locality();
+    }
+    let mapping = mapper.map_source(&source).map_err(|e| e.to_string())?;
+
+    match options.dot.as_deref() {
+        Some("cdfg") => {
+            print!("{}", fpfa::cdfg::dot::to_dot(&mapping.simplified));
+            return Ok(());
+        }
+        Some("clusters") => {
+            print!(
+                "{}",
+                viz::clusters_to_dot(&mapping.mapping_graph, &mapping.clustered)
+            );
+            return Ok(());
+        }
+        Some("schedule") => {
+            print!(
+                "{}",
+                viz::schedule_to_dot(&mapping.mapping_graph, &mapping.clustered, &mapping.schedule)
+            );
+            return Ok(());
+        }
+        Some(other) => return Err(format!("unknown --dot target `{other}`\n{}", usage())),
+        None => {}
+    }
+
+    println!("{}", mapping.report);
+    if options.listing {
+        println!("\n{}", mapping.program.listing());
+    }
+
+    if options.simulate {
+        let mut inputs = SimInputs::new();
+        for (phase, sym) in mapping.layout.arrays().iter().enumerate() {
+            inputs
+                .statespace
+                .store_array(sym.base, &test_signal(sym.len, phase as i64));
+        }
+        for name in &mapping.program.scalar_input_names {
+            inputs.scalars.insert(name.clone(), 1);
+        }
+        let outcome = Simulator::new(&mapping.program)
+            .run(&inputs)
+            .map_err(|e| e.to_string())?;
+        println!("\n-- simulation (deterministic test data) --");
+        let mut names: Vec<_> = outcome.scalars.keys().collect();
+        names.sort();
+        for name in names {
+            println!("  {name} = {}", outcome.scalars[name]);
+        }
+        println!(
+            "  cycles {}  alu ops {}  mem r/w {}/{}  crossbar {}",
+            outcome.counts.cycles,
+            outcome.counts.alu_ops,
+            outcome.counts.mem_reads,
+            outcome.counts.mem_writes,
+            outcome.counts.crossbar_transfers
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fpfa-map: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate re-exporting the whole FPFA mapping flow.
+//!
+//! See the individual crates for details:
+//! * [`cdfg`] — the CDFG intermediate representation and statespace model;
+//! * [`frontend`] — the C-subset frontend;
+//! * [`transform`] — behaviour-preserving graph transformations;
+//! * [`arch`] — the FPFA tile architecture model;
+//! * [`core`] — clustering, scheduling and resource allocation;
+//! * [`sim`] — the cycle-accurate tile simulator;
+//! * [`workloads`] — parameterised DSP kernels.
+
+pub use fpfa_arch as arch;
+pub use fpfa_cdfg as cdfg;
+pub use fpfa_core as core;
+pub use fpfa_frontend as frontend;
+pub use fpfa_sim as sim;
+pub use fpfa_transform as transform;
+pub use fpfa_workloads as workloads;

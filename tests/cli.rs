@@ -1,0 +1,70 @@
+//! Integration tests for the `fpfa-map` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_kernel(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("fir.c");
+    let mut file = std::fs::File::create(&path).expect("create temp kernel");
+    file.write_all(
+        br#"
+        void main() {
+            int a[4];
+            int c[4];
+            int sum;
+            int i;
+            sum = 0; i = 0;
+            while (i < 4) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+        "#,
+    )
+    .expect("write temp kernel");
+    path
+}
+
+fn binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpfa-map"))
+}
+
+#[test]
+fn prints_a_report_and_simulates() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-report");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    let output = binary()
+        .arg(&kernel)
+        .arg("--simulate")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("clusters"));
+    assert!(stdout.contains("sum ="));
+    assert!(stdout.contains("cycles"));
+}
+
+#[test]
+fn emits_graphviz_for_the_schedule() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-dot");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    let output = binary()
+        .arg(&kernel)
+        .args(["--dot", "schedule"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("rank=same"));
+}
+
+#[test]
+fn rejects_unknown_options_and_missing_files() {
+    let unknown = binary().arg("--definitely-not-an-option").output().unwrap();
+    assert!(!unknown.status.success());
+    let missing = binary().arg("/nonexistent/kernel.c").output().unwrap();
+    assert!(!missing.status.success());
+    let stderr = String::from_utf8_lossy(&missing.stderr);
+    assert!(stderr.contains("cannot read"));
+}
