@@ -113,7 +113,9 @@ impl TileConfig {
     /// [`ArchError::InvalidConfig`] describing the first problem found.
     pub fn validate(&self) -> Result<(), ArchError> {
         if self.num_pps == 0 {
-            return Err(ArchError::InvalidConfig("tile needs at least one PP".into()));
+            return Err(ArchError::InvalidConfig(
+                "tile needs at least one PP".into(),
+            ));
         }
         if self.banks_per_pp == 0 || self.regs_per_bank == 0 {
             return Err(ArchError::InvalidConfig(

@@ -150,7 +150,8 @@ mod tests {
             mem_writes: 5,
             crossbar_transfers: 8,
         };
-        let expected = 1.0 * 20.0 + 0.2 * 30.0 + 0.3 * 10.0 + 2.5 * 5.0 + 3.0 * 5.0 + 0.6 * 8.0 + 0.5 * 10.0;
+        let expected =
+            1.0 * 20.0 + 0.2 * 30.0 + 0.3 * 10.0 + 2.5 * 5.0 + 3.0 * 5.0 + 0.6 * 8.0 + 0.5 * 10.0;
         assert!((model.total(&counts) - expected).abs() < 1e-9);
         let report = model.report(counts);
         assert!((report.total - expected).abs() < 1e-9);

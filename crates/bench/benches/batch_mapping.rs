@@ -1,0 +1,46 @@
+//! Criterion benches: batched multi-kernel mapping throughput
+//! (`Mapper::map_many`) vs. sequential single-kernel mapping — the measured
+//! series behind the heavy-traffic/batching roadmap item.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfa_core::flow::KernelSpec;
+use fpfa_core::pipeline::Mapper;
+use std::hint::black_box;
+
+fn specs() -> Vec<KernelSpec> {
+    fpfa_workloads::registry()
+        .into_iter()
+        .map(|k| KernelSpec::new(k.name, k.source))
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_many");
+    group.sample_size(10);
+    let specs = specs();
+    group.throughput(Throughput::Elements(specs.len() as u64));
+
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            let report = Mapper::new().map_many(black_box(&specs));
+            assert_eq!(report.failed(), 0, "all registry kernels map");
+            black_box(report.total_cycles())
+        })
+    });
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut cycles = 0usize;
+            for spec in black_box(&specs) {
+                let mapping = Mapper::new().map_source(&spec.source).expect("kernel maps");
+                cycles += mapping.report.cycles;
+            }
+            black_box(cycles)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -9,7 +9,9 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_kernel");
     group.sample_size(30);
     for kernel in [fpfa_workloads::fir(16), fpfa_workloads::matmul(3)] {
-        let mapping = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let mapping = Mapper::new()
+            .map_source(&kernel.source)
+            .expect("kernel maps");
         let mut inputs = SimInputs::new();
         for (name, values) in &kernel.arrays {
             let sym = mapping.layout.array(name).expect("array in layout");

@@ -12,15 +12,19 @@ fn bench_pipeline(c: &mut Criterion) {
     for taps in [4usize, 8, 16, 32] {
         let kernel = fpfa_workloads::fir(taps);
         let program = fpfa_frontend::compile(&kernel.source).expect("FIR compiles");
-        group.bench_with_input(BenchmarkId::from_parameter(taps), &program.cdfg, |b, cdfg| {
-            b.iter(|| {
-                let mut graph = cdfg.clone();
-                Pipeline::standard()
-                    .run(black_box(&mut graph))
-                    .expect("pipeline converges");
-                black_box(graph.node_count())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(taps),
+            &program.cdfg,
+            |b, cdfg| {
+                b.iter(|| {
+                    let mut graph = cdfg.clone();
+                    Pipeline::standard()
+                        .run(black_box(&mut graph))
+                        .expect("pipeline converges");
+                    black_box(graph.node_count())
+                })
+            },
+        );
     }
     group.finish();
 }

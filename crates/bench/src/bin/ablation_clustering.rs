@@ -14,7 +14,9 @@ fn main() {
         "kernel", "clusters", "flat", "levels", "flat", "cycles", "flat", "traffic", "flat"
     );
     for kernel in fpfa_workloads::registry() {
-        let clustered = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let clustered = Mapper::new()
+            .map_source(&kernel.source)
+            .expect("kernel maps");
         let flat = baseline::unclustered(&kernel.source).expect("baseline maps");
         let traffic = clustered
             .clustered
@@ -33,5 +35,7 @@ fn main() {
             traffic_flat
         );
     }
-    println!("\n(\"flat\" columns: clustering disabled; traffic = values crossing cluster boundaries)");
+    println!(
+        "\n(\"flat\" columns: clustering disabled; traffic = values crossing cluster boundaries)"
+    );
 }

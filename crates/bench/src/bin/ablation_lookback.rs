@@ -26,10 +26,7 @@ fn main() {
                 .with_config(config)
                 .map_source(&kernel.source)
                 .expect("kernel maps");
-            let label = format!(
-                "{}/{}",
-                result.report.stall_cycles, result.report.cycles
-            );
+            let label = format!("{}/{}", result.report.stall_cycles, result.report.cycles);
             print!(" {label:>13}");
         }
         println!();

@@ -4,6 +4,8 @@
 //! and executes it with the reference interpreter, printing the statespace
 //! after every primitive so the semantics can be checked against the figure.
 
+#![allow(clippy::unwrap_used)]
+
 use fpfa_cdfg::interp::Interpreter;
 use fpfa_cdfg::{CdfgBuilder, StateSpace, Value};
 
@@ -29,7 +31,10 @@ fn main() {
     interp.bind("mem", Value::State(initial));
     let result = interp.run().expect("figure graph executes");
 
-    println!("after ST(3, 42)  = {}", result.state("after_store").unwrap());
+    println!(
+        "after ST(3, 42)  = {}",
+        result.state("after_store").unwrap()
+    );
     println!("FE(3)            = {}", result.word("da").unwrap());
     println!("after DEL(3)     = {}", result.state("mem").unwrap());
 

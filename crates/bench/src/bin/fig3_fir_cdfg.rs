@@ -32,10 +32,7 @@ fn main() {
 
     // The shape of Fig. 3.
     println!("\n-- comparison with the figure --");
-    println!(
-        "{:<34} {:>8} {:>8}",
-        "feature", "paper", "measured"
-    );
+    println!("{:<34} {:>8} {:>8}", "feature", "paper", "measured");
     let rows = [
         ("FE fetches (a[i], c[i])", 2 * TAPS, after.fetches),
         ("multiplications", TAPS, after.multiplies),

@@ -6,6 +6,8 @@
 //! inserted, so the schedule grows from 4 to 5 levels while every level holds
 //! at most 5 clusters.
 
+#![allow(clippy::unwrap_used)]
+
 use fpfa_core::cluster::ClusteredGraph;
 use fpfa_core::schedule::Scheduler;
 
@@ -35,7 +37,7 @@ fn main() {
     );
 
     // (a) Before scheduling: ASAP levels with unbounded ALUs.
-    let unbounded = Scheduler::new(usize::MAX.min(64)).schedule(&clustered).unwrap();
+    let unbounded = Scheduler::new(64).schedule(&clustered).unwrap();
     println!("\n(a) before scheduling (unbounded ALUs — ASAP levels):");
     print!("{unbounded}");
     println!(

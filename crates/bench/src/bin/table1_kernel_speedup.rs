@@ -38,7 +38,9 @@ fn main() {
     );
     let mut speedups = Vec::new();
     for kernel in fpfa_workloads::registry() {
-        let mapped = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let mapped = Mapper::new()
+            .map_source(&kernel.source)
+            .expect("kernel maps");
         let sequential = baseline::sequential(&kernel.source).expect("baseline maps");
         let mapped_cycles = simulate(&kernel, &mapped);
         let sequential_cycles = simulate(&kernel, &sequential);

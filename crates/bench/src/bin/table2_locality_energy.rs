@@ -35,7 +35,9 @@ fn main() {
     );
     let mut savings = Vec::new();
     for kernel in fpfa_workloads::registry() {
-        let with = Mapper::new().map_source(&kernel.source).expect("kernel maps");
+        let with = Mapper::new()
+            .map_source(&kernel.source)
+            .expect("kernel maps");
         let without = baseline::no_locality(&kernel.source).expect("baseline maps");
         let outcome_with = simulate(&kernel, &with);
         let outcome_without = simulate(&kernel, &without);
@@ -58,6 +60,9 @@ fn main() {
         );
     }
     let mean = savings.iter().sum::<f64>() / savings.len() as f64;
-    println!("\nmean energy saving from locality of reference: {:.1}%", mean * 100.0);
+    println!(
+        "\nmean energy saving from locality of reference: {:.1}%",
+        mean * 100.0
+    );
     println!("(relative energy model: register access 0.2/0.3, memory access 2.5/3.0, crossbar 0.6, ALU 1.0)");
 }

@@ -6,6 +6,8 @@
 //! task graphs of increasing size and reports the measured time per cluster,
 //! which should stay roughly constant as the graph grows.
 
+#![allow(clippy::unwrap_used)]
+
 use fpfa_core::cluster::ClusteredGraph;
 use fpfa_core::schedule::Scheduler;
 use std::time::Instant;
@@ -17,7 +19,7 @@ fn layered_dag(n: usize, width: usize) -> ClusteredGraph {
     for i in width..n {
         // Every cluster depends on one or two clusters of the previous layer.
         edges.push((i - width, i));
-        if i % 3 == 0 && i >= width + 1 {
+        if i % 3 == 0 && i > width {
             edges.push((i - width - 1, i));
         }
     }

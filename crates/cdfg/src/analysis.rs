@@ -106,9 +106,7 @@ pub fn levelize(graph: &Cdfg) -> Result<LevelInfo, CdfgError> {
     let mut alap = HashMap::new();
     for &id in &order {
         let own = usize::from(node_occupies_level(graph, id));
-        let latest = depth
-            .saturating_sub(dist_to_sink[&id])
-            .saturating_sub(own);
+        let latest = depth.saturating_sub(dist_to_sink[&id]).saturating_sub(own);
         alap.insert(id, latest.max(asap[&id]));
     }
 

@@ -108,7 +108,10 @@ impl fmt::Display for CdfgError {
                 node,
                 expected,
                 found,
-            } => write!(f, "type mismatch at {node}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch at {node}: expected {expected}, found {found}"
+            ),
             CdfgError::DivisionByZero(n) => write!(f, "division by zero at {n}"),
             CdfgError::UnboundAddress { node, address } => {
                 write!(f, "statespace address {address} not bound (at {node})")
@@ -140,7 +143,11 @@ mod tests {
             "division by zero at n4"
         );
         assert_eq!(
-            CdfgError::UnboundAddress { node: n, address: 7 }.to_string(),
+            CdfgError::UnboundAddress {
+                node: n,
+                address: 7
+            }
+            .to_string(),
             "statespace address 7 not bound (at n4)"
         );
         assert!(CdfgError::PortOutOfRange {

@@ -92,7 +92,10 @@ impl Cdfg {
 
     /// `true` when the node id refers to a live node.
     pub fn contains_node(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).map(Option::is_some).unwrap_or(false)
+        self.nodes
+            .get(id.index())
+            .map(Option::is_some)
+            .unwrap_or(false)
     }
 
     /// Iterates over `(id, node)` pairs of live nodes in id order.
@@ -290,13 +293,12 @@ impl Cdfg {
         let uses: Vec<Endpoint> = self.output_sinks(from, from_port);
         let mut moved = 0;
         for sink in uses {
-            let eid = self
-                .node(sink.node)?
-                .input_edge(sink.port_index())
-                .ok_or(CdfgError::PortUnconnected {
+            let eid = self.node(sink.node)?.input_edge(sink.port_index()).ok_or(
+                CdfgError::PortUnconnected {
                     node: sink.node,
                     port: sink.port_index(),
-                })?;
+                },
+            )?;
             self.disconnect(eid)?;
             self.connect(to, to_port, sink.node, sink.port_index())?;
             moved += 1;
@@ -330,12 +332,18 @@ impl Cdfg {
 
     /// Finds the `Input` node with the given name.
     pub fn input_named(&self, name: &str) -> Option<NodeId> {
-        self.inputs().into_iter().find(|(n, _)| n == name).map(|(_, id)| id)
+        self.inputs()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| id)
     }
 
     /// Finds the `Output` node with the given name.
     pub fn output_named(&self, name: &str) -> Option<NodeId> {
-        self.outputs().into_iter().find(|(n, _)| n == name).map(|(_, id)| id)
+        self.outputs()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| id)
     }
 
     // ------------------------------------------------------------------
@@ -370,11 +378,7 @@ impl Cdfg {
                     .inputs
                     .iter()
                     .flatten()
-                    .filter(|eid| {
-                        self.edge(**eid)
-                            .map(|e| e.from.node == id)
-                            .unwrap_or(false)
-                    })
+                    .filter(|eid| self.edge(**eid).map(|e| e.from.node == id).unwrap_or(false))
                     .count();
                 let slot = &mut in_deg[succ.index()];
                 *slot = slot.saturating_sub(incoming_from_id);
@@ -472,7 +476,10 @@ mod tests {
         let add = g.add_node(NodeKind::BinOp(BinOp::Add));
         assert!(matches!(
             g.connect(a, 1, add, 0),
-            Err(CdfgError::PortOutOfRange { is_input: false, .. })
+            Err(CdfgError::PortOutOfRange {
+                is_input: false,
+                ..
+            })
         ));
         assert!(matches!(
             g.connect(a, 0, add, 2),

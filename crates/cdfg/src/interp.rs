@@ -47,7 +47,11 @@ impl RunResult {
 
     /// All `(name, value)` pairs sorted by name.
     pub fn sorted(&self) -> Vec<(&str, &Value)> {
-        let mut v: Vec<_> = self.values.iter().map(|(k, val)| (k.as_str(), val)).collect();
+        let mut v: Vec<_> = self
+            .values
+            .iter()
+            .map(|(k, val)| (k.as_str(), val))
+            .collect();
         v.sort_by_key(|(k, _)| *k);
         v
     }
@@ -113,7 +117,12 @@ impl<'g> Interpreter<'g> {
     /// budgets.
     pub fn run(&mut self) -> Result<RunResult, CdfgError> {
         let mut evaluations = 0usize;
-        let values = eval_graph(self.graph, &self.bindings, self.loop_budget, &mut evaluations)?;
+        let values = eval_graph(
+            self.graph,
+            &self.bindings,
+            self.loop_budget,
+            &mut evaluations,
+        )?;
         Ok(RunResult {
             values,
             evaluations,
@@ -176,7 +185,11 @@ pub fn eval_graph(
             }
             NodeKind::Mux => {
                 let cond = expect_word(id, &ins[0])?;
-                let chosen = if cond != 0 { ins[1].clone() } else { ins[2].clone() };
+                let chosen = if cond != 0 {
+                    ins[1].clone()
+                } else {
+                    ins[2].clone()
+                };
                 produced.insert((id, 0), chosen);
             }
             NodeKind::Store => {
@@ -287,7 +300,7 @@ fn expect_word(node: NodeId, value: &Value) -> Result<i64, CdfgError> {
     })
 }
 
-fn expect_state<'v>(node: NodeId, value: &'v Value) -> Result<&'v StateSpace, CdfgError> {
+fn expect_state(node: NodeId, value: &Value) -> Result<&StateSpace, CdfgError> {
     value.as_state().ok_or(CdfgError::TypeMismatch {
         node,
         expected: "statespace",

@@ -93,14 +93,18 @@ impl StateSpace {
     /// statespace.
     pub fn store_array(&mut self, base: i64, values: &[i64]) {
         for (i, v) in values.iter().enumerate() {
-            self.store(base + i as i64, *v);
+            // Address arithmetic wraps, matching `BinOp::eval`'s semantics,
+            // so a pathological base cannot trap in debug builds.
+            self.store(base.wrapping_add(i as i64), *v);
         }
     }
 
     /// Reads `len` consecutive words starting at `base`; missing addresses
     /// yield `None`.
     pub fn fetch_array(&self, base: i64, len: usize) -> Vec<Option<i64>> {
-        (0..len as i64).map(|i| self.fetch(base + i)).collect()
+        (0..len as i64)
+            .map(|i| self.fetch(base.wrapping_add(i)))
+            .collect()
     }
 }
 

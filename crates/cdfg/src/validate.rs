@@ -78,11 +78,7 @@ pub fn validate(graph: &Cdfg) -> Result<(), CdfgError> {
     Ok(())
 }
 
-fn validate_loop(
-    graph: &Cdfg,
-    id: crate::ids::NodeId,
-    spec: &LoopSpec,
-) -> Result<(), CdfgError> {
+fn validate_loop(graph: &Cdfg, id: crate::ids::NodeId, spec: &LoopSpec) -> Result<(), CdfgError> {
     let _ = graph;
     if spec.vars.is_empty() {
         return Err(CdfgError::MalformedLoop {
@@ -207,10 +203,7 @@ mod tests {
         };
         let mut g = Cdfg::new("bad");
         let _lp = g.add_node(NodeKind::Loop(Box::new(spec)));
-        assert!(matches!(
-            validate(&g),
-            Err(CdfgError::MalformedLoop { .. })
-        ));
+        assert!(matches!(validate(&g), Err(CdfgError::MalformedLoop { .. })));
     }
 
     #[test]

@@ -115,12 +115,17 @@ impl Allocator {
         // final value resides wherever that value's home is.
         let mut statespace_map: HashMap<i64, MemRef> = HashMap::new();
         for &addr in &graph.mem_reads {
-            statespace_map.insert(addr, state.home_of(ValueRef::MemWord(addr)).expect("preloaded"));
+            statespace_map.insert(
+                addr,
+                state.home_of(ValueRef::MemWord(addr)).expect("preloaded"),
+            );
         }
         let mut written_addresses = Vec::new();
         let mut last_write: HashMap<i64, (usize, ValueRef)> = HashMap::new();
         for write in &graph.mem_writes {
-            let entry = last_write.entry(write.address).or_insert((write.seq, write.value));
+            let entry = last_write
+                .entry(write.address)
+                .or_insert((write.seq, write.value));
             if write.seq >= entry.0 {
                 *entry = (write.seq, write.value);
             }
@@ -136,9 +141,11 @@ impl Allocator {
                     state.preload.push((ValueRef::Const(*c), home));
                     home
                 }
-                other => state.home_of(*other).ok_or_else(|| MapError::AllocationFailed {
-                    reason: format!("statespace write to {addr} has no materialised value"),
-                })?,
+                other => state
+                    .home_of(*other)
+                    .ok_or_else(|| MapError::AllocationFailed {
+                        reason: format!("statespace write to {addr} has no materialised value"),
+                    })?,
             };
             statespace_map.insert(*addr, home);
         }
@@ -243,10 +250,8 @@ impl Allocator {
         for &(cluster_id, pp) in &assignments {
             let cluster = clustered.cluster(cluster_id);
             for &op in &cluster.ops {
-                let consumed_elsewhere = graph
-                    .consumers(op)
-                    .iter()
-                    .any(|c| !cluster.ops.contains(c));
+                let consumed_elsewhere =
+                    graph.consumers(op).iter().any(|c| !cluster.ops.contains(c));
                 if !consumed_elsewhere && !graph.is_externally_used(op) {
                     continue;
                 }
@@ -550,8 +555,7 @@ impl AllocState {
     fn pick_register(&self, pp: PpId, m: usize) -> Option<RegRef> {
         for bank_index in 0..self.config.banks_per_pp {
             let bank = RegBankName::from_index(bank_index % 4);
-            let writes = self
-                .usage[m]
+            let writes = self.usage[m]
                 .bank_writes
                 .get(&(pp, bank))
                 .copied()
@@ -746,7 +750,10 @@ mod tests {
                                 .get(reg)
                                 .copied()
                                 .expect("register operand was loaded at some point");
-                            assert!(load_cycle < c, "operand loaded in cycle {load_cycle} used in cycle {c}");
+                            assert!(
+                                load_cycle < c,
+                                "operand loaded in cycle {load_cycle} used in cycle {c}"
+                            );
                         }
                     }
                 }

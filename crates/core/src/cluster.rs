@@ -109,7 +109,10 @@ impl ClusteredGraph {
         let mut deps: Vec<Vec<ClusterId>> = vec![Vec::new(); count];
         let mut succs: Vec<Vec<ClusterId>> = vec![Vec::new(); count];
         for &(from, to) in edges {
-            assert!(from < count && to < count, "edge ({from},{to}) out of range");
+            assert!(
+                from < count && to < count,
+                "edge ({from},{to}) out of range"
+            );
             let from_id = ClusterId(from as u32);
             if !deps[to].contains(&from_id) {
                 deps[to].push(from_id);
@@ -270,10 +273,7 @@ fn shape_of(graph: &MappingGraph, ops: &[OpId]) -> ClusterShape {
         max_depth = max_depth.max(local_depth);
         // An op is an output when it is used outside the cluster or
         // externally observable.
-        let used_outside = graph
-            .consumers(id)
-            .iter()
-            .any(|c| !members.contains(c))
+        let used_outside = graph.consumers(id).iter().any(|c| !members.contains(c))
             || graph.is_externally_used(id);
         if used_outside {
             outputs.insert(id);
@@ -372,7 +372,7 @@ impl Clusterer {
         let levels = op_levels(graph);
         let heights = op_heights(graph);
         edges.sort_by_key(|(p, c)| {
-            let criticality = levels[&(*p)] + heights[&(*c)];
+            let criticality = levels[p] + heights[c];
             std::cmp::Reverse(criticality)
         });
 
@@ -393,10 +393,8 @@ impl Clusterer {
                 }
             }
             // Feasibility: data-path limits.
-            let merged_ops: Vec<OpId> = graph
-                .op_ids()
-                .filter(|id| trial[id.index()] == a)
-                .collect();
+            let merged_ops: Vec<OpId> =
+                graph.op_ids().filter(|id| trial[id.index()] == a).collect();
             if !fits(&self.capability, &shape_of(graph, &merged_ops)) {
                 continue;
             }

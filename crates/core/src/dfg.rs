@@ -249,40 +249,32 @@ impl MappingGraph {
         let order = graph.topo_order().map_err(MapError::Graph)?;
         for id in order {
             let node = graph.node(id).map_err(MapError::Graph)?;
-            let word_input = |port: usize,
-                              produced: &HashMap<NodeId, Produced>|
-             -> Result<ValueRef, MapError> {
-                let src = graph
-                    .input_source(id, port)
-                    .ok_or(MapError::Graph(fpfa_cdfg::CdfgError::PortUnconnected {
-                        node: id,
-                        port,
-                    }))?;
-                match produced.get(&src.node) {
-                    Some(Produced::Word(v)) => Ok(*v),
-                    Some(Produced::State(_)) | None => Err(MapError::UnmappableOperation {
-                        node: id,
-                        reason: "expected a word operand, found a statespace token".into(),
-                    }),
-                }
-            };
-            let state_input = |port: usize,
-                               produced: &HashMap<NodeId, Produced>|
-             -> Result<NodeId, MapError> {
-                let src = graph
-                    .input_source(id, port)
-                    .ok_or(MapError::Graph(fpfa_cdfg::CdfgError::PortUnconnected {
-                        node: id,
-                        port,
-                    }))?;
-                match produced.get(&src.node) {
-                    Some(Produced::State(n)) => Ok(*n),
-                    _ => Err(MapError::UnmappableOperation {
-                        node: id,
-                        reason: "expected a statespace token".into(),
-                    }),
-                }
-            };
+            let word_input =
+                |port: usize, produced: &HashMap<NodeId, Produced>| -> Result<ValueRef, MapError> {
+                    let src = graph.input_source(id, port).ok_or(MapError::Graph(
+                        fpfa_cdfg::CdfgError::PortUnconnected { node: id, port },
+                    ))?;
+                    match produced.get(&src.node) {
+                        Some(Produced::Word(v)) => Ok(*v),
+                        Some(Produced::State(_)) | None => Err(MapError::UnmappableOperation {
+                            node: id,
+                            reason: "expected a word operand, found a statespace token".into(),
+                        }),
+                    }
+                };
+            let state_input =
+                |port: usize, produced: &HashMap<NodeId, Produced>| -> Result<NodeId, MapError> {
+                    let src = graph.input_source(id, port).ok_or(MapError::Graph(
+                        fpfa_cdfg::CdfgError::PortUnconnected { node: id, port },
+                    ))?;
+                    match produced.get(&src.node) {
+                        Some(Produced::State(n)) => Ok(*n),
+                        _ => Err(MapError::UnmappableOperation {
+                            node: id,
+                            reason: "expected a statespace token".into(),
+                        }),
+                    }
+                };
 
             match &node.kind {
                 NodeKind::Const(c) => {
@@ -510,7 +502,8 @@ mod tests {
 
     #[test]
     fn rejects_graphs_with_loops() {
-        let src = "void main() { int s; int i; s = 0; i = 0; while (i < 4) { s = s + i; i = i + 1; } }";
+        let src =
+            "void main() { int s; int i; s = 0; i = 0; while (i < 4) { s = s + i; i = i + 1; } }";
         let program = fpfa_frontend::compile(src).unwrap();
         let err = MappingGraph::from_cdfg(&program.cdfg).unwrap_err();
         assert!(matches!(err, MapError::LoopsRemain { count: 1 }));

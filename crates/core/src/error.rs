@@ -69,6 +69,13 @@ pub enum MapError {
         /// Description of the failure.
         reason: String,
     },
+    /// A simulation stage failed to execute the mapped program (missing
+    /// inputs, data-dependent faults like division by zero, or a structural
+    /// violation caught by the simulator's checks).
+    Simulation {
+        /// Description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -104,6 +111,9 @@ impl fmt::Display for MapError {
             ),
             MapError::AllocationFailed { reason } => {
                 write!(f, "resource allocation failed: {reason}")
+            }
+            MapError::Simulation { reason } => {
+                write!(f, "simulation failed: {reason}")
             }
         }
     }

@@ -1,0 +1,312 @@
+//! Batched multi-kernel mapping: [`KernelSpec`] inputs, the parallel map
+//! machinery behind [`Mapper::map_many`](crate::pipeline::Mapper::map_many),
+//! and the aggregated [`BatchReport`].
+//!
+//! Independent kernels share nothing, so the batch is embarrassingly
+//! parallel: a small scoped-thread worker pool pulls kernel indices from an
+//! atomic cursor.  (The build environment has no crates.io access, so this
+//! uses `std::thread::scope` instead of rayon; the work-stealing granularity
+//! of one kernel per pull is plenty for kernels that take 0.1–10 ms each.)
+
+use super::StageTiming;
+use crate::error::MapError;
+use crate::pipeline::MappingResult;
+use std::fmt;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// One kernel of a batch: a name for the report plus its source text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KernelSpec {
+    /// Name used in the batch report.
+    pub name: String,
+    /// The C-subset source text.
+    pub source: String,
+}
+
+impl KernelSpec {
+    /// Creates a kernel spec.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        KernelSpec {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// The outcome of one kernel of a batch.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchEntry {
+    /// The kernel's name (from its [`KernelSpec`]).
+    pub name: String,
+    /// The mapping result, or the error that kernel produced.  One failing
+    /// kernel does not abort the rest of the batch.
+    pub outcome: Result<MappingResult, MapError>,
+}
+
+/// Aggregate wall-clock of one stage across a whole batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StageTotal {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Summed wall-clock across all kernels that ran the stage.
+    pub wall: Duration,
+    /// Number of kernels that ran the stage.
+    pub kernels: usize,
+    /// Summed change counts (fixpoint stages).
+    pub changes: usize,
+}
+
+/// Everything [`Mapper::map_many`](crate::pipeline::Mapper::map_many)
+/// produced: per-kernel outcomes plus aggregated per-stage timings.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BatchReport {
+    /// Per-kernel outcomes, in input order.
+    pub entries: Vec<BatchEntry>,
+    /// Wall-clock of the whole batch (not the sum of per-kernel times).
+    pub wall: Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Number of kernels that mapped successfully.
+    pub fn succeeded(&self) -> usize {
+        self.entries.iter().filter(|e| e.outcome.is_ok()).count()
+    }
+
+    /// Number of kernels that failed.
+    pub fn failed(&self) -> usize {
+        self.entries.len() - self.succeeded()
+    }
+
+    /// The mapping result of a kernel, by name.
+    pub fn result_of(&self, name: &str) -> Option<&MappingResult> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.outcome.as_ref().ok())
+    }
+
+    /// Summed tile cycles over all successful kernels.
+    pub fn total_cycles(&self) -> usize {
+        self.entries
+            .iter()
+            .filter_map(|e| e.outcome.as_ref().ok())
+            .map(|m| m.report.cycles)
+            .sum()
+    }
+
+    /// Summed per-kernel mapping wall-clock across all stages of every
+    /// **successful** kernel (failed kernels abort mid-flow and their
+    /// partial timings are not retained) — compare with
+    /// [`BatchReport::wall`] for the parallel speedup.
+    pub fn cpu_time(&self) -> Duration {
+        self.stage_totals().iter().map(|t| t.wall).sum()
+    }
+
+    /// Aggregates stage timings across every successful kernel, in flow
+    /// order of first appearance.
+    pub fn stage_totals(&self) -> Vec<StageTotal> {
+        let mut totals: Vec<StageTotal> = Vec::new();
+        for entry in &self.entries {
+            let Ok(mapping) = &entry.outcome else {
+                continue;
+            };
+            for StageTiming {
+                stage,
+                wall,
+                changes,
+            } in &mapping.trace.timings
+            {
+                if let Some(total) = totals.iter_mut().find(|t| t.stage == *stage) {
+                    total.wall += *wall;
+                    total.kernels += 1;
+                    total.changes += *changes;
+                } else {
+                    totals.push(StageTotal {
+                        stage,
+                        wall: *wall,
+                        kernels: 1,
+                        changes: *changes,
+                    });
+                }
+            }
+        }
+        totals
+    }
+
+    /// Aggregate wall-clock of one stage, if any kernel ran it.
+    pub fn stage_wall(&self, stage: &str) -> Option<Duration> {
+        self.stage_totals()
+            .into_iter()
+            .find(|t| t.stage == stage)
+            .map(|t| t.wall)
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "batch: {}/{} kernels mapped on {} thread(s) in {:?} ({:?} cpu)",
+            self.succeeded(),
+            self.entries.len(),
+            self.threads,
+            self.wall,
+            self.cpu_time(),
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>8} {:>7} {:>7} {:>9}",
+            "kernel", "ops", "levels", "cycles", "map time"
+        )?;
+        for entry in &self.entries {
+            match &entry.outcome {
+                Ok(m) => writeln!(
+                    f,
+                    "  {:<22} {:>8} {:>7} {:>7} {:>9?}",
+                    entry.name,
+                    m.report.operations,
+                    m.report.levels,
+                    m.report.cycles,
+                    m.trace.total_wall(),
+                )?,
+                Err(e) => writeln!(f, "  {:<22} FAILED: {e}", entry.name)?,
+            }
+        }
+        writeln!(f, "  per-stage totals:")?;
+        for total in self.stage_totals() {
+            write!(
+                f,
+                "    {:<10} {:>12?}  ({} kernels",
+                total.stage, total.wall, total.kernels
+            )?;
+            if total.changes > 0 {
+                write!(f, ", {} changes", total.changes)?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The worker-pool width actually used for `len` items when `requested`
+/// threads are asked for (shared by [`parallel_map`] and the
+/// [`BatchReport::threads`] field so the report matches reality).
+pub(crate) fn effective_threads(requested: usize, len: usize) -> usize {
+    requested.clamp(1, len.max(1))
+}
+
+/// Applies `f` to every item on a scoped worker pool, preserving input
+/// order in the result.  Worker panics are propagated to the caller.
+pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else { break };
+                        local.push((index, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => collected.extend(local),
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+    });
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().map(|(_, result)| result).collect()
+}
+
+/// The default worker-pool width: one thread per available core.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Mapper;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let doubled = parallel_map(&items, 8, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_and_empty_input() {
+        assert_eq!(parallel_map(&[1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(
+            parallel_map::<i32, i32, _>(&[], 4, |x| *x),
+            Vec::<i32>::new()
+        );
+    }
+
+    #[test]
+    fn map_many_reports_failures_without_aborting_the_batch() {
+        let specs = vec![
+            KernelSpec::new("good", "void main() { int a[2]; int r; r = a[0] + a[1]; }"),
+            KernelSpec::new("bad", "void main() { r = 1; }"),
+            KernelSpec::new(
+                "also_good",
+                "void main() { int a[2]; int s; s = a[0] * a[1]; }",
+            ),
+        ];
+        let report = Mapper::new().with_batch_threads(2).map_many(&specs);
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.entries[1].name, "bad");
+        assert!(report.entries[1].outcome.is_err());
+        assert!(report.result_of("good").is_some());
+        assert!(report.result_of("bad").is_none());
+        assert!(report.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn batch_report_aggregates_stage_totals() {
+        let specs = vec![
+            KernelSpec::new("k0", "void main() { int a[2]; int r; r = a[0] + a[1]; }"),
+            KernelSpec::new(
+                "k1",
+                "void main() { int a[3]; int r; r = a[0] * a[1] + a[2]; }",
+            ),
+        ];
+        let report = Mapper::new().with_batch_threads(2).map_many(&specs);
+        assert_eq!(report.failed(), 0);
+        for stage in ["frontend", "transform", "cluster", "schedule", "allocate"] {
+            let total = report
+                .stage_totals()
+                .into_iter()
+                .find(|t| t.stage == stage)
+                .unwrap_or_else(|| panic!("stage `{stage}` missing from batch totals"));
+            assert_eq!(total.kernels, 2, "{stage}");
+        }
+        assert!(report.cpu_time() > Duration::ZERO);
+        // Batch entries carry the spec names into the per-kernel reports.
+        assert_eq!(report.result_of("k0").unwrap().report.kernel, "k0");
+    }
+}

@@ -1,0 +1,638 @@
+//! The staged flow engine: a generic [`Stage`] trait, a [`FlowDriver`] that
+//! times stages and runs fixpoint iterations, and a [`FlowContext`] threaded
+//! through the whole mapping flow.
+//!
+//! The original `Mapper` hand-wired frontend → transformations → clustering →
+//! scheduling → allocation and only timed the middle of that sequence.  This
+//! module turns each phase into a [`Stage<In, Out>`] so that
+//!
+//! * every phase is instrumented uniformly (per-stage wall-clock and change
+//!   counts end up in the [`FlowContext`], and in the
+//!   [`FlowTrace`](crate::flow::FlowTrace) of every
+//!   [`MappingResult`](crate::pipeline::MappingResult));
+//! * the fixpoint loop of `fpfa_transform::Pipeline` is generalized into
+//!   [`FlowDriver::fixpoint`], usable by any pass set over any value;
+//! * stages compose with [`StageExt::then`], so alternative flows (ablation
+//!   baselines, future loop-capable pipelines) are assembled instead of
+//!   re-implemented;
+//! * independent kernels can be mapped in parallel through
+//!   [`Mapper::map_many`](crate::pipeline::Mapper::map_many), which
+//!   aggregates the per-stage numbers into a [`BatchReport`].
+//!
+//! The concrete mapping stages live in [`stages`]; batching lives in
+//! [`batch`].
+
+pub mod batch;
+pub mod stages;
+
+pub use batch::{BatchEntry, BatchReport, KernelSpec, StageTotal};
+pub use stages::{
+    AllocateStage, AllocatedKernel, ClusterStage, ClusteredKernel, CompiledKernel, ExtractStage,
+    ExtractedKernel, FrontendStage, ScheduleStage, ScheduledKernel, SimplifiedKernel, SourceInput,
+    TransformStage,
+};
+
+use crate::error::MapError;
+use fpfa_arch::TileConfig;
+use fpfa_cdfg::Cdfg;
+use fpfa_transform::{Transform, TransformError};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Context, timings and diagnostics
+// ---------------------------------------------------------------------------
+
+/// Feature toggles of the mapping flow (the `Mapper` builder switches).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlowToggles {
+    /// Phase-1 clustering (disabled = one operation per cluster).
+    pub clustering: bool,
+    /// Locality of reference in the allocator.
+    pub locality: bool,
+    /// CDFG simplification before mapping.
+    pub simplify: bool,
+}
+
+impl Default for FlowToggles {
+    fn default() -> Self {
+        FlowToggles {
+            clustering: true,
+            locality: true,
+            simplify: true,
+        }
+    }
+}
+
+/// Wall-clock (and change count) of one stage of a flow run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StageTiming {
+    /// Stage name (`"frontend"`, `"transform"`, `"cluster"`, ...).
+    pub stage: &'static str,
+    /// Total wall-clock spent in the stage.
+    pub wall: Duration,
+    /// Graph changes attributed to the stage (fixpoint stages only).
+    pub changes: usize,
+}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// Progress information (cluster counts, pass statistics).
+    Info,
+    /// Something suspicious that did not fail the flow.
+    Warning,
+}
+
+/// A structured message emitted by a stage.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The stage that emitted the message.
+    pub stage: &'static str,
+    /// Severity of the message.
+    pub severity: Severity,
+    /// Human-readable text.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Info => "info",
+            Severity::Warning => "warn",
+        };
+        write!(f, "[{tag}] {}: {}", self.stage, self.message)
+    }
+}
+
+/// Everything a flow run left behind: per-stage timings and diagnostics.
+///
+/// Stored in every [`MappingResult`](crate::pipeline::MappingResult) and
+/// aggregated across kernels by [`BatchReport`].
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FlowTrace {
+    /// Per-stage wall-clock and change counts, in completion order.
+    pub timings: Vec<StageTiming>,
+    /// Structured diagnostics, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FlowTrace {
+    /// Wall-clock of a stage, if it ran.
+    pub fn wall_of(&self, stage: &str) -> Option<Duration> {
+        self.timings
+            .iter()
+            .find(|t| t.stage == stage)
+            .map(|t| t.wall)
+    }
+
+    /// Total wall-clock across all recorded stages.
+    pub fn total_wall(&self) -> Duration {
+        self.timings.iter().map(|t| t.wall).sum()
+    }
+}
+
+impl fmt::Display for FlowTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stage timings (total {:?}):", self.total_wall())?;
+        for timing in &self.timings {
+            write!(f, "  {:<10} {:>12?}", timing.stage, timing.wall)?;
+            if timing.changes > 0 {
+                write!(f, "  ({} changes)", timing.changes)?;
+            }
+            writeln!(f)?;
+        }
+        for diagnostic in &self.diagnostics {
+            writeln!(f, "  {diagnostic}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared state threaded through every stage of a flow run.
+#[derive(Clone, Debug)]
+pub struct FlowContext {
+    /// The tile configuration the flow targets.
+    pub config: TileConfig,
+    /// Feature toggles consulted by the stages.
+    pub toggles: FlowToggles,
+    timings: Vec<StageTiming>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl FlowContext {
+    /// A context targeting `config` with all optimisations enabled.
+    pub fn new(config: TileConfig) -> Self {
+        FlowContext {
+            config,
+            toggles: FlowToggles::default(),
+            timings: Vec::new(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Overrides the feature toggles.
+    pub fn with_toggles(mut self, toggles: FlowToggles) -> Self {
+        self.toggles = toggles;
+        self
+    }
+
+    /// Adds wall-clock to a stage (merging repeated runs of the same stage).
+    pub fn record_wall(&mut self, stage: &'static str, wall: Duration) {
+        if let Some(entry) = self.timings.iter_mut().find(|t| t.stage == stage) {
+            entry.wall += wall;
+        } else {
+            self.timings.push(StageTiming {
+                stage,
+                wall,
+                changes: 0,
+            });
+        }
+    }
+
+    /// Attributes `changes` graph changes to a stage.
+    pub fn record_changes(&mut self, stage: &'static str, changes: usize) {
+        if let Some(entry) = self.timings.iter_mut().find(|t| t.stage == stage) {
+            entry.changes += changes;
+        } else {
+            self.timings.push(StageTiming {
+                stage,
+                wall: Duration::ZERO,
+                changes,
+            });
+        }
+    }
+
+    /// Emits an informational diagnostic.
+    pub fn info(&mut self, stage: &'static str, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            stage,
+            severity: Severity::Info,
+            message: message.into(),
+        });
+    }
+
+    /// Emits a warning diagnostic.
+    pub fn warn(&mut self, stage: &'static str, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            stage,
+            severity: Severity::Warning,
+            message: message.into(),
+        });
+    }
+
+    /// Per-stage timings recorded so far.
+    pub fn timings(&self) -> &[StageTiming] {
+        &self.timings
+    }
+
+    /// Diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Wall-clock of a stage, if it ran.
+    pub fn wall_of(&self, stage: &str) -> Option<Duration> {
+        self.timings
+            .iter()
+            .find(|t| t.stage == stage)
+            .map(|t| t.wall)
+    }
+
+    /// Converts the recorded instrumentation into a portable trace.
+    pub fn into_trace(self) -> FlowTrace {
+        FlowTrace {
+            timings: self.timings,
+            diagnostics: self.diagnostics,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Stage abstraction
+// ---------------------------------------------------------------------------
+
+/// One phase of a flow: consumes `In`, produces `Out`, reads configuration
+/// from (and reports instrumentation into) the [`FlowContext`].
+pub trait Stage<In, Out> {
+    /// Short, stable stage name used in timings and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage.
+    ///
+    /// # Errors
+    /// Returns a [`MapError`] when the phase cannot proceed.
+    fn run(&self, input: In, cx: &mut FlowContext) -> Result<Out, MapError>;
+
+    /// Composite stages (like [`Chain`]) time their children individually
+    /// instead of being timed as one unit.
+    fn is_composite(&self) -> bool {
+        false
+    }
+}
+
+/// Runs a stage, recording its wall-clock in the context (composite stages
+/// delegate timing to their children).
+///
+/// # Errors
+/// Propagates the stage's error.
+pub fn run_timed<In, Out, S>(stage: &S, input: In, cx: &mut FlowContext) -> Result<Out, MapError>
+where
+    S: Stage<In, Out> + ?Sized,
+{
+    if stage.is_composite() {
+        return stage.run(input, cx);
+    }
+    let started = Instant::now();
+    let result = stage.run(input, cx);
+    cx.record_wall(stage.name(), started.elapsed());
+    result
+}
+
+/// Two stages run in sequence (see [`StageExt::then`]).
+#[derive(Clone, Debug)]
+pub struct Chain<S1, S2, Mid> {
+    first: S1,
+    second: S2,
+    _mid: std::marker::PhantomData<fn() -> Mid>,
+}
+
+impl<In, Mid, Out, S1, S2> Stage<In, Out> for Chain<S1, S2, Mid>
+where
+    S1: Stage<In, Mid>,
+    S2: Stage<Mid, Out>,
+{
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn is_composite(&self) -> bool {
+        true
+    }
+
+    fn run(&self, input: In, cx: &mut FlowContext) -> Result<Out, MapError> {
+        let mid = run_timed(&self.first, input, cx)?;
+        run_timed(&self.second, mid, cx)
+    }
+}
+
+/// Combinators available on every stage.
+pub trait StageExt<In, Out>: Stage<In, Out> + Sized {
+    /// Chains `self` with `next`, feeding `self`'s output into `next`.
+    fn then<Out2, S2: Stage<Out, Out2>>(self, next: S2) -> Chain<Self, S2, Out> {
+        Chain {
+            first: self,
+            second: next,
+            _mid: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<In, Out, S: Stage<In, Out>> StageExt<In, Out> for S {}
+
+// ---------------------------------------------------------------------------
+// The driver and its generalized fixpoint loop
+// ---------------------------------------------------------------------------
+
+/// A pass usable inside [`FlowDriver::fixpoint`]: applies once, reports how
+/// many changes it made.
+pub trait FixpointPass<T> {
+    /// Short pass name used in change reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies the pass once.
+    ///
+    /// # Errors
+    /// Returns a [`MapError`] when the pass cannot proceed.
+    fn apply_once(&self, value: &mut T) -> Result<usize, MapError>;
+}
+
+/// Every `fpfa_transform` pass is a fixpoint pass over CDFGs, so the
+/// transformation engine plugs directly into the generalized driver.
+impl<P: Transform> FixpointPass<Cdfg> for P {
+    fn name(&self) -> &'static str {
+        Transform::name(self)
+    }
+
+    fn apply_once(&self, value: &mut Cdfg) -> Result<usize, MapError> {
+        Ok(self.apply(value)?)
+    }
+}
+
+/// Summary of one [`FlowDriver::fixpoint`] run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FixpointOutcome {
+    /// Number of rounds executed (including the final all-quiet round).
+    pub rounds: usize,
+    /// Total changes across all passes and rounds.
+    pub changes: usize,
+    /// `(pass, changes)` pairs in execution order, zero-change runs omitted.
+    pub pass_changes: Vec<(&'static str, usize)>,
+}
+
+/// Drives stages and fixpoint pass sets; the generalization of
+/// `fpfa_transform::Pipeline`'s fixpoint loop.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowDriver {
+    max_rounds: usize,
+}
+
+impl FlowDriver {
+    /// A driver with the default round budget (64, matching
+    /// `fpfa_transform::Pipeline`).
+    pub fn new() -> Self {
+        FlowDriver { max_rounds: 64 }
+    }
+
+    /// Overrides the fixpoint round budget.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Runs a (possibly composite) stage, timing it into the context.
+    ///
+    /// # Errors
+    /// Propagates the stage's error.
+    pub fn run<In, Out, S>(
+        &self,
+        stage: &S,
+        input: In,
+        cx: &mut FlowContext,
+    ) -> Result<Out, MapError>
+    where
+        S: Stage<In, Out> + ?Sized,
+    {
+        run_timed(stage, input, cx)
+    }
+
+    /// Runs `passes` over `value` repeatedly until a full round changes
+    /// nothing, attributing change counts to `stage` in the context.
+    ///
+    /// # Errors
+    /// Propagates pass errors; reports
+    /// [`TransformError::PipelineDiverged`] (wrapped in
+    /// [`MapError::Transform`]) when the round budget is exhausted.
+    pub fn fixpoint<T, P: FixpointPass<T>>(
+        &self,
+        stage: &'static str,
+        passes: &[P],
+        value: &mut T,
+        cx: &mut FlowContext,
+    ) -> Result<FixpointOutcome, MapError> {
+        let mut outcome = FixpointOutcome::default();
+        for round in 0..self.max_rounds {
+            let mut changes_this_round = 0;
+            for pass in passes {
+                let changes = pass.apply_once(value)?;
+                if changes > 0 {
+                    outcome.pass_changes.push((pass.name(), changes));
+                }
+                changes_this_round += changes;
+            }
+            outcome.rounds = round + 1;
+            outcome.changes += changes_this_round;
+            if changes_this_round == 0 {
+                cx.record_changes(stage, outcome.changes);
+                return Ok(outcome);
+            }
+        }
+        Err(MapError::Transform(TransformError::PipelineDiverged {
+            rounds: self.max_rounds,
+        }))
+    }
+}
+
+impl Default for FlowDriver {
+    fn default() -> Self {
+        FlowDriver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    /// Adds a suffix to a string (and optionally sleeps so timings are
+    /// observable).
+    struct Append(&'static str, &'static str);
+
+    impl Stage<String, String> for Append {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn run(&self, input: String, cx: &mut FlowContext) -> Result<String, MapError> {
+            cx.info(self.0, "ran");
+            sleep(Duration::from_micros(50));
+            Ok(input + self.1)
+        }
+    }
+
+    /// A stage that always fails.
+    struct Explode;
+
+    impl Stage<String, String> for Explode {
+        fn name(&self) -> &'static str {
+            "explode"
+        }
+        fn run(&self, _input: String, _cx: &mut FlowContext) -> Result<String, MapError> {
+            Err(MapError::AllocationFailed {
+                reason: "boom".into(),
+            })
+        }
+    }
+
+    fn cx() -> FlowContext {
+        FlowContext::new(TileConfig::paper())
+    }
+
+    #[test]
+    fn chained_stages_run_in_order_and_are_timed_individually() {
+        let flow = Append("first", "a")
+            .then(Append("second", "b"))
+            .then(Append("third", "c"));
+        let mut cx = cx();
+        let out = FlowDriver::new()
+            .run(&flow, String::from("x"), &mut cx)
+            .unwrap();
+        assert_eq!(out, "xabc");
+        let stages: Vec<_> = cx.timings().iter().map(|t| t.stage).collect();
+        assert_eq!(stages, vec!["first", "second", "third"]);
+        for timing in cx.timings() {
+            assert!(timing.wall > Duration::ZERO, "{} not timed", timing.stage);
+        }
+        assert_eq!(cx.diagnostics().len(), 3);
+    }
+
+    #[test]
+    fn chain_stops_at_the_first_failing_stage() {
+        let flow = Append("first", "a")
+            .then(Explode)
+            .then(Append("third", "c"));
+        let mut cx = cx();
+        let err = FlowDriver::new()
+            .run(&flow, String::from("x"), &mut cx)
+            .unwrap_err();
+        assert!(matches!(err, MapError::AllocationFailed { .. }));
+        // The first stage ran (and was timed); the third never did.
+        assert!(cx.wall_of("first").is_some());
+        assert!(cx.wall_of("third").is_none());
+        // The failing stage is still timed (its wall-clock was spent).
+        assert!(cx.wall_of("explode").is_some());
+    }
+
+    #[test]
+    fn repeated_stage_runs_merge_their_wall_clock() {
+        let stage = Append("same", "y");
+        let mut cx = cx();
+        let driver = FlowDriver::new();
+        driver.run(&stage, String::from("a"), &mut cx).unwrap();
+        driver.run(&stage, String::from("b"), &mut cx).unwrap();
+        assert_eq!(cx.timings().len(), 1);
+        assert!(cx.wall_of("same").unwrap() >= Duration::from_micros(100));
+    }
+
+    /// A fixpoint pass that decrements until zero.
+    struct Decrement;
+
+    impl FixpointPass<i64> for Decrement {
+        fn name(&self) -> &'static str {
+            "decrement"
+        }
+        fn apply_once(&self, value: &mut i64) -> Result<usize, MapError> {
+            if *value > 0 {
+                *value -= 1;
+                Ok(1)
+            } else {
+                Ok(0)
+            }
+        }
+    }
+
+    /// A pass that never settles.
+    struct Oscillate;
+
+    impl FixpointPass<i64> for Oscillate {
+        fn name(&self) -> &'static str {
+            "oscillate"
+        }
+        fn apply_once(&self, value: &mut i64) -> Result<usize, MapError> {
+            *value = -*value;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn fixpoint_converges_and_attributes_changes_to_the_stage() {
+        let passes = [Decrement];
+        let mut value = 5i64;
+        let mut cx = cx();
+        let outcome = FlowDriver::new()
+            .fixpoint("count", &passes, &mut value, &mut cx)
+            .unwrap();
+        assert_eq!(value, 0);
+        assert_eq!(outcome.changes, 5);
+        assert_eq!(outcome.rounds, 6); // five changing rounds + the quiet one
+        let timing = cx.timings().iter().find(|t| t.stage == "count").unwrap();
+        assert_eq!(timing.changes, 5);
+    }
+
+    #[test]
+    fn fixpoint_divergence_is_reported_with_the_round_budget() {
+        let passes = [Oscillate];
+        let mut value = 1i64;
+        let mut cx = cx();
+        let err = FlowDriver::new()
+            .with_max_rounds(7)
+            .fixpoint("osc", &passes, &mut value, &mut cx)
+            .unwrap_err();
+        match err {
+            MapError::Transform(TransformError::PipelineDiverged { rounds }) => {
+                assert_eq!(rounds, 7)
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transform_passes_plug_into_the_generalized_fixpoint() {
+        use fpfa_cdfg::{BinOp, CdfgBuilder};
+        let mut b = CdfgBuilder::new("t");
+        let two = b.constant(2);
+        let three = b.constant(3);
+        let six = b.mul(two, three);
+        let x = b.input("x");
+        let r = b.binop(BinOp::Add, six, x);
+        b.output("r", r);
+        let mut graph = b.finish().unwrap();
+
+        let passes: Vec<Box<dyn fpfa_transform::Transform + Send + Sync>> = vec![
+            Box::new(fpfa_transform::const_fold::ConstantFold),
+            Box::new(fpfa_transform::dce::DeadCodeElimination),
+        ];
+        let mut cx = cx();
+        let outcome = FlowDriver::new()
+            .fixpoint("transform", &passes, &mut graph, &mut cx)
+            .unwrap();
+        assert!(outcome.changes > 0);
+        assert!(outcome
+            .pass_changes
+            .iter()
+            .any(|(name, _)| *name == "const-fold"));
+        assert_eq!(fpfa_cdfg::GraphStats::of(&graph).multiplies, 0);
+    }
+
+    #[test]
+    fn trace_display_lists_stages_and_diagnostics() {
+        let mut cx = cx();
+        cx.record_wall("frontend", Duration::from_micros(120));
+        cx.record_changes("transform", 9);
+        cx.warn("transform", "something odd");
+        let trace = cx.into_trace();
+        let text = trace.to_string();
+        assert!(text.contains("frontend"));
+        assert!(text.contains("9 changes"));
+        assert!(text.contains("[warn] transform: something odd"));
+    }
+}

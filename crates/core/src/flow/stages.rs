@@ -1,0 +1,324 @@
+//! The concrete stages of the FPFA mapping flow.
+//!
+//! Each phase of the paper's flow is a [`Stage`] with a typed payload, so the
+//! whole pipeline is the composition
+//!
+//! ```text
+//! SourceInput --frontend--> CompiledKernel --transform--> SimplifiedKernel
+//!   --extract--> ExtractedKernel --cluster--> ClusteredKernel
+//!   --schedule--> ScheduledKernel --allocate--> AllocatedKernel
+//! ```
+//!
+//! (`fpfa-sim` adds a `simulate` stage over the finished mapping.)  The
+//! stages read the tile configuration and feature toggles from the
+//! [`FlowContext`] and leave their wall-clock and change counts in it.
+
+use super::{FlowContext, FlowDriver, Stage};
+use crate::allocate::Allocator;
+use crate::cluster::{ClusteredGraph, Clusterer};
+use crate::dfg::MappingGraph;
+use crate::error::MapError;
+use crate::program::TileProgram;
+use crate::schedule::{Schedule, Scheduler};
+use fpfa_cdfg::Cdfg;
+use fpfa_frontend::MemoryLayout;
+use fpfa_transform::Transform;
+
+/// Input of the flow: a C-subset source string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceInput {
+    /// The C-subset source text.
+    pub source: String,
+}
+
+impl SourceInput {
+    /// Wraps a source string.
+    pub fn new(source: impl Into<String>) -> Self {
+        SourceInput {
+            source: source.into(),
+        }
+    }
+}
+
+/// Output of the frontend stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledKernel {
+    /// The lowered CDFG.
+    pub cdfg: Cdfg,
+    /// Statespace layout of the source program's arrays.
+    pub layout: MemoryLayout,
+}
+
+/// Output of the transform stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimplifiedKernel {
+    /// The CDFG after (optional) simplification.
+    pub simplified: Cdfg,
+    /// Statespace layout, forwarded unchanged.
+    pub layout: MemoryLayout,
+}
+
+/// Output of the extract stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExtractedKernel {
+    /// The simplified CDFG (kept for the final result and equivalence checks).
+    pub simplified: Cdfg,
+    /// Statespace layout, forwarded unchanged.
+    pub layout: MemoryLayout,
+    /// The loop-free mapping IR extracted from the CDFG.
+    pub graph: MappingGraph,
+}
+
+/// Output of the cluster stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ClusteredKernel {
+    /// The simplified CDFG.
+    pub simplified: Cdfg,
+    /// Statespace layout.
+    pub layout: MemoryLayout,
+    /// The mapping IR.
+    pub graph: MappingGraph,
+    /// The phase-1 clustering.
+    pub clustered: ClusteredGraph,
+}
+
+/// Output of the schedule stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScheduledKernel {
+    /// The simplified CDFG.
+    pub simplified: Cdfg,
+    /// Statespace layout.
+    pub layout: MemoryLayout,
+    /// The mapping IR.
+    pub graph: MappingGraph,
+    /// The phase-1 clustering.
+    pub clustered: ClusteredGraph,
+    /// The phase-2 level schedule.
+    pub schedule: Schedule,
+}
+
+/// Output of the allocate stage: everything the flow produced.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AllocatedKernel {
+    /// The simplified CDFG.
+    pub simplified: Cdfg,
+    /// Statespace layout.
+    pub layout: MemoryLayout,
+    /// The mapping IR.
+    pub graph: MappingGraph,
+    /// The phase-1 clustering.
+    pub clustered: ClusteredGraph,
+    /// The phase-2 level schedule.
+    pub schedule: Schedule,
+    /// The phase-3 allocated tile program.
+    pub program: TileProgram,
+}
+
+/// Compiles C-subset source into a CDFG (stage `frontend`).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FrontendStage;
+
+impl Stage<SourceInput, CompiledKernel> for FrontendStage {
+    fn name(&self) -> &'static str {
+        "frontend"
+    }
+
+    fn run(&self, input: SourceInput, cx: &mut FlowContext) -> Result<CompiledKernel, MapError> {
+        let program = fpfa_frontend::compile(&input.source)?;
+        cx.info(
+            self.name(),
+            format!(
+                "{} nodes, {} arrays",
+                program.cdfg.node_count(),
+                program.layout.arrays().len()
+            ),
+        );
+        Ok(CompiledKernel {
+            cdfg: program.cdfg,
+            layout: program.layout,
+        })
+    }
+}
+
+/// Simplifies the CDFG with a fixpoint pass set (stage `transform`).
+///
+/// This is `fpfa_transform::Pipeline::standard` rebuilt on the generalized
+/// [`FlowDriver::fixpoint`] loop, so its per-pass change counts land in the
+/// [`FlowContext`] like every other stage's instrumentation.
+pub struct TransformStage {
+    passes: Vec<Box<dyn Transform + Send + Sync>>,
+    driver: FlowDriver,
+}
+
+impl TransformStage {
+    /// The paper's "full simplification" recipe —
+    /// [`fpfa_transform::standard_passes`], the same single definition
+    /// `Pipeline::standard` uses.
+    pub fn standard() -> Self {
+        TransformStage {
+            passes: fpfa_transform::standard_passes(),
+            driver: FlowDriver::new(),
+        }
+    }
+
+    /// Names of the passes in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+}
+
+impl Stage<CompiledKernel, SimplifiedKernel> for TransformStage {
+    fn name(&self) -> &'static str {
+        "transform"
+    }
+
+    fn run(
+        &self,
+        input: CompiledKernel,
+        cx: &mut FlowContext,
+    ) -> Result<SimplifiedKernel, MapError> {
+        let CompiledKernel { mut cdfg, layout } = input;
+        if cx.toggles.simplify {
+            let outcome = self
+                .driver
+                .fixpoint(self.name(), &self.passes, &mut cdfg, cx)?;
+            cx.info(
+                self.name(),
+                format!("{} rounds, {} changes", outcome.rounds, outcome.changes),
+            );
+        } else {
+            cx.info(self.name(), "simplification disabled");
+        }
+        Ok(SimplifiedKernel {
+            simplified: cdfg,
+            layout,
+        })
+    }
+}
+
+/// Extracts the loop-free mapping IR from the CDFG (stage `extract`).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ExtractStage;
+
+impl Stage<SimplifiedKernel, ExtractedKernel> for ExtractStage {
+    fn name(&self) -> &'static str {
+        "extract"
+    }
+
+    fn run(
+        &self,
+        input: SimplifiedKernel,
+        cx: &mut FlowContext,
+    ) -> Result<ExtractedKernel, MapError> {
+        let graph = MappingGraph::from_cdfg(&input.simplified)?;
+        cx.info(self.name(), format!("{} operations", graph.op_count()));
+        Ok(ExtractedKernel {
+            simplified: input.simplified,
+            layout: input.layout,
+            graph,
+        })
+    }
+}
+
+/// Phase 1: clustering & ALU data-path mapping (stage `cluster`).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ClusterStage;
+
+impl Stage<ExtractedKernel, ClusteredKernel> for ClusterStage {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run(
+        &self,
+        input: ExtractedKernel,
+        cx: &mut FlowContext,
+    ) -> Result<ClusteredKernel, MapError> {
+        let clusterer = if cx.toggles.clustering {
+            Clusterer::new(cx.config.alu)
+        } else {
+            Clusterer::disabled(cx.config.alu)
+        };
+        let clustered = clusterer.cluster(&input.graph)?;
+        cx.info(
+            self.name(),
+            format!(
+                "{} clusters, critical path {}",
+                clustered.len(),
+                clustered.critical_path()
+            ),
+        );
+        Ok(ClusteredKernel {
+            simplified: input.simplified,
+            layout: input.layout,
+            graph: input.graph,
+            clustered,
+        })
+    }
+}
+
+/// Phase 2: level scheduling onto the physical ALUs (stage `schedule`).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ScheduleStage;
+
+impl Stage<ClusteredKernel, ScheduledKernel> for ScheduleStage {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(
+        &self,
+        input: ClusteredKernel,
+        cx: &mut FlowContext,
+    ) -> Result<ScheduledKernel, MapError> {
+        let schedule = Scheduler::new(cx.config.num_pps).schedule(&input.clustered)?;
+        cx.info(self.name(), format!("{} levels", schedule.level_count()));
+        Ok(ScheduledKernel {
+            simplified: input.simplified,
+            layout: input.layout,
+            graph: input.graph,
+            clustered: input.clustered,
+            schedule,
+        })
+    }
+}
+
+/// Phase 3: resource allocation into a per-cycle tile program
+/// (stage `allocate`).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AllocateStage;
+
+impl Stage<ScheduledKernel, AllocatedKernel> for AllocateStage {
+    fn name(&self) -> &'static str {
+        "allocate"
+    }
+
+    fn run(
+        &self,
+        input: ScheduledKernel,
+        cx: &mut FlowContext,
+    ) -> Result<AllocatedKernel, MapError> {
+        let allocator = if cx.toggles.locality {
+            Allocator::new(cx.config)
+        } else {
+            Allocator::new(cx.config).without_locality()
+        };
+        let program = allocator.allocate(&input.graph, &input.clustered, &input.schedule)?;
+        cx.info(
+            self.name(),
+            format!(
+                "{} cycles ({} stalls)",
+                program.cycle_count(),
+                program.stats.stall_cycles
+            ),
+        );
+        Ok(AllocatedKernel {
+            simplified: input.simplified,
+            layout: input.layout,
+            graph: input.graph,
+            clustered: input.clustered,
+            schedule: input.schedule,
+            program,
+        })
+    }
+}

@@ -60,6 +60,7 @@ pub mod baseline;
 pub mod cluster;
 pub mod dfg;
 pub mod error;
+pub mod flow;
 pub mod pipeline;
 pub mod program;
 pub mod report;
@@ -70,6 +71,10 @@ pub use allocate::Allocator;
 pub use cluster::{Cluster, ClusterId, ClusteredGraph, Clusterer};
 pub use dfg::{MappingGraph, OpId, OpKind, ValueRef};
 pub use error::MapError;
+pub use flow::{
+    BatchEntry, BatchReport, FlowContext, FlowDriver, FlowToggles, FlowTrace, KernelSpec, Stage,
+    StageExt, StageTiming,
+};
 pub use pipeline::{Mapper, MappingResult};
 pub use program::{AluJob, CycleJob, Location, MoveJob, TileProgram, WritebackJob};
 pub use report::MappingReport;

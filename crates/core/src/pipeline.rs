@@ -1,17 +1,23 @@
 //! End-to-end mapping pipeline: C source → CDFG → transformations →
-//! clustering → scheduling → allocation.
+//! clustering → scheduling → allocation, assembled from the staged flow
+//! engine of [`crate::flow`].
 
-use crate::allocate::Allocator;
-use crate::cluster::{ClusteredGraph, Clusterer};
+use crate::cluster::ClusteredGraph;
 use crate::dfg::MappingGraph;
 use crate::error::MapError;
+use crate::flow::stages::{
+    AllocateStage, AllocatedKernel, ClusterStage, CompiledKernel, ExtractStage, FrontendStage,
+    ScheduleStage, SourceInput, TransformStage,
+};
+use crate::flow::{
+    BatchEntry, BatchReport, FlowContext, FlowDriver, FlowToggles, FlowTrace, KernelSpec, StageExt,
+};
 use crate::program::TileProgram;
 use crate::report::MappingReport;
-use crate::schedule::{Schedule, Scheduler};
+use crate::schedule::Schedule;
 use fpfa_arch::TileConfig;
 use fpfa_cdfg::Cdfg;
 use fpfa_frontend::MemoryLayout;
-use fpfa_transform::Pipeline as TransformPipeline;
 use std::time::Instant;
 
 /// Everything produced by one mapping run.
@@ -32,15 +38,16 @@ pub struct MappingResult {
     /// Statespace layout of the source program's arrays (empty for mappings
     /// that started from a hand-built CDFG).
     pub layout: MemoryLayout,
+    /// Per-stage wall-clock timings and diagnostics of the flow run.
+    pub trace: FlowTrace,
 }
 
 /// The configurable end-to-end mapper.
 #[derive(Clone, Debug)]
 pub struct Mapper {
     config: TileConfig,
-    clustering: bool,
-    locality: bool,
-    simplify: bool,
+    toggles: FlowToggles,
+    batch_threads: Option<usize>,
 }
 
 impl Mapper {
@@ -49,9 +56,8 @@ impl Mapper {
     pub fn new() -> Self {
         Mapper {
             config: TileConfig::paper(),
-            clustering: true,
-            locality: true,
-            simplify: true,
+            toggles: FlowToggles::default(),
+            batch_threads: None,
         }
     }
 
@@ -63,21 +69,28 @@ impl Mapper {
 
     /// Disables phase-1 clustering (one operation per cluster) — ablation A1.
     pub fn without_clustering(mut self) -> Self {
-        self.clustering = false;
+        self.toggles.clustering = false;
         self
     }
 
     /// Disables locality of reference in the allocator — experiment T2
     /// baseline.
     pub fn without_locality(mut self) -> Self {
-        self.locality = false;
+        self.toggles.locality = false;
         self
     }
 
     /// Skips the CDFG simplification pipeline (the graph must already be
     /// loop-free).
     pub fn without_simplification(mut self) -> Self {
-        self.simplify = false;
+        self.toggles.simplify = false;
+        self
+    }
+
+    /// Overrides the worker-pool width used by [`Mapper::map_many`]
+    /// (default: one thread per available core).
+    pub fn with_batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = Some(threads.max(1));
         self
     }
 
@@ -86,13 +99,30 @@ impl Mapper {
         &self.config
     }
 
+    /// The feature toggles of this mapper.
+    pub fn toggles(&self) -> FlowToggles {
+        self.toggles
+    }
+
+    /// A fresh flow context targeting this mapper's configuration.
+    pub fn flow_context(&self) -> FlowContext {
+        FlowContext::new(self.config).with_toggles(self.toggles)
+    }
+
     /// Maps a C-subset source string.
     ///
     /// # Errors
     /// Propagates frontend, transformation and mapping errors.
     pub fn map_source(&self, source: &str) -> Result<MappingResult, MapError> {
-        let program = fpfa_frontend::compile(source)?;
-        self.map_cdfg_with_layout(&program.cdfg, program.layout)
+        let mut cx = self.flow_context();
+        let flow = FrontendStage
+            .then(TransformStage::standard())
+            .then(ExtractStage)
+            .then(ClusterStage)
+            .then(ScheduleStage)
+            .then(AllocateStage);
+        let allocated = FlowDriver::new().run(&flow, SourceInput::new(source), &mut cx)?;
+        Ok(finish(allocated, cx))
     }
 
     /// Maps an already-built CDFG.
@@ -103,53 +133,93 @@ impl Mapper {
         self.map_cdfg_with_layout(cdfg, MemoryLayout::new())
     }
 
+    /// Maps independent kernels in parallel and aggregates per-stage
+    /// timings across the batch.
+    ///
+    /// Kernels are distributed over a scoped worker pool (one thread per
+    /// available core unless [`Mapper::with_batch_threads`] overrides it);
+    /// results come back in input order.  A kernel that fails to map records
+    /// its error in the corresponding [`BatchEntry`] without aborting the
+    /// rest of the batch.
+    pub fn map_many(&self, kernels: &[KernelSpec]) -> BatchReport {
+        let threads = self
+            .batch_threads
+            .unwrap_or_else(crate::flow::batch::default_threads);
+        let started = Instant::now();
+        let entries = crate::flow::batch::parallel_map(kernels, threads, |spec| BatchEntry {
+            name: spec.name.clone(),
+            outcome: self.map_source(&spec.source).map(|mut mapping| {
+                mapping.report.kernel = spec.name.clone();
+                mapping
+            }),
+        });
+        BatchReport {
+            entries,
+            wall: started.elapsed(),
+            threads: crate::flow::batch::effective_threads(threads, kernels.len()),
+        }
+    }
+
     fn map_cdfg_with_layout(
         &self,
         cdfg: &Cdfg,
         layout: MemoryLayout,
     ) -> Result<MappingResult, MapError> {
-        let mut simplified = cdfg.clone();
-        if self.simplify {
-            TransformPipeline::standard().run(&mut simplified)?;
-        }
-        let mapping_graph = MappingGraph::from_cdfg(&simplified)?;
-
-        let started = Instant::now();
-        let clusterer = if self.clustering {
-            Clusterer::new(self.config.alu)
-        } else {
-            Clusterer::disabled(self.config.alu)
-        };
-        let clustered = clusterer.cluster(&mapping_graph)?;
-        let schedule = Scheduler::new(self.config.num_pps).schedule(&clustered)?;
-        let allocator = if self.locality {
-            Allocator::new(self.config)
-        } else {
-            Allocator::new(self.config).without_locality()
-        };
-        let program = allocator.allocate(&mapping_graph, &clustered, &schedule)?;
-        let mapping_time_us = started.elapsed().as_micros();
-
-        let mut report = MappingReport {
-            kernel: mapping_graph.name.clone(),
-            operations: mapping_graph.op_count(),
-            clusters: clustered.len(),
-            critical_path: clustered.critical_path(),
-            levels: schedule.level_count(),
-            mapping_time_us,
-            ..MappingReport::default()
-        };
-        report.absorb_program(&program);
-
-        Ok(MappingResult {
-            simplified,
-            mapping_graph,
-            clustered,
-            schedule,
-            program,
-            report,
+        let mut cx = self.flow_context();
+        let flow = TransformStage::standard()
+            .then(ExtractStage)
+            .then(ClusterStage)
+            .then(ScheduleStage)
+            .then(AllocateStage);
+        let input = CompiledKernel {
+            cdfg: cdfg.clone(),
             layout,
-        })
+        };
+        let allocated = FlowDriver::new().run(&flow, input, &mut cx)?;
+        Ok(finish(allocated, cx))
+    }
+}
+
+/// Builds the [`MappingResult`] (headline report + flow trace) once the
+/// allocate stage has produced the tile program.
+fn finish(allocated: AllocatedKernel, cx: FlowContext) -> MappingResult {
+    let AllocatedKernel {
+        simplified,
+        layout,
+        graph,
+        clustered,
+        schedule,
+        program,
+    } = allocated;
+
+    // Preserve the historical meaning of `mapping_time_us`: the time spent
+    // in the three mapping phases (clustering + scheduling + allocation).
+    let mapping_time_us = ["cluster", "schedule", "allocate"]
+        .iter()
+        .filter_map(|stage| cx.wall_of(stage))
+        .map(|wall| wall.as_micros())
+        .sum();
+
+    let mut report = MappingReport {
+        kernel: graph.name.clone(),
+        operations: graph.op_count(),
+        clusters: clustered.len(),
+        critical_path: clustered.critical_path(),
+        levels: schedule.level_count(),
+        mapping_time_us,
+        ..MappingReport::default()
+    };
+    report.absorb_program(&program);
+
+    MappingResult {
+        simplified,
+        mapping_graph: graph,
+        clustered,
+        schedule,
+        program,
+        report,
+        layout,
+        trace: cx.into_trace(),
     }
 }
 
@@ -206,7 +276,9 @@ mod tests {
 
     #[test]
     fn frontend_errors_are_propagated() {
-        let err = Mapper::new().map_source("void main() { x = 1; }").unwrap_err();
+        let err = Mapper::new()
+            .map_source("void main() { x = 1; }")
+            .unwrap_err();
         assert!(matches!(err, MapError::Frontend(_)));
     }
 
@@ -215,5 +287,41 @@ mod tests {
         let src = "void main() { int n; int s; int i; s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } }";
         let err = Mapper::new().map_source(src).unwrap_err();
         assert!(matches!(err, MapError::Transform(_)));
+    }
+
+    #[test]
+    fn every_stage_is_timed() {
+        let result = Mapper::new().map_source(FIR).unwrap();
+        for stage in [
+            "frontend",
+            "transform",
+            "extract",
+            "cluster",
+            "schedule",
+            "allocate",
+        ] {
+            assert!(
+                result.trace.wall_of(stage).is_some(),
+                "stage `{stage}` missing from the trace: {:?}",
+                result.trace.timings
+            );
+        }
+        // The transform stage simplified the FIR loop away, so it changed
+        // the graph.
+        let transform = result
+            .trace
+            .timings
+            .iter()
+            .find(|t| t.stage == "transform")
+            .unwrap();
+        assert!(transform.changes > 0);
+    }
+
+    #[test]
+    fn map_cdfg_skips_the_frontend_stage() {
+        let program = fpfa_frontend::compile(FIR).unwrap();
+        let result = Mapper::new().map_cdfg(&program.cdfg).unwrap();
+        assert!(result.trace.wall_of("frontend").is_none());
+        assert!(result.trace.wall_of("allocate").is_some());
     }
 }

@@ -223,11 +223,7 @@ impl TileProgram {
                 ));
             }
             for alu in &cycle.alus {
-                let ops: Vec<String> = alu
-                    .micro_ops
-                    .iter()
-                    .map(|m| m.kind.mnemonic())
-                    .collect();
+                let ops: Vec<String> = alu.micro_ops.iter().map(|m| m.kind.mnemonic()).collect();
                 out.push_str(&format!(
                     "  alu   pp{} executes {} [{}]\n",
                     alu.pp,

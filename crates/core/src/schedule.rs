@@ -179,10 +179,7 @@ fn mark_full(next_free: &mut Vec<usize>, level: usize) {
     next_free[level] = level + 1;
 }
 
-fn asap_levels(
-    clustered: &ClusteredGraph,
-    order: &[ClusterId],
-) -> HashMap<ClusterId, usize> {
+fn asap_levels(clustered: &ClusteredGraph, order: &[ClusterId]) -> HashMap<ClusterId, usize> {
     let mut asap = HashMap::new();
     for &id in order {
         let level = clustered
@@ -196,10 +193,7 @@ fn asap_levels(
     asap
 }
 
-fn alap_levels(
-    clustered: &ClusteredGraph,
-    order: &[ClusterId],
-) -> HashMap<ClusterId, usize> {
+fn alap_levels(clustered: &ClusteredGraph, order: &[ClusterId]) -> HashMap<ClusterId, usize> {
     let depth = clustered.critical_path();
     let mut height = HashMap::new();
     for &id in order.iter().rev() {

@@ -26,7 +26,13 @@ pub fn clusters_to_dot(graph: &MappingGraph, clustered: &ClusteredGraph) -> Stri
             .iter()
             .map(|op| graph.op(*op).kind.mnemonic())
             .collect();
-        let _ = writeln!(out, "  c{} [label=\"{}\\n{}\"];", id.index(), id, ops.join(" "));
+        let _ = writeln!(
+            out,
+            "  c{} [label=\"{}\\n{}\"];",
+            id.index(),
+            id,
+            ops.join(" ")
+        );
     }
     for id in clustered.ids() {
         for pred in clustered.predecessors(id) {

@@ -80,6 +80,14 @@ pub enum FrontendError {
         /// Where it is declared.
         span: Span,
     },
+    /// The declared arrays exhaust the statespace address range, so the
+    /// array cannot be placed without aliasing an earlier one.
+    AddressSpaceExhausted {
+        /// The array that did not fit.
+        name: String,
+        /// Where it is declared.
+        span: Span,
+    },
     /// The translation unit does not define `main`.
     MissingMain,
     /// Internal graph-construction failure (should not happen for accepted
@@ -94,7 +102,10 @@ impl fmt::Display for FrontendError {
                 write!(f, "{span}: unexpected character `{ch}`")
             }
             FrontendError::IntegerOverflow { literal, span } => {
-                write!(f, "{span}: integer literal `{literal}` does not fit in a word")
+                write!(
+                    f,
+                    "{span}: integer literal `{literal}` does not fit in a word"
+                )
             }
             FrontendError::UnterminatedComment { span } => {
                 write!(f, "{span}: unterminated block comment")
@@ -123,6 +134,12 @@ impl fmt::Display for FrontendError {
             }
             FrontendError::BadArraySize { name, span } => {
                 write!(f, "{span}: array `{name}` needs a positive constant size")
+            }
+            FrontendError::AddressSpaceExhausted { name, span } => {
+                write!(
+                    f,
+                    "{span}: array `{name}` does not fit in the statespace address range"
+                )
             }
             FrontendError::MissingMain => write!(f, "translation unit does not define `main`"),
             FrontendError::Graph(e) => write!(f, "graph construction failed: {e}"),
@@ -156,7 +173,10 @@ mod tests {
             span: Span::new(2, 5),
         };
         assert_eq!(e.to_string(), "2:5: `foo` is not declared");
-        assert_eq!(FrontendError::MissingMain.to_string(), "translation unit does not define `main`");
+        assert_eq!(
+            FrontendError::MissingMain.to_string(),
+            "translation unit does not define `main`"
+        );
     }
 
     #[test]

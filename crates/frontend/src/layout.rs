@@ -20,8 +20,11 @@ pub struct ArraySymbol {
 
 impl ArraySymbol {
     /// Address of element `index`.
+    ///
+    /// Wraps on overflow, consistent with the wrapping address arithmetic of
+    /// the statespace and `BinOp::eval`.
     pub fn address(&self, index: usize) -> i64 {
-        self.base + index as i64
+        self.base.wrapping_add(index as i64)
     }
 }
 
@@ -39,16 +42,20 @@ impl MemoryLayout {
     }
 
     /// Allocates `len` consecutive addresses for array `name` and returns the
-    /// new symbol.
-    pub fn allocate(&mut self, name: impl Into<String>, len: usize) -> ArraySymbol {
+    /// new symbol, or `None` when the array would overflow the statespace
+    /// address range (allocating anyway would silently alias earlier arrays).
+    pub fn allocate(&mut self, name: impl Into<String>, len: usize) -> Option<ArraySymbol> {
+        let next_free = i64::try_from(len)
+            .ok()
+            .and_then(|len| self.next_free.checked_add(len))?;
         let sym = ArraySymbol {
             name: name.into(),
             base: self.next_free,
             len,
         };
-        self.next_free += len as i64;
+        self.next_free = next_free;
         self.arrays.push(sym.clone());
-        sym
+        Some(sym)
     }
 
     /// Looks up an array by name.
@@ -87,8 +94,8 @@ mod tests {
     #[test]
     fn allocation_is_contiguous() {
         let mut layout = MemoryLayout::new();
-        let a = layout.allocate("a", 5);
-        let b = layout.allocate("b", 3);
+        let a = layout.allocate("a", 5).unwrap();
+        let b = layout.allocate("b", 3).unwrap();
         assert_eq!(a.base, 0);
         assert_eq!(b.base, 5);
         assert_eq!(a.address(4), 4);
@@ -99,10 +106,19 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         let mut layout = MemoryLayout::new();
-        layout.allocate("coeff", 16);
+        layout.allocate("coeff", 16).unwrap();
         assert!(layout.array("coeff").is_some());
         assert!(layout.array("other").is_none());
         assert_eq!(layout.arrays().len(), 1);
         assert!(layout.to_string().contains("coeff"));
+    }
+
+    #[test]
+    fn exhausting_the_address_range_is_rejected_not_aliased() {
+        let mut layout = MemoryLayout::new();
+        layout.allocate("big", (i64::MAX - 2) as usize).unwrap();
+        assert!(layout.allocate("more", 4).is_none());
+        // The failed allocation left no symbol behind.
+        assert!(layout.array("more").is_none());
     }
 }

@@ -199,9 +199,13 @@ impl<'l> Lowerer<'l> {
                         span: *span,
                     });
                 }
-                self.layout.allocate(name.clone(), *len as usize);
-                self.env
-                    .insert(name.clone(), Symbol::Array);
+                if self.layout.allocate(name.clone(), *len as usize).is_none() {
+                    return Err(FrontendError::AddressSpaceExhausted {
+                        name: name.clone(),
+                        span: *span,
+                    });
+                }
+                self.env.insert(name.clone(), Symbol::Array);
                 Ok(())
             }
             Stmt::Assign {
@@ -211,23 +215,21 @@ impl<'l> Lowerer<'l> {
             } => {
                 let value_wire = self.lower_expr(value)?;
                 match target {
-                    LValue::Var { name, span } => {
-                        match self.env.get_mut(name) {
-                            Some(Symbol::Scalar { value }) => {
-                                *value = Some(value_wire);
-                                Ok(())
-                            }
-                            Some(Symbol::Array) => Err(FrontendError::KindMismatch {
-                                name: name.clone(),
-                                expected: "a scalar",
-                                span: *span,
-                            }),
-                            None => Err(FrontendError::UndeclaredIdentifier {
-                                name: name.clone(),
-                                span: *span,
-                            }),
+                    LValue::Var { name, span } => match self.env.get_mut(name) {
+                        Some(Symbol::Scalar { value }) => {
+                            *value = Some(value_wire);
+                            Ok(())
                         }
-                    }
+                        Some(Symbol::Array) => Err(FrontendError::KindMismatch {
+                            name: name.clone(),
+                            expected: "a scalar",
+                            span: *span,
+                        }),
+                        None => Err(FrontendError::UndeclaredIdentifier {
+                            name: name.clone(),
+                            span: *span,
+                        }),
+                    },
                     LValue::Index { name, index, span } => {
                         let address = self.array_address(name, index, *span)?;
                         let st = self.graph.add_node(NodeKind::Store);
@@ -312,7 +314,8 @@ impl<'l> Lowerer<'l> {
                     }
                 }
             };
-            self.env.insert(name.clone(), Symbol::Scalar { value: merged });
+            self.env
+                .insert(name.clone(), Symbol::Scalar { value: merged });
         }
         self.state = if then_state != else_state {
             self.mux(cond_wire, then_state, else_state)
@@ -380,7 +383,9 @@ impl<'l> Lowerer<'l> {
                 &visible_arrays,
             );
             let wire = sub.lower_expr(cond)?;
-            let out = sub.graph.add_node(NodeKind::Output(LoopSpec::COND_OUTPUT.into()));
+            let out = sub
+                .graph
+                .add_node(NodeKind::Output(LoopSpec::COND_OUTPUT.into()));
             sub.graph
                 .connect(wire.node, wire.port, out, 0)
                 .expect("valid wires");
@@ -410,7 +415,10 @@ impl<'l> Lowerer<'l> {
                                 .graph
                                 .input_named(var)
                                 .expect("carried variables are inputs of the body graph");
-                            Wire { node: input, port: 0 }
+                            Wire {
+                                node: input,
+                                port: 0,
+                            }
                         }
                     }
                 };
@@ -544,11 +552,7 @@ impl<'l> Lowerer<'l> {
         self.binop(BinOp::Ne, w, zero)
     }
 
-    fn read_scalar(
-        &mut self,
-        name: &str,
-        span: crate::token::Span,
-    ) -> Result<Wire, FrontendError> {
+    fn read_scalar(&mut self, name: &str, span: crate::token::Span) -> Result<Wire, FrontendError> {
         match self.env.get(name) {
             Some(Symbol::Scalar { value: Some(w) }) => Ok(*w),
             Some(Symbol::Scalar { value: None }) => {
@@ -601,14 +605,12 @@ impl<'l> Lowerer<'l> {
                 })
             }
         }
-        let base = self
-            .layout
-            .array(name)
-            .map(|a| a.base)
-            .ok_or_else(|| FrontendError::UndeclaredIdentifier {
+        let base = self.layout.array(name).map(|a| a.base).ok_or_else(|| {
+            FrontendError::UndeclaredIdentifier {
                 name: name.to_string(),
                 span,
-            })?;
+            }
+        })?;
         let index_wire = self.lower_expr(index)?;
         if base == 0 {
             return Ok(index_wire);
@@ -763,7 +765,11 @@ mod tests {
     fn scalar_inputs_are_created_for_unassigned_reads() {
         let program = compile("void main() { int n; int y; y = n * 2; }").unwrap();
         assert!(program.cdfg.input_named("n").is_some());
-        let result = run("void main() { int n; int y; y = n * 2; }", &[], &[("n", 21)]);
+        let result = run(
+            "void main() { int n; int y; y = n * 2; }",
+            &[],
+            &[("n", 21)],
+        );
         assert_eq!(result.word("y"), Some(42));
     }
 

@@ -133,7 +133,9 @@ impl<'t> Parser<'t> {
             TokenKind::KwWhile => self.while_statement(),
             TokenKind::KwFor => self.for_statement(),
             TokenKind::KwReturn => Err(FrontendError::Unsupported {
-                feature: "return statements (kernels communicate through arrays and final scalar values)".into(),
+                feature:
+                    "return statements (kernels communicate through arrays and final scalar values)"
+                        .into(),
                 span,
             }),
             TokenKind::Ident(_) => self.assignment(),
@@ -394,7 +396,9 @@ impl<'t> Parser<'t> {
                     })
                 } else if self.peek_kind() == &TokenKind::LParen {
                     Err(FrontendError::Unsupported {
-                        feature: format!("call to `{name}` (function calls are not part of the subset)"),
+                        feature: format!(
+                            "call to `{name}` (function calls are not part of the subset)"
+                        ),
                         span,
                     })
                 } else {
@@ -516,7 +520,10 @@ mod tests {
         )
         .unwrap();
         // The for loop becomes a block containing init + while.
-        let Stmt::Block { body: desugared, .. } = unit.functions[0].body.last().unwrap() else {
+        let Stmt::Block {
+            body: desugared, ..
+        } = unit.functions[0].body.last().unwrap()
+        else {
             panic!("expected desugared for loop");
         };
         assert_eq!(desugared.len(), 2);

@@ -125,10 +125,7 @@ pub fn check_against_cdfg(
                             break;
                         }
                     }
-                    mismatches.push(format!(
-                        "final statespace differs: {}",
-                        detail.join("; ")
-                    ));
+                    mismatches.push(format!("final statespace differs: {}", detail.join("; ")));
                 }
             }
         }
@@ -160,8 +157,7 @@ mod tests {
         let inputs = SimInputs::new()
             .array(0, &[1, -2, 3, -4, 5, -6])
             .array(6, &[7, 8, 9, 10, 11, 12]);
-        let report =
-            check_against_cdfg(&mapping.simplified, &mapping.program, &inputs).unwrap();
+        let report = check_against_cdfg(&mapping.simplified, &mapping.program, &inputs).unwrap();
         assert!(report.is_equivalent(), "{report}");
         assert!(report.to_string().contains("matches"));
     }
@@ -179,8 +175,7 @@ mod tests {
         "#;
         let mapping = Mapper::new().map_source(src).unwrap();
         let inputs = SimInputs::new().array(0, &[3, 0, -7, 2, 9]);
-        let report =
-            check_against_cdfg(&mapping.simplified, &mapping.program, &inputs).unwrap();
+        let report = check_against_cdfg(&mapping.simplified, &mapping.program, &inputs).unwrap();
         assert!(report.is_equivalent(), "{report}");
     }
 

@@ -67,17 +67,26 @@ impl fmt::Display for SimError {
                 write!(f, "cycle {cycle}: two clusters assigned to pp{pp}")
             }
             SimError::CapabilityViolated { cycle, pp, reason } => {
-                write!(f, "cycle {cycle}: cluster on pp{pp} exceeds the ALU data-path: {reason}")
+                write!(
+                    f,
+                    "cycle {cycle}: cluster on pp{pp} exceeds the ALU data-path: {reason}"
+                )
             }
             SimError::MissingInput { what } => write!(f, "missing kernel input: {what}"),
             SimError::MissingResult { cycle, op } => {
-                write!(f, "cycle {cycle}: write-back of {op} before it was computed")
+                write!(
+                    f,
+                    "cycle {cycle}: write-back of {op} before it was computed"
+                )
             }
             SimError::DivisionByZero { cycle, op } => {
                 write!(f, "cycle {cycle}: division by zero in {op}")
             }
             SimError::BadInternalOperand { cycle, op } => {
-                write!(f, "cycle {cycle}: {op} reads an internal operand that has not executed")
+                write!(
+                    f,
+                    "cycle {cycle}: {op} reads an internal operand that has not executed"
+                )
             }
         }
     }

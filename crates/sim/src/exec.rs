@@ -121,12 +121,12 @@ impl<'p> Simulator<'p> {
                     // the program's preload only needs the value, which the
                     // caller supplies by name. We look the name up from the
                     // program's scalar inputs table.
-                    let name = self
-                        .program
-                        .scalar_input_name(*index as usize)
-                        .ok_or_else(|| SimError::MissingInput {
-                            what: format!("scalar input #{index}"),
-                        })?;
+                    let name =
+                        self.program
+                            .scalar_input_name(*index as usize)
+                            .ok_or_else(|| SimError::MissingInput {
+                                what: format!("scalar input #{index}"),
+                            })?;
                     *inputs
                         .scalars
                         .get(name)
@@ -180,19 +180,20 @@ impl<'p> Simulator<'p> {
                                 counts.reg_reads += 1;
                                 read_reg(&tile, *reg, cycle_index)?
                             }
-                            OperandSource::Internal(pos) => *internal.get(*pos).ok_or(
-                                SimError::BadInternalOperand {
+                            OperandSource::Internal(pos) => {
+                                *internal.get(*pos).ok_or(SimError::BadInternalOperand {
                                     cycle: cycle_index,
                                     op: micro.op,
-                                },
-                            )?,
+                                })?
+                            }
                         };
                         operands.push(value);
                     }
-                    let result = eval_op(micro.kind, &operands).ok_or(SimError::DivisionByZero {
-                        cycle: cycle_index,
-                        op: micro.op,
-                    })?;
+                    let result =
+                        eval_op(micro.kind, &operands).ok_or(SimError::DivisionByZero {
+                            cycle: cycle_index,
+                            op: micro.op,
+                        })?;
                     internal.push(result);
                     results.insert(micro.op, result);
                     counts.alu_ops += 1;
@@ -425,7 +426,10 @@ mod tests {
         let outcome = Simulator::new(&mapping.program).run(&fir_inputs()).unwrap();
         assert_eq!(outcome.scalar("sum"), Some(10 + 40 + 90 + 160));
         assert_eq!(outcome.scalar("i"), Some(4));
-        assert_eq!(outcome.counts.cycles as usize, mapping.program.cycle_count());
+        assert_eq!(
+            outcome.counts.cycles as usize,
+            mapping.program.cycle_count()
+        );
         assert!(outcome.counts.alu_ops >= 7);
         assert!(outcome.trace.len() > 0);
     }

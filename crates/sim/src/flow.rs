@@ -1,0 +1,126 @@
+//! The `simulate` stage: plugs the cycle-accurate simulator into the staged
+//! flow engine of `fpfa-core`, so a mapping flow can end with an execution
+//! on the tile model and the simulation time shows up in the same per-stage
+//! instrumentation as the mapping phases.
+
+use crate::exec::{SimInputs, SimOutcome, Simulator};
+use fpfa_core::flow::{FlowContext, Stage};
+use fpfa_core::pipeline::MappingResult;
+use fpfa_core::MapError;
+
+/// A finished mapping together with its simulated execution.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimulatedMapping {
+    /// The mapping the simulation ran on.
+    pub mapping: MappingResult,
+    /// Scalar outputs and architectural event counts of the run.
+    pub outcome: SimOutcome,
+}
+
+/// Runs the allocated tile program on the cycle-accurate simulator
+/// (stage `simulate`).
+#[derive(Clone, Debug, Default)]
+pub struct SimulateStage {
+    inputs: SimInputs,
+}
+
+impl SimulateStage {
+    /// Simulates with the given inputs.
+    pub fn new(inputs: SimInputs) -> Self {
+        SimulateStage { inputs }
+    }
+}
+
+impl Stage<MappingResult, SimulatedMapping> for SimulateStage {
+    fn name(&self) -> &'static str {
+        "simulate"
+    }
+
+    fn run(
+        &self,
+        input: MappingResult,
+        cx: &mut FlowContext,
+    ) -> Result<SimulatedMapping, MapError> {
+        let outcome = Simulator::new(&input.program)
+            .run(&self.inputs)
+            .map_err(|error| MapError::Simulation {
+                reason: error.to_string(),
+            })?;
+        cx.info(
+            self.name(),
+            format!(
+                "{} cycles, {} alu ops, {}/{} mem r/w",
+                outcome.counts.cycles,
+                outcome.counts.alu_ops,
+                outcome.counts.mem_reads,
+                outcome.counts.mem_writes
+            ),
+        );
+        Ok(SimulatedMapping {
+            mapping: input,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_core::flow::StageExt;
+    use fpfa_core::pipeline::Mapper;
+
+    #[test]
+    fn simulate_stage_records_timing_and_matches_direct_simulation() {
+        let mapper = Mapper::new();
+        let mapping = mapper
+            .map_source("void main() { int a[2]; int r; r = a[0] * a[1]; }")
+            .unwrap();
+
+        let inputs = SimInputs::new().array(0, &[6, 7]);
+        let stage = SimulateStage::new(inputs.clone());
+        let mut cx = mapper.flow_context();
+        let simulated = fpfa_core::flow::run_timed(&stage, mapping.clone(), &mut cx).unwrap();
+
+        assert_eq!(simulated.outcome.scalar("r"), Some(42));
+        assert!(cx.wall_of("simulate").is_some());
+
+        let direct = Simulator::new(&mapping.program).run(&inputs).unwrap();
+        assert_eq!(direct.scalars, simulated.outcome.scalars);
+    }
+
+    /// A test stage mapping source to a finished mapping, so the simulate
+    /// stage can be composed into a cross-crate chain.
+    struct MapStage(Mapper);
+
+    impl Stage<&'static str, MappingResult> for MapStage {
+        fn name(&self) -> &'static str {
+            "map"
+        }
+        fn run(
+            &self,
+            input: &'static str,
+            _cx: &mut FlowContext,
+        ) -> Result<MappingResult, MapError> {
+            self.0.map_source(input)
+        }
+    }
+
+    #[test]
+    fn simulate_stage_composes_into_a_cross_crate_chain() {
+        let mapper = Mapper::new();
+        let flow =
+            MapStage(mapper.clone()).then(SimulateStage::new(SimInputs::new().array(0, &[3, 4])));
+        let mut cx = mapper.flow_context();
+        let simulated = fpfa_core::flow::FlowDriver::new()
+            .run(
+                &flow,
+                "void main() { int a[2]; int r; r = a[0] + a[1]; }",
+                &mut cx,
+            )
+            .unwrap();
+        assert_eq!(simulated.outcome.scalar("r"), Some(7));
+        // Both chained stages were timed individually.
+        assert!(cx.wall_of("map").is_some());
+        assert!(cx.wall_of("simulate").is_some());
+    }
+}

@@ -37,9 +37,11 @@
 pub mod equivalence;
 pub mod error;
 pub mod exec;
+pub mod flow;
 pub mod trace;
 
 pub use equivalence::{check_against_cdfg, EquivalenceReport};
 pub use error::SimError;
 pub use exec::{SimInputs, SimOutcome, Simulator};
+pub use flow::{SimulateStage, SimulatedMapping};
 pub use trace::{CycleTrace, Trace};

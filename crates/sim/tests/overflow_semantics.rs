@@ -1,0 +1,105 @@
+//! Overflow-semantics agreement across the whole stack: constant folding,
+//! the CDFG reference interpreter and the cycle-accurate simulator must all
+//! produce the same (two's-complement wrapping) results, so that simplified
+//! and unsimplified mappings of the same graph cannot diverge.
+
+use fpfa_cdfg::interp::Interpreter;
+use fpfa_cdfg::{BinOp, CdfgBuilder, UnOp};
+use fpfa_core::pipeline::Mapper;
+use fpfa_sim::{check_against_cdfg, SimInputs};
+
+/// Builds `r = (MAX * 2) + (MIN - 1) + (-MIN)`: every operation overflows.
+fn overflowing_graph() -> fpfa_cdfg::Cdfg {
+    let mut b = CdfgBuilder::new("overflow");
+    let max = b.constant(i64::MAX);
+    let min = b.constant(i64::MIN);
+    let two = b.constant(2);
+    let one = b.constant(1);
+    let doubled = b.binop(BinOp::Mul, max, two);
+    let under = b.binop(BinOp::Sub, min, one);
+    let neg_min = b.unop(UnOp::Neg, min);
+    let sum = b.binop(BinOp::Add, doubled, under);
+    let total = b.binop(BinOp::Add, sum, neg_min);
+    b.output("r", total);
+    b.finish().expect("graph is well formed")
+}
+
+fn interpret(graph: &fpfa_cdfg::Cdfg) -> i64 {
+    Interpreter::new(graph)
+        .run()
+        .expect("interpretation succeeds")
+        .word("r")
+        .expect("r produced")
+}
+
+#[test]
+fn const_fold_interpreter_and_simulator_agree_on_wrapping_overflow() {
+    let graph = overflowing_graph();
+    let reference = interpret(&graph);
+
+    // Constant folding (via the full simplification pipeline) must compute
+    // the same wrapped value the interpreter does.
+    let simplified = Mapper::new().map_cdfg(&graph).expect("mapping succeeds");
+    assert_eq!(interpret(&simplified.simplified), reference);
+
+    // The unsimplified mapping executes the overflowing operations on the
+    // simulated ALUs; the equivalence checker compares against the
+    // interpreter directly.
+    let unsimplified = Mapper::new()
+        .without_simplification()
+        .map_cdfg(&graph)
+        .expect("mapping succeeds without simplification");
+    let report = check_against_cdfg(
+        &unsimplified.simplified,
+        &unsimplified.program,
+        &SimInputs::new(),
+    )
+    .expect("simulation succeeds");
+    assert!(
+        report.is_equivalent(),
+        "simulator diverged from the interpreter on overflow: {report}"
+    );
+}
+
+#[test]
+fn shift_semantics_agree_between_folding_and_simulation() {
+    // Shift counts are masked to 0..63 by `BinOp::eval`; both the folded and
+    // the simulated path must apply the same mask.
+    let mut b = CdfgBuilder::new("shifts");
+    let x = b.constant(-7);
+    let big_shift = b.constant(67); // masked to 3
+    let shl = b.binop(BinOp::Shl, x, big_shift);
+    let shr = b.binop(BinOp::Shr, x, big_shift);
+    let sum = b.binop(BinOp::Add, shl, shr);
+    b.output("r", sum);
+    let graph = b.finish().expect("graph is well formed");
+
+    let reference = interpret(&graph);
+    assert_eq!(reference, (-7i64 << 3) + (-7i64 >> 3));
+
+    let simplified = Mapper::new().map_cdfg(&graph).expect("mapping succeeds");
+    assert_eq!(interpret(&simplified.simplified), reference);
+
+    let unsimplified = Mapper::new()
+        .without_simplification()
+        .map_cdfg(&graph)
+        .expect("mapping succeeds");
+    let report = check_against_cdfg(
+        &unsimplified.simplified,
+        &unsimplified.program,
+        &SimInputs::new(),
+    )
+    .expect("simulation succeeds");
+    assert!(report.is_equivalent(), "{report}");
+}
+
+#[test]
+fn array_addressing_at_extreme_bases_does_not_trap() {
+    // `store_array`/`fetch_array` use wrapping address arithmetic; a base
+    // near i64::MAX must not abort in debug builds.
+    let mut inputs = SimInputs::new();
+    inputs.statespace.store_array(i64::MAX - 1, &[1, 2, 3]);
+    let read = inputs.statespace.fetch_array(i64::MAX - 1, 3);
+    assert_eq!(read, vec![Some(1), Some(2), Some(3)]);
+    assert_eq!(inputs.statespace.fetch(i64::MIN), Some(3));
+}

@@ -28,7 +28,10 @@ fn simulator_event_counts_are_consistent_with_the_program() {
         let outcome = Simulator::new(&mapping.program).run(&inputs).unwrap();
 
         // The simulator executes exactly the cycles of the program.
-        assert_eq!(outcome.counts.cycles as usize, mapping.program.cycle_count());
+        assert_eq!(
+            outcome.counts.cycles as usize,
+            mapping.program.cycle_count()
+        );
         // Every ALU micro-op of the program is executed exactly once.
         let program_ops: usize = mapping
             .program

@@ -88,9 +88,7 @@ impl Transform for AlgebraicSimplify {
                     }
                 }
                 BinOp::Or => {
-                    if same_operand {
-                        Rewrite::ToLhs
-                    } else if rc == Some(0) {
+                    if same_operand || rc == Some(0) {
                         Rewrite::ToLhs
                     } else if lc == Some(0) {
                         Rewrite::ToRhs

@@ -35,10 +35,16 @@ impl fmt::Display for TransformError {
                 write!(f, "loop cannot be statically unrolled: {detail}")
             }
             TransformError::UnrollBudgetExceeded { budget } => {
-                write!(f, "loop unrolling exceeded the budget of {budget} iterations")
+                write!(
+                    f,
+                    "loop unrolling exceeded the budget of {budget} iterations"
+                )
             }
             TransformError::PipelineDiverged { rounds } => {
-                write!(f, "transformation pipeline did not converge after {rounds} rounds")
+                write!(
+                    f,
+                    "transformation pipeline did not converge after {rounds} rounds"
+                )
             }
         }
     }

@@ -61,5 +61,5 @@ pub mod unroll;
 pub mod verify;
 
 pub use error::TransformError;
-pub use pass::{Pipeline, Transform, TransformReport};
+pub use pass::{standard_passes, Pipeline, Transform, TransformReport};
 pub use verify::{check_equivalence, EquivalenceMismatch};

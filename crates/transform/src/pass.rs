@@ -71,12 +71,50 @@ impl TransformReport {
 
 impl fmt::Display for TransformReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} rounds, {} changes", self.rounds, self.total_changes())?;
+        writeln!(
+            f,
+            "{} rounds, {} changes",
+            self.rounds,
+            self.total_changes()
+        )?;
         for (name, changes) in &self.entries {
             writeln!(f, "  {name:<14} {changes}")?;
         }
         Ok(())
     }
+}
+
+/// Boxed passes forward to their contents, so pass lists can be shared
+/// between [`Pipeline`] and other drivers (the flow engine of `fpfa-core`).
+impl<T: Transform + ?Sized> Transform for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
+        (**self).apply(graph)
+    }
+}
+
+/// The paper's "full simplification" pass list: loop unrolling followed by
+/// constant folding, algebraic simplification, strength reduction,
+/// store-to-load forwarding, CSE, dead-store elimination, copy propagation
+/// and dead-code elimination.
+///
+/// This is the single definition of the recipe; [`Pipeline::standard`] and
+/// the flow engine of `fpfa-core` both build on it.
+pub fn standard_passes() -> Vec<Box<dyn Transform + Send + Sync>> {
+    vec![
+        Box::new(unroll::UnrollLoops::default()),
+        Box::new(const_fold::ConstantFold),
+        Box::new(algebraic::AlgebraicSimplify),
+        Box::new(strength::StrengthReduce),
+        Box::new(forward::ForwardStores),
+        Box::new(cse::CommonSubexpressionElimination),
+        Box::new(dead_store::DeadStoreElimination),
+        Box::new(copy_prop::CopyPropagation),
+        Box::new(dce::DeadCodeElimination),
+    ]
 }
 
 /// An ordered list of passes run to a fixpoint.
@@ -94,35 +132,26 @@ impl Pipeline {
         }
     }
 
-    /// The paper's "full simplification" recipe: loop unrolling followed by
-    /// constant folding, algebraic simplification, strength reduction,
-    /// store-to-load forwarding, CSE, dead-store elimination, copy
-    /// propagation and dead-code elimination, iterated to a fixpoint.
+    /// The paper's "full simplification" recipe ([`standard_passes`]),
+    /// iterated to a fixpoint.
     pub fn standard() -> Self {
-        Pipeline::new()
-            .with(unroll::UnrollLoops::default())
-            .with(const_fold::ConstantFold)
-            .with(algebraic::AlgebraicSimplify)
-            .with(strength::StrengthReduce)
-            .with(forward::ForwardStores)
-            .with(cse::CommonSubexpressionElimination)
-            .with(dead_store::DeadStoreElimination)
-            .with(copy_prop::CopyPropagation)
-            .with(dce::DeadCodeElimination)
+        let mut pipeline = Pipeline::new();
+        for pass in standard_passes() {
+            pipeline.passes.push(pass);
+        }
+        pipeline
     }
 
     /// A variant of [`Pipeline::standard`] without loop unrolling, used to
     /// measure the contribution of unrolling in the ablation experiments.
     pub fn without_unrolling() -> Self {
-        Pipeline::new()
-            .with(const_fold::ConstantFold)
-            .with(algebraic::AlgebraicSimplify)
-            .with(strength::StrengthReduce)
-            .with(forward::ForwardStores)
-            .with(cse::CommonSubexpressionElimination)
-            .with(dead_store::DeadStoreElimination)
-            .with(copy_prop::CopyPropagation)
-            .with(dce::DeadCodeElimination)
+        let mut pipeline = Pipeline::new();
+        for pass in standard_passes() {
+            if pass.name() != "unroll" {
+                pipeline.passes.push(pass);
+            }
+        }
+        pipeline
     }
 
     /// Appends a pass to the pipeline.
@@ -221,6 +250,8 @@ mod tests {
         let names = Pipeline::standard().pass_names();
         assert!(names.contains(&"unroll"));
         assert!(names.contains(&"dce"));
-        assert!(!Pipeline::without_unrolling().pass_names().contains(&"unroll"));
+        assert!(!Pipeline::without_unrolling()
+            .pass_names()
+            .contains(&"unroll"));
     }
 }

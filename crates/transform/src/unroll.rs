@@ -202,11 +202,7 @@ impl UnrollLoops {
 
     fn condition_inputs_known(&self, spec: &LoopSpec, known: &HashMap<String, i64>) -> bool {
         for (name, id) in spec.cond.inputs() {
-            let used = spec
-                .cond
-                .node(id)
-                .map(|n| n.fanout() > 0)
-                .unwrap_or(false);
+            let used = spec.cond.node(id).map(|n| n.fanout() > 0).unwrap_or(false);
             if used && name != "@state" && !known.contains_key(&name) {
                 return false;
             }
@@ -244,11 +240,12 @@ fn evaluate_condition(
     }
     let mut evaluations = 0;
     let outputs = eval_graph(&spec.cond, &bindings, 1, &mut evaluations)?;
-    let cond = outputs
-        .get(LoopSpec::COND_OUTPUT)
-        .ok_or_else(|| TransformError::UnresolvableLoop {
-            detail: "condition graph produced no %cond output".into(),
-        })?;
+    let cond =
+        outputs
+            .get(LoopSpec::COND_OUTPUT)
+            .ok_or_else(|| TransformError::UnresolvableLoop {
+                detail: "condition graph produced no %cond output".into(),
+            })?;
     Ok(cond.is_truthy())
 }
 
@@ -264,11 +261,11 @@ fn splice_body(
     // Rewire spliced Input nodes to the current variable wires.
     for (name, original_id) in spec.body.inputs() {
         let spliced = remap[&original_id];
-        let port = spec.port_of(&name).ok_or_else(|| {
-            TransformError::UnresolvableLoop {
+        let port = spec
+            .port_of(&name)
+            .ok_or_else(|| TransformError::UnresolvableLoop {
                 detail: format!("body reads `{name}` which is not loop carried"),
-            }
-        })?;
+            })?;
         let wire = vars[port];
         graph.replace_uses(spliced, 0, wire.node, wire.port)?;
         graph.remove_node(spliced)?;
@@ -500,6 +497,9 @@ mod tests {
         assert_eq!(GraphStats::of(&g).loops, 0);
         let mut interp = Interpreter::new(&g);
         interp.bind("mem", Value::State(StateSpace::new()));
-        assert_eq!(interp.run().unwrap().word("total"), Some(0 + 0 + 0 + 1 + 0 + 2));
+        assert_eq!(
+            interp.run().unwrap().word("total"),
+            Some(0 + 0 + 0 + 1 + 0 + 2)
+        );
     }
 }

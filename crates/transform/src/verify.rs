@@ -185,8 +185,7 @@ mod tests {
             (6, 7),
             (7, 8),
         ]);
-        let bindings: HashMap<String, Value> =
-            [("mem".to_string(), Value::State(state))].into();
+        let bindings: HashMap<String, Value> = [("mem".to_string(), Value::State(state))].into();
         assert_equivalent(&program.cdfg, &transformed, &bindings);
     }
 }

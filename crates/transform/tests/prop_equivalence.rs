@@ -5,9 +5,9 @@
 use fpfa_cdfg::builder::Wire;
 use fpfa_cdfg::{BinOp, CdfgBuilder, StateSpace, UnOp, Value};
 use fpfa_transform::{
-    algebraic::AlgebraicSimplify, const_fold::ConstantFold,
+    algebraic::AlgebraicSimplify, check_equivalence, const_fold::ConstantFold,
     cse::CommonSubexpressionElimination, dce::DeadCodeElimination, forward::ForwardStores,
-    strength::StrengthReduce, check_equivalence, Pipeline, Transform,
+    strength::StrengthReduce, Pipeline, Transform,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -101,7 +101,11 @@ fn build(steps: &[Step]) -> (fpfa_cdfg::Cdfg, usize) {
     let last = *wires.last().unwrap_or(&mem_in);
     // `last` may be the statespace wire when no word value was built; guard
     // by emitting a constant instead in that degenerate case.
-    let result = if wires.is_empty() { b.constant(0) } else { last };
+    let result = if wires.is_empty() {
+        b.constant(0)
+    } else {
+        last
+    };
     b.output("result", result);
     b.output("mem", state);
     (b.finish().expect("recipe graphs are well formed"), inputs)
@@ -132,7 +136,9 @@ fn assert_preserved(
     let binds = bindings(inputs, values);
     match check_equivalence(original, transformed, &binds) {
         Ok(Ok(())) => Ok(()),
-        Ok(Err(mismatch)) => Err(TestCaseError::fail(format!("behaviour changed: {mismatch}"))),
+        Ok(Err(mismatch)) => Err(TestCaseError::fail(format!(
+            "behaviour changed: {mismatch}"
+        ))),
         // Interpretation failures (division by zero &c.) must happen on both
         // graphs or neither; check_equivalence already interprets the original
         // first, so a failure here means both failed identically or the

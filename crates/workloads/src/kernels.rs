@@ -448,11 +448,7 @@ mod tests {
     fn every_registry_kernel_compiles_and_runs() {
         for kernel in registry() {
             let result = run_kernel(&kernel);
-            assert!(
-                !result.is_empty(),
-                "{} produced no outputs",
-                kernel.name
-            );
+            assert!(!result.is_empty(), "{} produced no outputs", kernel.name);
         }
     }
 

@@ -1,0 +1,29 @@
+//! Map the whole workload suite in one parallel batch and print the
+//! aggregated per-stage timing report — the heavy-traffic entry point of the
+//! mapping engine.
+//!
+//! ```text
+//! cargo run --release --example batch_mapping
+//! ```
+
+use fpfa::core::pipeline::Mapper;
+use fpfa::core::KernelSpec;
+
+fn main() {
+    let specs: Vec<KernelSpec> = fpfa::workloads::registry()
+        .into_iter()
+        .map(|kernel| KernelSpec::new(kernel.name, kernel.source))
+        .collect();
+
+    let report = Mapper::new().map_many(&specs);
+    print!("{report}");
+
+    let wall = report.wall.as_secs_f64();
+    let cpu = report.cpu_time().as_secs_f64();
+    if wall > 0.0 {
+        println!(
+            "\nparallel efficiency: {:.1}x speedup over sequential stage time",
+            cpu / wall
+        );
+    }
+}

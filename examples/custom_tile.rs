@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (label, config) in configurations {
-        let mapping = Mapper::new().with_config(config).map_source(&kernel.source)?;
+        let mapping = Mapper::new()
+            .with_config(config)
+            .map_source(&kernel.source)?;
         println!(
             "{:<28} {:>6} {:>7} {:>7} {:>7.2}",
             label,

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // folding, CSE, dead-code elimination, ...).
     let mut simplified = program.cdfg.clone();
     let report = Pipeline::standard().run(&mut simplified)?;
-    println!("\n-- after full simplification ({} rounds) --", report.rounds);
+    println!(
+        "\n-- after full simplification ({} rounds) --",
+        report.rounds
+    );
     println!("{}", GraphStats::of(&simplified));
 
     // Phase 1: clustering / ALU data-path mapping.

@@ -1,0 +1,21 @@
+void main() {
+    int x[8];
+    int b0;
+    int b1;
+    int b2;
+    int a1;
+    int a2;
+    int y0;
+    int y1;
+    int y2;
+    int i;
+    y1 = 0;
+    y2 = 0;
+    i = 2;
+    while (i < 8) {
+        y0 = b0 * x[i] + b1 * x[i - 1] + b2 * x[i - 2] - a1 * y1 - a2 * y2;
+        y2 = y1;
+        y1 = y0;
+        i = i + 1;
+    }
+}

@@ -1,0 +1,12 @@
+void main() {
+    int a[16];
+    int c[16];
+    int sum;
+    int i;
+    sum = 0;
+    i = 0;
+    while (i < 16) {
+        sum = sum + a[i] * c[i];
+        i = i + 1;
+    }
+}

@@ -11,42 +11,55 @@
 //! fpfa-map kernel.c --pps 3          # target a 3-PP tile
 //! fpfa-map kernel.c --no-clustering --no-locality
 //! fpfa-map kernel.c --simulate       # run on the cycle-accurate simulator
+//! fpfa-map kernel.c --timings        # per-stage wall-clock breakdown
+//! fpfa-map --batch a.c b.c c.c       # map many kernels in parallel
+//! fpfa-map --batch                   # ... the built-in workload suite
 //! ```
 //!
 //! With `--simulate`, every array of the kernel is filled with the
 //! deterministic test signal also used by the benchmark suite, and every
-//! scalar input is set to 1.
+//! scalar input is set to 1.  With `--batch`, all given kernels (or, with no
+//! files, the `fpfa-workloads` registry) are mapped in parallel through
+//! `Mapper::map_many` and the aggregated batch report is printed;
+//! `--threads N` bounds the worker pool.
 
 use fpfa::arch::TileConfig;
 use fpfa::core::pipeline::Mapper;
-use fpfa::core::viz;
+use fpfa::core::{viz, KernelSpec};
 use fpfa::sim::{SimInputs, Simulator};
 use std::process::ExitCode;
 
 struct Options {
-    path: String,
+    paths: Vec<String>,
     pps: usize,
     clustering: bool,
     locality: bool,
     listing: bool,
     dot: Option<String>,
     simulate: bool,
+    timings: bool,
+    batch: bool,
+    threads: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--no-clustering] [--no-locality] \
-     [--listing] [--dot cdfg|clusters|schedule] [--simulate]"
+     [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings]\n\
+     \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--threads N] [--timings]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
-        path: String::new(),
+        paths: Vec::new(),
         pps: TileConfig::paper().num_pps,
         clustering: true,
         locality: true,
         listing: false,
         dot: None,
         simulate: false,
+        timings: false,
+        batch: false,
+        threads: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -55,10 +68,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = iter.next().ok_or("--pps needs a value")?;
                 options.pps = value.parse().map_err(|_| "--pps needs a number")?;
             }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads needs a value")?;
+                options.threads = Some(value.parse().map_err(|_| "--threads needs a number")?);
+            }
             "--no-clustering" => options.clustering = false,
             "--no-locality" => options.locality = false,
             "--listing" => options.listing = true,
             "--simulate" => options.simulate = true,
+            "--timings" => options.timings = true,
+            "--batch" => options.batch = true,
             "--dot" => {
                 let value = iter.next().ok_or("--dot needs cdfg|clusters|schedule")?;
                 options.dot = Some(value.clone());
@@ -67,16 +86,29 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`\n{}", usage()))
             }
-            other => {
-                if !options.path.is_empty() {
-                    return Err(format!("more than one input file given\n{}", usage()));
-                }
-                options.path = other.to_string();
-            }
+            other => options.paths.push(other.to_string()),
         }
     }
-    if options.path.is_empty() {
-        return Err(usage().to_string());
+    if options.batch {
+        if options.listing || options.simulate || options.dot.is_some() {
+            return Err(format!(
+                "--batch is incompatible with --listing/--simulate/--dot\n{}",
+                usage()
+            ));
+        }
+    } else if options.threads.is_some() {
+        return Err(format!("--threads only applies to --batch\n{}", usage()));
+    } else {
+        match options.paths.len() {
+            0 => return Err(usage().to_string()),
+            1 => {}
+            _ => {
+                return Err(format!(
+                    "more than one input file given (use --batch to map several)\n{}",
+                    usage()
+                ))
+            }
+        }
     }
     Ok(options)
 }
@@ -88,10 +120,7 @@ fn test_signal(len: usize, phase: i64) -> Vec<i64> {
         .collect()
 }
 
-fn run(options: &Options) -> Result<(), String> {
-    let source = std::fs::read_to_string(&options.path)
-        .map_err(|e| format!("cannot read {}: {e}", options.path))?;
-
+fn build_mapper(options: &Options) -> Mapper {
     let config = TileConfig::paper().with_num_pps(options.pps);
     let mut mapper = Mapper::new().with_config(config);
     if !options.clustering {
@@ -100,6 +129,51 @@ fn run(options: &Options) -> Result<(), String> {
     if !options.locality {
         mapper = mapper.without_locality();
     }
+    if let Some(threads) = options.threads {
+        mapper = mapper.with_batch_threads(threads);
+    }
+    mapper
+}
+
+/// `--batch`: maps every given kernel (or the built-in workload registry) in
+/// parallel and prints the aggregated report.
+fn run_batch(options: &Options) -> Result<(), String> {
+    let specs = if options.paths.is_empty() {
+        fpfa::workloads::registry()
+            .into_iter()
+            .map(|kernel| KernelSpec::new(kernel.name, kernel.source))
+            .collect::<Vec<_>>()
+    } else {
+        let mut specs = Vec::with_capacity(options.paths.len());
+        for path in &options.paths {
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            specs.push(KernelSpec::new(path.clone(), source));
+        }
+        specs
+    };
+
+    let report = build_mapper(options).map_many(&specs);
+    print!("{report}");
+    if options.timings {
+        for entry in &report.entries {
+            if let Ok(mapping) = &entry.outcome {
+                println!("\n-- {} --", entry.name);
+                print!("{}", mapping.trace);
+            }
+        }
+    }
+    if report.failed() > 0 {
+        return Err(format!("{} kernel(s) failed to map", report.failed()));
+    }
+    Ok(())
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let path = &options.paths[0];
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mapper = build_mapper(options);
     let mapping = mapper.map_source(&source).map_err(|e| e.to_string())?;
 
     match options.dot.as_deref() {
@@ -117,7 +191,11 @@ fn run(options: &Options) -> Result<(), String> {
         Some("schedule") => {
             print!(
                 "{}",
-                viz::schedule_to_dot(&mapping.mapping_graph, &mapping.clustered, &mapping.schedule)
+                viz::schedule_to_dot(
+                    &mapping.mapping_graph,
+                    &mapping.clustered,
+                    &mapping.schedule
+                )
             );
             return Ok(());
         }
@@ -126,6 +204,10 @@ fn run(options: &Options) -> Result<(), String> {
     }
 
     println!("{}", mapping.report);
+    if options.timings {
+        println!();
+        print!("{}", mapping.trace);
+    }
     if options.listing {
         println!("\n{}", mapping.program.listing());
     }
@@ -170,7 +252,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&options) {
+    let outcome = if options.batch {
+        run_batch(&options)
+    } else {
+        run(&options)
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("fpfa-map: {message}");

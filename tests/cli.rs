@@ -68,3 +68,52 @@ fn rejects_unknown_options_and_missing_files() {
     let stderr = String::from_utf8_lossy(&missing.stderr);
     assert!(stderr.contains("cannot read"));
 }
+
+#[test]
+fn timings_flag_prints_the_stage_breakdown() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-timings");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    let output = binary().arg(&kernel).arg("--timings").output().unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("stage timings"));
+    for stage in ["frontend", "transform", "cluster", "schedule", "allocate"] {
+        assert!(stdout.contains(stage), "missing stage `{stage}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn batch_mode_maps_files_in_parallel() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    let output = binary()
+        .arg("--batch")
+        .arg(&kernel)
+        .arg(&kernel)
+        .args(["--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("2/2 kernels mapped"));
+    assert!(stdout.contains("per-stage totals"));
+}
+
+#[test]
+fn batch_mode_without_files_maps_the_workload_registry() {
+    let output = binary().arg("--batch").output().unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("kernels mapped"));
+    assert!(stdout.contains("fir"));
+}
+
+#[test]
+fn batch_mode_rejects_single_kernel_flags() {
+    let output = binary().args(["--batch", "--listing"]).output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("incompatible"));
+}

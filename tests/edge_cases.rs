@@ -13,7 +13,9 @@ fn kernel_with_no_operations_maps_to_an_empty_program() {
     assert_eq!(mapping.report.clusters, 0);
     assert_eq!(mapping.program.cycle_count(), 0);
     // The outputs are still available (as constants).
-    let outcome = Simulator::new(&mapping.program).run(&SimInputs::new()).unwrap();
+    let outcome = Simulator::new(&mapping.program)
+        .run(&SimInputs::new())
+        .unwrap();
     assert_eq!(outcome.scalar("x"), Some(3));
     assert_eq!(outcome.scalar("y"), Some(7));
 }
@@ -40,7 +42,9 @@ fn zero_trip_loops_disappear_entirely() {
         )
         .unwrap();
     assert_eq!(mapping.report.operations, 0);
-    let outcome = Simulator::new(&mapping.program).run(&SimInputs::new()).unwrap();
+    let outcome = Simulator::new(&mapping.program)
+        .run(&SimInputs::new())
+        .unwrap();
     assert_eq!(outcome.scalar("s"), Some(7));
 }
 
@@ -49,7 +53,9 @@ fn constant_array_writes_reach_the_final_statespace() {
     let mapping = Mapper::new()
         .map_source("void main() { int a[3]; a[0] = 11; a[1] = 22; a[2] = 33; }")
         .unwrap();
-    let outcome = Simulator::new(&mapping.program).run(&SimInputs::new()).unwrap();
+    let outcome = Simulator::new(&mapping.program)
+        .run(&SimInputs::new())
+        .unwrap();
     assert_eq!(outcome.final_statespace.fetch(0), Some(11));
     assert_eq!(outcome.final_statespace.fetch(1), Some(22));
     assert_eq!(outcome.final_statespace.fetch(2), Some(33));
@@ -58,9 +64,7 @@ fn constant_array_writes_reach_the_final_statespace() {
 #[test]
 fn overwritten_array_elements_keep_the_last_value() {
     let mapping = Mapper::new()
-        .map_source(
-            "void main() { int a[1]; int b[1]; a[0] = 5; a[0] = b[0] * 2; }",
-        )
+        .map_source("void main() { int a[1]; int b[1]; a[0] = 5; a[0] = b[0] * 2; }")
         .unwrap();
     let inputs = SimInputs::new().array(1, &[21]);
     let outcome = Simulator::new(&mapping.program).run(&inputs).unwrap();

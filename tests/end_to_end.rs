@@ -45,7 +45,11 @@ fn every_workload_kernel_respects_the_tile_limits() {
     for kernel in workloads::registry() {
         let mapping = Mapper::new().map_source(&kernel.source).unwrap();
         let config = mapping.program.config;
-        assert!(mapping.report.alus_used <= config.num_pps, "{}", kernel.name);
+        assert!(
+            mapping.report.alus_used <= config.num_pps,
+            "{}",
+            kernel.name
+        );
         for cycle in &mapping.program.cycles {
             assert!(cycle.busy_alus() <= config.num_pps);
             let crossbar = cycle.moves.iter().filter(|m| m.via_crossbar).count()
@@ -157,6 +161,92 @@ fn mapping_reports_are_internally_consistent() {
         assert!(r.levels >= r.critical_path, "{}", kernel.name);
         assert!(r.cycles >= r.levels, "{}", kernel.name);
         assert_eq!(r.cycles, mapping.program.cycle_count(), "{}", kernel.name);
-        assert!(r.alu_utilization > 0.0 && r.alu_utilization <= 1.0, "{}", kernel.name);
+        assert!(
+            r.alu_utilization > 0.0 && r.alu_utilization <= 1.0,
+            "{}",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn map_many_matches_single_kernel_mapping_for_every_workload() {
+    let specs: Vec<fpfa::core::KernelSpec> = workloads::registry()
+        .into_iter()
+        .map(|k| fpfa::core::KernelSpec::new(k.name.clone(), k.source.clone()))
+        .collect();
+    let mapper = Mapper::new();
+    let batch = mapper.map_many(&specs);
+
+    assert_eq!(batch.failed(), 0, "all registry kernels must map: {batch}");
+    assert_eq!(batch.entries.len(), specs.len());
+
+    for (spec, entry) in specs.iter().zip(&batch.entries) {
+        assert_eq!(spec.name, entry.name);
+        let batched = entry.outcome.as_ref().expect("kernel mapped");
+        let single = mapper.map_source(&spec.source).expect("kernel maps alone");
+        // The mapping flow is deterministic: mapping in a batch must produce
+        // exactly the same program and statistics as mapping alone.
+        assert_eq!(batched.program, single.program, "{}", spec.name);
+        assert_eq!(batched.schedule, single.schedule, "{}", spec.name);
+        assert_eq!(batched.report.cycles, single.report.cycles, "{}", spec.name);
+        assert_eq!(batched.report.levels, single.report.levels, "{}", spec.name);
+        assert_eq!(
+            batched.report.operations, single.report.operations,
+            "{}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn batch_reports_expose_per_stage_timings_for_every_stage() {
+    let specs: Vec<fpfa::core::KernelSpec> = workloads::registry()
+        .into_iter()
+        .map(|k| fpfa::core::KernelSpec::new(k.name.clone(), k.source.clone()))
+        .collect();
+    let batch = Mapper::new().map_many(&specs);
+    assert_eq!(batch.failed(), 0);
+
+    // Every mapping stage appears in the aggregate with every kernel counted.
+    for stage in [
+        "frontend",
+        "transform",
+        "extract",
+        "cluster",
+        "schedule",
+        "allocate",
+    ] {
+        let total = batch
+            .stage_totals()
+            .into_iter()
+            .find(|t| t.stage == stage)
+            .unwrap_or_else(|| panic!("stage `{stage}` missing from batch totals"));
+        assert_eq!(total.kernels, specs.len(), "{stage}");
+    }
+    // And per kernel, the trace covers the full flow.
+    for entry in &batch.entries {
+        let mapping = entry.outcome.as_ref().expect("mapped");
+        for stage in ["frontend", "transform", "cluster", "schedule", "allocate"] {
+            assert!(
+                mapping.trace.wall_of(stage).is_some(),
+                "{}: stage `{stage}` not timed",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn map_many_is_deterministic_across_thread_counts() {
+    let specs: Vec<fpfa::core::KernelSpec> = workloads::registry()
+        .into_iter()
+        .map(|k| fpfa::core::KernelSpec::new(k.name.clone(), k.source.clone()))
+        .collect();
+    let wide = Mapper::new().map_many(&specs);
+    let narrow = Mapper::new().with_batch_threads(1).map_many(&specs);
+    for (a, b) in wide.entries.iter().zip(&narrow.entries) {
+        let (a, b) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+        assert_eq!(a.program, b.program);
     }
 }
