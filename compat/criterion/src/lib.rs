@@ -6,6 +6,10 @@
 //! each benchmark is warmed up, then timed over a fixed number of samples,
 //! and the median/min/max per-iteration times are printed in a table.  There
 //! is no statistical analysis, plotting or baseline comparison.
+//!
+//! Setting the `FPFA_BENCH_QUICK` environment variable clamps every
+//! benchmark to two samples — the smoke mode CI uses to keep the perf
+//! trajectory visible per-PR without paying for full runs.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -164,13 +168,22 @@ impl Bencher {
     }
 }
 
+/// Clamps the sample count in quick (smoke) mode.
+fn effective_sample_size(requested: usize) -> usize {
+    if std::env::var_os("FPFA_BENCH_QUICK").is_some() {
+        requested.min(2)
+    } else {
+        requested
+    }
+}
+
 fn run_benchmark<F>(id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: effective_sample_size(sample_size),
     };
     f(&mut bencher);
     if bencher.samples.is_empty() {

@@ -1,0 +1,262 @@
+//! The FPFA tile array: N tiles behind an inter-tile interconnect.
+//!
+//! The paper maps kernels onto *one* tile, but the architecture it describes
+//! is an array of identical tiles connected by a (slower, narrower)
+//! inter-tile network. This module models the structural side of that array:
+//! how many tiles there are, how many words the interconnect can move per
+//! clock cycle, and how many cycles a word is in flight between two tiles.
+//!
+//! The cost asymmetry the partitioner exploits is captured here: an
+//! intra-tile crossbar transfer costs one cycle and little energy, while an
+//! inter-tile transfer occupies a link for a cycle, arrives
+//! [`ArrayConfig::hop_latency`] cycles later, and is the most expensive event
+//! in the [`EnergyModel`](crate::EnergyModel).
+
+use crate::config::TileConfig;
+use crate::error::ArchError;
+use crate::tile::Tile;
+use std::fmt;
+
+/// Identifier of a tile inside an array (a plain index, like
+/// [`PpId`](crate::PpId)).
+pub type TileId = usize;
+
+/// Structural parameters of the inter-tile array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArrayConfig {
+    /// Number of tiles in the array.
+    pub num_tiles: usize,
+    /// Words the inter-tile interconnect can accept per clock cycle (across
+    /// the whole array).
+    pub links_per_cycle: usize,
+    /// Cycles a word is in flight between two tiles: a value departing in
+    /// cycle `c` is readable at the destination from cycle
+    /// `c + hop_latency + 1` on.
+    pub hop_latency: usize,
+}
+
+impl ArrayConfig {
+    /// A degenerate single-tile array (the paper's setting).
+    pub fn single_tile() -> Self {
+        ArrayConfig {
+            num_tiles: 1,
+            links_per_cycle: 4,
+            hop_latency: 2,
+        }
+    }
+
+    /// An array of `num_tiles` tiles with the default interconnect (four
+    /// links per cycle, two cycles of hop latency).
+    pub fn with_tiles(num_tiles: usize) -> Self {
+        ArrayConfig {
+            num_tiles,
+            ..Self::single_tile()
+        }
+    }
+
+    /// Overrides the interconnect bandwidth.
+    pub fn with_links_per_cycle(mut self, links: usize) -> Self {
+        self.links_per_cycle = links;
+        self
+    }
+
+    /// Overrides the hop latency.
+    pub fn with_hop_latency(mut self, latency: usize) -> Self {
+        self.hop_latency = latency;
+        self
+    }
+
+    /// Checks the configuration for internal consistency.
+    ///
+    /// # Errors
+    /// [`ArchError::InvalidConfig`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.num_tiles == 0 {
+            return Err(ArchError::InvalidConfig(
+                "the array needs at least one tile".into(),
+            ));
+        }
+        if self.num_tiles > 1 && self.links_per_cycle == 0 {
+            return Err(ArchError::InvalidConfig(
+                "a multi-tile array needs at least one inter-tile link".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self::single_tile()
+    }
+}
+
+/// A complete FPFA tile array: the storage state of every tile plus the
+/// interconnect parameters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TileArray {
+    array: ArrayConfig,
+    tile_config: TileConfig,
+    tiles: Vec<Tile>,
+}
+
+impl TileArray {
+    /// Creates an array of empty, identical tiles.
+    ///
+    /// # Errors
+    /// [`ArchError::InvalidConfig`] when either configuration is invalid.
+    pub fn new(tile_config: TileConfig, array: ArrayConfig) -> Result<Self, ArchError> {
+        tile_config.validate()?;
+        array.validate()?;
+        let tiles = (0..array.num_tiles)
+            .map(|_| Tile::new(tile_config))
+            .collect();
+        Ok(TileArray {
+            array,
+            tile_config,
+            tiles,
+        })
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.array
+    }
+
+    /// The configuration shared by every tile.
+    pub fn tile_config(&self) -> &TileConfig {
+        &self.tile_config
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// `true` when the array has no tiles (never the case for constructed
+    /// arrays).
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The tiles of the array.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Access to one tile.
+    ///
+    /// # Errors
+    /// [`ArchError::UnknownTile`] when the index is out of range.
+    pub fn tile(&self, id: TileId) -> Result<&Tile, ArchError> {
+        self.tiles.get(id).ok_or(ArchError::UnknownTile(id))
+    }
+
+    /// Mutable access to one tile.
+    ///
+    /// # Errors
+    /// [`ArchError::UnknownTile`] when the index is out of range.
+    pub fn tile_mut(&mut self, id: TileId) -> Result<&mut Tile, ArchError> {
+        self.tiles.get_mut(id).ok_or(ArchError::UnknownTile(id))
+    }
+
+    /// Total ALU count across the array.
+    pub fn total_alus(&self) -> usize {
+        self.array.num_tiles * self.tile_config.num_pps
+    }
+
+    /// Human-readable inventory of the array.
+    pub fn inventory(&self) -> String {
+        let mut out = format!(
+            "FPFA array: {} tile(s), {} ALUs total\n",
+            self.array.num_tiles,
+            self.total_alus()
+        );
+        out.push_str(&format!(
+            "  interconnect: {} link(s)/cycle, hop latency {} cycle(s)\n",
+            self.array.links_per_cycle, self.array.hop_latency
+        ));
+        out.push_str(&format!(
+            "  per tile: {} PPs, {} registers, {} memory words",
+            self.tile_config.num_pps,
+            self.tile_config.total_registers(),
+            self.tile_config.total_memory_words()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for TileArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.inventory())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regbank::RegBankName;
+
+    #[test]
+    fn four_tile_array_has_independent_tiles() {
+        let mut array = TileArray::new(TileConfig::paper(), ArrayConfig::with_tiles(4)).unwrap();
+        assert_eq!(array.len(), 4);
+        assert_eq!(array.total_alus(), 20);
+        array
+            .tile_mut(2)
+            .unwrap()
+            .pp_mut(0)
+            .unwrap()
+            .bank_mut(RegBankName::Ra)
+            .unwrap()
+            .write(0, 7)
+            .unwrap();
+        assert_eq!(
+            array.tile(2).unwrap().pp(0).unwrap().registers_occupied(),
+            1
+        );
+        assert_eq!(
+            array.tile(0).unwrap().pp(0).unwrap().registers_occupied(),
+            0
+        );
+        assert!(matches!(array.tile(4), Err(ArchError::UnknownTile(4))));
+    }
+
+    #[test]
+    fn invalid_array_configurations_are_rejected() {
+        assert!(ArrayConfig::with_tiles(0).validate().is_err());
+        assert!(ArrayConfig::with_tiles(2)
+            .with_links_per_cycle(0)
+            .validate()
+            .is_err());
+        // A single tile needs no interconnect.
+        assert!(ArrayConfig::single_tile()
+            .with_links_per_cycle(0)
+            .validate()
+            .is_ok());
+        assert!(TileArray::new(
+            TileConfig::paper().with_num_pps(0),
+            ArrayConfig::single_tile()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inventory_mentions_the_interconnect() {
+        let array = TileArray::new(TileConfig::paper(), ArrayConfig::with_tiles(3)).unwrap();
+        let inv = array.to_string();
+        assert!(inv.contains("3 tile(s)"));
+        assert!(inv.contains("15 ALUs"));
+        assert!(inv.contains("hop latency 2"));
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let config = ArrayConfig::with_tiles(2)
+            .with_links_per_cycle(8)
+            .with_hop_latency(1);
+        assert_eq!(config.links_per_cycle, 8);
+        assert_eq!(config.hop_latency, 1);
+        assert!(config.validate().is_ok());
+    }
+}

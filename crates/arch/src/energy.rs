@@ -25,6 +25,9 @@ pub struct EnergyModel {
     pub mem_write: f64,
     /// Cost of routing one value over the crossbar.
     pub crossbar_transfer: f64,
+    /// Cost of routing one value over the inter-tile interconnect (the most
+    /// expensive transfer: it leaves the tile).
+    pub inter_tile_transfer: f64,
     /// Static cost per executed clock cycle (control unit, clock tree).
     pub cycle_overhead: f64,
 }
@@ -40,6 +43,7 @@ impl EnergyModel {
             mem_read: 2.5,
             mem_write: 3.0,
             crossbar_transfer: 0.6,
+            inter_tile_transfer: 4.0,
             cycle_overhead: 0.5,
         }
     }
@@ -52,6 +56,7 @@ impl EnergyModel {
             + self.mem_read * counts.mem_reads as f64
             + self.mem_write * counts.mem_writes as f64
             + self.crossbar_transfer * counts.crossbar_transfers as f64
+            + self.inter_tile_transfer * counts.inter_tile_transfers as f64
             + self.cycle_overhead * counts.cycles as f64
     }
 
@@ -87,6 +92,8 @@ pub struct EventCounts {
     pub mem_writes: u64,
     /// Values routed over the crossbar.
     pub crossbar_transfers: u64,
+    /// Values routed over the inter-tile interconnect.
+    pub inter_tile_transfers: u64,
 }
 
 impl EventCounts {
@@ -121,14 +128,15 @@ impl fmt::Display for EnergyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "cycles {:6}  alu {:6}  reg r/w {:5}/{:5}  mem r/w {:5}/{:5}  xbar {:5}",
+            "cycles {:6}  alu {:6}  reg r/w {:5}/{:5}  mem r/w {:5}/{:5}  xbar {:5}  inter-tile {:5}",
             self.counts.cycles,
             self.counts.alu_ops,
             self.counts.reg_reads,
             self.counts.reg_writes,
             self.counts.mem_reads,
             self.counts.mem_writes,
-            self.counts.crossbar_transfers
+            self.counts.crossbar_transfers,
+            self.counts.inter_tile_transfers
         )?;
         write!(f, "total energy {:.1} units", self.total)
     }
@@ -149,9 +157,16 @@ mod tests {
             mem_reads: 5,
             mem_writes: 5,
             crossbar_transfers: 8,
+            inter_tile_transfers: 3,
         };
-        let expected =
-            1.0 * 20.0 + 0.2 * 30.0 + 0.3 * 10.0 + 2.5 * 5.0 + 3.0 * 5.0 + 0.6 * 8.0 + 0.5 * 10.0;
+        let expected = 1.0 * 20.0
+            + 0.2 * 30.0
+            + 0.3 * 10.0
+            + 2.5 * 5.0
+            + 3.0 * 5.0
+            + 0.6 * 8.0
+            + 4.0 * 3.0
+            + 0.5 * 10.0;
         assert!((model.total(&counts) - expected).abs() < 1e-9);
         let report = model.report(counts);
         assert!((report.total - expected).abs() < 1e-9);

@@ -7,6 +7,15 @@ use std::fmt;
 pub enum ArchError {
     /// A processing-part index is out of range for the tile configuration.
     UnknownPp(usize),
+    /// A tile index is out of range for the array configuration.
+    UnknownTile(usize),
+    /// The inter-tile interconnect cannot accept more transfers this cycle.
+    InterconnectOversubscribed {
+        /// Number of simultaneous transfers requested.
+        requested: usize,
+        /// Number of links available per cycle.
+        available: usize,
+    },
     /// A register reference addresses a bank or register that does not exist.
     InvalidRegister {
         /// Description of the offending reference.
@@ -48,6 +57,14 @@ impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArchError::UnknownPp(i) => write!(f, "processing part {i} does not exist"),
+            ArchError::UnknownTile(i) => write!(f, "tile {i} does not exist"),
+            ArchError::InterconnectOversubscribed {
+                requested,
+                available,
+            } => write!(
+                f,
+                "inter-tile interconnect oversubscribed: {requested} transfers requested, {available} links"
+            ),
             ArchError::InvalidRegister { reference } => {
                 write!(f, "invalid register reference {reference}")
             }

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod alu;
+pub mod array;
 pub mod config;
 pub mod crossbar;
 pub mod energy;
@@ -45,6 +46,7 @@ pub mod regbank;
 pub mod tile;
 
 pub use alu::{AluCapability, AluClass};
+pub use array::{ArrayConfig, TileArray, TileId};
 pub use config::TileConfig;
 pub use crossbar::Crossbar;
 pub use energy::{EnergyModel, EnergyReport, EventCounts};

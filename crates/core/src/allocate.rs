@@ -41,6 +41,11 @@ const LIVE_NOW: usize = usize::MAX;
 pub struct Allocator {
     config: TileConfig,
     locality: bool,
+    /// Maximum number of stall cycles one operand may insert before the
+    /// allocation is declared infeasible. Multi-tile allocation raises this:
+    /// an operand may legitimately wait out an inter-tile transfer delayed by
+    /// link contention.
+    stall_budget: usize,
 }
 
 impl Allocator {
@@ -49,6 +54,7 @@ impl Allocator {
         Allocator {
             config,
             locality: true,
+            stall_budget: config.input_move_window + 4,
         }
     }
 
@@ -56,6 +62,13 @@ impl Allocator {
     /// and clusters are placed round-robin.
     pub fn without_locality(mut self) -> Self {
         self.locality = false;
+        self
+    }
+
+    /// Overrides the per-operand stall budget (used by the multi-tile
+    /// allocator to wait out inter-tile transfer latency).
+    pub(crate) fn with_stall_budget(mut self, budget: usize) -> Self {
+        self.stall_budget = budget;
         self
     }
 
@@ -165,7 +178,7 @@ impl Allocator {
         })
     }
 
-    fn allocate_level(
+    pub(crate) fn allocate_level(
         &self,
         graph: &MappingGraph,
         clustered: &ClusteredGraph,
@@ -375,7 +388,7 @@ impl Allocator {
                 return Ok(reg);
             }
             // "Insert one or more clock cycles before the current one."
-            if inserted > self.config.input_move_window + 4 {
+            if inserted > self.stall_budget {
                 return Err(MapError::AllocationFailed {
                     reason: format!(
                         "could not stage operand {value} for pp{pp} even after {inserted} inserted cycles"
@@ -438,7 +451,7 @@ impl Allocator {
 }
 
 /// Cycle index meaning "present before execution starts".
-const PRELOADED: i64 = -1;
+pub(crate) const PRELOADED: i64 = -1;
 
 struct CycleUsage {
     mem_access: HashMap<(PpId, MemId), usize>,
@@ -462,21 +475,21 @@ struct RegSlot {
     live_until: usize,
 }
 
-struct AllocState {
+pub(crate) struct AllocState {
     config: TileConfig,
-    cycles: Vec<CycleJob>,
+    pub(crate) cycles: Vec<CycleJob>,
     usage: Vec<CycleUsage>,
     regs: HashMap<RegRef, RegSlot>,
     value_home: HashMap<ValueRef, MemRef>,
     value_avail: HashMap<ValueRef, i64>,
     next_free: HashMap<(PpId, MemId), usize>,
     round_robin: usize,
-    preload: Vec<(ValueRef, MemRef)>,
-    stats: AllocationStats,
+    pub(crate) preload: Vec<(ValueRef, MemRef)>,
+    pub(crate) stats: AllocationStats,
 }
 
 impl AllocState {
-    fn new(config: TileConfig) -> Self {
+    pub(crate) fn new(config: TileConfig) -> Self {
         AllocState {
             config,
             cycles: Vec::new(),
@@ -503,17 +516,30 @@ impl AllocState {
         self.stats.stall_cycles += 1;
     }
 
-    fn set_home(&mut self, value: ValueRef, home: MemRef, available: i64) {
+    pub(crate) fn set_home(&mut self, value: ValueRef, home: MemRef, available: i64) {
         self.value_home.insert(value, home);
         self.value_avail.insert(value, available);
     }
 
-    fn home_of(&self, value: ValueRef) -> Option<MemRef> {
+    pub(crate) fn home_of(&self, value: ValueRef) -> Option<MemRef> {
         self.value_home.get(&value).copied()
     }
 
-    fn avail_of(&self, value: ValueRef) -> i64 {
+    pub(crate) fn avail_of(&self, value: ValueRef) -> i64 {
         self.value_avail.get(&value).copied().unwrap_or(PRELOADED)
+    }
+
+    /// Appends empty cycles until the program is `len` cycles long (used to
+    /// keep the tiles of a multi-tile allocation on one global timeline).
+    pub(crate) fn pad_to(&mut self, len: usize) {
+        while self.cycles.len() < len {
+            self.push_cycle();
+        }
+    }
+
+    /// Number of cycles allocated so far.
+    pub(crate) fn cycle_count(&self) -> usize {
+        self.cycles.len()
     }
 
     /// A register of `pp` currently holding `value`, if any.
@@ -609,7 +635,7 @@ impl AllocState {
     }
 
     /// Allocates a fresh scratch memory word, preferring the given PP.
-    fn fresh_scratch(&mut self, prefer_pp: PpId) -> Result<MemRef, MapError> {
+    pub(crate) fn fresh_scratch(&mut self, prefer_pp: PpId) -> Result<MemRef, MapError> {
         let mems_per_pp = self.config.mems_per_pp.min(2);
         // Candidate order: the preferred PP's memories first, then the rest
         // round-robin.
@@ -643,7 +669,7 @@ impl AllocState {
     }
 
     /// Allocates the physical home of a statespace address.
-    fn home_for_address(&mut self, address: i64) -> Result<MemRef, MapError> {
+    pub(crate) fn home_for_address(&mut self, address: i64) -> Result<MemRef, MapError> {
         // Spread statespace addresses over all processing parts so that
         // parallel clusters can read their operands from different memories.
         let slots = self.config.num_pps * self.config.mems_per_pp.min(2);

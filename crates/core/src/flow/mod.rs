@@ -8,7 +8,7 @@
 //!
 //! * every phase is instrumented uniformly (per-stage wall-clock and change
 //!   counts end up in the [`FlowContext`], and in the
-//!   [`FlowTrace`](crate::flow::FlowTrace) of every
+//!   [`FlowTrace`] of every
 //!   [`MappingResult`](crate::pipeline::MappingResult));
 //! * the fixpoint loop of `fpfa_transform::Pipeline` is generalized into
 //!   [`FlowDriver::fixpoint`], usable by any pass set over any value;
@@ -28,12 +28,12 @@ pub mod stages;
 pub use batch::{BatchEntry, BatchReport, KernelSpec, StageTotal};
 pub use stages::{
     AllocateStage, AllocatedKernel, ClusterStage, ClusteredKernel, CompiledKernel, ExtractStage,
-    ExtractedKernel, FrontendStage, ScheduleStage, ScheduledKernel, SimplifiedKernel, SourceInput,
-    TransformStage,
+    ExtractedKernel, FrontendStage, PartitionStage, PartitionedKernel, ScheduleStage,
+    ScheduledKernel, SimplifiedKernel, SourceInput, TransformStage,
 };
 
 use crate::error::MapError;
-use fpfa_arch::TileConfig;
+use fpfa_arch::{ArrayConfig, TileConfig};
 use fpfa_cdfg::Cdfg;
 use fpfa_transform::{Transform, TransformError};
 use std::fmt;
@@ -154,6 +154,9 @@ impl fmt::Display for FlowTrace {
 pub struct FlowContext {
     /// The tile configuration the flow targets.
     pub config: TileConfig,
+    /// The tile-array configuration (a single-tile array unless the mapper
+    /// targets several tiles).
+    pub array: ArrayConfig,
     /// Feature toggles consulted by the stages.
     pub toggles: FlowToggles,
     timings: Vec<StageTiming>,
@@ -165,6 +168,7 @@ impl FlowContext {
     pub fn new(config: TileConfig) -> Self {
         FlowContext {
             config,
+            array: ArrayConfig::single_tile(),
             toggles: FlowToggles::default(),
             timings: Vec::new(),
             diagnostics: Vec::new(),
@@ -174,6 +178,12 @@ impl FlowContext {
     /// Overrides the feature toggles.
     pub fn with_toggles(mut self, toggles: FlowToggles) -> Self {
         self.toggles = toggles;
+        self
+    }
+
+    /// Targets a tile array instead of the default single tile.
+    pub fn with_array(mut self, array: ArrayConfig) -> Self {
+        self.array = array;
         self
     }
 

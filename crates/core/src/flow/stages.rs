@@ -18,6 +18,8 @@ use crate::allocate::Allocator;
 use crate::cluster::{ClusteredGraph, Clusterer};
 use crate::dfg::MappingGraph;
 use crate::error::MapError;
+use crate::multi::{MultiSchedule, MultiScheduler, MultiTileAllocator, MultiTileMapping};
+use crate::partition::{Partitioner, TileAssignment};
 use crate::program::TileProgram;
 use crate::schedule::{Schedule, Scheduler};
 use fpfa_cdfg::Cdfg;
@@ -82,6 +84,22 @@ pub struct ClusteredKernel {
     pub clustered: ClusteredGraph,
 }
 
+/// Output of the partition stage.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PartitionedKernel {
+    /// The simplified CDFG.
+    pub simplified: Cdfg,
+    /// Statespace layout.
+    pub layout: MemoryLayout,
+    /// The mapping IR.
+    pub graph: MappingGraph,
+    /// The phase-1 clustering.
+    pub clustered: ClusteredGraph,
+    /// Which tile each cluster is assigned to (all on tile 0 for single-tile
+    /// flows).
+    pub partition: TileAssignment,
+}
+
 /// Output of the schedule stage.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ScheduledKernel {
@@ -93,8 +111,13 @@ pub struct ScheduledKernel {
     pub graph: MappingGraph,
     /// The phase-1 clustering.
     pub clustered: ClusteredGraph,
-    /// The phase-2 level schedule.
+    /// The tile assignment.
+    pub partition: TileAssignment,
+    /// The phase-2 level schedule of tile 0 (the whole schedule for
+    /// single-tile flows).
     pub schedule: Schedule,
+    /// The per-tile level schedules on the shared global timeline.
+    pub multi_schedule: MultiSchedule,
 }
 
 /// Output of the allocate stage: everything the flow produced.
@@ -108,10 +131,13 @@ pub struct AllocatedKernel {
     pub graph: MappingGraph,
     /// The phase-1 clustering.
     pub clustered: ClusteredGraph,
-    /// The phase-2 level schedule.
+    /// The phase-2 level schedule (tile 0's schedule for multi-tile flows).
     pub schedule: Schedule,
-    /// The phase-3 allocated tile program.
+    /// The phase-3 allocated tile program (tile 0's program for multi-tile
+    /// flows; see `multi` for the whole array).
     pub program: TileProgram,
+    /// The multi-tile mapping, when the flow targeted more than one tile.
+    pub multi: Option<MultiTileMapping>,
 }
 
 /// Compiles C-subset source into a CDFG (stage `frontend`).
@@ -257,34 +283,96 @@ impl Stage<ExtractedKernel, ClusteredKernel> for ClusterStage {
     }
 }
 
-/// Phase 2: level scheduling onto the physical ALUs (stage `schedule`).
+/// Inter-tile partitioning of the clustered graph (stage `partition`).
+///
+/// For single-tile flows this is the trivial everything-on-tile-0 assignment;
+/// for multi-tile flows it runs the greedy edge-cut partitioner with
+/// Kernighan–Lin-style refinement.
 #[derive(Clone, Copy, Default, Debug)]
-pub struct ScheduleStage;
+pub struct PartitionStage;
 
-impl Stage<ClusteredKernel, ScheduledKernel> for ScheduleStage {
+impl Stage<ClusteredKernel, PartitionedKernel> for PartitionStage {
     fn name(&self) -> &'static str {
-        "schedule"
+        "partition"
     }
 
     fn run(
         &self,
         input: ClusteredKernel,
         cx: &mut FlowContext,
+    ) -> Result<PartitionedKernel, MapError> {
+        let partition =
+            Partitioner::new(cx.array.num_tiles).partition(&input.graph, &input.clustered)?;
+        if cx.array.num_tiles > 1 {
+            cx.info(
+                self.name(),
+                format!(
+                    "{} clusters over {} tile(s), {} cut value(s)",
+                    input.clustered.len(),
+                    partition.tiles_used(),
+                    partition.cut_size(&input.graph, &input.clustered)
+                ),
+            );
+        }
+        Ok(PartitionedKernel {
+            simplified: input.simplified,
+            layout: input.layout,
+            graph: input.graph,
+            clustered: input.clustered,
+            partition,
+        })
+    }
+}
+
+/// Phase 2: level scheduling onto the physical ALUs (stage `schedule`).
+///
+/// Runs per tile when the flow targets a tile array: each tile's levels hold
+/// at most `num_pps` clusters and cross-tile dependences are separated by the
+/// interconnect's hop latency.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ScheduleStage;
+
+impl Stage<PartitionedKernel, ScheduledKernel> for ScheduleStage {
+    fn name(&self) -> &'static str {
+        "schedule"
+    }
+
+    fn run(
+        &self,
+        input: PartitionedKernel,
+        cx: &mut FlowContext,
     ) -> Result<ScheduledKernel, MapError> {
-        let schedule = Scheduler::new(cx.config.num_pps).schedule(&input.clustered)?;
-        cx.info(self.name(), format!("{} levels", schedule.level_count()));
+        let (schedule, multi_schedule) = if cx.array.num_tiles == 1 {
+            let schedule = Scheduler::new(cx.config.num_pps).schedule(&input.clustered)?;
+            let multi = MultiSchedule::from_single(schedule.clone());
+            (schedule, multi)
+        } else {
+            let multi = MultiScheduler::new(cx.config.num_pps, cx.array.hop_latency)
+                .schedule(&input.clustered, &input.partition)?;
+            (multi.tile(0).clone(), multi)
+        };
+        cx.info(
+            self.name(),
+            format!("{} levels", multi_schedule.level_count()),
+        );
         Ok(ScheduledKernel {
             simplified: input.simplified,
             layout: input.layout,
             graph: input.graph,
             clustered: input.clustered,
+            partition: input.partition,
             schedule,
+            multi_schedule,
         })
     }
 }
 
 /// Phase 3: resource allocation into a per-cycle tile program
 /// (stage `allocate`).
+///
+/// Runs per tile when the flow targets a tile array; the tiles stay on one
+/// global timeline and inter-tile transfers are scheduled onto the
+/// interconnect.
 #[derive(Clone, Copy, Default, Debug)]
 pub struct AllocateStage;
 
@@ -298,27 +386,67 @@ impl Stage<ScheduledKernel, AllocatedKernel> for AllocateStage {
         input: ScheduledKernel,
         cx: &mut FlowContext,
     ) -> Result<AllocatedKernel, MapError> {
+        if cx.array.num_tiles == 1 {
+            let allocator = if cx.toggles.locality {
+                Allocator::new(cx.config)
+            } else {
+                Allocator::new(cx.config).without_locality()
+            };
+            let program = allocator.allocate(&input.graph, &input.clustered, &input.schedule)?;
+            cx.info(
+                self.name(),
+                format!(
+                    "{} cycles ({} stalls)",
+                    program.cycle_count(),
+                    program.stats.stall_cycles
+                ),
+            );
+            return Ok(AllocatedKernel {
+                simplified: input.simplified,
+                layout: input.layout,
+                graph: input.graph,
+                clustered: input.clustered,
+                schedule: input.schedule,
+                program,
+                multi: None,
+            });
+        }
+
         let allocator = if cx.toggles.locality {
-            Allocator::new(cx.config)
+            MultiTileAllocator::new(cx.config, cx.array)
         } else {
-            Allocator::new(cx.config).without_locality()
+            MultiTileAllocator::new(cx.config, cx.array).without_locality()
         };
-        let program = allocator.allocate(&input.graph, &input.clustered, &input.schedule)?;
+        let program = allocator.allocate(
+            &input.graph,
+            &input.clustered,
+            &input.partition,
+            &input.multi_schedule,
+        )?;
         cx.info(
             self.name(),
             format!(
-                "{} cycles ({} stalls)",
+                "{} cycles on {} tile(s), {} inter-tile transfer(s)",
                 program.cycle_count(),
-                program.stats.stall_cycles
+                program.tile_count(),
+                program.transfers.len()
             ),
         );
+        let tile0 = program.tiles[0].clone();
+        let multi = MultiTileMapping {
+            array: cx.array,
+            partition: input.partition,
+            schedule: input.multi_schedule,
+            program,
+        };
         Ok(AllocatedKernel {
             simplified: input.simplified,
             layout: input.layout,
             graph: input.graph,
             clustered: input.clustered,
             schedule: input.schedule,
-            program,
+            program: tile0,
+            multi: Some(multi),
         })
     }
 }

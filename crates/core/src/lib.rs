@@ -61,6 +61,8 @@ pub mod cluster;
 pub mod dfg;
 pub mod error;
 pub mod flow;
+pub mod multi;
+pub mod partition;
 pub mod pipeline;
 pub mod program;
 pub mod report;
@@ -75,6 +77,11 @@ pub use flow::{
     BatchEntry, BatchReport, FlowContext, FlowDriver, FlowToggles, FlowTrace, KernelSpec, Stage,
     StageExt, StageTiming,
 };
+pub use multi::{
+    MultiSchedule, MultiScheduler, MultiTileAllocator, MultiTileMapping, MultiTileProgram,
+    TrafficReport, TransferJob,
+};
+pub use partition::{CutEdge, Partitioner, TileAssignment};
 pub use pipeline::{Mapper, MappingResult};
 pub use program::{AluJob, CycleJob, Location, MoveJob, TileProgram, WritebackJob};
 pub use report::MappingReport;

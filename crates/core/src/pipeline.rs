@@ -7,15 +7,16 @@ use crate::dfg::MappingGraph;
 use crate::error::MapError;
 use crate::flow::stages::{
     AllocateStage, AllocatedKernel, ClusterStage, CompiledKernel, ExtractStage, FrontendStage,
-    ScheduleStage, SourceInput, TransformStage,
+    PartitionStage, ScheduleStage, SourceInput, TransformStage,
 };
 use crate::flow::{
     BatchEntry, BatchReport, FlowContext, FlowDriver, FlowToggles, FlowTrace, KernelSpec, StageExt,
 };
+use crate::multi::MultiTileMapping;
 use crate::program::TileProgram;
 use crate::report::MappingReport;
 use crate::schedule::Schedule;
-use fpfa_arch::TileConfig;
+use fpfa_arch::{ArrayConfig, TileConfig};
 use fpfa_cdfg::Cdfg;
 use fpfa_frontend::MemoryLayout;
 use std::time::Instant;
@@ -31,8 +32,12 @@ pub struct MappingResult {
     pub clustered: ClusteredGraph,
     /// The level schedule of phase 2.
     pub schedule: Schedule,
-    /// The allocated tile program of phase 3.
+    /// The allocated tile program of phase 3 (tile 0's program for
+    /// multi-tile mappings; `multi` holds the whole array).
     pub program: TileProgram,
+    /// The multi-tile mapping (partition, per-tile schedules, array program
+    /// and traffic report) when the mapper targeted more than one tile.
+    pub multi: Option<MultiTileMapping>,
     /// Headline statistics.
     pub report: MappingReport,
     /// Statespace layout of the source program's arrays (empty for mappings
@@ -46,6 +51,7 @@ pub struct MappingResult {
 #[derive(Clone, Debug)]
 pub struct Mapper {
     config: TileConfig,
+    array: ArrayConfig,
     toggles: FlowToggles,
     batch_threads: Option<usize>,
 }
@@ -56,6 +62,7 @@ impl Mapper {
     pub fn new() -> Self {
         Mapper {
             config: TileConfig::paper(),
+            array: ArrayConfig::single_tile(),
             toggles: FlowToggles::default(),
             batch_threads: None,
         }
@@ -64,6 +71,19 @@ impl Mapper {
     /// Targets a different tile configuration.
     pub fn with_config(mut self, config: TileConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Targets an array of `num_tiles` tiles with the default interconnect
+    /// (kernels are partitioned across the tiles).
+    pub fn with_tiles(mut self, num_tiles: usize) -> Self {
+        self.array = ArrayConfig::with_tiles(num_tiles.max(1));
+        self
+    }
+
+    /// Targets a tile array with an explicit interconnect configuration.
+    pub fn with_array(mut self, array: ArrayConfig) -> Self {
+        self.array = array;
         self
     }
 
@@ -106,7 +126,9 @@ impl Mapper {
 
     /// A fresh flow context targeting this mapper's configuration.
     pub fn flow_context(&self) -> FlowContext {
-        FlowContext::new(self.config).with_toggles(self.toggles)
+        FlowContext::new(self.config)
+            .with_array(self.array)
+            .with_toggles(self.toggles)
     }
 
     /// Maps a C-subset source string.
@@ -119,6 +141,7 @@ impl Mapper {
             .then(TransformStage::standard())
             .then(ExtractStage)
             .then(ClusterStage)
+            .then(PartitionStage)
             .then(ScheduleStage)
             .then(AllocateStage);
         let allocated = FlowDriver::new().run(&flow, SourceInput::new(source), &mut cx)?;
@@ -169,6 +192,7 @@ impl Mapper {
         let flow = TransformStage::standard()
             .then(ExtractStage)
             .then(ClusterStage)
+            .then(PartitionStage)
             .then(ScheduleStage)
             .then(AllocateStage);
         let input = CompiledKernel {
@@ -190,11 +214,13 @@ fn finish(allocated: AllocatedKernel, cx: FlowContext) -> MappingResult {
         clustered,
         schedule,
         program,
+        multi,
     } = allocated;
 
     // Preserve the historical meaning of `mapping_time_us`: the time spent
-    // in the three mapping phases (clustering + scheduling + allocation).
-    let mapping_time_us = ["cluster", "schedule", "allocate"]
+    // in the mapping phases (clustering + partitioning + scheduling +
+    // allocation; partitioning is a no-op on single-tile flows).
+    let mapping_time_us = ["cluster", "partition", "schedule", "allocate"]
         .iter()
         .filter_map(|stage| cx.wall_of(stage))
         .map(|wall| wall.as_micros())
@@ -206,10 +232,17 @@ fn finish(allocated: AllocatedKernel, cx: FlowContext) -> MappingResult {
         clusters: clustered.len(),
         critical_path: clustered.critical_path(),
         levels: schedule.level_count(),
+        tiles: 1,
         mapping_time_us,
         ..MappingReport::default()
     };
-    report.absorb_program(&program);
+    match &multi {
+        Some(multi) => {
+            report.levels = multi.schedule.level_count();
+            report.absorb_multi_program(&multi.program);
+        }
+        None => report.absorb_program(&program),
+    }
 
     MappingResult {
         simplified,
@@ -217,6 +250,7 @@ fn finish(allocated: AllocatedKernel, cx: FlowContext) -> MappingResult {
         clustered,
         schedule,
         program,
+        multi,
         report,
         layout,
         trace: cx.into_trace(),

@@ -144,6 +144,9 @@ pub struct AllocationStats {
     /// Values routed over the crossbar (moves plus write-backs that cross
     /// processing parts).
     pub crossbar_transfers: usize,
+    /// Values routed over the inter-tile interconnect (always zero for
+    /// single-tile programs; filled in by the multi-tile allocator).
+    pub inter_tile_transfers: usize,
 }
 
 impl AllocationStats {

@@ -1,5 +1,6 @@
 //! Summary statistics of one mapping run.
 
+use crate::multi::MultiTileProgram;
 use crate::program::TileProgram;
 use std::fmt;
 
@@ -33,6 +34,11 @@ pub struct MappingReport {
     pub mem_writebacks: usize,
     /// Values routed over the crossbar.
     pub crossbar_transfers: usize,
+    /// Number of tiles the mapping targets (1 for the paper's single-tile
+    /// flow).
+    pub tiles: usize,
+    /// Values routed over the inter-tile interconnect (0 on a single tile).
+    pub inter_tile_transfers: usize,
     /// Time spent in the mapping phases, in microseconds (clustering +
     /// scheduling + allocation).
     pub mapping_time_us: u128,
@@ -65,6 +71,30 @@ impl MappingReport {
         self.mem_writebacks = program.stats.mem_writebacks;
         self.crossbar_transfers = program.stats.crossbar_transfers;
     }
+
+    /// Fills the allocation-related fields from a multi-tile program
+    /// (aggregated across the whole array).
+    pub fn absorb_multi_program(&mut self, program: &MultiTileProgram) {
+        self.tiles = program.tile_count();
+        self.cycles = program.cycle_count();
+        self.stall_cycles = program.stats.stall_cycles;
+        self.alu_utilization = program.alu_utilization();
+        self.alus_used = (0..program.cycle_count())
+            .map(|cycle| {
+                program
+                    .tiles
+                    .iter()
+                    .map(|tile| tile.cycles[cycle].busy_alus())
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0);
+        self.register_hits = program.stats.register_hits;
+        self.register_misses = program.stats.register_misses;
+        self.mem_writebacks = program.stats.mem_writebacks;
+        self.crossbar_transfers = program.stats.crossbar_transfers;
+        self.inter_tile_transfers = program.stats.inter_tile_transfers;
+    }
 }
 
 impl fmt::Display for MappingReport {
@@ -89,7 +119,15 @@ impl fmt::Display for MappingReport {
             self.register_misses,
             self.mem_writebacks,
             self.crossbar_transfers
-        )
+        )?;
+        if self.tiles > 1 {
+            write!(
+                f,
+                "\n  tiles {} (inter-tile transfers {})",
+                self.tiles, self.inter_tile_transfers
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -47,6 +47,25 @@ impl Schedule {
         self.levels.iter().map(Vec::len).max().unwrap_or(0)
     }
 
+    /// Places a cluster at a level, growing the level list as needed (used
+    /// by the multi-tile scheduler to build per-tile schedules on a shared
+    /// global level timeline).
+    pub(crate) fn place(&mut self, cluster: ClusterId, level: usize) {
+        if level >= self.levels.len() {
+            self.levels.resize(level + 1, Vec::new());
+        }
+        self.levels[level].push(cluster);
+        self.level_of.insert(cluster, level);
+    }
+
+    /// Grows the level list to `count` levels (trailing levels stay empty) so
+    /// every per-tile schedule of a multi-tile run spans the same timeline.
+    pub(crate) fn pad_levels(&mut self, count: usize) {
+        if self.levels.len() < count {
+            self.levels.resize(count, Vec::new());
+        }
+    }
+
     /// Average number of busy ALUs per level.
     pub fn average_parallelism(&self) -> f64 {
         if self.levels.is_empty() {
@@ -150,7 +169,7 @@ impl Default for Scheduler {
 
 /// Returns the first possibly-free level at or after `from`, compressing the
 /// skip pointers along the way.
-fn find_free_level(next_free: &mut Vec<usize>, from: usize) -> usize {
+pub(crate) fn find_free_level(next_free: &mut Vec<usize>, from: usize) -> usize {
     if from >= next_free.len() {
         next_free.extend(next_free.len()..=from);
     }
@@ -172,14 +191,17 @@ fn find_free_level(next_free: &mut Vec<usize>, from: usize) -> usize {
 }
 
 /// Marks `level` as full so that future searches resolve to `level + 1`.
-fn mark_full(next_free: &mut Vec<usize>, level: usize) {
+pub(crate) fn mark_full(next_free: &mut Vec<usize>, level: usize) {
     if level + 1 >= next_free.len() {
         next_free.extend(next_free.len()..=level + 1);
     }
     next_free[level] = level + 1;
 }
 
-fn asap_levels(clustered: &ClusteredGraph, order: &[ClusterId]) -> HashMap<ClusterId, usize> {
+pub(crate) fn asap_levels(
+    clustered: &ClusteredGraph,
+    order: &[ClusterId],
+) -> HashMap<ClusterId, usize> {
     let mut asap = HashMap::new();
     for &id in order {
         let level = clustered
@@ -193,7 +215,10 @@ fn asap_levels(clustered: &ClusteredGraph, order: &[ClusterId]) -> HashMap<Clust
     asap
 }
 
-fn alap_levels(clustered: &ClusteredGraph, order: &[ClusterId]) -> HashMap<ClusterId, usize> {
+pub(crate) fn alap_levels(
+    clustered: &ClusteredGraph,
+    order: &[ClusterId],
+) -> HashMap<ClusterId, usize> {
     let depth = clustered.critical_path();
     let mut height = HashMap::new();
     for &id in order.iter().rev() {

@@ -7,8 +7,10 @@
 
 use crate::error::SimError;
 use crate::exec::{SimInputs, SimOutcome, Simulator};
+use crate::multi::MultiSimulator;
 use fpfa_cdfg::interp::Interpreter;
 use fpfa_cdfg::{Cdfg, Value};
+use fpfa_core::multi::MultiTileProgram;
 use fpfa_core::TileProgram;
 use std::fmt;
 
@@ -77,19 +79,51 @@ pub fn check_against_cdfg(
     program: &TileProgram,
     inputs: &SimInputs,
 ) -> Result<EquivalenceReport, EquivalenceError> {
-    // Reference interpretation.
+    let reference = reference_run(cdfg, inputs)?;
+    let outcome = Simulator::new(program)
+        .run(inputs)
+        .map_err(EquivalenceError::Simulator)?;
+    Ok(diff_against_reference(&reference, outcome))
+}
+
+/// Multi-tile variant of [`check_against_cdfg`]: executes the whole array
+/// program (inter-tile transfer latency modeled) and compares the result
+/// against the CDFG reference interpreter.
+///
+/// # Errors
+/// Returns [`EquivalenceError`] when either execution fails; behavioural
+/// differences are reported through [`EquivalenceReport::mismatches`], not as
+/// errors.
+pub fn check_multi_against_cdfg(
+    cdfg: &Cdfg,
+    program: &MultiTileProgram,
+    inputs: &SimInputs,
+) -> Result<EquivalenceReport, EquivalenceError> {
+    let reference = reference_run(cdfg, inputs)?;
+    let outcome = MultiSimulator::new(program)
+        .run(inputs)
+        .map_err(EquivalenceError::Simulator)?;
+    Ok(diff_against_reference(&reference, outcome))
+}
+
+/// Runs the CDFG reference interpreter on the simulation inputs.
+fn reference_run(
+    cdfg: &Cdfg,
+    inputs: &SimInputs,
+) -> Result<fpfa_cdfg::interp::RunResult, EquivalenceError> {
     let mut interp = Interpreter::new(cdfg);
     interp.bind("mem", Value::State(inputs.statespace.clone()));
     for (name, value) in &inputs.scalars {
         interp.bind(name.clone(), Value::Word(*value));
     }
-    let reference = interp.run().map_err(EquivalenceError::Interpreter)?;
+    interp.run().map_err(EquivalenceError::Interpreter)
+}
 
-    // Simulation.
-    let outcome = Simulator::new(program)
-        .run(inputs)
-        .map_err(EquivalenceError::Simulator)?;
-
+/// Diffs a simulation outcome against the reference interpretation.
+fn diff_against_reference(
+    reference: &fpfa_cdfg::interp::RunResult,
+    outcome: SimOutcome,
+) -> EquivalenceReport {
     let mut mismatches = Vec::new();
     for (name, value) in reference.sorted() {
         match value {
@@ -130,10 +164,10 @@ pub fn check_against_cdfg(
             }
         }
     }
-    Ok(EquivalenceReport {
+    EquivalenceReport {
         mismatches,
         outcome,
-    })
+    }
 }
 
 #[cfg(test)]

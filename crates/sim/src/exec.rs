@@ -148,75 +148,20 @@ impl<'p> Simulator<'p> {
         // ------------------------------------------------------------------
         for (cycle_index, cycle) in self.program.cycles.iter().enumerate() {
             if self.check_structure {
-                self.check_cycle(cycle_index, cycle)?;
+                check_cycle(&config, cycle_index, cycle)?;
             }
             let mut cycle_trace = CycleTrace {
                 cycle: cycle_index,
                 ..CycleTrace::default()
             };
-
-            // Register loads.
-            for mv in &cycle.moves {
-                let word = read_mem(&tile, mv.src, cycle_index)?;
-                write_reg(&mut tile, mv.dst, word, cycle_index)?;
-                counts.mem_reads += 1;
-                counts.reg_writes += 1;
-                if mv.via_crossbar {
-                    counts.crossbar_transfers += 1;
-                    cycle_trace.crossbar_transfers += 1;
-                }
-                cycle_trace.moves += 1;
-            }
-
-            // ALU execution.
-            for alu in &cycle.alus {
-                let mut internal: Vec<i64> = Vec::with_capacity(alu.micro_ops.len());
-                for micro in &alu.micro_ops {
-                    let mut operands = Vec::with_capacity(micro.operands.len());
-                    for source in &micro.operands {
-                        let value = match source {
-                            OperandSource::Immediate(c) => *c,
-                            OperandSource::Register(reg) => {
-                                counts.reg_reads += 1;
-                                read_reg(&tile, *reg, cycle_index)?
-                            }
-                            OperandSource::Internal(pos) => {
-                                *internal.get(*pos).ok_or(SimError::BadInternalOperand {
-                                    cycle: cycle_index,
-                                    op: micro.op,
-                                })?
-                            }
-                        };
-                        operands.push(value);
-                    }
-                    let result =
-                        eval_op(micro.kind, &operands).ok_or(SimError::DivisionByZero {
-                            cycle: cycle_index,
-                            op: micro.op,
-                        })?;
-                    internal.push(result);
-                    results.insert(micro.op, result);
-                    counts.alu_ops += 1;
-                    cycle_trace.alu_ops += 1;
-                }
-                cycle_trace.busy_alus += 1;
-            }
-
-            // Write-backs.
-            for wb in &cycle.writebacks {
-                let value = *results.get(&wb.op).ok_or(SimError::MissingResult {
-                    cycle: cycle_index,
-                    op: wb.op,
-                })?;
-                write_mem(&mut tile, wb.dest, value, cycle_index)?;
-                counts.mem_writes += 1;
-                if wb.via_crossbar {
-                    counts.crossbar_transfers += 1;
-                    cycle_trace.crossbar_transfers += 1;
-                }
-                cycle_trace.writebacks += 1;
-            }
-
+            execute_cycle(
+                &mut tile,
+                cycle_index,
+                cycle,
+                &mut results,
+                &mut counts,
+                &mut cycle_trace,
+            )?;
             counts.cycles += 1;
             trace.cycles.push(cycle_trace);
         }
@@ -247,10 +192,89 @@ impl<'p> Simulator<'p> {
             trace,
         })
     }
+}
 
-    /// Re-checks the structural constraints of one cycle.
-    fn check_cycle(&self, cycle_index: usize, cycle: &CycleJob) -> Result<(), SimError> {
-        let config = &self.program.config;
+/// Executes one tile's jobs for one cycle on the given tile state (shared by
+/// the single-tile and multi-tile simulators).
+pub(crate) fn execute_cycle(
+    tile: &mut Tile,
+    cycle_index: usize,
+    cycle: &CycleJob,
+    results: &mut HashMap<OpId, i64>,
+    counts: &mut EventCounts,
+    cycle_trace: &mut CycleTrace,
+) -> Result<(), SimError> {
+    // Register loads.
+    for mv in &cycle.moves {
+        let word = read_mem(tile, mv.src, cycle_index)?;
+        write_reg(tile, mv.dst, word, cycle_index)?;
+        counts.mem_reads += 1;
+        counts.reg_writes += 1;
+        if mv.via_crossbar {
+            counts.crossbar_transfers += 1;
+            cycle_trace.crossbar_transfers += 1;
+        }
+        cycle_trace.moves += 1;
+    }
+
+    // ALU execution.
+    for alu in &cycle.alus {
+        let mut internal: Vec<i64> = Vec::with_capacity(alu.micro_ops.len());
+        for micro in &alu.micro_ops {
+            let mut operands = Vec::with_capacity(micro.operands.len());
+            for source in &micro.operands {
+                let value = match source {
+                    OperandSource::Immediate(c) => *c,
+                    OperandSource::Register(reg) => {
+                        counts.reg_reads += 1;
+                        read_reg(tile, *reg, cycle_index)?
+                    }
+                    OperandSource::Internal(pos) => {
+                        *internal.get(*pos).ok_or(SimError::BadInternalOperand {
+                            cycle: cycle_index,
+                            op: micro.op,
+                        })?
+                    }
+                };
+                operands.push(value);
+            }
+            let result = eval_op(micro.kind, &operands).ok_or(SimError::DivisionByZero {
+                cycle: cycle_index,
+                op: micro.op,
+            })?;
+            internal.push(result);
+            results.insert(micro.op, result);
+            counts.alu_ops += 1;
+            cycle_trace.alu_ops += 1;
+        }
+        cycle_trace.busy_alus += 1;
+    }
+
+    // Write-backs.
+    for wb in &cycle.writebacks {
+        let value = *results.get(&wb.op).ok_or(SimError::MissingResult {
+            cycle: cycle_index,
+            op: wb.op,
+        })?;
+        write_mem(tile, wb.dest, value, cycle_index)?;
+        counts.mem_writes += 1;
+        if wb.via_crossbar {
+            counts.crossbar_transfers += 1;
+            cycle_trace.crossbar_transfers += 1;
+        }
+        cycle_trace.writebacks += 1;
+    }
+    Ok(())
+}
+
+/// Re-checks the structural constraints of one cycle against a tile
+/// configuration (shared by the single-tile and multi-tile simulators).
+pub(crate) fn check_cycle(
+    config: &fpfa_arch::TileConfig,
+    cycle_index: usize,
+    cycle: &CycleJob,
+) -> Result<(), SimError> {
+    {
         // One cluster per PP.
         let mut pps_seen: Vec<usize> = Vec::new();
         for alu in &cycle.alus {
@@ -358,7 +382,7 @@ impl<'p> Simulator<'p> {
     }
 }
 
-fn eval_op(kind: OpKind, operands: &[i64]) -> Option<i64> {
+pub(crate) fn eval_op(kind: OpKind, operands: &[i64]) -> Option<i64> {
     match kind {
         OpKind::Bin(op) => op.eval(operands[0], operands[1]),
         OpKind::Un(op) => Some(op.eval(operands[0])),
@@ -370,28 +394,38 @@ fn eval_op(kind: OpKind, operands: &[i64]) -> Option<i64> {
     }
 }
 
-fn read_mem(tile: &Tile, mem: MemRef, cycle: usize) -> Result<i64, SimError> {
+pub(crate) fn read_mem(tile: &Tile, mem: MemRef, cycle: usize) -> Result<i64, SimError> {
     tile.pp(mem.pp)
         .and_then(|pp| pp.memory(mem.mem))
         .and_then(|m| m.read(mem.offset))
         .map_err(|source| SimError::Arch { cycle, source })
 }
 
-fn write_mem(tile: &mut Tile, mem: MemRef, value: i64, cycle: usize) -> Result<(), SimError> {
+pub(crate) fn write_mem(
+    tile: &mut Tile,
+    mem: MemRef,
+    value: i64,
+    cycle: usize,
+) -> Result<(), SimError> {
     tile.pp_mut(mem.pp)
         .and_then(|pp| pp.memory_mut(mem.mem))
         .and_then(|m| m.write(mem.offset, value))
         .map_err(|source| SimError::Arch { cycle, source })
 }
 
-fn read_reg(tile: &Tile, reg: RegRef, cycle: usize) -> Result<i64, SimError> {
+pub(crate) fn read_reg(tile: &Tile, reg: RegRef, cycle: usize) -> Result<i64, SimError> {
     tile.pp(reg.pp)
         .and_then(|pp| pp.bank(reg.bank))
         .and_then(|b| b.read(reg.index))
         .map_err(|source| SimError::Arch { cycle, source })
 }
 
-fn write_reg(tile: &mut Tile, reg: RegRef, value: i64, cycle: usize) -> Result<(), SimError> {
+pub(crate) fn write_reg(
+    tile: &mut Tile,
+    reg: RegRef,
+    value: i64,
+    cycle: usize,
+) -> Result<(), SimError> {
     tile.pp_mut(reg.pp)
         .and_then(|pp| pp.bank_mut(reg.bank))
         .and_then(|b| b.write(reg.index, value))
@@ -431,7 +465,7 @@ mod tests {
             mapping.program.cycle_count()
         );
         assert!(outcome.counts.alu_ops >= 7);
-        assert!(outcome.trace.len() > 0);
+        assert!(!outcome.trace.is_empty());
     }
 
     #[test]
@@ -472,10 +506,10 @@ mod tests {
         let inputs = SimInputs::new().array(0, &[1, 2, 3, 4]);
         let outcome = Simulator::new(&mapping.program).run(&inputs).unwrap();
         let y_base = mapping.layout.array("y").unwrap().base;
-        for i in 0..4 {
+        for i in 0..4i64 {
             assert_eq!(
                 outcome.final_statespace.fetch(y_base + i),
-                Some(((i + 1) * (i + 1)) as i64)
+                Some((i + 1) * (i + 1))
             );
         }
         // Inputs are unchanged.

@@ -4,6 +4,7 @@
 //! instrumentation as the mapping phases.
 
 use crate::exec::{SimInputs, SimOutcome, Simulator};
+use crate::multi::MultiSimulator;
 use fpfa_core::flow::{FlowContext, Stage};
 use fpfa_core::pipeline::MappingResult;
 use fpfa_core::MapError;
@@ -41,11 +42,16 @@ impl Stage<MappingResult, SimulatedMapping> for SimulateStage {
         input: MappingResult,
         cx: &mut FlowContext,
     ) -> Result<SimulatedMapping, MapError> {
-        let outcome = Simulator::new(&input.program)
-            .run(&self.inputs)
-            .map_err(|error| MapError::Simulation {
-                reason: error.to_string(),
-            })?;
+        // Multi-tile mappings carry the whole array program in `multi`
+        // (`input.program` is only tile 0's slice), so they must run on the
+        // array simulator.
+        let outcome = match &input.multi {
+            Some(multi) => MultiSimulator::new(&multi.program).run(&self.inputs),
+            None => Simulator::new(&input.program).run(&self.inputs),
+        }
+        .map_err(|error| MapError::Simulation {
+            reason: error.to_string(),
+        })?;
         cx.info(
             self.name(),
             format!(
@@ -86,6 +92,32 @@ mod tests {
 
         let direct = Simulator::new(&mapping.program).run(&inputs).unwrap();
         assert_eq!(direct.scalars, simulated.outcome.scalars);
+    }
+
+    #[test]
+    fn simulate_stage_dispatches_multi_tile_mappings_to_the_array_simulator() {
+        let source = r#"
+            void main() {
+                int a[8];
+                int c[8];
+                int sum;
+                int i;
+                sum = 0; i = 0;
+                while (i < 8) { sum = sum + a[i] * c[i]; i = i + 1; }
+            }
+        "#;
+        let mapper = Mapper::new().with_tiles(4);
+        let mapping = mapper.map_source(source).unwrap();
+        assert!(mapping.multi.is_some());
+
+        let inputs = SimInputs::new()
+            .array(0, &[1, 2, 3, 4, 5, 6, 7, 8])
+            .array(8, &[1, 1, 1, 1, 1, 1, 1, 1]);
+        let stage = SimulateStage::new(inputs);
+        let mut cx = mapper.flow_context();
+        let simulated = fpfa_core::flow::run_timed(&stage, mapping, &mut cx).unwrap();
+        assert_eq!(simulated.outcome.scalar("sum"), Some(36));
+        assert!(cx.wall_of("simulate").is_some());
     }
 
     /// A test stage mapping source to a finished mapping, so the simulate

@@ -38,10 +38,12 @@ pub mod equivalence;
 pub mod error;
 pub mod exec;
 pub mod flow;
+pub mod multi;
 pub mod trace;
 
-pub use equivalence::{check_against_cdfg, EquivalenceReport};
+pub use equivalence::{check_against_cdfg, check_multi_against_cdfg, EquivalenceReport};
 pub use error::SimError;
 pub use exec::{SimInputs, SimOutcome, Simulator};
 pub use flow::{SimulateStage, SimulatedMapping};
+pub use multi::MultiSimulator;
 pub use trace::{CycleTrace, Trace};

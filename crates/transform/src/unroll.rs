@@ -497,9 +497,7 @@ mod tests {
         assert_eq!(GraphStats::of(&g).loops, 0);
         let mut interp = Interpreter::new(&g);
         interp.bind("mem", Value::State(StateSpace::new()));
-        assert_eq!(
-            interp.run().unwrap().word("total"),
-            Some(0 + 0 + 0 + 1 + 0 + 2)
-        );
+        // total = 0 + 0 + 0 + 1 + 0 + 2
+        assert_eq!(interp.run().unwrap().word("total"), Some(3));
     }
 }

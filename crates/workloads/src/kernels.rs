@@ -399,8 +399,11 @@ pub fn conv2d_3x3(width: usize, height: usize) -> Kernel {
 }
 
 /// The default benchmark suite used by the experiment tables: one
-/// representative instance of every kernel family, sized so that the mapped
-/// programs stay comfortably inside one tile.
+/// representative instance of every kernel family. The first twelve are
+/// sized so that the mapped programs stay comfortably inside one tile; the
+/// last three (a 64-tap FIR, a 32-point FFT butterfly stage and an 8×8
+/// convolution) carry far more parallelism than five ALUs can exploit and
+/// exist to exercise the multi-tile partitioner.
 pub fn registry() -> Vec<Kernel> {
     vec![
         fir(5),
@@ -415,7 +418,16 @@ pub fn registry() -> Vec<Kernel> {
         dct4(2),
         matmul(3),
         conv2d_3x3(5, 5),
+        fir(64),
+        fft_butterfly_stage(16),
+        conv2d_3x3(8, 8),
     ]
+}
+
+/// The kernels of [`registry`] that exceed one tile's worth of parallelism
+/// (the multi-tile acceptance workloads).
+pub fn multi_tile_registry() -> Vec<Kernel> {
+    vec![fir(64), fft_butterfly_stage(16), conv2d_3x3(8, 8)]
 }
 
 #[cfg(test)]

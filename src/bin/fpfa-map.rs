@@ -9,6 +9,7 @@
 //! fpfa-map kernel.c --listing        # plus the per-cycle tile job
 //! fpfa-map kernel.c --dot schedule   # Graphviz of the schedule (cdfg|clusters|schedule)
 //! fpfa-map kernel.c --pps 3          # target a 3-PP tile
+//! fpfa-map kernel.c --tiles 4        # partition across a 4-tile array
 //! fpfa-map kernel.c --no-clustering --no-locality
 //! fpfa-map kernel.c --simulate       # run on the cycle-accurate simulator
 //! fpfa-map kernel.c --timings        # per-stage wall-clock breakdown
@@ -23,15 +24,16 @@
 //! `Mapper::map_many` and the aggregated batch report is printed;
 //! `--threads N` bounds the worker pool.
 
-use fpfa::arch::TileConfig;
+use fpfa::arch::{EnergyModel, TileConfig};
 use fpfa::core::pipeline::Mapper;
-use fpfa::core::{viz, KernelSpec};
-use fpfa::sim::{SimInputs, Simulator};
+use fpfa::core::{viz, KernelSpec, MappingResult};
+use fpfa::sim::{MultiSimulator, SimInputs, SimOutcome, Simulator};
 use std::process::ExitCode;
 
 struct Options {
     paths: Vec<String>,
     pps: usize,
+    tiles: usize,
     clustering: bool,
     locality: bool,
     listing: bool,
@@ -43,15 +45,16 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: fpfa-map <kernel.c> [--pps N] [--no-clustering] [--no-locality] \
+    "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
      [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings]\n\
-     \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--threads N] [--timings]"
+     \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] [--timings]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         paths: Vec::new(),
         pps: TileConfig::paper().num_pps,
+        tiles: 1,
         clustering: true,
         locality: true,
         listing: false,
@@ -67,6 +70,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--pps" => {
                 let value = iter.next().ok_or("--pps needs a value")?;
                 options.pps = value.parse().map_err(|_| "--pps needs a number")?;
+            }
+            "--tiles" => {
+                let value = iter.next().ok_or("--tiles needs a value")?;
+                options.tiles = value.parse().map_err(|_| "--tiles needs a number")?;
+                if options.tiles == 0 {
+                    return Err("--tiles needs at least one tile".to_string());
+                }
             }
             "--threads" => {
                 let value = iter.next().ok_or("--threads needs a value")?;
@@ -122,7 +132,7 @@ fn test_signal(len: usize, phase: i64) -> Vec<i64> {
 
 fn build_mapper(options: &Options) -> Mapper {
     let config = TileConfig::paper().with_num_pps(options.pps);
-    let mut mapper = Mapper::new().with_config(config);
+    let mut mapper = Mapper::new().with_config(config).with_tiles(options.tiles);
     if !options.clustering {
         mapper = mapper.without_clustering();
     }
@@ -204,27 +214,22 @@ fn run(options: &Options) -> Result<(), String> {
     }
 
     println!("{}", mapping.report);
+    if let Some(multi) = &mapping.multi {
+        print_multi_summary(multi);
+    }
     if options.timings {
         println!();
         print!("{}", mapping.trace);
     }
     if options.listing {
-        println!("\n{}", mapping.program.listing());
+        match &mapping.multi {
+            Some(multi) => println!("\n{}", multi.program.listing()),
+            None => println!("\n{}", mapping.program.listing()),
+        }
     }
 
     if options.simulate {
-        let mut inputs = SimInputs::new();
-        for (phase, sym) in mapping.layout.arrays().iter().enumerate() {
-            inputs
-                .statespace
-                .store_array(sym.base, &test_signal(sym.len, phase as i64));
-        }
-        for name in &mapping.program.scalar_input_names {
-            inputs.scalars.insert(name.clone(), 1);
-        }
-        let outcome = Simulator::new(&mapping.program)
-            .run(&inputs)
-            .map_err(|e| e.to_string())?;
+        let outcome = simulate_with_test_data(&mapping)?;
         println!("\n-- simulation (deterministic test data) --");
         let mut names: Vec<_> = outcome.scalars.keys().collect();
         names.sort();
@@ -232,15 +237,62 @@ fn run(options: &Options) -> Result<(), String> {
             println!("  {name} = {}", outcome.scalars[name]);
         }
         println!(
-            "  cycles {}  alu ops {}  mem r/w {}/{}  crossbar {}",
+            "  cycles {}  alu ops {}  mem r/w {}/{}  crossbar {}  inter-tile {}",
             outcome.counts.cycles,
             outcome.counts.alu_ops,
             outcome.counts.mem_reads,
             outcome.counts.mem_writes,
-            outcome.counts.crossbar_transfers
+            outcome.counts.crossbar_transfers,
+            outcome.counts.inter_tile_transfers
+        );
+        println!(
+            "  energy {:.1} units",
+            outcome.energy(&EnergyModel::default_model()).total
         );
     }
     Ok(())
+}
+
+/// Prints the per-tile schedule occupancy and the traffic report of a
+/// multi-tile mapping.
+fn print_multi_summary(multi: &fpfa::core::MultiTileMapping) {
+    println!("\n-- per-tile schedules --");
+    for (tile, schedule) in multi.schedule.tiles().iter().enumerate() {
+        let clusters: usize = schedule.levels().iter().map(Vec::len).sum();
+        println!(
+            "  tile {tile}: {} cluster(s), peak {} / level, avg {:.2}",
+            clusters,
+            schedule.max_parallelism(),
+            schedule.average_parallelism()
+        );
+    }
+    print!("{}", multi.traffic());
+    println!(
+        "  transfer energy {:.1} units (default model)",
+        multi.traffic().energy(&EnergyModel::default_model())
+    );
+}
+
+/// Runs the mapped program (single- or multi-tile) on the deterministic test
+/// signal the benchmark suite uses.
+fn simulate_with_test_data(mapping: &MappingResult) -> Result<SimOutcome, String> {
+    let mut inputs = SimInputs::new();
+    for (phase, sym) in mapping.layout.arrays().iter().enumerate() {
+        inputs
+            .statespace
+            .store_array(sym.base, &test_signal(sym.len, phase as i64));
+    }
+    for name in &mapping.program.scalar_input_names {
+        inputs.scalars.insert(name.clone(), 1);
+    }
+    match &mapping.multi {
+        Some(multi) => MultiSimulator::new(&multi.program)
+            .run(&inputs)
+            .map_err(|e| e.to_string()),
+        None => Simulator::new(&mapping.program)
+            .run(&inputs)
+            .map_err(|e| e.to_string()),
+    }
 }
 
 fn main() -> ExitCode {

@@ -84,6 +84,31 @@ fn timings_flag_prints_the_stage_breakdown() {
 }
 
 #[test]
+fn tiles_flag_partitions_and_simulates_across_the_array() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-tiles");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    let output = binary()
+        .arg(&kernel)
+        .args(["--tiles", "4", "--simulate"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("tiles 4"), "{stdout}");
+    assert!(stdout.contains("per-tile schedules"), "{stdout}");
+    assert!(stdout.contains("inter-tile traffic"), "{stdout}");
+    assert!(stdout.contains("sum ="), "{stdout}");
+
+    let rejected = binary()
+        .arg(&kernel)
+        .args(["--tiles", "0"])
+        .output()
+        .unwrap();
+    assert!(!rejected.status.success());
+}
+
+#[test]
 fn batch_mode_maps_files_in_parallel() {
     let dir = std::env::temp_dir().join("fpfa-map-test-batch");
     std::fs::create_dir_all(&dir).unwrap();

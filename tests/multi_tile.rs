@@ -1,0 +1,140 @@
+//! End-to-end acceptance tests for the multi-tile mapping flow: every
+//! registry kernel maps onto a 4-tile array with the partitioner invariants
+//! holding, and the multi-tile simulator proves functional equivalence with
+//! the CDFG reference interpreter (inter-tile transfer latency modeled).
+
+use fpfa::core::pipeline::{Mapper, MappingResult};
+use fpfa::sim::{check_multi_against_cdfg, SimInputs};
+use fpfa::workloads::Kernel;
+use std::collections::HashSet;
+
+fn map_multi(kernel: &Kernel, tiles: usize) -> MappingResult {
+    Mapper::new()
+        .with_tiles(tiles)
+        .map_source(&kernel.source)
+        .unwrap_or_else(|e| panic!("{} fails to map on {tiles} tiles: {e}", kernel.name))
+}
+
+fn inputs_for(kernel: &Kernel, mapping: &MappingResult) -> SimInputs {
+    let mut inputs = SimInputs::new();
+    for (name, values) in &kernel.arrays {
+        let sym = mapping
+            .layout
+            .array(name)
+            .unwrap_or_else(|| panic!("{}: array `{name}` missing from layout", kernel.name));
+        inputs.statespace.store_array(sym.base, values);
+    }
+    for (name, value) in &kernel.scalars {
+        inputs.scalars.insert(name.clone(), *value);
+    }
+    inputs
+}
+
+#[test]
+fn every_registry_kernel_maps_to_a_valid_four_tile_placement() {
+    for kernel in fpfa::workloads::registry() {
+        let mapping = map_multi(&kernel, 4);
+        let multi = mapping.multi.as_ref().expect("multi-tile mapping present");
+
+        // Partitioner invariant: every cluster on exactly one tile.
+        assert_eq!(
+            multi.partition.len(),
+            mapping.clustered.len(),
+            "{}",
+            kernel.name
+        );
+        let mut seen = HashSet::new();
+        for tile in 0..4 {
+            for cluster in multi.partition.clusters_on(tile) {
+                assert!(
+                    seen.insert(cluster),
+                    "{}: {cluster} on two tiles",
+                    kernel.name
+                );
+            }
+        }
+        assert_eq!(seen.len(), mapping.clustered.len(), "{}", kernel.name);
+
+        // Scheduler invariant: at most 5 ALU data-paths per tile per level.
+        assert!(
+            multi.schedule.max_parallelism_per_tile() <= 5,
+            "{}: a tile level exceeds 5 clusters",
+            kernel.name
+        );
+
+        // Traffic invariant: every inter-tile edge reported exactly once.
+        let expected = multi
+            .partition
+            .cut_edges(&mapping.mapping_graph, &mapping.clustered);
+        assert_eq!(multi.traffic().edges, expected, "{}", kernel.name);
+        assert_eq!(
+            multi.program.transfers.len(),
+            expected.len(),
+            "{}",
+            kernel.name
+        );
+
+        // The report carries the multi-tile numbers.
+        assert_eq!(mapping.report.tiles, 4, "{}", kernel.name);
+        assert_eq!(
+            mapping.report.inter_tile_transfers,
+            expected.len(),
+            "{}",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn every_registry_kernel_is_equivalent_on_four_tiles() {
+    for kernel in fpfa::workloads::registry() {
+        let mapping = map_multi(&kernel, 4);
+        let multi = mapping.multi.as_ref().unwrap();
+        let inputs = inputs_for(&kernel, &mapping);
+        let report = check_multi_against_cdfg(&mapping.simplified, &multi.program, &inputs)
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", kernel.name));
+        assert!(
+            report.is_equivalent(),
+            "{} diverges on 4 tiles: {report}",
+            kernel.name
+        );
+        // The transfer count observed by the simulator matches the plan.
+        assert_eq!(
+            report.outcome.counts.inter_tile_transfers as usize,
+            multi.program.transfers.len(),
+            "{}",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn oversized_kernels_gain_parallelism_from_more_tiles() {
+    // The multi-tile registry kernels carry more parallelism than one tile's
+    // five ALUs; on four tiles the peak number of concurrently busy ALUs
+    // must exceed the single-tile ceiling for at least one of them.
+    let mut exceeded = false;
+    for kernel in fpfa::workloads::multi_tile_registry() {
+        let single = Mapper::new()
+            .map_source(&kernel.source)
+            .unwrap_or_else(|e| panic!("{} single-tile: {e}", kernel.name));
+        let multi = map_multi(&kernel, 4);
+        assert!(single.report.alus_used <= 5);
+        if multi.report.alus_used > 5 {
+            exceeded = true;
+        }
+    }
+    assert!(
+        exceeded,
+        "no multi-tile kernel ever used more than one tile's worth of ALUs"
+    );
+}
+
+#[test]
+fn single_tile_mapping_reports_no_multi_data() {
+    let kernel = fpfa::workloads::fir(8);
+    let mapping = Mapper::new().map_source(&kernel.source).unwrap();
+    assert!(mapping.multi.is_none());
+    assert_eq!(mapping.report.tiles, 1);
+    assert_eq!(mapping.report.inter_tile_transfers, 0);
+}
