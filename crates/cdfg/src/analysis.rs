@@ -133,14 +133,16 @@ pub fn critical_path_length(graph: &Cdfg) -> Result<usize, CdfgError> {
 /// Everything outside this set is dead code.
 pub fn live_nodes(graph: &Cdfg) -> Vec<NodeId> {
     let mut stack: Vec<NodeId> = graph.outputs().into_iter().map(|(_, id)| id).collect();
+    let mut seen = vec![false; graph.node_bound()];
     let mut live: Vec<NodeId> = Vec::new();
     while let Some(id) = stack.pop() {
-        if live.contains(&id) {
+        if id.index() >= seen.len() || seen[id.index()] {
             continue;
         }
+        seen[id.index()] = true;
         live.push(id);
         for pred in graph.predecessors(id) {
-            if !live.contains(&pred) {
+            if pred.index() < seen.len() && !seen[pred.index()] {
                 stack.push(pred);
             }
         }

@@ -107,6 +107,16 @@ impl CdfgBuilder {
         Wire { node: id, port: 0 }
     }
 
+    /// Adds a `Copy` wire node forwarding `a` (a placeholder with no
+    /// semantics; copy propagation removes it).
+    pub fn copy(&mut self, a: Wire) -> Wire {
+        let id = self.graph.add_node(NodeKind::Copy);
+        self.graph
+            .connect(a.node, a.port, id, 0)
+            .expect("builder wires are always valid");
+        Wire { node: id, port: 0 }
+    }
+
     /// Adds a multiplexer selecting `if_true` when `cond` is non-zero.
     pub fn mux(&mut self, cond: Wire, if_true: Wire, if_false: Wire) -> Wire {
         let id = self.graph.add_node(NodeKind::Mux);

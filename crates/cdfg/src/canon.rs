@@ -1,0 +1,186 @@
+//! Canonical structural form of a graph, independent of node-id numbering.
+//!
+//! Two graphs that differ only in the order their nodes were created (and
+//! therefore in their [`NodeId`] numbering) are *structurally identical*:
+//! they describe the same computation.  [`canonical_signature`] renders a
+//! graph into a string that is invariant under such renumbering, so
+//! structural identity reduces to string equality.  The incremental rewrite
+//! engine is validated against the legacy full-scan pipeline this way: both
+//! must minimise every graph to the same canonical form.
+//!
+//! The canonical numbering is anchored at the graph interface: `Output`
+//! nodes sorted by name are walked backwards (inputs in port order,
+//! depth-first), then `Input` nodes sorted by name.  Every node reachable
+//! backwards from the interface receives a deterministic number.  Nodes
+//! outside that cone (dead code) have no canonical position; they are
+//! summarised by an order-insensitive multiset of labels, so the signature
+//! is only a complete structural fingerprint for graphs without dead code —
+//! which is exactly the state both engines leave behind after dead-code
+//! elimination.
+
+use crate::graph::Cdfg;
+use crate::ids::NodeId;
+use crate::node::NodeKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders the canonical structural signature of a graph.
+///
+/// See the module documentation for the guarantees. Loop nodes embed the
+/// canonical signatures of their condition and body sub-graphs, so loops
+/// compare structurally too.
+pub fn canonical_signature(graph: &Cdfg) -> String {
+    let mut numbering: HashMap<NodeId, usize> = HashMap::new();
+    let mut order: Vec<NodeId> = Vec::new();
+
+    // Anchor the traversal at the interface, names sorted for determinism.
+    let mut outputs = graph.outputs();
+    outputs.sort();
+    let mut inputs = graph.inputs();
+    inputs.sort();
+
+    let roots = outputs
+        .iter()
+        .map(|(_, id)| *id)
+        .chain(inputs.iter().map(|(_, id)| *id));
+    for root in roots {
+        // Iterative depth-first pre-order walk over input edges: the numbers
+        // only depend on structure, never on NodeId values.
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if numbering.contains_key(&id) {
+                continue;
+            }
+            numbering.insert(id, order.len());
+            order.push(id);
+            let Ok(node) = graph.node(id) else { continue };
+            // Push in reverse port order so port 0 is visited first.
+            for port in (0..node.input_count()).rev() {
+                if let Some(src) = graph.input_source(id, port) {
+                    if !numbering.contains_key(&src.node) {
+                        stack.push(src.node);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(text, "graph {}", graph.name());
+    for id in &order {
+        let Ok(node) = graph.node(*id) else { continue };
+        let label = node_label(graph, &node.kind);
+        let _ = write!(text, "  #{} {label} <-", numbering[id]);
+        for port in 0..node.input_count() {
+            match graph.input_source(*id, port) {
+                Some(src) => {
+                    let _ = write!(text, " #{}:{}", numbering[&src.node], src.port_index());
+                }
+                None => {
+                    let _ = write!(text, " _");
+                }
+            }
+        }
+        let _ = writeln!(text);
+    }
+
+    // Dead nodes (not backward-reachable from the interface) have no stable
+    // position; record them as a sorted label multiset.
+    let mut unreached: Vec<String> = graph
+        .nodes()
+        .filter(|(id, _)| !numbering.contains_key(id))
+        .map(|(_, n)| node_label(graph, &n.kind))
+        .collect();
+    if !unreached.is_empty() {
+        unreached.sort();
+        let _ = writeln!(text, "  unreached: {}", unreached.join(", "));
+    }
+    text
+}
+
+fn node_label(_graph: &Cdfg, kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Loop(spec) => {
+            let cond = canonical_signature(&spec.cond);
+            let body = canonical_signature(&spec.body);
+            format!(
+                "loop[{}] cond{{{}}} body{{{}}}",
+                spec.vars.join(","),
+                cond.replace('\n', ";"),
+                body.replace('\n', ";")
+            )
+        }
+        other => other.label(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::BinOp;
+
+    /// `out = (a * b) + c`, built with a configurable creation order.
+    fn mac(order_swapped: bool) -> Cdfg {
+        let mut g = Cdfg::new("mac");
+        let (mul, add) = if order_swapped {
+            let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+            let mul = g.add_node(NodeKind::BinOp(BinOp::Mul));
+            (mul, add)
+        } else {
+            let mul = g.add_node(NodeKind::BinOp(BinOp::Mul));
+            let add = g.add_node(NodeKind::BinOp(BinOp::Add));
+            (mul, add)
+        };
+        let a = g.add_node(NodeKind::Input("a".into()));
+        let b = g.add_node(NodeKind::Input("b".into()));
+        let c = g.add_node(NodeKind::Input("c".into()));
+        let out = g.add_node(NodeKind::Output("out".into()));
+        g.connect(a, 0, mul, 0).unwrap();
+        g.connect(b, 0, mul, 1).unwrap();
+        g.connect(mul, 0, add, 0).unwrap();
+        g.connect(c, 0, add, 1).unwrap();
+        g.connect(add, 0, out, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn signature_is_invariant_under_node_renumbering() {
+        assert_eq!(
+            canonical_signature(&mac(false)),
+            canonical_signature(&mac(true))
+        );
+    }
+
+    #[test]
+    fn signature_distinguishes_different_structures() {
+        let plain = mac(false);
+        let mut swapped = mac(false);
+        // Swap the operands of the multiply: structurally different.
+        let mul = swapped
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::BinOp(BinOp::Mul)))
+            .map(|(id, _)| id)
+            .unwrap();
+        let e0 = swapped.node(mul).unwrap().input_edge(0).unwrap();
+        let e1 = swapped.node(mul).unwrap().input_edge(1).unwrap();
+        let a = swapped.edge(e0).unwrap().from;
+        let b = swapped.edge(e1).unwrap().from;
+        swapped.disconnect(e0).unwrap();
+        swapped.disconnect(e1).unwrap();
+        swapped.connect(b.node, b.port_index(), mul, 0).unwrap();
+        swapped.connect(a.node, a.port_index(), mul, 1).unwrap();
+        assert_ne!(canonical_signature(&plain), canonical_signature(&swapped));
+    }
+
+    #[test]
+    fn dead_nodes_are_reported_order_insensitively() {
+        let mut g1 = mac(false);
+        let mut g2 = mac(true);
+        g1.add_node(NodeKind::Const(1));
+        g1.add_node(NodeKind::Const(2));
+        g2.add_node(NodeKind::Const(2));
+        g2.add_node(NodeKind::Const(1));
+        assert_eq!(canonical_signature(&g1), canonical_signature(&g2));
+        assert!(canonical_signature(&g1).contains("unreached"));
+    }
+}

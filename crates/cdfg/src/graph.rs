@@ -4,6 +4,7 @@ use crate::edge::{Edge, Endpoint};
 use crate::error::CdfgError;
 use crate::ids::{EdgeId, NodeId};
 use crate::node::{Node, NodeKind};
+use crate::observer::{ChangeJournal, RewriteEvent, RewriteObserver};
 use std::collections::HashMap;
 
 /// A Control Data Flow Graph.
@@ -13,11 +14,26 @@ use std::collections::HashMap;
 /// driven by at most one edge, while output ports may fan out to any number of
 /// consumers. Removed nodes and edges leave holes in the internal storage so
 /// that identifiers stay stable; [`Cdfg::compact`] rebuilds a dense graph.
-#[derive(Clone, PartialEq, Debug, Default)]
+///
+/// Every mutation primitive reports a [`RewriteEvent`] to an optional
+/// [`ChangeJournal`] (see [`Cdfg::enable_journal`]); the incremental rewrite
+/// engine uses the journal to learn which nodes a rewrite touched.  Equality
+/// compares only graph structure (name, nodes, edges) — journal state and
+/// cached counters are ignored.
+#[derive(Clone, Debug, Default)]
 pub struct Cdfg {
     name: String,
     nodes: Vec<Option<Node>>,
     edges: Vec<Option<Edge>>,
+    live_nodes: usize,
+    live_edges: usize,
+    journal: Option<ChangeJournal>,
+}
+
+impl PartialEq for Cdfg {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.nodes == other.nodes && self.edges == other.edges
+    }
 }
 
 impl Cdfg {
@@ -27,6 +43,43 @@ impl Cdfg {
             name: name.into(),
             nodes: Vec::new(),
             edges: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+            journal: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Change journal
+    // ------------------------------------------------------------------
+
+    /// Installs a fresh [`ChangeJournal`]: every subsequent mutation reports
+    /// a [`RewriteEvent`] until [`Cdfg::disable_journal`] is called.
+    pub fn enable_journal(&mut self) {
+        self.journal = Some(ChangeJournal::new());
+    }
+
+    /// Removes the journal (if any) and returns it with its pending events.
+    pub fn disable_journal(&mut self) -> Option<ChangeJournal> {
+        self.journal.take()
+    }
+
+    /// `true` while a journal is installed.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Drains pending rewrite events (empty when no journal is installed).
+    pub fn drain_events(&mut self) -> Vec<RewriteEvent> {
+        self.journal
+            .as_mut()
+            .map(ChangeJournal::drain)
+            .unwrap_or_default()
+    }
+
+    fn notify(&mut self, event: RewriteEvent) {
+        if let Some(journal) = &mut self.journal {
+            journal.on_event(event);
         }
     }
 
@@ -44,14 +97,14 @@ impl Cdfg {
     // Node and edge accessors
     // ------------------------------------------------------------------
 
-    /// Number of live nodes.
+    /// Number of live nodes (O(1): maintained across every mutation).
     pub fn node_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_some()).count()
+        self.live_nodes
     }
 
-    /// Number of live edges.
+    /// Number of live edges (O(1): maintained across every mutation).
     pub fn edge_count(&self) -> usize {
-        self.edges.iter().filter(|e| e.is_some()).count()
+        self.live_edges
     }
 
     /// Upper bound of node indices (including holes); useful for dense side
@@ -127,6 +180,8 @@ impl Cdfg {
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(Some(Node::new(kind)));
+        self.live_nodes += 1;
+        self.notify(RewriteEvent::NodeAdded(id));
         id
     }
 
@@ -178,6 +233,9 @@ impl Cdfg {
         )));
         self.nodes[from.index()].as_mut().expect("checked").outputs[from_port].push(id);
         self.nodes[to.index()].as_mut().expect("checked").inputs[to_port] = Some(id);
+        self.live_edges += 1;
+        self.notify(RewriteEvent::NodeTouched(from));
+        self.notify(RewriteEvent::NodeTouched(to));
         Ok(id)
     }
 
@@ -200,23 +258,33 @@ impl Cdfg {
             }
         }
         self.edges[id.index()] = None;
+        self.live_edges -= 1;
+        self.notify(RewriteEvent::NodeTouched(edge.from.node));
+        self.notify(RewriteEvent::NodeTouched(edge.to.node));
         Ok(edge)
     }
 
     /// Removes a node and every edge attached to it.
     ///
+    /// The attached edges are collected from the node's own port edge lists,
+    /// so removal costs O(degree) instead of a scan over the whole edge
+    /// table.
+    ///
     /// # Errors
     /// [`CdfgError::UnknownNode`] if the node does not exist.
     pub fn remove_node(&mut self, id: NodeId) -> Result<Node, CdfgError> {
-        self.node(id)?;
-        let attached: Vec<EdgeId> = self
-            .edges()
-            .filter(|(_, e)| e.from.node == id || e.to.node == id)
-            .map(|(eid, _)| eid)
-            .collect();
+        let node = self.node(id)?;
+        let mut attached: Vec<EdgeId> = node.inputs.iter().flatten().copied().collect();
+        attached.extend(node.outputs.iter().flatten().copied());
+        // A self-edge appears in both the input and the output port lists;
+        // deduplicate so it is disconnected exactly once.
+        attached.sort_unstable();
+        attached.dedup();
         for eid in attached {
             self.disconnect(eid)?;
         }
+        self.live_nodes -= 1;
+        self.notify(RewriteEvent::NodeRemoved(id));
         Ok(self.nodes[id.index()].take().expect("checked above"))
     }
 
@@ -261,11 +329,30 @@ impl Cdfg {
             return Vec::new();
         };
         let mut succs = Vec::new();
+        // Linear scan for small fan-outs; a hash set above that (constants
+        // shared by hundreds of consumers would otherwise make this
+        // quadratic).
+        let mut seen: Option<std::collections::HashSet<NodeId>> = None;
         for port_edges in &n.outputs {
             for eid in port_edges {
                 if let Ok(edge) = self.edge(*eid) {
-                    if !succs.contains(&edge.to.node) {
-                        succs.push(edge.to.node);
+                    let to = edge.to.node;
+                    let fresh = match &mut seen {
+                        Some(set) => set.insert(to),
+                        None => {
+                            if succs.len() >= 16 {
+                                let mut set: std::collections::HashSet<NodeId> =
+                                    succs.iter().copied().collect();
+                                let fresh = set.insert(to);
+                                seen = Some(set);
+                                fresh
+                            } else {
+                                !succs.contains(&to)
+                            }
+                        }
+                    };
+                    if fresh {
+                        succs.push(to);
                     }
                 }
             }
@@ -372,7 +459,9 @@ impl Cdfg {
             order.push(id);
             for succ in self.successors(id) {
                 // A successor may be connected through several ports; decrement
-                // once per connecting edge.
+                // once per connecting edge.  A successor's counter reaches
+                // zero exactly once (each predecessor is processed once), so
+                // it is pushed exactly once — no membership scan needed.
                 let node = self.node(succ).expect("successor exists");
                 let incoming_from_id = node
                     .inputs
@@ -381,8 +470,9 @@ impl Cdfg {
                     .filter(|eid| self.edge(**eid).map(|e| e.from.node == id).unwrap_or(false))
                     .count();
                 let slot = &mut in_deg[succ.index()];
+                let was_positive = *slot > 0;
                 *slot = slot.saturating_sub(incoming_from_id);
-                if *slot == 0 && !order.contains(&succ) && !ready.contains(&succ) {
+                if *slot == 0 && was_positive {
                     ready.push(succ);
                 }
             }
@@ -557,6 +647,18 @@ mod tests {
     }
 
     #[test]
+    fn remove_node_handles_self_edges() {
+        let mut g = Cdfg::new("self");
+        let x = g.add_node(NodeKind::Copy);
+        g.connect(x, 0, x, 0).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        g.remove_node(x).unwrap();
+        assert!(!g.contains_node(x));
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
     fn cycle_detection() {
         let mut g = Cdfg::new("cyc");
         let x = g.add_node(NodeKind::Copy);
@@ -588,6 +690,80 @@ mod tests {
         assert_eq!(g.node_count(), before_nodes * 2);
         assert_eq!(g.edge_count(), before_edges * 2);
         assert_eq!(remap.len(), before_nodes);
+    }
+
+    #[test]
+    fn cached_counts_track_every_mutation() {
+        let (mut g, _a, _b, _c, mul, add, _out) = mac_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        let eid = g.node(add).unwrap().input_edge(1).unwrap();
+        g.disconnect(eid).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        g.remove_node(mul).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 1);
+        let extra = g.add_node(NodeKind::Const(1));
+        g.connect(extra, 0, add, 0).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 2);
+        // Splice and compact keep the caches consistent too.
+        let (other, ..) = mac_graph();
+        g.splice(&other);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 7);
+        let (compacted, _) = g.compact();
+        assert_eq!(compacted.node_count(), 12);
+        assert_eq!(compacted.edge_count(), 7);
+        // The caches agree with a full scan.
+        assert_eq!(g.node_count(), g.nodes().count());
+        assert_eq!(g.edge_count(), g.edges().count());
+    }
+
+    #[test]
+    fn journal_reports_rewrite_events() {
+        use crate::observer::RewriteEvent;
+        let (mut g, _a, _b, c, mul, add, _out) = mac_graph();
+        assert!(!g.journal_enabled());
+        assert!(g.drain_events().is_empty());
+        g.enable_journal();
+        assert!(g.journal_enabled());
+
+        let n = g.add_node(NodeKind::Const(9));
+        let events = g.drain_events();
+        assert_eq!(events, vec![RewriteEvent::NodeAdded(n)]);
+
+        g.connect(n, 0, add, 0).unwrap_err(); // port already driven: no event
+        assert!(g.drain_events().is_empty());
+
+        // replace_uses touches the old source, the new source and consumers.
+        g.replace_uses(mul, 0, c, 0).unwrap();
+        let touched: Vec<_> = g.drain_events().iter().map(|e| e.node()).collect();
+        assert!(touched.contains(&mul));
+        assert!(touched.contains(&c));
+        assert!(touched.contains(&add));
+
+        // remove_node reports the peers of every dropped edge and the node.
+        g.remove_node(mul).unwrap();
+        let events = g.drain_events();
+        assert!(events.contains(&RewriteEvent::NodeRemoved(mul)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RewriteEvent::NodeTouched(id) if *id != mul)));
+
+        let journal = g.disable_journal().unwrap();
+        assert!(journal.is_empty());
+        g.add_node(NodeKind::Const(0));
+        assert!(g.drain_events().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_journal_state() {
+        let (mut g1, ..) = mac_graph();
+        let (g2, ..) = mac_graph();
+        assert_eq!(g1, g2);
+        g1.enable_journal();
+        assert_eq!(g1, g2);
     }
 
     #[test]

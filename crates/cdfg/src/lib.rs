@@ -55,6 +55,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod canon;
 pub mod dot;
 pub mod edge;
 pub mod error;
@@ -62,17 +63,20 @@ pub mod graph;
 pub mod ids;
 pub mod interp;
 pub mod node;
+pub mod observer;
 pub mod statespace;
 pub mod stats;
 pub mod validate;
 pub mod value;
 
 pub use builder::CdfgBuilder;
+pub use canon::canonical_signature;
 pub use edge::{Edge, Endpoint};
 pub use error::CdfgError;
 pub use graph::Cdfg;
 pub use ids::{EdgeId, NodeId};
 pub use node::{BinOp, LoopSpec, Node, NodeKind, UnOp};
+pub use observer::{ChangeJournal, RewriteEvent, RewriteObserver};
 pub use statespace::StateSpace;
 pub use stats::GraphStats;
 pub use value::Value;

@@ -1,0 +1,148 @@
+//! Rewrite observation: a change journal recording which nodes the graph
+//! mutation primitives touched.
+//!
+//! The incremental rewrite engine of `fpfa-transform` needs to know *which*
+//! nodes changed so that a pass only re-examines the neighbourhood of recent
+//! rewrites instead of rescanning the whole graph.  Every mutation primitive
+//! of [`Cdfg`](crate::Cdfg) ([`add_node`](crate::Cdfg::add_node),
+//! [`connect`](crate::Cdfg::connect), [`disconnect`](crate::Cdfg::disconnect),
+//! [`remove_node`](crate::Cdfg::remove_node),
+//! [`replace_uses`](crate::Cdfg::replace_uses),
+//! [`splice`](crate::Cdfg::splice)) reports a [`RewriteEvent`] to the graph's
+//! optional [`ChangeJournal`].
+//!
+//! The graph hosts the concrete [`ChangeJournal`] (a plain value type, so
+//! the graph stays `Clone`/`PartialEq`); drivers drain its events with
+//! [`Cdfg::drain_events`](crate::Cdfg::drain_events) after every rewrite
+//! step.  The [`RewriteObserver`] trait is the consumer-side integration
+//! point: anything downstream of the journal — a dirty-set builder, a
+//! statistics collector, a replay log — implements it and is fed either
+//! event by event or wholesale via [`ChangeJournal::drain_into`].
+
+use crate::ids::NodeId;
+
+/// One observable change to the graph.
+///
+/// Events are reported at the granularity of nodes: edge insertions and
+/// removals surface as [`RewriteEvent::NodeTouched`] for both endpoints, so a
+/// consumer that tracks dirty nodes needs no edge bookkeeping.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RewriteEvent {
+    /// A node was created ([`Cdfg::add_node`](crate::Cdfg::add_node) or
+    /// [`Cdfg::splice`](crate::Cdfg::splice)).
+    NodeAdded(NodeId),
+    /// A node was deleted; its id will never refer to a live node again.
+    NodeRemoved(NodeId),
+    /// A node's connectivity changed (an edge on one of its ports was added
+    /// or removed).
+    NodeTouched(NodeId),
+}
+
+impl RewriteEvent {
+    /// The node the event concerns.
+    pub fn node(self) -> NodeId {
+        match self {
+            RewriteEvent::NodeAdded(id)
+            | RewriteEvent::NodeRemoved(id)
+            | RewriteEvent::NodeTouched(id) => id,
+        }
+    }
+}
+
+/// A sink for [`RewriteEvent`]s.
+pub trait RewriteObserver {
+    /// Called by the graph after every observable mutation.
+    fn on_event(&mut self, event: RewriteEvent);
+}
+
+/// The default observer: an append-only log of rewrite events.
+///
+/// Install with [`Cdfg::enable_journal`](crate::Cdfg::enable_journal) and
+/// drain with [`Cdfg::drain_events`](crate::Cdfg::drain_events).  The journal
+/// deliberately performs no deduplication — consumers fold the event stream
+/// into whatever dirty-set representation they need.
+#[derive(Clone, Debug, Default)]
+pub struct ChangeJournal {
+    events: Vec<RewriteEvent>,
+}
+
+impl ChangeJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        ChangeJournal::default()
+    }
+
+    /// Number of recorded (undrained) events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Removes and returns all recorded events in emission order.
+    pub fn drain(&mut self) -> Vec<RewriteEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drains every pending event into another observer, in emission order.
+    pub fn drain_into(&mut self, observer: &mut dyn RewriteObserver) {
+        for event in self.events.drain(..) {
+            observer.on_event(event);
+        }
+    }
+
+    /// Read-only view of the pending events.
+    pub fn events(&self) -> &[RewriteEvent] {
+        &self.events
+    }
+}
+
+impl RewriteObserver for ChangeJournal {
+    fn on_event(&mut self, event: RewriteEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_into_feeds_a_custom_observer() {
+        /// A custom observer counting removals.
+        #[derive(Default)]
+        struct Removals(usize);
+        impl RewriteObserver for Removals {
+            fn on_event(&mut self, event: RewriteEvent) {
+                if matches!(event, RewriteEvent::NodeRemoved(_)) {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut journal = ChangeJournal::new();
+        journal.on_event(RewriteEvent::NodeAdded(NodeId::from_index(0)));
+        journal.on_event(RewriteEvent::NodeRemoved(NodeId::from_index(0)));
+        journal.on_event(RewriteEvent::NodeRemoved(NodeId::from_index(1)));
+        let mut removals = Removals::default();
+        journal.drain_into(&mut removals);
+        assert_eq!(removals.0, 2);
+        assert!(journal.is_empty());
+    }
+
+    #[test]
+    fn journal_records_and_drains() {
+        let mut journal = ChangeJournal::new();
+        assert!(journal.is_empty());
+        journal.on_event(RewriteEvent::NodeAdded(NodeId::from_index(1)));
+        journal.on_event(RewriteEvent::NodeTouched(NodeId::from_index(2)));
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.events()[0].node(), NodeId::from_index(1));
+        let events = journal.drain();
+        assert_eq!(events.len(), 2);
+        assert!(journal.is_empty());
+        assert!(journal.drain().is_empty());
+    }
+}

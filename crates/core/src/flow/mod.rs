@@ -52,6 +52,10 @@ pub struct FlowToggles {
     pub locality: bool,
     /// CDFG simplification before mapping.
     pub simplify: bool,
+    /// Run the simplifier on the worklist-driven incremental rewrite engine
+    /// (disabled = the legacy scan-until-fixpoint pass pipeline, kept as the
+    /// reference oracle and comparison baseline).
+    pub incremental_transform: bool,
 }
 
 impl Default for FlowToggles {
@@ -60,8 +64,24 @@ impl Default for FlowToggles {
             clustering: true,
             locality: true,
             simplify: true,
+            incremental_transform: true,
         }
     }
+}
+
+/// Instrumentation of the transform stage: how output-sensitive the
+/// minimiser was on this kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransformStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Total node visits across all rounds and passes.
+    pub visited_nodes: usize,
+    /// Live nodes in the graph when the largest round started (the scale the
+    /// engine was up against).
+    pub peak_graph_nodes: usize,
+    /// Graph changes made in total.
+    pub changes: usize,
 }
 
 /// Wall-clock (and change count) of one stage of a flow run.
@@ -159,6 +179,9 @@ pub struct FlowContext {
     pub array: ArrayConfig,
     /// Feature toggles consulted by the stages.
     pub toggles: FlowToggles,
+    /// Visited-versus-size instrumentation left behind by the transform
+    /// stage (`None` when simplification was skipped).
+    pub transform_stats: Option<TransformStats>,
     timings: Vec<StageTiming>,
     diagnostics: Vec<Diagnostic>,
 }
@@ -170,6 +193,7 @@ impl FlowContext {
             config,
             array: ArrayConfig::single_tile(),
             toggles: FlowToggles::default(),
+            transform_stats: None,
             timings: Vec::new(),
             diagnostics: Vec::new(),
         }

@@ -13,7 +13,7 @@
 //! stages read the tile configuration and feature toggles from the
 //! [`FlowContext`] and leave their wall-clock and change counts in it.
 
-use super::{FlowContext, FlowDriver, Stage};
+use super::{FlowContext, FlowDriver, Stage, TransformStats};
 use crate::allocate::Allocator;
 use crate::cluster::{ClusteredGraph, Clusterer};
 use crate::dfg::MappingGraph;
@@ -166,11 +166,18 @@ impl Stage<SourceInput, CompiledKernel> for FrontendStage {
     }
 }
 
-/// Simplifies the CDFG with a fixpoint pass set (stage `transform`).
+/// Simplifies the CDFG (stage `transform`).
 ///
-/// This is `fpfa_transform::Pipeline::standard` rebuilt on the generalized
-/// [`FlowDriver::fixpoint`] loop, so its per-pass change counts land in the
-/// [`FlowContext`] like every other stage's instrumentation.
+/// By default the stage runs the nine standard passes on the worklist-driven
+/// incremental rewrite engine
+/// ([`fpfa_transform::WorklistDriver`]), which only re-examines the
+/// neighbourhood of earlier rewrites and reports per-round visited-node
+/// counts against the graph size ([`TransformStats`] on the
+/// [`FlowContext`]).  With
+/// [`FlowToggles::incremental_transform`](super::FlowToggles) off, the stage
+/// falls back to the legacy scan-until-fixpoint pass pipeline rebuilt on
+/// [`FlowDriver::fixpoint`] — the reference oracle both engines are
+/// validated against.
 pub struct TransformStage {
     passes: Vec<Box<dyn Transform + Send + Sync>>,
     driver: FlowDriver,
@@ -204,16 +211,48 @@ impl Stage<CompiledKernel, SimplifiedKernel> for TransformStage {
         cx: &mut FlowContext,
     ) -> Result<SimplifiedKernel, MapError> {
         let CompiledKernel { mut cdfg, layout } = input;
-        if cx.toggles.simplify {
+        if !cx.toggles.simplify {
+            cx.info(self.name(), "simplification disabled");
+        } else if cx.toggles.incremental_transform {
+            let outcome = fpfa_transform::WorklistDriver::new()
+                .run_standard(&mut cdfg)
+                .map_err(MapError::Transform)?;
+            cx.record_changes(self.name(), outcome.report.total_changes());
+            let mut stats = TransformStats {
+                rounds: outcome.report.rounds,
+                visited_nodes: outcome.visited_total(),
+                peak_graph_nodes: 0,
+                changes: outcome.report.total_changes(),
+            };
+            for round in &outcome.round_stats {
+                stats.peak_graph_nodes = stats.peak_graph_nodes.max(round.graph_nodes);
+                cx.info(
+                    self.name(),
+                    format!(
+                        "round {}: visited {} of {} nodes, {} changes",
+                        round.round, round.visited, round.graph_nodes, round.changes
+                    ),
+                );
+            }
+            cx.info(
+                self.name(),
+                format!(
+                    "{} rounds, {} changes ({} node visits, incremental engine)",
+                    stats.rounds, stats.changes, stats.visited_nodes
+                ),
+            );
+            cx.transform_stats = Some(stats);
+        } else {
             let outcome = self
                 .driver
                 .fixpoint(self.name(), &self.passes, &mut cdfg, cx)?;
             cx.info(
                 self.name(),
-                format!("{} rounds, {} changes", outcome.rounds, outcome.changes),
+                format!(
+                    "{} rounds, {} changes (legacy full-scan engine)",
+                    outcome.rounds, outcome.changes
+                ),
             );
-        } else {
-            cx.info(self.name(), "simplification disabled");
         }
         Ok(SimplifiedKernel {
             simplified: cdfg,

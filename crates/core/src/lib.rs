@@ -75,7 +75,7 @@ pub use dfg::{MappingGraph, OpId, OpKind, ValueRef};
 pub use error::MapError;
 pub use flow::{
     BatchEntry, BatchReport, FlowContext, FlowDriver, FlowToggles, FlowTrace, KernelSpec, Stage,
-    StageExt, StageTiming,
+    StageExt, StageTiming, TransformStats,
 };
 pub use multi::{
     MultiSchedule, MultiScheduler, MultiTileAllocator, MultiTileMapping, MultiTileProgram,

@@ -107,6 +107,14 @@ impl Mapper {
         self
     }
 
+    /// Runs the simplifier on the legacy scan-until-fixpoint pipeline
+    /// instead of the worklist-driven incremental engine (the comparison
+    /// baseline for the `transform_scaling` bench and `--timings` A/B runs).
+    pub fn with_legacy_transform(mut self) -> Self {
+        self.toggles.incremental_transform = false;
+        self
+    }
+
     /// Overrides the worker-pool width used by [`Mapper::map_many`]
     /// (default: one thread per available core).
     pub fn with_batch_threads(mut self, threads: usize) -> Self {
@@ -236,6 +244,11 @@ fn finish(allocated: AllocatedKernel, cx: FlowContext) -> MappingResult {
         mapping_time_us,
         ..MappingReport::default()
     };
+    if let Some(stats) = cx.transform_stats {
+        report.transform_rounds = stats.rounds;
+        report.transform_visited_nodes = stats.visited_nodes;
+        report.transform_peak_graph_nodes = stats.peak_graph_nodes;
+    }
     match &multi {
         Some(multi) => {
             report.levels = multi.schedule.level_count();

@@ -42,6 +42,14 @@ pub struct MappingReport {
     /// Time spent in the mapping phases, in microseconds (clustering +
     /// scheduling + allocation).
     pub mapping_time_us: u128,
+    /// Fixpoint rounds of the incremental minimiser (0 when the legacy
+    /// engine ran or simplification was skipped).
+    pub transform_rounds: usize,
+    /// Nodes the incremental minimiser examined across all rounds — the
+    /// output-sensitivity measure reported by `--timings`.
+    pub transform_visited_nodes: usize,
+    /// Largest live-node count the minimiser faced in any round.
+    pub transform_peak_graph_nodes: usize,
 }
 
 impl MappingReport {
@@ -125,6 +133,15 @@ impl fmt::Display for MappingReport {
                 f,
                 "\n  tiles {} (inter-tile transfers {})",
                 self.tiles, self.inter_tile_transfers
+            )?;
+        }
+        if self.transform_visited_nodes > 0 {
+            write!(
+                f,
+                "\n  minimiser: {} node visits over {} round(s), peak graph {} node(s)",
+                self.transform_visited_nodes,
+                self.transform_rounds,
+                self.transform_peak_graph_nodes
             )?;
         }
         Ok(())

@@ -3,6 +3,7 @@
 use crate::const_fold::const_input;
 use crate::error::TransformError;
 use crate::pass::{replace_with_const, Transform};
+use crate::rewrite::LocalRewrite;
 use fpfa_cdfg::{BinOp, Cdfg, NodeId, NodeKind};
 
 /// Applies algebraic identities:
@@ -27,136 +28,160 @@ impl Transform for AlgebraicSimplify {
             if !graph.contains_node(id) {
                 continue;
             }
-            let NodeKind::BinOp(op) = graph.kind(id)?.clone() else {
-                continue;
-            };
-            let lhs = graph.input_source(id, 0);
-            let rhs = graph.input_source(id, 1);
-            let (Some(lhs), Some(rhs)) = (lhs, rhs) else {
-                continue;
-            };
-            let lc = const_input(graph, id, 0);
-            let rc = const_input(graph, id, 1);
-            let same_operand = lhs == rhs;
-
-            // Rewrite to the left operand, the right operand, or a constant.
-            enum Rewrite {
-                ToLhs,
-                ToRhs,
-                ToConst(i64),
-                None,
-            }
-            let rewrite = match op {
-                BinOp::Add => match (lc, rc) {
-                    (_, Some(0)) => Rewrite::ToLhs,
-                    (Some(0), _) => Rewrite::ToRhs,
-                    _ => Rewrite::None,
-                },
-                BinOp::Sub => {
-                    if same_operand {
-                        Rewrite::ToConst(0)
-                    } else if rc == Some(0) {
-                        Rewrite::ToLhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Mul => match (lc, rc) {
-                    (_, Some(0)) | (Some(0), _) => Rewrite::ToConst(0),
-                    (_, Some(1)) => Rewrite::ToLhs,
-                    (Some(1), _) => Rewrite::ToRhs,
-                    _ => Rewrite::None,
-                },
-                BinOp::Div => {
-                    if rc == Some(1) {
-                        Rewrite::ToLhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::And => {
-                    if same_operand {
-                        Rewrite::ToLhs
-                    } else if lc == Some(0) || rc == Some(0) {
-                        Rewrite::ToConst(0)
-                    } else if rc == Some(-1) {
-                        Rewrite::ToLhs
-                    } else if lc == Some(-1) {
-                        Rewrite::ToRhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Or => {
-                    if same_operand || rc == Some(0) {
-                        Rewrite::ToLhs
-                    } else if lc == Some(0) {
-                        Rewrite::ToRhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Xor => {
-                    if same_operand {
-                        Rewrite::ToConst(0)
-                    } else if rc == Some(0) {
-                        Rewrite::ToLhs
-                    } else if lc == Some(0) {
-                        Rewrite::ToRhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Shl | BinOp::Shr => {
-                    if rc == Some(0) {
-                        Rewrite::ToLhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Eq | BinOp::Le | BinOp::Ge => {
-                    if same_operand {
-                        Rewrite::ToConst(1)
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Ne | BinOp::Lt | BinOp::Gt => {
-                    if same_operand {
-                        Rewrite::ToConst(0)
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Min | BinOp::Max => {
-                    if same_operand {
-                        Rewrite::ToLhs
-                    } else {
-                        Rewrite::None
-                    }
-                }
-                BinOp::Rem => Rewrite::None,
-            };
-
-            match rewrite {
-                Rewrite::ToLhs => {
-                    graph.replace_uses(id, 0, lhs.node, lhs.port_index())?;
-                    graph.remove_node(id)?;
-                    changes += 1;
-                }
-                Rewrite::ToRhs => {
-                    graph.replace_uses(id, 0, rhs.node, rhs.port_index())?;
-                    graph.remove_node(id)?;
-                    changes += 1;
-                }
-                Rewrite::ToConst(v) => {
-                    replace_with_const(graph, id, v)?;
-                    changes += 1;
-                }
-                Rewrite::None => {}
-            }
+            changes += simplify_at(graph, id)?;
         }
         Ok(changes)
+    }
+}
+
+impl LocalRewrite for AlgebraicSimplify {
+    fn name(&self) -> &'static str {
+        "algebraic"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        matches!(graph.kind(id), Ok(NodeKind::BinOp(_)))
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::BinOp(_))
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        simplify_at(graph, id)
+    }
+}
+
+/// Applies the algebraic identities to one node, if it is a binary operator
+/// with a matching operand pattern.
+pub(crate) fn simplify_at(graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+    let NodeKind::BinOp(op) = graph.kind(id)?.clone() else {
+        return Ok(0);
+    };
+    let lhs = graph.input_source(id, 0);
+    let rhs = graph.input_source(id, 1);
+    let (Some(lhs), Some(rhs)) = (lhs, rhs) else {
+        return Ok(0);
+    };
+    let lc = const_input(graph, id, 0);
+    let rc = const_input(graph, id, 1);
+    let same_operand = lhs == rhs;
+
+    // Rewrite to the left operand, the right operand, or a constant.
+    enum Rewrite {
+        ToLhs,
+        ToRhs,
+        ToConst(i64),
+        None,
+    }
+    let rewrite = match op {
+        BinOp::Add => match (lc, rc) {
+            (_, Some(0)) => Rewrite::ToLhs,
+            (Some(0), _) => Rewrite::ToRhs,
+            _ => Rewrite::None,
+        },
+        BinOp::Sub => {
+            if same_operand {
+                Rewrite::ToConst(0)
+            } else if rc == Some(0) {
+                Rewrite::ToLhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Mul => match (lc, rc) {
+            (_, Some(0)) | (Some(0), _) => Rewrite::ToConst(0),
+            (_, Some(1)) => Rewrite::ToLhs,
+            (Some(1), _) => Rewrite::ToRhs,
+            _ => Rewrite::None,
+        },
+        BinOp::Div => {
+            if rc == Some(1) {
+                Rewrite::ToLhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::And => {
+            if same_operand {
+                Rewrite::ToLhs
+            } else if lc == Some(0) || rc == Some(0) {
+                Rewrite::ToConst(0)
+            } else if rc == Some(-1) {
+                Rewrite::ToLhs
+            } else if lc == Some(-1) {
+                Rewrite::ToRhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Or => {
+            if same_operand || rc == Some(0) {
+                Rewrite::ToLhs
+            } else if lc == Some(0) {
+                Rewrite::ToRhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Xor => {
+            if same_operand {
+                Rewrite::ToConst(0)
+            } else if rc == Some(0) {
+                Rewrite::ToLhs
+            } else if lc == Some(0) {
+                Rewrite::ToRhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Shl | BinOp::Shr => {
+            if rc == Some(0) {
+                Rewrite::ToLhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Eq | BinOp::Le | BinOp::Ge => {
+            if same_operand {
+                Rewrite::ToConst(1)
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Ne | BinOp::Lt | BinOp::Gt => {
+            if same_operand {
+                Rewrite::ToConst(0)
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Min | BinOp::Max => {
+            if same_operand {
+                Rewrite::ToLhs
+            } else {
+                Rewrite::None
+            }
+        }
+        BinOp::Rem => Rewrite::None,
+    };
+
+    match rewrite {
+        Rewrite::ToLhs => {
+            graph.replace_uses(id, 0, lhs.node, lhs.port_index())?;
+            graph.remove_node(id)?;
+            Ok(1)
+        }
+        Rewrite::ToRhs => {
+            graph.replace_uses(id, 0, rhs.node, rhs.port_index())?;
+            graph.remove_node(id)?;
+            Ok(1)
+        }
+        Rewrite::ToConst(v) => {
+            replace_with_const(graph, id, v)?;
+            Ok(1)
+        }
+        Rewrite::None => Ok(0),
     }
 }
 

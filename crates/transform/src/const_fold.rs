@@ -2,6 +2,7 @@
 
 use crate::error::TransformError;
 use crate::pass::{replace_with_const, Transform};
+use crate::rewrite::LocalRewrite;
 use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
 
 /// Folds operations whose inputs are all constants, and multiplexers whose
@@ -9,9 +10,49 @@ use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
 ///
 /// Because consumers of a folded node are rewired to a fresh `Const` node,
 /// repeating the pass propagates constants through arbitrarily deep
-/// expressions; the [`Pipeline`](crate::Pipeline) fixpoint loop takes care of
-/// the repetition.
+/// expressions; the [`Pipeline`](crate::Pipeline) fixpoint loop (or the
+/// dirty-set propagation of the worklist engine) takes care of the
+/// repetition.
 pub struct ConstantFold;
+
+/// Folds one node if all of its relevant inputs are constants.
+pub(crate) fn fold_at(graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+    let kind = graph.kind(id)?.clone();
+    match kind {
+        NodeKind::BinOp(op) => {
+            let (Some(a), Some(b)) = (const_input(graph, id, 0), const_input(graph, id, 1)) else {
+                return Ok(0);
+            };
+            // Division by zero is left in place so that the runtime error is
+            // preserved.
+            if let Some(result) = op.eval(a, b) {
+                replace_with_const(graph, id, result)?;
+                return Ok(1);
+            }
+            Ok(0)
+        }
+        NodeKind::UnOp(op) => {
+            let Some(a) = const_input(graph, id, 0) else {
+                return Ok(0);
+            };
+            replace_with_const(graph, id, op.eval(a))?;
+            Ok(1)
+        }
+        NodeKind::Mux => {
+            let Some(sel) = const_input(graph, id, 0) else {
+                return Ok(0);
+            };
+            let chosen_port = if sel != 0 { 1 } else { 2 };
+            let src = graph
+                .input_source(id, chosen_port)
+                .expect("validated graphs have fully connected muxes");
+            graph.replace_uses(id, 0, src.node, src.port_index())?;
+            graph.remove_node(id)?;
+            Ok(1)
+        }
+        _ => Ok(0),
+    }
+}
 
 impl Transform for ConstantFold {
     fn name(&self) -> &'static str {
@@ -27,43 +68,30 @@ impl Transform for ConstantFold {
             if !graph.contains_node(id) {
                 continue;
             }
-            let kind = graph.kind(id)?.clone();
-            match kind {
-                NodeKind::BinOp(op) => {
-                    let (Some(a), Some(b)) = (const_input(graph, id, 0), const_input(graph, id, 1))
-                    else {
-                        continue;
-                    };
-                    // Division by zero is left in place so that the runtime
-                    // error is preserved.
-                    if let Some(result) = op.eval(a, b) {
-                        replace_with_const(graph, id, result)?;
-                        changes += 1;
-                    }
-                }
-                NodeKind::UnOp(op) => {
-                    let Some(a) = const_input(graph, id, 0) else {
-                        continue;
-                    };
-                    replace_with_const(graph, id, op.eval(a))?;
-                    changes += 1;
-                }
-                NodeKind::Mux => {
-                    let Some(sel) = const_input(graph, id, 0) else {
-                        continue;
-                    };
-                    let chosen_port = if sel != 0 { 1 } else { 2 };
-                    let src = graph
-                        .input_source(id, chosen_port)
-                        .expect("validated graphs have fully connected muxes");
-                    graph.replace_uses(id, 0, src.node, src.port_index())?;
-                    graph.remove_node(id)?;
-                    changes += 1;
-                }
-                _ => {}
-            }
+            changes += fold_at(graph, id)?;
         }
         Ok(changes)
+    }
+}
+
+impl LocalRewrite for ConstantFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        matches!(
+            graph.kind(id),
+            Ok(NodeKind::BinOp(_)) | Ok(NodeKind::UnOp(_)) | Ok(NodeKind::Mux)
+        )
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::BinOp(_) | NodeKind::UnOp(_) | NodeKind::Mux)
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        fold_at(graph, id)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::error::TransformError;
 use crate::pass::Transform;
+use crate::rewrite::LocalRewrite;
 use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
 
 /// Rewires consumers of a `Copy` node to the copy's source and removes the
@@ -11,6 +12,19 @@ use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
 /// transformations (and may appear in hand-built graphs); they carry no
 /// semantics.
 pub struct CopyPropagation;
+
+/// Propagates through one node if it is a connected `Copy`.
+pub(crate) fn propagate_at(graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+    if !matches!(graph.kind(id)?, NodeKind::Copy) {
+        return Ok(0);
+    }
+    let Some(src) = graph.input_source(id, 0) else {
+        return Ok(0);
+    };
+    graph.replace_uses(id, 0, src.node, src.port_index())?;
+    graph.remove_node(id)?;
+    Ok(1)
+}
 
 impl Transform for CopyPropagation {
     fn name(&self) -> &'static str {
@@ -24,17 +38,27 @@ impl Transform for CopyPropagation {
             if !graph.contains_node(id) {
                 continue;
             }
-            if !matches!(graph.kind(id)?, NodeKind::Copy) {
-                continue;
-            }
-            let Some(src) = graph.input_source(id, 0) else {
-                continue;
-            };
-            graph.replace_uses(id, 0, src.node, src.port_index())?;
-            graph.remove_node(id)?;
-            changes += 1;
+            changes += propagate_at(graph, id)?;
         }
         Ok(changes)
+    }
+}
+
+impl LocalRewrite for CopyPropagation {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        matches!(graph.kind(id), Ok(NodeKind::Copy))
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::Copy)
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        propagate_at(graph, id)
     }
 }
 

@@ -1,8 +1,11 @@
-//! Common-subexpression elimination.
+//! Common-subexpression elimination: the legacy full-scan pass and the
+//! incremental value-number table used by the worklist engine.
 
 use crate::error::TransformError;
+use crate::key::{is_cse_candidate, value_key, ValueKey};
 use crate::pass::Transform;
-use fpfa_cdfg::{Cdfg, Endpoint, NodeId, NodeKind};
+use crate::rewrite::LocalRewrite;
+use fpfa_cdfg::{Cdfg, NodeId};
 use std::collections::HashMap;
 
 /// Merges structurally identical pure operations.
@@ -13,6 +16,10 @@ use std::collections::HashMap;
 /// `FE` fetches — a fetch is pure because it does not modify the statespace,
 /// so two fetches of the same address from the same statespace token always
 /// yield the same value. `ST`/`DEL` are never merged.
+///
+/// Node identity is captured by the hashable [`ValueKey`] (shared with
+/// [`IncrementalCse`]), so building the value-number table costs a hash per
+/// node instead of a string allocation.
 pub struct CommonSubexpressionElimination;
 
 impl Transform for CommonSubexpressionElimination {
@@ -23,7 +30,7 @@ impl Transform for CommonSubexpressionElimination {
     fn apply(&self, graph: &mut Cdfg) -> Result<usize, TransformError> {
         let mut changes = 0;
         // Value-numbering table: structural key -> representative node.
-        let mut table: HashMap<String, NodeId> = HashMap::new();
+        let mut table: HashMap<ValueKey, NodeId> = HashMap::new();
         // Process in topological order so representatives are found before
         // their duplicates' consumers.
         let order = graph.topo_order()?;
@@ -31,14 +38,22 @@ impl Transform for CommonSubexpressionElimination {
             if !graph.contains_node(id) {
                 continue;
             }
-            let kind = graph.kind(id)?.clone();
-            let Some(key) = structural_key(graph, id, &kind) else {
+            let Some(key) = value_key(graph, id) else {
                 continue;
             };
             match table.get(&key) {
                 Some(&representative) if representative != id => {
-                    graph.replace_uses(id, 0, representative, 0)?;
-                    graph.remove_node(id)?;
+                    // Keep the lowest-id member of the class — the same
+                    // survivor the incremental engine elects, so both
+                    // engines leave structurally identical graphs behind.
+                    let (keep, drop) = if representative < id {
+                        (representative, id)
+                    } else {
+                        (id, representative)
+                    };
+                    graph.replace_uses(drop, 0, keep, 0)?;
+                    graph.remove_node(drop)?;
+                    table.insert(key, keep);
                     changes += 1;
                 }
                 Some(_) => {}
@@ -51,38 +66,104 @@ impl Transform for CommonSubexpressionElimination {
     }
 }
 
-/// Builds the value-numbering key of a node, or `None` when the node must not
-/// participate in CSE.
-fn structural_key(graph: &Cdfg, id: NodeId, kind: &NodeKind) -> Option<String> {
-    let mut inputs: Vec<Endpoint> = Vec::new();
-    let node = graph.node(id).ok()?;
-    for port in 0..node.input_count() {
-        inputs.push(graph.input_source(id, port)?);
-    }
-    let key = match kind {
-        NodeKind::Const(v) => format!("const:{v}"),
-        NodeKind::UnOp(op) => format!("un:{op:?}:{}", fmt_inputs(&inputs)),
-        NodeKind::BinOp(op) => {
-            let mut operands = inputs.clone();
-            if op.is_commutative() {
-                operands.sort();
-            }
-            format!("bin:{op:?}:{}", fmt_inputs(&operands))
-        }
-        NodeKind::Mux => format!("mux:{}", fmt_inputs(&inputs)),
-        NodeKind::Fetch => format!("fe:{}", fmt_inputs(&inputs)),
-        // Interface nodes, stores, deletes, copies and loops are not merged.
-        _ => return None,
-    };
-    Some(key)
+/// CSE over a *persistent* value-number table, driven by dirty nodes.
+///
+/// The worklist engine cannot rebuild the table from the whole graph every
+/// round — that would re-introduce the full scan the engine exists to avoid.
+/// Instead the table lives across rounds: visiting a (dirty) node refreshes
+/// its own entry and merges it with any live node already holding the same
+/// key.  Entries of nodes that were meanwhile removed or rewired are detected
+/// lazily (their recomputed key no longer matches) and dropped at lookup
+/// time, so no eager invalidation pass is needed.
+///
+/// Merges keep the lowest-id member of an equivalence class, which is the
+/// same representative an ascending full sweep would elect.
+#[derive(Default)]
+pub struct IncrementalCse {
+    /// Last key computed for each node (to drop stale table entries).
+    keys: HashMap<NodeId, ValueKey>,
+    /// key -> representative node; an entry may be stale (node removed or
+    /// re-keyed) until the next lookup revalidates it.  Duplicates are
+    /// merged on sight, so a key never needs more than one live holder.
+    table: HashMap<ValueKey, NodeId>,
 }
 
-fn fmt_inputs(inputs: &[Endpoint]) -> String {
-    inputs
-        .iter()
-        .map(|e| format!("{}.{}", e.node.index(), e.port))
-        .collect::<Vec<_>>()
-        .join(",")
+impl IncrementalCse {
+    fn drop_entry(&mut self, id: NodeId, key: ValueKey) {
+        if self.table.get(&key) == Some(&id) {
+            self.table.remove(&key);
+        }
+    }
+}
+
+impl LocalRewrite for IncrementalCse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        graph.kind(id).map(is_cse_candidate).unwrap_or(false)
+    }
+
+    fn cares_about(&self, kind: &fpfa_cdfg::NodeKind) -> bool {
+        is_cse_candidate(kind)
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        let key = value_key(graph, id);
+        // Refresh this node's own entry.
+        if let Some(old) = self.keys.get(&id).copied() {
+            if Some(old) != key {
+                self.drop_entry(id, old);
+                self.keys.remove(&id);
+            }
+        }
+        let Some(key) = key else {
+            // Not mergeable right now (unconnected input); nothing to do.
+            return Ok(0);
+        };
+
+        // Look up the representative, lazily dropping a stale entry (its
+        // holder was removed or re-keyed since it was recorded).
+        let partner = match self.table.get(&key).copied() {
+            Some(p) if p == id => None, // already the representative
+            Some(p) if graph.contains_node(p) && value_key(graph, p) == Some(key) => Some(p),
+            Some(p) => {
+                self.keys.remove(&p);
+                None
+            }
+            None => None,
+        };
+
+        // Merge towards the lowest-id member (the representative an
+        // ascending full sweep would keep).
+        match partner {
+            Some(p) if p < id => {
+                graph.replace_uses(id, 0, p, 0)?;
+                graph.remove_node(id)?;
+                self.keys.remove(&id);
+                Ok(1)
+            }
+            Some(p) => {
+                graph.replace_uses(p, 0, id, 0)?;
+                graph.remove_node(p)?;
+                self.keys.remove(&p);
+                self.keys.insert(id, key);
+                self.table.insert(key, id);
+                Ok(1)
+            }
+            None => {
+                self.keys.insert(id, key);
+                self.table.insert(key, id);
+                Ok(0)
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.keys.clear();
+        self.table.clear();
+    }
 }
 
 #[cfg(test)]

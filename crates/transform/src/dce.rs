@@ -2,8 +2,9 @@
 
 use crate::error::TransformError;
 use crate::pass::Transform;
+use crate::rewrite::LocalRewrite;
 use fpfa_cdfg::analysis::live_nodes;
-use fpfa_cdfg::{Cdfg, NodeKind};
+use fpfa_cdfg::{Cdfg, NodeId, NodeKind};
 
 /// Removes every node from which no `Output` node is reachable.
 ///
@@ -36,6 +37,50 @@ impl Transform for DeadCodeElimination {
         for id in dead {
             graph.remove_node(id)?;
             changes += 1;
+        }
+        Ok(changes)
+    }
+}
+
+/// `true` when the node may be deleted as soon as nothing consumes it.
+fn removable(graph: &Cdfg, id: NodeId) -> bool {
+    match graph.node(id) {
+        Ok(node) => {
+            node.fanout() == 0 && !matches!(node.kind, NodeKind::Input(_) | NodeKind::Output(_))
+        }
+        Err(_) => false,
+    }
+}
+
+/// The worklist formulation of DCE: instead of a whole-graph reachability
+/// sweep, a node is removed once its fanout drops to zero, and the removal
+/// cascades into its predecessors immediately.  On the acyclic graphs the
+/// pipeline operates on, every dead subgraph has a zero-fanout sink, so the
+/// cascade deletes exactly the set the reachability sweep would.
+impl LocalRewrite for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        removable(graph, id)
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        !matches!(kind, NodeKind::Input(_) | NodeKind::Output(_))
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        let mut changes = 0;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if !graph.contains_node(n) || !removable(graph, n) {
+                continue;
+            }
+            let preds = graph.predecessors(n);
+            graph.remove_node(n)?;
+            changes += 1;
+            stack.extend(preds);
         }
         Ok(changes)
     }

@@ -30,46 +30,84 @@ impl Transform for DeadStoreElimination {
             if !graph.contains_node(id) {
                 continue;
             }
-            if !matches!(graph.kind(id)?, NodeKind::Store) {
-                continue;
-            }
-            let Some(addr) = const_input(graph, id, 1) else {
-                continue;
-            };
-            let sinks = graph.output_sinks(id, 0);
-            if sinks.len() != 1 {
-                continue;
-            }
-            let consumer = sinks[0];
-            // The consumer must use the token as its *statespace* input
-            // (port 0) and be a store to the same constant address.
-            if consumer.port_index() != 0 {
-                continue;
-            }
-            if !matches!(graph.kind(consumer.node)?, NodeKind::Store) {
-                continue;
-            }
-            let Some(next_addr) = const_input(graph, consumer.node, 1) else {
-                continue;
-            };
-            if next_addr != addr {
-                continue;
-            }
-            // Rewire the overwriting store to this store's statespace input
-            // and drop this store.
-            let upstream = graph
-                .input_source(id, 0)
-                .expect("validated stores have a statespace input");
-            let edge = graph
-                .node(consumer.node)?
-                .input_edge(0)
-                .expect("consumer statespace port is connected");
-            graph.disconnect(edge)?;
-            graph.connect(upstream.node, upstream.port_index(), consumer.node, 0)?;
-            graph.remove_node(id)?;
-            changes += 1;
+            changes += eliminate_at(graph, id)?;
         }
         Ok(changes)
+    }
+}
+
+/// Removes `id` if it is a store provably overwritten by its only consumer.
+pub(crate) fn eliminate_at(graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+    if !matches!(graph.kind(id)?, NodeKind::Store) {
+        return Ok(0);
+    }
+    let Some(addr) = const_input(graph, id, 1) else {
+        return Ok(0);
+    };
+    let sinks = graph.output_sinks(id, 0);
+    if sinks.len() != 1 {
+        return Ok(0);
+    }
+    let consumer = sinks[0];
+    // The consumer must use the token as its *statespace* input (port 0) and
+    // be a store to the same constant address.
+    if consumer.port_index() != 0 {
+        return Ok(0);
+    }
+    if !matches!(graph.kind(consumer.node)?, NodeKind::Store) {
+        return Ok(0);
+    }
+    let Some(next_addr) = const_input(graph, consumer.node, 1) else {
+        return Ok(0);
+    };
+    if next_addr != addr {
+        return Ok(0);
+    }
+    // Rewire the overwriting store to this store's statespace input and drop
+    // this store.
+    let upstream = graph
+        .input_source(id, 0)
+        .expect("validated stores have a statespace input");
+    let edge = graph
+        .node(consumer.node)?
+        .input_edge(0)
+        .expect("consumer statespace port is connected");
+    graph.disconnect(edge)?;
+    graph.connect(upstream.node, upstream.port_index(), consumer.node, 0)?;
+    graph.remove_node(id)?;
+    Ok(1)
+}
+
+impl crate::rewrite::LocalRewrite for DeadStoreElimination {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        matches!(graph.kind(id), Ok(NodeKind::Store))
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::Store)
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        eliminate_at(graph, id)
+    }
+
+    fn reseeds(&self, graph: &Cdfg, dirty: NodeId, out: &mut Vec<NodeId>) {
+        // A change at a store can make *it* dead, or make the store feeding
+        // its statespace input dead (the dirty store is the overwriter), so
+        // both are re-examined.
+        if !matches!(graph.kind(dirty), Ok(NodeKind::Store)) {
+            return;
+        }
+        out.push(dirty);
+        if let Some(upstream) = graph.input_source(dirty, 0) {
+            if matches!(graph.kind(upstream.node), Ok(NodeKind::Store)) {
+                out.push(upstream.node);
+            }
+        }
     }
 }
 

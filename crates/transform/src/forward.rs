@@ -35,46 +35,105 @@ impl Transform for ForwardStores {
             if !graph.contains_node(id) {
                 continue;
             }
-            if !matches!(graph.kind(id)?, NodeKind::Fetch) {
-                continue;
-            }
-            let Some(fetch_addr) = const_input(graph, id, 1) else {
-                continue;
-            };
-            let Some(state_src) = graph.input_source(id, 0) else {
-                continue;
-            };
-            if !matches!(graph.kind(state_src.node)?, NodeKind::Store) {
-                continue;
-            }
-            let store = state_src.node;
-            let Some(store_addr) = const_input(graph, store, 1) else {
-                continue;
-            };
-            if fetch_addr == store_addr {
-                // Forward the stored data to the fetch's consumers.
-                let data = graph
-                    .input_source(store, 2)
-                    .expect("validated stores have a data input");
-                graph.replace_uses(id, 0, data.node, data.port_index())?;
-                graph.remove_node(id)?;
-                changes += 1;
-            } else {
-                // The store is irrelevant for this fetch: read from the
-                // store's own statespace input instead.
-                let upstream = graph
-                    .input_source(store, 0)
-                    .expect("validated stores have a statespace input");
-                let edge = graph
-                    .node(id)?
-                    .input_edge(0)
-                    .expect("fetch statespace port is connected");
-                graph.disconnect(edge)?;
-                graph.connect(upstream.node, upstream.port_index(), id, 0)?;
-                changes += 1;
-            }
+            changes += forward_fetch(graph, id)?;
         }
         Ok(changes)
+    }
+}
+
+/// Forwards one fetch, walking backwards over the whole chain of unrelated
+/// constant-address stores in a single step.
+///
+/// The walk stops at the first store whose address matches (the fetch reads
+/// that store's data and disappears), at a store with a non-constant address
+/// (potential alias), or at a non-store statespace producer.  Only one
+/// rewrite is performed per fetch — hopping a chain of `k` unrelated stores
+/// costs one edge move, not `k` — which is what keeps long store chains
+/// (every unrolled kernel writing an output array builds one) from costing
+/// a fixpoint round per hop.
+pub(crate) fn forward_fetch(graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+    if !matches!(graph.kind(id)?, NodeKind::Fetch) {
+        return Ok(0);
+    }
+    let Some(fetch_addr) = const_input(graph, id, 1) else {
+        return Ok(0);
+    };
+    let Some(original) = graph.input_source(id, 0) else {
+        return Ok(0);
+    };
+
+    // Walk upstream over unrelated constant-address stores.
+    let mut source = original;
+    loop {
+        if !matches!(graph.kind(source.node)?, NodeKind::Store) {
+            break;
+        }
+        let Some(store_addr) = const_input(graph, source.node, 1) else {
+            break;
+        };
+        if store_addr == fetch_addr {
+            // The fetch always reads this store's value: forward the data to
+            // the fetch's consumers and drop the fetch.
+            let data = graph
+                .input_source(source.node, 2)
+                .expect("validated stores have a data input");
+            graph.replace_uses(id, 0, data.node, data.port_index())?;
+            graph.remove_node(id)?;
+            return Ok(1);
+        }
+        source = graph
+            .input_source(source.node, 0)
+            .expect("validated stores have a statespace input");
+    }
+
+    if source == original {
+        return Ok(0);
+    }
+    // Every store between `original` and `source` is irrelevant for this
+    // fetch: read from the far end of the chain directly.
+    let edge = graph
+        .node(id)?
+        .input_edge(0)
+        .expect("fetch statespace port is connected");
+    graph.disconnect(edge)?;
+    graph.connect(source.node, source.port_index(), id, 0)?;
+    Ok(1)
+}
+
+impl crate::rewrite::LocalRewrite for ForwardStores {
+    fn name(&self) -> &'static str {
+        "forward"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        matches!(graph.kind(id), Ok(NodeKind::Fetch))
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::Fetch | NodeKind::Store)
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        forward_fetch(graph, id)
+    }
+
+    fn reseeds(&self, graph: &Cdfg, dirty: NodeId, out: &mut Vec<NodeId>) {
+        // A fetch may become forwardable when the fetch itself changes *or*
+        // when its upstream store does (for example the store's address
+        // folding to a constant), so a dirty store re-seeds the fetches
+        // reading its statespace token.
+        match graph.kind(dirty) {
+            Ok(NodeKind::Fetch) => out.push(dirty),
+            Ok(NodeKind::Store) => out.extend(
+                graph
+                    .output_sinks(dirty, 0)
+                    .into_iter()
+                    .filter(|sink| sink.port_index() == 0)
+                    .map(|sink| sink.node)
+                    .filter(|n| matches!(graph.kind(*n), Ok(NodeKind::Fetch))),
+            ),
+            _ => {}
+        }
     }
 }
 
@@ -135,7 +194,7 @@ mod tests {
     }
 
     #[test]
-    fn chains_of_stores_need_repeated_passes() {
+    fn chains_of_stores_are_hopped_in_one_pass() {
         let mut b = CdfgBuilder::new("t");
         let mem = b.input("mem");
         let target = b.constant(0);
@@ -148,18 +207,47 @@ mod tests {
         b.output("r", fe);
         b.output("mem", st2);
         let mut g = b.finish().unwrap();
-        let mut total = 0;
-        loop {
-            let c = ForwardStores.apply(&mut g).unwrap();
-            if c == 0 {
-                break;
-            }
-            total += c;
-        }
-        assert_eq!(total, 2);
+        // The whole chain of unrelated stores is hopped with one rewrite.
+        assert_eq!(ForwardStores.apply(&mut g).unwrap(), 1);
+        assert_eq!(ForwardStores.apply(&mut g).unwrap(), 0);
+        let fe_node = g
+            .nodes()
+            .find(|(_, n)| matches!(n.kind, NodeKind::Fetch))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(
+            g.input_source(fe_node, 0).unwrap().node,
+            g.input_named("mem").unwrap()
+        );
         let mut interp = Interpreter::new(&g);
         interp.bind("mem", Value::State(StateSpace::from_tuples([(0, 5)])));
         assert_eq!(interp.run().unwrap().word("r"), Some(5));
+    }
+
+    #[test]
+    fn matching_store_behind_a_chain_forwards_the_data() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let a0 = b.constant(0);
+        let a1 = b.constant(1);
+        let a2 = b.constant(2);
+        let x = b.input("x");
+        let v = b.constant(7);
+        let st0 = b.store(mem, a0, x);
+        let st1 = b.store(st0, a1, v);
+        let st2 = b.store(st1, a2, v);
+        let fe = b.fetch(st2, a0);
+        b.output("r", fe);
+        b.output("mem", st2);
+        let mut g = b.finish().unwrap();
+        // One rewrite walks over st2 and st1 and forwards st0's data.
+        assert_eq!(ForwardStores.apply(&mut g).unwrap(), 1);
+        assert_eq!(GraphStats::of(&g).fetches, 0);
+        let out = g.output_named("r").unwrap();
+        assert_eq!(
+            g.input_source(out, 0).unwrap().node,
+            g.input_named("x").unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Hashable structural value-numbering keys.
+//!
+//! Common-subexpression elimination identifies two nodes as redundant when
+//! they compute the same value: same kind, same input sources (with
+//! commutative operands normalised).  The original implementation rendered
+//! that identity into a `String`, paying an allocation plus formatting for
+//! every node on every sweep; [`ValueKey`] is the same identity as a small
+//! `Copy` enum that hashes directly, shared by the legacy pass and the
+//! incremental value-number table of the worklist engine.
+
+use fpfa_cdfg::{Cdfg, Endpoint, NodeId, NodeKind};
+
+/// The structural identity of a pure node, suitable as a hash-map key.
+///
+/// Only node kinds that may participate in CSE have a key: constants,
+/// unary/binary operators, multiplexers and `FE` fetches.  Stores, deletes,
+/// interface nodes, copies and loops never merge and therefore have no key.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ValueKey {
+    /// A compile-time constant.
+    Const(i64),
+    /// A unary operator applied to a source endpoint.
+    UnOp(fpfa_cdfg::UnOp, Endpoint),
+    /// A binary operator; commutative operators store their operands sorted.
+    BinOp(fpfa_cdfg::BinOp, Endpoint, Endpoint),
+    /// A multiplexer `(select, then, else)`.
+    Mux(Endpoint, Endpoint, Endpoint),
+    /// An `FE` fetch `(statespace token, address)`.
+    Fetch(Endpoint, Endpoint),
+}
+
+/// Builds the value-numbering key of a node, or `None` when the node must
+/// not participate in CSE (wrong kind, or an input port is unconnected).
+pub fn value_key(graph: &Cdfg, id: NodeId) -> Option<ValueKey> {
+    let node = graph.node(id).ok()?;
+    let src = |port: usize| -> Option<Endpoint> { graph.input_source(id, port) };
+    let key = match &node.kind {
+        NodeKind::Const(v) => ValueKey::Const(*v),
+        NodeKind::UnOp(op) => ValueKey::UnOp(*op, src(0)?),
+        NodeKind::BinOp(op) => {
+            let (mut a, mut b) = (src(0)?, src(1)?);
+            if op.is_commutative() && b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            ValueKey::BinOp(*op, a, b)
+        }
+        NodeKind::Mux => ValueKey::Mux(src(0)?, src(1)?, src(2)?),
+        NodeKind::Fetch => ValueKey::Fetch(src(0)?, src(1)?),
+        // Interface nodes, stores, deletes, copies and loops are not merged.
+        _ => return None,
+    };
+    Some(key)
+}
+
+/// `true` when the node kind can ever carry a [`ValueKey`] (cheap pre-filter
+/// used when seeding the incremental CSE worklist).
+pub fn is_cse_candidate(kind: &NodeKind) -> bool {
+    matches!(
+        kind,
+        NodeKind::Const(_)
+            | NodeKind::UnOp(_)
+            | NodeKind::BinOp(_)
+            | NodeKind::Mux
+            | NodeKind::Fetch
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_cdfg::{BinOp, CdfgBuilder};
+
+    #[test]
+    fn commutative_operands_normalise() {
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s1 = b.add(x, y);
+        let s2 = b.add(y, x);
+        let product = b.mul(s1, s2);
+        b.output("r", product);
+        let g = b.finish().unwrap();
+        assert_eq!(value_key(&g, s1.node), value_key(&g, s2.node));
+        // Non-commutative order matters.
+        let mut b = CdfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let d1 = b.sub(x, y);
+        let d2 = b.sub(y, x);
+        let product = b.binop(BinOp::Mul, d1, d2);
+        b.output("r", product);
+        let g = b.finish().unwrap();
+        assert_ne!(value_key(&g, d1.node), value_key(&g, d2.node));
+    }
+
+    #[test]
+    fn non_candidates_have_no_key() {
+        let mut b = CdfgBuilder::new("t");
+        let mem = b.input("mem");
+        let addr = b.constant(3);
+        let val = b.constant(9);
+        let st = b.store(mem, addr, val);
+        b.output("mem", st);
+        let g = b.finish().unwrap();
+        assert_eq!(value_key(&g, st.node), None);
+        assert_eq!(value_key(&g, mem.node), None);
+        assert!(value_key(&g, addr.node).is_some());
+    }
+}

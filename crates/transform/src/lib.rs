@@ -20,11 +20,22 @@
 //! * [`unroll`] — complete unrolling of structured loops with statically
 //!   decidable trip counts.
 //!
-//! Passes implement the [`Transform`] trait and are composed by a
-//! [`Pipeline`]; [`Pipeline::standard`] is the "full simplification" recipe
-//! used for the paper's Fig. 3 experiment. [`verify`] provides
-//! interpreter-based equivalence checking so that every pass can be validated
-//! against the original graph.
+//! Every pass exists in two composable forms:
+//!
+//! * as a [`Transform`] (whole-graph sweep) composed by the legacy
+//!   scan-until-fixpoint [`Pipeline`] — [`Pipeline::standard`] is the "full
+//!   simplification" recipe used for the paper's Fig. 3 experiment, kept as
+//!   the reference oracle;
+//! * as a [`LocalRewrite`] (node-local rewrite over a worklist) composed by
+//!   the [`WorklistDriver`] — the production engine, which seeds each pass
+//!   once and afterwards only re-examines the neighbourhood of earlier
+//!   rewrites, using the change journal of `fpfa-cdfg`'s mutation
+//!   primitives. Both engines minimise a graph to the same canonical
+//!   structure with the same per-pass change totals (see
+//!   `tests/prop_worklist.rs`).
+//!
+//! [`verify`] provides interpreter-based equivalence checking so that every
+//! pass can be validated against the original graph.
 //!
 //! # Example
 //!
@@ -53,13 +64,19 @@ pub mod copy_prop;
 pub mod cse;
 pub mod dce;
 pub mod dead_store;
+pub mod driver;
 pub mod error;
 pub mod forward;
+pub mod key;
 pub mod pass;
+pub mod rewrite;
 pub mod strength;
 pub mod unroll;
 pub mod verify;
 
+pub use driver::{standard_local_rewrites, RoundStats, WorklistDriver, WorklistOutcome};
 pub use error::TransformError;
+pub use key::{value_key, ValueKey};
 pub use pass::{standard_passes, Pipeline, Transform, TransformReport};
+pub use rewrite::{LocalRewrite, Worklist};
 pub use verify::{check_equivalence, EquivalenceMismatch};

@@ -62,7 +62,7 @@ impl TransformReport {
         &self.entries
     }
 
-    fn record(&mut self, name: &str, changes: usize) {
+    pub(crate) fn record(&mut self, name: &str, changes: usize) {
         if changes > 0 {
             self.entries.push((name.to_string(), changes));
         }

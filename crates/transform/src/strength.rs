@@ -3,6 +3,7 @@
 use crate::const_fold::const_input;
 use crate::error::TransformError;
 use crate::pass::Transform;
+use crate::rewrite::LocalRewrite;
 use fpfa_cdfg::{BinOp, Cdfg, NodeId, NodeKind};
 
 /// Replaces multiplications and divisions by positive powers of two with
@@ -26,41 +27,63 @@ impl Transform for StrengthReduce {
             if !graph.contains_node(id) {
                 continue;
             }
-            let NodeKind::BinOp(op) = graph.kind(id)?.clone() else {
-                continue;
-            };
-            match op {
-                BinOp::Mul => {
-                    // x * 2^k  or  2^k * x  →  x << k   (k >= 1; the *1 case
-                    // belongs to algebraic simplification).
-                    let lc = const_input(graph, id, 0);
-                    let rc = const_input(graph, id, 1);
-                    let (variable_port, shift) = match (lc, rc) {
-                        (_, Some(c)) if is_power_of_two(c) => (0, c.trailing_zeros() as i64),
-                        (Some(c), _) if is_power_of_two(c) => (1, c.trailing_zeros() as i64),
-                        _ => continue,
-                    };
-                    let variable = graph
-                        .input_source(id, variable_port)
-                        .expect("validated graphs have fully connected binops");
-                    let shl = graph.add_node(NodeKind::BinOp(BinOp::Shl));
-                    let amount = graph.add_node(NodeKind::Const(shift));
-                    graph.connect(variable.node, variable.port_index(), shl, 0)?;
-                    graph.connect(amount, 0, shl, 1)?;
-                    graph.replace_uses(id, 0, shl, 0)?;
-                    graph.remove_node(id)?;
-                    changes += 1;
-                }
-                BinOp::Div => {
-                    // x / 2^k → x >> k is only valid for non-negative x in
-                    // general; the CDFG has no value-range information, so the
-                    // rewrite is applied only for k = 0 handled elsewhere.
-                    // Division strength reduction is therefore skipped.
-                }
-                _ => {}
-            }
+            changes += reduce_at(graph, id)?;
         }
         Ok(changes)
+    }
+}
+
+impl LocalRewrite for StrengthReduce {
+    fn name(&self) -> &'static str {
+        "strength"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        // Only multiplications are ever reduced; x / 2^k → x >> k would be
+        // wrong for negative x, so divisions are skipped (see `reduce_at`).
+        matches!(graph.kind(id), Ok(NodeKind::BinOp(BinOp::Mul)))
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::BinOp(BinOp::Mul))
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        reduce_at(graph, id)
+    }
+}
+
+/// Reduces one node if it is a multiplication by a positive power of two.
+pub(crate) fn reduce_at(graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+    let NodeKind::BinOp(op) = graph.kind(id)?.clone() else {
+        return Ok(0);
+    };
+    match op {
+        BinOp::Mul => {
+            // x * 2^k  or  2^k * x  →  x << k   (k >= 1; the *1 case
+            // belongs to algebraic simplification).
+            let lc = const_input(graph, id, 0);
+            let rc = const_input(graph, id, 1);
+            let (variable_port, shift) = match (lc, rc) {
+                (_, Some(c)) if is_power_of_two(c) => (0, c.trailing_zeros() as i64),
+                (Some(c), _) if is_power_of_two(c) => (1, c.trailing_zeros() as i64),
+                _ => return Ok(0),
+            };
+            let variable = graph
+                .input_source(id, variable_port)
+                .expect("validated graphs have fully connected binops");
+            let shl = graph.add_node(NodeKind::BinOp(BinOp::Shl));
+            let amount = graph.add_node(NodeKind::Const(shift));
+            graph.connect(variable.node, variable.port_index(), shl, 0)?;
+            graph.connect(amount, 0, shl, 1)?;
+            graph.replace_uses(id, 0, shl, 0)?;
+            graph.remove_node(id)?;
+            Ok(1)
+        }
+        // x / 2^k → x >> k is only valid for non-negative x in general; the
+        // CDFG has no value-range information, so division strength
+        // reduction is skipped.
+        _ => Ok(0),
     }
 }
 

@@ -8,7 +8,10 @@
 //! statically:
 //!
 //! 1. resolve the current value of every loop-carried variable to a constant
-//!    where possible (running constant folding over the host graph first);
+//!    where possible (a memoised evaluation of the wire's dependence cone —
+//!    the graph itself is *not* const-folded during unrolling; the arithmetic
+//!    the evaluation short-circuits is folded by the pipeline's own
+//!    constant-folding pass afterwards);
 //! 2. evaluate the condition sub-graph on those constants — if any variable
 //!    the condition actually reads is unknown, the loop is left in place and
 //!    reported as unresolvable;
@@ -18,12 +21,11 @@
 //! 4. when the condition becomes false, rewire the loop node's consumers to
 //!    the final variable wires and delete the loop node.
 
-use crate::const_fold::ConstantFold;
 use crate::error::TransformError;
 use crate::pass::Transform;
 use fpfa_cdfg::builder::Wire;
 use fpfa_cdfg::interp::eval_graph;
-use fpfa_cdfg::{Cdfg, LoopSpec, NodeId, NodeKind, Value};
+use fpfa_cdfg::{Cdfg, Endpoint, LoopSpec, NodeId, NodeKind, Value};
 use std::collections::HashMap;
 
 /// Default maximum number of iterations a single loop may be unrolled to.
@@ -117,6 +119,34 @@ impl Transform for UnrollLoops {
     }
 }
 
+/// In the worklist engine, unrolling stays a whole-graph fixpoint: the first
+/// pending loop node triggers the same [`Transform::apply`] the legacy
+/// pipeline runs (nested loops spliced mid-unroll must resolve in the same
+/// sweep for the outer loop's counters to fold).  Loops only exist at the
+/// start of a run, so this costs one full unroll exactly like the legacy
+/// engine; the remaining pending loop ids are stale afterwards and are
+/// skipped by the driver.
+impl crate::rewrite::LocalRewrite for UnrollLoops {
+    fn name(&self) -> &'static str {
+        "unroll"
+    }
+
+    fn wants(&self, graph: &Cdfg, id: NodeId) -> bool {
+        matches!(graph.kind(id), Ok(NodeKind::Loop(_)))
+    }
+
+    fn cares_about(&self, kind: &NodeKind) -> bool {
+        matches!(kind, NodeKind::Loop(_))
+    }
+
+    fn visit(&mut self, graph: &mut Cdfg, id: NodeId) -> Result<usize, TransformError> {
+        if !matches!(graph.kind(id)?, NodeKind::Loop(_)) {
+            return Ok(0);
+        }
+        Transform::apply(self, graph)
+    }
+}
+
 impl UnrollLoops {
     /// Peels decided iterations of one loop. Returns `(iterations peeled,
     /// loop removed)`; an undecidable condition stops peeling without error
@@ -154,14 +184,17 @@ impl UnrollLoops {
                 .collect()
         };
 
+        // Memoised constant evaluation of the peeled counter chains.  The
+        // memo stays valid across peels because unrolling never rewires the
+        // inputs of a pre-existing node (splices add fresh nodes; only the
+        // loop node's own anchor ports are re-connected, and those are never
+        // evaluated).  It is dropped when this loop finishes, before the
+        // loop node's consumers are rewired.
+        let mut memo: HashMap<Endpoint, Option<i64>> = HashMap::new();
         let mut iterations = 0usize;
         loop {
-            // Fold constants so that loop counters computed by previous
-            // iterations become visible as `Const` nodes.
-            ConstantFold.apply(graph)?;
             let vars = read_vars(graph)?;
-
-            let known = resolve_constants(graph, &vars, &spec.vars);
+            let known = resolve_constants(graph, &vars, &spec.vars, &mut memo);
             if !self.condition_inputs_known(&spec, &known) {
                 // Undecidable (for now): stop peeling and keep the loop in
                 // place; the iterations already peeled remain valid.
@@ -216,16 +249,59 @@ impl UnrollLoops {
     }
 }
 
-/// Maps carried-variable names to constants where the driving wire is a
-/// `Const` node.
-fn resolve_constants(graph: &Cdfg, vars: &[Wire], names: &[String]) -> HashMap<String, i64> {
+/// Maps carried-variable names to constants where the driving wire's
+/// dependence cone evaluates to a compile-time value.
+fn resolve_constants(
+    graph: &Cdfg,
+    vars: &[Wire],
+    names: &[String],
+    memo: &mut HashMap<Endpoint, Option<i64>>,
+) -> HashMap<String, i64> {
     let mut known = HashMap::new();
     for (wire, name) in vars.iter().zip(names) {
-        if let Ok(NodeKind::Const(v)) = graph.kind(wire.node) {
-            known.insert(name.clone(), *v);
+        if let Some(v) = eval_wire(graph, Endpoint::new(wire.node, wire.port), memo) {
+            known.insert(name.clone(), v);
         }
     }
     known
+}
+
+/// Evaluates the pure-constant cone feeding an output endpoint, memoised.
+///
+/// Returns `None` for anything that is not compile-time decidable: inputs,
+/// statespace operations, loops, or arithmetic that traps (division by
+/// zero stays in the graph so the runtime error is preserved, exactly like
+/// the constant-folding pass).
+fn eval_wire(graph: &Cdfg, at: Endpoint, memo: &mut HashMap<Endpoint, Option<i64>>) -> Option<i64> {
+    if let Some(cached) = memo.get(&at) {
+        return *cached;
+    }
+    let input = |graph: &Cdfg, memo: &mut HashMap<Endpoint, Option<i64>>, port: usize| {
+        let src = graph.input_source(at.node, port)?;
+        eval_wire(graph, src, memo)
+    };
+    let value = match graph.kind(at.node) {
+        Ok(NodeKind::Const(v)) => Some(*v),
+        Ok(NodeKind::BinOp(op)) => {
+            let op = *op;
+            match (input(graph, memo, 0), input(graph, memo, 1)) {
+                (Some(a), Some(b)) => op.eval(a, b),
+                _ => None,
+            }
+        }
+        Ok(NodeKind::UnOp(op)) => {
+            let op = *op;
+            input(graph, memo, 0).map(|a| op.eval(a))
+        }
+        Ok(NodeKind::Mux) => match input(graph, memo, 0) {
+            Some(sel) => input(graph, memo, if sel != 0 { 1 } else { 2 }),
+            None => None,
+        },
+        Ok(NodeKind::Copy) => input(graph, memo, 0),
+        _ => None,
+    };
+    memo.insert(at, value);
+    value
 }
 
 /// Evaluates the loop condition on the known constants.

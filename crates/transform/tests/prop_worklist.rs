@@ -1,0 +1,238 @@
+//! Property-based equivalence of the two minimisation engines: for random
+//! valid CDFGs, the worklist-driven incremental engine and the legacy
+//! full-scan `Pipeline` must converge to structurally identical graphs with
+//! identical per-pass change totals, and both must preserve the interpreter
+//! semantics of the original graph.
+
+use fpfa_cdfg::builder::Wire;
+use fpfa_cdfg::{canonical_signature, BinOp, CdfgBuilder, GraphStats, StateSpace, UnOp, Value};
+use fpfa_transform::{check_equivalence, Pipeline, WorklistDriver};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Recipe steps for random graphs that also exercise the statespace (the
+/// same shape as the generator of `prop_equivalence.rs`, plus `Copy` nodes so
+/// copy propagation fires too).
+#[derive(Clone, Debug)]
+enum Step {
+    Const(i64),
+    Input,
+    Bin(BinOp, usize, usize),
+    Un(UnOp, usize),
+    Copy(usize),
+    Fetch(u8),
+    Store(u8, usize),
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Xor),
+        Just(BinOp::And),
+        Just(BinOp::Shl),
+        Just(BinOp::Lt),
+        Just(BinOp::Ge),
+        Just(BinOp::Max),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-20i64..20).prop_map(Step::Const),
+        Just(Step::Input),
+        (arb_binop(), any::<usize>(), any::<usize>()).prop_map(|(op, a, b)| Step::Bin(op, a, b)),
+        (
+            prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)],
+            any::<usize>()
+        )
+            .prop_map(|(op, a)| Step::Un(op, a)),
+        any::<usize>().prop_map(Step::Copy),
+        (0u8..6).prop_map(Step::Fetch),
+        (0u8..6, any::<usize>()).prop_map(|(addr, v)| Step::Store(addr, v)),
+    ]
+}
+
+/// Builds a graph with a statespace input `mem`, scalar inputs `x*`, a word
+/// output `result` and a statespace output `mem`.
+fn build(steps: &[Step]) -> (fpfa_cdfg::Cdfg, usize) {
+    let mut b = CdfgBuilder::new("random");
+    let mem_in = b.input("mem");
+    let mut state = mem_in;
+    let mut wires: Vec<Wire> = Vec::new();
+    let mut inputs = 0usize;
+    for step in steps {
+        match step {
+            Step::Const(v) => wires.push(b.constant(*v)),
+            Step::Input => {
+                wires.push(b.input(format!("x{inputs}")));
+                inputs += 1;
+            }
+            Step::Bin(op, i, j) => {
+                if wires.is_empty() {
+                    wires.push(b.constant(2));
+                } else {
+                    let a = wires[i % wires.len()];
+                    let c = wires[j % wires.len()];
+                    wires.push(b.binop(*op, a, c));
+                }
+            }
+            Step::Un(op, i) => {
+                if wires.is_empty() {
+                    wires.push(b.constant(3));
+                } else {
+                    wires.push(b.unop(*op, wires[i % wires.len()]));
+                }
+            }
+            Step::Copy(i) => {
+                if let Some(&w) = wires.get(i % wires.len().max(1)) {
+                    wires.push(b.copy(w));
+                }
+            }
+            Step::Fetch(addr) => {
+                let a = b.constant(i64::from(*addr));
+                wires.push(b.fetch(state, a));
+            }
+            Step::Store(addr, v) => {
+                let a = b.constant(i64::from(*addr));
+                let value = if wires.is_empty() {
+                    b.constant(7)
+                } else {
+                    wires[v % wires.len()]
+                };
+                state = b.store(state, a, value);
+            }
+        }
+    }
+    let result = *wires.last().unwrap_or(&mem_in);
+    let result = if wires.is_empty() {
+        b.constant(0)
+    } else {
+        result
+    };
+    b.output("result", result);
+    b.output("mem", state);
+    (b.finish().expect("recipe graphs are well formed"), inputs)
+}
+
+fn bindings(inputs: usize, values: &[i64]) -> HashMap<String, Value> {
+    let mut map = HashMap::new();
+    // Addresses 0..6 are always present so fetches never fail.
+    map.insert(
+        "mem".to_string(),
+        Value::State(StateSpace::from_tuples((0..6).map(|a| (a, a * 11 - 20)))),
+    );
+    for i in 0..inputs {
+        map.insert(
+            format!("x{i}"),
+            Value::Word(values.get(i).copied().unwrap_or(1)),
+        );
+    }
+    map
+}
+
+/// Passes whose change counts must agree exactly between the engines.
+///
+/// `cse` and `dce` are compared as a *sum*: a node that is simultaneously
+/// dead and a duplicate is removed by whichever of the two passes reaches it
+/// first, and the engines' sweep pacing may differ by one round there. The
+/// work done is identical either way (the node is deleted once), only the
+/// attribution moves.
+const EXACT_PASS_NAMES: [&str; 7] = [
+    "unroll",
+    "const-fold",
+    "algebraic",
+    "strength",
+    "forward",
+    "dead-store",
+    "copy-prop",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn worklist_engine_matches_the_legacy_pipeline(
+        steps in prop::collection::vec(arb_step(), 1..40),
+        values in prop::collection::vec(-9i64..9, 0..10),
+    ) {
+        let (graph, inputs) = build(&steps);
+
+        let mut legacy = graph.clone();
+        let legacy_report = Pipeline::standard()
+            .run(&mut legacy)
+            .expect("legacy pipeline converges");
+
+        let mut incremental = graph.clone();
+        let outcome = WorklistDriver::new()
+            .run_standard(&mut incremental)
+            .expect("worklist engine converges");
+
+        // Same minimised structure (up to node renumbering).
+        if canonical_signature(&legacy) != canonical_signature(&incremental) {
+            eprintln!("== steps: {steps:?}");
+            eprintln!("== legacy:\n{}", canonical_signature(&legacy));
+            eprintln!("== incremental:\n{}", canonical_signature(&incremental));
+        }
+        prop_assert_eq!(
+            canonical_signature(&legacy),
+            canonical_signature(&incremental)
+        );
+        prop_assert_eq!(GraphStats::of(&legacy), GraphStats::of(&incremental));
+
+        // Same work done, pass by pass.
+        for pass in EXACT_PASS_NAMES {
+            prop_assert_eq!(
+                legacy_report.changes_of(pass),
+                outcome.report.changes_of(pass),
+                "pass `{}` disagrees between the engines",
+                pass
+            );
+        }
+        prop_assert_eq!(
+            legacy_report.changes_of("cse") + legacy_report.changes_of("dce"),
+            outcome.report.changes_of("cse") + outcome.report.changes_of("dce"),
+            "cse + dce removal count disagrees between the engines"
+        );
+        prop_assert_eq!(
+            legacy_report.total_changes(),
+            outcome.report.total_changes()
+        );
+
+        // Both engines preserve the original semantics.
+        let binds = bindings(inputs, &values);
+        match check_equivalence(&graph, &incremental, &binds) {
+            Ok(Ok(())) => {}
+            Ok(Err(mismatch)) => {
+                return Err(TestCaseError::fail(format!("behaviour changed: {mismatch}")));
+            }
+            Err(_) => {
+                // Interpretation failed (division by zero &c.); acceptable
+                // only if the original graph fails too.
+                let mut interp = fpfa_cdfg::interp::Interpreter::new(&graph);
+                for (k, v) in &binds {
+                    interp.bind(k.clone(), v.clone());
+                }
+                prop_assert!(interp.run().is_err(), "only the transformed graph failed");
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_engine_is_idempotent(
+        steps in prop::collection::vec(arb_step(), 1..40),
+    ) {
+        let (graph, _) = build(&steps);
+        let mut minimised = graph.clone();
+        WorklistDriver::new()
+            .run_standard(&mut minimised)
+            .expect("first run converges");
+        let before = canonical_signature(&minimised);
+        let second = WorklistDriver::new()
+            .run_standard(&mut minimised)
+            .expect("second run converges");
+        prop_assert_eq!(second.report.total_changes(), 0);
+        prop_assert_eq!(before, canonical_signature(&minimised));
+    }
+}

@@ -36,6 +36,7 @@ struct Options {
     tiles: usize,
     clustering: bool,
     locality: bool,
+    legacy_transform: bool,
     listing: bool,
     dot: Option<String>,
     simulate: bool,
@@ -46,8 +47,9 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
-     [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings]\n\
-     \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] [--timings]"
+     [--legacy-transform] [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings]\n\
+     \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
+     [--legacy-transform] [--timings]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -57,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         tiles: 1,
         clustering: true,
         locality: true,
+        legacy_transform: false,
         listing: false,
         dot: None,
         simulate: false,
@@ -84,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--no-clustering" => options.clustering = false,
             "--no-locality" => options.locality = false,
+            "--legacy-transform" => options.legacy_transform = true,
             "--listing" => options.listing = true,
             "--simulate" => options.simulate = true,
             "--timings" => options.timings = true,
@@ -138,6 +142,9 @@ fn build_mapper(options: &Options) -> Mapper {
     }
     if !options.locality {
         mapper = mapper.without_locality();
+    }
+    if options.legacy_transform {
+        mapper = mapper.with_legacy_transform();
     }
     if let Some(threads) = options.threads {
         mapper = mapper.with_batch_threads(threads);
