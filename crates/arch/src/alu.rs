@@ -42,7 +42,7 @@ impl fmt::Display for AluClass {
 /// The clustering phase groups dependent CDFG operations into a cluster that
 /// one ALU executes in one cycle; a cluster is feasible when it respects these
 /// limits.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct AluCapability {
     /// Maximum number of external word inputs a cluster may consume. The FPFA
     /// ALU reads from its four input register banks, so the default is 4.

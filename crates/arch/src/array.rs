@@ -22,7 +22,7 @@ use std::fmt;
 pub type TileId = usize;
 
 /// Structural parameters of the inter-tile array.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ArrayConfig {
     /// Number of tiles in the array.
     pub num_tiles: usize,

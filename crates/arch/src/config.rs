@@ -9,7 +9,7 @@ use crate::error::ArchError;
 /// four banks of four registers, two memories of 512 words). Other
 /// configurations are useful for design-space exploration and for the
 /// deliberately undersized tiles used in failure-injection tests.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TileConfig {
     /// Number of processing parts (ALUs) in the tile.
     pub num_pps: usize,

@@ -1,0 +1,86 @@
+//! Criterion benches for the content-addressed mapping cache: cold batch
+//! mapping vs. warm `MappingService` passes — the measured series behind the
+//! cache/service roadmap item.
+//!
+//! Three series over the full 15-kernel workload registry:
+//!
+//! * `cold_map_many` — the uncached baseline (`Mapper::map_many`);
+//! * `warm_mapping_hits` — a pre-warmed service re-mapping the identical
+//!   sources (every kernel is a full-mapping hit);
+//! * `warm_post_transform_hits` — the same kernels with whitespace-shifted
+//!   sources, so every pass re-runs frontend + transform but reuses the
+//!   cluster/partition/schedule/allocate work from the cache.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfa_core::flow::KernelSpec;
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use std::hint::black_box;
+
+fn specs() -> Vec<KernelSpec> {
+    fpfa_workloads::registry()
+        .into_iter()
+        .map(|k| KernelSpec::new(k.name, k.source))
+        .collect()
+}
+
+/// The same kernels padded with `n` trailing newlines: different source
+/// hashes (fresh for every `n`), the same canonical structure after
+/// simplification — so every pass misses the full-mapping cache but hits
+/// the post-transform cache.
+fn reformatted(specs: &[KernelSpec], n: usize) -> Vec<KernelSpec> {
+    specs
+        .iter()
+        .map(|spec| {
+            KernelSpec::new(
+                spec.name.clone(),
+                format!("{}{}", spec.source, "\n".repeat(n)),
+            )
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_cache");
+    group.sample_size(10);
+    let specs = specs();
+    group.throughput(Throughput::Elements(specs.len() as u64));
+
+    group.bench_function("cold_map_many", |b| {
+        b.iter(|| {
+            let report = Mapper::new().map_many(black_box(&specs));
+            assert_eq!(report.failed(), 0, "all registry kernels map");
+            black_box(report.total_cycles())
+        })
+    });
+
+    let warm = MappingService::new(Mapper::new());
+    let first = warm.map_many(&specs);
+    assert_eq!(first.failed(), 0, "warm-up pass maps all kernels");
+    group.bench_function("warm_mapping_hits", |b| {
+        b.iter(|| {
+            let report = warm.map_many(black_box(&specs));
+            assert_eq!(report.failed(), 0);
+            black_box(report.total_cycles())
+        })
+    });
+
+    let structural = MappingService::new(Mapper::new());
+    let first = structural.map_many(&specs);
+    assert_eq!(first.failed(), 0);
+    let pass = std::cell::Cell::new(0usize);
+    group.bench_function("warm_post_transform_hits", |b| {
+        b.iter(|| {
+            pass.set(pass.get() + 1);
+            let shifted = reformatted(&specs, pass.get());
+            let report = structural.map_many(black_box(&shifted));
+            assert_eq!(report.failed(), 0);
+            black_box(report.total_cycles())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

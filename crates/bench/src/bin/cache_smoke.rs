@@ -1,0 +1,94 @@
+//! CI cache smoke: map the full workload registry twice through one
+//! `MappingService` and assert a 100% hit rate and a >= 5x wall-clock
+//! speedup on the second pass.
+//!
+//! ```text
+//! cargo run --release -p fpfa-bench --bin cache_smoke
+//! ```
+//!
+//! Exits non-zero (failing the bench-smoke CI job) when any kernel fails to
+//! map, any second-pass kernel misses the cache, or the warm pass is not at
+//! least 5x faster than the cold pass.  The per-pass timings go to stdout so
+//! the uploaded CI artifact keeps the cache's perf trajectory visible
+//! per-PR.
+
+use fpfa_core::cache::CacheOutcome;
+use fpfa_core::flow::KernelSpec;
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let specs: Vec<KernelSpec> = fpfa_workloads::registry()
+        .into_iter()
+        .map(|kernel| KernelSpec::new(kernel.name, kernel.source))
+        .collect();
+    let service = MappingService::new(Mapper::new());
+
+    let cold_started = Instant::now();
+    let cold = service.map_many(&specs);
+    let cold_wall = cold_started.elapsed();
+    if cold.failed() > 0 {
+        eprintln!(
+            "cache_smoke: {} kernel(s) failed the cold pass",
+            cold.failed()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let warm_started = Instant::now();
+    let warm = service.map_many(&specs);
+    let warm_wall = warm_started.elapsed();
+    if warm.failed() > 0 {
+        eprintln!(
+            "cache_smoke: {} kernel(s) failed the warm pass",
+            warm.failed()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let misses: Vec<&str> = warm
+        .entries
+        .iter()
+        .filter(|entry| {
+            entry
+                .outcome
+                .as_ref()
+                .map(|mapping| mapping.report.cache != CacheOutcome::MappingHit)
+                .unwrap_or(true)
+        })
+        .map(|entry| entry.name.as_str())
+        .collect();
+    let stats = service.stats();
+    let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(f64::MIN_POSITIVE);
+
+    println!("== cache_smoke ({} kernels)", specs.len());
+    println!("  cold pass  {cold_wall:>12?}");
+    println!("  warm pass  {warm_wall:>12?}  ({speedup:.1}x speedup)");
+    println!("  cache      {stats}");
+
+    if !misses.is_empty() {
+        eprintln!(
+            "cache_smoke: {} kernel(s) missed the cache on the warm pass: {}",
+            misses.len(),
+            misses.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if stats.mapping_hits as usize != specs.len() {
+        eprintln!(
+            "cache_smoke: expected {} mapping hits, counted {}",
+            specs.len(),
+            stats.mapping_hits
+        );
+        return ExitCode::FAILURE;
+    }
+    if speedup < 5.0 {
+        eprintln!(
+            "cache_smoke: warm pass only {speedup:.1}x faster than cold (need >= 5x: {cold_wall:?} -> {warm_wall:?})"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,579 @@
+//! Content-addressed caching of mapping work.
+//!
+//! The paper's flow maps every kernel from scratch, but real workloads
+//! resubmit the same kernels constantly.  This module lets a long-lived
+//! [`MappingService`](crate::service::MappingService) skip work it has
+//! already done, on two levels:
+//!
+//! 1. **Full-mapping cache** — keyed on the *content* of the request: a hash
+//!    of the source text plus a fingerprint of everything that influences the
+//!    mapping (tile configuration, array configuration incl. the tile count,
+//!    and the feature toggles).  A hit returns a clone of the complete
+//!    [`MappingResult`] without running any stage.
+//! 2. **Post-transform cache** — keyed on the
+//!    [`canonical_signature`](fpfa_cdfg::canonical_signature) of the
+//!    *simplified* CDFG (plus the statespace layout and the same config
+//!    fingerprint).  Structurally identical kernels — e.g. the same kernel
+//!    reformatted, or rewritten in a way the minimiser folds to the same
+//!    graph — share the clustering, partitioning, scheduling and allocation
+//!    work even though their source hashes differ; only the cheap frontend +
+//!    transform stages re-run.  (The signature covers the kernel interface,
+//!    so renaming an *output* scalar is a different kernel, as it must be.)
+//!
+//! Both levels live in a sharded, capacity-bounded LRU: keys are spread over
+//! independently locked shards (so concurrent
+//! [`map_many`](crate::pipeline::Mapper::map_many) workers rarely contend)
+//! and each shard evicts its least-recently-used entry when it outgrows its
+//! share of the capacity.  Hit/miss/eviction counters are kept in atomics and
+//! surface in [`CacheStats`].
+
+use crate::cluster::ClusteredGraph;
+use crate::dfg::MappingGraph;
+use crate::flow::stages::{AllocatedKernel, SimplifiedKernel};
+use crate::flow::FlowToggles;
+use crate::multi::MultiTileMapping;
+use crate::pipeline::MappingResult;
+use crate::program::TileProgram;
+use crate::schedule::Schedule;
+use fpfa_arch::{ArrayConfig, TileConfig};
+use fpfa_cdfg::Cdfg;
+use fpfa_frontend::MemoryLayout;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+// ---------------------------------------------------------------------------
+// Keys and fingerprints
+// ---------------------------------------------------------------------------
+
+/// Fingerprints every mapper knob that influences the produced mapping:
+/// the tile configuration (including the ALU capability), the array
+/// configuration (including the tile count) and the feature toggles.  The
+/// structs are hashed wholesale via their `Hash` derives, so a field added
+/// to any of them is automatically part of the key.  Two mappers with equal
+/// fingerprints produce identical mappings for identical inputs.
+pub fn config_fingerprint(config: &TileConfig, array: &ArrayConfig, toggles: &FlowToggles) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    config.hash(&mut hasher);
+    array.hash(&mut hasher);
+    toggles.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Key of the full-mapping cache: the source content plus the config
+/// fingerprint.  The full source is retained so a (vanishingly unlikely)
+/// hash collision can never alias two different kernels.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MappingKey {
+    /// Hash of the source text (pre-computed so shard selection is cheap).
+    pub source_hash: u64,
+    /// Fingerprint of the mapper configuration ([`config_fingerprint`]).
+    pub config: u64,
+    /// The source text itself, for exact comparison.
+    source: Arc<str>,
+}
+
+impl MappingKey {
+    /// Builds the key for one `(source, configuration)` request.
+    pub fn new(source: &str, config: u64) -> Self {
+        let mut hasher = DefaultHasher::new();
+        source.hash(&mut hasher);
+        MappingKey {
+            source_hash: hasher.finish(),
+            config,
+            source: Arc::from(source),
+        }
+    }
+
+    fn shard_hash(&self) -> u64 {
+        self.source_hash ^ self.config.rotate_left(32)
+    }
+}
+
+/// Key of the post-transform cache: the canonical structural signature of
+/// the simplified CDFG, the statespace layout, and the config fingerprint.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PostTransformKey {
+    /// Fingerprint of the mapper configuration ([`config_fingerprint`]).
+    pub config: u64,
+    /// Canonical signature of the simplified CDFG plus a rendering of the
+    /// statespace layout — everything the post-transform stages consume.
+    detail: Arc<str>,
+}
+
+impl PostTransformKey {
+    /// Builds the key for a simplified kernel under one configuration.
+    pub fn new(simplified: &SimplifiedKernel, config: u64) -> Self {
+        let mut detail = fpfa_cdfg::canonical_signature(&simplified.simplified);
+        detail.push_str("layout:");
+        for sym in simplified.layout.arrays() {
+            detail.push_str(&format!(" {}@{}+{}", sym.name, sym.base, sym.len));
+        }
+        PostTransformKey {
+            config,
+            detail: Arc::from(detail.as_str()),
+        }
+    }
+
+    fn shard_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.detail.hash(&mut hasher);
+        hasher.finish() ^ self.config
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cached values
+// ---------------------------------------------------------------------------
+
+/// The post-transform share of a mapping: everything the extract, cluster,
+/// partition, schedule and allocate stages produced.  Reused wholesale when a
+/// structurally identical kernel arrives.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PostTransformArtifacts {
+    /// The extracted mapping IR.
+    pub graph: MappingGraph,
+    /// The phase-1 clustering.
+    pub clustered: ClusteredGraph,
+    /// The phase-2 level schedule (tile 0's schedule for multi-tile flows).
+    pub schedule: Schedule,
+    /// The phase-3 tile program (tile 0's program for multi-tile flows).
+    pub program: TileProgram,
+    /// The multi-tile mapping, when the flow targeted more than one tile.
+    pub multi: Option<MultiTileMapping>,
+}
+
+impl PostTransformArtifacts {
+    /// Captures the post-transform share of a finished flow run.
+    pub fn of(allocated: &AllocatedKernel) -> Self {
+        PostTransformArtifacts {
+            graph: allocated.graph.clone(),
+            clustered: allocated.clustered.clone(),
+            schedule: allocated.schedule.clone(),
+            program: allocated.program.clone(),
+            multi: allocated.multi.clone(),
+        }
+    }
+
+    /// Recombines the cached artifacts with a freshly simplified kernel into
+    /// the payload the allocate stage would have produced.
+    pub fn rehydrate(&self, simplified: Cdfg, layout: MemoryLayout) -> AllocatedKernel {
+        AllocatedKernel {
+            simplified,
+            layout,
+            graph: self.graph.clone(),
+            clustered: self.clustered.clone(),
+            schedule: self.schedule.clone(),
+            program: self.program.clone(),
+            multi: self.multi.clone(),
+        }
+    }
+}
+
+/// How one mapping request interacted with the cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CacheOutcome {
+    /// The request never consulted a cache (plain [`Mapper`] entry points).
+    ///
+    /// [`Mapper`]: crate::pipeline::Mapper
+    #[default]
+    Uncached,
+    /// Both cache levels missed; the full flow ran.
+    Miss,
+    /// The full-mapping cache hit; no stage ran.
+    MappingHit,
+    /// The post-transform cache hit; only frontend + transform ran.
+    PostTransformHit,
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CacheOutcome::Uncached => "uncached",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::MappingHit => "mapping hit",
+            CacheOutcome::PostTransformHit => "post-transform hit",
+        };
+        f.write_str(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Full-mapping cache hits.
+    pub mapping_hits: u64,
+    /// Full-mapping cache misses.
+    pub mapping_misses: u64,
+    /// Post-transform cache hits.
+    pub post_transform_hits: u64,
+    /// Post-transform cache misses.
+    pub post_transform_misses: u64,
+    /// Entries evicted (both levels) to stay within capacity.
+    pub evictions: u64,
+    /// Entries currently resident (both levels).
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of full-mapping lookups that hit (`None` before the first
+    /// lookup).
+    pub fn mapping_hit_rate(&self) -> Option<f64> {
+        let total = self.mapping_hits + self.mapping_misses;
+        (total > 0).then(|| self.mapping_hits as f64 / total as f64)
+    }
+
+    /// Total lookups across both levels.
+    pub fn lookups(&self) -> u64 {
+        self.mapping_hits
+            + self.mapping_misses
+            + self.post_transform_hits
+            + self.post_transform_misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapping {}/{} hit(s), post-transform {}/{} hit(s), {} eviction(s), {} resident entries",
+            self.mapping_hits,
+            self.mapping_hits + self.mapping_misses,
+            self.post_transform_hits,
+            self.post_transform_hits + self.post_transform_misses,
+            self.evictions,
+            self.entries,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    mapping_hits: AtomicU64,
+    mapping_misses: AtomicU64,
+    post_hits: AtomicU64,
+    post_misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// LRU shards
+// ---------------------------------------------------------------------------
+
+/// One independently locked LRU shard: a hash map plus a recency tick per
+/// entry.  Eviction removes the entry with the smallest tick, which is the
+/// exact least-recently-used entry of the shard.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, Slot<V>>,
+    tick: u64,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            Arc::clone(&slot.value)
+        })
+    }
+
+    /// Inserts (or refreshes) an entry; returns whether the key was new to
+    /// the shard and how many entries were evicted to make room.
+    fn insert(&mut self, key: K, value: Arc<V>) -> (bool, usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        let fresh = self
+            .map
+            .insert(
+                key,
+                Slot {
+                    value,
+                    last_used: tick,
+                },
+            )
+            .is_none();
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        (fresh, evicted)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn lock_shard<K, V>(shard: &Mutex<Shard<K, V>>) -> MutexGuard<'_, Shard<K, V>> {
+    // A panic while holding the lock can only leave a stale recency tick
+    // behind, never a torn entry, so a poisoned shard stays usable.
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+/// The two-level, sharded, capacity-bounded mapping cache.
+///
+/// Thread-safe: shards are individually locked and the counters are atomics,
+/// so it is shared freely between
+/// [`map_many`](crate::pipeline::Mapper::map_many) worker threads (wrap it in
+/// an [`Arc`], as [`MappingService`](crate::service::MappingService) does).
+#[derive(Debug)]
+pub struct MappingCache {
+    mapping_shards: Vec<Mutex<Shard<MappingKey, MappingResult>>>,
+    post_shards: Vec<Mutex<Shard<PostTransformKey, PostTransformArtifacts>>>,
+    counters: Counters,
+}
+
+/// Default capacity per cache level, in entries.
+pub const DEFAULT_CAPACITY: usize = 256;
+/// Default number of shards per cache level.
+pub const DEFAULT_SHARDS: usize = 8;
+
+impl MappingCache {
+    /// A cache with the default capacity ([`DEFAULT_CAPACITY`] entries per
+    /// level) and sharding ([`DEFAULT_SHARDS`]).
+    pub fn new() -> Self {
+        Self::with_capacity_and_shards(DEFAULT_CAPACITY, DEFAULT_SHARDS)
+    }
+
+    /// A cache bounded to `capacity` entries per level, spread over the
+    /// default number of shards.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache bounded to `capacity` entries per level over `shards`
+    /// independently locked shards.
+    ///
+    /// The capacity is divided evenly over the shards and each shard evicts
+    /// its own least-recently-used entry when it outgrows its share; with a
+    /// single shard the whole cache behaves as one exact LRU.  Zero values
+    /// are clamped to one.
+    pub fn with_capacity_and_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        MappingCache {
+            mapping_shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            post_shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Looks up a full mapping by content key, refreshing its recency.
+    pub fn get_mapping(&self, key: &MappingKey) -> Option<Arc<MappingResult>> {
+        let shard = &self.mapping_shards[key.shard_hash() as usize % self.mapping_shards.len()];
+        let found = lock_shard(shard).get(key);
+        match &found {
+            Some(_) => self.counters.mapping_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.mapping_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a full mapping under its content key.
+    pub fn insert_mapping(&self, key: MappingKey, result: MappingResult) {
+        let shard = &self.mapping_shards[key.shard_hash() as usize % self.mapping_shards.len()];
+        let (fresh, evicted) = lock_shard(shard).insert(key, Arc::new(result));
+        self.note_insert(fresh, evicted);
+    }
+
+    /// Looks up post-transform artifacts by structural key, refreshing their
+    /// recency.
+    pub fn get_post_transform(
+        &self,
+        key: &PostTransformKey,
+    ) -> Option<Arc<PostTransformArtifacts>> {
+        let shard = &self.post_shards[key.shard_hash() as usize % self.post_shards.len()];
+        let found = lock_shard(shard).get(key);
+        match &found {
+            Some(_) => self.counters.post_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.post_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores post-transform artifacts under their structural key.
+    pub fn insert_post_transform(&self, key: PostTransformKey, artifacts: PostTransformArtifacts) {
+        let shard = &self.post_shards[key.shard_hash() as usize % self.post_shards.len()];
+        let (fresh, evicted) = lock_shard(shard).insert(key, Arc::new(artifacts));
+        self.note_insert(fresh, evicted);
+    }
+
+    /// Maintains the residency gauge incrementally from one insert's
+    /// outcome, so concurrent workers never serialize on a whole-cache
+    /// sweep (the shards stay independently locked).
+    fn note_insert(&self, fresh: bool, evicted: usize) {
+        self.counters
+            .evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        if fresh {
+            self.counters.entries.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted > 0 {
+            self.counters
+                .entries
+                .fetch_sub(evicted as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn resident_entries(&self) -> u64 {
+        let mapping: usize = self
+            .mapping_shards
+            .iter()
+            .map(|s| lock_shard(s).len())
+            .sum();
+        let post: usize = self.post_shards.iter().map(|s| lock_shard(s).len()).sum();
+        (mapping + post) as u64
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mapping_hits: self.counters.mapping_hits.load(Ordering::Relaxed),
+            mapping_misses: self.counters.mapping_misses.load(Ordering::Relaxed),
+            post_transform_hits: self.counters.post_hits.load(Ordering::Relaxed),
+            post_transform_misses: self.counters.post_misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            entries: self.counters.entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the hit/miss/eviction counters (resident entries are kept).
+    pub fn reset_stats(&self) {
+        self.counters.mapping_hits.store(0, Ordering::Relaxed);
+        self.counters.mapping_misses.store(0, Ordering::Relaxed);
+        self.counters.post_hits.store(0, Ordering::Relaxed);
+        self.counters.post_misses.store(0, Ordering::Relaxed);
+        self.counters.evictions.store(0, Ordering::Relaxed);
+        self.counters
+            .entries
+            .store(self.resident_entries(), Ordering::Relaxed);
+    }
+}
+
+impl Default for MappingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> MappingKey {
+        MappingKey::new(s, 7)
+    }
+
+    #[test]
+    fn shard_evicts_the_exact_lru_entry() {
+        let mut shard: Shard<MappingKey, u32> = Shard::new(2);
+        assert_eq!(shard.insert(key("a"), Arc::new(1)), (true, 0));
+        assert_eq!(shard.insert(key("b"), Arc::new(2)), (true, 0));
+        // Touch `a` so `b` becomes the least recently used.
+        assert!(shard.get(&key("a")).is_some());
+        assert_eq!(shard.insert(key("c"), Arc::new(3)), (true, 1));
+        assert!(shard.get(&key("a")).is_some());
+        assert!(shard.get(&key("b")).is_none());
+        assert!(shard.get(&key("c")).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_does_not_evict() {
+        let mut shard: Shard<MappingKey, u32> = Shard::new(2);
+        shard.insert(key("a"), Arc::new(1));
+        shard.insert(key("b"), Arc::new(2));
+        assert_eq!(shard.insert(key("a"), Arc::new(9)), (false, 0));
+        assert_eq!(*shard.get(&key("a")).unwrap(), 9);
+        assert_eq!(shard.len(), 2);
+    }
+
+    #[test]
+    fn keys_distinguish_source_and_config() {
+        assert_eq!(key("x"), key("x"));
+        assert_ne!(key("x"), key("y"));
+        assert_ne!(MappingKey::new("x", 1), MappingKey::new("x", 2));
+    }
+
+    #[test]
+    fn config_fingerprint_covers_tiles_and_toggles() {
+        let config = TileConfig::paper();
+        let toggles = FlowToggles::default();
+        let one = config_fingerprint(&config, &ArrayConfig::single_tile(), &toggles);
+        let four = config_fingerprint(&config, &ArrayConfig::with_tiles(4), &toggles);
+        assert_ne!(one, four);
+        let no_locality = FlowToggles {
+            locality: false,
+            ..toggles
+        };
+        assert_ne!(
+            one,
+            config_fingerprint(&config, &ArrayConfig::single_tile(), &no_locality)
+        );
+        let small = config.with_num_pps(3);
+        assert_ne!(
+            one,
+            config_fingerprint(&small, &ArrayConfig::single_tile(), &toggles)
+        );
+        // Deterministic for equal inputs.
+        assert_eq!(
+            one,
+            config_fingerprint(&config, &ArrayConfig::single_tile(), &toggles)
+        );
+    }
+
+    #[test]
+    fn stats_display_and_hit_rate() {
+        let stats = CacheStats {
+            mapping_hits: 3,
+            mapping_misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((stats.mapping_hit_rate().unwrap() - 0.75).abs() < 1e-9);
+        assert!(stats.to_string().contains("mapping 3/4"));
+        assert_eq!(CacheStats::default().mapping_hit_rate(), None);
+    }
+}

@@ -9,8 +9,10 @@
 //! of one kernel per pull is plenty for kernels that take 0.1–10 ms each.)
 
 use super::StageTiming;
+use crate::cache::CacheStats;
 use crate::error::MapError;
 use crate::pipeline::MappingResult;
+use std::collections::HashSet;
 use std::fmt;
 use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,7 +40,9 @@ impl KernelSpec {
 /// The outcome of one kernel of a batch.
 #[derive(Clone, PartialEq, Debug)]
 pub struct BatchEntry {
-    /// The kernel's name (from its [`KernelSpec`]).
+    /// The kernel's name (from its [`KernelSpec`]; a spec whose name repeats
+    /// an earlier spec's is disambiguated to `name#2`, `name#3`, … so every
+    /// entry name in a batch is unique).
     pub name: String,
     /// The mapping result, or the error that kernel produced.  One failing
     /// kernel does not abort the rest of the batch.
@@ -68,6 +72,14 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Number of worker threads used.
     pub threads: usize,
+    /// Specs that shared a byte-identical source with an earlier spec and
+    /// were served by in-batch deduplication instead of being mapped again.
+    pub deduped: usize,
+    /// Cache counters after the batch, when the batch ran through a
+    /// [`MappingService`](crate::service::MappingService) (plain
+    /// [`Mapper::map_many`](crate::pipeline::Mapper::map_many) runs carry
+    /// `None`).
+    pub cache: Option<CacheStats>,
 }
 
 impl BatchReport {
@@ -81,7 +93,12 @@ impl BatchReport {
         self.entries.len() - self.succeeded()
     }
 
-    /// The mapping result of a kernel, by name.
+    /// The mapping result of a kernel, by (disambiguated) entry name.
+    ///
+    /// Entry names are unique within a batch — duplicate spec names are
+    /// rewritten to `name#2`, `name#3`, … at
+    /// [`map_many`](crate::pipeline::Mapper::map_many) entry — so this never
+    /// silently aliases two kernels that happened to share a name.
     pub fn result_of(&self, name: &str) -> Option<&MappingResult> {
         self.entries
             .iter()
@@ -157,6 +174,16 @@ impl fmt::Display for BatchReport {
             self.wall,
             self.cpu_time(),
         )?;
+        if self.deduped > 0 {
+            writeln!(
+                f,
+                "  in-batch dedup: {} duplicate spec(s) shared a mapping",
+                self.deduped
+            )?;
+        }
+        if let Some(cache) = &self.cache {
+            writeln!(f, "  cache: {cache}")?;
+        }
         writeln!(
             f,
             "  {:<22} {:>8} {:>7} {:>7} {:>9}",
@@ -190,6 +217,32 @@ impl fmt::Display for BatchReport {
         }
         Ok(())
     }
+}
+
+/// Unique per-entry names for a batch: the first spec with a given name
+/// keeps it, later specs with the same name become `name#2`, `name#3`, ….
+/// A rename never takes a name some other spec carries *literally* — every
+/// spec's own name is reserved up front — so `result_of("x")` always finds
+/// the kernel the caller actually named `x`.
+pub(crate) fn disambiguate_names(kernels: &[KernelSpec]) -> Vec<String> {
+    let literals: HashSet<&str> = kernels.iter().map(|spec| spec.name.as_str()).collect();
+    let mut seen: HashSet<String> = HashSet::with_capacity(kernels.len());
+    let mut names = Vec::with_capacity(kernels.len());
+    for spec in kernels {
+        let mut name = spec.name.clone();
+        if !seen.insert(name.clone()) {
+            let mut ordinal = 2usize;
+            name = loop {
+                let candidate = format!("{}#{ordinal}", spec.name);
+                if !literals.contains(candidate.as_str()) && seen.insert(candidate.clone()) {
+                    break candidate;
+                }
+                ordinal += 1;
+            };
+        }
+        names.push(name);
+    }
+    names
 }
 
 /// The worker-pool width actually used for `len` items when `requested`
@@ -284,6 +337,89 @@ mod tests {
         assert!(report.result_of("good").is_some());
         assert!(report.result_of("bad").is_none());
         assert!(report.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn duplicate_names_are_disambiguated_not_aliased() {
+        // Two different kernels sharing one name: `result_of` used to return
+        // the first match for both, silently aliasing them.
+        let add = "void main() { int a[2]; int r; r = a[0] + a[1]; }";
+        let mul = "void main() { int a[2]; int r; r = a[0] * a[1]; }";
+        let specs = vec![KernelSpec::new("k", add), KernelSpec::new("k", mul)];
+        let report = Mapper::new().with_batch_threads(2).map_many(&specs);
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.entries[0].name, "k");
+        assert_eq!(report.entries[1].name, "k#2");
+        assert_eq!(
+            report
+                .result_of("k")
+                .unwrap()
+                .mapping_graph
+                .multiply_count(),
+            0
+        );
+        assert_eq!(
+            report
+                .result_of("k#2")
+                .unwrap()
+                .mapping_graph
+                .multiply_count(),
+            1
+        );
+        // The per-kernel report carries the disambiguated name too.
+        assert_eq!(report.result_of("k#2").unwrap().report.kernel, "k#2");
+    }
+
+    #[test]
+    fn disambiguation_never_steals_a_literal_spec_name() {
+        let src = |r: &str| format!("void main() {{ int a[2]; int {r}; {r} = a[0] + a[1]; }}");
+        // A renamed duplicate must skip `k#2` because a later spec carries
+        // that name literally — otherwise `result_of("k#2")` would return
+        // the renamed duplicate of `k` instead of the kernel actually named
+        // `k#2`.
+        let specs = vec![
+            KernelSpec::new("k", src("x")),
+            KernelSpec::new("k", src("y")),
+            KernelSpec::new("k#2", src("z")),
+        ];
+        let names = disambiguate_names(&specs);
+        assert_eq!(names, vec!["k", "k#3", "k#2"]);
+
+        // Same property with the literal listed first.
+        let specs = vec![
+            KernelSpec::new("k#2", src("x")),
+            KernelSpec::new("k", src("y")),
+            KernelSpec::new("k", src("z")),
+        ];
+        assert_eq!(disambiguate_names(&specs), vec!["k#2", "k", "k#3"]);
+
+        // Duplicate literals with ordinals still resolve.
+        let specs = vec![
+            KernelSpec::new("k#2", src("x")),
+            KernelSpec::new("k#2", src("y")),
+        ];
+        assert_eq!(disambiguate_names(&specs), vec!["k#2", "k#2#2"]);
+    }
+
+    #[test]
+    fn identical_sources_are_mapped_once_and_fanned_out() {
+        let src = "void main() { int a[3]; int r; r = a[0] * a[1] + a[2]; }";
+        let specs = vec![
+            KernelSpec::new("first", src),
+            KernelSpec::new("second", src),
+            KernelSpec::new("third", src),
+        ];
+        let report = Mapper::new().with_batch_threads(2).map_many(&specs);
+        assert_eq!(report.succeeded(), 3);
+        assert_eq!(report.deduped, 2);
+        let first = report.result_of("first").unwrap();
+        let second = report.result_of("second").unwrap();
+        assert_eq!(first.program, second.program);
+        assert_eq!(first.report.kernel, "first");
+        assert_eq!(second.report.kernel, "second");
+        assert!(report.to_string().contains("in-batch dedup"));
+        // A plain mapper batch carries no cache stats.
+        assert!(report.cache.is_none());
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 // ---------------------------------------------------------------------------
 
 /// Feature toggles of the mapping flow (the `Mapper` builder switches).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FlowToggles {
     /// Phase-1 clustering (disabled = one operation per cluster).
     pub clustering: bool,

@@ -57,6 +57,7 @@
 
 pub mod allocate;
 pub mod baseline;
+pub mod cache;
 pub mod cluster;
 pub mod dfg;
 pub mod error;
@@ -67,9 +68,11 @@ pub mod pipeline;
 pub mod program;
 pub mod report;
 pub mod schedule;
+pub mod service;
 pub mod viz;
 
 pub use allocate::Allocator;
+pub use cache::{CacheOutcome, CacheStats, MappingCache};
 pub use cluster::{Cluster, ClusterId, ClusteredGraph, Clusterer};
 pub use dfg::{MappingGraph, OpId, OpKind, ValueRef};
 pub use error::MapError;
@@ -86,3 +89,4 @@ pub use pipeline::{Mapper, MappingResult};
 pub use program::{AluJob, CycleJob, Location, MoveJob, TileProgram, WritebackJob};
 pub use report::MappingReport;
 pub use schedule::{Schedule, Scheduler};
+pub use service::MappingService;

@@ -250,24 +250,67 @@ impl fmt::Display for TransferJob {
     }
 }
 
+/// One kernel-input word replicated from its home tile to another consumer
+/// tile before execution starts.
+///
+/// Every kernel input (statespace word or scalar input) is *homed* on its
+/// majority-consumer tile; consumer tiles other than the home receive a
+/// pre-execution copy over the inter-tile interconnect.  Those copies do not
+/// occupy link cycles during execution (they happen while the statespace is
+/// loaded), but they move words between tiles all the same, so the traffic
+/// report accounts them — the numbers used to silently under-count this
+/// input distribution traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct InputBroadcast {
+    /// The kernel input being replicated ([`ValueRef::MemWord`] or
+    /// [`ValueRef::ScalarInput`]).
+    pub value: ValueRef,
+    /// The input's home tile (its majority consumer).
+    pub from: TileId,
+    /// The consumer tile receiving the copy.
+    pub to: TileId,
+}
+
+impl fmt::Display for InputBroadcast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: tile{} -> tile{} (preload)",
+            self.value, self.from, self.to
+        )
+    }
+}
+
 /// Inter-tile traffic summary of one multi-tile mapping.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct TrafficReport {
-    /// Every value crossing a tile boundary, exactly once per
-    /// `(value, consuming tile)` pair.
+    /// Every value crossing a tile boundary during execution, exactly once
+    /// per `(value, consuming tile)` pair.
     pub edges: Vec<CutEdge>,
-    /// Words moved per ordered tile pair, sorted by pair.
+    /// Every kernel input replicated from its home tile to another consumer
+    /// tile before execution.
+    pub input_broadcasts: Vec<InputBroadcast>,
+    /// Words moved per ordered tile pair (execution transfers and input
+    /// broadcasts combined), sorted by pair.
     pub per_pair: Vec<((TileId, TileId), usize)>,
     /// Largest number of transfers departing in one cycle (link pressure).
     pub max_link_pressure: usize,
 }
 
 impl TrafficReport {
-    /// Builds the report from the cut edges and the scheduled transfers.
-    pub fn new(edges: Vec<CutEdge>, transfers: &[TransferJob]) -> Self {
+    /// Builds the report from the cut edges, the scheduled transfers and the
+    /// pre-execution input broadcasts.
+    pub fn new(
+        edges: Vec<CutEdge>,
+        transfers: &[TransferJob],
+        input_broadcasts: Vec<InputBroadcast>,
+    ) -> Self {
         let mut per_pair: HashMap<(TileId, TileId), usize> = HashMap::new();
         for edge in &edges {
             *per_pair.entry((edge.from, edge.to)).or_insert(0) += 1;
+        }
+        for broadcast in &input_broadcasts {
+            *per_pair.entry((broadcast.from, broadcast.to)).or_insert(0) += 1;
         }
         let mut per_pair: Vec<_> = per_pair.into_iter().collect();
         per_pair.sort_unstable();
@@ -278,17 +321,20 @@ impl TrafficReport {
         let max_link_pressure = departures.values().copied().max().unwrap_or(0);
         TrafficReport {
             edges,
+            input_broadcasts,
             per_pair,
             max_link_pressure,
         }
     }
 
-    /// Total number of inter-tile transfers.
+    /// Total number of words moved between tiles (execution transfers plus
+    /// input broadcasts).
     pub fn total_transfers(&self) -> usize {
-        self.edges.len()
+        self.edges.len() + self.input_broadcasts.len()
     }
 
-    /// Energy the transfers cost under the given model.
+    /// Energy the transfers cost under the given model (input broadcasts
+    /// cross the same interconnect, so they cost the same per word).
     pub fn energy(&self, model: &EnergyModel) -> f64 {
         model.inter_tile_transfer * self.total_transfers() as f64
     }
@@ -300,8 +346,9 @@ impl fmt::Display for TrafficReport {
         // callers with an `EnergyModel` in scope print `energy(&model)`.
         writeln!(
             f,
-            "inter-tile traffic: {} transfer(s), peak {} departure(s)/cycle",
+            "inter-tile traffic: {} transfer(s) ({} input broadcast(s)), peak {} departure(s)/cycle",
             self.total_transfers(),
+            self.input_broadcasts.len(),
             self.max_link_pressure,
         )?;
         for ((from, to), words) in &self.per_pair {
@@ -443,7 +490,10 @@ impl MultiTileAllocator {
             .collect();
 
         // --- Which kernel inputs each tile needs --------------------------
+        // `use_counts` additionally counts how many operand reads each tile
+        // performs per input, which picks the input's home tile below.
         let mut needed: Vec<Vec<ValueRef>> = vec![Vec::new(); num_tiles];
+        let mut use_counts: HashMap<ValueRef, Vec<usize>> = HashMap::new();
         let need = |needed: &mut Vec<Vec<ValueRef>>, tile: TileId, value: ValueRef| {
             if !needed[tile].contains(&value) {
                 needed[tile].push(value);
@@ -454,6 +504,9 @@ impl MultiTileAllocator {
             for input in &graph.op(id).inputs {
                 if matches!(input, ValueRef::MemWord(_) | ValueRef::ScalarInput(_)) {
                     need(&mut needed, tile, *input);
+                    use_counts
+                        .entry(*input)
+                        .or_insert_with(|| vec![0; num_tiles])[tile] += 1;
                 }
             }
         }
@@ -472,9 +525,49 @@ impl MultiTileAllocator {
             }
         }
 
+        // --- Home every input on its majority-consumer tile ---------------
+        // Each consumer tile keeps a pre-loaded copy (so execution never
+        // waits on the interconnect), but exactly one tile is the input's
+        // *home*: the one reading it most often (ties to the lowest tile).
+        // The home anchors the statespace read-back map, and every non-home
+        // copy is accounted as an inter-tile input broadcast in the traffic
+        // report — these words cross the interconnect during statespace
+        // loading and used to be invisible in the traffic/energy numbers.
+        let home_of_input = |value: &ValueRef| -> TileId {
+            use_counts
+                .get(value)
+                .and_then(|counts| {
+                    counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(tile, count)| (**count, std::cmp::Reverse(*tile)))
+                        .map(|(tile, _)| tile)
+                })
+                .unwrap_or(0)
+        };
+        let mut input_home: HashMap<ValueRef, TileId> = HashMap::new();
+        let mut broadcasts: Vec<InputBroadcast> = Vec::new();
+        let record_home = |value: ValueRef,
+                           needed: &[Vec<ValueRef>],
+                           input_home: &mut HashMap<ValueRef, TileId>,
+                           broadcasts: &mut Vec<InputBroadcast>| {
+            let home = home_of_input(&value);
+            input_home.insert(value, home);
+            for (tile, list) in needed.iter().enumerate() {
+                if tile != home && list.contains(&value) {
+                    broadcasts.push(InputBroadcast {
+                        value,
+                        from: home,
+                        to: tile,
+                    });
+                }
+            }
+        };
+
         // --- Pre-load: each tile holds the inputs its clusters read -------
         for &addr in &graph.mem_reads {
             let value = ValueRef::MemWord(addr);
+            record_home(value, &needed, &mut input_home, &mut broadcasts);
             for state in states
                 .iter_mut()
                 .enumerate()
@@ -487,6 +580,7 @@ impl MultiTileAllocator {
         }
         for index in 0..graph.scalar_inputs.len() {
             let value = ValueRef::ScalarInput(index as u32);
+            record_home(value, &needed, &mut input_home, &mut broadcasts);
             for state in states
                 .iter_mut()
                 .enumerate()
@@ -578,10 +672,18 @@ impl MultiTileAllocator {
                     let tile = assignment.tile_of(clustered.owner_of(op));
                     states[tile].home_of(value).map(|home| (tile, home))
                 }
-                _ => states
-                    .iter()
-                    .enumerate()
-                    .find_map(|(tile, state)| state.home_of(value).map(|home| (tile, home))),
+                // Kernel inputs resolve to their designated home tile (the
+                // majority consumer), falling back to any tile holding a
+                // copy for values without a recorded home.
+                _ => input_home
+                    .get(&value)
+                    .and_then(|&tile| states[tile].home_of(value).map(|home| (tile, home)))
+                    .or_else(|| {
+                        states
+                            .iter()
+                            .enumerate()
+                            .find_map(|(tile, state)| state.home_of(value).map(|home| (tile, home)))
+                    }),
             }
         };
         let mut scalar_outputs = Vec::new();
@@ -659,7 +761,7 @@ impl MultiTileAllocator {
 
         let mut aggregate = AllocationStats {
             cycles: total_cycles,
-            inter_tile_transfers: transfers.len(),
+            inter_tile_transfers: transfers.len() + broadcasts.len(),
             ..AllocationStats::default()
         };
         let mut tiles = Vec::with_capacity(num_tiles);
@@ -684,7 +786,7 @@ impl MultiTileAllocator {
             });
         }
 
-        let traffic = TrafficReport::new(cut, &transfers);
+        let traffic = TrafficReport::new(cut, &transfers, broadcasts);
         Ok(MultiTileProgram {
             array: self.array,
             tiles,
@@ -842,12 +944,91 @@ mod tests {
     fn traffic_report_matches_the_cut_exactly_once() {
         let (m, c, assignment, _, program) = mapped_multi(24, 4);
         let expected = assignment.cut_edges(&m, &c);
+        let broadcasts = program.traffic.input_broadcasts.len();
         assert_eq!(program.traffic.edges, expected);
-        assert_eq!(program.traffic.total_transfers(), expected.len());
+        assert_eq!(
+            program.traffic.total_transfers(),
+            expected.len() + broadcasts
+        );
         assert_eq!(program.transfers.len(), expected.len());
-        assert_eq!(program.stats.inter_tile_transfers, expected.len());
+        assert_eq!(
+            program.stats.inter_tile_transfers,
+            expected.len() + broadcasts
+        );
         assert!(program.traffic.energy(&EnergyModel::default_model()) > 0.0);
         assert!(program.traffic.to_string().contains("inter-tile traffic"));
+    }
+
+    #[test]
+    fn shared_inputs_are_homed_on_their_majority_consumer() {
+        // The scalar `s` is read by every multiply; partitioned across four
+        // tiles, its consumers spread out, so every non-home consumer tile
+        // must show up as an accounted input broadcast.
+        let (m, c) = clustered(
+            r#"
+            void main() {
+                int a[16];
+                int sum;
+                int s;
+                int i;
+                sum = 0; i = 0;
+                while (i < 16) { sum = sum + a[i] * s; i = i + 1; }
+            }
+            "#,
+        );
+        let array = ArrayConfig::with_tiles(4);
+        let assignment = Partitioner::new(4).partition(&m, &c).unwrap();
+        let schedule = MultiScheduler::new(TileConfig::paper().num_pps, array.hop_latency)
+            .schedule(&c, &assignment)
+            .unwrap();
+        let program = MultiTileAllocator::new(TileConfig::paper(), array)
+            .allocate(&m, &c, &assignment, &schedule)
+            .unwrap();
+
+        // Re-derive per-tile read counts for every kernel input.
+        let mut counts: HashMap<ValueRef, Vec<usize>> = HashMap::new();
+        for id in m.op_ids() {
+            let tile = assignment.tile_of(c.owner_of(id));
+            for input in &m.op(id).inputs {
+                if matches!(input, ValueRef::MemWord(_) | ValueRef::ScalarInput(_)) {
+                    counts.entry(*input).or_insert_with(|| vec![0; 4])[tile] += 1;
+                }
+            }
+        }
+        let shared = counts
+            .values()
+            .filter(|tiles| tiles.iter().filter(|&&n| n > 0).count() > 1)
+            .count();
+        assert!(shared > 0, "test premise: some input is read on >1 tile");
+
+        let broadcasts = &program.traffic.input_broadcasts;
+        assert!(!broadcasts.is_empty());
+        for broadcast in broadcasts {
+            assert_ne!(broadcast.from, broadcast.to, "{broadcast}");
+            let per_tile = &counts[&broadcast.value];
+            // The home is a majority consumer...
+            assert!(
+                per_tile[broadcast.from] >= per_tile[broadcast.to],
+                "{broadcast}: home reads {} < destination reads {}",
+                per_tile[broadcast.from],
+                per_tile[broadcast.to]
+            );
+            // ...and copies only go to tiles that actually read the value.
+            assert!(per_tile[broadcast.to] > 0, "{broadcast}");
+        }
+        // An input read on k tiles is broadcast to exactly k - 1 of them.
+        for (value, per_tile) in &counts {
+            let consumers = per_tile.iter().filter(|&&n| n > 0).count();
+            let copies = broadcasts.iter().filter(|b| b.value == *value).count();
+            assert_eq!(copies, consumers.saturating_sub(1), "{value}");
+        }
+        // The accounted totals include the broadcasts.
+        assert_eq!(
+            program.stats.inter_tile_transfers,
+            program.transfers.len() + broadcasts.len()
+        );
+        let pair_words: usize = program.traffic.per_pair.iter().map(|(_, n)| n).sum();
+        assert_eq!(pair_words, program.traffic.total_transfers());
     }
 
     #[test]

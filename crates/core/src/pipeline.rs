@@ -2,12 +2,16 @@
 //! clustering → scheduling → allocation, assembled from the staged flow
 //! engine of [`crate::flow`].
 
+use crate::cache::{
+    config_fingerprint, CacheOutcome, MappingCache, MappingKey, PostTransformArtifacts,
+    PostTransformKey,
+};
 use crate::cluster::ClusteredGraph;
 use crate::dfg::MappingGraph;
 use crate::error::MapError;
 use crate::flow::stages::{
     AllocateStage, AllocatedKernel, ClusterStage, CompiledKernel, ExtractStage, FrontendStage,
-    PartitionStage, ScheduleStage, SourceInput, TransformStage,
+    PartitionStage, ScheduleStage, SimplifiedKernel, SourceInput, TransformStage,
 };
 use crate::flow::{
     BatchEntry, BatchReport, FlowContext, FlowDriver, FlowToggles, FlowTrace, KernelSpec, StageExt,
@@ -19,6 +23,7 @@ use crate::schedule::Schedule;
 use fpfa_arch::{ArrayConfig, TileConfig};
 use fpfa_cdfg::Cdfg;
 use fpfa_frontend::MemoryLayout;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Everything produced by one mapping run.
@@ -172,23 +177,121 @@ impl Mapper {
     /// results come back in input order.  A kernel that fails to map records
     /// its error in the corresponding [`BatchEntry`] without aborting the
     /// rest of the batch.
+    ///
+    /// Two batch-level normalisations apply before any kernel is mapped:
+    ///
+    /// * **In-batch deduplication** — specs with byte-identical sources are
+    ///   mapped once and the result is fanned out to every matching entry
+    ///   ([`BatchReport::deduped`] counts the duplicates).
+    /// * **Name disambiguation** — specs sharing a name are renamed
+    ///   `name`, `name#2`, `name#3`, … so
+    ///   [`BatchReport::result_of`] can never alias two different kernels.
     pub fn map_many(&self, kernels: &[KernelSpec]) -> BatchReport {
+        self.map_many_cached(kernels, None)
+    }
+
+    /// [`Mapper::map_many`] with an optional shared cache consulted by every
+    /// worker (the engine behind
+    /// [`MappingService::map_many`](crate::service::MappingService::map_many)).
+    pub(crate) fn map_many_cached(
+        &self,
+        kernels: &[KernelSpec],
+        cache: Option<&MappingCache>,
+    ) -> BatchReport {
         let threads = self
             .batch_threads
             .unwrap_or_else(crate::flow::batch::default_threads);
         let started = Instant::now();
-        let entries = crate::flow::batch::parallel_map(kernels, threads, |spec| BatchEntry {
-            name: spec.name.clone(),
-            outcome: self.map_source(&spec.source).map(|mut mapping| {
-                mapping.report.kernel = spec.name.clone();
-                mapping
-            }),
+        let names = crate::flow::batch::disambiguate_names(kernels);
+
+        // In-batch dedup: map each distinct source once, fan the result out.
+        let mut slot_of: Vec<usize> = Vec::with_capacity(kernels.len());
+        let mut unique: Vec<&KernelSpec> = Vec::new();
+        {
+            let mut first_of: HashMap<&str, usize> = HashMap::new();
+            for spec in kernels {
+                let next = unique.len();
+                let slot = *first_of.entry(spec.source.as_str()).or_insert(next);
+                if slot == next {
+                    unique.push(spec);
+                }
+                slot_of.push(slot);
+            }
+        }
+
+        let outcomes = crate::flow::batch::parallel_map(&unique, threads, |spec| match cache {
+            Some(cache) => self.map_source_cached(&spec.source, cache),
+            None => self.map_source(&spec.source),
         });
+        let entries = names
+            .into_iter()
+            .enumerate()
+            .map(|(index, name)| BatchEntry {
+                outcome: outcomes[slot_of[index]].clone().map(|mut mapping| {
+                    mapping.report.kernel = name.clone();
+                    mapping
+                }),
+                name,
+            })
+            .collect();
         BatchReport {
             entries,
             wall: started.elapsed(),
-            threads: crate::flow::batch::effective_threads(threads, kernels.len()),
+            threads: crate::flow::batch::effective_threads(threads, unique.len()),
+            deduped: kernels.len() - unique.len(),
+            cache: cache.map(MappingCache::stats),
         }
+    }
+
+    /// Maps a source string, consulting (and feeding) a two-level
+    /// [`MappingCache`]: a byte-identical source under the same
+    /// configuration is a *mapping hit* (no stage runs); a structurally
+    /// identical simplified CDFG is a *post-transform hit* (only frontend +
+    /// transform run).  See [`crate::cache`] for the key definitions.
+    pub(crate) fn map_source_cached(
+        &self,
+        source: &str,
+        cache: &MappingCache,
+    ) -> Result<MappingResult, MapError> {
+        let fingerprint = config_fingerprint(&self.config, &self.array, &self.toggles);
+        let key = MappingKey::new(source, fingerprint);
+        if let Some(hit) = cache.get_mapping(&key) {
+            let mut result = (*hit).clone();
+            result.report.cache = CacheOutcome::MappingHit;
+            return Ok(result);
+        }
+
+        let mut cx = self.flow_context();
+        let front = FrontendStage.then(TransformStage::standard());
+        let simplified: SimplifiedKernel =
+            FlowDriver::new().run(&front, SourceInput::new(source), &mut cx)?;
+        let post_key = PostTransformKey::new(&simplified, fingerprint);
+        let (allocated, outcome) = match cache.get_post_transform(&post_key) {
+            Some(artifacts) => {
+                let SimplifiedKernel {
+                    simplified: cdfg,
+                    layout,
+                } = simplified;
+                (
+                    artifacts.rehydrate(cdfg, layout),
+                    CacheOutcome::PostTransformHit,
+                )
+            }
+            None => {
+                let back = ExtractStage
+                    .then(ClusterStage)
+                    .then(PartitionStage)
+                    .then(ScheduleStage)
+                    .then(AllocateStage);
+                let allocated = FlowDriver::new().run(&back, simplified, &mut cx)?;
+                cache.insert_post_transform(post_key, PostTransformArtifacts::of(&allocated));
+                (allocated, CacheOutcome::Miss)
+            }
+        };
+        let mut result = finish(allocated, cx);
+        result.report.cache = outcome;
+        cache.insert_mapping(key, result.clone());
+        Ok(result)
     }
 
     fn map_cdfg_with_layout(

@@ -1,5 +1,6 @@
 //! Summary statistics of one mapping run.
 
+use crate::cache::CacheOutcome;
 use crate::multi::MultiTileProgram;
 use crate::program::TileProgram;
 use std::fmt;
@@ -50,9 +51,27 @@ pub struct MappingReport {
     pub transform_visited_nodes: usize,
     /// Largest live-node count the minimiser faced in any round.
     pub transform_peak_graph_nodes: usize,
+    /// How this mapping interacted with a [`MappingCache`]
+    /// ([`CacheOutcome::Uncached`] for plain [`Mapper`] runs).
+    ///
+    /// [`MappingCache`]: crate::cache::MappingCache
+    /// [`Mapper`]: crate::pipeline::Mapper
+    pub cache: CacheOutcome,
 }
 
 impl MappingReport {
+    /// `true` when the two reports describe the same mapping: every field is
+    /// equal except the wall-clock (`mapping_time_us`) and the cache
+    /// provenance (`cache`), which legitimately differ between a cold run
+    /// and a cache hit of the *same* kernel.
+    pub fn same_mapping(&self, other: &Self) -> bool {
+        let normalise = |report: &MappingReport| MappingReport {
+            mapping_time_us: 0,
+            cache: CacheOutcome::Uncached,
+            ..report.clone()
+        };
+        normalise(self) == normalise(other)
+    }
     /// Register hit rate (`None` when no operands were read).
     pub fn register_hit_rate(&self) -> Option<f64> {
         let total = self.register_hits + self.register_misses;
@@ -144,6 +163,9 @@ impl fmt::Display for MappingReport {
                 self.transform_peak_graph_nodes
             )?;
         }
+        if self.cache != CacheOutcome::Uncached {
+            write!(f, "\n  cache: {}", self.cache)?;
+        }
         Ok(())
     }
 }
@@ -163,5 +185,30 @@ mod tests {
         assert!((report.register_hit_rate().unwrap() - 0.25).abs() < 1e-9);
         assert!(report.to_string().contains("fir"));
         assert_eq!(MappingReport::default().register_hit_rate(), None);
+    }
+
+    #[test]
+    fn same_mapping_ignores_wall_clock_and_cache_provenance() {
+        let cold = MappingReport {
+            kernel: "fir".into(),
+            cycles: 12,
+            mapping_time_us: 840,
+            cache: CacheOutcome::Miss,
+            ..MappingReport::default()
+        };
+        let warm = MappingReport {
+            mapping_time_us: 2,
+            cache: CacheOutcome::MappingHit,
+            ..cold.clone()
+        };
+        assert!(cold.same_mapping(&warm));
+        let different = MappingReport {
+            cycles: 13,
+            ..cold.clone()
+        };
+        assert!(!cold.same_mapping(&different));
+        // A hit's provenance shows up in the human-readable report.
+        assert!(warm.to_string().contains("cache: mapping hit"));
+        assert!(!MappingReport::default().to_string().contains("cache:"));
     }
 }

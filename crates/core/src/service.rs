@@ -1,0 +1,194 @@
+//! A long-lived mapping front door that reuses work across calls.
+//!
+//! [`Mapper`] maps every request from scratch;
+//! [`MappingService`] wraps a mapper together with a shared
+//! [`MappingCache`] so repeated requests — the common case for a mapping
+//! server handling real traffic — are answered from the cache:
+//!
+//! * a byte-identical resubmission returns a clone of the cached
+//!   [`MappingResult`] without running any stage (*mapping hit*);
+//! * a structurally identical kernel (reformatted source, or a rewrite the
+//!   minimiser folds to the same graph) re-runs only the cheap frontend +
+//!   transform stages and reuses the
+//!   clustering/partitioning/scheduling/allocation work
+//!   (*post-transform hit*).
+//!
+//! The service is [`Sync`]: one instance can serve many threads, and its
+//! [`map_many`](MappingService::map_many) distributes a batch over the
+//! mapper's worker pool with every worker sharing the same cache.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fpfa_core::pipeline::Mapper;
+//! use fpfa_core::service::MappingService;
+//!
+//! let source = r#"
+//!     void main() {
+//!         int a[4]; int c[4]; int sum; int i;
+//!         sum = 0; i = 0;
+//!         while (i < 4) { sum = sum + a[i] * c[i]; i = i + 1; }
+//!     }
+//! "#;
+//! let service = MappingService::new(Mapper::new());
+//! let cold = service.map_source(source)?;
+//! let warm = service.map_source(source)?; // served from the cache
+//! assert_eq!(cold.program, warm.program);
+//! assert_eq!(service.stats().mapping_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cache::{CacheStats, MappingCache};
+use crate::error::MapError;
+use crate::flow::{BatchReport, KernelSpec};
+use crate::pipeline::{Mapper, MappingResult};
+use std::sync::Arc;
+
+/// A reusable mapping endpoint: a [`Mapper`] plus a shared [`MappingCache`]
+/// that persists across calls.
+#[derive(Clone, Debug)]
+pub struct MappingService {
+    mapper: Mapper,
+    cache: Arc<MappingCache>,
+}
+
+impl MappingService {
+    /// Wraps a mapper with a fresh cache of the default capacity.
+    pub fn new(mapper: Mapper) -> Self {
+        Self::with_cache(mapper, Arc::new(MappingCache::new()))
+    }
+
+    /// Wraps a mapper with an explicit (possibly shared) cache.
+    pub fn with_cache(mapper: Mapper, cache: Arc<MappingCache>) -> Self {
+        MappingService { mapper, cache }
+    }
+
+    /// The wrapped mapper.
+    pub fn mapper(&self) -> &Mapper {
+        &self.mapper
+    }
+
+    /// The shared cache (clone the [`Arc`] to share it with another
+    /// service targeting a different configuration).
+    pub fn cache(&self) -> &Arc<MappingCache> {
+        &self.cache
+    }
+
+    /// A snapshot of the cache's hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Maps a C-subset source string, consulting the cache first.
+    ///
+    /// The returned result records how it was obtained in
+    /// [`MappingReport::cache`](crate::report::MappingReport::cache).
+    ///
+    /// # Errors
+    /// Propagates frontend, transformation and mapping errors (errors are
+    /// never cached: a failing kernel is retried in full on every call).
+    pub fn map_source(&self, source: &str) -> Result<MappingResult, MapError> {
+        self.mapper.map_source_cached(source, &self.cache)
+    }
+
+    /// Maps a batch of kernels in parallel through the shared cache.
+    ///
+    /// On top of [`Mapper::map_many`]'s in-batch deduplication, every worker
+    /// consults the service cache, so kernels seen in *earlier* batches are
+    /// also served from the cache.  The returned report carries a
+    /// [`CacheStats`] snapshot taken after the batch.
+    pub fn map_many(&self, kernels: &[KernelSpec]) -> BatchReport {
+        self.mapper.map_many_cached(kernels, Some(&self.cache))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheOutcome;
+
+    const FIR: &str = r#"
+        void main() {
+            int a[5];
+            int c[5];
+            int sum;
+            int i;
+            sum = 0; i = 0;
+            while (i < 5) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+    "#;
+
+    /// FIR reformatted (different whitespace and statement layout): a
+    /// different source hash but the same canonical structure.
+    const FIR_REFORMATTED: &str = r#"
+void main() {
+    int a[5]; int c[5];
+    int sum; int i;
+    sum = 0;
+    i = 0;
+    while (i < 5) {
+        sum = sum + a[i] * c[i];
+        i = i + 1;
+    }
+}
+"#;
+
+    #[test]
+    fn identical_resubmission_is_a_mapping_hit() {
+        let service = MappingService::new(Mapper::new());
+        let cold = service.map_source(FIR).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let warm = service.map_source(FIR).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::MappingHit);
+        assert_eq!(cold.program, warm.program);
+        assert_eq!(cold.simplified, warm.simplified);
+        let stats = service.stats();
+        assert_eq!(stats.mapping_hits, 1);
+        assert_eq!(stats.mapping_misses, 1);
+    }
+
+    #[test]
+    fn structurally_identical_kernel_is_a_post_transform_hit() {
+        let service = MappingService::new(Mapper::new());
+        let cold = service.map_source(FIR).unwrap();
+        let warm = service.map_source(FIR_REFORMATTED).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::PostTransformHit);
+        // The mapped program is shared verbatim.
+        assert_eq!(cold.program, warm.program);
+        assert_eq!(
+            fpfa_cdfg::canonical_signature(&cold.simplified),
+            fpfa_cdfg::canonical_signature(&warm.simplified)
+        );
+        let stats = service.stats();
+        assert_eq!(stats.post_transform_hits, 1);
+    }
+
+    #[test]
+    fn different_configurations_do_not_alias() {
+        let cache = Arc::new(MappingCache::new());
+        let five = MappingService::with_cache(Mapper::new(), Arc::clone(&cache));
+        let one = MappingService::with_cache(
+            Mapper::new().with_config(fpfa_arch::TileConfig::single_alu()),
+            Arc::clone(&cache),
+        );
+        let wide = five.map_source(FIR).unwrap();
+        let narrow = one.map_source(FIR).unwrap();
+        assert_eq!(narrow.report.cache, CacheOutcome::Miss);
+        assert!(narrow.report.cycles >= wide.report.cycles);
+        assert_eq!(narrow.report.alus_used, 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let service = MappingService::new(Mapper::new());
+        for _ in 0..2 {
+            let err = service.map_source("void main() { x = 1; }").unwrap_err();
+            assert!(matches!(err, MapError::Frontend(_)));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.mapping_hits, 0);
+        assert_eq!(stats.entries, 0);
+    }
+}

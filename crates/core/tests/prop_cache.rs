@@ -1,0 +1,159 @@
+//! Property and concurrency tests for the content-addressed mapping cache:
+//!
+//! * a cached mapping is identical to a cold mapping of the same kernel
+//!   (canonical signature, report, program), for random kernels and tile
+//!   counts;
+//! * the LRU evicts exactly the least-recently-used entry at capacity;
+//! * concurrent `map_many` workers share one cache without losing hits.
+
+use fpfa_cdfg::canonical_signature;
+use fpfa_core::cache::{CacheOutcome, MappingCache};
+use fpfa_core::flow::KernelSpec;
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random straight-line kernel (same generator family as `prop_mapper`).
+fn random_kernel_source(ops: &[(u8, u8, u8)]) -> String {
+    let mut body = String::new();
+    for (i, (kind, a, b)) in ops.iter().enumerate() {
+        let lhs = format!("a[{}]", a % 6);
+        let rhs = if i == 0 {
+            format!("a[{}]", b % 6)
+        } else {
+            format!("t{}", (*b as usize) % i)
+        };
+        let op = match kind % 4 {
+            0 => "+",
+            1 => "-",
+            2 => "*",
+            _ => "^",
+        };
+        body.push_str(&format!("            t{i} = {lhs} {op} {rhs};\n"));
+    }
+    let decls: String = (0..ops.len())
+        .map(|i| format!("            int t{i};\n"))
+        .collect();
+    format!("void main() {{\n            int a[6];\n{decls}{body}        }}")
+}
+
+/// A distinct trivial kernel per index (for filling the cache).
+fn numbered_kernel(index: usize) -> String {
+    format!(
+        "void main() {{ int a[{}]; int r; r = a[0] + a[1]; }}",
+        index + 2
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cached_and_cold_mappings_are_identical(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..24),
+        tiles in 1usize..5,
+    ) {
+        let source = random_kernel_source(&ops);
+        let mapper = Mapper::new().with_tiles(tiles);
+        let cold = mapper.map_source(&source).expect("random kernels map");
+
+        let service = MappingService::new(mapper);
+        let miss = service.map_source(&source).expect("maps through service");
+        let hit = service.map_source(&source).expect("maps from cache");
+        prop_assert_eq!(miss.report.cache, CacheOutcome::Miss);
+        prop_assert_eq!(hit.report.cache, CacheOutcome::MappingHit);
+
+        for warm in [&miss, &hit] {
+            prop_assert_eq!(
+                canonical_signature(&cold.simplified),
+                canonical_signature(&warm.simplified)
+            );
+            prop_assert!(
+                cold.report.same_mapping(&warm.report),
+                "cold {:?} vs warm {:?}", cold.report, warm.report
+            );
+            prop_assert_eq!(&cold.program, &warm.program);
+            prop_assert_eq!(&cold.multi, &warm.multi);
+            prop_assert_eq!(&cold.schedule, &warm.schedule);
+            prop_assert_eq!(&cold.clustered, &warm.clustered);
+        }
+    }
+}
+
+#[test]
+fn lru_evicts_the_least_recently_used_mapping_at_capacity() {
+    // One shard and capacity two make the whole cache one exact LRU.
+    let cache = Arc::new(MappingCache::with_capacity_and_shards(2, 1));
+    let service = MappingService::with_cache(Mapper::new(), Arc::clone(&cache));
+    let (a, b, c) = (numbered_kernel(0), numbered_kernel(1), numbered_kernel(2));
+
+    service.map_source(&a).unwrap();
+    service.map_source(&b).unwrap();
+    // Touch `a` so `b` becomes the LRU entry, then insert `c` over capacity.
+    assert_eq!(
+        service.map_source(&a).unwrap().report.cache,
+        CacheOutcome::MappingHit
+    );
+    service.map_source(&c).unwrap();
+    let evicted_so_far = cache.stats().evictions;
+    assert!(
+        evicted_so_far >= 1,
+        "inserting over capacity must evict: {:?}",
+        cache.stats()
+    );
+
+    // `a` (recently used) and `c` (just inserted) are resident; `b` is not.
+    assert_eq!(
+        service.map_source(&a).unwrap().report.cache,
+        CacheOutcome::MappingHit
+    );
+    assert_eq!(
+        service.map_source(&c).unwrap().report.cache,
+        CacheOutcome::MappingHit
+    );
+    let stats_before_b = cache.stats();
+    let b_again = service.map_source(&b).unwrap();
+    assert_ne!(
+        b_again.report.cache,
+        CacheOutcome::MappingHit,
+        "evicted entry must not hit the full-mapping cache"
+    );
+    assert_eq!(
+        cache.stats().mapping_misses,
+        stats_before_b.mapping_misses + 1
+    );
+    // The capacity bound held throughout: never more than two resident
+    // mappings (the post-transform level is bounded the same way).
+    assert!(cache.stats().entries <= 4, "{:?}", cache.stats());
+}
+
+#[test]
+fn concurrent_map_many_workers_share_the_cache() {
+    let specs: Vec<KernelSpec> = fpfa_workloads::registry()
+        .into_iter()
+        .map(|kernel| KernelSpec::new(kernel.name, kernel.source))
+        .collect();
+    let service = MappingService::new(Mapper::new().with_batch_threads(4));
+
+    let cold = service.map_many(&specs);
+    assert_eq!(cold.failed(), 0);
+    let after_cold = service.stats();
+    assert_eq!(after_cold.mapping_hits, 0);
+    assert_eq!(after_cold.mapping_misses as usize, specs.len());
+
+    // Second pass: four workers hitting the shared cache concurrently.
+    let warm = service.map_many(&specs);
+    assert_eq!(warm.failed(), 0);
+    for entry in &warm.entries {
+        assert_eq!(
+            entry.outcome.as_ref().unwrap().report.cache,
+            CacheOutcome::MappingHit,
+            "{}",
+            entry.name
+        );
+    }
+    let after_warm = service.stats();
+    assert_eq!(after_warm.mapping_hits as usize, specs.len());
+    assert_eq!(after_warm.mapping_misses as usize, specs.len());
+}

@@ -139,10 +139,24 @@ proptest! {
                 "edge {:?} listed twice", edge
             );
         }
-        // One scheduled transfer per edge, and the aggregate counters agree.
+        // One scheduled transfer per edge, and the aggregate counters agree
+        // (the totals additionally count pre-execution input broadcasts).
+        let broadcasts = program.traffic.input_broadcasts.len();
         prop_assert_eq!(program.transfers.len(), expected.len());
-        prop_assert_eq!(program.stats.inter_tile_transfers, expected.len());
+        prop_assert_eq!(
+            program.stats.inter_tile_transfers,
+            expected.len() + broadcasts
+        );
         let per_pair_total: usize = program.traffic.per_pair.iter().map(|(_, n)| n).sum();
-        prop_assert_eq!(per_pair_total, expected.len());
+        prop_assert_eq!(per_pair_total, expected.len() + broadcasts);
+        // Input broadcasts never duplicate a (value, destination) pair.
+        let mut seen_broadcasts = HashSet::new();
+        for broadcast in &program.traffic.input_broadcasts {
+            prop_assert!(broadcast.from != broadcast.to);
+            prop_assert!(
+                seen_broadcasts.insert((broadcast.value, broadcast.to)),
+                "broadcast {:?} listed twice", broadcast
+            );
+        }
     }
 }

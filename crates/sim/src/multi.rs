@@ -67,6 +67,11 @@ impl<'p> MultiSimulator<'p> {
         // ------------------------------------------------------------------
         // Pre-load every tile's kernel inputs.
         // ------------------------------------------------------------------
+        // Inputs replicated beyond their home tile cross the interconnect
+        // while the statespace is loaded; count those words so the
+        // simulator's transfer count and energy agree with the allocator's
+        // traffic report.
+        counts.inter_tile_transfers += program.traffic.input_broadcasts.len() as u64;
         for (tile_id, tile_program) in program.tiles.iter().enumerate() {
             for (value, home) in &tile_program.preload {
                 let word =
@@ -279,9 +284,15 @@ mod tests {
         let outcome = MultiSimulator::new(&multi.program)
             .run(&fir_inputs())
             .unwrap();
+        // The simulator's count matches the allocator's accounting: one per
+        // executed transfer plus one per pre-execution input broadcast.
         assert_eq!(
             outcome.counts.inter_tile_transfers as usize,
-            multi.program.transfers.len()
+            multi.program.transfers.len() + multi.program.traffic.input_broadcasts.len()
+        );
+        assert_eq!(
+            outcome.counts.inter_tile_transfers as usize,
+            multi.program.stats.inter_tile_transfers
         );
         if multi.program.transfers.is_empty() {
             return;

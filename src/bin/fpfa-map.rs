@@ -13,22 +13,29 @@
 //! fpfa-map kernel.c --no-clustering --no-locality
 //! fpfa-map kernel.c --simulate       # run on the cycle-accurate simulator
 //! fpfa-map kernel.c --timings        # per-stage wall-clock breakdown
+//! fpfa-map kernel.c --repeat 5       # re-map through one MappingService
 //! fpfa-map --batch a.c b.c c.c       # map many kernels in parallel
 //! fpfa-map --batch                   # ... the built-in workload suite
+//! fpfa-map --batch --repeat 3        # warm-cache repeat of the suite
 //! ```
 //!
 //! With `--simulate`, every array of the kernel is filled with the
 //! deterministic test signal also used by the benchmark suite, and every
 //! scalar input is set to 1.  With `--batch`, all given kernels (or, with no
-//! files, the `fpfa-workloads` registry) are mapped in parallel through
-//! `Mapper::map_many` and the aggregated batch report is printed;
-//! `--threads N` bounds the worker pool.
+//! files, the `fpfa-workloads` registry) are mapped in parallel through a
+//! `MappingService` and the aggregated batch report — including the
+//! content-addressed cache's hit/miss/eviction stats — is printed;
+//! `--threads N` bounds the worker pool.  `--repeat N` runs the whole
+//! mapping N times through one long-lived `MappingService`, printing the
+//! wall-clock and cache stats of every pass: the first pass is cold, later
+//! passes are served from the cache.
 
 use fpfa::arch::{EnergyModel, TileConfig};
 use fpfa::core::pipeline::Mapper;
-use fpfa::core::{viz, KernelSpec, MappingResult};
+use fpfa::core::{viz, KernelSpec, MappingResult, MappingService};
 use fpfa::sim::{MultiSimulator, SimInputs, SimOutcome, Simulator};
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     paths: Vec<String>,
@@ -43,13 +50,15 @@ struct Options {
     timings: bool,
     batch: bool,
     threads: Option<usize>,
+    repeat: usize,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
-     [--legacy-transform] [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings]\n\
+     [--legacy-transform] [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings] \
+     [--repeat N]\n\
      \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
-     [--legacy-transform] [--timings]"
+     [--legacy-transform] [--timings] [--repeat N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -66,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timings: false,
         batch: false,
         threads: None,
+        repeat: 1,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -84,6 +94,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 let value = iter.next().ok_or("--threads needs a value")?;
                 options.threads = Some(value.parse().map_err(|_| "--threads needs a number")?);
+                if options.threads == Some(0) {
+                    return Err("--threads needs at least one thread".to_string());
+                }
+            }
+            "--repeat" => {
+                let value = iter.next().ok_or("--repeat needs a value")?;
+                options.repeat = value.parse().map_err(|_| "--repeat needs a number")?;
+                if options.repeat == 0 {
+                    return Err("--repeat needs at least one pass".to_string());
+                }
             }
             "--no-clustering" => options.clustering = false,
             "--no-locality" => options.locality = false,
@@ -102,6 +122,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             other => options.paths.push(other.to_string()),
         }
+    }
+    if options.repeat > 1 && (options.listing || options.simulate || options.dot.is_some()) {
+        return Err(format!(
+            "--repeat is incompatible with --listing/--simulate/--dot\n{}",
+            usage()
+        ));
     }
     if options.batch {
         if options.listing || options.simulate || options.dot.is_some() {
@@ -152,8 +178,9 @@ fn build_mapper(options: &Options) -> Mapper {
     mapper
 }
 
-/// `--batch`: maps every given kernel (or the built-in workload registry) in
-/// parallel and prints the aggregated report.
+/// `--batch`: maps every given kernel (or the built-in workload registry)
+/// through one [`MappingService`] — `--repeat N` times — and prints the
+/// aggregated report(s) including the cache stats.
 fn run_batch(options: &Options) -> Result<(), String> {
     let specs = if options.paths.is_empty() {
         fpfa::workloads::registry()
@@ -170,15 +197,27 @@ fn run_batch(options: &Options) -> Result<(), String> {
         specs
     };
 
-    let report = build_mapper(options).map_many(&specs);
+    let service = MappingService::new(build_mapper(options));
+    let mut report = service.map_many(&specs);
     print!("{report}");
+    for pass in 2..=options.repeat {
+        report = service.map_many(&specs);
+        println!(
+            "pass {pass}: {}/{} kernel(s) in {:?}, cache: {}",
+            report.succeeded(),
+            report.entries.len(),
+            report.wall,
+            service.stats()
+        );
+    }
     if options.timings {
         for entry in &report.entries {
             if let Ok(mapping) = &entry.outcome {
-                println!("\n-- {} --", entry.name);
+                println!("\n-- {} ({}) --", entry.name, mapping.report.cache);
                 print!("{}", mapping.trace);
             }
         }
+        println!("\ncache: {}", service.stats());
     }
     if report.failed() > 0 {
         return Err(format!("{} kernel(s) failed to map", report.failed()));
@@ -191,7 +230,26 @@ fn run(options: &Options) -> Result<(), String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     let mapper = build_mapper(options);
-    let mapping = mapper.map_source(&source).map_err(|e| e.to_string())?;
+    let mapping = if options.repeat > 1 {
+        // Repeat runs share one long-lived service: the first pass is cold,
+        // later passes are answered from the content-addressed cache.
+        let service = MappingService::new(mapper);
+        let mut mapping = None;
+        for pass in 1..=options.repeat {
+            let started = Instant::now();
+            let result = service.map_source(&source).map_err(|e| e.to_string())?;
+            println!(
+                "pass {pass}: {:?} ({})",
+                started.elapsed(),
+                result.report.cache
+            );
+            mapping = Some(result);
+        }
+        println!("cache: {}\n", service.stats());
+        mapping.ok_or("--repeat ran no passes")?
+    } else {
+        mapper.map_source(&source).map_err(|e| e.to_string())?
+    };
 
     match options.dot.as_deref() {
         Some("cdfg") => {

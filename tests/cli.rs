@@ -142,3 +142,63 @@ fn batch_mode_rejects_single_kernel_flags() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("incompatible"));
 }
+
+#[test]
+fn zero_threads_are_rejected_like_zero_tiles() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-threads0");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    for args in [
+        vec!["--batch", "--threads", "0"],
+        vec![kernel.to_str().unwrap(), "--threads", "0"],
+    ] {
+        let output = binary().args(&args).output().unwrap();
+        assert!(!output.status.success(), "{args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--threads needs at least one thread"),
+            "{args:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn repeat_serves_later_passes_from_the_cache() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-repeat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+    let output = binary()
+        .arg(&kernel)
+        .args(["--repeat", "3"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("pass 1"), "{stdout}");
+    assert!(stdout.contains("(miss)"), "{stdout}");
+    assert!(stdout.contains("(mapping hit)"), "{stdout}");
+    assert!(stdout.contains("cache: mapping 2/3 hit(s)"), "{stdout}");
+
+    let rejected = binary()
+        .arg(&kernel)
+        .args(["--repeat", "0"])
+        .output()
+        .unwrap();
+    assert!(!rejected.status.success());
+}
+
+#[test]
+fn batch_repeat_reports_cache_stats_per_pass() {
+    let output = binary()
+        .args(["--batch", "--repeat", "2", "--timings"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The first-pass batch report and every later pass carry cache stats.
+    assert!(stdout.contains("cache: mapping 0/"), "{stdout}");
+    assert!(stdout.contains("pass 2:"), "{stdout}");
+    assert!(stdout.contains("post-transform"), "{stdout}");
+    // Per-kernel timing sections name the cache outcome of the final pass.
+    assert!(stdout.contains("(mapping hit)"), "{stdout}");
+}

@@ -74,11 +74,12 @@ fn every_registry_kernel_maps_to_a_valid_four_tile_placement() {
             kernel.name
         );
 
-        // The report carries the multi-tile numbers.
+        // The report carries the multi-tile numbers: one transfer per cut
+        // edge plus one per pre-execution input broadcast.
         assert_eq!(mapping.report.tiles, 4, "{}", kernel.name);
         assert_eq!(
             mapping.report.inter_tile_transfers,
-            expected.len(),
+            expected.len() + multi.traffic().input_broadcasts.len(),
             "{}",
             kernel.name
         );
@@ -98,10 +99,11 @@ fn every_registry_kernel_is_equivalent_on_four_tiles() {
             "{} diverges on 4 tiles: {report}",
             kernel.name
         );
-        // The transfer count observed by the simulator matches the plan.
+        // The transfer count observed by the simulator matches the plan:
+        // executed transfers plus pre-execution input broadcasts.
         assert_eq!(
             report.outcome.counts.inter_tile_transfers as usize,
-            multi.program.transfers.len(),
+            multi.program.transfers.len() + multi.traffic().input_broadcasts.len(),
             "{}",
             kernel.name
         );
