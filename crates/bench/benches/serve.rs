@@ -1,0 +1,86 @@
+//! Criterion benches for the serving layer: protocol encode/decode cost and
+//! loopback request round-trips against a live in-process daemon.
+//!
+//! Three series:
+//!
+//! * `encode_decode_map` — the pure wire-protocol cost of one map request +
+//!   mapped response (no sockets);
+//! * `warm_map_roundtrip` — a full client→daemon→client round-trip for a
+//!   cache-warm registry kernel over loopback TCP (the per-request cost the
+//!   `fpfa-loadgen` throughput figures are built from);
+//! * `direct_warm_map` — the same warm mapping served in-process by the
+//!   `MappingService`, isolating what the wire adds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use fpfa_server::protocol::{KernelSource, MapKnobs, Request, Response};
+use fpfa_server::{Client, Server, ServerConfig};
+use std::hint::black_box;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+
+    let kernel = fpfa_workloads::fir(16);
+
+    // Pure protocol layer: one request + one plausible response.
+    let request = Request::Map {
+        kernel: KernelSource::new(kernel.name.clone(), kernel.source.clone()),
+        knobs: MapKnobs::default(),
+    };
+    let service = MappingService::new(Mapper::new());
+    let mapped = service.map_source(&kernel.source).expect("fir16 maps");
+    let response = Response::Mapped(fpfa_server::MapSummary {
+        name: kernel.name.clone(),
+        digest: fpfa_server::program_digest(&mapped),
+        operations: mapped.report.operations as u64,
+        clusters: mapped.report.clusters as u64,
+        levels: mapped.report.levels as u64,
+        cycles: mapped.report.cycles as u64,
+        tiles: 1,
+        inter_tile_transfers: 0,
+        cache: fpfa_server::CacheFlavor::MappingHit,
+        sim: None,
+        server_micros: 100,
+    });
+    group.bench_function("encode_decode_map", |b| {
+        b.iter(|| {
+            let req = Request::decode(black_box(&request.encode())).expect("request decodes");
+            let resp = Response::decode(black_box(&response.encode())).expect("response decodes");
+            black_box((req, resp))
+        })
+    });
+
+    // Loopback round-trips against a live daemon, warm cache.
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), service.clone())
+        .expect("bind loopback daemon");
+    let handle = server.spawn().expect("spawn daemon");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .map(&kernel.name, &kernel.source, MapKnobs::default())
+        .expect("warm-up mapping");
+    group.bench_function("warm_map_roundtrip", |b| {
+        b.iter(|| {
+            let summary = client
+                .map(&kernel.name, &kernel.source, MapKnobs::default())
+                .expect("warm mapping");
+            black_box(summary.digest)
+        })
+    });
+
+    group.bench_function("direct_warm_map", |b| {
+        b.iter(|| {
+            let result = service.map_source(black_box(&kernel.source)).expect("maps");
+            black_box(result.report.cycles)
+        })
+    });
+    group.finish();
+
+    handle.shutdown();
+    handle.join();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

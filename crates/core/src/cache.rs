@@ -336,6 +336,12 @@ impl<K: Hash + Eq + Clone, V> Shard<K, V> {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    fn clear(&mut self) -> usize {
+        let removed = self.map.len();
+        self.map.clear();
+        removed
+    }
 }
 
 fn lock_shard<K, V>(shard: &Mutex<Shard<K, V>>) -> MutexGuard<'_, Shard<K, V>> {
@@ -360,6 +366,7 @@ fn lock_shard<K, V>(shard: &Mutex<Shard<K, V>>) -> MutexGuard<'_, Shard<K, V>> {
 pub struct MappingCache {
     mapping_shards: Vec<Mutex<Shard<MappingKey, MappingResult>>>,
     post_shards: Vec<Mutex<Shard<PostTransformKey, PostTransformArtifacts>>>,
+    per_shard_capacity: usize,
     counters: Counters,
 }
 
@@ -369,6 +376,29 @@ pub const DEFAULT_CAPACITY: usize = 256;
 pub const DEFAULT_SHARDS: usize = 8;
 
 impl MappingCache {
+    /// The nominal capacity of each cache level, in entries (the per-shard
+    /// shares summed back up; at least the requested capacity).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.mapping_shards.len()
+    }
+
+    /// Drops every resident entry (both levels) and zeroes the residency
+    /// gauge, leaving the hit/miss/eviction counters untouched — the
+    /// server's cache-reset path.  Returns how many entries were dropped.
+    pub fn clear(&self) -> usize {
+        let mut removed = 0usize;
+        for shard in &self.mapping_shards {
+            removed += lock_shard(shard).clear();
+        }
+        for shard in &self.post_shards {
+            removed += lock_shard(shard).clear();
+        }
+        self.counters
+            .entries
+            .fetch_sub(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
     /// A cache with the default capacity ([`DEFAULT_CAPACITY`] entries per
     /// level) and sharding ([`DEFAULT_SHARDS`]).
     pub fn new() -> Self {
@@ -398,6 +428,7 @@ impl MappingCache {
             post_shards: (0..shards)
                 .map(|_| Mutex::new(Shard::new(per_shard)))
                 .collect(),
+            per_shard_capacity: per_shard,
             counters: Counters::default(),
         }
     }
@@ -563,6 +594,28 @@ mod tests {
             one,
             config_fingerprint(&config, &ArrayConfig::single_tile(), &toggles)
         );
+    }
+
+    #[test]
+    fn clear_drops_entries_and_keeps_counters() {
+        let cache = MappingCache::with_capacity_and_shards(8, 2);
+        assert_eq!(cache.capacity(), 8);
+        let mapper = crate::pipeline::Mapper::new();
+        let source = "void main() { int a[2]; int r; r = a[0] + a[1]; }";
+        mapper.map_source_cached(source, &cache).unwrap();
+        // One full-mapping entry plus one post-transform entry are resident.
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.clear(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        // The lookup history survives; only residency is reset.
+        assert_eq!(stats.mapping_misses, 1);
+        // The next request is a cold miss again.
+        let remapped = mapper.map_source_cached(source, &cache).unwrap();
+        assert_eq!(remapped.report.cache, CacheOutcome::Miss);
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.clear(), 2);
+        assert_eq!(cache.clear(), 0);
     }
 
     #[test]

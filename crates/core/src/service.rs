@@ -60,9 +60,28 @@ impl MappingService {
         Self::with_cache(mapper, Arc::new(MappingCache::new()))
     }
 
+    /// Wraps a mapper with a fresh cache bounded to `capacity` entries per
+    /// level (the `fpfa-map --cache-capacity` / `fpfa-serve` tuning knob).
+    pub fn with_capacity(mapper: Mapper, capacity: usize) -> Self {
+        Self::with_cache(mapper, Arc::new(MappingCache::with_capacity(capacity)))
+    }
+
     /// Wraps a mapper with an explicit (possibly shared) cache.
     pub fn with_cache(mapper: Mapper, cache: Arc<MappingCache>) -> Self {
         MappingService { mapper, cache }
+    }
+
+    /// Derives a service targeting a different mapper configuration while
+    /// sharing this service's cache (configs never alias: the cache key
+    /// fingerprints the configuration).
+    pub fn with_mapper(&self, mapper: Mapper) -> Self {
+        Self::with_cache(mapper, Arc::clone(&self.cache))
+    }
+
+    /// Drops every cached entry, keeping the hit/miss history.  Returns how
+    /// many entries were dropped.
+    pub fn clear_cache(&self) -> usize {
+        self.cache.clear()
     }
 
     /// The wrapped mapper.

@@ -1,0 +1,183 @@
+//! Blocking client for the `fpfa-serve` protocol.
+//!
+//! One [`Client`] owns one connection and issues one request at a time
+//! (the protocol is strictly request/response per connection; open more
+//! clients for concurrency, as `fpfa-loadgen` does).
+
+use crate::protocol::{
+    read_frame, write_frame, BatchSummary, FrameError, HealthSummary, KernelSource, MapKnobs,
+    MapSummary, ProtocolError, Request, Response, StatsSummary, WireError,
+};
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response.
+    Protocol(ProtocolError),
+    /// The server closed the connection instead of answering.
+    Disconnected,
+    /// The server answered with a typed error.
+    Server(WireError),
+    /// The server answered with a response of the wrong kind.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => f.write_str("server closed the connection"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(kind) => write!(f, "unexpected response kind: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            FrameError::TooLarge { len } => ClientError::Protocol(ProtocolError::BadLength {
+                context: "response frame",
+                len,
+            }),
+        }
+    }
+}
+
+/// A blocking connection to an `fpfa-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one request and waits for its response.  Typed server errors
+    /// ([`Response::Error`]) are returned as `Ok(Response::Error(..))` so
+    /// callers can distinguish load shedding from transport failure.
+    ///
+    /// # Errors
+    /// Fails on transport errors or undecodable responses.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        Response::decode(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Maps one kernel; any non-`Mapped` response becomes an error
+    /// ([`ClientError::Server`] for typed rejections).
+    ///
+    /// # Errors
+    /// Fails on transport errors, typed server rejections, or mapping
+    /// failures.
+    pub fn map(
+        &mut self,
+        name: &str,
+        source: &str,
+        knobs: MapKnobs,
+    ) -> Result<MapSummary, ClientError> {
+        let request = Request::Map {
+            kernel: KernelSource::new(name, source),
+            knobs,
+        };
+        match self.call(&request)? {
+            Response::Mapped(summary) => Ok(summary),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a mapping summary")),
+        }
+    }
+
+    /// Maps a batch of kernels under one knob set.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn batch(
+        &mut self,
+        kernels: Vec<KernelSource>,
+        knobs: MapKnobs,
+    ) -> Result<BatchSummary, ClientError> {
+        match self.call(&Request::Batch { kernels, knobs })? {
+            Response::Batch(summary) => Ok(summary),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a batch summary")),
+        }
+    }
+
+    /// Fetches the server statistics.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn stats(&mut self) -> Result<StatsSummary, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected statistics")),
+        }
+    }
+
+    /// Fetches the health snapshot.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn health(&mut self) -> Result<HealthSummary, ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health(health) => Ok(health),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a health snapshot")),
+        }
+    }
+
+    /// Drops the server's cached mappings and zeroes its counters; returns
+    /// how many cache entries were dropped.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn reset(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Reset)? {
+            Response::ResetDone { dropped_entries } => Ok(dropped_entries),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a reset ack")),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownStarted => Ok(()),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a shutdown ack")),
+        }
+    }
+}

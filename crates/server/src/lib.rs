@@ -1,0 +1,57 @@
+//! Mapping-as-a-service: the serving layer over the FPFA mapping flow.
+//!
+//! The paper's flow is a one-shot compiler; this crate turns it into a
+//! long-lived network service so the whole pipeline (frontend → transform →
+//! cluster → partition → schedule → allocate → cache) can be exercised
+//! under concurrent, sustained load:
+//!
+//! * [`protocol`] — a hand-rolled, length-prefixed framed wire protocol
+//!   (std-only; encode/decode is a pure, separately testable layer);
+//! * [`server`] — the daemon: a fixed worker pool sharing one
+//!   [`MappingService`](fpfa_core::service::MappingService), a bounded job
+//!   queue with admission control (queue-full ⇒ an immediate typed
+//!   `Overloaded` response), per-request deadline budgets, graceful
+//!   drain-on-shutdown, and atomics-backed statistics;
+//! * [`client`] — the blocking client library used by the `fpfa-serve`
+//!   daemon's peers: tests, the `fpfa-loadgen` closed-loop load generator,
+//!   and scripts.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use fpfa_core::pipeline::Mapper;
+//! use fpfa_core::service::MappingService;
+//! use fpfa_server::{Client, MapKnobs, Server, ServerConfig};
+//!
+//! let service = MappingService::new(Mapper::new());
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default(), service)?;
+//! let handle = server.spawn()?;
+//!
+//! let mut client = Client::connect(handle.addr())?;
+//! let summary = client.map(
+//!     "dot2",
+//!     "void main() { int a[2]; int r; r = a[0] * a[1]; }",
+//!     MapKnobs::default(),
+//! )?;
+//! assert!(summary.cycles > 0);
+//!
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    program_digest, BatchSummary, CacheFlavor, Histogram, KernelSource, MapKnobs, MapSummary,
+    ProtocolError, Request, Response, StatsSummary, WireError,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

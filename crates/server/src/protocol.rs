@@ -1,0 +1,1377 @@
+//! The `fpfa-serve` wire protocol: length-prefixed frames carrying a
+//! hand-rolled binary encoding of requests and responses.
+//!
+//! The protocol is deliberately tiny and dependency-free (the workspace has
+//! no crates.io access, so there is no serde):
+//!
+//! * **Framing** — every message is a little-endian `u32` payload length
+//!   followed by that many payload bytes.  [`read_frame`] / [`write_frame`]
+//!   are the only functions that touch the socket; everything else is a pure
+//!   `bytes -> value` / `value -> bytes` layer that is testable without any
+//!   I/O.  Frames above [`MAX_FRAME_LEN`] are rejected before any allocation
+//!   happens, so a corrupt length prefix cannot balloon memory.
+//! * **Requests** ([`Request`]) — `map` (one kernel + [`MapKnobs`]), `batch`
+//!   (many kernels under one knob set), `stats`, `reset` (drop cached
+//!   entries and zero the counters), `health` and `shutdown`.
+//! * **Responses** ([`Response`]) — a mapping summary (headline report
+//!   numbers plus a structural [program digest](program_digest) and the
+//!   cache outcome), a batch summary, server statistics including per-verb
+//!   latency [`Histogram`]s, a health snapshot, acks, or a *typed*
+//!   [`WireError`].  Admission-control rejections travel as
+//!   [`WireError::Overloaded`] — a first-class response, never a dropped
+//!   connection.
+//!
+//! Decoding never panics: every malformed, truncated or oversized input
+//! yields a typed [`ProtocolError`] (the property tests fuzz this).
+
+use fpfa_core::cache::CacheOutcome;
+use fpfa_core::pipeline::MappingResult;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload, request or response (16 MiB —
+/// generous for batches of kernel sources, small enough that a corrupt
+/// length prefix cannot balloon memory).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Number of latency buckets in a [`Histogram`]: bucket `i` counts requests
+/// that finished in `< 2^i` microseconds, the last bucket is the overflow.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A typed decoding failure.  Decoding never panics; every malformed input
+/// maps onto one of these.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// The payload ended before the value under `context` was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A tag byte does not name any variant of the value under `context`.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A length field exceeds [`MAX_FRAME_LEN`] (or the remaining payload).
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// A string field is not valid UTF-8.
+    BadUtf8 {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes {
+        /// How many bytes were left.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated { context } => {
+                write!(f, "truncated payload while decoding {context}")
+            }
+            ProtocolError::BadTag { context, tag } => {
+                write!(f, "unknown tag {tag:#04x} while decoding {context}")
+            }
+            ProtocolError::BadLength { context, len } => {
+                write!(f, "implausible length {len} while decoding {context}")
+            }
+            ProtocolError::BadUtf8 { context } => {
+                write!(f, "invalid UTF-8 while decoding {context}")
+            }
+            ProtocolError::TrailingBytes { count } => {
+                write!(f, "{count} trailing byte(s) after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A framing failure on the socket.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying read or write failed.
+    Io(io::Error),
+    /// The peer announced a frame above [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The announced payload length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameError::TooLarge { len } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one frame (little-endian `u32` length + payload).  The caller
+/// flushes the stream when the message must reach the peer.
+///
+/// # Errors
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME_LEN`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge {
+            len: payload.len() as u64,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+/// Propagates I/O errors (including mid-frame EOF as
+/// [`io::ErrorKind::UnexpectedEof`]); rejects frames above
+/// [`MAX_FRAME_LEN`] before allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before the first length byte means the peer hung up
+    // between messages; EOF after that is a torn frame.
+    match r.read(&mut len_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_bytes[n..])?,
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge { len: len as u64 });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Pure byte readers/writers
+// ---------------------------------------------------------------------------
+
+/// Append-only encoder over a byte buffer.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Cursor-based decoder returning typed errors, never panicking.
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(ProtocolError::Truncated { context })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, ProtocolError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn bool(&mut self, context: &'static str) -> Result<bool, ProtocolError> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(ProtocolError::BadTag { context, tag }),
+        }
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, ProtocolError> {
+        let bytes = self.take(4, context)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, ProtocolError> {
+        let bytes = self.take(8, context)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn i64(&mut self, context: &'static str) -> Result<i64, ProtocolError> {
+        Ok(self.u64(context)? as i64)
+    }
+
+    fn str(&mut self, context: &'static str) -> Result<String, ProtocolError> {
+        let len = self.u32(context)? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(ProtocolError::BadLength {
+                context,
+                len: len as u64,
+            });
+        }
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8 { context })
+    }
+
+    /// Upper bound for decoded collection lengths: every element needs at
+    /// least one byte, so any claimed length beyond the remaining payload is
+    /// corrupt (and would otherwise pre-allocate unboundedly).
+    fn seq_len(&mut self, context: &'static str) -> Result<usize, ProtocolError> {
+        let len = self.u32(context)? as usize;
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(ProtocolError::BadLength {
+                context,
+                len: len as u64,
+            });
+        }
+        Ok(len)
+    }
+
+    fn finish<T>(self, value: T) -> Result<T, ProtocolError> {
+        let left = self.bytes.len() - self.pos;
+        if left > 0 {
+            return Err(ProtocolError::TrailingBytes { count: left });
+        }
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Per-request mapping knobs, mirroring the `fpfa-map` flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MapKnobs {
+    /// Tile-array size the kernel is partitioned across; `0` inherits the
+    /// daemon's configured default (`fpfa-serve --tiles`).
+    pub tiles: u32,
+    /// Processing parts per tile; `0` inherits the daemon's configured
+    /// default (`fpfa-serve --pps`).
+    pub pps: u32,
+    /// Phase-1 clustering (off = one operation per cluster).  The toggles
+    /// can only *disable* features relative to the daemon's configuration.
+    pub clustering: bool,
+    /// Locality of reference in the allocator.
+    pub locality: bool,
+    /// Also run the mapped program on the cycle-accurate simulator with the
+    /// deterministic test signal and report the executed cycles/checksum.
+    pub simulate: bool,
+    /// Per-request deadline budget in milliseconds, measured from admission
+    /// to the job queue; `0` uses the server's default.  A request that
+    /// waits out its budget in the queue is answered with
+    /// [`WireError::DeadlineExceeded`] instead of being mapped late.
+    pub deadline_ms: u32,
+}
+
+impl Default for MapKnobs {
+    fn default() -> Self {
+        MapKnobs {
+            tiles: 0,
+            pps: 0,
+            clustering: true,
+            locality: true,
+            simulate: false,
+            deadline_ms: 0,
+        }
+    }
+}
+
+impl MapKnobs {
+    fn encode(&self, e: &mut Enc) {
+        e.u32(self.tiles);
+        e.u32(self.pps);
+        e.bool(self.clustering);
+        e.bool(self.locality);
+        e.bool(self.simulate);
+        e.u32(self.deadline_ms);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        Ok(MapKnobs {
+            tiles: d.u32("knobs.tiles")?,
+            pps: d.u32("knobs.pps")?,
+            clustering: d.bool("knobs.clustering")?,
+            locality: d.bool("knobs.locality")?,
+            simulate: d.bool("knobs.simulate")?,
+            deadline_ms: d.u32("knobs.deadline_ms")?,
+        })
+    }
+}
+
+/// One kernel to map: a report name plus its C-subset source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KernelSource {
+    /// Name echoed back in the summary.
+    pub name: String,
+    /// The C-subset source text.
+    pub source: String,
+}
+
+impl KernelSource {
+    /// Creates a named kernel source.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        KernelSource {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.str(&self.source);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        Ok(KernelSource {
+            name: d.str("kernel.name")?,
+            source: d.str("kernel.source")?,
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Map one kernel.
+    Map {
+        /// The kernel to map.
+        kernel: KernelSource,
+        /// Mapping knobs.
+        knobs: MapKnobs,
+    },
+    /// Map a batch of kernels under one knob set (served by the service's
+    /// parallel `map_many`, including in-batch dedup).
+    Batch {
+        /// The kernels to map.
+        kernels: Vec<KernelSource>,
+        /// Mapping knobs shared by the whole batch.
+        knobs: MapKnobs,
+    },
+    /// Ask for the server's statistics (admission counters, latency
+    /// histograms, cache hit ratio).
+    Stats,
+    /// Drop every cached mapping and zero the statistics counters.
+    Reset,
+    /// Liveness / drain-state probe.
+    Health,
+    /// Begin a graceful shutdown: the server stops accepting work, drains
+    /// queued jobs, then exits.
+    Shutdown,
+}
+
+const REQ_MAP: u8 = 1;
+const REQ_BATCH: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_RESET: u8 = 4;
+const REQ_HEALTH: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Request::Map { kernel, knobs } => {
+                e.u8(REQ_MAP);
+                kernel.encode(&mut e);
+                knobs.encode(&mut e);
+            }
+            Request::Batch { kernels, knobs } => {
+                e.u8(REQ_BATCH);
+                e.u32(kernels.len() as u32);
+                for kernel in kernels {
+                    kernel.encode(&mut e);
+                }
+                knobs.encode(&mut e);
+            }
+            Request::Stats => e.u8(REQ_STATS),
+            Request::Reset => e.u8(REQ_RESET),
+            Request::Health => e.u8(REQ_HEALTH),
+            Request::Shutdown => e.u8(REQ_SHUTDOWN),
+        }
+        e.buf
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// Returns a typed [`ProtocolError`] on truncated, corrupt or trailing
+    /// bytes; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        let mut d = Dec::new(bytes);
+        let request = match d.u8("request tag")? {
+            REQ_MAP => Request::Map {
+                kernel: KernelSource::decode(&mut d)?,
+                knobs: MapKnobs::decode(&mut d)?,
+            },
+            REQ_BATCH => {
+                let count = d.seq_len("batch count")?;
+                let mut kernels = Vec::with_capacity(count);
+                for _ in 0..count {
+                    kernels.push(KernelSource::decode(&mut d)?);
+                }
+                Request::Batch {
+                    kernels,
+                    knobs: MapKnobs::decode(&mut d)?,
+                }
+            }
+            REQ_STATS => Request::Stats,
+            REQ_RESET => Request::Reset,
+            REQ_HEALTH => Request::Health,
+            REQ_SHUTDOWN => Request::Shutdown,
+            tag => {
+                return Err(ProtocolError::BadTag {
+                    context: "request tag",
+                    tag,
+                })
+            }
+        };
+        d.finish(request)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// How a served mapping interacted with the content-addressed cache
+/// (the wire rendering of [`CacheOutcome`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheFlavor {
+    /// No cache was consulted.
+    Uncached,
+    /// Both cache levels missed; the full flow ran.
+    Miss,
+    /// Served from the full-mapping cache without running any stage.
+    MappingHit,
+    /// Cluster/partition/schedule/allocate work was reused.
+    PostTransformHit,
+}
+
+impl From<CacheOutcome> for CacheFlavor {
+    fn from(outcome: CacheOutcome) -> Self {
+        match outcome {
+            CacheOutcome::Uncached => CacheFlavor::Uncached,
+            CacheOutcome::Miss => CacheFlavor::Miss,
+            CacheOutcome::MappingHit => CacheFlavor::MappingHit,
+            CacheOutcome::PostTransformHit => CacheFlavor::PostTransformHit,
+        }
+    }
+}
+
+impl fmt::Display for CacheFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheFlavor::Uncached => "uncached",
+            CacheFlavor::Miss => "miss",
+            CacheFlavor::MappingHit => "mapping hit",
+            CacheFlavor::PostTransformHit => "post-transform hit",
+        })
+    }
+}
+
+impl CacheFlavor {
+    fn tag(self) -> u8 {
+        match self {
+            CacheFlavor::Uncached => 0,
+            CacheFlavor::Miss => 1,
+            CacheFlavor::MappingHit => 2,
+            CacheFlavor::PostTransformHit => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, ProtocolError> {
+        Ok(match tag {
+            0 => CacheFlavor::Uncached,
+            1 => CacheFlavor::Miss,
+            2 => CacheFlavor::MappingHit,
+            3 => CacheFlavor::PostTransformHit,
+            tag => {
+                return Err(ProtocolError::BadTag {
+                    context: "cache flavor",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Result of running the mapped program on the cycle-accurate simulator
+/// (present when the request set [`MapKnobs::simulate`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimSummary {
+    /// Executed clock cycles.
+    pub cycles: u64,
+    /// Sum of the scalar outputs under the deterministic test signal — a
+    /// cheap end-to-end checksum clients can compare across runs.
+    pub checksum: i64,
+}
+
+/// Headline numbers of one served mapping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapSummary {
+    /// The kernel name from the request (disambiguated inside batches).
+    pub name: String,
+    /// Structural digest of the mapped program ([`program_digest`]): equal
+    /// digests ⇒ the server produced the same mapping.
+    pub digest: u64,
+    /// Operations in the simplified mapping graph.
+    pub operations: u64,
+    /// Phase-1 clusters.
+    pub clusters: u64,
+    /// Phase-2 schedule levels.
+    pub levels: u64,
+    /// Phase-3 clock cycles.
+    pub cycles: u64,
+    /// Tiles the mapping targets.
+    pub tiles: u64,
+    /// Values routed over the inter-tile interconnect.
+    pub inter_tile_transfers: u64,
+    /// How the cache served this request.
+    pub cache: CacheFlavor,
+    /// Simulation outcome when requested.
+    pub sim: Option<SimSummary>,
+    /// Server-side handling time (admission to response) in microseconds.
+    pub server_micros: u64,
+}
+
+impl MapSummary {
+    fn encode(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.u64(self.digest);
+        e.u64(self.operations);
+        e.u64(self.clusters);
+        e.u64(self.levels);
+        e.u64(self.cycles);
+        e.u64(self.tiles);
+        e.u64(self.inter_tile_transfers);
+        e.u8(self.cache.tag());
+        match &self.sim {
+            Some(sim) => {
+                e.bool(true);
+                e.u64(sim.cycles);
+                e.i64(sim.checksum);
+            }
+            None => e.bool(false),
+        }
+        e.u64(self.server_micros);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        Ok(MapSummary {
+            name: d.str("summary.name")?,
+            digest: d.u64("summary.digest")?,
+            operations: d.u64("summary.operations")?,
+            clusters: d.u64("summary.clusters")?,
+            levels: d.u64("summary.levels")?,
+            cycles: d.u64("summary.cycles")?,
+            tiles: d.u64("summary.tiles")?,
+            inter_tile_transfers: d.u64("summary.inter_tile_transfers")?,
+            cache: CacheFlavor::from_tag(d.u8("cache flavor")?)?,
+            sim: if d.bool("summary.sim flag")? {
+                Some(SimSummary {
+                    cycles: d.u64("sim.cycles")?,
+                    checksum: d.i64("sim.checksum")?,
+                })
+            } else {
+                None
+            },
+            server_micros: d.u64("summary.server_micros")?,
+        })
+    }
+}
+
+/// One entry of a batch response.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchEntrySummary {
+    /// Disambiguated entry name (`name`, `name#2`, … as in `fpfa-map`).
+    pub name: String,
+    /// The mapping summary, or the kernel's error rendering.
+    pub outcome: Result<MapSummary, String>,
+}
+
+/// Aggregate response to a [`Request::Batch`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchSummary {
+    /// Per-kernel outcomes in input order.
+    pub entries: Vec<BatchEntrySummary>,
+    /// Wall-clock of the whole batch, in microseconds.
+    pub wall_micros: u64,
+    /// Specs served by in-batch source deduplication.
+    pub deduped: u64,
+}
+
+impl BatchSummary {
+    /// Number of entries that mapped successfully.
+    pub fn succeeded(&self) -> usize {
+        self.entries.iter().filter(|e| e.outcome.is_ok()).count()
+    }
+
+    fn encode(&self, e: &mut Enc) {
+        e.u32(self.entries.len() as u32);
+        for entry in &self.entries {
+            e.str(&entry.name);
+            match &entry.outcome {
+                Ok(summary) => {
+                    e.bool(true);
+                    summary.encode(e);
+                }
+                Err(error) => {
+                    e.bool(false);
+                    e.str(error);
+                }
+            }
+        }
+        e.u64(self.wall_micros);
+        e.u64(self.deduped);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        let count = d.seq_len("batch entries")?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name = d.str("batch entry name")?;
+            let outcome = if d.bool("batch entry flag")? {
+                Ok(MapSummary::decode(d)?)
+            } else {
+                Err(d.str("batch entry error")?)
+            };
+            entries.push(BatchEntrySummary { name, outcome });
+        }
+        Ok(BatchSummary {
+            entries,
+            wall_micros: d.u64("batch wall")?,
+            deduped: d.u64("batch deduped")?,
+        })
+    }
+}
+
+/// A power-of-two latency histogram: bucket `i` counts requests that
+/// completed in `< 2^i` microseconds (the last bucket is the overflow).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Histogram {
+    /// Bucket counts ([`HISTOGRAM_BUCKETS`] of them).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a latency of `micros` lands in.
+    pub fn bucket_of(micros: u64) -> usize {
+        ((u64::BITS - micros.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation (used by the client-side merge; the server
+    /// records into atomics).
+    pub fn record(&mut self, micros: u64) {
+        self.buckets[Self::bucket_of(micros)] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile observation.
+    /// Bucketed, so the value is a ≤ 2x overestimate — plenty for "p99
+    /// under a millisecond" style statements.  `None` while empty, and
+    /// `None` when the quantile lands in the overflow bucket (such an
+    /// observation has no finite bound to report).
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                if index + 1 == self.buckets.len() {
+                    return None; // overflow bucket: not actually a bound
+                }
+                return Some(1u64 << index.min(63));
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    fn encode(&self, e: &mut Enc) {
+        e.u32(self.buckets.len() as u32);
+        for &count in &self.buckets {
+            e.u64(count);
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        let count = d.seq_len("histogram buckets")?;
+        let mut buckets = Vec::with_capacity(count);
+        for _ in 0..count {
+            buckets.push(d.u64("histogram bucket")?);
+        }
+        Ok(Histogram { buckets })
+    }
+}
+
+/// Server statistics: admission counters, per-verb latency histograms and
+/// the mapping cache's counters.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StatsSummary {
+    /// Connections accepted since start (or the last reset).
+    pub connections: u64,
+    /// Requests admitted to the job queue.
+    pub accepted: u64,
+    /// Requests answered with a mapping or batch summary.
+    pub served_ok: u64,
+    /// Requests whose kernel failed to map (typed `MapFailed` responses).
+    pub served_err: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Requests dropped because their deadline budget lapsed in the queue.
+    pub rejected_deadline: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_shutdown: u64,
+    /// Configured worker threads.
+    pub workers: u64,
+    /// Configured job-queue capacity.
+    pub queue_depth: u64,
+    /// Full-mapping cache hits.
+    pub cache_mapping_hits: u64,
+    /// Full-mapping cache misses.
+    pub cache_mapping_misses: u64,
+    /// Post-transform cache hits.
+    pub cache_post_hits: u64,
+    /// Post-transform cache misses.
+    pub cache_post_misses: u64,
+    /// Cache entries currently resident.
+    pub cache_entries: u64,
+    /// Nominal cache capacity per level.
+    pub cache_capacity: u64,
+    /// Latency histogram of `map` requests (admission → response).
+    pub map_latency: Histogram,
+    /// Latency histogram of `batch` requests.
+    pub batch_latency: Histogram,
+}
+
+impl StatsSummary {
+    /// Fraction of full-mapping lookups that hit (`None` before the first).
+    pub fn mapping_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_mapping_hits + self.cache_mapping_misses;
+        (total > 0).then(|| self.cache_mapping_hits as f64 / total as f64)
+    }
+
+    fn encode(&self, e: &mut Enc) {
+        for v in [
+            self.connections,
+            self.accepted,
+            self.served_ok,
+            self.served_err,
+            self.rejected_overload,
+            self.rejected_deadline,
+            self.rejected_shutdown,
+            self.workers,
+            self.queue_depth,
+            self.cache_mapping_hits,
+            self.cache_mapping_misses,
+            self.cache_post_hits,
+            self.cache_post_misses,
+            self.cache_entries,
+            self.cache_capacity,
+        ] {
+            e.u64(v);
+        }
+        self.map_latency.encode(e);
+        self.batch_latency.encode(e);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        Ok(StatsSummary {
+            connections: d.u64("stats.connections")?,
+            accepted: d.u64("stats.accepted")?,
+            served_ok: d.u64("stats.served_ok")?,
+            served_err: d.u64("stats.served_err")?,
+            rejected_overload: d.u64("stats.rejected_overload")?,
+            rejected_deadline: d.u64("stats.rejected_deadline")?,
+            rejected_shutdown: d.u64("stats.rejected_shutdown")?,
+            workers: d.u64("stats.workers")?,
+            queue_depth: d.u64("stats.queue_depth")?,
+            cache_mapping_hits: d.u64("stats.cache_mapping_hits")?,
+            cache_mapping_misses: d.u64("stats.cache_mapping_misses")?,
+            cache_post_hits: d.u64("stats.cache_post_hits")?,
+            cache_post_misses: d.u64("stats.cache_post_misses")?,
+            cache_entries: d.u64("stats.cache_entries")?,
+            cache_capacity: d.u64("stats.cache_capacity")?,
+            map_latency: Histogram::decode(d)?,
+            batch_latency: Histogram::decode(d)?,
+        })
+    }
+}
+
+/// A liveness snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HealthSummary {
+    /// Microseconds since the server started.
+    pub uptime_micros: u64,
+    /// Jobs admitted but not yet answered (queued + running).
+    pub in_flight: u64,
+    /// `true` once a graceful shutdown has begun.
+    pub draining: bool,
+}
+
+/// A typed service error — the admission-control and failure vocabulary of
+/// the protocol.  Every rejection is a first-class response on a healthy
+/// connection, never a dropped socket.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The bounded job queue was full; the request was rejected immediately
+    /// instead of buffering without bound.  Back off and retry.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        queue_depth: u64,
+    },
+    /// The request's deadline budget lapsed before a worker picked it up.
+    DeadlineExceeded {
+        /// The budget that lapsed, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// The request was structurally invalid (bad knobs, empty batch, …).
+    Invalid(String),
+    /// The kernel failed to map; the payload is the flow error rendering.
+    MapFailed {
+        /// The kernel name from the request.
+        name: String,
+        /// The mapping error.
+        error: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: job queue of {queue_depth} is full")
+            }
+            WireError::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline of {budget_ms} ms exceeded while queued")
+            }
+            WireError::ShuttingDown => f.write_str("server is shutting down"),
+            WireError::Invalid(reason) => write!(f, "invalid request: {reason}"),
+            WireError::MapFailed { name, error } => write!(f, "mapping `{name}` failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A server-to-client message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// A served mapping.
+    Mapped(MapSummary),
+    /// A served batch.
+    Batch(BatchSummary),
+    /// Statistics snapshot.
+    Stats(StatsSummary),
+    /// Health snapshot.
+    Health(HealthSummary),
+    /// Acknowledges a [`Request::Reset`]; carries the number of cache
+    /// entries dropped.
+    ResetDone {
+        /// Cache entries dropped by the reset.
+        dropped_entries: u64,
+    },
+    /// Acknowledges a [`Request::Shutdown`]; the server drains and exits.
+    ShutdownStarted,
+    /// A typed error.
+    Error(WireError),
+}
+
+const RESP_MAPPED: u8 = 1;
+const RESP_BATCH: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_HEALTH: u8 = 4;
+const RESP_RESET: u8 = 5;
+const RESP_SHUTDOWN: u8 = 6;
+const RESP_ERROR: u8 = 7;
+
+const ERR_OVERLOADED: u8 = 1;
+const ERR_DEADLINE: u8 = 2;
+const ERR_SHUTTING_DOWN: u8 = 3;
+const ERR_INVALID: u8 = 4;
+const ERR_MAP_FAILED: u8 = 5;
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Response::Mapped(summary) => {
+                e.u8(RESP_MAPPED);
+                summary.encode(&mut e);
+            }
+            Response::Batch(batch) => {
+                e.u8(RESP_BATCH);
+                batch.encode(&mut e);
+            }
+            Response::Stats(stats) => {
+                e.u8(RESP_STATS);
+                stats.encode(&mut e);
+            }
+            Response::Health(health) => {
+                e.u8(RESP_HEALTH);
+                e.u64(health.uptime_micros);
+                e.u64(health.in_flight);
+                e.bool(health.draining);
+            }
+            Response::ResetDone { dropped_entries } => {
+                e.u8(RESP_RESET);
+                e.u64(*dropped_entries);
+            }
+            Response::ShutdownStarted => e.u8(RESP_SHUTDOWN),
+            Response::Error(error) => {
+                e.u8(RESP_ERROR);
+                match error {
+                    WireError::Overloaded { queue_depth } => {
+                        e.u8(ERR_OVERLOADED);
+                        e.u64(*queue_depth);
+                    }
+                    WireError::DeadlineExceeded { budget_ms } => {
+                        e.u8(ERR_DEADLINE);
+                        e.u64(*budget_ms);
+                    }
+                    WireError::ShuttingDown => e.u8(ERR_SHUTTING_DOWN),
+                    WireError::Invalid(reason) => {
+                        e.u8(ERR_INVALID);
+                        e.str(reason);
+                    }
+                    WireError::MapFailed { name, error } => {
+                        e.u8(ERR_MAP_FAILED);
+                        e.str(name);
+                        e.str(error);
+                    }
+                }
+            }
+        }
+        e.buf
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    /// Returns a typed [`ProtocolError`] on truncated, corrupt or trailing
+    /// bytes; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Response, ProtocolError> {
+        let mut d = Dec::new(bytes);
+        let response = match d.u8("response tag")? {
+            RESP_MAPPED => Response::Mapped(MapSummary::decode(&mut d)?),
+            RESP_BATCH => Response::Batch(BatchSummary::decode(&mut d)?),
+            RESP_STATS => Response::Stats(StatsSummary::decode(&mut d)?),
+            RESP_HEALTH => Response::Health(HealthSummary {
+                uptime_micros: d.u64("health.uptime")?,
+                in_flight: d.u64("health.in_flight")?,
+                draining: d.bool("health.draining")?,
+            }),
+            RESP_RESET => Response::ResetDone {
+                dropped_entries: d.u64("reset.dropped")?,
+            },
+            RESP_SHUTDOWN => Response::ShutdownStarted,
+            RESP_ERROR => Response::Error(match d.u8("error tag")? {
+                ERR_OVERLOADED => WireError::Overloaded {
+                    queue_depth: d.u64("error.queue_depth")?,
+                },
+                ERR_DEADLINE => WireError::DeadlineExceeded {
+                    budget_ms: d.u64("error.budget_ms")?,
+                },
+                ERR_SHUTTING_DOWN => WireError::ShuttingDown,
+                ERR_INVALID => WireError::Invalid(d.str("error.reason")?),
+                ERR_MAP_FAILED => WireError::MapFailed {
+                    name: d.str("error.name")?,
+                    error: d.str("error.error")?,
+                },
+                tag => {
+                    return Err(ProtocolError::BadTag {
+                        context: "error tag",
+                        tag,
+                    })
+                }
+            }),
+            tag => {
+                return Err(ProtocolError::BadTag {
+                    context: "response tag",
+                    tag,
+                })
+            }
+        };
+        d.finish(response)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program digest
+// ---------------------------------------------------------------------------
+
+/// FNV-1a, the classic dependency-free stable hash: unlike
+/// `DefaultHasher`, its output is guaranteed identical across processes, so
+/// a digest computed by the daemon can be compared against one computed by
+/// a test or a client on the other side of the wire.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    fn str(&mut self, value: &str) {
+        self.usize(value.len());
+        for byte in value.as_bytes() {
+            self.byte(*byte);
+        }
+    }
+}
+
+/// A stable structural digest of a mapped program: the headline report
+/// numbers, the per-cycle occupancy pattern of every tile, and the scalar
+/// output names.  Equal digests mean the server handed out the same mapping
+/// — the cheap cross-process identity check used by the end-to-end tests
+/// and the load generator (building the full listing per request would cost
+/// more than a warm cache hit itself).
+pub fn program_digest(result: &MappingResult) -> u64 {
+    let mut fnv = Fnv::new();
+    let report = &result.report;
+    for value in [
+        report.operations,
+        report.clusters,
+        report.levels,
+        report.cycles,
+        report.stall_cycles,
+        report.alus_used,
+        report.register_hits,
+        report.register_misses,
+        report.mem_writebacks,
+        report.crossbar_transfers,
+        report.tiles.max(1),
+        report.inter_tile_transfers,
+    ] {
+        fnv.usize(value);
+    }
+    let mut digest_tile = |program: &fpfa_core::TileProgram| {
+        fnv.usize(program.cycle_count());
+        for cycle in &program.cycles {
+            fnv.usize(cycle.alus.len());
+            fnv.usize(cycle.moves.len());
+            fnv.usize(cycle.writebacks.len());
+        }
+    };
+    match &result.multi {
+        Some(multi) => {
+            for tile in &multi.program.tiles {
+                digest_tile(tile);
+            }
+            fnv.usize(multi.program.transfers.len());
+            for (name, tile, _) in &multi.program.scalar_outputs {
+                fnv.str(name);
+                fnv.usize(*tile);
+            }
+        }
+        None => {
+            digest_tile(&result.program);
+            for (name, _) in &result.program.scalar_outputs {
+                fnv.str(name);
+            }
+        }
+    }
+    fnv.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_all_verbs() {
+        let requests = [
+            Request::Map {
+                kernel: KernelSource::new("fir", "void main() {}"),
+                knobs: MapKnobs {
+                    tiles: 4,
+                    pps: 3,
+                    clustering: false,
+                    locality: true,
+                    simulate: true,
+                    deadline_ms: 250,
+                },
+            },
+            Request::Batch {
+                kernels: vec![
+                    KernelSource::new("a", "void main() {}"),
+                    KernelSource::new("b", "int x;"),
+                ],
+                knobs: MapKnobs::default(),
+            },
+            Request::Stats,
+            Request::Reset,
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let decoded = Request::decode(&request.encode()).unwrap();
+            assert_eq!(decoded, request);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        let summary = MapSummary {
+            name: "fir".into(),
+            digest: 0xdead_beef,
+            operations: 10,
+            clusters: 4,
+            levels: 3,
+            cycles: 7,
+            tiles: 1,
+            inter_tile_transfers: 0,
+            cache: CacheFlavor::MappingHit,
+            sim: Some(SimSummary {
+                cycles: 7,
+                checksum: -42,
+            }),
+            server_micros: 120,
+        };
+        let responses = [
+            Response::Mapped(summary.clone()),
+            Response::Batch(BatchSummary {
+                entries: vec![
+                    BatchEntrySummary {
+                        name: "fir".into(),
+                        outcome: Ok(summary),
+                    },
+                    BatchEntrySummary {
+                        name: "bad".into(),
+                        outcome: Err("frontend: nope".into()),
+                    },
+                ],
+                wall_micros: 900,
+                deduped: 1,
+            }),
+            Response::Stats(StatsSummary {
+                accepted: 3,
+                map_latency: {
+                    let mut h = Histogram::default();
+                    h.record(10);
+                    h.record(100_000);
+                    h
+                },
+                ..StatsSummary::default()
+            }),
+            Response::Health(HealthSummary {
+                uptime_micros: 5,
+                in_flight: 2,
+                draining: true,
+            }),
+            Response::ResetDone { dropped_entries: 9 },
+            Response::ShutdownStarted,
+            Response::Error(WireError::Overloaded { queue_depth: 64 }),
+            Response::Error(WireError::DeadlineExceeded { budget_ms: 100 }),
+            Response::Error(WireError::ShuttingDown),
+            Response::Error(WireError::Invalid("empty batch".into())),
+            Response::Error(WireError::MapFailed {
+                name: "bad".into(),
+                error: "loops remain".into(),
+            }),
+        ];
+        for response in responses {
+            let decoded = Response::decode(&response.encode()).unwrap();
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_typed_errors() {
+        let bytes = Request::Map {
+            kernel: KernelSource::new("k", "src"),
+            knobs: MapKnobs::default(),
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            let err = Request::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ProtocolError::Truncated { .. }
+                        | ProtocolError::BadTag { .. }
+                        | ProtocolError::BadLength { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        assert_eq!(
+            Request::decode(&padded),
+            Err(ProtocolError::TrailingBytes { count: 1 })
+        );
+    }
+
+    #[test]
+    fn corrupt_sequence_lengths_are_rejected_without_allocation() {
+        // A batch claiming u32::MAX kernels in a 10-byte payload.
+        let mut bytes = vec![REQ_BATCH];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 5]);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(ProtocolError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+
+        let mut oversize = io::Cursor::new(((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut oversize),
+            Err(FrameError::TooLarge { .. })
+        ));
+
+        // EOF in the middle of a frame is an error, not a silent None.
+        let mut torn = io::Cursor::new(vec![200, 0, 0, 0, 1, 2, 3]);
+        assert!(matches!(read_frame(&mut torn), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        for micros in [3, 3, 3, 900] {
+            h.record(micros);
+        }
+        // Three of four observations sit in the `< 4 µs` bucket.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(4));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1024));
+        assert_eq!(h.total(), 4);
+        // An observation in the overflow bucket has no finite bound.
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_upper_bound(1.0), None);
+        assert_eq!(h.quantile_upper_bound(0.5), Some(4));
+    }
+
+    #[test]
+    fn digest_distinguishes_programs() {
+        let mapper = fpfa_core::pipeline::Mapper::new();
+        let fir = mapper
+            .map_source(
+                "void main() { int a[4]; int c[4]; int s; int i; s = 0; i = 0;
+                  while (i < 4) { s = s + a[i] * c[i]; i = i + 1; } }",
+            )
+            .unwrap();
+        let other = mapper
+            .map_source("void main() { int a[2]; int r; r = a[0] + a[1]; }")
+            .unwrap();
+        assert_eq!(program_digest(&fir), program_digest(&fir));
+        assert_ne!(program_digest(&fir), program_digest(&other));
+    }
+}

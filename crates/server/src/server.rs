@@ -1,0 +1,929 @@
+//! The mapping daemon: a fixed worker-thread pool behind a bounded job
+//! queue, serving the framed protocol of [`crate::protocol`] over TCP.
+//!
+//! Life of a request:
+//!
+//! 1. The acceptor thread hands each connection to a connection thread,
+//!    which reads frames and decodes requests.
+//! 2. Cheap verbs (`stats`, `health`, `reset`, `shutdown`) are answered on
+//!    the connection thread itself.
+//! 3. Mapping verbs (`map`, `batch`) go through **admission control**: the
+//!    job is pushed onto a bounded queue with a non-blocking `try_push`.  A
+//!    full queue answers [`WireError::Overloaded`] *immediately* — the
+//!    server sheds load instead of buffering without bound, and the client
+//!    keeps a healthy connection to back off on.
+//! 4. A worker pops the job, first checking its **deadline budget**: a job
+//!    that waited out its budget in the queue is answered
+//!    [`WireError::DeadlineExceeded`] without being mapped (mapping it late
+//!    would waste a worker on an answer nobody is waiting for).
+//! 5. The worker maps through the shared [`MappingService`] — every worker
+//!    and every knob configuration shares one content-addressed cache — and
+//!    replies through the job's channel back to the connection thread.
+//!
+//! **Graceful shutdown** (the `shutdown` verb or [`ServerHandle::shutdown`])
+//! stops the acceptor, lets the workers drain every already-admitted job,
+//! answers new mapping requests with [`WireError::ShuttingDown`], and joins
+//! every thread before [`Server::run`] returns.
+
+use crate::protocol::{
+    program_digest, write_frame, BatchEntrySummary, BatchSummary, CacheFlavor, FrameError,
+    HealthSummary, Histogram, KernelSource, MapKnobs, MapSummary, Request, Response, SimSummary,
+    StatsSummary, WireError, HISTOGRAM_BUCKETS,
+};
+use fpfa_core::flow::KernelSpec;
+use fpfa_core::pipeline::MappingResult;
+use fpfa_core::service::MappingService;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the tile-array size a request may ask for (a typed
+/// `Invalid` rejection, so a stray knob cannot make a worker build an
+/// arbitrarily large array model).
+pub const MAX_TILES: u32 = 64;
+/// Upper bound on per-request batch size.
+pub const MAX_BATCH_KERNELS: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of the daemon.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads mapping kernels (≥ 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with `Overloaded`.
+    pub queue_depth: usize,
+    /// Deadline budget applied when a request carries `deadline_ms == 0`.
+    /// [`Duration::ZERO`] means "no deadline".
+    pub default_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded job queue (the admission-control primitive)
+// ---------------------------------------------------------------------------
+
+/// Why [`JobQueue::try_push`] refused an item.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushRefused {
+    /// The queue holds `capacity` items; shed the load.
+    Full,
+    /// The queue was closed for shutdown.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: producers never block (admission control wants an
+/// immediate full/empty verdict), consumers block until an item arrives or
+/// the queue is closed *and* drained.
+pub(crate) struct JobQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+fn lock_state<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Queue state is a VecDeque plus a flag; a panicking holder cannot leave
+    // either torn, so a poisoned lock stays usable.
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<T> JobQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admits `item` unless the queue is at capacity or closed.  Never
+    /// blocks — this is the admission-control decision point.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushRefused> {
+        let mut state = lock_state(&self.state);
+        if state.closed {
+            return Err(PushRefused::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushRefused::Full);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available; `None` once the queue is closed
+    /// and fully drained (workers use this as their exit signal, which is
+    /// what makes shutdown drain in-flight work instead of dropping it).
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = lock_state(&self.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the queue: producers are refused, consumers drain what is
+    /// left and then see `None`.
+    pub(crate) fn close(&self) {
+        lock_state(&self.state).closed = true;
+        self.available.notify_all();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        lock_state(&self.state).items.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Atomics-backed latency histogram (same bucket layout as the wire
+/// [`Histogram`]).
+#[derive(Debug)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, micros: u64) {
+        self.buckets[Histogram::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        Histogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|bucket| bucket.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The daemon's counters, all atomics so every thread updates them without
+/// locking.
+#[derive(Debug)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    served_ok: AtomicU64,
+    served_err: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    in_flight: AtomicU64,
+    map_latency: AtomicHistogram,
+    batch_latency: AtomicHistogram,
+}
+
+impl ServerStats {
+    fn new() -> Self {
+        ServerStats {
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            served_ok: AtomicU64::new(0),
+            served_err: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            map_latency: AtomicHistogram::new(),
+            batch_latency: AtomicHistogram::new(),
+        }
+    }
+
+    fn reset(&self) {
+        for counter in [
+            &self.connections,
+            &self.accepted,
+            &self.served_ok,
+            &self.served_err,
+            &self.rejected_overload,
+            &self.rejected_deadline,
+            &self.rejected_shutdown,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+        self.map_latency.reset();
+        self.batch_latency.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+enum Work {
+    One(KernelSource),
+    Many(Vec<KernelSource>),
+}
+
+struct Job {
+    work: Work,
+    knobs: MapKnobs,
+    admitted: Instant,
+    reply: mpsc::SyncSender<Response>,
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+struct Inner {
+    base: MappingService,
+    config: ServerConfig,
+    queue: JobQueue<Job>,
+    stats: ServerStats,
+    shutting_down: AtomicBool,
+    started: Instant,
+}
+
+impl Inner {
+    /// The service for one request's knobs: the base service's cache shared
+    /// under a mapper derived from the daemon's configured mapper.  `tiles`
+    /// / `pps` of `0` inherit the daemon defaults; the boolean toggles can
+    /// only disable features relative to them.  Building a mapper is a
+    /// couple of copies, so no per-knob memoisation is needed.
+    fn service_for(&self, knobs: &MapKnobs) -> MappingService {
+        let mut mapper = self.base.mapper().clone();
+        if knobs.pps != 0 {
+            let config = self.base.mapper().config().with_num_pps(knobs.pps as usize);
+            mapper = mapper.with_config(config);
+        }
+        if knobs.tiles != 0 {
+            mapper = mapper.with_tiles(knobs.tiles as usize);
+        }
+        if !knobs.clustering {
+            mapper = mapper.without_clustering();
+        }
+        if !knobs.locality {
+            mapper = mapper.without_locality();
+        }
+        self.base.with_mapper(mapper)
+    }
+
+    fn deadline_of(&self, knobs: &MapKnobs) -> Duration {
+        if knobs.deadline_ms > 0 {
+            Duration::from_millis(u64::from(knobs.deadline_ms))
+        } else {
+            self.config.default_deadline
+        }
+    }
+
+    fn stats_summary(&self) -> StatsSummary {
+        let cache = self.base.stats();
+        StatsSummary {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            accepted: self.stats.accepted.load(Ordering::Relaxed),
+            served_ok: self.stats.served_ok.load(Ordering::Relaxed),
+            served_err: self.stats.served_err.load(Ordering::Relaxed),
+            rejected_overload: self.stats.rejected_overload.load(Ordering::Relaxed),
+            rejected_deadline: self.stats.rejected_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: self.stats.rejected_shutdown.load(Ordering::Relaxed),
+            workers: self.config.workers as u64,
+            queue_depth: self.config.queue_depth as u64,
+            cache_mapping_hits: cache.mapping_hits,
+            cache_mapping_misses: cache.mapping_misses,
+            cache_post_hits: cache.post_transform_hits,
+            cache_post_misses: cache.post_transform_misses,
+            cache_entries: cache.entries,
+            cache_capacity: self.base.cache().capacity() as u64,
+            map_latency: self.stats.map_latency.snapshot(),
+            batch_latency: self.stats.batch_latency.snapshot(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon (bind first so callers can learn the
+/// OS-assigned port of `addr:0` before serving).
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// Control handle for a daemon running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the daemon is serving on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful shutdown (idempotent): stop accepting, drain the
+    /// queue, answer new work with `ShuttingDown`.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.inner, self.addr);
+    }
+
+    /// A snapshot of the daemon's statistics (same payload as the `stats`
+    /// verb, without a connection).
+    pub fn stats(&self) -> StatsSummary {
+        self.inner.stats_summary()
+    }
+
+    /// Waits for the daemon to finish draining and exit; returns the final
+    /// statistics.
+    pub fn join(self) -> StatsSummary {
+        let _ = self.thread.join();
+        self.inner.stats_summary()
+    }
+}
+
+fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
+    if inner.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    inner.queue.close();
+    // Unblock the acceptor: it re-checks the flag per connection, so one
+    // throwaway connection is enough.
+    let _ = TcpStream::connect(addr);
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        service: MappingService,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth.max(1),
+            default_deadline: config.default_deadline,
+        };
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                base: service,
+                config,
+                queue: JobQueue::new(config.queue_depth),
+                stats: ServerStats::new(),
+                shutting_down: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a graceful shutdown completes: workers spawned, every
+    /// connection handled, queue drained, all threads joined.
+    ///
+    /// # Errors
+    /// Propagates socket errors from the accept loop.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut workers = Vec::with_capacity(self.inner.config.workers);
+        for _ in 0..self.inner.config.workers {
+            let inner = Arc::clone(&self.inner);
+            workers.push(std::thread::spawn(move || worker_loop(&inner)));
+        }
+
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut outcome = Ok(());
+        for stream in self.listener.incoming() {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let inner = Arc::clone(&self.inner);
+                    connections.push(std::thread::spawn(move || {
+                        serve_connection(&inner, stream, addr);
+                    }));
+                    // Reap finished connection threads so a long-lived
+                    // daemon does not accumulate handles.
+                    connections.retain(|handle| !handle.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => {
+                    initiate_shutdown(&self.inner, addr);
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+
+        // Drain: the queue is closed, workers finish every admitted job,
+        // connection threads notice the flag within one read-poll interval.
+        self.inner.queue.close();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        outcome
+    }
+
+    /// Runs the daemon on a background thread, returning a control handle.
+    ///
+    /// # Errors
+    /// Propagates socket errors discovered while reading the bound address.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let inner = Arc::clone(&self.inner);
+        let thread = std::thread::spawn(move || {
+            // The handle owns shutdown; accept-loop errors end the thread.
+            let _ = self.run();
+        });
+        Ok(ServerHandle {
+            addr,
+            inner,
+            thread,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        process_job(inner, job);
+        inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn process_job(inner: &Inner, job: Job) {
+    let deadline = inner.deadline_of(&job.knobs);
+    let waited = job.admitted.elapsed();
+    if !deadline.is_zero() && waited > deadline {
+        inner
+            .stats
+            .rejected_deadline
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Response::Error(WireError::DeadlineExceeded {
+            budget_ms: deadline.as_millis() as u64,
+        }));
+        return;
+    }
+
+    let service = inner.service_for(&job.knobs);
+    let response = match &job.work {
+        Work::One(kernel) => match serve_map(&service, kernel, &job.knobs, job.admitted) {
+            Ok(summary) => {
+                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                Response::Mapped(summary)
+            }
+            Err(error) => {
+                inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
+                Response::Error(error)
+            }
+        },
+        Work::Many(kernels) => {
+            let specs: Vec<KernelSpec> = kernels
+                .iter()
+                .map(|k| KernelSpec::new(k.name.clone(), k.source.clone()))
+                .collect();
+            let report = service.map_many(&specs);
+            if report.failed() == 0 {
+                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
+            }
+            let entries = report
+                .entries
+                .iter()
+                .map(|entry| BatchEntrySummary {
+                    name: entry.name.clone(),
+                    outcome: match &entry.outcome {
+                        Ok(result) => Ok(summarize(&entry.name, result, None, job.admitted)),
+                        Err(error) => Err(error.to_string()),
+                    },
+                })
+                .collect();
+            Response::Batch(BatchSummary {
+                entries,
+                wall_micros: report.wall.as_micros() as u64,
+                deduped: report.deduped as u64,
+            })
+        }
+    };
+
+    let micros = job.admitted.elapsed().as_micros() as u64;
+    match &job.work {
+        Work::One(_) => inner.stats.map_latency.record(micros),
+        Work::Many(_) => inner.stats.batch_latency.record(micros),
+    }
+    let _ = job.reply.send(response);
+}
+
+fn serve_map(
+    service: &MappingService,
+    kernel: &KernelSource,
+    knobs: &MapKnobs,
+    admitted: Instant,
+) -> Result<MapSummary, WireError> {
+    let result = service
+        .map_source(&kernel.source)
+        .map_err(|error| WireError::MapFailed {
+            name: kernel.name.clone(),
+            error: error.to_string(),
+        })?;
+    let sim = if knobs.simulate {
+        Some(simulate(&result).map_err(|error| WireError::MapFailed {
+            name: kernel.name.clone(),
+            error,
+        })?)
+    } else {
+        None
+    };
+    Ok(summarize(&kernel.name, &result, sim, admitted))
+}
+
+fn summarize(
+    name: &str,
+    result: &MappingResult,
+    sim: Option<SimSummary>,
+    admitted: Instant,
+) -> MapSummary {
+    let report = &result.report;
+    MapSummary {
+        name: name.to_string(),
+        digest: program_digest(result),
+        operations: report.operations as u64,
+        clusters: report.clusters as u64,
+        levels: report.levels as u64,
+        cycles: report.cycles as u64,
+        tiles: report.tiles.max(1) as u64,
+        inter_tile_transfers: report.inter_tile_transfers as u64,
+        cache: CacheFlavor::from(report.cache),
+        sim,
+        server_micros: admitted.elapsed().as_micros() as u64,
+    }
+}
+
+fn simulate(mapping: &MappingResult) -> Result<SimSummary, String> {
+    let mut inputs = fpfa_sim::SimInputs::new();
+    for (phase, sym) in mapping.layout.arrays().iter().enumerate() {
+        inputs.statespace.store_array(
+            sym.base,
+            &fpfa_workloads::test_signal(sym.len, phase as i64),
+        );
+    }
+    for name in &mapping.program.scalar_input_names {
+        inputs.scalars.insert(name.clone(), 1);
+    }
+    let outcome = match &mapping.multi {
+        Some(multi) => fpfa_sim::MultiSimulator::new(&multi.program)
+            .run(&inputs)
+            .map_err(|e| e.to_string())?,
+        None => fpfa_sim::Simulator::new(&mapping.program)
+            .run(&inputs)
+            .map_err(|e| e.to_string())?,
+    };
+    let checksum = outcome
+        .scalars
+        .values()
+        .fold(0i64, |acc, v| acc.wrapping_add(*v));
+    Ok(SimSummary {
+        cycles: outcome.counts.cycles,
+        checksum,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Connection side
+// ---------------------------------------------------------------------------
+
+/// How long a connection thread blocks on a read before re-checking the
+/// shutdown flag (bounds how long shutdown waits for idle connections).
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long a draining connection keeps serving after shutdown begins, so
+/// in-flight clients receive their typed `ShuttingDown` answers instead of
+/// a closed socket (bounds total shutdown latency for clients that linger).
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
+fn serve_connection(inner: &Inner, stream: TcpStream, addr: SocketAddr) {
+    inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        // Wait for the first byte of a frame under the poll timeout (so the
+        // thread can notice a shutdown), then read the rest patiently — a
+        // timeout mid-frame must not desynchronise the stream.
+        let mut first = [0u8; 1];
+        match reader.read(&mut first) {
+            Ok(0) => break, // clean EOF between frames
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        let mut rest = [0u8; 3];
+        if read_exact_patient(&mut reader, &mut rest).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+        if len > crate::protocol::MAX_FRAME_LEN {
+            // The peer is off the rails; answer once, then hang up (the
+            // rest of the stream cannot be re-synchronised).
+            let response = Response::Error(WireError::Invalid(format!(
+                "frame of {len} bytes exceeds the limit"
+            )));
+            let _ = send(&mut writer, &response);
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        if read_exact_patient(&mut reader, &mut payload).is_err() {
+            break;
+        }
+        let response = match Request::decode(&payload) {
+            Ok(request) => match dispatch(inner, request, addr) {
+                Some(response) => response,
+                None => break, // client went away mid-request
+            },
+            Err(error) => Response::Error(WireError::Invalid(error.to_string())),
+        };
+        if send(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+/// How long the server tolerates a peer stalling in the middle of a frame
+/// before dropping the connection.
+const FRAME_PATIENCE: Duration = Duration::from_secs(10);
+
+/// `read_exact` over a socket with a read timeout: retries timeouts (the
+/// poll interval is a liveness mechanism, not a protocol deadline) until
+/// [`FRAME_PATIENCE`] is exhausted.
+fn read_exact_patient(reader: &mut impl io::Read, buf: &mut [u8]) -> io::Result<()> {
+    let started = Instant::now();
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if started.elapsed() > FRAME_PATIENCE {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> Result<(), FrameError> {
+    write_frame(writer, &response.encode())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Handles one decoded request; `None` when the reply channel died (the
+/// connection dropped while its job was queued).
+fn dispatch(inner: &Inner, request: Request, addr: SocketAddr) -> Option<Response> {
+    match request {
+        Request::Stats => Some(Response::Stats(inner.stats_summary())),
+        Request::Health => Some(Response::Health(HealthSummary {
+            uptime_micros: inner.started.elapsed().as_micros() as u64,
+            in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
+            draining: inner.shutting_down.load(Ordering::SeqCst),
+        })),
+        Request::Reset => {
+            let dropped = inner.base.clear_cache() as u64;
+            inner.base.cache().reset_stats();
+            inner.stats.reset();
+            Some(Response::ResetDone {
+                dropped_entries: dropped,
+            })
+        }
+        Request::Shutdown => {
+            initiate_shutdown(inner, addr);
+            Some(Response::ShutdownStarted)
+        }
+        Request::Map { kernel, knobs } => {
+            if let Err(reason) = validate(&knobs, 1) {
+                return Some(Response::Error(WireError::Invalid(reason)));
+            }
+            submit(inner, Work::One(kernel), knobs)
+        }
+        Request::Batch { kernels, knobs } => {
+            if kernels.is_empty() {
+                return Some(Response::Error(WireError::Invalid(
+                    "empty batch".to_string(),
+                )));
+            }
+            if let Err(reason) = validate(&knobs, kernels.len()) {
+                return Some(Response::Error(WireError::Invalid(reason)));
+            }
+            if knobs.simulate {
+                return Some(Response::Error(WireError::Invalid(
+                    "simulate is not supported for batches".to_string(),
+                )));
+            }
+            submit(inner, Work::Many(kernels), knobs)
+        }
+    }
+}
+
+fn validate(knobs: &MapKnobs, batch_len: usize) -> Result<(), String> {
+    if knobs.tiles > MAX_TILES {
+        return Err(format!(
+            "tiles {} exceeds the {MAX_TILES} limit",
+            knobs.tiles
+        ));
+    }
+    if batch_len > MAX_BATCH_KERNELS {
+        return Err(format!(
+            "batch of {batch_len} kernels exceeds the {MAX_BATCH_KERNELS} limit"
+        ));
+    }
+    Ok(())
+}
+
+/// Admission control: try to enqueue, answer `Overloaded`/`ShuttingDown`
+/// immediately when refused, otherwise wait for the worker's reply.
+fn submit(inner: &Inner, work: Work, knobs: MapKnobs) -> Option<Response> {
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        inner
+            .stats
+            .rejected_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+        return Some(Response::Error(WireError::ShuttingDown));
+    }
+    let (reply, receive) = mpsc::sync_channel(1);
+    let job = Job {
+        work,
+        knobs,
+        admitted: Instant::now(),
+        reply,
+    };
+    inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+    match inner.queue.try_push(job) {
+        Ok(()) => {
+            inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            receive.recv().ok()
+        }
+        Err(refused) => {
+            inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            Some(match refused {
+                PushRefused::Full => {
+                    inner
+                        .stats
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    Response::Error(WireError::Overloaded {
+                        queue_depth: inner.config.queue_depth as u64,
+                    })
+                }
+                PushRefused::Closed => {
+                    inner
+                        .stats
+                        .rejected_shutdown
+                        .fetch_add(1, Ordering::Relaxed);
+                    Response::Error(WireError::ShuttingDown)
+                }
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_admission_is_immediate_and_bounded() {
+        let queue: JobQueue<u32> = JobQueue::new(2);
+        assert_eq!(queue.try_push(1), Ok(()));
+        assert_eq!(queue.try_push(2), Ok(()));
+        assert_eq!(queue.try_push(3), Err(PushRefused::Full));
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(3), Ok(()));
+        queue.close();
+        assert_eq!(queue.try_push(4), Err(PushRefused::Closed));
+        // Closing drains what was admitted before signalling exit.
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn queue_pop_blocks_until_push() {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new(1));
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.try_push(7), Ok(()));
+        assert_eq!(popper.join().unwrap(), Some(7));
+
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn knob_validation_rejects_out_of_range() {
+        let good = MapKnobs::default();
+        assert!(validate(&good, 1).is_ok());
+        // 0 is the "inherit the daemon default" sentinel, not an error.
+        let inherit_tiles = MapKnobs { tiles: 0, ..good };
+        assert!(validate(&inherit_tiles, 1).is_ok());
+        let huge = MapKnobs {
+            tiles: MAX_TILES + 1,
+            ..good
+        };
+        assert!(validate(&huge, 1).is_err());
+        assert!(validate(&good, MAX_BATCH_KERNELS + 1).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Property tests for the wire protocol: arbitrary requests and responses
+//! roundtrip byte-exactly, and no mangled payload (truncated, bit-flipped,
+//! or random bytes) can make the decoder panic — corruption always surfaces
+//! as a typed [`ProtocolError`] or decodes as a well-formed message.
+
+use fpfa_server::protocol::{
+    BatchEntrySummary, BatchSummary, CacheFlavor, Histogram, KernelSource, MapKnobs, MapSummary,
+    ProtocolError, Request, Response, SimSummary, StatsSummary, WireError, HISTOGRAM_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Strings over a small alphabet plus some multi-byte UTF-8, so length
+/// prefixes and byte counts disagree with char counts now and then.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|&byte| match byte % 7 {
+                0 => 'µ',
+                1 => '→',
+                _ => (b'a' + byte % 26) as char,
+            })
+            .collect()
+    })
+}
+
+fn arb_knobs() -> impl Strategy<Value = MapKnobs> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(tiles, pps, clustering, locality, simulate, deadline_ms)| MapKnobs {
+                tiles,
+                pps,
+                clustering,
+                locality,
+                simulate,
+                deadline_ms,
+            },
+        )
+}
+
+fn arb_kernel() -> impl Strategy<Value = KernelSource> {
+    (arb_string(), arb_string()).prop_map(|(name, source)| KernelSource { name, source })
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (arb_kernel(), arb_knobs()).prop_map(|(kernel, knobs)| Request::Map { kernel, knobs }),
+        (prop::collection::vec(arb_kernel(), 0..5), arb_knobs())
+            .prop_map(|(kernels, knobs)| Request::Batch { kernels, knobs }),
+        Just(Request::Stats),
+        Just(Request::Reset),
+        Just(Request::Health),
+        Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+fn arb_cache_flavor() -> impl Strategy<Value = CacheFlavor> {
+    prop_oneof![
+        Just(CacheFlavor::Uncached),
+        Just(CacheFlavor::Miss),
+        Just(CacheFlavor::MappingHit),
+        Just(CacheFlavor::PostTransformHit),
+    ]
+}
+
+fn arb_summary() -> impl Strategy<Value = MapSummary> {
+    (
+        arb_string(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (any::<u64>(), any::<u64>()),
+        arb_cache_flavor(),
+        (any::<bool>(), any::<u64>(), any::<i64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                name,
+                (digest, operations, clusters, levels, cycles),
+                (tiles, inter_tile_transfers),
+                cache,
+                (has_sim, sim_cycles, checksum, server_micros),
+            )| MapSummary {
+                name,
+                digest,
+                operations,
+                clusters,
+                levels,
+                cycles,
+                tiles,
+                inter_tile_transfers,
+                cache,
+                sim: has_sim.then_some(SimSummary {
+                    cycles: sim_cycles,
+                    checksum,
+                }),
+                server_micros,
+            },
+        )
+}
+
+fn arb_histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(any::<u64>(), HISTOGRAM_BUCKETS..=HISTOGRAM_BUCKETS)
+        .prop_map(|buckets| Histogram { buckets })
+}
+
+fn arb_wire_error() -> BoxedStrategy<WireError> {
+    prop_oneof![
+        any::<u64>().prop_map(|queue_depth| WireError::Overloaded { queue_depth }),
+        any::<u64>().prop_map(|budget_ms| WireError::DeadlineExceeded { budget_ms }),
+        Just(WireError::ShuttingDown),
+        arb_string().prop_map(WireError::Invalid),
+        (arb_string(), arb_string()).prop_map(|(name, error)| WireError::MapFailed { name, error }),
+    ]
+    .boxed()
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    let entry = (arb_string(), any::<bool>(), arb_summary(), arb_string()).prop_map(
+        |(name, ok, summary, error)| BatchEntrySummary {
+            name,
+            outcome: if ok { Ok(summary) } else { Err(error) },
+        },
+    );
+    prop_oneof![
+        arb_summary().prop_map(Response::Mapped),
+        (
+            prop::collection::vec(entry, 0..4),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(entries, wall_micros, deduped)| Response::Batch(BatchSummary {
+                    entries,
+                    wall_micros,
+                    deduped,
+                })
+            ),
+        (
+            prop::collection::vec(any::<u64>(), 15..=15),
+            arb_histogram(),
+            arb_histogram()
+        )
+            .prop_map(|(counters, map_latency, batch_latency)| {
+                Response::Stats(StatsSummary {
+                    connections: counters[0],
+                    accepted: counters[1],
+                    served_ok: counters[2],
+                    served_err: counters[3],
+                    rejected_overload: counters[4],
+                    rejected_deadline: counters[5],
+                    rejected_shutdown: counters[6],
+                    workers: counters[7],
+                    queue_depth: counters[8],
+                    cache_mapping_hits: counters[9],
+                    cache_mapping_misses: counters[10],
+                    cache_post_hits: counters[11],
+                    cache_post_misses: counters[12],
+                    cache_entries: counters[13],
+                    cache_capacity: counters[14],
+                    map_latency,
+                    batch_latency,
+                })
+            }),
+        any::<u64>().prop_map(|dropped_entries| Response::ResetDone { dropped_entries }),
+        Just(Response::ShutdownStarted),
+        arb_wire_error().prop_map(Response::Error),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_roundtrip(request in arb_request()) {
+        let encoded = request.encode();
+        prop_assert_eq!(Request::decode(&encoded), Ok(request));
+    }
+
+    #[test]
+    fn responses_roundtrip(response in arb_response()) {
+        let encoded = response.encode();
+        prop_assert_eq!(Response::decode(&encoded), Ok(response));
+    }
+
+    #[test]
+    fn truncated_requests_yield_typed_errors(request in arb_request(), cut in any::<usize>()) {
+        let encoded = request.encode();
+        let cut = cut % encoded.len().max(1);
+        // A strict prefix can never decode to a complete message: every
+        // trailing field is mandatory, so truncation must error (and, above
+        // all, must not panic).
+        let decoded = Request::decode(&encoded[..cut]);
+        prop_assert!(decoded.is_err(), "cut at {} decoded: {:?}", cut, decoded);
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        request in arb_request(),
+        position in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let mut encoded = request.encode();
+        let position = position % encoded.len().max(1);
+        if !encoded.is_empty() {
+            encoded[position] ^= 1 << bit;
+        }
+        // A flipped byte may still decode (e.g. a changed numeric knob) but
+        // must never panic and never produce garbage lengths.
+        let _ = Request::decode(&encoded);
+        let _ = Response::decode(&encoded);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_are_rejected(request in arb_request(), lie in any::<u32>()) {
+        // Overwrite the first length field after the tag (if any) with a
+        // lie; decoding must fail with a typed error, not allocate wildly.
+        let mut encoded = request.encode();
+        if encoded.len() >= 5 {
+            encoded[1..5].copy_from_slice(&lie.to_le_bytes());
+            match Request::decode(&encoded) {
+                Ok(_) => {} // a small lie can still parse coherently
+                Err(
+                    ProtocolError::Truncated { .. }
+                    | ProtocolError::BadLength { .. }
+                    | ProtocolError::BadTag { .. }
+                    | ProtocolError::BadUtf8 { .. }
+                    | ProtocolError::TrailingBytes { .. },
+                ) => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! End-to-end tests of the daemon: concurrent clients against a real
+//! socket, byte-agreement with direct `MappingService` calls, typed
+//! `Overloaded` rejections under queue saturation, deadline budgets, and
+//! graceful shutdown.
+
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use fpfa_server::protocol::{KernelSource, MapKnobs, Request, Response, WireError};
+use fpfa_server::server::{Server, ServerConfig, ServerHandle};
+use fpfa_server::{program_digest, Client, ClientError};
+use std::time::Duration;
+
+fn start(config: ServerConfig, mapper: Mapper) -> ServerHandle {
+    let server =
+        Server::bind("127.0.0.1:0", config, MappingService::new(mapper)).expect("bind on port 0");
+    server.spawn().expect("spawn server")
+}
+
+/// A unique heavy kernel per index: a 2D convolution whose added constant
+/// makes every source a cold cache miss.
+fn heavy_kernel(index: usize) -> String {
+    fpfa_workloads::conv2d_3x3(8, 8)
+        .source
+        .replace("acc = acc +", &format!("acc = acc + {} +", index + 1))
+}
+
+const TRIVIAL: &str = "void main() { int a[2]; int r; r = a[0] + a[1]; }";
+
+#[test]
+fn concurrent_clients_agree_with_direct_service_calls() {
+    // Direct (in-process) ground truth over the whole registry.
+    let direct = MappingService::new(Mapper::new());
+    let kernels: Vec<(String, String)> = fpfa_workloads::registry()
+        .into_iter()
+        .map(|kernel| (kernel.name, kernel.source))
+        .collect();
+    let expected: Vec<(String, u64, u64)> = kernels
+        .iter()
+        .map(|(name, source)| {
+            let result = direct.map_source(source).expect("registry kernels map");
+            (
+                name.clone(),
+                program_digest(&result),
+                result.report.cycles as u64,
+            )
+        })
+        .collect();
+
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let addr = handle.addr();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let kernels = &kernels;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for ((name, source), (_, digest, cycles)) in kernels.iter().zip(expected) {
+                    let summary = client
+                        .map(name, source, MapKnobs::default())
+                        .unwrap_or_else(|e| panic!("mapping `{name}` failed: {e}"));
+                    assert_eq!(summary.digest, *digest, "digest of `{name}`");
+                    assert_eq!(summary.cycles, *cycles, "cycles of `{name}`");
+                    assert_eq!(summary.name, *name);
+                }
+            });
+        }
+    });
+
+    let stats = Client::connect(addr)
+        .expect("connect for stats")
+        .stats()
+        .expect("stats");
+    assert_eq!(stats.served_ok, 4 * kernels.len() as u64);
+    assert_eq!(stats.served_err, 0);
+    assert_eq!(stats.rejected_overload, 0);
+    // 4 passes over the same kernels: at most one miss per kernel, the rest
+    // served from the shared cache.
+    assert!(
+        stats.cache_mapping_hits >= 3 * kernels.len() as u64,
+        "expected a warm cache, got {stats:?}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn multi_tile_requests_agree_and_do_not_alias_single_tile() {
+    let direct = MappingService::new(Mapper::new().with_tiles(4));
+    let source = &fpfa_workloads::fir(64).source;
+    let expected = direct.map_source(source).expect("fir64 maps on 4 tiles");
+
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let four = client
+        .map(
+            "fir64",
+            source,
+            MapKnobs {
+                tiles: 4,
+                ..MapKnobs::default()
+            },
+        )
+        .expect("4-tile mapping");
+    assert_eq!(four.tiles, 4);
+    assert_eq!(four.digest, program_digest(&expected));
+    assert_eq!(four.cycles, expected.report.cycles as u64);
+    assert_eq!(
+        four.inter_tile_transfers,
+        expected.report.inter_tile_transfers as u64
+    );
+
+    let one = client
+        .map(
+            "fir64",
+            source,
+            MapKnobs {
+                tiles: 1,
+                ..MapKnobs::default()
+            },
+        )
+        .expect("1-tile mapping");
+    assert_eq!(one.tiles, 1);
+    assert_ne!(one.digest, four.digest, "tile counts must not alias");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn zero_knobs_inherit_the_daemon_defaults() {
+    // A daemon configured for a 2-tile array: requests with the `0` tile
+    // sentinel map on 2 tiles, explicit knobs still override it.
+    let handle = start(ServerConfig::default(), Mapper::new().with_tiles(2));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let source = &fpfa_workloads::fir(64).source;
+    let inherited = client
+        .map("fir64", source, MapKnobs::default())
+        .expect("default-knob mapping");
+    assert_eq!(inherited.tiles, 2, "tiles=0 inherits the daemon default");
+    let expected = MappingService::new(Mapper::new().with_tiles(2))
+        .map_source(source)
+        .expect("direct 2-tile mapping");
+    assert_eq!(inherited.digest, program_digest(&expected));
+    let overridden = client
+        .map(
+            "fir64",
+            source,
+            MapKnobs {
+                tiles: 1,
+                ..MapKnobs::default()
+            },
+        )
+        .expect("explicit single-tile mapping");
+    assert_eq!(overridden.tiles, 1);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn simulate_knob_returns_consistent_outcomes() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let knobs = MapKnobs {
+        simulate: true,
+        ..MapKnobs::default()
+    };
+    let source = &fpfa_workloads::fir(5).source;
+    let cold = client
+        .map("fir5", source, knobs)
+        .expect("simulated mapping");
+    let sim = cold.sim.expect("simulate knob produces a sim summary");
+    assert_eq!(sim.cycles, cold.cycles, "simulator agrees with allocator");
+    // A cache-served repeat simulates the identical program.
+    let warm = client.map("fir5", source, knobs).expect("warm repeat");
+    assert_eq!(warm.sim, cold.sim);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn saturated_queue_rejects_with_typed_overloaded() {
+    let handle = start(
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            default_deadline: Duration::ZERO,
+        },
+        Mapper::new(),
+    );
+    let addr = handle.addr();
+
+    // Three heavy cold kernels contend for the single worker and the single
+    // queue slot, retrying *immediately* when shed — so for as long as at
+    // least two heavies remain unserved, the queue slot is (re)taken within
+    // microseconds of freeing and quick probes must see `Overloaded`.
+    let heavies: Vec<_> = (0..3)
+        .map(|index| {
+            let source = heavy_kernel(index);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect heavy");
+                loop {
+                    match client.map(&format!("heavy{index}"), &source, MapKnobs::default()) {
+                        Ok(summary) => return summary,
+                        Err(ClientError::Server(WireError::Overloaded { .. })) => {}
+                        Err(e) => panic!("heavy kernel {index} failed: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut probe = Client::connect(addr).expect("connect probe");
+    let mut overloaded = 0usize;
+    for _ in 0..2000 {
+        match probe.call(&Request::Map {
+            kernel: KernelSource::new("probe", TRIVIAL),
+            knobs: MapKnobs::default(),
+        }) {
+            Ok(Response::Error(WireError::Overloaded { queue_depth })) => {
+                assert_eq!(queue_depth, 1);
+                overloaded += 1;
+                if overloaded >= 3 {
+                    break;
+                }
+            }
+            Ok(Response::Mapped(_)) => {} // slipped into a free slot
+            other => panic!("unexpected probe outcome: {other:?}"),
+        }
+    }
+    assert!(
+        overloaded >= 1,
+        "saturating a 1-deep queue never produced an Overloaded rejection"
+    );
+
+    for heavy in heavies {
+        heavy.join().expect("heavy mapping threads");
+    }
+    // The shedding connection stays healthy: the same probe client now gets
+    // served once capacity frees up.
+    let served = probe
+        .map("probe", TRIVIAL, MapKnobs::default())
+        .expect("probe maps after the burst");
+    assert!(served.cycles > 0);
+    let stats = handle.stats();
+    assert!(stats.rejected_overload >= overloaded as u64);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn lapsed_deadline_budget_is_a_typed_rejection() {
+    let handle = start(
+        ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            default_deadline: Duration::ZERO,
+        },
+        Mapper::new(),
+    );
+    let addr = handle.addr();
+    // Busy the single worker with a heavy cold kernel...
+    let source = heavy_kernel(99);
+    let heavy = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect heavy");
+        client
+            .map("heavy", &source, MapKnobs::default())
+            .expect("heavy maps")
+    });
+    // ... then queue a request whose 1 ms budget lapses while it waits.
+    // (Retry in case the heavy kernel had not reached the worker yet.)
+    let mut client = Client::connect(addr).expect("connect");
+    let mut saw_deadline = false;
+    for _ in 0..50 {
+        match client.map(
+            "impatient",
+            TRIVIAL,
+            MapKnobs {
+                deadline_ms: 1,
+                ..MapKnobs::default()
+            },
+        ) {
+            Err(ClientError::Server(WireError::DeadlineExceeded { budget_ms })) => {
+                assert_eq!(budget_ms, 1);
+                saw_deadline = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        saw_deadline,
+        "a 1 ms budget behind a heavy job never lapsed"
+    );
+    heavy.join().expect("heavy thread");
+    assert!(handle.stats().rejected_deadline >= 1);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn batch_verb_disambiguates_names_and_reports_failures() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let batch = client
+        .batch(
+            vec![
+                KernelSource::new("k", TRIVIAL),
+                KernelSource::new("k", TRIVIAL),
+                KernelSource::new("bad", "void main() { r = 1; }"),
+            ],
+            MapKnobs::default(),
+        )
+        .expect("batch call");
+    assert_eq!(batch.entries.len(), 3);
+    assert_eq!(batch.entries[0].name, "k");
+    assert_eq!(batch.entries[1].name, "k#2");
+    assert_eq!(batch.succeeded(), 2);
+    assert_eq!(batch.deduped, 1, "identical sources dedup in-batch");
+    let error = batch.entries[2].outcome.as_ref().unwrap_err();
+    assert!(error.contains("frontend"), "unexpected error: {error}");
+    // Structurally invalid batches are typed rejections.
+    let empty = client.batch(Vec::new(), MapKnobs::default()).unwrap_err();
+    assert!(matches!(empty, ClientError::Server(WireError::Invalid(_))));
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn invalid_knobs_and_payloads_are_typed_not_fatal() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let oversized_array = client
+        .map(
+            "k",
+            TRIVIAL,
+            MapKnobs {
+                tiles: fpfa_server::server::MAX_TILES + 1,
+                ..MapKnobs::default()
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(
+        oversized_array,
+        ClientError::Server(WireError::Invalid(_))
+    ));
+    // A kernel that fails to map is a typed MapFailed naming the kernel.
+    let failed = client
+        .map("broken", "void main() { x = 1; }", MapKnobs::default())
+        .unwrap_err();
+    match failed {
+        ClientError::Server(WireError::MapFailed { name, .. }) => assert_eq!(name, "broken"),
+        other => panic!("expected MapFailed, got {other:?}"),
+    }
+    // The connection survives both rejections.
+    assert!(client.map("k", TRIVIAL, MapKnobs::default()).is_ok());
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn stats_reset_clears_cache_and_counters() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let miss = client.map("k", TRIVIAL, MapKnobs::default()).expect("cold");
+    let hit = client.map("k", TRIVIAL, MapKnobs::default()).expect("warm");
+    assert_eq!(miss.cache, fpfa_server::CacheFlavor::Miss);
+    assert_eq!(hit.cache, fpfa_server::CacheFlavor::MappingHit);
+
+    let health = client.health().expect("health");
+    assert!(!health.draining);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.served_ok, 2);
+    assert_eq!(stats.cache_mapping_hits, 1);
+    assert!(stats.cache_entries >= 1);
+    assert!(stats.map_latency.total() >= 2);
+
+    let dropped = client.reset().expect("reset");
+    assert!(dropped >= 1, "reset drops the resident entries");
+    let stats = client.stats().expect("stats after reset");
+    assert_eq!(stats.served_ok, 0);
+    assert_eq!(stats.cache_mapping_hits, 0);
+    assert_eq!(stats.cache_entries, 0);
+    // The next map is a cold miss again.
+    let cold = client
+        .map("k", TRIVIAL, MapKnobs::default())
+        .expect("re-map");
+    assert_eq!(cold.cache, fpfa_server::CacheFlavor::Miss);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_rejects_new_work() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.map("k", TRIVIAL, MapKnobs::default()).expect("map");
+
+    let mut controller = Client::connect(handle.addr()).expect("connect controller");
+    controller.shutdown().expect("shutdown ack");
+
+    // The existing connection is answered with a typed ShuttingDown for new
+    // mapping work (not a dropped socket).
+    let refused = client.map("k", TRIVIAL, MapKnobs::default()).unwrap_err();
+    assert!(matches!(
+        refused,
+        ClientError::Server(WireError::ShuttingDown)
+            | ClientError::Io(_)
+            | ClientError::Disconnected
+    ));
+
+    // join() returns only after the drain: workers exited, every
+    // connection thread joined, the listener dropped.
+    let stats = handle.join();
+    assert!(stats.served_ok >= 1);
+    assert!(
+        stats.rejected_shutdown >= 1,
+        "the refused request is accounted: {stats:?}"
+    );
+}

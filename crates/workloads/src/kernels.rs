@@ -43,8 +43,11 @@ impl fmt::Display for Kernel {
 }
 
 /// Deterministic pseudo-data: small signed values without randomness so every
-/// run of every experiment sees identical inputs.
-fn test_signal(len: usize, phase: i64) -> Vec<i64> {
+/// run of every experiment sees identical inputs.  Exported because every
+/// tool that simulates a mapped kernel (`fpfa-map --simulate`, the serving
+/// daemon's `simulate` knob, the benches) must fill arrays with the *same*
+/// signal, or their outputs and checksums silently diverge.
+pub fn test_signal(len: usize, phase: i64) -> Vec<i64> {
     (0..len as i64)
         .map(|i| ((i * 7 + phase * 3) % 13) - 6)
         .collect()

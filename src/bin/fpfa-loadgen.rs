@@ -1,0 +1,331 @@
+//! `fpfa-loadgen` — closed-loop load generator for `fpfa-serve`.
+//!
+//! Opens N connections, each issuing map requests back-to-back (closed
+//! loop: one outstanding request per connection), cycling through the
+//! `fpfa-workloads` registry.  Prints throughput and client-observed
+//! latency percentiles, then cross-checks the server's statistics.
+//!
+//! ```text
+//! fpfa-loadgen --addr 127.0.0.1:9417                  # 4 connections, 2000 requests each
+//! fpfa-loadgen --connections 8 --requests 5000
+//! fpfa-loadgen --tiles 4                              # multi-tile knob on every request
+//!                                                     # (default: the daemon's own tile setting)
+//! fpfa-loadgen --min-hit-ratio 0.9 --forbid-overload  # CI assertions
+//! fpfa-loadgen --min-throughput 1000                  # req/s floor (exit non-zero below)
+//! fpfa-loadgen --shutdown                             # stop the daemon afterwards
+//! ```
+//!
+//! With `FPFA_BENCH_QUICK` set, the per-connection request count drops to a
+//! smoke-test size (the CI `serve-smoke` mode).
+//!
+//! A warmup pass maps every registry kernel once before the measured phase
+//! (so a fresh daemon serves the measured phase from a warm cache) and
+//! records each kernel's program digest; every measured response is checked
+//! against it — a digest mismatch means the server handed out a different
+//! mapping for the same kernel and counts as a failure.
+
+use fpfa::server::{Client, MapKnobs, Request, Response, WireError};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Options {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    tiles: usize,
+    min_hit_ratio: Option<f64>,
+    min_throughput: Option<f64>,
+    forbid_overload: bool,
+    shutdown: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fpfa-loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--tiles N] \
+     [--min-hit-ratio F] [--min-throughput F] [--forbid-overload] [--shutdown]"
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("FPFA_BENCH_QUICK").is_some()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:9417".to_string(),
+        connections: 4,
+        requests: if quick_mode() { 150 } else { 2000 },
+        // 0 = the wire sentinel for "inherit the daemon's tile default".
+        tiles: 0,
+        min_hit_ratio: None,
+        min_throughput: None,
+        forbid_overload: false,
+        shutdown: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value_of("--addr")?,
+            "--connections" => {
+                options.connections = parse_positive(&value_of("--connections")?, "--connections")?;
+            }
+            "--requests" => {
+                options.requests = parse_positive(&value_of("--requests")?, "--requests")?;
+            }
+            "--tiles" => options.tiles = parse_positive(&value_of("--tiles")?, "--tiles")?,
+            "--min-hit-ratio" => {
+                options.min_hit_ratio = Some(
+                    value_of("--min-hit-ratio")?
+                        .parse()
+                        .map_err(|_| "--min-hit-ratio needs a number".to_string())?,
+                );
+            }
+            "--min-throughput" => {
+                options.min_throughput = Some(
+                    value_of("--min-throughput")?
+                        .parse()
+                        .map_err(|_| "--min-throughput needs a number".to_string())?,
+                );
+            }
+            "--forbid-overload" => options.forbid_overload = true,
+            "--shutdown" => options.shutdown = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_positive(value: &str, flag: &str) -> Result<usize, String> {
+    let parsed: usize = value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))?;
+    if parsed == 0 {
+        return Err(format!("{flag} needs at least 1"));
+    }
+    Ok(parsed)
+}
+
+/// Outcome counts and latencies of one connection's closed loop.
+#[derive(Default)]
+struct WorkerOutcome {
+    latencies_us: Vec<u64>,
+    overloaded: usize,
+    failures: Vec<String>,
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let kernels: Vec<(String, String)> = fpfa::workloads::registry()
+        .into_iter()
+        .map(|kernel| (kernel.name, kernel.source))
+        .collect();
+    let knobs = MapKnobs {
+        tiles: options.tiles as u32,
+        ..MapKnobs::default()
+    };
+
+    // Warmup: one pass over the registry fills the server's cache and
+    // records the expected program digest per kernel.
+    let mut warm = Client::connect(&options.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+    let mut digests: HashMap<String, u64> = HashMap::new();
+    for (name, source) in &kernels {
+        let summary = warm
+            .map(name, source, knobs)
+            .map_err(|e| format!("warmup mapping of `{name}` failed: {e}"))?;
+        digests.insert(name.clone(), summary.digest);
+    }
+    println!(
+        "fpfa-loadgen: warmed {} registry kernel(s) on {}",
+        kernels.len(),
+        options.addr
+    );
+    let digests = Arc::new(digests);
+
+    // Measured phase: closed loop on every connection.
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(options.connections);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(options.connections);
+        for _ in 0..options.connections {
+            let kernels = &kernels;
+            let digests = Arc::clone(&digests);
+            let cursor = Arc::clone(&cursor);
+            handles.push(scope.spawn(move || {
+                let mut outcome = WorkerOutcome::default();
+                let mut client = match Client::connect(&options.addr) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        outcome.failures.push(format!("connect failed: {e}"));
+                        return outcome;
+                    }
+                };
+                outcome.latencies_us.reserve(options.requests);
+                for _ in 0..options.requests {
+                    // A global cursor interleaves the kernels across
+                    // connections so every connection exercises the whole
+                    // registry.
+                    let index = cursor.fetch_add(1, Ordering::Relaxed) % kernels.len();
+                    let (name, source) = &kernels[index];
+                    let request = Request::Map {
+                        kernel: fpfa::server::KernelSource::new(name.clone(), source.clone()),
+                        knobs,
+                    };
+                    let sent = Instant::now();
+                    match client.call(&request) {
+                        Ok(Response::Mapped(summary)) => {
+                            outcome.latencies_us.push(sent.elapsed().as_micros() as u64);
+                            if digests.get(name) != Some(&summary.digest) {
+                                outcome.failures.push(format!(
+                                    "`{name}`: digest {:#x} differs from warmup",
+                                    summary.digest
+                                ));
+                            }
+                        }
+                        Ok(Response::Error(WireError::Overloaded { .. })) => {
+                            outcome.overloaded += 1;
+                        }
+                        Ok(Response::Error(error)) => {
+                            outcome.failures.push(format!("`{name}`: {error}"));
+                        }
+                        Ok(_) => {
+                            outcome
+                                .failures
+                                .push(format!("`{name}`: unexpected response kind"));
+                        }
+                        Err(e) => {
+                            outcome.failures.push(format!("`{name}`: transport: {e}"));
+                            return outcome; // the connection is gone
+                        }
+                    }
+                }
+                outcome
+            }));
+        }
+        for handle in handles {
+            if let Ok(outcome) = handle.join() {
+                outcomes.push(outcome);
+            }
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut overloaded = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for outcome in outcomes {
+        latencies.extend(outcome.latencies_us);
+        overloaded += outcome.overloaded;
+        failures.extend(outcome.failures);
+    }
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let attempted = options.connections * options.requests;
+    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "fpfa-loadgen: {} connection(s) x {} request(s): {ok} ok, {} failed, \
+         {overloaded} overloaded in {wall:.2?}",
+        options.connections,
+        options.requests,
+        failures.len(),
+    );
+    println!("  throughput {throughput:.1} req/s (closed loop, {attempted} attempted)");
+    println!(
+        "  latency p50 {} us  p95 {} us  p99 {} us  max {} us",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0),
+    );
+
+    // Cross-check with the server's own counters.
+    let mut control =
+        Client::connect(&options.addr).map_err(|e| format!("cannot reconnect for stats: {e}"))?;
+    let stats = control.stats().map_err(|e| format!("stats failed: {e}"))?;
+    let hit_ratio = stats.mapping_hit_rate().unwrap_or(0.0);
+    println!(
+        "  server: accepted {}, served ok {}, map failures {}, overloaded {}, deadline-expired {}",
+        stats.accepted,
+        stats.served_ok,
+        stats.served_err,
+        stats.rejected_overload,
+        stats.rejected_deadline
+    );
+    println!(
+        "  cache: {}/{} mapping hit(s), ratio {hit_ratio:.3}, {} resident entr(ies)",
+        stats.cache_mapping_hits,
+        stats.cache_mapping_hits + stats.cache_mapping_misses,
+        stats.cache_entries
+    );
+    if let Some(p99) = stats.map_latency.quantile_upper_bound(0.99) {
+        println!("  server-side map p99 < {p99} us");
+    }
+
+    if options.shutdown {
+        control
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("  daemon asked to shut down");
+    }
+
+    for failure in failures.iter().take(5) {
+        eprintln!("fpfa-loadgen: failure: {failure}");
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} request(s) failed", failures.len()));
+    }
+    if options.forbid_overload && overloaded > 0 {
+        return Err(format!(
+            "{overloaded} request(s) were rejected as overloaded (--forbid-overload)"
+        ));
+    }
+    if let Some(min) = options.min_hit_ratio {
+        if hit_ratio < min {
+            return Err(format!(
+                "cache hit ratio {hit_ratio:.3} is below the required {min:.3}"
+            ));
+        }
+    }
+    if let Some(min) = options.min_throughput {
+        if throughput < min {
+            return Err(format!(
+                "throughput {throughput:.1} req/s is below the required {min:.1}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fpfa-loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

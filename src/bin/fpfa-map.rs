@@ -51,14 +51,15 @@ struct Options {
     batch: bool,
     threads: Option<usize>,
     repeat: usize,
+    cache_capacity: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
      [--legacy-transform] [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings] \
-     [--repeat N]\n\
+     [--repeat N] [--cache-capacity N]\n\
      \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
-     [--legacy-transform] [--timings] [--repeat N]"
+     [--legacy-transform] [--timings] [--repeat N] [--cache-capacity N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -76,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         batch: false,
         threads: None,
         repeat: 1,
+        cache_capacity: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -103,6 +105,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.repeat = value.parse().map_err(|_| "--repeat needs a number")?;
                 if options.repeat == 0 {
                     return Err("--repeat needs at least one pass".to_string());
+                }
+            }
+            "--cache-capacity" => {
+                let value = iter.next().ok_or("--cache-capacity needs a value")?;
+                options.cache_capacity = Some(
+                    value
+                        .parse()
+                        .map_err(|_| "--cache-capacity needs a number")?,
+                );
+                if options.cache_capacity == Some(0) {
+                    return Err("--cache-capacity needs at least one entry".to_string());
                 }
             }
             "--no-clustering" => options.clustering = false,
@@ -138,6 +151,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     } else if options.threads.is_some() {
         return Err(format!("--threads only applies to --batch\n{}", usage()));
+    } else if options.cache_capacity.is_some() && options.repeat == 1 {
+        // The cache only exists on the MappingService paths.
+        return Err(format!(
+            "--cache-capacity only applies to --batch or --repeat runs\n{}",
+            usage()
+        ));
     } else {
         match options.paths.len() {
             0 => return Err(usage().to_string()),
@@ -151,13 +170,6 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(options)
-}
-
-/// The deterministic test signal also used by `fpfa-workloads`.
-fn test_signal(len: usize, phase: i64) -> Vec<i64> {
-    (0..len as i64)
-        .map(|i| ((i * 7 + phase * 3) % 13) - 6)
-        .collect()
 }
 
 fn build_mapper(options: &Options) -> Mapper {
@@ -176,6 +188,16 @@ fn build_mapper(options: &Options) -> Mapper {
         mapper = mapper.with_batch_threads(threads);
     }
     mapper
+}
+
+/// A long-lived service around the configured mapper, with the cache bounded
+/// to `--cache-capacity` when given.
+fn build_service(options: &Options) -> MappingService {
+    let mapper = build_mapper(options);
+    match options.cache_capacity {
+        Some(capacity) => MappingService::with_capacity(mapper, capacity),
+        None => MappingService::new(mapper),
+    }
 }
 
 /// `--batch`: maps every given kernel (or the built-in workload registry)
@@ -197,7 +219,7 @@ fn run_batch(options: &Options) -> Result<(), String> {
         specs
     };
 
-    let service = MappingService::new(build_mapper(options));
+    let service = build_service(options);
     let mut report = service.map_many(&specs);
     print!("{report}");
     for pass in 2..=options.repeat {
@@ -220,7 +242,16 @@ fn run_batch(options: &Options) -> Result<(), String> {
         println!("\ncache: {}", service.stats());
     }
     if report.failed() > 0 {
-        return Err(format!("{} kernel(s) failed to map", report.failed()));
+        // Name every failing spec (by its disambiguated entry name) on
+        // stderr, so a scripted batch caller sees which kernel broke without
+        // scraping the stdout table.
+        let mut message = format!("{} kernel(s) failed to map:", report.failed());
+        for entry in &report.entries {
+            if let Err(error) = &entry.outcome {
+                message.push_str(&format!("\n  {}: {error}", entry.name));
+            }
+        }
+        return Err(message);
     }
     Ok(())
 }
@@ -229,11 +260,10 @@ fn run(options: &Options) -> Result<(), String> {
     let path = &options.paths[0];
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
-    let mapper = build_mapper(options);
     let mapping = if options.repeat > 1 {
         // Repeat runs share one long-lived service: the first pass is cold,
         // later passes are answered from the content-addressed cache.
-        let service = MappingService::new(mapper);
+        let service = build_service(options);
         let mut mapping = None;
         for pass in 1..=options.repeat {
             let started = Instant::now();
@@ -248,7 +278,9 @@ fn run(options: &Options) -> Result<(), String> {
         println!("cache: {}\n", service.stats());
         mapping.ok_or("--repeat ran no passes")?
     } else {
-        mapper.map_source(&source).map_err(|e| e.to_string())?
+        build_mapper(options)
+            .map_source(&source)
+            .map_err(|e| e.to_string())?
     };
 
     match options.dot.as_deref() {
@@ -343,9 +375,10 @@ fn print_multi_summary(multi: &fpfa::core::MultiTileMapping) {
 fn simulate_with_test_data(mapping: &MappingResult) -> Result<SimOutcome, String> {
     let mut inputs = SimInputs::new();
     for (phase, sym) in mapping.layout.arrays().iter().enumerate() {
-        inputs
-            .statespace
-            .store_array(sym.base, &test_signal(sym.len, phase as i64));
+        inputs.statespace.store_array(
+            sym.base,
+            &fpfa::workloads::test_signal(sym.len, phase as i64),
+        );
     }
     for name in &mapping.program.scalar_input_names {
         inputs.scalars.insert(name.clone(), 1);

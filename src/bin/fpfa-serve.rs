@@ -1,0 +1,170 @@
+//! `fpfa-serve` — the mapping daemon.
+//!
+//! Serves the framed wire protocol of `fpfa-server` over TCP: a fixed
+//! worker pool maps kernels through one shared, content-addressed
+//! `MappingService` cache; a bounded job queue sheds load with typed
+//! `Overloaded` responses; `shutdown` drains in-flight work before exit.
+//!
+//! ```text
+//! fpfa-serve                          # defaults: 127.0.0.1:9417, one worker per core
+//! fpfa-serve --addr 0.0.0.0:7000     # explicit listen address (port 0 = OS-assigned)
+//! fpfa-serve --workers 8 --queue-depth 128
+//! fpfa-serve --deadline-ms 2000      # default per-request budget
+//! fpfa-serve --cache-capacity 1024   # mapping-cache entries per level
+//! fpfa-serve --tiles 4 --pps 3       # default mapper configuration
+//! ```
+//!
+//! The daemon prints one `listening on <addr>` line once it accepts
+//! connections (scripts wait for it), serves until a client sends the
+//! `shutdown` verb, then prints the final statistics.
+
+use fpfa::arch::TileConfig;
+use fpfa::core::pipeline::Mapper;
+use fpfa::core::MappingService;
+use fpfa::server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Options {
+    addr: String,
+    workers: Option<usize>,
+    queue_depth: usize,
+    deadline_ms: u64,
+    cache_capacity: Option<usize>,
+    tiles: usize,
+    pps: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: fpfa-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N] \
+     [--cache-capacity N] [--tiles N] [--pps N]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:9417".to_string(),
+        workers: None,
+        queue_depth: 64,
+        deadline_ms: 5000,
+        cache_capacity: None,
+        tiles: 1,
+        pps: TileConfig::paper().num_pps,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value_of("--addr")?,
+            "--workers" => {
+                options.workers = Some(parse_positive(&value_of("--workers")?, "--workers")?);
+            }
+            "--queue-depth" => {
+                options.queue_depth = parse_positive(&value_of("--queue-depth")?, "--queue-depth")?;
+            }
+            "--deadline-ms" => {
+                // 0 is meaningful here: no deadline.
+                options.deadline_ms = value_of("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms needs a number".to_string())?;
+            }
+            "--cache-capacity" => {
+                options.cache_capacity = Some(parse_positive(
+                    &value_of("--cache-capacity")?,
+                    "--cache-capacity",
+                )?);
+            }
+            "--tiles" => options.tiles = parse_positive(&value_of("--tiles")?, "--tiles")?,
+            "--pps" => options.pps = parse_positive(&value_of("--pps")?, "--pps")?,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_positive(value: &str, flag: &str) -> Result<usize, String> {
+    let parsed: usize = value
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))?;
+    if parsed == 0 {
+        return Err(format!("{flag} needs at least 1"));
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mapper = Mapper::new()
+        .with_config(TileConfig::paper().with_num_pps(options.pps))
+        .with_tiles(options.tiles);
+    let service = match options.cache_capacity {
+        Some(capacity) => MappingService::with_capacity(mapper, capacity),
+        None => MappingService::new(mapper),
+    };
+
+    let mut config = ServerConfig {
+        queue_depth: options.queue_depth,
+        default_deadline: Duration::from_millis(options.deadline_ms),
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = options.workers {
+        config.workers = workers;
+    }
+
+    let server = match Server::bind(&options.addr, config, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("fpfa-serve: cannot bind {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("fpfa-serve: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fpfa-serve: listening on {addr} ({} workers, queue depth {}, deadline {} ms)",
+        config.workers, config.queue_depth, options.deadline_ms
+    );
+    // Scripts wait for the line above before starting clients.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let handle = match server.spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("fpfa-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = handle.join();
+    println!(
+        "fpfa-serve: drained and stopped; {} connection(s), {} request(s) accepted, \
+         {} served ok, {} map failure(s), {} overloaded, {} deadline-expired",
+        stats.connections,
+        stats.accepted,
+        stats.served_ok,
+        stats.served_err,
+        stats.rejected_overload,
+        stats.rejected_deadline
+    );
+    if let Some(rate) = stats.mapping_hit_rate() {
+        println!("fpfa-serve: final cache hit ratio {rate:.3}");
+    }
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,7 @@
 //! * [`transform`] — behaviour-preserving graph transformations;
 //! * [`arch`] — the FPFA tile architecture model;
 //! * [`core`] — clustering, scheduling and resource allocation;
+//! * [`server`] — mapping-as-a-service: wire protocol, daemon and client;
 //! * [`sim`] — the cycle-accurate tile simulator;
 //! * [`workloads`] — parameterised DSP kernels.
 
@@ -13,6 +14,7 @@ pub use fpfa_arch as arch;
 pub use fpfa_cdfg as cdfg;
 pub use fpfa_core as core;
 pub use fpfa_frontend as frontend;
+pub use fpfa_server as server;
 pub use fpfa_sim as sim;
 pub use fpfa_transform as transform;
 pub use fpfa_workloads as workloads;

@@ -188,6 +188,78 @@ fn repeat_serves_later_passes_from_the_cache() {
 }
 
 #[test]
+fn batch_failures_name_the_failing_spec_on_stderr() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-batch-fail");
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = write_kernel(&dir);
+    let bad = dir.join("broken.c");
+    std::fs::write(&bad, "void main() { r = 1; }").unwrap();
+    let output = binary()
+        .arg("--batch")
+        .arg(&good)
+        .arg(&bad)
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(
+        !output.status.success(),
+        "a failing kernel must fail the batch: {output:?}"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // Every failing spec is named — including the duplicate, under its
+    // disambiguated entry name.
+    assert!(stderr.contains("2 kernel(s) failed to map"), "{stderr}");
+    assert!(stderr.contains("broken.c:"), "{stderr}");
+    assert!(stderr.contains("broken.c#2:"), "{stderr}");
+    assert!(stderr.contains("frontend"), "{stderr}");
+    // The good kernel still mapped: the batch is not aborted.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("1/3 kernels mapped"), "{stdout}");
+}
+
+#[test]
+fn cache_capacity_flag_is_validated_and_accepted() {
+    let dir = std::env::temp_dir().join("fpfa-map-test-cachecap");
+    std::fs::create_dir_all(&dir).unwrap();
+    let kernel = write_kernel(&dir);
+
+    // Zero entries are rejected up front, like --tiles 0 / --threads 0.
+    let rejected = binary()
+        .args(["--batch", "--cache-capacity", "0"])
+        .output()
+        .unwrap();
+    assert!(!rejected.status.success());
+    let stderr = String::from_utf8_lossy(&rejected.stderr);
+    assert!(
+        stderr.contains("--cache-capacity needs at least one entry"),
+        "{stderr}"
+    );
+
+    // Outside the service paths the flag has nothing to bound.
+    let misplaced = binary()
+        .arg(&kernel)
+        .args(["--cache-capacity", "8"])
+        .output()
+        .unwrap();
+    assert!(!misplaced.status.success());
+    let stderr = String::from_utf8_lossy(&misplaced.stderr);
+    assert!(
+        stderr.contains("only applies to --batch or --repeat"),
+        "{stderr}"
+    );
+
+    // A bounded cache still serves the repeat path from memory.
+    let output = binary()
+        .arg(&kernel)
+        .args(["--repeat", "3", "--cache-capacity", "8"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("(mapping hit)"), "{stdout}");
+}
+
+#[test]
 fn batch_repeat_reports_cache_stats_per_pass() {
     let output = binary()
         .args(["--batch", "--repeat", "2", "--timings"])

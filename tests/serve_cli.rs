@@ -1,0 +1,63 @@
+//! Integration test of the serving binaries: spawn the real `fpfa-serve`
+//! daemon on an OS-assigned port, drive it with the real `fpfa-loadgen`
+//! closed-loop generator, and check the loadgen's assertions (100% success,
+//! warm-cache hit ratio) plus the daemon's graceful drain — the same
+//! choreography as the CI `serve-smoke` job.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+
+#[test]
+fn daemon_serves_loadgen_and_drains_on_shutdown() {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_fpfa-serve"))
+        .args(["--addr", "127.0.0.1:0", "--queue-depth", "64"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn fpfa-serve");
+    let daemon_stdout = daemon.stdout.take().expect("daemon stdout");
+    let mut daemon_lines = BufReader::new(daemon_stdout).lines();
+
+    let listen_line = daemon_lines
+        .next()
+        .expect("daemon prints a listen line")
+        .expect("readable stdout");
+    let addr = listen_line
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unparseable listen line: {listen_line}"))
+        .to_string();
+
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
+        .args([
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "30",
+            "--min-hit-ratio",
+            "0.5",
+            "--forbid-overload",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run fpfa-loadgen");
+    let stdout = String::from_utf8_lossy(&loadgen.stdout);
+    let stderr = String::from_utf8_lossy(&loadgen.stderr);
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("throughput"), "{stdout}");
+    assert!(stdout.contains("60 ok, 0 failed, 0 overloaded"), "{stdout}");
+    assert!(stdout.contains("daemon asked to shut down"), "{stdout}");
+
+    // The daemon drains and exits zero, reporting its final counters.
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exited with {status:?}");
+    let rest: Vec<String> = daemon_lines.map_while(Result::ok).collect();
+    let tail = rest.join("\n");
+    assert!(tail.contains("drained and stopped"), "{tail}");
+    assert!(tail.contains("cache hit ratio"), "{tail}");
+}
