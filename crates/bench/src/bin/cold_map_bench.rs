@@ -1,0 +1,311 @@
+//! `cold_map_bench` — machine-readable cold-path timing trajectory.
+//!
+//! Maps every registry kernel through a **fresh** mapper (no cache, no warm
+//! state: the true cold path) and emits `BENCH_cold_map.json`: per-stage
+//! wall-clock per kernel, the cold full-registry batch wall, and the program
+//! digests at 1 and 4 tiles — cold and cache-served — so the checked-in file
+//! also witnesses that the cache hands out byte-identical mappings.
+//!
+//! ```text
+//! cargo run --release -p fpfa-bench --bin cold_map_bench                # JSON to stdout
+//! cargo run --release -p fpfa-bench --bin cold_map_bench -- --out BENCH_cold_map.json
+//! cargo run --release -p fpfa-bench --bin cold_map_bench -- --check    # CI budget gate
+//! ```
+//!
+//! With `--check`, exits non-zero when the worst cold kernel exceeds the
+//! 10 ms budget by more than 20% (i.e. > 12 ms) — the bench-smoke CI gate
+//! from ROADMAP item 5.  Timings are best-of-`--repeats` (default 3) to damp
+//! scheduler noise; digests must agree across repeats or the run fails.
+
+use fpfa_core::flow::KernelSpec;
+use fpfa_core::pipeline::{Mapper, MappingResult};
+use fpfa_core::service::MappingService;
+use fpfa_server::program_digest;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// The cold single-kernel budget (ROADMAP item 5).
+const BUDGET_MS: f64 = 10.0;
+/// `--check` fails when the worst kernel exceeds the budget by this factor.
+const BUDGET_SLACK: f64 = 1.2;
+/// The stage names of the mapping flow, in flow order.
+const STAGES: [&str; 7] = [
+    "frontend",
+    "transform",
+    "extract",
+    "cluster",
+    "partition",
+    "schedule",
+    "allocate",
+];
+
+struct Options {
+    out: Option<String>,
+    check: bool,
+    repeats: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: cold_map_bench [--out PATH] [--check] [--repeats N]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        out: None,
+        check: false,
+        repeats: 3,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                options.out = Some(iter.next().ok_or("--out needs a path")?.clone());
+            }
+            "--check" => options.check = true,
+            "--repeats" => {
+                let value = iter.next().ok_or("--repeats needs a value")?;
+                options.repeats = value.parse().map_err(|_| "--repeats needs a number")?;
+                if options.repeats == 0 {
+                    return Err("--repeats needs at least one pass".to_string());
+                }
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => {
+                return Err(format!(
+                    "unknown option `{other}`\n{usage}",
+                    usage = usage()
+                ))
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// One kernel's cold measurement: best-of-N per-stage walls plus the digest
+/// witnesses.
+struct KernelRow {
+    name: String,
+    /// Best-of-N wall per stage, in [`STAGES`] order.
+    stage_us: [f64; STAGES.len()],
+    /// Best-of-N total cold wall (sum of stage walls of the best pass).
+    total_us: f64,
+    digest_t1_cold: u64,
+    digest_t1_cached: u64,
+    digest_t4_cold: u64,
+    digest_t4_cached: u64,
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Maps `source` through a fresh mapper and returns the result (cold by
+/// construction: `Mapper::map_source` has no cache).
+fn map_cold(source: &str, tiles: usize) -> Result<MappingResult, String> {
+    Mapper::new()
+        .with_tiles(tiles)
+        .map_source(source)
+        .map_err(|e| e.to_string())
+}
+
+/// Maps `source` twice through one service and returns the second (cache-hit)
+/// result.
+fn map_cached(source: &str, tiles: usize) -> Result<MappingResult, String> {
+    let service = MappingService::new(Mapper::new().with_tiles(tiles));
+    service.map_source(source).map_err(|e| e.to_string())?;
+    service.map_source(source).map_err(|e| e.to_string())
+}
+
+fn measure_kernel(name: &str, source: &str, repeats: usize) -> Result<KernelRow, String> {
+    let mut best_total = f64::INFINITY;
+    let mut best_stages = [0.0; STAGES.len()];
+    let mut digest_t1_cold = None;
+    for _ in 0..repeats {
+        let mapping = map_cold(source, 1)?;
+        let digest = program_digest(&mapping);
+        match digest_t1_cold {
+            None => digest_t1_cold = Some(digest),
+            Some(expected) if expected != digest => {
+                return Err(format!(
+                    "`{name}`: cold digest {digest:#x} differs between repeats ({expected:#x})"
+                ));
+            }
+            Some(_) => {}
+        }
+        let mut stages = [0.0; STAGES.len()];
+        for (slot, stage) in stages.iter_mut().zip(STAGES) {
+            *slot = mapping.trace.wall_of(stage).map(micros).unwrap_or(0.0);
+        }
+        let total: f64 = stages.iter().sum();
+        if total < best_total {
+            best_total = total;
+            best_stages = stages;
+        }
+    }
+    let digest_t1_cold = digest_t1_cold.expect("at least one repeat");
+    let digest_t1_cached = program_digest(&map_cached(source, 1)?);
+    let digest_t4_cold = program_digest(&map_cold(source, 4)?);
+    let digest_t4_cached = program_digest(&map_cached(source, 4)?);
+    Ok(KernelRow {
+        name: name.to_string(),
+        stage_us: best_stages,
+        total_us: best_total,
+        digest_t1_cold,
+        digest_t1_cached,
+        digest_t4_cold,
+        digest_t4_cached,
+    })
+}
+
+/// Cold full-registry batch wall (fresh service per pass, best of N).
+fn measure_batch(specs: &[KernelSpec], repeats: usize) -> Result<(f64, usize), String> {
+    let mut best = f64::INFINITY;
+    let mut threads = 1;
+    for _ in 0..repeats {
+        let service = MappingService::new(Mapper::new());
+        let started = Instant::now();
+        let report = service.map_many(specs);
+        let wall = micros(started.elapsed());
+        if report.failed() > 0 {
+            return Err(format!(
+                "{} kernel(s) failed the batch pass",
+                report.failed()
+            ));
+        }
+        threads = report.threads;
+        if wall < best {
+            best = wall;
+        }
+    }
+    Ok((best, threads))
+}
+
+fn render_json(rows: &[KernelRow], batch_us: f64, batch_threads: usize) -> String {
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.total_us.total_cmp(&b.total_us))
+        .expect("non-empty registry");
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"fpfa-cold-map-bench/v1\",");
+    let _ = writeln!(out, "  \"budget_ms\": {BUDGET_MS},");
+    let _ = writeln!(out, "  \"budget_slack\": {BUDGET_SLACK},");
+    let _ = writeln!(
+        out,
+        "  \"worst\": {{ \"kernel\": \"{}\", \"total_us\": {:.1} }},",
+        worst.name, worst.total_us
+    );
+    let _ = writeln!(
+        out,
+        "  \"batch\": {{ \"wall_us\": {batch_us:.1}, \"threads\": {batch_threads} }},"
+    );
+    out.push_str("  \"kernels\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
+        let _ = writeln!(out, "      \"total_us\": {:.1},", row.total_us);
+        out.push_str("      \"stages_us\": { ");
+        for (stage_index, stage) in STAGES.iter().enumerate() {
+            let comma = if stage_index + 1 < STAGES.len() {
+                ", "
+            } else {
+                " "
+            };
+            let _ = write!(out, "\"{stage}\": {:.1}{comma}", row.stage_us[stage_index]);
+        }
+        out.push_str("},\n");
+        let _ = writeln!(
+            out,
+            "      \"digests\": {{ \"t1_cold\": \"{:#018x}\", \"t1_cached\": \"{:#018x}\", \
+             \"t4_cold\": \"{:#018x}\", \"t4_cached\": \"{:#018x}\" }}",
+            row.digest_t1_cold, row.digest_t1_cached, row.digest_t4_cold, row.digest_t4_cached
+        );
+        let comma = if index + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let kernels = fpfa_workloads::registry();
+    let specs: Vec<KernelSpec> = kernels
+        .iter()
+        .map(|kernel| KernelSpec::new(kernel.name.clone(), kernel.source.clone()))
+        .collect();
+
+    // One throwaway mapping warms the process (page faults, lazy allocator
+    // state) so the first measured kernel is not penalised.
+    map_cold(&kernels[0].source, 1)?;
+
+    let mut rows = Vec::with_capacity(kernels.len());
+    for kernel in &kernels {
+        rows.push(measure_kernel(
+            &kernel.name,
+            &kernel.source,
+            options.repeats,
+        )?);
+        // A cache-served mapping must be byte-identical to the cold one —
+        // the digests witness it in the checked-in file, but catch a
+        // violation immediately here too.
+        let row = rows.last().expect("just pushed");
+        if row.digest_t1_cold != row.digest_t1_cached || row.digest_t4_cold != row.digest_t4_cached
+        {
+            return Err(format!(
+                "`{}`: cache-served digest differs from cold digest",
+                row.name
+            ));
+        }
+    }
+    let (batch_us, batch_threads) = measure_batch(&specs, options.repeats)?;
+
+    let json = render_json(&rows, batch_us, batch_threads);
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("cold_map_bench: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    let worst = rows
+        .iter()
+        .max_by(|a, b| a.total_us.total_cmp(&b.total_us))
+        .expect("non-empty registry");
+    eprintln!(
+        "cold_map_bench: worst cold kernel `{}` {:.2} ms (budget {BUDGET_MS} ms), \
+         cold batch {:.2} ms on {batch_threads} thread(s)",
+        worst.name,
+        worst.total_us / 1e3,
+        batch_us / 1e3,
+    );
+    Ok(worst.total_us / 1e3 <= BUDGET_MS * BUDGET_SLACK)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(within_budget) => {
+            if options.check && !within_budget {
+                eprintln!(
+                    "cold_map_bench: worst cold kernel exceeds the {BUDGET_MS} ms budget by >{}%",
+                    ((BUDGET_SLACK - 1.0) * 100.0).round()
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("cold_map_bench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -69,7 +69,7 @@ pub fn canonical_signature(graph: &Cdfg) -> String {
     let _ = writeln!(text, "graph {}", graph.name());
     for id in &order {
         let Ok(node) = graph.node(*id) else { continue };
-        let label = node_label(graph, &node.kind);
+        let label = node_label(graph, node.kind);
         let _ = write!(text, "  #{} {label} <-", numbering[id]);
         for port in 0..node.input_count() {
             match graph.input_source(*id, port) {
@@ -89,7 +89,7 @@ pub fn canonical_signature(graph: &Cdfg) -> String {
     let mut unreached: Vec<String> = graph
         .nodes()
         .filter(|(id, _)| !numbering.contains_key(id))
-        .map(|(_, n)| node_label(graph, &n.kind))
+        .map(|(_, n)| node_label(graph, n.kind))
         .collect();
     if !unreached.is_empty() {
         unreached.sort();

@@ -1,19 +1,230 @@
 //! The CDFG graph container and its mutation primitives.
+//!
+//! Storage is a flat arena in struct-of-arrays form: node operations
+//! ([`NodeKind`]) and port connectivity (`PortRecord`) live in parallel
+//! vectors indexed by the dense `u32` inside [`NodeId`].  Per-node port data
+//! uses small-inline storage (`InlineVec`): up to four entries live on the
+//! node record itself, so the common case — every fixed node kind has at
+//! most three ports — allocates nothing on the heap.  [`Node`] is a cheap
+//! `Copy` *view* over one arena slot, not an owned record.
 
 use crate::edge::{Edge, Endpoint};
 use crate::error::CdfgError;
-use crate::ids::{EdgeId, NodeId};
-use crate::node::{Node, NodeKind};
+use crate::ids::{EdgeId, NodeId, NodeRemap};
+use crate::node::NodeKind;
 use crate::observer::{ChangeJournal, RewriteEvent, RewriteObserver};
-use std::collections::HashMap;
+
+/// Sentinel for an unconnected input-port slot.
+const NO_EDGE: u32 = u32::MAX;
+
+/// Inline capacity of the per-node port stores.  Every fixed node kind has
+/// at most three input ports and one output port; only loop headers (arity =
+/// carried variables) and high-fanout values spill to the heap.
+const INLINE_PORTS: usize = 4;
+
+/// Small-inline vector for per-node port data: up to [`INLINE_PORTS`]
+/// entries are stored on the node record itself, larger sets spill to a
+/// heap `Vec`.
+///
+/// Invariant: when `spill` is empty the live entries are `inline[..len]`,
+/// otherwise they are `spill[..]` (and `len == spill.len()`).
+#[derive(Clone, Debug, Default)]
+struct InlineVec<T: Copy + Default> {
+    len: u32,
+    inline: [T; INLINE_PORTS],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default> InlineVec<T> {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    /// A vector holding `len` copies of `value`.
+    fn filled(len: usize, value: T) -> Self {
+        let mut v = Self::new();
+        for _ in 0..len {
+            v.push(value);
+        }
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    fn push(&mut self, value: T) {
+        if self.spill.is_empty() {
+            if (self.len as usize) < INLINE_PORTS {
+                self.inline[self.len as usize] = value;
+                self.len += 1;
+                return;
+            }
+            self.spill.extend_from_slice(&self.inline);
+        }
+        self.spill.push(value);
+        self.len = self.spill.len() as u32;
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        if self.spill.is_empty() {
+            let mut kept = 0usize;
+            for i in 0..self.len as usize {
+                if keep(&self.inline[i]) {
+                    self.inline[kept] = self.inline[i];
+                    kept += 1;
+                }
+            }
+            self.len = kept as u32;
+        } else {
+            self.spill.retain(|item| keep(item));
+            self.len = self.spill.len() as u32;
+        }
+    }
+}
+
+impl<T: Copy + Default + PartialEq> PartialEq for InlineVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// One `(output port, edge)` entry of a node's fan-out list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct OutEdge {
+    port: u16,
+    edge: u32,
+}
+
+/// Port connectivity of one arena slot: incoming edge per input port
+/// ([`NO_EDGE`] while unconnected) and the outgoing `(port, edge)` pairs in
+/// connect order.
+#[derive(Clone, PartialEq, Debug, Default)]
+struct PortRecord {
+    ins: InlineVec<u32>,
+    outs: InlineVec<OutEdge>,
+    /// Number of output ports (fixed by the node kind).
+    out_ports: u16,
+}
+
+/// A read-only view of one node: its operation plus port connectivity.
+///
+/// The graph stores nodes in flat parallel arrays (see [`Cdfg`]); `Node` is
+/// a cheap `Copy` view into one slot of that storage, not an owned record.
+#[derive(Clone, Copy, Debug)]
+pub struct Node<'g> {
+    /// The operation performed by this node.
+    pub kind: &'g NodeKind,
+    ports: &'g PortRecord,
+}
+
+impl<'g> Node<'g> {
+    /// Incoming edge connected to input port `port`, if any.
+    pub fn input_edge(&self, port: usize) -> Option<EdgeId> {
+        self.ports
+            .ins
+            .as_slice()
+            .get(port)
+            .copied()
+            .filter(|raw| *raw != NO_EDGE)
+            .map(|raw| EdgeId::from_index(raw as usize))
+    }
+
+    /// Iterates over the connected input edges in port order.
+    pub fn input_edges(self) -> impl Iterator<Item = EdgeId> + 'g {
+        self.ports
+            .ins
+            .as_slice()
+            .iter()
+            .filter(|raw| **raw != NO_EDGE)
+            .map(|raw| EdgeId::from_index(*raw as usize))
+    }
+
+    /// Iterates over the edges leaving output port `port`, allocation-free.
+    pub fn output_edges(self, port: usize) -> impl Iterator<Item = EdgeId> + 'g {
+        let port = port as u16;
+        self.ports
+            .outs
+            .as_slice()
+            .iter()
+            .filter(move |out| out.port == port)
+            .map(|out| EdgeId::from_index(out.edge as usize))
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.ports.ins.len()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.ports.out_ports as usize
+    }
+
+    /// Total number of edges leaving this node across all output ports.
+    pub fn fanout(&self) -> usize {
+        self.ports.outs.len()
+    }
+
+    /// `true` when every input port has an incoming edge.
+    pub fn fully_connected(&self) -> bool {
+        self.ports.ins.as_slice().iter().all(|raw| *raw != NO_EDGE)
+    }
+}
+
+/// Reusable scratch buffers for [`Cdfg::topo_order_into`].
+///
+/// The worklist driver and the analyses call the topological sort on every
+/// fixpoint round; keeping one `TopoScratch` alive across calls means the
+/// in-degree table, the ready stack and the order buffer are reused instead
+/// of reallocated per invocation.
+#[derive(Clone, Debug, Default)]
+pub struct TopoScratch {
+    in_deg: Vec<u32>,
+    /// Per-node edge multiplicity, reset to zero after each visit.
+    counts: Vec<u32>,
+    distinct: Vec<NodeId>,
+    ready: Vec<NodeId>,
+    order: Vec<NodeId>,
+}
+
+impl TopoScratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The order produced by the last successful
+    /// [`Cdfg::topo_order_into`] call.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+}
 
 /// A Control Data Flow Graph.
 ///
 /// The graph owns its nodes and edges. Nodes expose a fixed number of input
 /// and output ports determined by their [`NodeKind`]; each input port is
 /// driven by at most one edge, while output ports may fan out to any number of
-/// consumers. Removed nodes and edges leave holes in the internal storage so
-/// that identifiers stay stable; [`Cdfg::compact`] rebuilds a dense graph.
+/// consumers. Removed nodes and edges leave holes in the arena so that
+/// identifiers stay stable; [`Cdfg::compact`] rebuilds a dense graph, and
+/// [`Cdfg::enable_id_reuse`] opts a graph into free-list reuse of the holes.
 ///
 /// Every mutation primitive reports a [`RewriteEvent`] to an optional
 /// [`ChangeJournal`] (see [`Cdfg::enable_journal`]); the incremental rewrite
@@ -23,8 +234,15 @@ use std::collections::HashMap;
 #[derive(Clone, Debug, Default)]
 pub struct Cdfg {
     name: String,
-    nodes: Vec<Option<Node>>,
+    /// SoA arena: operation per slot (`None` = hole).
+    kinds: Vec<Option<NodeKind>>,
+    /// SoA arena: port connectivity per slot, parallel to `kinds`.
+    ports: Vec<PortRecord>,
     edges: Vec<Option<Edge>>,
+    /// Freed slots handed out again under [`Cdfg::enable_id_reuse`].
+    free_nodes: Vec<NodeId>,
+    free_edges: Vec<EdgeId>,
+    reuse_ids: bool,
     live_nodes: usize,
     live_edges: usize,
     journal: Option<ChangeJournal>,
@@ -32,7 +250,10 @@ pub struct Cdfg {
 
 impl PartialEq for Cdfg {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.nodes == other.nodes && self.edges == other.edges
+        self.name == other.name
+            && self.kinds == other.kinds
+            && self.ports == other.ports
+            && self.edges == other.edges
     }
 }
 
@@ -41,11 +262,7 @@ impl Cdfg {
     pub fn new(name: impl Into<String>) -> Self {
         Cdfg {
             name: name.into(),
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            live_nodes: 0,
-            live_edges: 0,
-            journal: None,
+            ..Cdfg::default()
         }
     }
 
@@ -77,6 +294,15 @@ impl Cdfg {
             .unwrap_or_default()
     }
 
+    /// Drains the touched node ids of pending rewrite events into `out`
+    /// without allocating (the hot-loop variant of [`Cdfg::drain_events`]
+    /// used by the worklist driver).
+    pub fn drain_touched_into(&mut self, out: &mut Vec<NodeId>) {
+        if let Some(journal) = &mut self.journal {
+            journal.drain_nodes_into(out);
+        }
+    }
+
     fn notify(&mut self, event: RewriteEvent) {
         if let Some(journal) = &mut self.journal {
             journal.on_event(event);
@@ -91,6 +317,26 @@ impl Cdfg {
     /// Renames the graph.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+    }
+
+    /// Opts this graph into free-list id reuse: node and edge slots freed by
+    /// [`Cdfg::remove_node`]/[`Cdfg::disconnect`] are handed out again by
+    /// later `add_node`/`connect` calls instead of growing the arena.
+    ///
+    /// Off by default: the mapping flow keeps allocation monotonic so that
+    /// every downstream ordering (topological ready stacks, extraction op
+    /// order) — and therefore every mapped-program digest — is reproducible
+    /// run-over-run.  Long-running rewrite sessions that churn many nodes
+    /// can opt in to keep the arena dense; graph *semantics* (canonical
+    /// signature, interpreter results, journal events) are unaffected, only
+    /// the identity of freshly allocated ids changes.
+    pub fn enable_id_reuse(&mut self) {
+        self.reuse_ids = true;
+    }
+
+    /// `true` when freed ids are reused (see [`Cdfg::enable_id_reuse`]).
+    pub fn id_reuse_enabled(&self) -> bool {
+        self.reuse_ids
     }
 
     // ------------------------------------------------------------------
@@ -110,18 +356,21 @@ impl Cdfg {
     /// Upper bound of node indices (including holes); useful for dense side
     /// tables indexed by [`NodeId::index`].
     pub fn node_bound(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
-    /// Returns the node with the given id.
+    /// Returns a view of the node with the given id.
     ///
     /// # Errors
     /// [`CdfgError::UnknownNode`] if the id is stale or out of range.
-    pub fn node(&self, id: NodeId) -> Result<&Node, CdfgError> {
-        self.nodes
-            .get(id.index())
-            .and_then(Option::as_ref)
-            .ok_or(CdfgError::UnknownNode(id))
+    pub fn node(&self, id: NodeId) -> Result<Node<'_>, CdfgError> {
+        match self.kinds.get(id.index()) {
+            Some(Some(kind)) => Ok(Node {
+                kind,
+                ports: &self.ports[id.index()],
+            }),
+            _ => Err(CdfgError::UnknownNode(id)),
+        }
     }
 
     /// Returns the kind of a node.
@@ -129,7 +378,10 @@ impl Cdfg {
     /// # Errors
     /// [`CdfgError::UnknownNode`] if the id is stale or out of range.
     pub fn kind(&self, id: NodeId) -> Result<&NodeKind, CdfgError> {
-        Ok(&self.node(id)?.kind)
+        self.kinds
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(CdfgError::UnknownNode(id))
     }
 
     /// Returns the edge with the given id.
@@ -145,18 +397,22 @@ impl Cdfg {
 
     /// `true` when the node id refers to a live node.
     pub fn contains_node(&self, id: NodeId) -> bool {
-        self.nodes
+        self.kinds
             .get(id.index())
             .map(Option::is_some)
             .unwrap_or(false)
     }
 
     /// Iterates over `(id, node)` pairs of live nodes in id order.
-    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
-        self.nodes
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, Node<'_>)> + '_ {
+        self.kinds
             .iter()
+            .zip(&self.ports)
             .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId::from_index(i), n)))
+            .filter_map(|(i, (kind, ports))| {
+                kind.as_ref()
+                    .map(|kind| (NodeId::from_index(i), Node { kind, ports }))
+            })
     }
 
     /// Iterates over the ids of live nodes in id order.
@@ -178,8 +434,24 @@ impl Cdfg {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
-        let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(Some(Node::new(kind)));
+        let record = PortRecord {
+            ins: InlineVec::filled(kind.input_arity(), NO_EDGE),
+            outs: InlineVec::new(),
+            out_ports: kind.output_arity() as u16,
+        };
+        let id = match self.free_nodes.pop() {
+            Some(id) => {
+                self.kinds[id.index()] = Some(kind);
+                self.ports[id.index()] = record;
+                id
+            }
+            None => {
+                let id = NodeId::from_index(self.kinds.len());
+                self.kinds.push(Some(kind));
+                self.ports.push(record);
+                id
+            }
+        };
         self.live_nodes += 1;
         self.notify(RewriteEvent::NodeAdded(id));
         id
@@ -219,20 +491,30 @@ impl Cdfg {
                     is_input: true,
                 });
             }
-            if to_node.inputs[to_port].is_some() {
+            if to_node.input_edge(to_port).is_some() {
                 return Err(CdfgError::PortAlreadyDriven {
                     node: to,
                     port: to_port,
                 });
             }
         }
-        let id = EdgeId::from_index(self.edges.len());
-        self.edges.push(Some(Edge::new(
-            Endpoint::new(from, from_port),
-            Endpoint::new(to, to_port),
-        )));
-        self.nodes[from.index()].as_mut().expect("checked").outputs[from_port].push(id);
-        self.nodes[to.index()].as_mut().expect("checked").inputs[to_port] = Some(id);
+        let edge = Edge::new(Endpoint::new(from, from_port), Endpoint::new(to, to_port));
+        let id = match self.free_edges.pop() {
+            Some(id) => {
+                self.edges[id.index()] = Some(edge);
+                id
+            }
+            None => {
+                let id = EdgeId::from_index(self.edges.len());
+                self.edges.push(Some(edge));
+                id
+            }
+        };
+        self.ports[from.index()].outs.push(OutEdge {
+            port: from_port as u16,
+            edge: id.index() as u32,
+        });
+        self.ports[to.index()].ins.as_mut_slice()[to_port] = id.index() as u32;
         self.live_edges += 1;
         self.notify(RewriteEvent::NodeTouched(from));
         self.notify(RewriteEvent::NodeTouched(to));
@@ -245,37 +527,44 @@ impl Cdfg {
     /// [`CdfgError::UnknownEdge`] if the edge does not exist.
     pub fn disconnect(&mut self, id: EdgeId) -> Result<Edge, CdfgError> {
         let edge = self.edge(id).copied()?;
-        if let Some(Some(node)) = self.nodes.get_mut(edge.from.node.index()) {
-            let port = edge.from.port_index();
-            if port < node.outputs.len() {
-                node.outputs[port].retain(|e| *e != id);
-            }
+        let raw = id.index() as u32;
+        if let Some(record) = self.ports.get_mut(edge.from.node.index()) {
+            record.outs.retain(|out| out.edge != raw);
         }
-        if let Some(Some(node)) = self.nodes.get_mut(edge.to.node.index()) {
+        if let Some(record) = self.ports.get_mut(edge.to.node.index()) {
             let port = edge.to.port_index();
-            if port < node.inputs.len() && node.inputs[port] == Some(id) {
-                node.inputs[port] = None;
+            let ins = record.ins.as_mut_slice();
+            if port < ins.len() && ins[port] == raw {
+                ins[port] = NO_EDGE;
             }
         }
         self.edges[id.index()] = None;
+        if self.reuse_ids {
+            self.free_edges.push(id);
+        }
         self.live_edges -= 1;
         self.notify(RewriteEvent::NodeTouched(edge.from.node));
         self.notify(RewriteEvent::NodeTouched(edge.to.node));
         Ok(edge)
     }
 
-    /// Removes a node and every edge attached to it.
+    /// Removes a node and every edge attached to it, returning its kind.
     ///
-    /// The attached edges are collected from the node's own port edge lists,
-    /// so removal costs O(degree) instead of a scan over the whole edge
-    /// table.
+    /// The attached edges are collected from the node's own port lists, so
+    /// removal costs O(degree) instead of a scan over the whole edge table.
     ///
     /// # Errors
     /// [`CdfgError::UnknownNode`] if the node does not exist.
-    pub fn remove_node(&mut self, id: NodeId) -> Result<Node, CdfgError> {
+    pub fn remove_node(&mut self, id: NodeId) -> Result<NodeKind, CdfgError> {
         let node = self.node(id)?;
-        let mut attached: Vec<EdgeId> = node.inputs.iter().flatten().copied().collect();
-        attached.extend(node.outputs.iter().flatten().copied());
+        let mut attached: Vec<EdgeId> = node.input_edges().collect();
+        attached.extend(
+            node.ports
+                .outs
+                .as_slice()
+                .iter()
+                .map(|out| EdgeId::from_index(out.edge as usize)),
+        );
         // A self-edge appears in both the input and the output port lists;
         // deduplicate so it is disconnected exactly once.
         attached.sort_unstable();
@@ -285,7 +574,12 @@ impl Cdfg {
         }
         self.live_nodes -= 1;
         self.notify(RewriteEvent::NodeRemoved(id));
-        Ok(self.nodes[id.index()].take().expect("checked above"))
+        let kind = self.kinds[id.index()].take().expect("checked above");
+        self.ports[id.index()] = PortRecord::default();
+        if self.reuse_ids {
+            self.free_nodes.push(id);
+        }
+        Ok(kind)
     }
 
     /// Source endpoint driving input port `port` of `node`, if connected.
@@ -296,34 +590,80 @@ impl Cdfg {
     }
 
     /// All `(node, port)` endpoints consuming output port `port` of `node`.
+    ///
+    /// Allocates the result; [`Cdfg::output_sinks_iter`] is the
+    /// allocation-free variant for hot paths.
     pub fn output_sinks(&self, node: NodeId, port: usize) -> Vec<Endpoint> {
-        let Ok(n) = self.node(node) else {
-            return Vec::new();
+        self.output_sinks_iter(node, port).collect()
+    }
+
+    /// Iterates over the `(node, port)` endpoints consuming output port
+    /// `port` of `node`, without allocating.
+    pub fn output_sinks_iter(
+        &self,
+        node: NodeId,
+        port: usize,
+    ) -> impl Iterator<Item = Endpoint> + '_ {
+        let edges = match self.node(node) {
+            Ok(n) => n.ports.outs.as_slice(),
+            Err(_) => &[],
         };
-        n.output_edges(port)
+        let port = port as u16;
+        edges
             .iter()
-            .filter_map(|eid| self.edge(*eid).ok().map(|e| e.to))
-            .collect()
+            .filter(move |out| out.port == port)
+            .filter_map(|out| {
+                self.edge(EdgeId::from_index(out.edge as usize))
+                    .ok()
+                    .map(|e| e.to)
+            })
+    }
+
+    /// Iterates over every sink endpoint of `node` across all output ports,
+    /// in connect order, without allocating.  Duplicate target nodes are
+    /// *not* removed — one entry per edge.
+    pub fn sink_endpoints(&self, node: NodeId) -> impl Iterator<Item = Endpoint> + '_ {
+        let edges = match self.node(node) {
+            Ok(n) => n.ports.outs.as_slice(),
+            Err(_) => &[],
+        };
+        edges.iter().filter_map(|out| {
+            self.edge(EdgeId::from_index(out.edge as usize))
+                .ok()
+                .map(|e| e.to)
+        })
+    }
+
+    /// Iterates over the source endpoints driving `node`'s input ports, in
+    /// port order, without allocating.  Duplicate source nodes are *not*
+    /// removed — one entry per connected port.
+    pub fn source_endpoints(&self, node: NodeId) -> impl Iterator<Item = Endpoint> + '_ {
+        let ins: &[u32] = match self.node(node) {
+            Ok(n) => n.ports.ins.as_slice(),
+            Err(_) => &[],
+        };
+        ins.iter().filter(|raw| **raw != NO_EDGE).filter_map(|raw| {
+            self.edges
+                .get(*raw as usize)
+                .and_then(Option::as_ref)
+                .map(|e| e.from)
+        })
     }
 
     /// Predecessor nodes of `node` (one entry per connected input port, in
     /// port order, deduplicated).
     pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
-        let Ok(n) = self.node(node) else {
-            return Vec::new();
-        };
         let mut preds = Vec::new();
-        for eid in n.inputs.iter().flatten() {
-            if let Ok(edge) = self.edge(*eid) {
-                if !preds.contains(&edge.from.node) {
-                    preds.push(edge.from.node);
-                }
+        for source in self.source_endpoints(node) {
+            if !preds.contains(&source.node) {
+                preds.push(source.node);
             }
         }
         preds
     }
 
-    /// Successor nodes of `node` (deduplicated, in discovery order).
+    /// Successor nodes of `node` (deduplicated, in port order then connect
+    /// order).
     pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
         let Ok(n) = self.node(node) else {
             return Vec::new();
@@ -333,9 +673,9 @@ impl Cdfg {
         // shared by hundreds of consumers would otherwise make this
         // quadratic).
         let mut seen: Option<std::collections::HashSet<NodeId>> = None;
-        for port_edges in &n.outputs {
-            for eid in port_edges {
-                if let Ok(edge) = self.edge(*eid) {
+        for port in 0..n.output_count() {
+            for eid in n.output_edges(port) {
+                if let Ok(edge) = self.edge(eid) {
                     let to = edge.to.node;
                     let fresh = match &mut seen {
                         Some(set) => set.insert(to),
@@ -439,46 +779,91 @@ impl Cdfg {
 
     /// Topological order of all live nodes (Kahn's algorithm).
     ///
+    /// Allocates fresh buffers per call; the worklist driver and other
+    /// repeat callers should hold a [`TopoScratch`] and use
+    /// [`Cdfg::topo_order_into`] instead.
+    ///
     /// # Errors
     /// [`CdfgError::CycleDetected`] when the graph contains a cycle.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, CdfgError> {
+        let mut scratch = TopoScratch::new();
+        self.topo_order_into(&mut scratch)?;
+        Ok(std::mem::take(&mut scratch.order))
+    }
+
+    /// Topological order of all live nodes into reusable scratch buffers:
+    /// the allocation-free variant of [`Cdfg::topo_order`].  On success the
+    /// order is available as [`TopoScratch::order`].
+    ///
+    /// # Errors
+    /// [`CdfgError::CycleDetected`] when the graph contains a cycle.
+    pub fn topo_order_into(&self, scratch: &mut TopoScratch) -> Result<(), CdfgError> {
         let bound = self.node_bound();
-        let mut in_deg = vec![0usize; bound];
+        scratch.in_deg.clear();
+        scratch.in_deg.resize(bound, 0);
+        // `counts` is zeroed between visits below, so only its size needs
+        // refreshing here.
+        scratch.counts.resize(bound, 0);
+        scratch.distinct.clear();
+        scratch.ready.clear();
+        scratch.order.clear();
+
         let mut live = 0usize;
         for (id, node) in self.nodes() {
             live += 1;
-            in_deg[id.index()] = node.inputs.iter().flatten().count();
-        }
-        let mut ready: Vec<NodeId> = self
-            .nodes()
-            .filter(|(id, _)| in_deg[id.index()] == 0)
-            .map(|(id, _)| id)
-            .collect();
-        let mut order = Vec::with_capacity(live);
-        while let Some(id) = ready.pop() {
-            order.push(id);
-            for succ in self.successors(id) {
-                // A successor may be connected through several ports; decrement
-                // once per connecting edge.  A successor's counter reaches
-                // zero exactly once (each predecessor is processed once), so
-                // it is pushed exactly once — no membership scan needed.
-                let node = self.node(succ).expect("successor exists");
-                let incoming_from_id = node
-                    .inputs
-                    .iter()
-                    .flatten()
-                    .filter(|eid| self.edge(**eid).map(|e| e.from.node == id).unwrap_or(false))
-                    .count();
-                let slot = &mut in_deg[succ.index()];
-                let was_positive = *slot > 0;
-                *slot = slot.saturating_sub(incoming_from_id);
-                if *slot == 0 && was_positive {
-                    ready.push(succ);
-                }
+            let connected = node
+                .ports
+                .ins
+                .as_slice()
+                .iter()
+                .filter(|raw| **raw != NO_EDGE)
+                .count() as u32;
+            scratch.in_deg[id.index()] = connected;
+            if connected == 0 {
+                scratch.ready.push(id);
             }
         }
-        if order.len() == live {
-            Ok(order)
+        scratch.order.reserve(live);
+        while let Some(id) = scratch.ready.pop() {
+            scratch.order.push(id);
+            // Distinct successors in port order then connect order, each
+            // with its edge multiplicity, using the zeroed `counts` table as
+            // the seen-marker.
+            let record = &self.ports[id.index()];
+            for port in 0..record.out_ports {
+                for out in record.outs.as_slice() {
+                    if out.port != port {
+                        continue;
+                    }
+                    let to = self.edges[out.edge as usize]
+                        .as_ref()
+                        .expect("port lists only hold live edges")
+                        .to
+                        .node;
+                    if scratch.counts[to.index()] == 0 {
+                        scratch.distinct.push(to);
+                    }
+                    scratch.counts[to.index()] += 1;
+                }
+            }
+            // A successor may be connected through several ports; decrement
+            // once per connecting edge.  A successor's counter reaches zero
+            // exactly once (each predecessor is processed once), so it is
+            // pushed exactly once — no membership scan needed.
+            for i in 0..scratch.distinct.len() {
+                let succ = scratch.distinct[i];
+                let multiplicity = std::mem::take(&mut scratch.counts[succ.index()]);
+                let slot = &mut scratch.in_deg[succ.index()];
+                let was_positive = *slot > 0;
+                *slot = slot.saturating_sub(multiplicity);
+                if *slot == 0 && was_positive {
+                    scratch.ready.push(succ);
+                }
+            }
+            scratch.distinct.clear();
+        }
+        if scratch.order.len() == live {
+            Ok(())
         } else {
             Err(CdfgError::CycleDetected)
         }
@@ -490,37 +875,38 @@ impl Cdfg {
     }
 
     /// Rebuilds the graph without holes, returning the compacted graph and a
-    /// mapping from old to new node ids.
-    pub fn compact(&self) -> (Cdfg, HashMap<NodeId, NodeId>) {
+    /// dense mapping from old to new node ids.
+    pub fn compact(&self) -> (Cdfg, NodeRemap) {
         let mut out = Cdfg::new(self.name.clone());
-        let mut remap = HashMap::new();
+        let mut remap = NodeRemap::with_bound(self.node_bound());
         for (id, node) in self.nodes() {
             let new_id = out.add_node(node.kind.clone());
             remap.insert(id, new_id);
         }
         for (_, edge) in self.edges() {
-            let from = remap[&edge.from.node];
-            let to = remap[&edge.to.node];
+            let from = remap[edge.from.node];
+            let to = remap[edge.to.node];
             out.connect(from, edge.from.port_index(), to, edge.to.port_index())
                 .expect("edges of a well-formed graph remain connectable");
         }
         (out, remap)
     }
 
-    /// Copies another graph into this one, returning the node id remapping.
+    /// Copies another graph into this one, returning the dense node id
+    /// remapping.
     ///
     /// Interface (`Input`/`Output`) nodes of the spliced graph are copied
     /// verbatim; callers typically rewire or remove them afterwards (this is
     /// what the loop-unrolling transformation does).
-    pub fn splice(&mut self, other: &Cdfg) -> HashMap<NodeId, NodeId> {
-        let mut remap = HashMap::new();
+    pub fn splice(&mut self, other: &Cdfg) -> NodeRemap {
+        let mut remap = NodeRemap::with_bound(other.node_bound());
         for (id, node) in other.nodes() {
             let new_id = self.add_node(node.kind.clone());
             remap.insert(id, new_id);
         }
         for (_, edge) in other.edges() {
-            let from = remap[&edge.from.node];
-            let to = remap[&edge.to.node];
+            let from = remap[edge.from.node];
+            let to = remap[edge.to.node];
             self.connect(from, edge.from.port_index(), to, edge.to.port_index())
                 .expect("edges of a well-formed graph remain connectable");
         }
@@ -532,6 +918,7 @@ impl Cdfg {
 mod tests {
     use super::*;
     use crate::node::BinOp;
+    use std::collections::HashMap;
 
     fn mac_graph() -> (Cdfg, NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
         let mut g = Cdfg::new("mac");
@@ -609,6 +996,44 @@ mod tests {
     }
 
     #[test]
+    fn node_view_connectivity() {
+        let (g, a, _b, _c, mul, add, out) = mac_graph();
+        let mul_view = g.node(mul).unwrap();
+        assert_eq!(mul_view.input_count(), 2);
+        assert_eq!(mul_view.output_count(), 1);
+        assert!(mul_view.fully_connected());
+        assert_eq!(mul_view.fanout(), 1);
+        assert_eq!(mul_view.output_edges(5).count(), 0);
+        assert!(g.node(out).unwrap().input_edge(0).is_some());
+        let a_view = g.node(a).unwrap();
+        assert_eq!(a_view.input_count(), 0);
+        assert_eq!(a_view.fanout(), 1);
+        assert!(g.node(add).unwrap().input_edge(1).is_some());
+    }
+
+    #[test]
+    fn inline_ports_spill_on_high_fanout() {
+        // A constant fanned out to more consumers than the inline capacity
+        // exercises the heap-spill path of the out-edge list.
+        let mut g = Cdfg::new("fanout");
+        let c = g.add_node(NodeKind::Const(7));
+        let mut sinks = Vec::new();
+        for i in 0..INLINE_PORTS + 3 {
+            let out = g.add_node(NodeKind::Output(format!("o{i}")));
+            g.connect(c, 0, out, 0).unwrap();
+            sinks.push(out);
+        }
+        assert_eq!(g.node(c).unwrap().fanout(), INLINE_PORTS + 3);
+        let observed: Vec<NodeId> = g.output_sinks(c, 0).iter().map(|e| e.node).collect();
+        assert_eq!(observed, sinks);
+        // Disconnecting from a spilled list keeps the remaining order.
+        let first = g.node(c).unwrap().output_edges(0).next().unwrap();
+        g.disconnect(first).unwrap();
+        let observed: Vec<NodeId> = g.output_sinks(c, 0).iter().map(|e| e.node).collect();
+        assert_eq!(observed, sinks[1..]);
+    }
+
+    #[test]
     fn disconnect_and_remove() {
         let (mut g, _a, _b, _c, mul, add, _out) = mac_graph();
         let eid = g.node(add).unwrap().input_edge(0).unwrap();
@@ -617,7 +1042,8 @@ mod tests {
         assert_eq!(g.edge_count(), 4);
         assert!(g.node(add).unwrap().input_edge(0).is_none());
 
-        g.remove_node(mul).unwrap();
+        let kind = g.remove_node(mul).unwrap();
+        assert_eq!(kind, NodeKind::BinOp(BinOp::Mul));
         assert!(!g.contains_node(mul));
         assert!(matches!(g.node(mul), Err(CdfgError::UnknownNode(_))));
         // Edges from a and b into mul are gone too.
@@ -647,6 +1073,20 @@ mod tests {
     }
 
     #[test]
+    fn topo_scratch_is_reusable() {
+        let (mut g, ..) = mac_graph();
+        let mut scratch = TopoScratch::new();
+        g.topo_order_into(&mut scratch).unwrap();
+        let first: Vec<NodeId> = scratch.order().to_vec();
+        assert_eq!(first, g.topo_order().unwrap());
+        // Mutate, then reuse the same scratch: the result tracks the graph.
+        let extra = g.add_node(NodeKind::Const(3));
+        g.topo_order_into(&mut scratch).unwrap();
+        assert_eq!(scratch.order().len(), 7);
+        assert!(scratch.order().contains(&extra));
+    }
+
+    #[test]
     fn remove_node_handles_self_edges() {
         let mut g = Cdfg::new("self");
         let x = g.add_node(NodeKind::Copy);
@@ -670,6 +1110,35 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_not_reused_by_default() {
+        let (mut g, _a, _b, _c, mul, _add, _out) = mac_graph();
+        let bound = g.node_bound();
+        g.remove_node(mul).unwrap();
+        let fresh = g.add_node(NodeKind::Const(1));
+        assert_eq!(fresh.index(), bound);
+        assert_eq!(g.node_bound(), bound + 1);
+    }
+
+    #[test]
+    fn id_reuse_recycles_freed_slots() {
+        let (mut g, _a, _b, _c, mul, add, _out) = mac_graph();
+        assert!(!g.id_reuse_enabled());
+        g.enable_id_reuse();
+        let bound = g.node_bound();
+        let edges_bound = g.edges.len();
+        g.remove_node(mul).unwrap();
+        let recycled = g.add_node(NodeKind::Const(1));
+        assert_eq!(recycled, mul);
+        assert_eq!(g.node_bound(), bound);
+        // Freed edge slots are recycled too.
+        let eid = g.connect(recycled, 0, add, 0).unwrap();
+        assert!(eid.index() < edges_bound);
+        assert_eq!(g.edges.len(), edges_bound);
+        // Graph semantics are unchanged: the recycled node behaves normally.
+        assert_eq!(g.input_source(add, 0).unwrap().node, recycled);
+    }
+
+    #[test]
     fn compact_preserves_structure() {
         let (mut g, _a, _b, _c, mul, _add, _out) = mac_graph();
         g.remove_node(mul).unwrap();
@@ -678,6 +1147,7 @@ mod tests {
         assert_eq!(compacted.edge_count(), g.edge_count());
         assert_eq!(remap.len(), 5);
         assert_eq!(compacted.node_bound(), 5);
+        assert_eq!(remap.get(mul), None);
     }
 
     #[test]

@@ -73,9 +73,9 @@ pub use builder::CdfgBuilder;
 pub use canon::canonical_signature;
 pub use edge::{Edge, Endpoint};
 pub use error::CdfgError;
-pub use graph::Cdfg;
-pub use ids::{EdgeId, NodeId};
-pub use node::{BinOp, LoopSpec, Node, NodeKind, UnOp};
+pub use graph::{Cdfg, Node, TopoScratch};
+pub use ids::{EdgeId, NodeId, NodeRemap};
+pub use node::{BinOp, LoopSpec, NodeKind, UnOp};
 pub use observer::{ChangeJournal, RewriteEvent, RewriteObserver};
 pub use statespace::StateSpace;
 pub use stats::GraphStats;

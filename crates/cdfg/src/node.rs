@@ -1,7 +1,6 @@
 //! CDFG node kinds: operations, statespace primitives and structured loops.
 
 use crate::graph::Cdfg;
-use crate::ids::EdgeId;
 use std::fmt;
 
 /// Binary word operations supported by the CDFG (and by the FPFA ALU).
@@ -342,59 +341,6 @@ impl fmt::Display for NodeKind {
     }
 }
 
-/// A node of the CDFG: its operation plus port connectivity bookkeeping.
-#[derive(Clone, PartialEq, Debug)]
-pub struct Node {
-    /// The operation performed by this node.
-    pub kind: NodeKind,
-    /// Incoming edge per input port (`None` while the port is unconnected).
-    pub(crate) inputs: Vec<Option<EdgeId>>,
-    /// Outgoing edges per output port (each output may fan out).
-    pub(crate) outputs: Vec<Vec<EdgeId>>,
-}
-
-impl Node {
-    pub(crate) fn new(kind: NodeKind) -> Self {
-        let inputs = vec![None; kind.input_arity()];
-        let outputs = vec![Vec::new(); kind.output_arity()];
-        Node {
-            kind,
-            inputs,
-            outputs,
-        }
-    }
-
-    /// Incoming edge connected to input port `port`, if any.
-    pub fn input_edge(&self, port: usize) -> Option<EdgeId> {
-        self.inputs.get(port).copied().flatten()
-    }
-
-    /// Edges leaving output port `port`.
-    pub fn output_edges(&self, port: usize) -> &[EdgeId] {
-        self.outputs.get(port).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Number of input ports.
-    pub fn input_count(&self) -> usize {
-        self.inputs.len()
-    }
-
-    /// Number of output ports.
-    pub fn output_count(&self) -> usize {
-        self.outputs.len()
-    }
-
-    /// Total number of edges leaving this node across all output ports.
-    pub fn fanout(&self) -> usize {
-        self.outputs.iter().map(Vec::len).sum()
-    }
-
-    /// `true` when every input port has an incoming edge.
-    pub fn fully_connected(&self) -> bool {
-        self.inputs.iter().all(Option::is_some)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,18 +399,6 @@ mod tests {
         assert_eq!(NodeKind::Delete.input_arity(), 2);
         assert_eq!(NodeKind::Mux.input_arity(), 3);
         assert_eq!(NodeKind::Output("x".into()).output_arity(), 0);
-    }
-
-    #[test]
-    fn node_connectivity_bookkeeping() {
-        let n = Node::new(NodeKind::BinOp(BinOp::Add));
-        assert_eq!(n.input_count(), 2);
-        assert_eq!(n.output_count(), 1);
-        assert!(!n.fully_connected());
-        assert_eq!(n.fanout(), 0);
-        assert_eq!(n.input_edge(0), None);
-        assert_eq!(n.output_edges(0), &[]);
-        assert_eq!(n.output_edges(5), &[]);
     }
 
     #[test]

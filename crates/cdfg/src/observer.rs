@@ -94,6 +94,14 @@ impl ChangeJournal {
         }
     }
 
+    /// Drains the touched node of every pending event into `out`, in
+    /// emission order — the allocation-free variant of
+    /// [`ChangeJournal::drain`] for dirty-set builders that only need node
+    /// ids.
+    pub fn drain_nodes_into(&mut self, out: &mut Vec<NodeId>) {
+        out.extend(self.events.drain(..).map(RewriteEvent::node));
+    }
+
     /// Read-only view of the pending events.
     pub fn events(&self) -> &[RewriteEvent] {
         &self.events

@@ -584,6 +584,16 @@ mod tests {
             one,
             config_fingerprint(&config, &ArrayConfig::single_tile(), &no_locality)
         );
+        // Parallel-stage runs may refine multi-tile partitions differently,
+        // so they must never share cache entries with serial runs.
+        let parallel = FlowToggles {
+            parallel_stages: true,
+            ..toggles
+        };
+        assert_ne!(
+            one,
+            config_fingerprint(&config, &ArrayConfig::single_tile(), &parallel)
+        );
         let small = config.with_num_pps(3);
         assert_ne!(
             one,

@@ -308,6 +308,8 @@ pub struct Clusterer {
     /// When `false`, clustering is disabled and every operation becomes its
     /// own cluster (the A1 ablation baseline).
     enabled: bool,
+    /// Worker-pool width for speculative candidate scoring (1 = serial).
+    threads: usize,
 }
 
 impl Clusterer {
@@ -316,6 +318,7 @@ impl Clusterer {
         Clusterer {
             capability,
             enabled: true,
+            threads: 1,
         }
     }
 
@@ -325,7 +328,21 @@ impl Clusterer {
         Clusterer {
             capability,
             enabled: false,
+            threads: 1,
         }
+    }
+
+    /// Scores merge candidates speculatively on `threads` workers.
+    ///
+    /// The commit order — and therefore the resulting clustering — is
+    /// *identical* to the serial pass: a window of upcoming candidates is
+    /// scored read-only against the current cluster graph, the first
+    /// accepted candidate is committed serially, and the (now stale) scores
+    /// behind it are discarded.  Parallelism only buys wasted speculative
+    /// work, never a different answer.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Clusters a mapping graph.
@@ -359,7 +376,19 @@ impl Clusterer {
 
     /// Sarkar-style edge zeroing: walk dataflow edges (critical ones first)
     /// and merge endpoint clusters when legal and profitable.
+    ///
+    /// The merge loop keeps the cluster graph *incrementally*: per-cluster
+    /// member lists, dense label-level dependence lists and reusable scratch
+    /// buffers, so evaluating a candidate costs one dense longest-path pass
+    /// instead of rebuilding the whole clustering (which made the cold path
+    /// quadratic in the kernel size).  The decisions — data-path fit,
+    /// acyclicity, critical path — are computed over exactly the same
+    /// contracted graph a full rebuild would produce, so the resulting
+    /// membership is identical.
     fn merge_pass(&self, graph: &MappingGraph, membership: &mut [usize]) {
+        if graph.op_count() == 0 {
+            return;
+        }
         // Collect producer→consumer edges.
         let mut edges: Vec<(OpId, OpId)> = Vec::new();
         for id in graph.op_ids() {
@@ -372,47 +401,392 @@ impl Clusterer {
         let levels = op_levels(graph);
         let heights = op_heights(graph);
         edges.sort_by_key(|(p, c)| {
-            let criticality = levels[p] + heights[c];
+            let criticality = levels[p.index()] + heights[c.index()];
             std::cmp::Reverse(criticality)
         });
 
-        let mut current = build_clustered(graph, membership);
-        let mut best_cp = current.critical_path();
+        let mut state = MergeState::new(graph, membership);
+        let mut scratch = EvalScratch::new(graph.op_count());
+        let mut best_cp = state
+            .contracted_critical_path(&mut scratch, None)
+            .expect("the initial per-op cluster graph is acyclic");
 
-        for (producer, consumer) in edges {
-            let a = membership[producer.index()];
-            let b = membership[consumer.index()];
-            if a == b {
-                continue;
-            }
-            // Tentatively merge cluster b into cluster a.
-            let mut trial: Vec<usize> = membership.to_vec();
-            for slot in trial.iter_mut() {
-                if *slot == b {
-                    *slot = a;
+        if self.threads <= 1 {
+            for (producer, consumer) in edges {
+                let a = state.membership[producer.index()];
+                let b = state.membership[consumer.index()];
+                if a == b {
+                    continue;
+                }
+                if let Some(cp) = self.evaluate(&state, &mut scratch, a, b, best_cp) {
+                    state.commit(a, b);
+                    best_cp = cp;
                 }
             }
-            // Feasibility: data-path limits.
-            let merged_ops: Vec<OpId> =
-                graph.op_ids().filter(|id| trial[id.index()] == a).collect();
-            if !fits(&self.capability, &shape_of(graph, &merged_ops)) {
-                continue;
-            }
-            // Legality: no cycle in the cluster graph.
-            let candidate = build_clustered(graph, &trial);
-            if !is_acyclic(&candidate) {
-                continue;
-            }
-            // Profitability (Sarkar): do not lengthen the critical path.
-            let cp = candidate.critical_path();
-            if cp > best_cp {
-                continue;
-            }
-            membership.copy_from_slice(&trial);
-            best_cp = cp;
-            current = candidate;
+        } else {
+            self.merge_speculative(&mut state, &edges, &mut best_cp);
         }
-        let _ = current;
+        membership.copy_from_slice(&state.membership);
+    }
+
+    /// One candidate decision — data-path fit, then legality (no cycle) and
+    /// profitability (Sarkar: do not lengthen the critical path) in one
+    /// contracted longest-path pass.  Returns the merged critical path when
+    /// the candidate is acceptable.
+    fn evaluate(
+        &self,
+        state: &MergeState<'_>,
+        scratch: &mut EvalScratch,
+        a: usize,
+        b: usize,
+        best_cp: usize,
+    ) -> Option<usize> {
+        if !fits(&self.capability, &state.union_shape(scratch, a, b)) {
+            return None;
+        }
+        let cp = state.contracted_critical_path(scratch, Some((a, b)))?;
+        (cp <= best_cp).then_some(cp)
+    }
+
+    /// The parallel twin of the serial merge loop: score a window of
+    /// upcoming candidates read-only on the worker pool, commit the first
+    /// accepted one serially, drop the stale scores behind it and continue
+    /// from the candidate after the commit.  Candidates ahead of the first
+    /// accepted one were rejected against exactly the state the serial pass
+    /// would have seen, so the final membership is identical.
+    fn merge_speculative(
+        &self,
+        state: &mut MergeState<'_>,
+        edges: &[(OpId, OpId)],
+        best_cp: &mut usize,
+    ) {
+        let n = state.graph.op_count();
+        let mut index = 0;
+        while index < edges.len() {
+            let window = &edges[index..edges.len().min(index + self.threads * 4)];
+            let chunk_len = window.len().div_ceil(self.threads);
+            let chunks: Vec<&[(OpId, OpId)]> = window.chunks(chunk_len).collect();
+            let current = &*state;
+            let cp_bound = *best_cp;
+            let scores: Vec<Option<usize>> =
+                crate::flow::batch::parallel_map(&chunks, self.threads, |chunk| {
+                    let mut scratch = EvalScratch::new(n);
+                    chunk
+                        .iter()
+                        .map(|(producer, consumer)| {
+                            let a = current.membership[producer.index()];
+                            let b = current.membership[consumer.index()];
+                            if a == b {
+                                return None;
+                            }
+                            self.evaluate(current, &mut scratch, a, b, cp_bound)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            let accepted = scores.iter().position(Option::is_some);
+            match accepted {
+                Some(offset) => {
+                    let (producer, consumer) = window[offset];
+                    let a = state.membership[producer.index()];
+                    let b = state.membership[consumer.index()];
+                    state.commit(a, b);
+                    *best_cp = scores[offset].expect("accepted candidate has a score");
+                    index += offset + 1;
+                }
+                None => index += window.len(),
+            }
+        }
+    }
+}
+
+/// Incremental state of [`Clusterer::merge_pass`]: the cluster graph keyed by
+/// membership *labels* (not yet compacted to dense [`ClusterId`]s) plus the
+/// scratch buffers reused across candidate evaluations.
+struct MergeState<'g> {
+    graph: &'g MappingGraph,
+    membership: Vec<usize>,
+    /// Member ops per label, in id (= topological) order.
+    members: Vec<Vec<OpId>>,
+    /// Distinct dependence labels per label (cluster-level in-edges).
+    deps: Vec<Vec<usize>>,
+    /// Distinct dependent labels per label (cluster-level out-edges).
+    succs: Vec<Vec<usize>>,
+    live: Vec<bool>,
+    live_count: usize,
+    /// `is_externally_used` per op, precomputed.
+    ext_used: Vec<bool>,
+}
+
+/// Reusable per-worker scratch for candidate evaluation, split out of
+/// [`MergeState`] so several workers can score candidates against one shared
+/// read-only state.
+struct EvalScratch {
+    // Label-indexed unless noted.
+    mark: Vec<u64>,
+    epoch: u64,
+    in_deg: Vec<u32>,
+    depth: Vec<u32>,
+    ready: Vec<usize>,
+    /// Op-indexed chain depth used by [`MergeState::union_shape`].
+    op_depth: Vec<u32>,
+    ext_inputs: Vec<ValueRef>,
+}
+
+impl EvalScratch {
+    fn new(n: usize) -> Self {
+        EvalScratch {
+            mark: vec![0; n],
+            epoch: 0,
+            in_deg: vec![0; n],
+            depth: vec![0; n],
+            ready: Vec::new(),
+            op_depth: vec![0; n],
+            ext_inputs: Vec::new(),
+        }
+    }
+}
+
+impl<'g> MergeState<'g> {
+    fn new(graph: &'g MappingGraph, membership: &[usize]) -> Self {
+        let n = graph.op_count();
+        let mut members: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        for id in graph.op_ids() {
+            members[membership[id.index()]].push(id);
+        }
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for id in graph.op_ids() {
+            let consumer = membership[id.index()];
+            for p in graph.producers(id) {
+                let producer = membership[p.index()];
+                if producer != consumer && !deps[consumer].contains(&producer) {
+                    deps[consumer].push(producer);
+                    succs[producer].push(consumer);
+                }
+            }
+        }
+        let live: Vec<bool> = members.iter().map(|m| !m.is_empty()).collect();
+        let live_count = live.iter().filter(|l| **l).count();
+        let ext_used = (0..n)
+            .map(|i| graph.is_externally_used(OpId(i as u32)))
+            .collect();
+        MergeState {
+            graph,
+            membership: membership.to_vec(),
+            members,
+            deps,
+            succs,
+            live,
+            live_count,
+            ext_used,
+        }
+    }
+
+    /// The shape the merged cluster `a ∪ b` would have (same counts as
+    /// [`shape_of`] over the union of the two member lists).
+    fn union_shape(&self, scratch: &mut EvalScratch, a: usize, b: usize) -> ClusterShape {
+        let mut inputs = std::mem::take(&mut scratch.ext_inputs);
+        inputs.clear();
+        let mut outputs = 0usize;
+        let mut multiplies = 0usize;
+        let mut max_depth = 0u32;
+        // Merge the two id-sorted member lists on the fly: ids are created in
+        // topological order, so producers are visited before consumers.
+        let (mut ia, mut ib) = (0, 0);
+        let (la, lb) = (&self.members[a], &self.members[b]);
+        while ia < la.len() || ib < lb.len() {
+            let id = if ib >= lb.len() || (ia < la.len() && la[ia] < lb[ib]) {
+                ia += 1;
+                la[ia - 1]
+            } else {
+                ib += 1;
+                lb[ib - 1]
+            };
+            let op = self.graph.op(id);
+            if op.kind.is_multiply() {
+                multiplies += 1;
+            }
+            let mut local_depth = 1u32;
+            for input in &op.inputs {
+                match input {
+                    ValueRef::Op(p)
+                        if self.membership[p.index()] == a || self.membership[p.index()] == b =>
+                    {
+                        local_depth = local_depth.max(scratch.op_depth[p.index()].max(1) + 1);
+                    }
+                    ValueRef::Const(_) => {}
+                    other => {
+                        if !inputs.contains(other) {
+                            inputs.push(*other);
+                        }
+                    }
+                }
+            }
+            scratch.op_depth[id.index()] = local_depth;
+            max_depth = max_depth.max(local_depth);
+            let used_outside =
+                self.ext_used[id.index()]
+                    || self.graph.consumers(id).iter().any(|c| {
+                        self.membership[c.index()] != a && self.membership[c.index()] != b
+                    });
+            if used_outside {
+                outputs += 1;
+            }
+        }
+        for id in la.iter().chain(lb.iter()) {
+            scratch.op_depth[id.index()] = 0;
+        }
+        let shape = ClusterShape {
+            ops: la.len() + lb.len(),
+            depth: max_depth as usize,
+            multiplies,
+            inputs: inputs.len(),
+            outputs,
+        };
+        scratch.ext_inputs = inputs;
+        shape
+    }
+
+    /// Critical path (in clusters) of the label graph with `merge` contracted
+    /// into its first label, or `None` when the contraction creates a cycle.
+    fn contracted_critical_path(
+        &self,
+        scratch: &mut EvalScratch,
+        merge: Option<(usize, usize)>,
+    ) -> Option<usize> {
+        let (a, b) = merge.unwrap_or((usize::MAX, usize::MAX));
+        let sub = |label: usize| if label == b { a } else { label };
+        let node_count = if merge.is_some() {
+            self.live_count - 1
+        } else {
+            self.live_count
+        };
+
+        scratch.ready.clear();
+        for label in 0..self.members.len() {
+            if !self.live[label] || label == b {
+                continue;
+            }
+            scratch.epoch += 1;
+            let mut distinct = 0u32;
+            let extra = if label == a { &self.deps[b][..] } else { &[] };
+            for &d in self.deps[label].iter().chain(extra) {
+                let d = sub(d);
+                if d == label || scratch.mark[d] == scratch.epoch {
+                    continue;
+                }
+                scratch.mark[d] = scratch.epoch;
+                distinct += 1;
+            }
+            scratch.in_deg[label] = distinct;
+            scratch.depth[label] = 1;
+            if distinct == 0 {
+                scratch.ready.push(label);
+            }
+        }
+
+        let mut visited = 0usize;
+        let mut max_depth = 0u32;
+        while let Some(label) = scratch.ready.pop() {
+            visited += 1;
+            max_depth = max_depth.max(scratch.depth[label]);
+            scratch.epoch += 1;
+            let extra = if label == a { &self.succs[b][..] } else { &[] };
+            for &s in self.succs[label].iter().chain(extra) {
+                let s = sub(s);
+                if s == label || scratch.mark[s] == scratch.epoch {
+                    continue;
+                }
+                scratch.mark[s] = scratch.epoch;
+                scratch.depth[s] = scratch.depth[s].max(scratch.depth[label] + 1);
+                scratch.in_deg[s] -= 1;
+                if scratch.in_deg[s] == 0 {
+                    scratch.ready.push(s);
+                }
+            }
+        }
+        (visited == node_count).then_some(max_depth as usize)
+    }
+
+    /// Merges label `b` into label `a` and patches the affected dependence
+    /// lists in place.
+    fn commit(&mut self, a: usize, b: usize) {
+        let absorbed = std::mem::take(&mut self.members[b]);
+        for &op in &absorbed {
+            self.membership[op.index()] = a;
+        }
+        let mut merged = Vec::with_capacity(self.members[a].len() + absorbed.len());
+        {
+            let la = &self.members[a];
+            let (mut ia, mut ib) = (0, 0);
+            while ia < la.len() || ib < absorbed.len() {
+                if ib >= absorbed.len() || (ia < la.len() && la[ia] < absorbed[ib]) {
+                    merged.push(la[ia]);
+                    ia += 1;
+                } else {
+                    merged.push(absorbed[ib]);
+                    ib += 1;
+                }
+            }
+        }
+        self.members[a] = merged;
+
+        // Neighbours of either endpoint must re-point their lists at `a`.
+        let mut affected: Vec<usize> = self.deps[a]
+            .iter()
+            .chain(&self.succs[a])
+            .chain(&self.deps[b])
+            .chain(&self.succs[b])
+            .copied()
+            .filter(|x| *x != a && *x != b)
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for x in affected {
+            remap_labels(&mut self.deps[x], b, a);
+            remap_labels(&mut self.succs[x], b, a);
+        }
+        let deps_b = std::mem::take(&mut self.deps[b]);
+        let succs_b = std::mem::take(&mut self.succs[b]);
+        self.deps[a].extend(deps_b);
+        remap_labels(&mut self.deps[a], b, a);
+        self.deps[a].retain(|x| *x != a);
+        self.deps[a].sort_unstable();
+        self.deps[a].dedup();
+        self.succs[a].extend(succs_b);
+        remap_labels(&mut self.succs[a], b, a);
+        self.succs[a].retain(|x| *x != a);
+        self.succs[a].sort_unstable();
+        self.succs[a].dedup();
+
+        self.live[b] = false;
+        self.live_count -= 1;
+    }
+}
+
+/// Rewrites occurrences of label `from` to `to` and restores distinctness.
+fn remap_labels(labels: &mut Vec<usize>, from: usize, to: usize) {
+    let mut changed = false;
+    for label in labels.iter_mut() {
+        if *label == from {
+            *label = to;
+            changed = true;
+        }
+    }
+    if changed {
+        let mut seen_to = false;
+        labels.retain(|label| {
+            if *label == to {
+                let first = !seen_to;
+                seen_to = true;
+                first
+            } else {
+                true
+            }
+        });
     }
 }
 
@@ -422,31 +796,33 @@ impl Default for Clusterer {
     }
 }
 
-fn op_levels(graph: &MappingGraph) -> HashMap<OpId, usize> {
-    let mut levels = HashMap::new();
+/// Longest-path level per op (dense, indexed by [`OpId::index`]).
+fn op_levels(graph: &MappingGraph) -> Vec<usize> {
+    let mut levels = vec![0usize; graph.op_count()];
     for id in graph.op_ids() {
         let level = graph
             .producers(id)
             .iter()
-            .map(|p| levels.get(p).copied().unwrap_or(0) + 1)
+            .map(|p| levels[p.index()] + 1)
             .max()
             .unwrap_or(0);
-        levels.insert(id, level);
+        levels[id.index()] = level;
     }
     levels
 }
 
-fn op_heights(graph: &MappingGraph) -> HashMap<OpId, usize> {
-    let mut heights = HashMap::new();
-    let ids: Vec<OpId> = graph.op_ids().collect();
-    for &id in ids.iter().rev() {
+/// Longest-path height per op (dense, indexed by [`OpId::index`]).
+fn op_heights(graph: &MappingGraph) -> Vec<usize> {
+    let mut heights = vec![0usize; graph.op_count()];
+    for index in (0..graph.op_count()).rev() {
+        let id = OpId(index as u32);
         let height = graph
             .consumers(id)
             .iter()
-            .map(|c| heights.get(c).copied().unwrap_or(0) + 1)
+            .map(|c| heights[c.index()] + 1)
             .max()
             .unwrap_or(0);
-        heights.insert(id, height);
+        heights[index] = height;
     }
     heights
 }
@@ -484,24 +860,6 @@ fn build_clustered(graph: &MappingGraph, membership: &[usize]) -> ClusteredGraph
         succs,
         owner,
     }
-}
-
-fn is_acyclic(clustered: &ClusteredGraph) -> bool {
-    // Kahn over the cluster graph.
-    let n = clustered.len();
-    let mut in_deg: Vec<usize> = (0..n).map(|i| clustered.deps[i].len()).collect();
-    let mut ready: Vec<usize> = (0..n).filter(|i| in_deg[*i] == 0).collect();
-    let mut seen = 0;
-    while let Some(i) = ready.pop() {
-        seen += 1;
-        for succ in clustered.successors(ClusterId(i as u32)) {
-            in_deg[succ.index()] -= 1;
-            if in_deg[succ.index()] == 0 {
-                ready.push(succ.index());
-            }
-        }
-    }
-    seen == n
 }
 
 #[cfg(test)]
@@ -611,6 +969,23 @@ mod tests {
         let clustered = Clusterer::default().cluster(&m).unwrap();
         assert!(clustered.is_empty());
         assert_eq!(clustered.critical_path(), 0);
+    }
+
+    #[test]
+    fn parallel_candidate_scoring_matches_the_serial_clustering() {
+        // Speculative scoring commits candidates in the exact serial order,
+        // so the clustering must be identical for any worker count.
+        for taps in [3usize, 8, 16] {
+            let m = fir_mapping_graph(taps);
+            let serial = Clusterer::default().cluster(&m).unwrap();
+            for threads in [2, 4, 7] {
+                let parallel = Clusterer::default()
+                    .with_threads(threads)
+                    .cluster(&m)
+                    .unwrap();
+                assert_eq!(serial, parallel, "threads={threads} taps={taps}");
+            }
+        }
     }
 
     #[test]

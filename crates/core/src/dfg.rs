@@ -135,6 +135,10 @@ pub struct MappingGraph {
     /// Statespace addresses read by the kernel (constant addresses of
     /// surviving `FE` nodes).
     pub mem_reads: Vec<i64>,
+    /// `consumer_index[p]` = ops consuming the result of op `p`, in id order
+    /// (built once at extraction: the graph is immutable afterwards, and the
+    /// clusterer asks for consumers on every merge candidate).
+    consumer_index: Vec<Vec<OpId>>,
 }
 
 impl MappingGraph {
@@ -156,11 +160,13 @@ impl MappingGraph {
         &self.ops[id.index()]
     }
 
-    /// Ids of the operations that consume the result of `id`.
-    pub fn consumers(&self, id: OpId) -> Vec<OpId> {
-        self.op_ids()
-            .filter(|other| self.ops[other.index()].inputs.contains(&ValueRef::Op(id)))
-            .collect()
+    /// Ids of the operations that consume the result of `id` (distinct, in
+    /// id order).
+    pub fn consumers(&self, id: OpId) -> &[OpId] {
+        self.consumer_index
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Ids of the operations whose results feed `id`.
@@ -446,7 +452,29 @@ impl MappingGraph {
         }
         out.mem_reads.sort_unstable();
         out.mem_reads.dedup();
+        out.build_consumer_index();
         Ok(out)
+    }
+
+    /// Builds the consumer adjacency (one entry per distinct consuming op,
+    /// in id order, matching what a full scan over `op_ids` would return).
+    fn build_consumer_index(&mut self) {
+        let mut index: Vec<Vec<OpId>> = vec![Vec::new(); self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            let consumer = OpId(i as u32);
+            for input in &op.inputs {
+                if let ValueRef::Op(p) = input {
+                    let slot = &mut index[p.index()];
+                    // An op using the same producer on several ports still
+                    // counts once; consumers are visited in id order, so a
+                    // duplicate can only be the most recent entry.
+                    if slot.last() != Some(&consumer) {
+                        slot.push(consumer);
+                    }
+                }
+            }
+        }
+        self.consumer_index = index;
     }
 }
 

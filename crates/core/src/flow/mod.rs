@@ -56,6 +56,14 @@ pub struct FlowToggles {
     /// (disabled = the legacy scan-until-fixpoint pass pipeline, kept as the
     /// reference oracle and comparison baseline).
     pub incremental_transform: bool,
+    /// Run the cold-path mapping stages on the scoped-thread worker pool:
+    /// cluster candidates are scored speculatively in parallel, KL
+    /// refinement moves are scored in parallel (and applied serially), and
+    /// multi-tile allocation runs one tile per worker.  Disabled by default;
+    /// the single-threaded flow is the byte-identity baseline.  The toggle is
+    /// part of [`FlowToggles`]'s `Hash`, so cached mappings never cross the
+    /// serial/parallel boundary.
+    pub parallel_stages: bool,
 }
 
 impl Default for FlowToggles {
@@ -65,6 +73,7 @@ impl Default for FlowToggles {
             locality: true,
             simplify: true,
             incremental_transform: true,
+            parallel_stages: false,
         }
     }
 }
@@ -182,6 +191,10 @@ pub struct FlowContext {
     /// Visited-versus-size instrumentation left behind by the transform
     /// stage (`None` when simplification was skipped).
     pub transform_stats: Option<TransformStats>,
+    /// Worker-pool width the parallel stages use when
+    /// [`FlowToggles::parallel_stages`] is on (ignored otherwise; `1` keeps
+    /// every stage serial regardless of the toggle).
+    pub stage_threads: usize,
     timings: Vec<StageTiming>,
     diagnostics: Vec<Diagnostic>,
 }
@@ -194,6 +207,7 @@ impl FlowContext {
             array: ArrayConfig::single_tile(),
             toggles: FlowToggles::default(),
             transform_stats: None,
+            stage_threads: 1,
             timings: Vec::new(),
             diagnostics: Vec::new(),
         }
@@ -203,6 +217,22 @@ impl FlowContext {
     pub fn with_toggles(mut self, toggles: FlowToggles) -> Self {
         self.toggles = toggles;
         self
+    }
+
+    /// Overrides the worker-pool width of the parallel stages.
+    pub fn with_stage_threads(mut self, threads: usize) -> Self {
+        self.stage_threads = threads.max(1);
+        self
+    }
+
+    /// The worker-pool width the mapping stages should use: the configured
+    /// width when [`FlowToggles::parallel_stages`] is on, `1` otherwise.
+    pub fn effective_stage_threads(&self) -> usize {
+        if self.toggles.parallel_stages {
+            self.stage_threads
+        } else {
+            1
+        }
     }
 
     /// Targets a tile array instead of the default single tile.

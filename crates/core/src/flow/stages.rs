@@ -304,7 +304,9 @@ impl Stage<ExtractedKernel, ClusteredKernel> for ClusterStage {
         } else {
             Clusterer::disabled(cx.config.alu)
         };
-        let clustered = clusterer.cluster(&input.graph)?;
+        let clustered = clusterer
+            .with_threads(cx.effective_stage_threads())
+            .cluster(&input.graph)?;
         cx.info(
             self.name(),
             format!(
@@ -340,8 +342,9 @@ impl Stage<ClusteredKernel, PartitionedKernel> for PartitionStage {
         input: ClusteredKernel,
         cx: &mut FlowContext,
     ) -> Result<PartitionedKernel, MapError> {
-        let partition =
-            Partitioner::new(cx.array.num_tiles).partition(&input.graph, &input.clustered)?;
+        let partition = Partitioner::new(cx.array.num_tiles)
+            .with_threads(cx.effective_stage_threads())
+            .partition(&input.graph, &input.clustered)?;
         if cx.array.num_tiles > 1 {
             cx.info(
                 self.name(),
@@ -456,12 +459,14 @@ impl Stage<ScheduledKernel, AllocatedKernel> for AllocateStage {
         } else {
             MultiTileAllocator::new(cx.config, cx.array).without_locality()
         };
-        let program = allocator.allocate(
-            &input.graph,
-            &input.clustered,
-            &input.partition,
-            &input.multi_schedule,
-        )?;
+        let program = allocator
+            .with_threads(cx.effective_stage_threads())
+            .allocate(
+                &input.graph,
+                &input.clustered,
+                &input.partition,
+                &input.multi_schedule,
+            )?;
         cx.info(
             self.name(),
             format!(

@@ -261,9 +261,7 @@ impl WorklistDriver {
                     // node this round); every other pass is routed once at
                     // sweep end, deduplicated across the whole sweep.
                     dirty.clear();
-                    for event in graph.drain_events() {
-                        dirty.push(event.node());
-                    }
+                    graph.drain_touched_into(&mut dirty);
                     dirty.sort_unstable();
                     dirty.dedup();
                     sweep_dirty.extend_from_slice(&dirty);

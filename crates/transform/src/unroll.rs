@@ -336,7 +336,7 @@ fn splice_body(
 
     // Rewire spliced Input nodes to the current variable wires.
     for (name, original_id) in spec.body.inputs() {
-        let spliced = remap[&original_id];
+        let spliced = remap[original_id];
         let port = spec
             .port_of(&name)
             .ok_or_else(|| TransformError::UnresolvableLoop {
@@ -351,7 +351,7 @@ fn splice_body(
     // order, then remove those outputs.
     let mut next = vec![None; spec.arity()];
     for (name, original_id) in spec.body.outputs() {
-        let spliced = remap[&original_id];
+        let spliced = remap[original_id];
         let Some(port) = spec.port_of(&name) else {
             // Outputs that are not carried variables should not exist; drop
             // them defensively.

@@ -12,6 +12,7 @@
 //!                                                     # (default: the daemon's own tile setting)
 //! fpfa-loadgen --min-hit-ratio 0.9 --forbid-overload  # CI assertions
 //! fpfa-loadgen --min-throughput 1000                  # req/s floor (exit non-zero below)
+//! fpfa-loadgen --cold-storm                           # reset the cache before measuring
 //! fpfa-loadgen --shutdown                             # stop the daemon afterwards
 //! ```
 //!
@@ -23,6 +24,14 @@
 //! records each kernel's program digest; every measured response is checked
 //! against it — a digest mismatch means the server handed out a different
 //! mapping for the same kernel and counts as a failure.
+//!
+//! `--cold-storm` issues a `reset` between the warmup pass and the measured
+//! phase, so the storm of concurrent requests hits an empty mapping cache
+//! and the latency percentiles describe the *cold* mapping path under
+//! contention (the digests recorded during warmup still apply: a cold remap
+//! must reproduce the same program).  Cache hit ratios are naturally low in
+//! this mode; combine with `--min-hit-ratio` only if you know what you are
+//! asserting.
 
 use fpfa::server::{Client, MapKnobs, Request, Response, WireError};
 use std::collections::HashMap;
@@ -39,12 +48,13 @@ struct Options {
     min_hit_ratio: Option<f64>,
     min_throughput: Option<f64>,
     forbid_overload: bool,
+    cold_storm: bool,
     shutdown: bool,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--tiles N] \
-     [--min-hit-ratio F] [--min-throughput F] [--forbid-overload] [--shutdown]"
+     [--min-hit-ratio F] [--min-throughput F] [--forbid-overload] [--cold-storm] [--shutdown]"
 }
 
 fn quick_mode() -> bool {
@@ -61,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         min_hit_ratio: None,
         min_throughput: None,
         forbid_overload: false,
+        cold_storm: false,
         shutdown: false,
     };
     let mut iter = args.iter();
@@ -94,6 +105,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--forbid-overload" => options.forbid_overload = true,
+            "--cold-storm" => options.cold_storm = true,
             "--shutdown" => options.shutdown = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
@@ -155,6 +167,16 @@ fn run(options: &Options) -> Result<(), String> {
         options.addr
     );
     let digests = Arc::new(digests);
+
+    if options.cold_storm {
+        let dropped = warm
+            .reset()
+            .map_err(|e| format!("cold-storm reset failed: {e}"))?;
+        println!(
+            "fpfa-loadgen: cold storm — dropped {dropped} cache entr(ies); \
+             the measured phase starts against an empty mapping cache"
+        );
+    }
 
     // Measured phase: closed loop on every connection.
     let cursor = Arc::new(AtomicUsize::new(0));

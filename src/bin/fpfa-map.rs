@@ -50,16 +50,17 @@ struct Options {
     timings: bool,
     batch: bool,
     threads: Option<usize>,
+    parallel_stages: bool,
     repeat: usize,
     cache_capacity: Option<usize>,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
-     [--legacy-transform] [--listing] [--dot cdfg|clusters|schedule] [--simulate] [--timings] \
-     [--repeat N] [--cache-capacity N]\n\
+     [--legacy-transform] [--parallel-stages] [--listing] [--dot cdfg|clusters|schedule] \
+     [--simulate] [--timings] [--repeat N] [--cache-capacity N]\n\
      \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
-     [--legacy-transform] [--timings] [--repeat N] [--cache-capacity N]"
+     [--legacy-transform] [--parallel-stages] [--timings] [--repeat N] [--cache-capacity N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -76,6 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timings: false,
         batch: false,
         threads: None,
+        parallel_stages: false,
         repeat: 1,
         cache_capacity: None,
     };
@@ -121,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--no-clustering" => options.clustering = false,
             "--no-locality" => options.locality = false,
             "--legacy-transform" => options.legacy_transform = true,
+            "--parallel-stages" => options.parallel_stages = true,
             "--listing" => options.listing = true,
             "--simulate" => options.simulate = true,
             "--timings" => options.timings = true,
@@ -149,8 +152,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 usage()
             ));
         }
-    } else if options.threads.is_some() {
-        return Err(format!("--threads only applies to --batch\n{}", usage()));
+    } else if options.threads.is_some() && !options.parallel_stages {
+        return Err(format!(
+            "--threads only applies to --batch or --parallel-stages\n{}",
+            usage()
+        ));
     } else if options.cache_capacity.is_some() && options.repeat == 1 {
         // The cache only exists on the MappingService paths.
         return Err(format!(
@@ -184,8 +190,13 @@ fn build_mapper(options: &Options) -> Mapper {
     if options.legacy_transform {
         mapper = mapper.with_legacy_transform();
     }
+    if options.parallel_stages {
+        mapper = mapper.with_parallel_stages();
+    }
     if let Some(threads) = options.threads {
-        mapper = mapper.with_batch_threads(threads);
+        mapper = mapper
+            .with_batch_threads(threads)
+            .with_stage_threads(threads);
     }
     mapper
 }
