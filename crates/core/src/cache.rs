@@ -93,6 +93,27 @@ impl MappingKey {
     }
 }
 
+/// A prepared full-mapping lookup: the content key plus its resolved shard
+/// index, built once by [`MappingCache::prepare`] and probed with
+/// [`MappingCache::peek_prepared`].
+#[derive(Clone, Debug)]
+pub struct MappingLookup {
+    key: MappingKey,
+    shard: usize,
+}
+
+impl MappingLookup {
+    /// The index of the cache shard that owns this key.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The prepared content key.
+    pub fn key(&self) -> &MappingKey {
+        &self.key
+    }
+}
+
 /// Key of the post-transform cache: the canonical structural signature of
 /// the simplified CDFG, the statespace layout, and the config fingerprint.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -444,10 +465,50 @@ impl MappingCache {
         found
     }
 
+    /// Prepares a full-mapping lookup: hashes the source and resolves the
+    /// owning shard once, so a caller that routes work by cache shard (the
+    /// server's I/O shards) pays for hashing a single time per request.
+    pub fn prepare(&self, source: &str, config: u64) -> MappingLookup {
+        let key = MappingKey::new(source, config);
+        let shard = key.shard_hash() as usize % self.mapping_shards.len();
+        MappingLookup { key, shard }
+    }
+
+    /// Looks up a prepared full-mapping key *without* touching the hit/miss
+    /// counters (recency is still refreshed).  Callers that keep their own
+    /// derived caches use this to probe speculatively and account the
+    /// authoritative hit/miss themselves ([`note_shard_hit`]/the mapping
+    /// flow's own counted lookup).
+    ///
+    /// [`note_shard_hit`]: MappingCache::note_shard_hit
+    pub fn peek_prepared(&self, lookup: &MappingLookup) -> Option<Arc<MappingResult>> {
+        lock_shard(&self.mapping_shards[lookup.shard]).get(&lookup.key)
+    }
+
+    /// Records one full-mapping hit served from a derived cache (e.g. an I/O
+    /// shard's warm summary table) so the hit ratio reported by [`stats`]
+    /// keeps covering requests that never reach the cache proper.
+    ///
+    /// [`stats`]: MappingCache::stats
+    pub fn note_shard_hit(&self) {
+        self.counters.mapping_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The number of independently locked shards per cache level.
+    pub fn shard_count(&self) -> usize {
+        self.mapping_shards.len()
+    }
+
     /// Stores a full mapping under its content key.
     pub fn insert_mapping(&self, key: MappingKey, result: MappingResult) {
+        self.insert_mapping_arc(key, Arc::new(result));
+    }
+
+    /// Stores an already shared full mapping under its content key, avoiding
+    /// a deep clone when the caller keeps the same [`Arc`].
+    pub fn insert_mapping_arc(&self, key: MappingKey, result: Arc<MappingResult>) {
         let shard = &self.mapping_shards[key.shard_hash() as usize % self.mapping_shards.len()];
-        let (fresh, evicted) = lock_shard(shard).insert(key, Arc::new(result));
+        let (fresh, evicted) = lock_shard(shard).insert(key, result);
         self.note_insert(fresh, evicted);
     }
 

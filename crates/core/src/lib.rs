@@ -72,7 +72,7 @@ pub mod service;
 pub mod viz;
 
 pub use allocate::Allocator;
-pub use cache::{CacheOutcome, CacheStats, MappingCache};
+pub use cache::{CacheOutcome, CacheStats, MappingCache, MappingLookup};
 pub use cluster::{Cluster, ClusterId, ClusteredGraph, Clusterer};
 pub use dfg::{MappingGraph, OpId, OpKind, ValueRef};
 pub use error::MapError;

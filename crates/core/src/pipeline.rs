@@ -24,6 +24,7 @@ use fpfa_arch::{ArrayConfig, TileConfig};
 use fpfa_cdfg::Cdfg;
 use fpfa_frontend::MemoryLayout;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything produced by one mapping run.
@@ -278,12 +279,32 @@ impl Mapper {
         source: &str,
         cache: &MappingCache,
     ) -> Result<MappingResult, MapError> {
-        let fingerprint = config_fingerprint(&self.config, &self.array, &self.toggles);
+        let (shared, outcome) = self.map_source_cached_shared(source, cache)?;
+        let mut result = (*shared).clone();
+        result.report.cache = outcome;
+        Ok(result)
+    }
+
+    /// Fingerprint of every knob that influences the produced mapping — the
+    /// `config` half of a [`MappingKey`].  Two mappers with equal
+    /// fingerprints produce identical mappings for identical sources.
+    pub fn cache_fingerprint(&self) -> u64 {
+        config_fingerprint(&self.config, &self.array, &self.toggles)
+    }
+
+    /// Like [`map_source_cached`](Self::map_source_cached), but returns the
+    /// cache's shared [`Arc`] instead of deep-cloning the result — the warm
+    /// serving path.  The outcome is returned alongside because the shared
+    /// result's embedded report keeps the flavor it was *created* with.
+    pub(crate) fn map_source_cached_shared(
+        &self,
+        source: &str,
+        cache: &MappingCache,
+    ) -> Result<(Arc<MappingResult>, CacheOutcome), MapError> {
+        let fingerprint = self.cache_fingerprint();
         let key = MappingKey::new(source, fingerprint);
         if let Some(hit) = cache.get_mapping(&key) {
-            let mut result = (*hit).clone();
-            result.report.cache = CacheOutcome::MappingHit;
-            return Ok(result);
+            return Ok((hit, CacheOutcome::MappingHit));
         }
 
         let mut cx = self.flow_context();
@@ -315,8 +336,9 @@ impl Mapper {
         };
         let mut result = finish(allocated, cx);
         result.report.cache = outcome;
-        cache.insert_mapping(key, result.clone());
-        Ok(result)
+        let shared = Arc::new(result);
+        cache.insert_mapping_arc(key, Arc::clone(&shared));
+        Ok((shared, outcome))
     }
 
     fn map_cdfg_with_layout(

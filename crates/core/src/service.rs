@@ -112,6 +112,25 @@ impl MappingService {
         self.mapper.map_source_cached(source, &self.cache)
     }
 
+    /// Like [`map_source`](Self::map_source), but returns the cache's shared
+    /// [`Arc`] without deep-cloning the result — the server's warm path,
+    /// where the caller only summarizes the mapping and moves on.
+    ///
+    /// The [`CacheOutcome`](crate::cache::CacheOutcome) is returned
+    /// alongside because the shared
+    /// result's embedded report keeps the flavor it was created with (a warm
+    /// hit must not mutate state shared with other readers).
+    ///
+    /// # Errors
+    /// Propagates frontend, transformation and mapping errors exactly as
+    /// [`map_source`](Self::map_source) does.
+    pub fn map_source_shared(
+        &self,
+        source: &str,
+    ) -> Result<(Arc<MappingResult>, crate::cache::CacheOutcome), MapError> {
+        self.mapper.map_source_cached_shared(source, &self.cache)
+    }
+
     /// Maps a batch of kernels in parallel through the shared cache.
     ///
     /// On top of [`Mapper::map_many`]'s in-batch deduplication, every worker

@@ -1,13 +1,22 @@
-//! Blocking client for the `fpfa-serve` protocol.
+//! Client for the `fpfa-serve` protocol (v2, pipelined).
 //!
-//! One [`Client`] owns one connection and issues one request at a time
-//! (the protocol is strictly request/response per connection; open more
-//! clients for concurrency, as `fpfa-loadgen` does).
+//! One [`Client`] owns one connection.  The core API is pipelined:
+//! [`submit`](Client::submit) queues a request and returns a [`Ticket`];
+//! [`wait`](Client::wait) flushes and reads responses until the ticket's
+//! answer arrives, stashing any responses that complete out of order for
+//! their own tickets.  The blocking one-call verbs ([`map`](Client::map),
+//! [`stats`](Client::stats), …) are thin `submit` + `wait` wrappers.
+//!
+//! Connecting performs the v2 handshake (magic + version): a server that
+//! does not speak this client's version answers with a typed
+//! [`WireError::UnsupportedVersion`], surfaced as [`ClientError::Server`].
 
 use crate::protocol::{
-    read_frame, write_frame, BatchSummary, FrameError, HealthSummary, KernelSource, MapKnobs,
-    MapSummary, ProtocolError, Request, Response, StatsSummary, WireError,
+    decode_response_frame, encode_request_frame, read_frame, write_frame, BatchSummary, FrameError,
+    HealthSummary, Hello, HelloAck, KernelSource, MapKnobs, MapSummary, ProtocolError, Request,
+    Response, StatsSummary, WireError,
 };
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -59,25 +68,107 @@ impl From<FrameError> for ClientError {
     }
 }
 
-/// A blocking connection to an `fpfa-serve` daemon.
+/// A claim on one in-flight request's response; redeem it with
+/// [`Client::wait`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Ticket {
+    id: u64,
+}
+
+impl Ticket {
+    /// The request id this ticket was issued for (echoed by the server).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A connection to an `fpfa-serve` daemon speaking protocol v2.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Responses read while waiting for a different ticket.
+    pending: HashMap<u64, Response>,
+    hello: HelloAck,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon and performs the version handshake.
     ///
     /// # Errors
-    /// Propagates socket errors.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+    /// Propagates socket errors; a version mismatch surfaces as
+    /// [`ClientError::Server`] carrying
+    /// [`WireError::UnsupportedVersion`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let write_half = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+        write_frame(&mut writer, &Hello::current().encode())?;
+        writer.flush()?;
+        let payload = read_frame(&mut reader)?.ok_or(ClientError::Disconnected)?;
+        let hello = match Response::decode(&payload).map_err(ClientError::Protocol)? {
+            Response::Hello(ack) => ack,
+            Response::Error(error) => return Err(ClientError::Server(error)),
+            _ => return Err(ClientError::Unexpected("expected a hello ack")),
+        };
         Ok(Client {
-            reader: BufReader::new(stream),
-            writer: BufWriter::new(write_half),
+            reader,
+            writer,
+            next_id: 0,
+            pending: HashMap::new(),
+            hello,
         })
+    }
+
+    /// What the server advertised in its handshake ack (protocol version,
+    /// shard count, per-connection in-flight budget).
+    pub fn server_hello(&self) -> HelloAck {
+        self.hello
+    }
+
+    /// Queues one request without waiting for its response.  The frame is
+    /// buffered; it reaches the wire on [`flush`](Client::flush) or on the
+    /// first [`wait`](Client::wait).
+    ///
+    /// # Errors
+    /// Propagates socket errors from writing the frame.
+    pub fn submit(&mut self, request: &Request) -> Result<Ticket, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(&mut self.writer, &encode_request_frame(id, request))?;
+        Ok(Ticket { id })
+    }
+
+    /// Pushes every buffered request to the wire.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Waits for one ticket's response, in whatever order the server
+    /// completes them: responses for *other* tickets read along the way are
+    /// stashed and returned by their own `wait` calls.
+    ///
+    /// # Errors
+    /// Fails on transport errors or undecodable responses.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<Response, ClientError> {
+        if let Some(response) = self.pending.remove(&ticket.id) {
+            return Ok(response);
+        }
+        self.writer.flush()?;
+        loop {
+            let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+            let (id, response) = decode_response_frame(&payload).map_err(ClientError::Protocol)?;
+            if id == ticket.id {
+                return Ok(response);
+            }
+            self.pending.insert(id, response);
+        }
     }
 
     /// Sends one request and waits for its response.  Typed server errors
@@ -87,10 +178,8 @@ impl Client {
     /// # Errors
     /// Fails on transport errors or undecodable responses.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.writer, &request.encode())?;
-        self.writer.flush()?;
-        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
-        Response::decode(&payload).map_err(ClientError::Protocol)
+        let ticket = self.submit(request)?;
+        self.wait(ticket)
     }
 
     /// Maps one kernel; any non-`Mapped` response becomes an error

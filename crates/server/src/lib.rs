@@ -6,15 +6,23 @@
 //! under concurrent, sustained load:
 //!
 //! * [`protocol`] — a hand-rolled, length-prefixed framed wire protocol
-//!   (std-only; encode/decode is a pure, separately testable layer);
-//! * [`server`] — the daemon: a fixed worker pool sharing one
-//!   [`MappingService`](fpfa_core::service::MappingService), a bounded job
-//!   queue with admission control (queue-full ⇒ an immediate typed
-//!   `Overloaded` response), per-request deadline budgets, graceful
-//!   drain-on-shutdown, and atomics-backed statistics;
-//! * [`client`] — the blocking client library used by the `fpfa-serve`
-//!   daemon's peers: tests, the `fpfa-loadgen` closed-loop load generator,
-//!   and scripts.
+//!   (std-only; encode/decode is a pure, separately testable layer).
+//!   Protocol **v2** adds a magic + version handshake and a `u64` request
+//!   id on every frame, so a connection can pipeline many requests and
+//!   receive responses out of order;
+//! * [`sys`] — readiness polling over raw fds (`epoll` on Linux via thin
+//!   `extern "C"` bindings, `poll(2)` elsewhere on Unix) plus a cross-
+//!   thread [`Waker`](sys::Waker) — the only module allowed `unsafe`;
+//! * [`server`] — the daemon: a small set of event-driven I/O shards, each
+//!   owning its accepted connections, buffers and a warm summary table,
+//!   over a fixed worker pool sharing one
+//!   [`MappingService`](fpfa_core::service::MappingService).  Admission
+//!   control (queue-full ⇒ an immediate typed `Overloaded` response),
+//!   per-request deadline budgets, graceful drain-on-shutdown, and
+//!   atomics-backed statistics carry over from the v1 design;
+//! * [`client`] — the client library: a pipelined core
+//!   ([`Client::submit`] / [`Client::wait`]) with the blocking one-call
+//!   verbs kept as wrappers.
 //!
 //! # Example
 //!
@@ -42,16 +50,21 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod protocol;
+// The syscall shim is the single scoped exception to `deny(unsafe_code)`:
+// two `extern "C"` declarations and the buffer handed to `epoll_wait`.
+#[allow(unsafe_code)]
+pub mod sys;
+
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Ticket};
 pub use protocol::{
-    program_digest, BatchSummary, CacheFlavor, Histogram, KernelSource, MapKnobs, MapSummary,
-    ProtocolError, Request, Response, StatsSummary, WireError,
+    program_digest, BatchSummary, CacheFlavor, HelloAck, Histogram, KernelSource, MapKnobs,
+    MapSummary, ProtocolError, Request, Response, ShardStatsSummary, StatsSummary, WireError,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

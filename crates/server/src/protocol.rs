@@ -21,6 +21,26 @@
 //!   [`WireError::Overloaded`] — a first-class response, never a dropped
 //!   connection.
 //!
+//! **Protocol v2** adds an explicit handshake and pipelining on top of the
+//! same framing:
+//!
+//! * On connect the client sends a [`Hello`] frame — the [`HELLO_MAGIC`]
+//!   bytes plus its protocol version — and the server answers with
+//!   [`Response::Hello`] (a [`HelloAck`]) or a typed
+//!   [`WireError::UnsupportedVersion`].  A first frame *without* the magic
+//!   is treated as a legacy v1 request: the server answers it with a
+//!   v1-encoded `UnsupportedVersion` error so old clients fail loudly
+//!   instead of hanging.
+//! * After the handshake every frame payload is a little-endian `u64`
+//!   **request id** followed by the v1 message body
+//!   ([`encode_request_frame`] / [`decode_response_frame`]).  A connection
+//!   may have many requests in flight; responses carry the id they answer
+//!   and may arrive **out of order**.
+//!
+//! [`FrameBuffer`] is the nonblocking counterpart of [`read_frame`]: it
+//! accumulates bytes as they arrive and yields complete frames, enforcing
+//! [`MAX_FRAME_LEN`] on the announced length before buffering a frame.
+//!
 //! Decoding never panics: every malformed, truncated or oversized input
 //! yields a typed [`ProtocolError`] (the property tests fuzz this).
 
@@ -33,6 +53,19 @@ use std::io::{self, Read, Write};
 /// generous for batches of kernel sources, small enough that a corrupt
 /// length prefix cannot balloon memory).
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// The protocol version this build speaks (and the only one the server
+/// serves; v1 requests are answered with a typed rejection).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Magic bytes opening a [`Hello`] frame.  Chosen so no v1 request can
+/// alias it: a v1 payload starts with a request tag byte in `1..=6`,
+/// never `b'F'`.
+pub const HELLO_MAGIC: [u8; 4] = *b"FPFA";
+
+/// The request id echoed on responses to frames whose id could not be
+/// decoded (a payload shorter than the 8-byte id prefix).
+pub const UNKNOWN_REQUEST_ID: u64 = u64::MAX;
 
 /// Number of latency buckets in a [`Histogram`]: bucket `i` counts requests
 /// that finished in `< 2^i` microseconds, the last bucket is the overflow.
@@ -177,6 +210,212 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking frame accumulation
+// ---------------------------------------------------------------------------
+
+/// Accumulates bytes read from a nonblocking socket and yields complete
+/// frames — the event-loop counterpart of [`read_frame`].
+///
+/// The announced length is validated against [`MAX_FRAME_LEN`] *before* the
+/// frame is buffered, so a corrupt prefix is rejected as
+/// [`FrameError::TooLarge`] without ballooning memory.  Consumed bytes are
+/// compacted away lazily (only once the parser catches up with the reader),
+/// keeping the steady-state cost of a warm connection a plain `memcpy`-free
+/// cursor bump.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed (a partial frame, or frames not
+    /// yet parsed).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Yields the next complete frame payload, or `None` until more bytes
+    /// arrive.
+    ///
+    /// # Errors
+    /// [`FrameError::TooLarge`] when the announced length exceeds
+    /// [`MAX_FRAME_LEN`]; the stream is unrecoverable at that point (the
+    /// frame boundary is lost) and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes = &self.buf[self.start..self.start + 4];
+        let len =
+            u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge { len: len as u64 });
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame_start = self.start + 4;
+        self.start = frame_start + len;
+        Ok(Some(&self.buf[frame_start..frame_start + len]))
+    }
+
+    /// Drops the consumed prefix once the parser has caught up (or the
+    /// consumed half dominates the buffer), bounding memory without copying
+    /// on every frame.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 4096 && self.start >= self.buf.len() / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake (protocol v2)
+// ---------------------------------------------------------------------------
+
+/// The client's opening frame under protocol v2: magic bytes plus the
+/// version it speaks.  Answered by [`Response::Hello`] or a typed
+/// [`WireError::UnsupportedVersion`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Hello {
+    /// The protocol version the client speaks.
+    pub version: u32,
+}
+
+impl Hello {
+    /// The hello for this build's [`PROTOCOL_VERSION`].
+    pub fn current() -> Self {
+        Hello {
+            version: PROTOCOL_VERSION,
+        }
+    }
+
+    /// `true` when a first frame opens with the [`HELLO_MAGIC`] bytes —
+    /// i.e. the peer speaks v2.  A v1 request payload can never match
+    /// (its first byte is a request tag in `1..=6`).
+    pub fn looks_like_hello(payload: &[u8]) -> bool {
+        payload.len() >= HELLO_MAGIC.len() && payload[..HELLO_MAGIC.len()] == HELLO_MAGIC
+    }
+
+    /// Encodes the hello into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8);
+        buf.extend_from_slice(&HELLO_MAGIC);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a hello frame payload.
+    ///
+    /// # Errors
+    /// [`ProtocolError::BadTag`] when the magic is absent,
+    /// [`ProtocolError::Truncated`]/[`ProtocolError::TrailingBytes`] on a
+    /// malformed length.
+    pub fn decode(payload: &[u8]) -> Result<Hello, ProtocolError> {
+        if !Self::looks_like_hello(payload) {
+            return Err(ProtocolError::BadTag {
+                context: "hello magic",
+                tag: payload.first().copied().unwrap_or(0),
+            });
+        }
+        let mut d = Dec::new(&payload[HELLO_MAGIC.len()..]);
+        let version = d.u32("hello.version")?;
+        d.finish(Hello { version })
+    }
+}
+
+/// The server's handshake acknowledgement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HelloAck {
+    /// The protocol version the connection will speak.
+    pub version: u32,
+    /// Number of I/O shards serving connections.
+    pub shards: u32,
+    /// Requests one connection may have in flight before the server answers
+    /// further submissions with [`WireError::Overloaded`].
+    pub max_in_flight: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined (v2) frame payloads
+// ---------------------------------------------------------------------------
+
+/// Encodes a v2 request frame payload: the `u64` request id followed by the
+/// v1 request body.
+pub fn encode_request_frame(id: u64, request: &Request) -> Vec<u8> {
+    let body = request.encode();
+    let mut buf = Vec::with_capacity(8 + body.len());
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&body);
+    buf
+}
+
+/// Decodes a v2 request frame payload into `(request_id, request)`.
+///
+/// # Errors
+/// A typed [`ProtocolError`]; when the payload is long enough to carry the
+/// id prefix, the id is decodable even if the body is not (the server echoes
+/// it on the error response).  Use [`request_id_of`] to recover it.
+pub fn decode_request_frame(payload: &[u8]) -> Result<(u64, Request), ProtocolError> {
+    if payload.len() < 8 {
+        return Err(ProtocolError::Truncated {
+            context: "request id",
+        });
+    }
+    let id = request_id_of(payload).unwrap_or(UNKNOWN_REQUEST_ID);
+    Ok((id, Request::decode(&payload[8..])?))
+}
+
+/// Encodes a v2 response frame payload: the echoed `u64` request id
+/// followed by the v1 response body.
+pub fn encode_response_frame(id: u64, response: &Response) -> Vec<u8> {
+    let body = response.encode();
+    let mut buf = Vec::with_capacity(8 + body.len());
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&body);
+    buf
+}
+
+/// Decodes a v2 response frame payload into `(request_id, response)`.
+///
+/// # Errors
+/// A typed [`ProtocolError`] on truncated or corrupt payloads; never panics.
+pub fn decode_response_frame(payload: &[u8]) -> Result<(u64, Response), ProtocolError> {
+    if payload.len() < 8 {
+        return Err(ProtocolError::Truncated {
+            context: "response id",
+        });
+    }
+    let id = request_id_of(payload).unwrap_or(UNKNOWN_REQUEST_ID);
+    Ok((id, Response::decode(&payload[8..])?))
+}
+
+/// The request id prefix of a v2 frame payload, when present — decodable
+/// even from frames whose body is corrupt, so errors can echo the right id.
+pub fn request_id_of(payload: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = payload.get(..8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
 }
 
 // ---------------------------------------------------------------------------
@@ -788,6 +1027,46 @@ impl Histogram {
     }
 }
 
+/// Per-I/O-shard serving counters (protocol v2: each shard owns its
+/// connections and their buffers end to end).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardStatsSummary {
+    /// Connections this shard has owned since start (or the last reset).
+    pub connections: u64,
+    /// Requests this shard admitted to the worker queue.
+    pub accepted: u64,
+    /// Responses this shard wrote back (inline and worker-completed).
+    pub served: u64,
+    /// Payload bytes read off this shard's sockets.
+    pub bytes_in: u64,
+    /// Payload bytes written back to this shard's sockets.
+    pub bytes_out: u64,
+}
+
+impl ShardStatsSummary {
+    fn encode(&self, e: &mut Enc) {
+        for v in [
+            self.connections,
+            self.accepted,
+            self.served,
+            self.bytes_in,
+            self.bytes_out,
+        ] {
+            e.u64(v);
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
+        Ok(ShardStatsSummary {
+            connections: d.u64("shard.connections")?,
+            accepted: d.u64("shard.accepted")?,
+            served: d.u64("shard.served")?,
+            bytes_in: d.u64("shard.bytes_in")?,
+            bytes_out: d.u64("shard.bytes_out")?,
+        })
+    }
+}
+
 /// Server statistics: admission counters, per-verb latency histograms and
 /// the mapping cache's counters.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -806,6 +1085,17 @@ pub struct StatsSummary {
     pub rejected_deadline: u64,
     /// Requests rejected because the server was draining.
     pub rejected_shutdown: u64,
+    /// Connections rejected at the handshake for speaking an unserved
+    /// protocol version (including bare v1 requests).
+    pub rejected_version: u64,
+    /// Frames that decoded to garbage (answered with a typed `Invalid`
+    /// error; the pipelining contract promises zero of these for a healthy
+    /// client).
+    pub protocol_errors: u64,
+    /// Map requests answered inline by an I/O shard's warm summary table
+    /// without queueing (a subset of `served_ok`; these hits are also folded
+    /// into `cache_mapping_hits` so the hit ratio covers them).
+    pub fast_hits: u64,
     /// Configured worker threads.
     pub workers: u64,
     /// Configured job-queue capacity.
@@ -822,10 +1112,14 @@ pub struct StatsSummary {
     pub cache_entries: u64,
     /// Nominal cache capacity per level.
     pub cache_capacity: u64,
-    /// Latency histogram of `map` requests (admission → response).
+    /// Latency histogram of `map` requests, frame-decode → response
+    /// write-back, so queueing delay is part of every observation.
     pub map_latency: Histogram,
-    /// Latency histogram of `batch` requests.
+    /// Latency histogram of `batch` requests (same decode → write-back
+    /// clock).
     pub batch_latency: Histogram,
+    /// Per-I/O-shard serving counters.
+    pub shards: Vec<ShardStatsSummary>,
 }
 
 impl StatsSummary {
@@ -844,6 +1138,9 @@ impl StatsSummary {
             self.rejected_overload,
             self.rejected_deadline,
             self.rejected_shutdown,
+            self.rejected_version,
+            self.protocol_errors,
+            self.fast_hits,
             self.workers,
             self.queue_depth,
             self.cache_mapping_hits,
@@ -857,6 +1154,10 @@ impl StatsSummary {
         }
         self.map_latency.encode(e);
         self.batch_latency.encode(e);
+        e.u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            shard.encode(e);
+        }
     }
 
     fn decode(d: &mut Dec<'_>) -> Result<Self, ProtocolError> {
@@ -868,6 +1169,9 @@ impl StatsSummary {
             rejected_overload: d.u64("stats.rejected_overload")?,
             rejected_deadline: d.u64("stats.rejected_deadline")?,
             rejected_shutdown: d.u64("stats.rejected_shutdown")?,
+            rejected_version: d.u64("stats.rejected_version")?,
+            protocol_errors: d.u64("stats.protocol_errors")?,
+            fast_hits: d.u64("stats.fast_hits")?,
             workers: d.u64("stats.workers")?,
             queue_depth: d.u64("stats.queue_depth")?,
             cache_mapping_hits: d.u64("stats.cache_mapping_hits")?,
@@ -878,6 +1182,14 @@ impl StatsSummary {
             cache_capacity: d.u64("stats.cache_capacity")?,
             map_latency: Histogram::decode(d)?,
             batch_latency: Histogram::decode(d)?,
+            shards: {
+                let count = d.seq_len("stats.shards")?;
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    shards.push(ShardStatsSummary::decode(d)?);
+                }
+                shards
+            },
         })
     }
 }
@@ -920,6 +1232,17 @@ pub enum WireError {
         /// The mapping error.
         error: String,
     },
+    /// The peer's protocol version is not served.  Sent in the *requested*
+    /// version's encoding when it is decodable (a v1 client gets a plain v1
+    /// error frame, not a hang), after which the server closes the
+    /// connection.
+    UnsupportedVersion {
+        /// The version the peer asked for (0 when it sent no handshake at
+        /// all, i.e. a legacy v1 request frame).
+        requested: u32,
+        /// The version this server speaks.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -934,6 +1257,13 @@ impl fmt::Display for WireError {
             WireError::ShuttingDown => f.write_str("server is shutting down"),
             WireError::Invalid(reason) => write!(f, "invalid request: {reason}"),
             WireError::MapFailed { name, error } => write!(f, "mapping `{name}` failed: {error}"),
+            WireError::UnsupportedVersion {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "protocol version {requested} is not served (server speaks v{supported})"
+            ),
         }
     }
 }
@@ -961,6 +1291,8 @@ pub enum Response {
     ShutdownStarted,
     /// A typed error.
     Error(WireError),
+    /// Acknowledges a [`Hello`] handshake (protocol v2).
+    Hello(HelloAck),
 }
 
 const RESP_MAPPED: u8 = 1;
@@ -970,12 +1302,14 @@ const RESP_HEALTH: u8 = 4;
 const RESP_RESET: u8 = 5;
 const RESP_SHUTDOWN: u8 = 6;
 const RESP_ERROR: u8 = 7;
+const RESP_HELLO: u8 = 8;
 
 const ERR_OVERLOADED: u8 = 1;
 const ERR_DEADLINE: u8 = 2;
 const ERR_SHUTTING_DOWN: u8 = 3;
 const ERR_INVALID: u8 = 4;
 const ERR_MAP_FAILED: u8 = 5;
+const ERR_UNSUPPORTED_VERSION: u8 = 6;
 
 impl Response {
     /// Encodes the response into a frame payload.
@@ -1026,7 +1360,21 @@ impl Response {
                         e.str(name);
                         e.str(error);
                     }
+                    WireError::UnsupportedVersion {
+                        requested,
+                        supported,
+                    } => {
+                        e.u8(ERR_UNSUPPORTED_VERSION);
+                        e.u32(*requested);
+                        e.u32(*supported);
+                    }
                 }
+            }
+            Response::Hello(ack) => {
+                e.u8(RESP_HELLO);
+                e.u32(ack.version);
+                e.u32(ack.shards);
+                e.u32(ack.max_in_flight);
             }
         }
         e.buf
@@ -1065,12 +1413,21 @@ impl Response {
                     name: d.str("error.name")?,
                     error: d.str("error.error")?,
                 },
+                ERR_UNSUPPORTED_VERSION => WireError::UnsupportedVersion {
+                    requested: d.u32("error.requested")?,
+                    supported: d.u32("error.supported")?,
+                },
                 tag => {
                     return Err(ProtocolError::BadTag {
                         context: "error tag",
                         tag,
                     })
                 }
+            }),
+            RESP_HELLO => Response::Hello(HelloAck {
+                version: d.u32("hello.version")?,
+                shards: d.u32("hello.shards")?,
+                max_in_flight: d.u32("hello.max_in_flight")?,
             }),
             tag => {
                 return Err(ProtocolError::BadTag {
@@ -1247,13 +1604,35 @@ mod tests {
             }),
             Response::Stats(StatsSummary {
                 accepted: 3,
+                rejected_version: 1,
+                protocol_errors: 2,
+                fast_hits: 40,
                 map_latency: {
                     let mut h = Histogram::default();
                     h.record(10);
                     h.record(100_000);
                     h
                 },
+                shards: vec![
+                    ShardStatsSummary {
+                        connections: 2,
+                        accepted: 3,
+                        served: 3,
+                        bytes_in: 4096,
+                        bytes_out: 8192,
+                    },
+                    ShardStatsSummary::default(),
+                ],
                 ..StatsSummary::default()
+            }),
+            Response::Hello(HelloAck {
+                version: PROTOCOL_VERSION,
+                shards: 4,
+                max_in_flight: 1024,
+            }),
+            Response::Error(WireError::UnsupportedVersion {
+                requested: 1,
+                supported: 2,
             }),
             Response::Health(HealthSummary {
                 uptime_micros: 5,
@@ -1357,6 +1736,99 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.quantile_upper_bound(1.0), None);
         assert_eq!(h.quantile_upper_bound(0.5), Some(4));
+    }
+
+    #[test]
+    fn hello_roundtrip_and_v1_discrimination() {
+        let hello = Hello::current();
+        let encoded = hello.encode();
+        assert!(Hello::looks_like_hello(&encoded));
+        assert_eq!(Hello::decode(&encoded).unwrap(), hello);
+
+        // No v1 request payload can be mistaken for a hello: the first byte
+        // is a request tag in 1..=6, never b'F'.
+        for request in [
+            Request::Map {
+                kernel: KernelSource::new("k", "src"),
+                knobs: MapKnobs::default(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert!(!Hello::looks_like_hello(&request.encode()));
+        }
+
+        // Truncated magic / trailing bytes are typed errors.
+        assert!(matches!(
+            Hello::decode(b"FP"),
+            Err(ProtocolError::BadTag { .. })
+        ));
+        assert!(matches!(
+            Hello::decode(b"FPFA\x02\x00"),
+            Err(ProtocolError::Truncated { .. })
+        ));
+        let mut padded = encoded;
+        padded.push(0);
+        assert!(matches!(
+            Hello::decode(&padded),
+            Err(ProtocolError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_frames_carry_and_recover_request_ids() {
+        let request = Request::Map {
+            kernel: KernelSource::new("fir", "void main() {}"),
+            knobs: MapKnobs::default(),
+        };
+        let payload = encode_request_frame(77, &request);
+        assert_eq!(request_id_of(&payload), Some(77));
+        assert_eq!(decode_request_frame(&payload).unwrap(), (77, request));
+
+        let response = Response::ShutdownStarted;
+        let payload = encode_response_frame(u64::MAX - 1, &response);
+        assert_eq!(
+            decode_response_frame(&payload).unwrap(),
+            (u64::MAX - 1, response)
+        );
+
+        // A corrupt body still yields its id for the error echo.
+        let mut corrupt = encode_request_frame(9, &Request::Stats);
+        corrupt.push(0xff);
+        assert_eq!(request_id_of(&corrupt), Some(9));
+        assert!(decode_request_frame(&corrupt).is_err());
+
+        // Too short for even the id prefix.
+        assert_eq!(request_id_of(&[1, 2, 3]), None);
+        assert!(matches!(
+            decode_request_frame(&[1, 2, 3]),
+            Err(ProtocolError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_yields_frames_across_arbitrary_read_boundaries() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"beta").unwrap();
+
+        // Feed one byte at a time: frames must come out intact, in order.
+        let mut fb = FrameBuffer::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for byte in &wire {
+            fb.extend(std::slice::from_ref(byte));
+            while let Some(frame) = fb.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        assert_eq!(got, vec![b"alpha".to_vec(), Vec::new(), b"beta".to_vec()]);
+        assert_eq!(fb.pending(), 0);
+
+        // An oversize announced length is rejected before buffering.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&((MAX_FRAME_LEN + 1) as u32).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(FrameError::TooLarge { .. })));
     }
 
     #[test]

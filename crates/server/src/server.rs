@@ -1,43 +1,61 @@
-//! The mapping daemon: a fixed worker-thread pool behind a bounded job
-//! queue, serving the framed protocol of [`crate::protocol`] over TCP.
+//! The mapping daemon: event-driven I/O shards over a fixed worker pool,
+//! serving protocol v2 of [`crate::protocol`] over TCP.
 //!
 //! Life of a request:
 //!
-//! 1. The acceptor thread hands each connection to a connection thread,
-//!    which reads frames and decodes requests.
-//! 2. Cheap verbs (`stats`, `health`, `reset`, `shutdown`) are answered on
-//!    the connection thread itself.
-//! 3. Mapping verbs (`map`, `batch`) go through **admission control**: the
-//!    job is pushed onto a bounded queue with a non-blocking `try_push`.  A
-//!    full queue answers [`WireError::Overloaded`] *immediately* — the
-//!    server sheds load instead of buffering without bound, and the client
-//!    keeps a healthy connection to back off on.
-//! 4. A worker pops the job, first checking its **deadline budget**: a job
+//! 1. The acceptor thread round-robins each accepted connection to an **I/O
+//!    shard** (`--shards`); the shard owns the socket for its whole life —
+//!    read buffer, write buffer, handshake state and in-flight count all
+//!    live in the shard's slab, so no per-connection thread or lock exists.
+//! 2. Each shard runs a nonblocking readiness loop ([`crate::sys::Poller`]:
+//!    `epoll` on Linux, `poll(2)` elsewhere on Unix).  Frames are decoded
+//!    as they arrive; a connection may **pipeline** any number of requests.
+//! 3. The first frame must be the v2 hello; anything else (including a bare
+//!    v1 request) is answered with a typed
+//!    [`WireError::UnsupportedVersion`] and the connection is closed.
+//! 4. Cheap verbs (`stats`, `health`, `reset`, `shutdown`) are answered
+//!    inline on the shard.  `map` requests first consult the shard's
+//!    **warm summary table** (a private, epoch-invalidated digest of past
+//!    answers) and then probe the shared mapping cache — both answer inline
+//!    without queueing, which is the common warm-traffic fast path.
+//! 5. Cold work goes through **admission control**: the job is pushed onto
+//!    a bounded queue with a non-blocking `try_push`.  A full queue answers
+//!    [`WireError::Overloaded`] *immediately* — the server sheds load
+//!    instead of buffering without bound.
+//! 6. A worker pops the job, first checking its **deadline budget** (a job
 //!    that waited out its budget in the queue is answered
-//!    [`WireError::DeadlineExceeded`] without being mapped (mapping it late
-//!    would waste a worker on an answer nobody is waiting for).
-//! 5. The worker maps through the shared [`MappingService`] — every worker
-//!    and every knob configuration shares one content-addressed cache — and
-//!    replies through the job's channel back to the connection thread.
+//!    [`WireError::DeadlineExceeded`] without being mapped), maps through
+//!    the shared [`MappingService`], and pushes the finished response onto
+//!    the owning shard's completion queue, waking its poller.  The shard
+//!    writes it back — so responses complete **out of order** relative to
+//!    their submission, matched to requests by the echoed id.
+//!
+//! Latency histograms measure frame-decode → response write-back, so time
+//! spent queueing (and time a response waits behind a slow client's socket)
+//! is part of every observation.
 //!
 //! **Graceful shutdown** (the `shutdown` verb or [`ServerHandle::shutdown`])
 //! stops the acceptor, lets the workers drain every already-admitted job,
-//! answers new mapping requests with [`WireError::ShuttingDown`], and joins
-//! every thread before [`Server::run`] returns.
+//! answers new mapping requests with [`WireError::ShuttingDown`], keeps
+//! connections alive for a configurable grace window so drained responses
+//! reach their clients, and joins every thread before [`Server::run`]
+//! returns.
 
 use crate::protocol::{
-    program_digest, write_frame, BatchEntrySummary, BatchSummary, CacheFlavor, FrameError,
-    HealthSummary, Histogram, KernelSource, MapKnobs, MapSummary, Request, Response, SimSummary,
-    StatsSummary, WireError, HISTOGRAM_BUCKETS,
+    decode_request_frame, encode_response_frame, program_digest, request_id_of, BatchEntrySummary,
+    BatchSummary, CacheFlavor, FrameBuffer, HealthSummary, Hello, HelloAck, Histogram,
+    KernelSource, MapKnobs, MapSummary, Request, Response, ShardStatsSummary, SimSummary,
+    StatsSummary, WireError, HISTOGRAM_BUCKETS, PROTOCOL_VERSION, UNKNOWN_REQUEST_ID,
 };
+use crate::sys::{Event, Interest, Poller, WakeSender, Waker, WAKE_TOKEN};
 use fpfa_core::flow::KernelSpec;
 use fpfa_core::pipeline::MappingResult;
 use fpfa_core::service::MappingService;
-use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -47,6 +65,25 @@ use std::time::{Duration, Instant};
 pub const MAX_TILES: u32 = 64;
 /// Upper bound on per-request batch size.
 pub const MAX_BATCH_KERNELS: usize = 1024;
+/// Upper bound on queued (worker-path) requests one connection may have in
+/// flight; advertised in the [`HelloAck`] so clients can self-limit.
+pub const MAX_CONN_IN_FLIGHT: u32 = 1024;
+
+/// Cap on the auto-selected shard count (`shards == 0`).
+const MAX_AUTO_SHARDS: usize = 8;
+/// Cap on an explicitly requested shard count.
+const MAX_SHARDS: usize = 64;
+/// Read chunk per `read(2)` on a readable connection.
+const READ_CHUNK: usize = 64 * 1024;
+/// Per-shard warm-table entry cap; reaching it clears the table (it re-warms
+/// from the shared cache in one probe per kernel).
+const WARM_CAPACITY: usize = 4096;
+/// A connection whose un-flushed write buffer exceeds this is dropped: the
+/// peer is pipelining requests without reading responses.
+const WBUF_LIMIT: usize = 64 * 1024 * 1024;
+/// Poll timeout while draining, bounding how often shards re-check the
+/// shutdown conditions.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -62,6 +99,13 @@ pub struct ServerConfig {
     /// Deadline budget applied when a request carries `deadline_ms == 0`.
     /// [`Duration::ZERO`] means "no deadline".
     pub default_deadline: Duration,
+    /// I/O shards owning connections; `0` selects one per available core,
+    /// capped at 8.
+    pub shards: usize,
+    /// How long draining connections keep being served after shutdown
+    /// begins, so lingering clients receive typed `ShuttingDown` answers
+    /// instead of a closed socket.
+    pub drain_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -72,7 +116,20 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             queue_depth: 64,
             default_deadline: Duration::from_secs(5),
+            shards: 0,
+            drain_grace: Duration::from_secs(1),
         }
+    }
+}
+
+fn effective_shards(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_AUTO_SHARDS)
+    } else {
+        requested.min(MAX_SHARDS)
     }
 }
 
@@ -104,8 +161,8 @@ pub(crate) struct JobQueue<T> {
 }
 
 fn lock_state<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    // Queue state is a VecDeque plus a flag; a panicking holder cannot leave
-    // either torn, so a poisoned lock stays usable.
+    // Every structure behind these locks (queues, inboxes) cannot be left
+    // torn by a panicking holder, so a poisoned lock stays usable.
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -221,6 +278,9 @@ pub struct ServerStats {
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     rejected_shutdown: AtomicU64,
+    rejected_version: AtomicU64,
+    protocol_errors: AtomicU64,
+    fast_hits: AtomicU64,
     in_flight: AtomicU64,
     map_latency: AtomicHistogram,
     batch_latency: AtomicHistogram,
@@ -236,6 +296,9 @@ impl ServerStats {
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            rejected_version: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            fast_hits: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             map_latency: AtomicHistogram::new(),
             batch_latency: AtomicHistogram::new(),
@@ -251,6 +314,9 @@ impl ServerStats {
             &self.rejected_overload,
             &self.rejected_deadline,
             &self.rejected_shutdown,
+            &self.rejected_version,
+            &self.protocol_errors,
+            &self.fast_hits,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -259,8 +325,53 @@ impl ServerStats {
     }
 }
 
+/// Per-shard serving counters (mirrored onto the wire as
+/// [`ShardStatsSummary`]).
+#[derive(Debug)]
+struct ShardCounters {
+    open: AtomicU64,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl ShardCounters {
+    fn new() -> Self {
+        ShardCounters {
+            open: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        }
+    }
+
+    fn summary(&self) -> ShardStatsSummary {
+        ShardStatsSummary {
+            connections: self.open.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        // `open` is a gauge of live connections, not a counter; leave it.
+        for counter in [
+            &self.accepted,
+            &self.served,
+            &self.bytes_in,
+            &self.bytes_out,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
-// Jobs
+// Jobs and completions
 // ---------------------------------------------------------------------------
 
 enum Work {
@@ -269,10 +380,35 @@ enum Work {
 }
 
 struct Job {
+    shard: usize,
+    conn: usize,
+    generation: u64,
+    request_id: u64,
+    decoded_at: Instant,
     work: Work,
     knobs: MapKnobs,
-    admitted: Instant,
-    reply: mpsc::SyncSender<Response>,
+}
+
+struct Completion {
+    conn: usize,
+    generation: u64,
+    request_id: u64,
+    decoded_at: Instant,
+    batch: bool,
+    /// Cache epoch the job was processed under; a stale epoch means a
+    /// `reset` raced the job, so its warm entry is discarded.
+    epoch: u64,
+    response: Response,
+    warm: Option<(u64, Arc<str>, WarmValue)>,
+}
+
+/// The mailbox through which the acceptor and the workers reach a shard.
+struct ShardMailbox {
+    inbox: Mutex<Vec<TcpStream>>,
+    completions: Mutex<VecDeque<Completion>>,
+    wake: WakeSender,
+    waker: Mutex<Option<Waker>>,
+    counters: ShardCounters,
 }
 
 // ---------------------------------------------------------------------------
@@ -282,10 +418,15 @@ struct Job {
 struct Inner {
     base: MappingService,
     config: ServerConfig,
+    addr: SocketAddr,
     queue: JobQueue<Job>,
     stats: ServerStats,
     shutting_down: AtomicBool,
+    workers_done: AtomicBool,
+    /// Bumped by `reset`; shards drop their warm tables when it moves.
+    cache_epoch: AtomicU64,
     started: Instant,
+    shards: Vec<ShardMailbox>,
 }
 
 impl Inner {
@@ -320,6 +461,13 @@ impl Inner {
         }
     }
 
+    fn reset_counters(&self) {
+        self.stats.reset();
+        for mailbox in &self.shards {
+            mailbox.counters.reset();
+        }
+    }
+
     fn stats_summary(&self) -> StatsSummary {
         let cache = self.base.stats();
         StatsSummary {
@@ -330,6 +478,9 @@ impl Inner {
             rejected_overload: self.stats.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.stats.rejected_deadline.load(Ordering::Relaxed),
             rejected_shutdown: self.stats.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_version: self.stats.rejected_version.load(Ordering::Relaxed),
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            fast_hits: self.stats.fast_hits.load(Ordering::Relaxed),
             workers: self.config.workers as u64,
             queue_depth: self.config.queue_depth as u64,
             cache_mapping_hits: cache.mapping_hits,
@@ -340,6 +491,11 @@ impl Inner {
             cache_capacity: self.base.cache().capacity() as u64,
             map_latency: self.stats.map_latency.snapshot(),
             batch_latency: self.stats.batch_latency.snapshot(),
+            shards: self
+                .shards
+                .iter()
+                .map(|mailbox| mailbox.counters.summary())
+                .collect(),
         }
     }
 }
@@ -353,7 +509,6 @@ pub struct Server {
 
 /// Control handle for a daemon running on a background thread.
 pub struct ServerHandle {
-    addr: SocketAddr,
     inner: Arc<Inner>,
     thread: std::thread::JoinHandle<()>,
 }
@@ -361,13 +516,13 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// The address the daemon is serving on.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr
     }
 
     /// Begins a graceful shutdown (idempotent): stop accepting, drain the
     /// queue, answer new work with `ShuttingDown`.
     pub fn shutdown(&self) {
-        initiate_shutdown(&self.inner, self.addr);
+        initiate_shutdown(&self.inner);
     }
 
     /// A snapshot of the daemon's statistics (same payload as the `stats`
@@ -384,41 +539,63 @@ impl ServerHandle {
     }
 }
 
-fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
+fn initiate_shutdown(inner: &Inner) {
     if inner.shutting_down.swap(true, Ordering::SeqCst) {
         return;
     }
     inner.queue.close();
+    // Shards blocked in `wait(None)` re-check the flag once woken.
+    for mailbox in &inner.shards {
+        mailbox.wake.wake();
+    }
     // Unblock the acceptor: it re-checks the flag per connection, so one
     // throwaway connection is enough.
-    let _ = TcpStream::connect(addr);
+    let _ = TcpStream::connect(inner.addr);
 }
 
 impl Server {
     /// Binds the daemon to `addr` (use port 0 for an OS-assigned port).
     ///
     /// # Errors
-    /// Propagates socket errors.
+    /// Propagates socket errors (including the per-shard waker pipes).
     pub fn bind(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
         service: MappingService,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
         let config = ServerConfig {
             workers: config.workers.max(1),
             queue_depth: config.queue_depth.max(1),
             default_deadline: config.default_deadline,
+            shards: effective_shards(config.shards),
+            drain_grace: config.drain_grace,
         };
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let waker = Waker::new()?;
+            shards.push(ShardMailbox {
+                inbox: Mutex::new(Vec::new()),
+                completions: Mutex::new(VecDeque::new()),
+                wake: waker.sender()?,
+                waker: Mutex::new(Some(waker)),
+                counters: ShardCounters::new(),
+            });
+        }
         Ok(Server {
             listener,
             inner: Arc::new(Inner {
                 base: service,
                 config,
+                addr: local,
                 queue: JobQueue::new(config.queue_depth),
                 stats: ServerStats::new(),
                 shutting_down: AtomicBool::new(false),
+                workers_done: AtomicBool::new(false),
+                cache_epoch: AtomicU64::new(0),
                 started: Instant::now(),
+                shards,
             }),
         })
     }
@@ -431,51 +608,70 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until a graceful shutdown completes: workers spawned, every
-    /// connection handled, queue drained, all threads joined.
+    /// Serves until a graceful shutdown completes: shard and worker threads
+    /// spawned, every connection handled, queue drained, all threads joined.
     ///
     /// # Errors
-    /// Propagates socket errors from the accept loop.
+    /// Propagates socket errors from the accept loop and poller-creation
+    /// errors discovered at startup.
     pub fn run(self) -> io::Result<()> {
-        let addr = self.listener.local_addr()?;
-        let mut workers = Vec::with_capacity(self.inner.config.workers);
-        for _ in 0..self.inner.config.workers {
-            let inner = Arc::clone(&self.inner);
-            workers.push(std::thread::spawn(move || worker_loop(&inner)));
+        let Server { listener, inner } = self;
+
+        // Create every poller before spawning anything, so a failure here
+        // aborts cleanly instead of leaving threads behind.
+        let mut pollers = Vec::with_capacity(inner.config.shards);
+        for _ in 0..inner.config.shards {
+            pollers.push(Poller::new()?);
         }
 
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut workers = Vec::with_capacity(inner.config.workers);
+        for _ in 0..inner.config.workers {
+            let inner = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || worker_loop(&inner)));
+        }
+        let mut shard_threads = Vec::with_capacity(inner.config.shards);
+        for (shard_id, poller) in pollers.into_iter().enumerate() {
+            let inner = Arc::clone(&inner);
+            shard_threads.push(std::thread::spawn(move || {
+                shard_loop(&inner, shard_id, poller);
+            }));
+        }
+
         let mut outcome = Ok(());
-        for stream in self.listener.incoming() {
-            if self.inner.shutting_down.load(Ordering::SeqCst) {
+        let mut next_shard = 0usize;
+        for stream in listener.incoming() {
+            if inner.shutting_down.load(Ordering::SeqCst) {
                 break;
             }
             match stream {
                 Ok(stream) => {
-                    let inner = Arc::clone(&self.inner);
-                    connections.push(std::thread::spawn(move || {
-                        serve_connection(&inner, stream, addr);
-                    }));
-                    // Reap finished connection threads so a long-lived
-                    // daemon does not accumulate handles.
-                    connections.retain(|handle| !handle.is_finished());
+                    inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let mailbox = &inner.shards[next_shard % inner.shards.len()];
+                    next_shard = next_shard.wrapping_add(1);
+                    lock_state(&mailbox.inbox).push(stream);
+                    mailbox.wake.wake();
                 }
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                 Err(e) => {
-                    initiate_shutdown(&self.inner, addr);
+                    initiate_shutdown(&inner);
                     outcome = Err(e);
                     break;
                 }
             }
         }
 
-        // Drain: the queue is closed, workers finish every admitted job,
-        // connection threads notice the flag within one read-poll interval.
-        self.inner.queue.close();
+        // Drain: the queue is closed, workers finish every admitted job and
+        // hand the completions to the shards, which write them back within
+        // the drain-grace window.
+        inner.queue.close();
         for handle in workers {
             let _ = handle.join();
         }
-        for handle in connections {
+        inner.workers_done.store(true, Ordering::SeqCst);
+        for mailbox in &inner.shards {
+            mailbox.wake.wake();
+        }
+        for handle in shard_threads {
             let _ = handle.join();
         }
         outcome
@@ -486,17 +682,12 @@ impl Server {
     /// # Errors
     /// Propagates socket errors discovered while reading the bound address.
     pub fn spawn(self) -> io::Result<ServerHandle> {
-        let addr = self.local_addr()?;
         let inner = Arc::clone(&self.inner);
         let thread = std::thread::spawn(move || {
             // The handle owns shutdown; accept-loop errors end the thread.
             let _ = self.run();
         });
-        Ok(ServerHandle {
-            addr,
-            inner,
-            thread,
-        })
+        Ok(ServerHandle { inner, thread })
     }
 }
 
@@ -506,35 +697,63 @@ impl Server {
 
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
-        process_job(inner, job);
-        inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let shard = job.shard.min(inner.shards.len().saturating_sub(1));
+        let completion = process_job(inner, job);
+        let mailbox = &inner.shards[shard];
+        lock_state(&mailbox.completions).push_back(completion);
+        mailbox.wake.wake();
     }
 }
 
-fn process_job(inner: &Inner, job: Job) {
-    let deadline = inner.deadline_of(&job.knobs);
-    let waited = job.admitted.elapsed();
-    if !deadline.is_zero() && waited > deadline {
+fn process_job(inner: &Inner, job: Job) -> Completion {
+    let Job {
+        conn,
+        generation,
+        request_id,
+        decoded_at,
+        work,
+        knobs,
+        ..
+    } = job;
+    let batch = matches!(work, Work::Many(_));
+    let epoch = inner.cache_epoch.load(Ordering::SeqCst);
+    let done = |response: Response, warm: Option<(u64, Arc<str>, WarmValue)>| Completion {
+        conn,
+        generation,
+        request_id,
+        decoded_at,
+        batch,
+        epoch,
+        response,
+        warm,
+    };
+
+    let deadline = inner.deadline_of(&knobs);
+    if !deadline.is_zero() && decoded_at.elapsed() > deadline {
         inner
             .stats
             .rejected_deadline
             .fetch_add(1, Ordering::Relaxed);
-        let _ = job.reply.send(Response::Error(WireError::DeadlineExceeded {
-            budget_ms: deadline.as_millis() as u64,
-        }));
-        return;
+        return done(
+            Response::Error(WireError::DeadlineExceeded {
+                budget_ms: deadline.as_millis() as u64,
+            }),
+            None,
+        );
     }
 
-    let service = inner.service_for(&job.knobs);
-    let response = match &job.work {
-        Work::One(kernel) => match serve_map(&service, kernel, &job.knobs, job.admitted) {
-            Ok(summary) => {
+    let service = inner.service_for(&knobs);
+    match work {
+        Work::One(kernel) => match serve_map_job(&service, &kernel, &knobs, decoded_at) {
+            Ok((summary, value)) => {
                 inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
-                Response::Mapped(summary)
+                let fingerprint = service.mapper().cache_fingerprint();
+                let warm = Some((fingerprint, Arc::from(kernel.source.as_str()), value));
+                done(Response::Mapped(summary), warm)
             }
             Err(error) => {
                 inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
-                Response::Error(error)
+                done(Response::Error(error), None)
             }
         },
         Work::Many(kernels) => {
@@ -554,39 +773,36 @@ fn process_job(inner: &Inner, job: Job) {
                 .map(|entry| BatchEntrySummary {
                     name: entry.name.clone(),
                     outcome: match &entry.outcome {
-                        Ok(result) => Ok(summarize(&entry.name, result, None, job.admitted)),
+                        Ok(result) => Ok(summarize(&entry.name, result, None, decoded_at)),
                         Err(error) => Err(error.to_string()),
                     },
                 })
                 .collect();
-            Response::Batch(BatchSummary {
-                entries,
-                wall_micros: report.wall.as_micros() as u64,
-                deduped: report.deduped as u64,
-            })
+            done(
+                Response::Batch(BatchSummary {
+                    entries,
+                    wall_micros: report.wall.as_micros() as u64,
+                    deduped: report.deduped as u64,
+                }),
+                None,
+            )
         }
-    };
-
-    let micros = job.admitted.elapsed().as_micros() as u64;
-    match &job.work {
-        Work::One(_) => inner.stats.map_latency.record(micros),
-        Work::Many(_) => inner.stats.batch_latency.record(micros),
     }
-    let _ = job.reply.send(response);
 }
 
-fn serve_map(
+fn serve_map_job(
     service: &MappingService,
     kernel: &KernelSource,
     knobs: &MapKnobs,
-    admitted: Instant,
-) -> Result<MapSummary, WireError> {
-    let result = service
-        .map_source(&kernel.source)
-        .map_err(|error| WireError::MapFailed {
-            name: kernel.name.clone(),
-            error: error.to_string(),
-        })?;
+    decoded_at: Instant,
+) -> Result<(MapSummary, WarmValue), WireError> {
+    let (result, outcome) =
+        service
+            .map_source_shared(&kernel.source)
+            .map_err(|error| WireError::MapFailed {
+                name: kernel.name.clone(),
+                error: error.to_string(),
+            })?;
     let sim = if knobs.simulate {
         Some(simulate(&result).map_err(|error| WireError::MapFailed {
             name: kernel.name.clone(),
@@ -595,29 +811,28 @@ fn serve_map(
     } else {
         None
     };
-    Ok(summarize(&kernel.name, &result, sim, admitted))
+    let value = WarmValue::of(&result);
+    let summary = value.summary(
+        kernel.name.clone(),
+        CacheFlavor::from(outcome),
+        sim,
+        decoded_at,
+    );
+    Ok((summary, value))
 }
 
 fn summarize(
     name: &str,
     result: &MappingResult,
     sim: Option<SimSummary>,
-    admitted: Instant,
+    decoded_at: Instant,
 ) -> MapSummary {
-    let report = &result.report;
-    MapSummary {
-        name: name.to_string(),
-        digest: program_digest(result),
-        operations: report.operations as u64,
-        clusters: report.clusters as u64,
-        levels: report.levels as u64,
-        cycles: report.cycles as u64,
-        tiles: report.tiles.max(1) as u64,
-        inter_tile_transfers: report.inter_tile_transfers as u64,
-        cache: CacheFlavor::from(report.cache),
+    WarmValue::of(result).summary(
+        name.to_string(),
+        CacheFlavor::from(result.report.cache),
         sim,
-        server_micros: admitted.elapsed().as_micros() as u64,
-    }
+        decoded_at,
+    )
 }
 
 fn simulate(mapping: &MappingResult) -> Result<SimSummary, String> {
@@ -649,166 +864,6 @@ fn simulate(mapping: &MappingResult) -> Result<SimSummary, String> {
     })
 }
 
-// ---------------------------------------------------------------------------
-// Connection side
-// ---------------------------------------------------------------------------
-
-/// How long a connection thread blocks on a read before re-checking the
-/// shutdown flag (bounds how long shutdown waits for idle connections).
-const READ_POLL: Duration = Duration::from_millis(100);
-
-/// How long a draining connection keeps serving after shutdown begins, so
-/// in-flight clients receive their typed `ShuttingDown` answers instead of
-/// a closed socket (bounds total shutdown latency for clients that linger).
-const DRAIN_GRACE: Duration = Duration::from_secs(1);
-
-fn serve_connection(inner: &Inner, stream: TcpStream, addr: SocketAddr) {
-    inner.stats.connections.fetch_add(1, Ordering::Relaxed);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(write_half);
-    let mut drain_deadline: Option<Instant> = None;
-
-    loop {
-        // Wait for the first byte of a frame under the poll timeout (so the
-        // thread can notice a shutdown), then read the rest patiently — a
-        // timeout mid-frame must not desynchronise the stream.
-        let mut first = [0u8; 1];
-        match reader.read(&mut first) {
-            Ok(0) => break, // clean EOF between frames
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if inner.shutting_down.load(Ordering::SeqCst) {
-                    let deadline =
-                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
-                    if Instant::now() >= deadline {
-                        break;
-                    }
-                }
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => break,
-        }
-        let mut rest = [0u8; 3];
-        if read_exact_patient(&mut reader, &mut rest).is_err() {
-            break;
-        }
-        let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
-        if len > crate::protocol::MAX_FRAME_LEN {
-            // The peer is off the rails; answer once, then hang up (the
-            // rest of the stream cannot be re-synchronised).
-            let response = Response::Error(WireError::Invalid(format!(
-                "frame of {len} bytes exceeds the limit"
-            )));
-            let _ = send(&mut writer, &response);
-            break;
-        }
-        let mut payload = vec![0u8; len];
-        if read_exact_patient(&mut reader, &mut payload).is_err() {
-            break;
-        }
-        let response = match Request::decode(&payload) {
-            Ok(request) => match dispatch(inner, request, addr) {
-                Some(response) => response,
-                None => break, // client went away mid-request
-            },
-            Err(error) => Response::Error(WireError::Invalid(error.to_string())),
-        };
-        if send(&mut writer, &response).is_err() {
-            break;
-        }
-    }
-}
-
-/// How long the server tolerates a peer stalling in the middle of a frame
-/// before dropping the connection.
-const FRAME_PATIENCE: Duration = Duration::from_secs(10);
-
-/// `read_exact` over a socket with a read timeout: retries timeouts (the
-/// poll interval is a liveness mechanism, not a protocol deadline) until
-/// [`FRAME_PATIENCE`] is exhausted.
-fn read_exact_patient(reader: &mut impl io::Read, buf: &mut [u8]) -> io::Result<()> {
-    let started = Instant::now();
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted =>
-            {
-                if started.elapsed() > FRAME_PATIENCE {
-                    return Err(io::ErrorKind::TimedOut.into());
-                }
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
-}
-
-fn send(writer: &mut BufWriter<TcpStream>, response: &Response) -> Result<(), FrameError> {
-    write_frame(writer, &response.encode())?;
-    writer.flush()?;
-    Ok(())
-}
-
-/// Handles one decoded request; `None` when the reply channel died (the
-/// connection dropped while its job was queued).
-fn dispatch(inner: &Inner, request: Request, addr: SocketAddr) -> Option<Response> {
-    match request {
-        Request::Stats => Some(Response::Stats(inner.stats_summary())),
-        Request::Health => Some(Response::Health(HealthSummary {
-            uptime_micros: inner.started.elapsed().as_micros() as u64,
-            in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
-            draining: inner.shutting_down.load(Ordering::SeqCst),
-        })),
-        Request::Reset => {
-            let dropped = inner.base.clear_cache() as u64;
-            inner.base.cache().reset_stats();
-            inner.stats.reset();
-            Some(Response::ResetDone {
-                dropped_entries: dropped,
-            })
-        }
-        Request::Shutdown => {
-            initiate_shutdown(inner, addr);
-            Some(Response::ShutdownStarted)
-        }
-        Request::Map { kernel, knobs } => {
-            if let Err(reason) = validate(&knobs, 1) {
-                return Some(Response::Error(WireError::Invalid(reason)));
-            }
-            submit(inner, Work::One(kernel), knobs)
-        }
-        Request::Batch { kernels, knobs } => {
-            if kernels.is_empty() {
-                return Some(Response::Error(WireError::Invalid(
-                    "empty batch".to_string(),
-                )));
-            }
-            if let Err(reason) = validate(&knobs, kernels.len()) {
-                return Some(Response::Error(WireError::Invalid(reason)));
-            }
-            if knobs.simulate {
-                return Some(Response::Error(WireError::Invalid(
-                    "simulate is not supported for batches".to_string(),
-                )));
-            }
-            submit(inner, Work::Many(kernels), knobs)
-        }
-    }
-}
-
 fn validate(knobs: &MapKnobs, batch_len: usize) -> Result<(), String> {
     if knobs.tiles > MAX_TILES {
         return Err(format!(
@@ -824,49 +879,764 @@ fn validate(knobs: &MapKnobs, batch_len: usize) -> Result<(), String> {
     Ok(())
 }
 
-/// Admission control: try to enqueue, answer `Overloaded`/`ShuttingDown`
-/// immediately when refused, otherwise wait for the worker's reply.
-fn submit(inner: &Inner, work: Work, knobs: MapKnobs) -> Option<Response> {
-    if inner.shutting_down.load(Ordering::SeqCst) {
-        inner
-            .stats
-            .rejected_shutdown
-            .fetch_add(1, Ordering::Relaxed);
-        return Some(Response::Error(WireError::ShuttingDown));
-    }
-    let (reply, receive) = mpsc::sync_channel(1);
-    let job = Job {
-        work,
-        knobs,
-        admitted: Instant::now(),
-        reply,
-    };
-    inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
-    match inner.queue.try_push(job) {
-        Ok(()) => {
-            inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
-            receive.recv().ok()
+// ---------------------------------------------------------------------------
+// Shard side
+// ---------------------------------------------------------------------------
+
+/// The pre-digested answer a shard keeps for a kernel it has served: enough
+/// to build a [`MapSummary`] without touching the shared cache or cloning a
+/// mapping.
+#[derive(Clone, Copy, Debug)]
+struct WarmValue {
+    digest: u64,
+    operations: u64,
+    clusters: u64,
+    levels: u64,
+    cycles: u64,
+    tiles: u64,
+    inter_tile_transfers: u64,
+}
+
+impl WarmValue {
+    fn of(result: &MappingResult) -> Self {
+        let report = &result.report;
+        WarmValue {
+            digest: program_digest(result),
+            operations: report.operations as u64,
+            clusters: report.clusters as u64,
+            levels: report.levels as u64,
+            cycles: report.cycles as u64,
+            tiles: report.tiles.max(1) as u64,
+            inter_tile_transfers: report.inter_tile_transfers as u64,
         }
-        Err(refused) => {
+    }
+
+    fn summary(
+        &self,
+        name: String,
+        cache: CacheFlavor,
+        sim: Option<SimSummary>,
+        decoded_at: Instant,
+    ) -> MapSummary {
+        MapSummary {
+            name,
+            digest: self.digest,
+            operations: self.operations,
+            clusters: self.clusters,
+            levels: self.levels,
+            cycles: self.cycles,
+            tiles: self.tiles,
+            inter_tile_transfers: self.inter_tile_transfers,
+            cache,
+            sim,
+            server_micros: decoded_at.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConnState {
+    AwaitHello,
+    Ready,
+}
+
+struct Conn {
+    stream: TcpStream,
+    fd: RawFd,
+    token: usize,
+    generation: u64,
+    state: ConnState,
+    rbuf: FrameBuffer,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    in_flight: u32,
+    want_write: bool,
+    close_after_flush: bool,
+    saw_eof: bool,
+}
+
+fn closable(conn: &Conn) -> bool {
+    let flushed = conn.wpos >= conn.wbuf.len();
+    flushed && (conn.close_after_flush || (conn.saw_eof && conn.in_flight == 0))
+}
+
+/// One decoded inbound frame, owned so the read buffer can be re-borrowed.
+enum Step {
+    HelloOk,
+    BadVersion(u32),
+    GarbledHello,
+    Request(u64, Request),
+    Malformed(u64, String),
+}
+
+fn shard_loop(inner: &Arc<Inner>, shard_id: usize, mut poller: Poller) {
+    let waker = lock_state(&inner.shards[shard_id].waker).take();
+    let Some(waker) = waker else { return };
+    if poller
+        .register(waker.fd(), WAKE_TOKEN, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let mut rt = ShardRt {
+        inner,
+        shard_id,
+        poller,
+        waker,
+        conns: Vec::new(),
+        generations: Vec::new(),
+        free: Vec::new(),
+        live: 0,
+        warm: HashMap::new(),
+        warm_len: 0,
+        warm_epoch: inner.cache_epoch.load(Ordering::SeqCst),
+        knob_fingerprints: HashMap::new(),
+        scratch: vec![0u8; READ_CHUNK],
+        drain_deadline: None,
+    };
+    rt.run();
+}
+
+struct ShardRt<'a> {
+    inner: &'a Inner,
+    shard_id: usize,
+    poller: Poller,
+    waker: Waker,
+    conns: Vec<Option<Conn>>,
+    generations: Vec<u64>,
+    free: Vec<usize>,
+    live: usize,
+    /// config-fingerprint → (kernel source → pre-digested answer).
+    warm: HashMap<u64, HashMap<Arc<str>, WarmValue>>,
+    warm_len: usize,
+    warm_epoch: u64,
+    knob_fingerprints: HashMap<(u32, u32, bool, bool), u64>,
+    scratch: Vec<u8>,
+    drain_deadline: Option<Instant>,
+}
+
+impl<'a> ShardRt<'a> {
+    fn mailbox(&self) -> &'a ShardMailbox {
+        &self.inner.shards[self.shard_id]
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            self.adopt_new_conns();
+            self.drain_completions();
+            if self.should_exit() {
+                break;
+            }
+            let timeout = self
+                .inner
+                .shutting_down
+                .load(Ordering::SeqCst)
+                .then_some(SHUTDOWN_POLL);
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for &event in &events {
+                if event.token == WAKE_TOKEN {
+                    self.waker.drain();
+                    continue;
+                }
+                if event.writable {
+                    self.handle_writable(event.token);
+                }
+                if event.readable {
+                    self.handle_readable(event.token);
+                }
+            }
+        }
+    }
+
+    fn should_exit(&mut self) -> bool {
+        if !self.inner.shutting_down.load(Ordering::SeqCst) {
+            return false;
+        }
+        let now = Instant::now();
+        let deadline = *self
+            .drain_deadline
+            .get_or_insert(now + self.inner.config.drain_grace);
+        if !self.inner.workers_done.load(Ordering::SeqCst) {
+            return false;
+        }
+        if self.inner.stats.in_flight.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
+        self.live == 0 || now >= deadline
+    }
+
+    fn adopt_new_conns(&mut self) {
+        let streams = std::mem::take(&mut *lock_state(&self.mailbox().inbox));
+        for stream in streams {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let idx = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.generations.push(0);
+                self.conns.len() - 1
+            });
+            let token = idx + 1;
+            if self.poller.register(fd, token, Interest::READ).is_err() {
+                self.free.push(idx);
+                continue;
+            }
+            let counters = &self.mailbox().counters;
+            counters.accepted.fetch_add(1, Ordering::Relaxed);
+            counters.open.fetch_add(1, Ordering::Relaxed);
+            self.conns[idx] = Some(Conn {
+                stream,
+                fd,
+                token,
+                generation: self.generations[idx],
+                state: ConnState::AwaitHello,
+                rbuf: FrameBuffer::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                in_flight: 0,
+                want_write: false,
+                close_after_flush: false,
+                saw_eof: false,
+            });
+            self.live += 1;
+        }
+    }
+
+    fn drop_conn(&mut self, conn: Conn, idx: usize) {
+        let _ = self.poller.deregister(conn.fd);
+        self.generations[idx] = self.generations[idx].wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        self.mailbox().counters.open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn handle_readable(&mut self, token: usize) {
+        let idx = token.wrapping_sub(1);
+        if idx >= self.conns.len() {
+            return;
+        }
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        let mut keep = self.service_conn(&mut conn, idx);
+        if keep {
+            keep = self.flush_conn(&mut conn);
+        }
+        if keep && !closable(&conn) {
+            self.conns[idx] = Some(conn);
+        } else {
+            self.drop_conn(conn, idx);
+        }
+    }
+
+    fn handle_writable(&mut self, token: usize) {
+        let idx = token.wrapping_sub(1);
+        if idx >= self.conns.len() {
+            return;
+        }
+        let Some(mut conn) = self.conns[idx].take() else {
+            return;
+        };
+        if self.flush_conn(&mut conn) && !closable(&conn) {
+            self.conns[idx] = Some(conn);
+        } else {
+            self.drop_conn(conn, idx);
+        }
+    }
+
+    /// Reads everything available, parses complete frames, serves them.
+    /// Returns `false` when the connection must be torn down.
+    fn service_conn(&mut self, conn: &mut Conn, idx: usize) -> bool {
+        loop {
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.mailbox()
+                        .counters
+                        .bytes_in
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    conn.rbuf.extend(&self.scratch[..n]);
+                    if n < self.scratch.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+
+        loop {
+            if conn.close_after_flush {
+                break;
+            }
+            let step = match conn.rbuf.next_frame() {
+                Ok(None) => break,
+                Err(_) => {
+                    // An oversized announced length cannot be resynchronised.
+                    self.inner
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                Ok(Some(frame)) => match conn.state {
+                    ConnState::AwaitHello => {
+                        if Hello::looks_like_hello(frame) {
+                            match Hello::decode(frame) {
+                                Ok(hello) if hello.version == PROTOCOL_VERSION => Step::HelloOk,
+                                Ok(hello) => Step::BadVersion(hello.version),
+                                Err(_) => Step::GarbledHello,
+                            }
+                        } else {
+                            // No magic: almost certainly a bare v1 request.
+                            Step::BadVersion(1)
+                        }
+                    }
+                    ConnState::Ready => {
+                        let id = request_id_of(frame).unwrap_or(UNKNOWN_REQUEST_ID);
+                        match decode_request_frame(frame) {
+                            Ok((id, request)) => Step::Request(id, request),
+                            Err(error) => Step::Malformed(id, error.to_string()),
+                        }
+                    }
+                },
+            };
+            let decoded_at = Instant::now();
+            match step {
+                Step::HelloOk => {
+                    let ack = HelloAck {
+                        version: PROTOCOL_VERSION,
+                        shards: self.inner.config.shards as u32,
+                        max_in_flight: MAX_CONN_IN_FLIGHT,
+                    };
+                    self.append_plain(conn, &Response::Hello(ack));
+                    conn.state = ConnState::Ready;
+                }
+                Step::BadVersion(requested) => {
+                    self.inner
+                        .stats
+                        .rejected_version
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.append_plain(
+                        conn,
+                        &Response::Error(WireError::UnsupportedVersion {
+                            requested,
+                            supported: PROTOCOL_VERSION,
+                        }),
+                    );
+                    conn.close_after_flush = true;
+                }
+                Step::GarbledHello => {
+                    self.inner
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.append_plain(
+                        conn,
+                        &Response::Error(WireError::Invalid("malformed hello".to_string())),
+                    );
+                    conn.close_after_flush = true;
+                }
+                Step::Request(id, request) => {
+                    self.serve_request(conn, idx, id, request, decoded_at)
+                }
+                Step::Malformed(id, error) => {
+                    // The frame boundary survived, so the stream stays
+                    // usable; only this request is answered with `Invalid`.
+                    self.inner
+                        .stats
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.append_response(conn, id, &Response::Error(WireError::Invalid(error)));
+                }
+            }
+        }
+        true
+    }
+
+    fn serve_request(
+        &mut self,
+        conn: &mut Conn,
+        idx: usize,
+        id: u64,
+        request: Request,
+        decoded_at: Instant,
+    ) {
+        let inner = self.inner;
+        match request {
+            Request::Stats => {
+                let stats = inner.stats_summary();
+                self.append_response(conn, id, &Response::Stats(stats));
+            }
+            Request::Health => {
+                let health = HealthSummary {
+                    uptime_micros: inner.started.elapsed().as_micros() as u64,
+                    in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
+                    draining: inner.shutting_down.load(Ordering::SeqCst),
+                };
+                self.append_response(conn, id, &Response::Health(health));
+            }
+            Request::Reset => {
+                let dropped = inner.base.clear_cache() as u64;
+                inner.base.cache().reset_stats();
+                inner.reset_counters();
+                inner.cache_epoch.fetch_add(1, Ordering::SeqCst);
+                self.sync_epoch();
+                // Wake the other shards so they drop their warm tables
+                // promptly instead of at their next map request.
+                for (i, mailbox) in inner.shards.iter().enumerate() {
+                    if i != self.shard_id {
+                        mailbox.wake.wake();
+                    }
+                }
+                self.append_response(
+                    conn,
+                    id,
+                    &Response::ResetDone {
+                        dropped_entries: dropped,
+                    },
+                );
+            }
+            Request::Shutdown => {
+                initiate_shutdown(inner);
+                self.append_response(conn, id, &Response::ShutdownStarted);
+            }
+            Request::Map { kernel, knobs } => {
+                self.serve_map(conn, idx, id, kernel, knobs, decoded_at)
+            }
+            Request::Batch { kernels, knobs } => {
+                if kernels.is_empty() {
+                    let response = Response::Error(WireError::Invalid("empty batch".to_string()));
+                    self.finish(conn, id, &response, decoded_at, true);
+                    return;
+                }
+                if let Err(reason) = validate(&knobs, kernels.len()) {
+                    let response = Response::Error(WireError::Invalid(reason));
+                    self.finish(conn, id, &response, decoded_at, true);
+                    return;
+                }
+                if knobs.simulate {
+                    let response = Response::Error(WireError::Invalid(
+                        "simulate is not supported for batches".to_string(),
+                    ));
+                    self.finish(conn, id, &response, decoded_at, true);
+                    return;
+                }
+                self.submit_job(conn, idx, id, Work::Many(kernels), knobs, decoded_at);
+            }
+        }
+    }
+
+    /// The map fast path: warm table, then a shared-cache probe, then the
+    /// queue.  `simulate` requests always take the queue — simulation is
+    /// real compute that must not stall the I/O loop.
+    fn serve_map(
+        &mut self,
+        conn: &mut Conn,
+        idx: usize,
+        id: u64,
+        kernel: KernelSource,
+        knobs: MapKnobs,
+        decoded_at: Instant,
+    ) {
+        let inner = self.inner;
+        if let Err(reason) = validate(&knobs, 1) {
+            let response = Response::Error(WireError::Invalid(reason));
+            self.finish(conn, id, &response, decoded_at, false);
+            return;
+        }
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            inner
+                .stats
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            let response = Response::Error(WireError::ShuttingDown);
+            self.finish(conn, id, &response, decoded_at, false);
+            return;
+        }
+        if !knobs.simulate {
+            self.sync_epoch();
+            let fingerprint = self.fingerprint_of(&knobs);
+            let warm_hit = self
+                .warm
+                .get(&fingerprint)
+                .and_then(|table| table.get(kernel.source.as_str()))
+                .copied();
+            if let Some(value) = warm_hit {
+                inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                inner.base.cache().note_shard_hit();
+                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                let summary = value.summary(kernel.name, CacheFlavor::MappingHit, None, decoded_at);
+                self.finish(conn, id, &Response::Mapped(summary), decoded_at, false);
+                return;
+            }
+            let cache = inner.base.cache();
+            let lookup = cache.prepare(&kernel.source, fingerprint);
+            if let Some(result) = cache.peek_prepared(&lookup) {
+                cache.note_shard_hit();
+                inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                let value = WarmValue::of(&result);
+                let summary = value.summary(kernel.name, CacheFlavor::MappingHit, None, decoded_at);
+                self.warm_insert(fingerprint, Arc::from(kernel.source.as_str()), value);
+                self.finish(conn, id, &Response::Mapped(summary), decoded_at, false);
+                return;
+            }
+        }
+        self.submit_job(conn, idx, id, Work::One(kernel), knobs, decoded_at);
+    }
+
+    fn submit_job(
+        &mut self,
+        conn: &mut Conn,
+        idx: usize,
+        id: u64,
+        work: Work,
+        knobs: MapKnobs,
+        decoded_at: Instant,
+    ) {
+        let inner = self.inner;
+        let batch = matches!(work, Work::Many(_));
+        if conn.in_flight >= MAX_CONN_IN_FLIGHT {
+            inner
+                .stats
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            let response = Response::Error(WireError::Overloaded {
+                queue_depth: u64::from(MAX_CONN_IN_FLIGHT),
+            });
+            self.finish(conn, id, &response, decoded_at, batch);
+            return;
+        }
+        inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            shard: self.shard_id,
+            conn: idx,
+            generation: conn.generation,
+            request_id: id,
+            decoded_at,
+            work,
+            knobs,
+        };
+        match inner.queue.try_push(job) {
+            Ok(()) => {
+                inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                conn.in_flight += 1;
+            }
+            Err(refused) => {
+                inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                let response = match refused {
+                    PushRefused::Full => {
+                        inner
+                            .stats
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Error(WireError::Overloaded {
+                            queue_depth: inner.config.queue_depth as u64,
+                        })
+                    }
+                    PushRefused::Closed => {
+                        inner
+                            .stats
+                            .rejected_shutdown
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Error(WireError::ShuttingDown)
+                    }
+                };
+                self.finish(conn, id, &response, decoded_at, batch);
+            }
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let inner = self.inner;
+        let mut completions = std::mem::take(&mut *lock_state(&self.mailbox().completions));
+        if completions.is_empty() {
+            return;
+        }
+        let current_epoch = inner.cache_epoch.load(Ordering::SeqCst);
+        let mut touched: Vec<usize> = Vec::with_capacity(completions.len());
+        for completion in completions.drain(..) {
             inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-            Some(match refused {
-                PushRefused::Full => {
-                    inner
-                        .stats
-                        .rejected_overload
-                        .fetch_add(1, Ordering::Relaxed);
-                    Response::Error(WireError::Overloaded {
-                        queue_depth: inner.config.queue_depth as u64,
-                    })
+            if completion.epoch == current_epoch {
+                if let Some((fingerprint, source, value)) = completion.warm {
+                    self.warm_insert(fingerprint, source, value);
                 }
-                PushRefused::Closed => {
-                    inner
-                        .stats
-                        .rejected_shutdown
-                        .fetch_add(1, Ordering::Relaxed);
-                    Response::Error(WireError::ShuttingDown)
+            }
+            let idx = completion.conn;
+            let alive = self
+                .conns
+                .get(idx)
+                .and_then(|slot| slot.as_ref())
+                .is_some_and(|c| c.generation == completion.generation);
+            if !alive {
+                continue;
+            }
+            let Some(mut conn) = self.conns[idx].take() else {
+                continue;
+            };
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            self.finish(
+                &mut conn,
+                completion.request_id,
+                &completion.response,
+                completion.decoded_at,
+                completion.batch,
+            );
+            self.conns[idx] = Some(conn);
+            touched.push(idx);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for idx in touched {
+            let Some(mut conn) = self.conns[idx].take() else {
+                continue;
+            };
+            if self.flush_conn(&mut conn) && !closable(&conn) {
+                self.conns[idx] = Some(conn);
+            } else {
+                self.drop_conn(conn, idx);
+            }
+        }
+    }
+
+    /// Appends a response frame and records its decode → write-back latency.
+    fn finish(
+        &mut self,
+        conn: &mut Conn,
+        id: u64,
+        response: &Response,
+        decoded_at: Instant,
+        batch: bool,
+    ) {
+        self.append_response(conn, id, response);
+        let micros = decoded_at.elapsed().as_micros() as u64;
+        if batch {
+            self.inner.stats.batch_latency.record(micros);
+        } else {
+            self.inner.stats.map_latency.record(micros);
+        }
+    }
+
+    fn append_response(&mut self, conn: &mut Conn, id: u64, response: &Response) {
+        let payload = encode_response_frame(id, response);
+        self.append_frame(conn, &payload);
+    }
+
+    /// A raw (un-id'd) frame — only the handshake speaks these.
+    fn append_plain(&mut self, conn: &mut Conn, response: &Response) {
+        let payload = response.encode();
+        self.append_frame(conn, &payload);
+    }
+
+    fn append_frame(&mut self, conn: &mut Conn, payload: &[u8]) {
+        conn.wbuf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        conn.wbuf.extend_from_slice(payload);
+        self.mailbox()
+            .counters
+            .served
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes as much of the buffered output as the socket accepts,
+    /// toggling write interest when it backs up.  Returns `false` when the
+    /// connection must be torn down.
+    fn flush_conn(&mut self, conn: &mut Conn) -> bool {
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.wpos += n;
+                    self.mailbox()
+                        .counters
+                        .bytes_out
+                        .fetch_add(n as u64, Ordering::Relaxed);
                 }
-            })
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.want_write {
+                conn.want_write = false;
+                if self
+                    .poller
+                    .reregister(conn.fd, conn.token, Interest::READ)
+                    .is_err()
+                {
+                    return false;
+                }
+            }
+        } else {
+            if conn.wbuf.len() - conn.wpos > WBUF_LIMIT {
+                return false;
+            }
+            if conn.wpos > READ_CHUNK {
+                conn.wbuf.drain(..conn.wpos);
+                conn.wpos = 0;
+            }
+            if !conn.want_write {
+                conn.want_write = true;
+                if self
+                    .poller
+                    .reregister(conn.fd, conn.token, Interest::READ_WRITE)
+                    .is_err()
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops the warm table when a `reset` moved the cache epoch.
+    fn sync_epoch(&mut self) {
+        let epoch = self.inner.cache_epoch.load(Ordering::SeqCst);
+        if epoch != self.warm_epoch {
+            self.warm.clear();
+            self.warm_len = 0;
+            self.warm_epoch = epoch;
+        }
+    }
+
+    /// The cache fingerprint of the mapper a knob set derives, memoised per
+    /// shard so the fast path never rebuilds a mapper.
+    fn fingerprint_of(&mut self, knobs: &MapKnobs) -> u64 {
+        let quad = (knobs.tiles, knobs.pps, knobs.clustering, knobs.locality);
+        if let Some(&fingerprint) = self.knob_fingerprints.get(&quad) {
+            return fingerprint;
+        }
+        let fingerprint = self.inner.service_for(knobs).mapper().cache_fingerprint();
+        self.knob_fingerprints.insert(quad, fingerprint);
+        fingerprint
+    }
+
+    fn warm_insert(&mut self, fingerprint: u64, source: Arc<str>, value: WarmValue) {
+        if self.warm_len >= WARM_CAPACITY {
+            self.warm.clear();
+            self.warm_len = 0;
+        }
+        if self
+            .warm
+            .entry(fingerprint)
+            .or_default()
+            .insert(source, value)
+            .is_none()
+        {
+            self.warm_len += 1;
         }
     }
 }
@@ -925,5 +1695,13 @@ mod tests {
         };
         assert!(validate(&huge, 1).is_err());
         assert!(validate(&good, MAX_BATCH_KERNELS + 1).is_err());
+    }
+
+    #[test]
+    fn shard_auto_selection_is_capped() {
+        assert!(effective_shards(0) >= 1);
+        assert!(effective_shards(0) <= MAX_AUTO_SHARDS);
+        assert_eq!(effective_shards(3), 3);
+        assert_eq!(effective_shards(10_000), MAX_SHARDS);
     }
 }

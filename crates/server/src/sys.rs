@@ -1,0 +1,538 @@
+//! Readiness polling over raw file descriptors with no external crates.
+//!
+//! The serving loop needs one thing the standard library does not expose:
+//! "block until any of these sockets is readable or writable".  This module
+//! provides it as [`Poller`], backed by:
+//!
+//! * **`epoll`** on Linux, declared as thin `extern "C"` bindings against
+//!   the platform C library the binary already links (no `libc` crate).
+//!   Registration is level-triggered, so the event loop never misses a
+//!   readiness edge it has not fully drained.
+//! * **`poll(2)`** everywhere else on Unix, with the interest set kept in a
+//!   small map and rebuilt into a `pollfd` array per wait — slower per call
+//!   but identical in semantics, which keeps the server portable.
+//!
+//! [`Waker`] lets other threads (the acceptor handing over fresh
+//! connections, workers publishing completions) interrupt a blocked
+//! [`Poller::wait`]: it is a nonblocking [`UnixStream`] pair whose read end
+//! is registered like any other fd under the reserved [`WAKE_TOKEN`].
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate
+//! is `deny(unsafe_code)` with a scoped allow here): the `extern` syscalls
+//! take only plain integers and a pointer/length pair into memory this
+//! module owns, and every return value is checked.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::unix::net::UnixStream;
+
+/// The token [`Waker`] registrations conventionally use; real connections
+/// start their tokens above it.
+pub const WAKE_TOKEN: usize = 0;
+
+/// One readiness event: the token the fd was registered under plus what it
+/// is ready for.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The caller-chosen token from [`Poller::register`].
+    pub token: usize,
+    /// The fd is readable (or has a pending error/hangup to read out).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+}
+
+/// The readiness interest registered for an fd.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest {
+    /// Wake when the fd becomes readable.
+    pub readable: bool,
+    /// Wake when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — a connection with a backed-up write buffer.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// A pair of connected nonblocking sockets used to interrupt a blocked
+/// [`Poller::wait`] from another thread.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates the pair; both ends are nonblocking.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The fd to register with the poller (under [`WAKE_TOKEN`]).
+    pub fn fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Interrupts the poller.  A full pipe means a wake is already pending,
+    /// which is exactly as good as another one.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Drains pending wake bytes after the poller reported the wake fd
+    /// readable, re-arming it for the next wake.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    /// A new send-only handle, for handing to another thread.  Each thread
+    /// that needs to wake this poller gets its own.
+    pub fn sender(&self) -> io::Result<WakeSender> {
+        Ok(WakeSender {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+/// The send-only half of a [`Waker`].
+#[derive(Debug)]
+pub struct WakeSender {
+    tx: UnixStream,
+}
+
+impl WakeSender {
+    /// Interrupts the poller this sender's [`Waker`] is registered with.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+pub use backend::Poller;
+
+#[cfg(target_os = "linux")]
+mod backend {
+    //! `epoll`, bound directly against the platform C library.
+
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`.  On x86 the kernel ABI packs the
+    /// 64-bit data field against the 32-bit event mask.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask_of(interest: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Most events one [`Poller::wait`] returns; further readiness is
+    /// reported by the next (level-triggered) wait.
+    const MAX_EVENTS: usize = 256;
+
+    /// Readiness poller backed by an `epoll` instance (level-triggered).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        /// Kernel-filled event buffer; `u64` storage guarantees alignment
+        /// for [`EpollEvent`] on every target (2 slots ≥ one event).
+        scratch: Vec<u64>,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: no pointers; the returned fd is checked and owned.
+            let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller {
+                epfd,
+                scratch: vec![0u64; MAX_EVENTS * 2],
+            })
+        }
+
+        /// Starts watching `fd` under `token`.
+        ///
+        /// # Errors
+        /// The raw `epoll_ctl` errno (e.g. an already registered fd).
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Updates the interest of an already watched `fd`.
+        ///
+        /// # Errors
+        /// The raw `epoll_ctl` errno (e.g. an unregistered fd).
+        pub fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stops watching `fd`.
+        ///
+        /// # Errors
+        /// The raw `epoll_ctl` errno (e.g. an unregistered fd).
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: the event pointer is to a live stack value; kernels
+            // before 2.6.9 require it non-null even for DEL.
+            check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask_of(interest),
+                data: token as u64,
+            };
+            // SAFETY: the event pointer is to a live stack value; the fd
+            // and op are plain integers validated by the kernel.
+            check(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        /// Blocks until at least one watched fd is ready, the `timeout`
+        /// lapses (`None` = forever), or a [`Waker`](super::Waker) fires;
+        /// fills `events` (cleared first) with the readiness found.
+        ///
+        /// # Errors
+        /// The raw `epoll_wait` errno.  `EINTR` is swallowed (reported as
+        /// zero events).
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(t) => {
+                    let ms = t.as_millis().min(i32::MAX as u128) as i32;
+                    // Round a sub-millisecond timeout up to 1 ms: 0 would
+                    // return immediately and busy-spin the loop.
+                    if ms == 0 && !t.is_zero() {
+                        1
+                    } else {
+                        ms
+                    }
+                }
+            };
+            let buf = self.scratch.as_mut_ptr().cast::<EpollEvent>();
+            // SAFETY: `scratch` holds MAX_EVENTS * 16 bytes, matching the
+            // maxevents passed; the kernel writes at most that many events.
+            let n =
+                match check(unsafe { epoll_wait(self.epfd, buf, MAX_EVENTS as i32, timeout_ms) }) {
+                    Ok(n) => n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+            for i in 0..n {
+                // SAFETY: `i < n <= MAX_EVENTS`, within the kernel-filled
+                // prefix; read_unaligned because the struct is packed on
+                // x86.
+                let ev = unsafe { buf.add(i).read_unaligned() };
+                events.push(Event {
+                    token: ev.data as usize,
+                    // Errors and hangups surface as readable: the next read
+                    // returns 0/Err and the connection is torn down.
+                    readable: ev.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: ev.events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the fd this struct exclusively owns.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    //! `poll(2)` fallback: the interest set lives in a map and is rebuilt
+    //! into a `pollfd` array per wait.
+
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Readiness poller backed by `poll(2)`.
+    #[derive(Debug)]
+    pub struct Poller {
+        interests: HashMap<RawFd, (usize, Interest)>,
+    }
+
+    impl Poller {
+        /// Creates an empty interest set.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                interests: HashMap::new(),
+            })
+        }
+
+        /// Starts watching `fd` under `token`.
+        ///
+        /// # Errors
+        /// Never fails on this backend.
+        pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.interests.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        /// Updates the interest of an already watched `fd`.
+        ///
+        /// # Errors
+        /// Never fails on this backend.
+        pub fn reregister(
+            &mut self,
+            fd: RawFd,
+            token: usize,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.interests.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        /// Stops watching `fd`.
+        ///
+        /// # Errors
+        /// Never fails on this backend.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            self.interests.remove(&fd);
+            Ok(())
+        }
+
+        /// Blocks until at least one watched fd is ready or the `timeout`
+        /// lapses (`None` = forever); fills `events` (cleared first).
+        ///
+        /// # Errors
+        /// The raw `poll` errno; `EINTR` is swallowed.
+        pub fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            let mut fds: Vec<PollFd> = self
+                .interests
+                .iter()
+                .map(|(&fd, &(_, interest))| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(t) => (t.as_millis().min(i32::MAX as u128) as i32).max(1),
+            };
+            // SAFETY: the pointer/length pair describes the live `fds`
+            // vector; the kernel only writes the `revents` fields.
+            let ret = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                if let Some(&(token, _)) = self.interests.get(&pfd.fd) {
+                    events.push(Event {
+                        token,
+                        readable: pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+                        writable: pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn poller_reports_readable_after_peer_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        // Nothing to read yet: a short wait times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        let mut buf = [0u8; 8];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let waker = Waker::new().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(waker.fd(), WAKE_TOKEN, Interest::READ)
+            .unwrap();
+
+        let sender = waker.sender().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            sender.wake();
+        });
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN && e.readable));
+        waker.drain();
+        handle.join().unwrap();
+
+        // Drained: the next wait times out instead of spinning on a stale
+        // readable wake fd.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != WAKE_TOKEN));
+    }
+
+    #[test]
+    fn write_interest_fires_for_a_fresh_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(client.as_raw_fd(), 3, Interest::READ_WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        // A fresh socket's send buffer is empty, so it is writable at once.
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+
+        // Dropping write interest stops the write events.
+        poller
+            .reregister(client.as_raw_fd(), 3, Interest::READ)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.iter().all(|e| e.token != 3 || !e.writable));
+    }
+}

@@ -4,8 +4,10 @@
 //! as a typed [`ProtocolError`] or decodes as a well-formed message.
 
 use fpfa_server::protocol::{
-    BatchEntrySummary, BatchSummary, CacheFlavor, Histogram, KernelSource, MapKnobs, MapSummary,
-    ProtocolError, Request, Response, SimSummary, StatsSummary, WireError, HISTOGRAM_BUCKETS,
+    decode_request_frame, decode_response_frame, encode_request_frame, encode_response_frame,
+    BatchEntrySummary, BatchSummary, CacheFlavor, FrameBuffer, HelloAck, Histogram, KernelSource,
+    MapKnobs, MapSummary, ProtocolError, Request, Response, ShardStatsSummary, SimSummary,
+    StatsSummary, WireError, HISTOGRAM_BUCKETS,
 };
 use proptest::prelude::*;
 
@@ -123,8 +125,33 @@ fn arb_wire_error() -> BoxedStrategy<WireError> {
         Just(WireError::ShuttingDown),
         arb_string().prop_map(WireError::Invalid),
         (arb_string(), arb_string()).prop_map(|(name, error)| WireError::MapFailed { name, error }),
+        (any::<u32>(), any::<u32>()).prop_map(|(requested, supported)| {
+            WireError::UnsupportedVersion {
+                requested,
+                supported,
+            }
+        }),
     ]
     .boxed()
+}
+
+fn arb_shard_stats() -> impl Strategy<Value = ShardStatsSummary> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(connections, accepted, served, bytes_in, bytes_out)| ShardStatsSummary {
+                connections,
+                accepted,
+                served,
+                bytes_in,
+                bytes_out,
+            },
+        )
 }
 
 fn arb_response() -> BoxedStrategy<Response> {
@@ -149,11 +176,12 @@ fn arb_response() -> BoxedStrategy<Response> {
                 })
             ),
         (
-            prop::collection::vec(any::<u64>(), 15..=15),
+            prop::collection::vec(any::<u64>(), 18..=18),
             arb_histogram(),
-            arb_histogram()
+            arb_histogram(),
+            prop::collection::vec(arb_shard_stats(), 0..4)
         )
-            .prop_map(|(counters, map_latency, batch_latency)| {
+            .prop_map(|(counters, map_latency, batch_latency, shards)| {
                 Response::Stats(StatsSummary {
                     connections: counters[0],
                     accepted: counters[1],
@@ -162,23 +190,60 @@ fn arb_response() -> BoxedStrategy<Response> {
                     rejected_overload: counters[4],
                     rejected_deadline: counters[5],
                     rejected_shutdown: counters[6],
-                    workers: counters[7],
-                    queue_depth: counters[8],
-                    cache_mapping_hits: counters[9],
-                    cache_mapping_misses: counters[10],
-                    cache_post_hits: counters[11],
-                    cache_post_misses: counters[12],
-                    cache_entries: counters[13],
-                    cache_capacity: counters[14],
+                    rejected_version: counters[7],
+                    protocol_errors: counters[8],
+                    fast_hits: counters[9],
+                    workers: counters[10],
+                    queue_depth: counters[11],
+                    cache_mapping_hits: counters[12],
+                    cache_mapping_misses: counters[13],
+                    cache_post_hits: counters[14],
+                    cache_post_misses: counters[15],
+                    cache_entries: counters[16],
+                    cache_capacity: counters[17],
                     map_latency,
                     batch_latency,
+                    shards,
                 })
             }),
         any::<u64>().prop_map(|dropped_entries| Response::ResetDone { dropped_entries }),
         Just(Response::ShutdownStarted),
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(version, shards, max_in_flight)| {
+            Response::Hello(HelloAck {
+                version,
+                shards,
+                max_in_flight,
+            })
+        }),
         arb_wire_error().prop_map(Response::Error),
     ]
     .boxed()
+}
+
+/// Length-prefixes one frame payload the way `write_frame` does.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits `bytes` into chunks of at most `chunk` bytes and feeds them to a
+/// [`FrameBuffer`], collecting every complete frame payload.
+fn feed_in_chunks(bytes: &[u8], chunk: usize) -> Result<Vec<Vec<u8>>, String> {
+    let mut buffer = FrameBuffer::new();
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        buffer.extend(piece);
+        loop {
+            match buffer.next_frame() {
+                Ok(Some(frame)) => frames.push(frame.to_vec()),
+                Ok(None) => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    Ok(frames)
 }
 
 proptest! {
@@ -228,6 +293,99 @@ proptest! {
     fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn pipelined_request_streams_parse_in_submission_order(
+        requests in prop::collection::vec(arb_request(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        // Many v2 request frames written back-to-back, arriving in arbitrary
+        // read() chunk sizes, parse back to the same ids and bodies.
+        let mut stream = Vec::new();
+        for (id, request) in requests.iter().enumerate() {
+            stream.extend_from_slice(&framed(&encode_request_frame(id as u64, request)));
+        }
+        let frames = feed_in_chunks(&stream, chunk).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(frames.len(), requests.len());
+        for (expected_id, (frame, expected)) in frames.iter().zip(&requests).enumerate() {
+            let (id, request) = decode_request_frame(frame).map_err(|e| {
+                TestCaseError::fail(e.to_string())
+            })?;
+            prop_assert_eq!(id, expected_id as u64);
+            prop_assert_eq!(&request, expected);
+        }
+    }
+
+    #[test]
+    fn shuffled_response_streams_reassemble_by_request_id(
+        responses in prop::collection::vec(arb_response(), 1..6),
+        seed in any::<u64>(),
+        chunk in 1usize..64,
+    ) {
+        // Responses completing in *any* order still pair with their
+        // requests: the echoed id, not wire position, is the join key.
+        let mut tagged: Vec<(u64, Response)> = responses
+            .into_iter()
+            .enumerate()
+            .map(|(id, response)| (id as u64, response))
+            .collect();
+        // Seed-driven Fisher–Yates (xorshift), so every permutation of the
+        // completion order gets exercised across cases.
+        let mut state = seed | 1;
+        for i in (1..tagged.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            tagged.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut stream = Vec::new();
+        for (id, response) in &tagged {
+            stream.extend_from_slice(&framed(&encode_response_frame(*id, response)));
+        }
+        let frames = feed_in_chunks(&stream, chunk).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(frames.len(), tagged.len());
+        let mut reassembled = std::collections::HashMap::new();
+        for frame in &frames {
+            let (id, response) = decode_response_frame(frame).map_err(|e| {
+                TestCaseError::fail(e.to_string())
+            })?;
+            prop_assert!(reassembled.insert(id, response).is_none(), "duplicate id {}", id);
+        }
+        for (id, expected) in &tagged {
+            prop_assert_eq!(reassembled.get(id), Some(expected));
+        }
+    }
+
+    #[test]
+    fn corrupted_pipelined_streams_never_panic(
+        tagged in prop::collection::vec(arb_response(), 1..5),
+        cut in any::<usize>(),
+        position in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        // Truncation and bit flips anywhere in a pipelined stream surface as
+        // typed frame/protocol errors or as fewer complete frames — never as
+        // a panic.  (A flipped id byte may still decode; that is the
+        // application's `UnknownRequestId` problem, not the parser's.)
+        let mut stream = Vec::new();
+        for (id, response) in tagged.iter().enumerate() {
+            stream.extend_from_slice(&framed(&encode_response_frame(id as u64, response)));
+        }
+        let cut = cut % (stream.len() + 1);
+        let mut mangled = stream[..cut].to_vec();
+        if !mangled.is_empty() {
+            let position = position % mangled.len();
+            mangled[position] ^= 1 << bit;
+        }
+        // A shrunk length prefix can split one frame into several, so no
+        // frame-count bound holds; the guarantees are typed errors and no
+        // panics.
+        if let Ok(frames) = feed_in_chunks(&mangled, 7) {
+            for frame in &frames {
+                let _ = decode_response_frame(frame);
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,14 @@
 
 use fpfa_core::pipeline::Mapper;
 use fpfa_core::service::MappingService;
-use fpfa_server::protocol::{KernelSource, MapKnobs, Request, Response, WireError};
+use fpfa_server::protocol::{
+    decode_response_frame, encode_request_frame, read_frame, write_frame, Hello, KernelSource,
+    MapKnobs, Request, Response, WireError, PROTOCOL_VERSION,
+};
 use fpfa_server::server::{Server, ServerConfig, ServerHandle};
 use fpfa_server::{program_digest, Client, ClientError};
+use std::io::Write as _;
+use std::net::TcpStream;
 use std::time::Duration;
 
 fn start(config: ServerConfig, mapper: Mapper) -> ServerHandle {
@@ -183,6 +188,7 @@ fn saturated_queue_rejects_with_typed_overloaded() {
             workers: 1,
             queue_depth: 1,
             default_deadline: Duration::ZERO,
+            ..ServerConfig::default()
         },
         Mapper::new(),
     );
@@ -208,11 +214,14 @@ fn saturated_queue_rejects_with_typed_overloaded() {
         })
         .collect();
 
+    // Each probe is a *distinct* cold kernel, so it cannot be answered from
+    // an I/O shard's warm table and must contend for the queue slot.
     let mut probe = Client::connect(addr).expect("connect probe");
     let mut overloaded = 0usize;
-    for _ in 0..2000 {
+    for attempt in 0..2000 {
+        let source = format!("void main() {{ int a[2]; int r; r = a[0] + a[1] + {attempt}; }}");
         match probe.call(&Request::Map {
-            kernel: KernelSource::new("probe", TRIVIAL),
+            kernel: KernelSource::new("probe", &source),
             knobs: MapKnobs::default(),
         }) {
             Ok(Response::Error(WireError::Overloaded { queue_depth })) => {
@@ -253,6 +262,7 @@ fn lapsed_deadline_budget_is_a_typed_rejection() {
             workers: 1,
             queue_depth: 4,
             default_deadline: Duration::ZERO,
+            ..ServerConfig::default()
         },
         Mapper::new(),
     );
@@ -266,13 +276,16 @@ fn lapsed_deadline_budget_is_a_typed_rejection() {
             .expect("heavy maps")
     });
     // ... then queue a request whose 1 ms budget lapses while it waits.
-    // (Retry in case the heavy kernel had not reached the worker yet.)
+    // (Retry in case the heavy kernel had not reached the worker yet; each
+    // attempt is a distinct cold kernel so the shard's warm table cannot
+    // answer it inline.)
     let mut client = Client::connect(addr).expect("connect");
     let mut saw_deadline = false;
-    for _ in 0..50 {
+    for attempt in 0..50 {
+        let source = format!("void main() {{ int a[2]; int r; r = a[0] + a[1] + {attempt}; }}");
         match client.map(
             "impatient",
-            TRIVIAL,
+            &source,
             MapKnobs {
                 deadline_ms: 1,
                 ..MapKnobs::default()
@@ -386,6 +399,147 @@ fn stats_reset_clears_cache_and_counters() {
         .map("k", TRIVIAL, MapKnobs::default())
         .expect("re-map");
     assert_eq!(cold.cache, fpfa_server::CacheFlavor::Miss);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn v1_clients_are_rejected_with_a_typed_unsupported_version() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+
+    // A bare v1 request (no hello) is answered with a typed
+    // `UnsupportedVersion`, then the connection is closed — not hung.
+    let mut v1 = TcpStream::connect(handle.addr()).expect("connect raw");
+    write_frame(&mut v1, &Request::Stats.encode()).expect("write v1 frame");
+    v1.flush().expect("flush");
+    let payload = read_frame(&mut v1)
+        .expect("read rejection")
+        .expect("a reply, not a hang");
+    match Response::decode(&payload).expect("typed rejection decodes") {
+        Response::Error(WireError::UnsupportedVersion {
+            requested,
+            supported,
+        }) => {
+            assert_eq!(requested, 1);
+            assert_eq!(supported, PROTOCOL_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut v1).expect("clean close").is_none(),
+        "the connection closes after the rejection"
+    );
+
+    // A future version in the hello is rejected the same way.
+    let mut future = TcpStream::connect(handle.addr()).expect("connect raw");
+    write_frame(&mut future, &Hello { version: 99 }.encode()).expect("write hello");
+    future.flush().expect("flush");
+    let payload = read_frame(&mut future)
+        .expect("read rejection")
+        .expect("a reply");
+    match Response::decode(&payload).expect("decodes") {
+        Response::Error(WireError::UnsupportedVersion { requested, .. }) => {
+            assert_eq!(requested, 99);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+
+    assert!(handle.stats().rejected_version >= 2);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_by_request_id() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+
+    // Handshake + warm the kernel through the plain client first.
+    let mut warmup = Client::connect(handle.addr()).expect("connect warmup");
+    let expected = warmup
+        .map("k", TRIVIAL, MapKnobs::default())
+        .expect("warmup map");
+
+    // Raw v2 connection: hello, then two back-to-back requests — a
+    // `simulate` map (always the worker path) followed by a plain map (the
+    // shard's warm table answers it inline).  The second response must
+    // overtake the first on the wire.
+    let mut raw = TcpStream::connect(handle.addr()).expect("connect raw");
+    write_frame(&mut raw, &Hello::current().encode()).expect("hello");
+    raw.flush().expect("flush hello");
+    let ack = read_frame(&mut raw).expect("ack").expect("ack frame");
+    assert!(matches!(
+        Response::decode(&ack).expect("ack decodes"),
+        Response::Hello(_)
+    ));
+
+    let slow = Request::Map {
+        kernel: KernelSource::new("k", TRIVIAL),
+        knobs: MapKnobs {
+            simulate: true,
+            ..MapKnobs::default()
+        },
+    };
+    let fast = Request::Map {
+        kernel: KernelSource::new("k", TRIVIAL),
+        knobs: MapKnobs::default(),
+    };
+    write_frame(&mut raw, &encode_request_frame(7, &slow)).expect("write slow");
+    write_frame(&mut raw, &encode_request_frame(8, &fast)).expect("write fast");
+    raw.flush().expect("flush both");
+
+    let first = read_frame(&mut raw).expect("first").expect("first frame");
+    let (first_id, first_response) = decode_response_frame(&first).expect("first decodes");
+    let second = read_frame(&mut raw).expect("second").expect("second frame");
+    let (second_id, second_response) = decode_response_frame(&second).expect("second decodes");
+    assert_eq!(
+        (first_id, second_id),
+        (8, 7),
+        "the inline warm answer must overtake the queued simulate job"
+    );
+    match (&first_response, &second_response) {
+        (Response::Mapped(fast_summary), Response::Mapped(slow_summary)) => {
+            assert_eq!(fast_summary.digest, expected.digest);
+            assert_eq!(slow_summary.digest, expected.digest);
+            assert!(slow_summary.sim.is_some());
+        }
+        other => panic!("expected two mappings, got {other:?}"),
+    }
+
+    // The pipelined client API reassembles the same interleaving by ticket.
+    let mut client = Client::connect(handle.addr()).expect("connect pipelined");
+    let slow_ticket = client.submit(&slow).expect("submit slow");
+    let fast_ticket = client.submit(&fast).expect("submit fast");
+    let slow_response = client.wait(slow_ticket).expect("wait slow");
+    let fast_response = client.wait(fast_ticket).expect("wait fast");
+    assert!(matches!(slow_response, Response::Mapped(s) if s.sim.is_some()));
+    assert!(matches!(fast_response, Response::Mapped(s) if s.sim.is_none()));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn per_shard_counters_are_reported() {
+    let handle = start(
+        ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        },
+        Mapper::new(),
+    );
+    let mut a = Client::connect(handle.addr()).expect("connect a");
+    let mut b = Client::connect(handle.addr()).expect("connect b");
+    a.map("k", TRIVIAL, MapKnobs::default()).expect("map a");
+    b.map("k", TRIVIAL, MapKnobs::default()).expect("map b");
+    let stats = a.stats().expect("stats");
+    assert_eq!(stats.shards.len(), 2, "one summary per shard");
+    let accepted: u64 = stats.shards.iter().map(|s| s.accepted).sum();
+    let served: u64 = stats.shards.iter().map(|s| s.served).sum();
+    let bytes_in: u64 = stats.shards.iter().map(|s| s.bytes_in).sum();
+    let bytes_out: u64 = stats.shards.iter().map(|s| s.bytes_out).sum();
+    assert!(accepted >= 2, "both connections adopted: {stats:?}");
+    assert!(served >= 3, "two maps + handshakes served: {stats:?}");
+    assert!(bytes_in > 0 && bytes_out > 0);
     handle.shutdown();
     handle.join();
 }

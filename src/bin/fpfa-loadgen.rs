@@ -1,13 +1,26 @@
-//! `fpfa-loadgen` — closed-loop load generator for `fpfa-serve`.
+//! `fpfa-loadgen` — load generator for `fpfa-serve`.
 //!
-//! Opens N connections, each issuing map requests back-to-back (closed
-//! loop: one outstanding request per connection), cycling through the
-//! `fpfa-workloads` registry.  Prints throughput and client-observed
-//! latency percentiles, then cross-checks the server's statistics.
+//! Two modes share warmup, digest verification and the final server-side
+//! cross-check:
+//!
+//! * **Closed loop** (default): N connections, each issuing map requests
+//!   back-to-back (one outstanding request per connection), cycling through
+//!   the `fpfa-workloads` registry.
+//! * **Open loop** (`--open-loop --rate R`): one event-driven thread
+//!   drives all N pipelined v2 connections off a fixed-rate schedule.
+//!   Latency is measured from each request's *scheduled* send time, not
+//!   the actual one, so queueing delay inside the generator counts against
+//!   the server's percentiles instead of being silently absorbed
+//!   (coordinated-omission correction).  Every ~256th request is paired
+//!   with a `simulate` probe on the same connection; the probe takes the
+//!   server's worker path while the paired request is answered inline, so
+//!   observing the pair complete out of order proves response reordering
+//!   end to end.
 //!
 //! ```text
 //! fpfa-loadgen --addr 127.0.0.1:9417                  # 4 connections, 2000 requests each
 //! fpfa-loadgen --connections 8 --requests 5000
+//! fpfa-loadgen --open-loop --rate 60000               # fixed-rate pipelined mode
 //! fpfa-loadgen --tiles 4                              # multi-tile knob on every request
 //!                                                     # (default: the daemon's own tile setting)
 //! fpfa-loadgen --min-hit-ratio 0.9 --forbid-overload  # CI assertions
@@ -33,18 +46,24 @@
 //! this mode; combine with `--min-hit-ratio` only if you know what you are
 //! asserting.
 
+use fpfa::server::protocol::{decode_response_frame, read_frame, write_frame, FrameBuffer, Hello};
+use fpfa::server::sys::{Event, Interest, Poller};
 use fpfa::server::{Client, MapKnobs, Request, Response, WireError};
 use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Options {
     addr: String,
     connections: usize,
     requests: usize,
     tiles: usize,
+    open_loop: bool,
+    rate: Option<f64>,
     min_hit_ratio: Option<f64>,
     min_throughput: Option<f64>,
     forbid_overload: bool,
@@ -54,7 +73,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: fpfa-loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--tiles N] \
-     [--min-hit-ratio F] [--min-throughput F] [--forbid-overload] [--cold-storm] [--shutdown]"
+     [--open-loop --rate R] [--min-hit-ratio F] [--min-throughput F] [--forbid-overload] \
+     [--cold-storm] [--shutdown]"
 }
 
 fn quick_mode() -> bool {
@@ -68,6 +88,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         requests: if quick_mode() { 150 } else { 2000 },
         // 0 = the wire sentinel for "inherit the daemon's tile default".
         tiles: 0,
+        open_loop: false,
+        rate: None,
         min_hit_ratio: None,
         min_throughput: None,
         forbid_overload: false,
@@ -90,6 +112,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.requests = parse_positive(&value_of("--requests")?, "--requests")?;
             }
             "--tiles" => options.tiles = parse_positive(&value_of("--tiles")?, "--tiles")?,
+            "--open-loop" => options.open_loop = true,
+            "--rate" => {
+                let rate: f64 = value_of("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate needs a number".to_string())?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("--rate needs a positive request rate".to_string());
+                }
+                options.rate = Some(rate);
+            }
             "--min-hit-ratio" => {
                 options.min_hit_ratio = Some(
                     value_of("--min-hit-ratio")?
@@ -111,6 +143,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
+    if options.open_loop && options.rate.is_none() {
+        return Err("--open-loop needs --rate R (target requests per second)".to_string());
+    }
+    if options.rate.is_some() && !options.open_loop {
+        return Err("--rate only applies to --open-loop mode".to_string());
+    }
     Ok(options)
 }
 
@@ -130,6 +168,18 @@ struct WorkerOutcome {
     latencies_us: Vec<u64>,
     overloaded: usize,
     failures: Vec<String>,
+}
+
+/// What one measured phase (either mode) produced.
+struct LoadOutcome {
+    latencies_us: Vec<u64>,
+    overloaded: usize,
+    failures: Vec<String>,
+    wall: Duration,
+    attempted: usize,
+    mode: String,
+    /// Mode-specific report lines (probe stats, pacing notes).
+    extra_lines: Vec<String>,
 }
 
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
@@ -166,7 +216,6 @@ fn run(options: &Options) -> Result<(), String> {
         kernels.len(),
         options.addr
     );
-    let digests = Arc::new(digests);
 
     if options.cold_storm {
         let dropped = warm
@@ -178,16 +227,127 @@ fn run(options: &Options) -> Result<(), String> {
         );
     }
 
-    // Measured phase: closed loop on every connection.
-    let cursor = Arc::new(AtomicUsize::new(0));
+    // Measured phase.
+    let mut outcome = if options.open_loop {
+        run_open_loop(options, &kernels, knobs, &digests)?
+    } else {
+        run_closed_loop(options, &kernels, knobs, &digests)
+    };
+    outcome.latencies_us.sort_unstable();
+    let ok = outcome.latencies_us.len();
+    let throughput = ok as f64 / outcome.wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "fpfa-loadgen: {} connection(s), {}: {ok} ok, {} failed, {} overloaded in {:.2?}",
+        options.connections,
+        outcome.mode,
+        outcome.failures.len(),
+        outcome.overloaded,
+        outcome.wall,
+    );
+    println!(
+        "  throughput {throughput:.1} req/s ({} attempted)",
+        outcome.attempted
+    );
+    println!(
+        "  latency p50 {} us  p95 {} us  p99 {} us  max {} us",
+        percentile(&outcome.latencies_us, 0.50),
+        percentile(&outcome.latencies_us, 0.95),
+        percentile(&outcome.latencies_us, 0.99),
+        outcome.latencies_us.last().copied().unwrap_or(0),
+    );
+    for line in &outcome.extra_lines {
+        println!("  {line}");
+    }
+
+    // Cross-check with the server's own counters.
+    let mut control =
+        Client::connect(&options.addr).map_err(|e| format!("cannot reconnect for stats: {e}"))?;
+    let stats = control.stats().map_err(|e| format!("stats failed: {e}"))?;
+    let hit_ratio = stats.mapping_hit_rate().unwrap_or(0.0);
+    println!(
+        "  server: accepted {}, served ok {}, map failures {}, overloaded {}, \
+         deadline-expired {}, fast-path hits {}, protocol errors {}",
+        stats.accepted,
+        stats.served_ok,
+        stats.served_err,
+        stats.rejected_overload,
+        stats.rejected_deadline,
+        stats.fast_hits,
+        stats.protocol_errors,
+    );
+    println!(
+        "  cache: {}/{} mapping hit(s), ratio {hit_ratio:.3}, {} resident entr(ies)",
+        stats.cache_mapping_hits,
+        stats.cache_mapping_hits + stats.cache_mapping_misses,
+        stats.cache_entries
+    );
+    for (index, shard) in stats.shards.iter().enumerate() {
+        println!(
+            "  shard {index}: {} conn(s), {} queued, {} served, {} B in, {} B out",
+            shard.connections, shard.accepted, shard.served, shard.bytes_in, shard.bytes_out
+        );
+    }
+    if let Some(p99) = stats.map_latency.quantile_upper_bound(0.99) {
+        println!("  server-side map p99 < {p99} us (decode \u{2192} write-back)");
+    }
+
+    if options.shutdown {
+        control
+            .shutdown()
+            .map_err(|e| format!("shutdown failed: {e}"))?;
+        println!("  daemon asked to shut down");
+    }
+
+    for failure in outcome.failures.iter().take(5) {
+        eprintln!("fpfa-loadgen: failure: {failure}");
+    }
+    if !outcome.failures.is_empty() {
+        return Err(format!("{} request(s) failed", outcome.failures.len()));
+    }
+    if stats.protocol_errors > 0 {
+        return Err(format!(
+            "server counted {} protocol error(s) during the run",
+            stats.protocol_errors
+        ));
+    }
+    if options.forbid_overload && outcome.overloaded > 0 {
+        return Err(format!(
+            "{} request(s) were rejected as overloaded (--forbid-overload)",
+            outcome.overloaded
+        ));
+    }
+    if let Some(min) = options.min_hit_ratio {
+        if hit_ratio < min {
+            return Err(format!(
+                "cache hit ratio {hit_ratio:.3} is below the required {min:.3}"
+            ));
+        }
+    }
+    if let Some(min) = options.min_throughput {
+        if throughput < min {
+            return Err(format!(
+                "throughput {throughput:.1} req/s is below the required {min:.1}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Closed loop: one thread per connection, one outstanding request each.
+fn run_closed_loop(
+    options: &Options,
+    kernels: &[(String, String)],
+    knobs: MapKnobs,
+    digests: &HashMap<String, u64>,
+) -> LoadOutcome {
+    let cursor = AtomicUsize::new(0);
     let started = Instant::now();
     let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(options.connections);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(options.connections);
         for _ in 0..options.connections {
-            let kernels = &kernels;
-            let digests = Arc::clone(&digests);
-            let cursor = Arc::clone(&cursor);
+            let cursor = &cursor;
             handles.push(scope.spawn(move || {
                 let mut outcome = WorkerOutcome::default();
                 let mut client = match Client::connect(&options.addr) {
@@ -255,83 +415,482 @@ fn run(options: &Options) -> Result<(), String> {
         overloaded += outcome.overloaded;
         failures.extend(outcome.failures);
     }
-    latencies.sort_unstable();
-    let ok = latencies.len();
-    let attempted = options.connections * options.requests;
-    let throughput = ok as f64 / wall.as_secs_f64().max(1e-9);
+    LoadOutcome {
+        latencies_us: latencies,
+        overloaded,
+        failures,
+        wall,
+        attempted: options.connections * options.requests,
+        mode: format!("closed loop x {} request(s)", options.requests),
+        extra_lines: Vec::new(),
+    }
+}
 
-    println!(
-        "fpfa-loadgen: {} connection(s) x {} request(s): {ok} ok, {} failed, \
-         {overloaded} overloaded in {wall:.2?}",
-        options.connections,
-        options.requests,
-        failures.len(),
-    );
-    println!("  throughput {throughput:.1} req/s (closed loop, {attempted} attempted)");
-    println!(
-        "  latency p50 {} us  p95 {} us  p99 {} us  max {} us",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
-        latencies.last().copied().unwrap_or(0),
-    );
+/// How often the open loop pairs a paced request with a `simulate` probe
+/// on the same connection (the probe takes the worker path, the paced
+/// request is answered inline, so the pair reliably completes out of
+/// order).
+const PROBE_EVERY: usize = 256;
 
-    // Cross-check with the server's own counters.
-    let mut control =
-        Client::connect(&options.addr).map_err(|e| format!("cannot reconnect for stats: {e}"))?;
-    let stats = control.stats().map_err(|e| format!("stats failed: {e}"))?;
-    let hit_ratio = stats.mapping_hit_rate().unwrap_or(0.0);
-    println!(
-        "  server: accepted {}, served ok {}, map failures {}, overloaded {}, deadline-expired {}",
-        stats.accepted,
-        stats.served_ok,
-        stats.served_err,
-        stats.rejected_overload,
-        stats.rejected_deadline
-    );
-    println!(
-        "  cache: {}/{} mapping hit(s), ratio {hit_ratio:.3}, {} resident entr(ies)",
-        stats.cache_mapping_hits,
-        stats.cache_mapping_hits + stats.cache_mapping_misses,
-        stats.cache_entries
-    );
-    if let Some(p99) = stats.map_latency.quantile_upper_bound(0.99) {
-        println!("  server-side map p99 < {p99} us");
-    }
+/// Read chunk for draining open-loop sockets.
+const OPEN_READ_CHUNK: usize = 64 * 1024;
 
-    if options.shutdown {
-        control
-            .shutdown()
-            .map_err(|e| format!("shutdown failed: {e}"))?;
-        println!("  daemon asked to shut down");
-    }
+/// Consecutive scheduled requests share a connection in blocks of this
+/// size, so a burst of due sends coalesces into one `write` and the
+/// responses coalesce on the read side — without starving the other
+/// connections (the block cursor still round-robins).
+const OPEN_SEND_BLOCK: usize = 16;
 
-    for failure in failures.iter().take(5) {
-        eprintln!("fpfa-loadgen: failure: {failure}");
-    }
-    if !failures.is_empty() {
-        return Err(format!("{} request(s) failed", failures.len()));
-    }
-    if options.forbid_overload && overloaded > 0 {
-        return Err(format!(
-            "{overloaded} request(s) were rejected as overloaded (--forbid-overload)"
-        ));
-    }
-    if let Some(min) = options.min_hit_ratio {
-        if hit_ratio < min {
-            return Err(format!(
-                "cache hit ratio {hit_ratio:.3} is below the required {min:.3}"
-            ));
+/// The pacer wakes once per this many scheduled requests and sends them as
+/// one burst (they land on the same connection thanks to
+/// [`OPEN_SEND_BLOCK`]); each request still carries its own scheduled
+/// basis, so the coalescing delay is measured, not hidden.
+const OPEN_PACE_BATCH: usize = 8;
+
+struct OpenPending {
+    kernel: usize,
+    /// Latency basis: the *scheduled* send instant for paced requests
+    /// (coordinated-omission corrected), the actual send instant for
+    /// probes.
+    basis: Instant,
+    probe: bool,
+    /// For a paced request sent right behind a probe: the probe's id.
+    paired_probe: Option<u64>,
+}
+
+struct OpenConn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    next_id: u64,
+    pending: HashMap<u64, OpenPending>,
+    want_write: bool,
+    dead: bool,
+}
+
+/// Appends one length-prefixed v2 request frame to the connection's write
+/// buffer.
+fn enqueue_frame(conn: &mut OpenConn, id: u64, body: &[u8]) {
+    let len = (8 + body.len()) as u32;
+    conn.wbuf.extend_from_slice(&len.to_le_bytes());
+    conn.wbuf.extend_from_slice(&id.to_le_bytes());
+    conn.wbuf.extend_from_slice(body);
+}
+
+/// Writes as much buffered data as the socket accepts, toggling write
+/// interest so the poller finishes the job when the socket drains.
+fn flush_open_conn(conn: &mut OpenConn, token: usize, poller: &mut Poller) -> Result<(), String> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err("connection closed while writing".to_string()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("write: {e}")),
         }
     }
-    if let Some(min) = options.min_throughput {
-        if throughput < min {
-            return Err(format!(
-                "throughput {throughput:.1} req/s is below the required {min:.1}"
-            ));
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            poller
+                .reregister(conn.stream.as_raw_fd(), token, Interest::READ)
+                .map_err(|e| format!("reregister: {e}"))?;
         }
+    } else if !conn.want_write {
+        conn.want_write = true;
+        poller
+            .reregister(conn.stream.as_raw_fd(), token, Interest::READ_WRITE)
+            .map_err(|e| format!("reregister: {e}"))?;
     }
     Ok(())
+}
+
+/// Tears one connection down, counting its in-flight requests as lost.
+fn kill_conn(
+    conn: &mut OpenConn,
+    token: usize,
+    reason: &str,
+    poller: &mut Poller,
+    failures: &mut Vec<String>,
+    outstanding: &mut usize,
+) {
+    let lost = conn.pending.len();
+    *outstanding -= lost;
+    failures.push(format!(
+        "connection {token} failed ({reason}); {lost} in-flight request(s) lost"
+    ));
+    conn.pending.clear();
+    conn.dead = true;
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+}
+
+/// Open loop: one event-driven thread drives every pipelined connection
+/// off a fixed-rate schedule.
+fn run_open_loop(
+    options: &Options,
+    kernels: &[(String, String)],
+    knobs: MapKnobs,
+    digests: &HashMap<String, u64>,
+) -> Result<LoadOutcome, String> {
+    let rate = options.rate.unwrap_or(1.0);
+    let total = options.connections * options.requests;
+    let interval = Duration::from_secs_f64(1.0 / rate);
+
+    // Pre-encode each kernel's request body once; steady-state sending
+    // only prepends the 12-byte header.
+    let mut plain_bodies = Vec::with_capacity(kernels.len());
+    for (name, source) in kernels {
+        let kernel = fpfa::server::KernelSource::new(name.clone(), source.clone());
+        plain_bodies.push(Request::Map { kernel, knobs }.encode());
+    }
+    // Probes always use the smallest registry kernel: the point of a probe
+    // is proving the worker-path detour and response reordering, and a big
+    // kernel's simulation would monopolize a small machine's core for long
+    // enough to distort the paced traffic it is probing.
+    let probe_kernel = kernels
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (_, source))| source.len())
+        .map(|(index, _)| index)
+        .unwrap_or(0);
+    let probe_body = {
+        let (name, source) = &kernels[probe_kernel];
+        Request::Map {
+            kernel: fpfa::server::KernelSource::new(name.clone(), source.clone()),
+            knobs: MapKnobs {
+                simulate: true,
+                ..knobs
+            },
+        }
+        .encode()
+    };
+
+    // Connect and handshake in blocking mode, then flip each socket to
+    // nonblocking and hand it to the poller (token = connection index).
+    let mut poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+    let mut conns: Vec<OpenConn> = Vec::with_capacity(options.connections);
+    for token in 0..options.connections {
+        let mut stream = TcpStream::connect(&options.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", options.addr))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("nodelay: {e}"))?;
+        write_frame(&mut stream, &Hello::current().encode())
+            .map_err(|e| format!("handshake write: {e}"))?;
+        let ack = read_frame(&mut stream)
+            .map_err(|e| format!("handshake read: {e}"))?
+            .ok_or_else(|| "server closed during the handshake".to_string())?;
+        match Response::decode(&ack) {
+            Ok(Response::Hello(_)) => {}
+            Ok(Response::Error(error)) => return Err(format!("handshake rejected: {error}")),
+            other => return Err(format!("unexpected handshake reply: {other:?}")),
+        }
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .map_err(|e| format!("register: {e}"))?;
+        conns.push(OpenConn {
+            stream,
+            rbuf: FrameBuffer::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_id: 0,
+            pending: HashMap::new(),
+            want_write: false,
+            dead: false,
+        });
+    }
+
+    let started = Instant::now();
+    let hard_deadline = started + interval.mul_f64(total as f64) + Duration::from_secs(10);
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; OPEN_READ_CHUNK];
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut probe_latencies: Vec<u64> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut overloaded = 0usize;
+    let mut sent = 0usize;
+    let mut probes_sent = 0usize;
+    let mut out_of_order = 0usize;
+    let mut outstanding = 0usize;
+    let mut skipped_dead = 0usize;
+    let mut touched: Vec<usize> = Vec::new();
+
+    loop {
+        // Send every request whose scheduled instant has passed; lateness
+        // here is *not* forgiven — the latency basis stays the schedule.
+        let now = Instant::now();
+        touched.clear();
+        while sent < total {
+            let due = started + interval.mul_f64(sent as f64);
+            if due > now {
+                break;
+            }
+            let token = (sent / OPEN_SEND_BLOCK) % conns.len();
+            let kernel = sent % kernels.len();
+            let conn = &mut conns[token];
+            if conn.dead {
+                skipped_dead += 1;
+                sent += 1;
+                continue;
+            }
+            let paired_probe = if sent % PROBE_EVERY == PROBE_EVERY - 1 {
+                let probe_id = conn.next_id;
+                conn.next_id += 1;
+                conn.pending.insert(
+                    probe_id,
+                    OpenPending {
+                        kernel: probe_kernel,
+                        basis: now,
+                        probe: true,
+                        paired_probe: None,
+                    },
+                );
+                enqueue_frame(conn, probe_id, &probe_body);
+                probes_sent += 1;
+                outstanding += 1;
+                Some(probe_id)
+            } else {
+                None
+            };
+            let id = conn.next_id;
+            conn.next_id += 1;
+            conn.pending.insert(
+                id,
+                OpenPending {
+                    kernel,
+                    basis: due,
+                    probe: false,
+                    paired_probe,
+                },
+            );
+            enqueue_frame(conn, id, &plain_bodies[kernel]);
+            outstanding += 1;
+            if !touched.contains(&token) {
+                touched.push(token);
+            }
+            sent += 1;
+        }
+        for &token in &touched {
+            if let Err(reason) = flush_open_conn(&mut conns[token], token, &mut poller) {
+                kill_conn(
+                    &mut conns[token],
+                    token,
+                    &reason,
+                    &mut poller,
+                    &mut failures,
+                    &mut outstanding,
+                );
+            }
+        }
+
+        if sent >= total && outstanding == 0 {
+            break;
+        }
+        let now = Instant::now();
+        if now > hard_deadline {
+            failures.push(format!(
+                "{outstanding} response(s) never arrived before the deadline"
+            ));
+            break;
+        }
+
+        let timeout = if sent < total {
+            // Wake when a small *block* of requests is due, not each one:
+            // the block coalesces into one `write` per connection, cutting
+            // per-request syscalls several-fold.  Requests keep their own
+            // scheduled basis, so the bounded extra wait is charged to
+            // latency like any other generator-side delay.
+            let target = (sent + OPEN_PACE_BATCH - 1).min(total - 1);
+            let due = started + interval.mul_f64(target as f64);
+            let until = due.saturating_duration_since(now);
+            // Sub-millisecond epoll timeouts round up to a full
+            // millisecond, which would quantize the whole schedule.  Pace
+            // with an hrtimer sleep instead — blocking (rather than
+            // spinning) here matters on small machines: it hands the core
+            // to the daemon between sends instead of contending for it,
+            // and any oversleep is charged to latency by the
+            // scheduled-send basis anyway.
+            if until >= Duration::from_millis(1) {
+                until
+            } else {
+                if !until.is_zero() {
+                    std::thread::sleep(until);
+                }
+                Duration::ZERO
+            }
+        } else {
+            Duration::from_millis(50)
+        };
+        poller
+            .wait(&mut events, Some(timeout))
+            .map_err(|e| format!("poll: {e}"))?;
+
+        'events: for event in &events {
+            let token = event.token;
+            if conns[token].dead {
+                continue;
+            }
+            if event.writable {
+                if let Err(reason) = flush_open_conn(&mut conns[token], token, &mut poller) {
+                    kill_conn(
+                        &mut conns[token],
+                        token,
+                        &reason,
+                        &mut poller,
+                        &mut failures,
+                        &mut outstanding,
+                    );
+                    continue;
+                }
+            }
+            if !event.readable {
+                continue;
+            }
+            // Drain the socket fully, then parse every complete frame.
+            let mut closed = false;
+            loop {
+                match conns[token].stream.read(&mut scratch) {
+                    Ok(0) => {
+                        closed = true;
+                        break;
+                    }
+                    Ok(n) => conns[token].rbuf.extend(&scratch[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        let reason = format!("read: {e}");
+                        kill_conn(
+                            &mut conns[token],
+                            token,
+                            &reason,
+                            &mut poller,
+                            &mut failures,
+                            &mut outstanding,
+                        );
+                        continue 'events;
+                    }
+                }
+            }
+            let conn = &mut conns[token];
+            loop {
+                let frame = match conn.rbuf.next_frame() {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => break,
+                    Err(e) => {
+                        let reason = format!("frame error: {e}");
+                        kill_conn(
+                            conn,
+                            token,
+                            &reason,
+                            &mut poller,
+                            &mut failures,
+                            &mut outstanding,
+                        );
+                        continue 'events;
+                    }
+                };
+                let (id, response) = match decode_response_frame(frame) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        let reason = format!("protocol error: {e}");
+                        kill_conn(
+                            conn,
+                            token,
+                            &reason,
+                            &mut poller,
+                            &mut failures,
+                            &mut outstanding,
+                        );
+                        continue 'events;
+                    }
+                };
+                let Some(pending) = conn.pending.remove(&id) else {
+                    failures.push(format!("connection {token}: response for unknown id {id}"));
+                    continue;
+                };
+                outstanding -= 1;
+                let name = &kernels[pending.kernel].0;
+                match response {
+                    Response::Mapped(summary) => {
+                        if digests.get(name) != Some(&summary.digest) {
+                            failures.push(format!(
+                                "`{name}`: digest {:#x} differs from warmup",
+                                summary.digest
+                            ));
+                        }
+                        let micros = pending.basis.elapsed().as_micros() as u64;
+                        if pending.probe {
+                            probe_latencies.push(micros);
+                        } else {
+                            latencies.push(micros);
+                            // The probe was sent *before* this request on
+                            // the same connection; if it is still pending,
+                            // this response overtook it.
+                            if let Some(probe_id) = pending.paired_probe {
+                                if conn.pending.contains_key(&probe_id) {
+                                    out_of_order += 1;
+                                }
+                            }
+                        }
+                    }
+                    Response::Error(WireError::Overloaded { .. }) => overloaded += 1,
+                    Response::Error(error) => failures.push(format!("`{name}`: {error}")),
+                    _ => failures.push(format!("`{name}`: unexpected response kind")),
+                }
+            }
+            if closed {
+                kill_conn(
+                    &mut conns[token],
+                    token,
+                    "server closed the connection",
+                    &mut poller,
+                    &mut failures,
+                    &mut outstanding,
+                );
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    if skipped_dead > 0 {
+        failures.push(format!(
+            "{skipped_dead} request(s) skipped on dead connections"
+        ));
+    }
+    if probes_sent >= 10 && out_of_order == 0 {
+        failures.push(
+            "no out-of-order completion observed across probe pairs (expected the \
+             paced response to overtake its paired simulate probe)"
+                .to_string(),
+        );
+    }
+    probe_latencies.sort_unstable();
+    let extra_lines = vec![
+        "open loop: latency is measured from each request's *scheduled* send \
+         (coordinated-omission corrected)"
+            .to_string(),
+        format!(
+            "probes: {probes_sent} simulate probe(s) sent, {} answered (p99 {} us), \
+             {out_of_order} pair(s) completed out of order",
+            probe_latencies.len(),
+            percentile(&probe_latencies, 0.99),
+        ),
+    ];
+    Ok(LoadOutcome {
+        latencies_us: latencies,
+        overloaded,
+        failures,
+        wall,
+        attempted: total + probes_sent,
+        mode: format!("open loop @ {rate:.0} req/s target"),
+        extra_lines,
+    })
 }
 
 fn main() -> ExitCode {

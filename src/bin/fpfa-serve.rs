@@ -9,6 +9,7 @@
 //! fpfa-serve                          # defaults: 127.0.0.1:9417, one worker per core
 //! fpfa-serve --addr 0.0.0.0:7000     # explicit listen address (port 0 = OS-assigned)
 //! fpfa-serve --workers 8 --queue-depth 128
+//! fpfa-serve --shards 2              # I/O shards (default: one per core, capped)
 //! fpfa-serve --deadline-ms 2000      # default per-request budget
 //! fpfa-serve --cache-capacity 1024   # mapping-cache entries per level
 //! fpfa-serve --tiles 4 --pps 3       # default mapper configuration
@@ -29,6 +30,7 @@ struct Options {
     addr: String,
     workers: Option<usize>,
     queue_depth: usize,
+    shards: usize,
     deadline_ms: u64,
     cache_capacity: Option<usize>,
     tiles: usize,
@@ -36,8 +38,8 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: fpfa-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--deadline-ms N] \
-     [--cache-capacity N] [--tiles N] [--pps N]"
+    "usage: fpfa-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--shards N] \
+     [--deadline-ms N] [--cache-capacity N] [--tiles N] [--pps N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -45,6 +47,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         addr: "127.0.0.1:9417".to_string(),
         workers: None,
         queue_depth: 64,
+        // 0 = auto-select (one I/O shard per available core, capped).
+        shards: 0,
         deadline_ms: 5000,
         cache_capacity: None,
         tiles: 1,
@@ -64,6 +68,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--queue-depth" => {
                 options.queue_depth = parse_positive(&value_of("--queue-depth")?, "--queue-depth")?;
+            }
+            "--shards" => {
+                options.shards = parse_positive(&value_of("--shards")?, "--shards")?;
             }
             "--deadline-ms" => {
                 // 0 is meaningful here: no deadline.
@@ -116,6 +123,7 @@ fn main() -> ExitCode {
 
     let mut config = ServerConfig {
         queue_depth: options.queue_depth,
+        shards: options.shards,
         default_deadline: Duration::from_millis(options.deadline_ms),
         ..ServerConfig::default()
     };
@@ -137,9 +145,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let shard_label = if options.shards == 0 {
+        "auto".to_string()
+    } else {
+        options.shards.to_string()
+    };
     println!(
-        "fpfa-serve: listening on {addr} ({} workers, queue depth {}, deadline {} ms)",
-        config.workers, config.queue_depth, options.deadline_ms
+        "fpfa-serve: listening on {addr} ({} workers, {} shard(s), queue depth {}, deadline {} ms)",
+        config.workers, shard_label, config.queue_depth, options.deadline_ms
     );
     // Scripts wait for the line above before starting clients.
     use std::io::Write as _;
@@ -165,6 +178,17 @@ fn main() -> ExitCode {
     );
     if let Some(rate) = stats.mapping_hit_rate() {
         println!("fpfa-serve: final cache hit ratio {rate:.3}");
+    }
+    println!(
+        "fpfa-serve: {} fast-path hit(s), {} version rejection(s), {} protocol error(s)",
+        stats.fast_hits, stats.rejected_version, stats.protocol_errors
+    );
+    for (index, shard) in stats.shards.iter().enumerate() {
+        println!(
+            "fpfa-serve: shard {index}: {} conn(s), {} queued, {} served, \
+             {} B in, {} B out",
+            shard.connections, shard.accepted, shard.served, shard.bytes_in, shard.bytes_out
+        );
     }
     ExitCode::SUCCESS
 }

@@ -5,28 +5,38 @@
 //! choreography as the CI `serve-smoke` job.
 
 use std::io::{BufRead, BufReader};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 
-#[test]
-fn daemon_serves_loadgen_and_drains_on_shutdown() {
+/// Spawns `fpfa-serve` on an OS-assigned port and returns the child plus
+/// the address it printed in its listen line.
+fn spawn_daemon(extra_args: &[&str]) -> (Child, String) {
     let mut daemon = Command::new(env!("CARGO_BIN_EXE_fpfa-serve"))
         .args(["--addr", "127.0.0.1:0", "--queue-depth", "64"])
+        .args(extra_args)
         .stdout(Stdio::piped())
         .spawn()
         .expect("spawn fpfa-serve");
     let daemon_stdout = daemon.stdout.take().expect("daemon stdout");
-    let mut daemon_lines = BufReader::new(daemon_stdout).lines();
-
-    let listen_line = daemon_lines
-        .next()
-        .expect("daemon prints a listen line")
-        .expect("readable stdout");
+    let mut reader = BufReader::new(daemon_stdout);
+    let mut listen_line = String::new();
+    reader
+        .read_line(&mut listen_line)
+        .expect("daemon prints a listen line");
     let addr = listen_line
         .split("listening on ")
         .nth(1)
         .and_then(|rest| rest.split_whitespace().next())
         .unwrap_or_else(|| panic!("unparseable listen line: {listen_line}"))
         .to_string();
+    // Nothing beyond the listen line is printed until the drain report, so
+    // handing the raw pipe back to the child loses no buffered output.
+    daemon.stdout = Some(reader.into_inner());
+    (daemon, addr)
+}
+
+#[test]
+fn daemon_serves_loadgen_and_drains_on_shutdown() {
+    let (mut daemon, addr) = spawn_daemon(&[]);
 
     let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
         .args([
@@ -54,10 +64,64 @@ fn daemon_serves_loadgen_and_drains_on_shutdown() {
     assert!(stdout.contains("daemon asked to shut down"), "{stdout}");
 
     // The daemon drains and exits zero, reporting its final counters.
-    let status = daemon.wait().expect("daemon exits");
-    assert!(status.success(), "daemon exited with {status:?}");
-    let rest: Vec<String> = daemon_lines.map_while(Result::ok).collect();
-    let tail = rest.join("\n");
+    let tail = drain_daemon(&mut daemon);
     assert!(tail.contains("drained and stopped"), "{tail}");
     assert!(tail.contains("cache hit ratio"), "{tail}");
+}
+
+/// Waits for the daemon to exit zero and returns the rest of its stdout.
+fn drain_daemon(daemon: &mut Child) -> String {
+    use std::io::Read as _;
+    let mut tail = String::new();
+    let mut stdout = daemon.stdout.take().expect("daemon stdout");
+    stdout.read_to_string(&mut tail).expect("readable stdout");
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exited with {status:?}\n{tail}");
+    tail
+}
+
+/// The open-loop pipelined mode against a real daemon: fixed-rate schedule,
+/// digest verification, simulate probes, and per-shard counters in the
+/// daemon's drain report.
+#[test]
+fn daemon_serves_open_loop_pipelined_traffic() {
+    let (mut daemon, addr) = spawn_daemon(&["--shards", "2"]);
+
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
+        .args([
+            "--addr",
+            &addr,
+            "--open-loop",
+            "--rate",
+            "500",
+            "--connections",
+            "8",
+            "--requests",
+            "40",
+            "--forbid-overload",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run fpfa-loadgen");
+    let stdout = String::from_utf8_lossy(&loadgen.stdout);
+    let stderr = String::from_utf8_lossy(&loadgen.stderr);
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("open loop @ 500 req/s target"), "{stdout}");
+    assert!(
+        stdout.contains("320 ok, 0 failed, 0 overloaded"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("coordinated-omission corrected"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("protocol errors 0"), "{stdout}");
+
+    let tail = drain_daemon(&mut daemon);
+    assert!(tail.contains("drained and stopped"), "{tail}");
+    assert!(tail.contains("shard 0:"), "{tail}");
+    assert!(tail.contains("shard 1:"), "{tail}");
 }
