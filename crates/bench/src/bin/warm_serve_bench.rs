@@ -1,0 +1,455 @@
+//! `warm_serve_bench` — machine-readable warm serving-path throughput.
+//!
+//! Spawns an in-process `fpfa-serve` daemon, warms it with one pass over
+//! the workload registry, then saturates it with a windowed, pipelined
+//! storm over many v2 connections driven by one event-driven thread — the
+//! steady state of a fleet front door, where every request repeats a kernel
+//! the daemon has already mapped.  Emits `BENCH_warm_serve.json`
+//! (schema `fpfa-warm-serve-bench/v1`): warm req/s, p50/p99 latency, and
+//! the L0 (pre-encoded frame) / L1 (shared in-memory cache) hit split.
+//!
+//! ```text
+//! cargo run --release -p fpfa-bench --bin warm_serve_bench            # JSON to stdout
+//! cargo run --release -p fpfa-bench --bin warm_serve_bench -- --out BENCH_warm_serve.json
+//! cargo run --release -p fpfa-bench --bin warm_serve_bench -- --check # CI floor gate
+//! ```
+//!
+//! With `FPFA_BENCH_QUICK` set (the CI bench-smoke mode), the per-connection
+//! request count drops to a smoke size.  `--check` exits non-zero when the
+//! warm throughput falls below the smoke floor, when any response fails or
+//! carries a digest that differs from warmup, or when the L0 tier did not
+//! dominate the warm answers — shared CI runners are too noisy to gate the
+//! full-speed budget, so the checked-in trajectory records the measured
+//! numbers and the gate enforces sanity plus a conservative floor.
+
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use fpfa_server::protocol::{decode_response_frame, read_frame, write_frame, FrameBuffer, Hello};
+use fpfa_server::sys::{Event, Interest, Poller};
+use fpfa_server::{Client, KernelSource, MapKnobs, Request, Response, Server, ServerConfig};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// The warm-throughput target of the checked-in trajectory (the acceptance
+/// budget on the reference 1-core container: >= 15% over the 52k req/s
+/// PR-7 baseline).
+const BUDGET_REQ_S: f64 = 60_000.0;
+/// The `--check` floor: shared CI runners are noisy, so the gate asserts a
+/// conservative fraction of the budget rather than the budget itself.
+const CHECK_FLOOR_REQ_S: f64 = 10_000.0;
+/// `--check` also requires the L0 tier to answer at least this share of
+/// the fast-path hits (the point of the pre-encoded tier is dominating the
+/// warm path).
+const CHECK_MIN_L0_SHARE: f64 = 0.8;
+
+/// Requests kept in flight per connection (pipelined window).
+const WINDOW: usize = 16;
+/// Read chunk for draining sockets.
+const READ_CHUNK: usize = 64 * 1024;
+
+struct Options {
+    out: Option<String>,
+    check: bool,
+    connections: usize,
+    requests: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: warm_serve_bench [--out PATH] [--check] [--connections N] [--requests N]"
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("FPFA_BENCH_QUICK").is_some()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        out: None,
+        check: false,
+        connections: 256,
+        requests: if quick_mode() { 40 } else { 400 },
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => options.out = Some(iter.next().ok_or("--out needs a path")?.clone()),
+            "--check" => options.check = true,
+            "--connections" => {
+                let value = iter.next().ok_or("--connections needs a value")?;
+                options.connections = value.parse().map_err(|_| "--connections needs a number")?;
+            }
+            "--requests" => {
+                let value = iter.next().ok_or("--requests needs a value")?;
+                options.requests = value.parse().map_err(|_| "--requests needs a number")?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    if options.connections == 0 || options.requests == 0 {
+        return Err("--connections/--requests need at least 1".to_string());
+    }
+    Ok(options)
+}
+
+struct BenchConn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    next_id: u64,
+    sent: usize,
+    /// id -> (kernel index, send instant).
+    pending: HashMap<u64, (usize, Instant)>,
+    want_write: bool,
+}
+
+struct Measured {
+    latencies_us: Vec<u64>,
+    wall: Duration,
+    failures: Vec<String>,
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn enqueue(conn: &mut BenchConn, kernel: usize, bodies: &[Vec<u8>]) {
+    let id = conn.next_id;
+    conn.next_id += 1;
+    let body = &bodies[kernel];
+    let len = (8 + body.len()) as u32;
+    conn.wbuf.extend_from_slice(&len.to_le_bytes());
+    conn.wbuf.extend_from_slice(&id.to_le_bytes());
+    conn.wbuf.extend_from_slice(body);
+    conn.pending.insert(id, (kernel, Instant::now()));
+    conn.sent += 1;
+}
+
+fn flush(conn: &mut BenchConn, token: usize, poller: &mut Poller) -> Result<(), String> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return Err("connection closed while writing".to_string()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("write: {e}")),
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.want_write {
+            conn.want_write = false;
+            poller
+                .reregister(conn.stream.as_raw_fd(), token, Interest::READ)
+                .map_err(|e| format!("reregister: {e}"))?;
+        }
+    } else if !conn.want_write {
+        conn.want_write = true;
+        poller
+            .reregister(conn.stream.as_raw_fd(), token, Interest::READ_WRITE)
+            .map_err(|e| format!("reregister: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The measured storm: `connections` pipelined v2 connections, each keeping
+/// [`WINDOW`] requests in flight until its quota is spent.
+fn run_storm(
+    addr: &str,
+    options: &Options,
+    bodies: &[Vec<u8>],
+    names: &[String],
+    digests: &HashMap<String, u64>,
+) -> Result<Measured, String> {
+    let mut poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+    let mut conns: Vec<BenchConn> = Vec::with_capacity(options.connections);
+    for token in 0..options.connections {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| format!("nodelay: {e}"))?;
+        write_frame(&mut stream, &Hello::current().encode())
+            .map_err(|e| format!("handshake write: {e}"))?;
+        let ack = read_frame(&mut stream)
+            .map_err(|e| format!("handshake read: {e}"))?
+            .ok_or_else(|| "server closed during the handshake".to_string())?;
+        match Response::decode(&ack) {
+            Ok(Response::Hello(_)) => {}
+            other => return Err(format!("unexpected handshake reply: {other:?}")),
+        }
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .map_err(|e| format!("register: {e}"))?;
+        conns.push(BenchConn {
+            stream,
+            rbuf: FrameBuffer::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            next_id: 0,
+            sent: 0,
+            pending: HashMap::new(),
+            want_write: false,
+        });
+    }
+
+    let total = options.connections * options.requests;
+    let started = Instant::now();
+    let hard_deadline = started + Duration::from_secs(120);
+    // Prime every connection's window; the kernel index strides over the
+    // registry so every connection exercises every kernel.
+    for (token, conn) in conns.iter_mut().enumerate() {
+        for slot in 0..WINDOW.min(options.requests) {
+            let kernel = (token + slot) % bodies.len();
+            enqueue(conn, kernel, bodies);
+        }
+        flush(conn, token, &mut poller)?;
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut failures: Vec<String> = Vec::new();
+    let mut done = 0usize;
+
+    while done < total {
+        if Instant::now() > hard_deadline {
+            failures.push(format!("{} response(s) never arrived", total - done));
+            break;
+        }
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .map_err(|e| format!("poll: {e}"))?;
+        for event in &events {
+            let token = event.token;
+            if event.writable {
+                flush(&mut conns[token], token, &mut poller)?;
+            }
+            if !event.readable {
+                continue;
+            }
+            loop {
+                match conns[token].stream.read(&mut scratch) {
+                    Ok(0) => return Err(format!("connection {token}: server closed")),
+                    Ok(n) => conns[token].rbuf.extend(&scratch[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(format!("connection {token}: read: {e}")),
+                }
+            }
+            let conn = &mut conns[token];
+            let mut refill = 0usize;
+            while let Some(frame) = conn
+                .rbuf
+                .next_frame()
+                .map_err(|e| format!("frame error: {e}"))?
+            {
+                let (id, response) =
+                    decode_response_frame(frame).map_err(|e| format!("protocol error: {e}"))?;
+                let Some((kernel, sent_at)) = conn.pending.remove(&id) else {
+                    failures.push(format!("connection {token}: unknown response id {id}"));
+                    continue;
+                };
+                done += 1;
+                match response {
+                    Response::Mapped(summary) => {
+                        latencies.push(sent_at.elapsed().as_micros() as u64);
+                        let name = &names[kernel];
+                        if digests.get(name) != Some(&summary.digest) {
+                            failures.push(format!(
+                                "`{name}`: digest {:#x} differs from warmup",
+                                summary.digest
+                            ));
+                        }
+                    }
+                    Response::Error(error) => {
+                        failures.push(format!("`{}`: {error}", names[kernel]))
+                    }
+                    _ => failures.push(format!("`{}`: unexpected response kind", names[kernel])),
+                }
+                if conn.sent < options.requests {
+                    let kernel = (token + conn.sent) % bodies.len();
+                    enqueue(conn, kernel, bodies);
+                    refill += 1;
+                }
+            }
+            if refill > 0 {
+                flush(&mut conns[token], token, &mut poller)?;
+            }
+        }
+    }
+    Ok(Measured {
+        latencies_us: latencies,
+        wall: started.elapsed(),
+        failures,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    options: &Options,
+    ok: usize,
+    throughput: f64,
+    p50: u64,
+    p99: u64,
+    max: u64,
+    l0_hits: u64,
+    l1_hits: u64,
+    l0_share: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"fpfa-warm-serve-bench/v1\",");
+    let _ = writeln!(out, "  \"budget_req_per_s\": {BUDGET_REQ_S},");
+    let _ = writeln!(out, "  \"connections\": {},", options.connections);
+    let _ = writeln!(out, "  \"requests_per_connection\": {},", options.requests);
+    let _ = writeln!(out, "  \"window\": {WINDOW},");
+    let _ = writeln!(out, "  \"ok\": {ok},");
+    let _ = writeln!(out, "  \"warm_req_per_s\": {throughput:.1},");
+    let _ = writeln!(
+        out,
+        "  \"latency_us\": {{ \"p50\": {p50}, \"p99\": {p99}, \"max\": {max} }},"
+    );
+    let _ = writeln!(
+        out,
+        "  \"hit_split\": {{ \"l0\": {l0_hits}, \"l1\": {l1_hits}, \"l0_share\": {l0_share:.4} }}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn run(options: &Options) -> Result<bool, String> {
+    let kernels = fpfa_workloads::registry();
+    let names: Vec<String> = kernels.iter().map(|k| k.name.clone()).collect();
+    let knobs = MapKnobs::default();
+    let bodies: Vec<Vec<u8>> = kernels
+        .iter()
+        .map(|kernel| {
+            Request::Map {
+                kernel: KernelSource::new(kernel.name.clone(), kernel.source.clone()),
+                knobs,
+            }
+            .encode()
+        })
+        .collect();
+
+    let service = MappingService::new(Mapper::new());
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), service)
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?
+        .to_string();
+    let handle = server.spawn().map_err(|e| format!("spawn: {e}"))?;
+
+    // Warmup: map the registry once (fills L1 via the worker path) and
+    // record the expected digests; a second pass seeds each shard's L0.
+    let mut warm = Client::connect(&addr).map_err(|e| format!("warmup connect: {e}"))?;
+    let mut digests: HashMap<String, u64> = HashMap::new();
+    for pass in 0..2 {
+        for kernel in &kernels {
+            let summary = warm
+                .map(&kernel.name, &kernel.source, knobs)
+                .map_err(|e| format!("warmup mapping of `{}` failed: {e}", kernel.name))?;
+            if pass == 0 {
+                digests.insert(kernel.name.clone(), summary.digest);
+            } else if digests.get(&kernel.name) != Some(&summary.digest) {
+                return Err(format!("`{}`: warm digest differs", kernel.name));
+            }
+        }
+    }
+    let baseline = handle.stats();
+
+    let mut measured = run_storm(&addr, options, &bodies, &names, &digests)?;
+    measured.latencies_us.sort_unstable();
+
+    // Stop the daemon and take the final counters through the same handle.
+    let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
+    control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    drop(control);
+    let stats = handle.join();
+
+    let ok = measured.latencies_us.len();
+    let throughput = ok as f64 / measured.wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&measured.latencies_us, 0.50);
+    let p99 = percentile(&measured.latencies_us, 0.99);
+    let max = measured.latencies_us.last().copied().unwrap_or(0);
+    // The split over the *measured* phase: the warmup's own hits are
+    // subtracted out via the pre-storm snapshot.
+    let l0_hits = stats.l0_hits.saturating_sub(baseline.l0_hits);
+    let fast_hits = stats.fast_hits.saturating_sub(baseline.fast_hits);
+    let l1_hits = fast_hits.saturating_sub(l0_hits);
+    let l0_share = if fast_hits > 0 {
+        l0_hits as f64 / fast_hits as f64
+    } else {
+        0.0
+    };
+
+    let json = render_json(
+        options, ok, throughput, p50, p99, max, l0_hits, l1_hits, l0_share,
+    );
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("warm_serve_bench: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "warm_serve_bench: {} conn(s) x {} req(s): {throughput:.0} req/s warm \
+         (p50 {p50} us, p99 {p99} us), L0/L1 split {l0_hits}/{l1_hits} \
+         ({:.1}% L0)",
+        options.connections,
+        options.requests,
+        l0_share * 100.0
+    );
+
+    for failure in measured.failures.iter().take(5) {
+        eprintln!("warm_serve_bench: failure: {failure}");
+    }
+    if !measured.failures.is_empty() {
+        return Err(format!("{} request(s) failed", measured.failures.len()));
+    }
+    Ok(throughput >= CHECK_FLOOR_REQ_S && l0_share >= CHECK_MIN_L0_SHARE)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(healthy) => {
+            if options.check && !healthy {
+                eprintln!(
+                    "warm_serve_bench: below the {CHECK_FLOOR_REQ_S:.0} req/s floor or the L0 \
+                     tier did not dominate (>= {CHECK_MIN_L0_SHARE:.0}% of fast-path hits)"
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("warm_serve_bench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

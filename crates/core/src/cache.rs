@@ -29,15 +29,14 @@
 
 use crate::cluster::ClusteredGraph;
 use crate::dfg::MappingGraph;
-use crate::flow::stages::{AllocatedKernel, SimplifiedKernel};
+use crate::flow::stages::SimplifiedKernel;
 use crate::flow::FlowToggles;
 use crate::multi::MultiTileMapping;
+use crate::persist::{DiskTier, PersistStats};
 use crate::pipeline::MappingResult;
 use crate::program::TileProgram;
 use crate::schedule::Schedule;
 use fpfa_arch::{ArrayConfig, TileConfig};
-use fpfa_cdfg::Cdfg;
-use fpfa_frontend::MemoryLayout;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
@@ -90,6 +89,12 @@ impl MappingKey {
 
     fn shard_hash(&self) -> u64 {
         self.source_hash ^ self.config.rotate_left(32)
+    }
+
+    /// The full source text (the disk tier stores it alongside the payload
+    /// so a hash collision can never alias two kernels on disk either).
+    pub(crate) fn source(&self) -> &str {
+        &self.source
     }
 }
 
@@ -144,6 +149,12 @@ impl PostTransformKey {
         self.detail.hash(&mut hasher);
         hasher.finish() ^ self.config
     }
+
+    /// The full structural detail string (stored on disk for exact
+    /// comparison, like [`MappingKey::source`]).
+    pub(crate) fn detail(&self) -> &str {
+        &self.detail
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -153,43 +164,34 @@ impl PostTransformKey {
 /// The post-transform share of a mapping: everything the extract, cluster,
 /// partition, schedule and allocate stages produced.  Reused wholesale when a
 /// structurally identical kernel arrives.
+///
+/// The artifacts are shared [`Arc`]s into the [`MappingResult`] they were
+/// captured from, so capturing and rehydrating are reference-count bumps —
+/// no mapping data is ever deep-cloned by the cache.
 #[derive(Clone, PartialEq, Debug)]
 pub struct PostTransformArtifacts {
     /// The extracted mapping IR.
-    pub graph: MappingGraph,
+    pub graph: Arc<MappingGraph>,
     /// The phase-1 clustering.
-    pub clustered: ClusteredGraph,
+    pub clustered: Arc<ClusteredGraph>,
     /// The phase-2 level schedule (tile 0's schedule for multi-tile flows).
-    pub schedule: Schedule,
+    pub schedule: Arc<Schedule>,
     /// The phase-3 tile program (tile 0's program for multi-tile flows).
-    pub program: TileProgram,
+    pub program: Arc<TileProgram>,
     /// The multi-tile mapping, when the flow targeted more than one tile.
-    pub multi: Option<MultiTileMapping>,
+    pub multi: Option<Arc<MultiTileMapping>>,
 }
 
 impl PostTransformArtifacts {
-    /// Captures the post-transform share of a finished flow run.
-    pub fn of(allocated: &AllocatedKernel) -> Self {
+    /// Captures the post-transform share of a finished mapping by sharing
+    /// its artifacts.
+    pub fn of(result: &MappingResult) -> Self {
         PostTransformArtifacts {
-            graph: allocated.graph.clone(),
-            clustered: allocated.clustered.clone(),
-            schedule: allocated.schedule.clone(),
-            program: allocated.program.clone(),
-            multi: allocated.multi.clone(),
-        }
-    }
-
-    /// Recombines the cached artifacts with a freshly simplified kernel into
-    /// the payload the allocate stage would have produced.
-    pub fn rehydrate(&self, simplified: Cdfg, layout: MemoryLayout) -> AllocatedKernel {
-        AllocatedKernel {
-            simplified,
-            layout,
-            graph: self.graph.clone(),
-            clustered: self.clustered.clone(),
-            schedule: self.schedule.clone(),
-            program: self.program.clone(),
-            multi: self.multi.clone(),
+            graph: Arc::clone(&result.mapping_graph),
+            clustered: Arc::clone(&result.clustered),
+            schedule: Arc::clone(&result.schedule),
+            program: Arc::clone(&result.program),
+            multi: result.multi.clone(),
         }
     }
 }
@@ -389,6 +391,10 @@ pub struct MappingCache {
     post_shards: Vec<Mutex<Shard<PostTransformKey, PostTransformArtifacts>>>,
     per_shard_capacity: usize,
     counters: Counters,
+    /// Optional persistent tier below the in-memory LRU: memory misses fall
+    /// through to it, every insert stores through to it, and disk hits are
+    /// promoted back into memory.  See [`crate::persist`].
+    disk: Option<Arc<DiskTier>>,
 }
 
 /// Default capacity per cache level, in entries.
@@ -405,7 +411,9 @@ impl MappingCache {
 
     /// Drops every resident entry (both levels) and zeroes the residency
     /// gauge, leaving the hit/miss/eviction counters untouched — the
-    /// server's cache-reset path.  Returns how many entries were dropped.
+    /// server's cache-reset path.  When a disk tier is attached it is
+    /// truncated too, so a reset really is cold: nothing can warm-hit from
+    /// disk afterwards.  Returns how many in-memory entries were dropped.
     pub fn clear(&self) -> usize {
         let mut removed = 0usize;
         for shard in &self.mapping_shards {
@@ -417,6 +425,9 @@ impl MappingCache {
         self.counters
             .entries
             .fetch_sub(removed as u64, Ordering::Relaxed);
+        if let Some(tier) = &self.disk {
+            tier.clear();
+        }
         removed
     }
 
@@ -451,13 +462,50 @@ impl MappingCache {
                 .collect(),
             per_shard_capacity: per_shard,
             counters: Counters::default(),
+            disk: None,
         }
     }
 
-    /// Looks up a full mapping by content key, refreshing its recency.
+    /// Attaches a persistent [`DiskTier`] below the in-memory LRU (builder
+    /// style, before the cache is shared).  Lookups that miss in memory fall
+    /// through to disk, inserts store through, and
+    /// [`clear`](Self::clear) truncates the disk tier too.
+    pub fn with_disk_tier(mut self, tier: Arc<DiskTier>) -> Self {
+        self.disk = Some(tier);
+        self
+    }
+
+    /// The attached persistent tier, if any.
+    pub fn disk_tier(&self) -> Option<&Arc<DiskTier>> {
+        self.disk.as_ref()
+    }
+
+    /// A snapshot of the persistent tier's counters (all zero when no disk
+    /// tier is attached).
+    pub fn persist_stats(&self) -> PersistStats {
+        self.disk
+            .as_ref()
+            .map(|tier| tier.stats())
+            .unwrap_or_default()
+    }
+
+    /// Looks up a full mapping by content key, refreshing its recency.  On a
+    /// memory miss the lookup falls through to the disk tier (when one is
+    /// attached); a disk hit is promoted back into memory and counts as a
+    /// mapping hit — the flow never re-runs for it.
     pub fn get_mapping(&self, key: &MappingKey) -> Option<Arc<MappingResult>> {
         let shard = &self.mapping_shards[key.shard_hash() as usize % self.mapping_shards.len()];
-        let found = lock_shard(shard).get(key);
+        let mut found = lock_shard(shard).get(key);
+        if found.is_none() {
+            if let Some(loaded) = self.disk.as_ref().and_then(|tier| tier.load_mapping(key)) {
+                let promoted = Arc::new(loaded);
+                // Promote into memory without storing back to disk (the
+                // record is already there).
+                let (fresh, evicted) = lock_shard(shard).insert(key.clone(), Arc::clone(&promoted));
+                self.note_insert(fresh, evicted);
+                found = Some(promoted);
+            }
+        }
         match &found {
             Some(_) => self.counters.mapping_hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.mapping_misses.fetch_add(1, Ordering::Relaxed),
@@ -505,21 +553,38 @@ impl MappingCache {
     }
 
     /// Stores an already shared full mapping under its content key, avoiding
-    /// a deep clone when the caller keeps the same [`Arc`].
+    /// a deep clone when the caller keeps the same [`Arc`].  Stores through
+    /// to the disk tier when one is attached.
     pub fn insert_mapping_arc(&self, key: MappingKey, result: Arc<MappingResult>) {
+        if let Some(tier) = &self.disk {
+            tier.store_mapping(&key, &result);
+        }
         let shard = &self.mapping_shards[key.shard_hash() as usize % self.mapping_shards.len()];
         let (fresh, evicted) = lock_shard(shard).insert(key, result);
         self.note_insert(fresh, evicted);
     }
 
     /// Looks up post-transform artifacts by structural key, refreshing their
-    /// recency.
+    /// recency.  Falls through to the disk tier like
+    /// [`get_mapping`](Self::get_mapping).
     pub fn get_post_transform(
         &self,
         key: &PostTransformKey,
     ) -> Option<Arc<PostTransformArtifacts>> {
         let shard = &self.post_shards[key.shard_hash() as usize % self.post_shards.len()];
-        let found = lock_shard(shard).get(key);
+        let mut found = lock_shard(shard).get(key);
+        if found.is_none() {
+            if let Some(loaded) = self
+                .disk
+                .as_ref()
+                .and_then(|tier| tier.load_post_transform(key))
+            {
+                let promoted = Arc::new(loaded);
+                let (fresh, evicted) = lock_shard(shard).insert(key.clone(), Arc::clone(&promoted));
+                self.note_insert(fresh, evicted);
+                found = Some(promoted);
+            }
+        }
         match &found {
             Some(_) => self.counters.post_hits.fetch_add(1, Ordering::Relaxed),
             None => self.counters.post_misses.fetch_add(1, Ordering::Relaxed),
@@ -527,8 +592,12 @@ impl MappingCache {
         found
     }
 
-    /// Stores post-transform artifacts under their structural key.
+    /// Stores post-transform artifacts under their structural key, storing
+    /// through to the disk tier when one is attached.
     pub fn insert_post_transform(&self, key: PostTransformKey, artifacts: PostTransformArtifacts) {
+        if let Some(tier) = &self.disk {
+            tier.store_post_transform(&key, &artifacts);
+        }
         let shard = &self.post_shards[key.shard_hash() as usize % self.post_shards.len()];
         let (fresh, evicted) = lock_shard(shard).insert(key, Arc::new(artifacts));
         self.note_insert(fresh, evicted);
@@ -687,6 +756,42 @@ mod tests {
         assert_eq!(cache.stats().entries, 2);
         assert_eq!(cache.clear(), 2);
         assert_eq!(cache.clear(), 0);
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("fpfa-cache-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mapper = crate::pipeline::Mapper::new();
+        let source = "void main() { int a[4]; int r; r = a[0] * a[1] + a[2] * a[3]; }";
+        let cold = {
+            let tier = Arc::new(DiskTier::open(&dir).unwrap());
+            let cache = MappingCache::with_capacity(8).with_disk_tier(tier);
+            let result = mapper.map_source_cached(source, &cache).unwrap();
+            assert_eq!(result.report.cache, CacheOutcome::Miss);
+            // The miss stored through: one mapping + one post-transform record.
+            assert_eq!(cache.persist_stats().stores, 2);
+            result
+        };
+        // A brand-new process (fresh cache over the same directory) answers
+        // the same request from disk without running any flow stage.
+        let tier = Arc::new(DiskTier::open(&dir).unwrap());
+        let cache = MappingCache::with_capacity(8).with_disk_tier(tier);
+        assert_eq!(cache.persist_stats().warm_start_entries, 2);
+        let warm = mapper.map_source_cached(source, &cache).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::MappingHit);
+        assert_eq!(warm.program, cold.program);
+        assert_eq!(warm.layout, cold.layout);
+        assert_eq!(cache.persist_stats().loads, 1);
+        // The promoted entry now lives in memory: the next lookup does not
+        // touch disk again.
+        mapper.map_source_cached(source, &cache).unwrap();
+        assert_eq!(cache.persist_stats().loads, 1);
+        // clear() truncates the disk tier too: cold again everywhere.
+        cache.clear();
+        let reset = mapper.map_source_cached(source, &cache).unwrap();
+        assert_eq!(reset.report.cache, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

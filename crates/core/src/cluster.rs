@@ -89,6 +89,39 @@ pub struct ClusteredGraph {
 }
 
 impl ClusteredGraph {
+    /// Rebuilds a clustered graph from its serialized parts (the binary
+    /// codec's decode path).  `deps` and `succs` are stored verbatim so edge
+    /// ordering survives the roundtrip; the op→cluster owner map is derived
+    /// from the cluster contents.
+    pub(crate) fn from_parts(
+        clusters: Vec<Cluster>,
+        deps: Vec<Vec<ClusterId>>,
+        succs: Vec<Vec<ClusterId>>,
+    ) -> Self {
+        let owner = clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(i, cluster)| cluster.ops.iter().map(move |&op| (op, ClusterId(i as u32))))
+            .collect();
+        ClusteredGraph {
+            clusters,
+            deps,
+            succs,
+            owner,
+        }
+    }
+
+    /// Dependence edges of every cluster, indexed by cluster id (the binary
+    /// codec's encode path).
+    pub(crate) fn deps(&self) -> &[Vec<ClusterId>] {
+        &self.deps
+    }
+
+    /// Successor edges of every cluster, indexed by cluster id.
+    pub(crate) fn succs(&self) -> &[Vec<ClusterId>] {
+        &self.succs
+    }
+
     /// Builds a synthetic cluster graph from explicit dependence edges.
     ///
     /// Cluster `i` (for `i < count`) contains the placeholder operation

@@ -142,6 +142,29 @@ pub struct MappingGraph {
 }
 
 impl MappingGraph {
+    /// Rebuilds a graph from its serialized parts, recomputing the derived
+    /// consumer index (the binary codec's decode path).
+    pub(crate) fn from_parts(
+        name: String,
+        scalar_inputs: Vec<String>,
+        ops: Vec<MapOp>,
+        mem_writes: Vec<MemWrite>,
+        scalar_outputs: Vec<(String, ValueRef)>,
+        mem_reads: Vec<i64>,
+    ) -> Self {
+        let mut graph = MappingGraph {
+            name,
+            scalar_inputs,
+            ops,
+            mem_writes,
+            scalar_outputs,
+            mem_reads,
+            consumer_index: Vec::new(),
+        };
+        graph.build_consumer_index();
+        graph
+    }
+
     /// Number of ALU operations.
     pub fn op_count(&self) -> usize {
         self.ops.len()

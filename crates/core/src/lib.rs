@@ -59,11 +59,13 @@ pub mod allocate;
 pub mod baseline;
 pub mod cache;
 pub mod cluster;
+pub mod codec;
 pub mod dfg;
 pub mod error;
 pub mod flow;
 pub mod multi;
 pub mod partition;
+pub mod persist;
 pub mod pipeline;
 pub mod program;
 pub mod report;

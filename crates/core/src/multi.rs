@@ -47,6 +47,15 @@ pub struct MultiSchedule {
 }
 
 impl MultiSchedule {
+    /// Rebuilds a multi-schedule from its serialized parts (the binary
+    /// codec's decode path).
+    pub(crate) fn from_parts(per_tile: Vec<Schedule>, level_count: usize) -> Self {
+        MultiSchedule {
+            per_tile,
+            level_count,
+        }
+    }
+
     /// Wraps a single-tile schedule as a one-tile multi-schedule.
     pub fn from_single(schedule: Schedule) -> Self {
         let level_count = schedule.level_count();

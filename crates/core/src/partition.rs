@@ -48,6 +48,18 @@ pub struct TileAssignment {
 }
 
 impl TileAssignment {
+    /// Rebuilds an assignment from its serialized parts (the binary codec's
+    /// decode path).
+    pub(crate) fn from_parts(tiles: Vec<TileId>, num_tiles: usize) -> Self {
+        TileAssignment { tiles, num_tiles }
+    }
+
+    /// The per-cluster tile assignments, indexed by cluster id (the binary
+    /// codec's encode path).
+    pub(crate) fn tiles(&self) -> &[TileId] {
+        &self.tiles
+    }
+
     /// The trivial assignment placing every cluster on tile 0.
     pub fn single_tile(cluster_count: usize) -> Self {
         TileAssignment {

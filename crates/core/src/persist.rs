@@ -1,0 +1,773 @@
+//! The on-disk tier of the mapping cache.
+//!
+//! A [`DiskTier`] persists finished mappings (and post-transform artifacts)
+//! in append-only *segment files* under a cache directory, so a restarted
+//! service answers previously mapped kernels without re-running any flow
+//! stage.  It sits **below** the in-memory LRU: the memory tier is probed
+//! first, the disk tier only on a memory miss (the cold path), and every
+//! disk hit is promoted back into memory.
+//!
+//! # On-disk format
+//!
+//! A segment file is the 8-byte magic `FPFASEG1` followed by records:
+//!
+//! ```text
+//! [payload_len: u32 LE][fnv1a64(payload): u64 LE][payload]
+//! payload = [tag: u8][config: u64 LE][key_len: u32 LE][key bytes][value bytes]
+//! ```
+//!
+//! `tag` is 1 for a full mapping, 2 for post-transform artifacts; `key` is
+//! the full source text (tag 1) or structural detail string (tag 2), stored
+//! verbatim so hash collisions can never alias kernels; `value` is a
+//! [`crate::codec`] payload.  Records for the same key supersede earlier
+//! ones (append-only updates); superseded bytes are *dead* and reclaimed by
+//! compaction once they outweigh the live bytes.
+//!
+//! # Corruption policy
+//!
+//! Every record is digest-checked on scan **and** again on load; the value
+//! payload is additionally validated by the versioned codec.  Any mismatch
+//! — bit flip, truncated tail, unknown version — makes that record a
+//! **typed miss** (counted in [`PersistStats::corrupt_skipped`]): the caller
+//! falls through to a cold mapping, and corrupt bytes are never served.
+//! Nothing in this module panics on malformed input.
+
+use crate::cache::{MappingKey, PostTransformArtifacts, PostTransformKey};
+use crate::codec;
+use crate::pipeline::MappingResult;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic prefix of every segment file.
+const SEGMENT_MAGIC: &[u8; 8] = b"FPFASEG1";
+/// Record tag: a full mapping result.
+const TAG_MAPPING: u8 = 1;
+/// Record tag: post-transform artifacts.
+const TAG_POST: u8 = 2;
+/// Frame header size: payload length (u32) + payload digest (u64).
+const FRAME_HEADER: u64 = 12;
+/// Compaction floor: never compact below this many dead bytes.
+const COMPACT_MIN_DEAD: u64 = 1 << 20;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.fpfa"))
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// A point-in-time snapshot of the disk tier's counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PersistStats {
+    /// Records successfully loaded (and decoded) from disk.
+    pub loads: u64,
+    /// Records appended to disk.
+    pub stores: u64,
+    /// Records skipped because their bytes failed a digest, framing or
+    /// codec check — each one became a typed miss, never a wrong answer.
+    pub corrupt_skipped: u64,
+    /// Entries indexed by the warm-start scan when the tier was opened.
+    pub warm_start_entries: u64,
+    /// Segment compactions performed.
+    pub compactions: u64,
+}
+
+#[derive(Debug, Default)]
+struct PersistCounters {
+    loads: AtomicU64,
+    stores: AtomicU64,
+    corrupt_skipped: AtomicU64,
+    warm_start_entries: AtomicU64,
+    compactions: AtomicU64,
+}
+
+// ---------------------------------------------------------------------------
+// Index
+// ---------------------------------------------------------------------------
+
+/// Index key: record tag, config fingerprint and the FNV of the key string.
+/// Collisions are tolerated — the key string stored in the record is
+/// compared verbatim on load, so a collision is a miss, never an alias.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct RecordKey {
+    tag: u8,
+    config: u64,
+    key_hash: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RecordLoc {
+    seg: u64,
+    /// Offset of the frame header within the segment.
+    offset: u64,
+    /// Payload length (excluding the frame header).
+    payload_len: u32,
+}
+
+impl RecordLoc {
+    fn frame_len(&self) -> u64 {
+        FRAME_HEADER + u64::from(self.payload_len)
+    }
+}
+
+#[derive(Debug)]
+struct TierInner {
+    index: HashMap<RecordKey, RecordLoc>,
+    /// Open segments by id; the highest id is the append target.
+    segments: HashMap<u64, File>,
+    active: u64,
+    active_len: u64,
+    live_bytes: u64,
+    dead_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The tier
+// ---------------------------------------------------------------------------
+
+/// The persistent, content-addressed cache tier.  All methods take `&self`;
+/// the segment files and index live behind one mutex, which only the cold
+/// path (memory-tier misses and inserts) ever touches.
+#[derive(Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    inner: Mutex<TierInner>,
+    counters: PersistCounters,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a cache directory and warm-starts from any
+    /// segment files already present: every record is digest-checked and
+    /// indexed; corrupt or truncated records are skipped and counted.
+    ///
+    /// # Errors
+    /// Only on I/O errors creating or listing the directory — corrupt
+    /// segment *contents* never fail the open.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskTier> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let counters = PersistCounters::default();
+        let mut seg_ids: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|rest| rest.strip_suffix(".fpfa"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                seg_ids.push(id);
+            }
+        }
+        seg_ids.sort_unstable();
+
+        let mut inner = TierInner {
+            index: HashMap::new(),
+            segments: HashMap::new(),
+            active: 0,
+            active_len: 0,
+            live_bytes: 0,
+            dead_bytes: 0,
+        };
+        for id in seg_ids {
+            let path = segment_path(&dir, id);
+            let mut file = match OpenOptions::new().read(true).append(true).open(&path) {
+                Ok(file) => file,
+                Err(_) => {
+                    counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let scanned_len = scan_segment(&mut file, id, &mut inner, &counters);
+            // Chop any torn tail so appends resume exactly where the valid
+            // records end (the file is opened in append mode, which always
+            // writes at EOF).
+            if file
+                .metadata()
+                .map(|m| m.len() > scanned_len)
+                .unwrap_or(false)
+            {
+                let _ = file.set_len(scanned_len);
+            }
+            inner.segments.insert(id, file);
+            inner.active = id;
+            inner.active_len = scanned_len;
+        }
+        if inner.segments.is_empty() {
+            new_segment(&dir, &mut inner, 0)?;
+        }
+        counters
+            .warm_start_entries
+            .store(inner.index.len() as u64, Ordering::Relaxed);
+        Ok(DiskTier {
+            dir,
+            inner: Mutex::new(inner),
+            counters,
+        })
+    }
+
+    /// The cache directory this tier persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of entries currently indexed (loadable without re-mapping).
+    pub fn entry_count(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// A snapshot of the tier's counters.
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            loads: self.counters.loads.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            corrupt_skipped: self.counters.corrupt_skipped.load(Ordering::Relaxed),
+            warm_start_entries: self.counters.warm_start_entries.load(Ordering::Relaxed),
+            compactions: self.counters.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads a full mapping by content key.  Any corruption along the way is
+    /// a counted miss.
+    pub fn load_mapping(&self, key: &MappingKey) -> Option<MappingResult> {
+        let value = self.load_value(TAG_MAPPING, key.config, key.source())?;
+        match codec::decode_mapping_result(&value) {
+            Ok(result) => {
+                self.counters.loads.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
+            Err(_) => {
+                self.discard_corrupt(TAG_MAPPING, key.config, key.source());
+                None
+            }
+        }
+    }
+
+    /// Stores a full mapping under its content key (best effort: an I/O
+    /// error leaves the tier consistent and the entry simply unpersisted).
+    pub fn store_mapping(&self, key: &MappingKey, result: &MappingResult) {
+        let value = codec::encode_mapping_result(result);
+        self.store_value(TAG_MAPPING, key.config, key.source(), &value);
+    }
+
+    /// Loads post-transform artifacts by structural key.
+    pub fn load_post_transform(&self, key: &PostTransformKey) -> Option<PostTransformArtifacts> {
+        let value = self.load_value(TAG_POST, key.config, key.detail())?;
+        match codec::decode_post_transform(&value) {
+            Ok(artifacts) => {
+                self.counters.loads.fetch_add(1, Ordering::Relaxed);
+                Some(artifacts)
+            }
+            Err(_) => {
+                self.discard_corrupt(TAG_POST, key.config, key.detail());
+                None
+            }
+        }
+    }
+
+    /// Stores post-transform artifacts under their structural key.
+    pub fn store_post_transform(&self, key: &PostTransformKey, artifacts: &PostTransformArtifacts) {
+        let value = codec::encode_post_transform(artifacts);
+        self.store_value(TAG_POST, key.config, key.detail(), &value);
+    }
+
+    /// Drops every persisted entry: deletes all segment files and starts a
+    /// fresh one.  The server's cache-reset path calls this so a reset
+    /// daemon is cold on disk too, not just in memory.  Returns how many
+    /// entries were dropped.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.lock();
+        let removed = inner.index.len();
+        let next = inner.active + 1;
+        let ids: Vec<u64> = inner.segments.keys().copied().collect();
+        for id in ids {
+            let _ = fs::remove_file(segment_path(&self.dir, id));
+        }
+        inner.segments.clear();
+        inner.index.clear();
+        inner.live_bytes = 0;
+        inner.dead_bytes = 0;
+        let _ = new_segment(&self.dir, &mut inner, next);
+        removed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TierInner> {
+        // Same poison policy as the memory shards: a panic mid-operation can
+        // at worst lose one record, never tear the index structures we
+        // re-derive from disk anyway.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Reads and digest-verifies the raw value bytes for a key, comparing
+    /// the stored key string verbatim.  Returns `None` (counting corruption
+    /// where applicable) on any mismatch.
+    fn load_value(&self, tag: u8, config: u64, key_str: &str) -> Option<Vec<u8>> {
+        let record_key = RecordKey {
+            tag,
+            config,
+            key_hash: fnv1a64(key_str.as_bytes()),
+        };
+        let mut inner = self.lock();
+        let loc = *inner.index.get(&record_key)?;
+        let payload = match read_payload(&mut inner, loc) {
+            Ok(payload) => payload,
+            Err(_) => {
+                // Unreadable or digest-mismatched on a re-read: drop the
+                // entry so we stop probing it.
+                drop_entry(&mut inner, record_key, loc);
+                self.counters
+                    .corrupt_skipped
+                    .fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match split_payload(&payload) {
+            Some((ptag, pconfig, pkey, value))
+                if ptag == tag && pconfig == config && pkey == key_str.as_bytes() =>
+            {
+                Some(value.to_vec())
+            }
+            Some(_) => None, // FNV collision with a different key: a plain miss.
+            None => {
+                drop_entry(&mut inner, record_key, loc);
+                self.counters
+                    .corrupt_skipped
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Removes an entry whose *value* failed codec validation.
+    fn discard_corrupt(&self, tag: u8, config: u64, key_str: &str) {
+        let record_key = RecordKey {
+            tag,
+            config,
+            key_hash: fnv1a64(key_str.as_bytes()),
+        };
+        let mut inner = self.lock();
+        if let Some(loc) = inner.index.get(&record_key).copied() {
+            drop_entry(&mut inner, record_key, loc);
+        }
+        self.counters
+            .corrupt_skipped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn store_value(&self, tag: u8, config: u64, key_str: &str, value: &[u8]) {
+        let mut payload = Vec::with_capacity(1 + 8 + 4 + key_str.len() + value.len());
+        payload.push(tag);
+        payload.extend_from_slice(&config.to_le_bytes());
+        payload.extend_from_slice(&(key_str.len() as u32).to_le_bytes());
+        payload.extend_from_slice(key_str.as_bytes());
+        payload.extend_from_slice(value);
+        let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let record_key = RecordKey {
+            tag,
+            config,
+            key_hash: fnv1a64(key_str.as_bytes()),
+        };
+        let mut inner = self.lock();
+        let active = inner.active;
+        let offset = inner.active_len;
+        {
+            let Some(file) = inner.segments.get_mut(&active) else {
+                return;
+            };
+            if file.write_all(&frame).is_err() {
+                // A torn tail is indistinguishable from a crash mid-append;
+                // the warm-start scan already handles it.  Leave the index
+                // unchanged so we never point at a half-written record.
+                return;
+            }
+        }
+        let loc = RecordLoc {
+            seg: active,
+            offset,
+            payload_len: payload.len() as u32,
+        };
+        inner.active_len += loc.frame_len();
+        inner.live_bytes += loc.frame_len();
+        if let Some(old) = inner.index.insert(record_key, loc) {
+            inner.live_bytes = inner.live_bytes.saturating_sub(old.frame_len());
+            inner.dead_bytes += old.frame_len();
+        }
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        if inner.dead_bytes >= COMPACT_MIN_DEAD && inner.dead_bytes > inner.live_bytes {
+            self.compact(&mut inner);
+        }
+    }
+
+    /// Rewrites every live record into a fresh segment and deletes the old
+    /// files, reclaiming the dead bytes of superseded records.
+    fn compact(&self, inner: &mut TierInner) {
+        let next = inner.active + 1;
+        let entries: Vec<(RecordKey, RecordLoc)> =
+            inner.index.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut payloads = Vec::with_capacity(entries.len());
+        for (key, loc) in entries {
+            match read_payload(inner, loc) {
+                Ok(payload) => payloads.push((key, payload)),
+                Err(_) => {
+                    self.counters
+                        .corrupt_skipped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let old_ids: Vec<u64> = inner.segments.keys().copied().collect();
+        let mut fresh = TierInner {
+            index: HashMap::new(),
+            segments: HashMap::new(),
+            active: next,
+            active_len: 0,
+            live_bytes: 0,
+            dead_bytes: 0,
+        };
+        if new_segment(&self.dir, &mut fresh, next).is_err() {
+            return; // Keep serving from the uncompacted segments.
+        }
+        {
+            let file = fresh.segments.get_mut(&next).expect("fresh segment");
+            for (key, payload) in &payloads {
+                let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+                frame.extend_from_slice(payload);
+                if file.write_all(&frame).is_err() {
+                    return; // Old segments stay authoritative.
+                }
+                let loc = RecordLoc {
+                    seg: next,
+                    offset: fresh.active_len,
+                    payload_len: payload.len() as u32,
+                };
+                fresh.active_len += loc.frame_len();
+                fresh.live_bytes += loc.frame_len();
+                fresh.index.insert(*key, loc);
+            }
+        }
+        *inner = fresh;
+        for id in old_ids {
+            let _ = fs::remove_file(segment_path(&self.dir, id));
+        }
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Accounts a superseded or discarded record as dead bytes.
+fn drop_entry(inner: &mut TierInner, key: RecordKey, loc: RecordLoc) {
+    if inner.index.remove(&key).is_some() {
+        inner.live_bytes = inner.live_bytes.saturating_sub(loc.frame_len());
+        inner.dead_bytes += loc.frame_len();
+    }
+}
+
+/// Creates segment file `id`, writes the magic and registers it as the
+/// append target.
+fn new_segment(dir: &Path, inner: &mut TierInner, id: u64) -> std::io::Result<()> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .append(true)
+        .create_new(true)
+        .open(segment_path(dir, id))?;
+    file.write_all(SEGMENT_MAGIC)?;
+    inner.segments.insert(id, file);
+    inner.active = id;
+    inner.active_len = SEGMENT_MAGIC.len() as u64;
+    Ok(())
+}
+
+/// Reads one record's payload and verifies its digest.
+fn read_payload(inner: &mut TierInner, loc: RecordLoc) -> std::io::Result<Vec<u8>> {
+    use std::io::{Error, ErrorKind};
+    let file = inner
+        .segments
+        .get_mut(&loc.seg)
+        .ok_or_else(|| Error::new(ErrorKind::NotFound, "segment closed"))?;
+    file.seek(SeekFrom::Start(loc.offset))?;
+    let mut header = [0u8; FRAME_HEADER as usize];
+    file.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice"));
+    let digest = u64::from_le_bytes(header[4..12].try_into().expect("8-byte slice"));
+    if len != loc.payload_len {
+        return Err(Error::new(ErrorKind::InvalidData, "frame length mismatch"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    file.read_exact(&mut payload)?;
+    if fnv1a64(&payload) != digest {
+        return Err(Error::new(ErrorKind::InvalidData, "digest mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Splits a verified payload into `(tag, config, key bytes, value bytes)`.
+fn split_payload(payload: &[u8]) -> Option<(u8, u64, &[u8], &[u8])> {
+    let (&tag, rest) = payload.split_first()?;
+    if rest.len() < 12 {
+        return None;
+    }
+    let (config_bytes, rest) = rest.split_at(8);
+    let config = u64::from_le_bytes(config_bytes.try_into().expect("8-byte slice"));
+    let (len_bytes, rest) = rest.split_at(4);
+    let key_len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+    if rest.len() < key_len {
+        return None;
+    }
+    let (key, value) = rest.split_at(key_len);
+    Some((tag, config, key, value))
+}
+
+/// Scans one segment at warm start: digest-checks every record, indexes the
+/// valid ones (later records supersede earlier ones) and counts corruption.
+/// Returns the number of bytes consumed (the resume offset for appends).
+fn scan_segment(
+    file: &mut File,
+    seg_id: u64,
+    inner: &mut TierInner,
+    counters: &PersistCounters,
+) -> u64 {
+    let mut bytes = Vec::new();
+    if file.seek(SeekFrom::Start(0)).is_err() || file.read_to_end(&mut bytes).is_err() {
+        counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+        return bytes.len() as u64;
+    }
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+        return bytes.len() as u64;
+    }
+    let mut offset = SEGMENT_MAGIC.len();
+    while offset < bytes.len() {
+        let Some(header) = bytes.get(offset..offset + FRAME_HEADER as usize) else {
+            // Torn frame header: a crash mid-append.  The tail is dead.
+            counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            break;
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4-byte slice")) as usize;
+        let digest = u64::from_le_bytes(header[4..12].try_into().expect("8-byte slice"));
+        let start = offset + FRAME_HEADER as usize;
+        let Some(payload) = bytes.get(start..start + len) else {
+            // Truncated payload — and a corrupt length field looks the same,
+            // so framing beyond this point is unreliable: stop the segment.
+            counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            break;
+        };
+        let frame_len = FRAME_HEADER + len as u64;
+        if fnv1a64(payload) != digest {
+            // The payload is bad but the framing held: skip just this
+            // record and keep scanning.
+            counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+        } else if let Some((tag, config, key, _value)) = split_payload(payload) {
+            let record_key = RecordKey {
+                tag,
+                config,
+                key_hash: fnv1a64(key),
+            };
+            let loc = RecordLoc {
+                seg: seg_id,
+                offset: offset as u64,
+                payload_len: len as u32,
+            };
+            inner.live_bytes += frame_len;
+            if let Some(old) = inner.index.insert(record_key, loc) {
+                inner.live_bytes = inner.live_bytes.saturating_sub(old.frame_len());
+                inner.dead_bytes += old.frame_len();
+            }
+        } else {
+            counters.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+        }
+        offset += frame_len as usize;
+    }
+    offset as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::config_fingerprint;
+    use crate::flow::FlowToggles;
+    use crate::pipeline::Mapper;
+    use fpfa_arch::{ArrayConfig, TileConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fpfa-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fingerprint() -> u64 {
+        config_fingerprint(
+            &TileConfig::paper(),
+            &ArrayConfig::single_tile(),
+            &FlowToggles::default(),
+        )
+    }
+
+    const SRC: &str = "void main() { int a[3]; int r; r = a[0] + a[1] * a[2]; }";
+
+    #[test]
+    fn store_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let result = Mapper::new().map_source(SRC).unwrap();
+        let key = MappingKey::new(SRC, fingerprint());
+        {
+            let tier = DiskTier::open(&dir).unwrap();
+            assert_eq!(tier.stats().warm_start_entries, 0);
+            tier.store_mapping(&key, &result);
+            assert_eq!(tier.stats().stores, 1);
+            assert_eq!(tier.load_mapping(&key).unwrap().program, result.program);
+        }
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.stats().warm_start_entries, 1);
+        assert_eq!(tier.entry_count(), 1);
+        let loaded = tier.load_mapping(&key).unwrap();
+        assert_eq!(loaded.program, result.program);
+        assert_eq!(loaded.report, result.report);
+        assert_eq!(tier.stats().loads, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_truncates_the_tier() {
+        let dir = temp_dir("clear");
+        let result = Mapper::new().map_source(SRC).unwrap();
+        let key = MappingKey::new(SRC, fingerprint());
+        let tier = DiskTier::open(&dir).unwrap();
+        tier.store_mapping(&key, &result);
+        assert_eq!(tier.clear(), 1);
+        assert_eq!(tier.entry_count(), 0);
+        assert!(tier.load_mapping(&key).is_none());
+        // A reopened tier is empty too.
+        drop(tier);
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.stats().warm_start_entries, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_records_are_typed_misses() {
+        let dir = temp_dir("corrupt");
+        let result = Mapper::new().map_source(SRC).unwrap();
+        let key = MappingKey::new(SRC, fingerprint());
+        let seg_path;
+        {
+            let tier = DiskTier::open(&dir).unwrap();
+            tier.store_mapping(&key, &result);
+            seg_path = segment_path(tier.dir(), tier.lock().active);
+        }
+        // Flip a byte in the middle of the stored record.
+        let mut bytes = fs::read(&seg_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg_path, &bytes).unwrap();
+
+        let tier = DiskTier::open(&dir).unwrap();
+        // The warm-start scan already rejects the record.
+        assert_eq!(tier.stats().warm_start_entries, 0);
+        assert!(tier.stats().corrupt_skipped >= 1);
+        assert!(tier.load_mapping(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_earlier_records() {
+        let dir = temp_dir("truncate");
+        let result = Mapper::new().map_source(SRC).unwrap();
+        let key = MappingKey::new(SRC, fingerprint());
+        let other = "void main() { int b[2]; int r; r = b[0] - b[1]; }";
+        let other_result = Mapper::new().map_source(other).unwrap();
+        let other_key = MappingKey::new(other, fingerprint());
+        let seg_path;
+        {
+            let tier = DiskTier::open(&dir).unwrap();
+            tier.store_mapping(&key, &result);
+            tier.store_mapping(&other_key, &other_result);
+            seg_path = segment_path(tier.dir(), tier.lock().active);
+        }
+        // Chop bytes off the tail, tearing the second record.
+        let bytes = fs::read(&seg_path).unwrap();
+        fs::write(&seg_path, &bytes[..bytes.len() - 40]).unwrap();
+
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.stats().warm_start_entries, 1);
+        assert!(tier.stats().corrupt_skipped >= 1);
+        assert!(tier.load_mapping(&key).is_some());
+        assert!(tier.load_mapping(&other_key).is_none());
+        // The tier keeps accepting stores after recovering a torn tail.
+        tier.store_mapping(&other_key, &other_result);
+        assert_eq!(
+            tier.load_mapping(&other_key).unwrap().program,
+            other_result.program
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn superseding_stores_trigger_compaction() {
+        let dir = temp_dir("compact");
+        let result = Mapper::new().map_source(SRC).unwrap();
+        let key = MappingKey::new(SRC, fingerprint());
+        let tier = DiskTier::open(&dir).unwrap();
+        let record_bytes = {
+            tier.store_mapping(&key, &result);
+            tier.lock().live_bytes
+        };
+        // Re-store the same key until the dead bytes pass the floor.
+        let rewrites = (COMPACT_MIN_DEAD / record_bytes.max(1)) + 2;
+        for _ in 0..rewrites {
+            tier.store_mapping(&key, &result);
+        }
+        let stats = tier.stats();
+        assert!(
+            stats.compactions >= 1,
+            "no compaction after {rewrites} rewrites"
+        );
+        assert!(tier.lock().dead_bytes < COMPACT_MIN_DEAD);
+        // The survivor is intact, on disk and in the reopened index.
+        assert_eq!(tier.load_mapping(&key).unwrap().program, result.program);
+        drop(tier);
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.stats().warm_start_entries, 1);
+        assert_eq!(tier.load_mapping(&key).unwrap().program, result.program);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn post_transform_roundtrips_through_disk() {
+        let dir = temp_dir("post");
+        let result = Mapper::new().map_source(SRC).unwrap();
+        let artifacts = PostTransformArtifacts::of(&result);
+        // Rebuild the structural key from the finished mapping's simplified
+        // CDFG and layout, exactly as the cached flow derives it.
+        let simplified = crate::flow::stages::SimplifiedKernel {
+            simplified: (*result.simplified).clone(),
+            layout: result.layout.clone(),
+        };
+        let key = PostTransformKey::new(&simplified, fingerprint());
+        let tier = DiskTier::open(&dir).unwrap();
+        tier.store_post_transform(&key, &artifacts);
+        let loaded = tier.load_post_transform(&key).unwrap();
+        assert_eq!(loaded, artifacts);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -28,22 +28,28 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything produced by one mapping run.
+///
+/// The heavy artifacts (graphs, schedule, programs) are held behind [`Arc`]s
+/// so cache hits and [`PostTransformArtifacts`] captures are reference-count
+/// bumps, never deep clones; callers that need to mutate an artifact clone
+/// the inner value explicitly (clone-on-write).  The per-run pieces (report,
+/// layout, trace) stay owned.
 #[derive(Clone, PartialEq, Debug)]
 pub struct MappingResult {
     /// The CDFG after the transformation pipeline.
-    pub simplified: Cdfg,
+    pub simplified: Arc<Cdfg>,
     /// The extracted mapping IR.
-    pub mapping_graph: MappingGraph,
+    pub mapping_graph: Arc<MappingGraph>,
     /// The clustering of phase 1.
-    pub clustered: ClusteredGraph,
+    pub clustered: Arc<ClusteredGraph>,
     /// The level schedule of phase 2.
-    pub schedule: Schedule,
+    pub schedule: Arc<Schedule>,
     /// The allocated tile program of phase 3 (tile 0's program for
     /// multi-tile mappings; `multi` holds the whole array).
-    pub program: TileProgram,
+    pub program: Arc<TileProgram>,
     /// The multi-tile mapping (partition, per-tile schedules, array program
     /// and traffic report) when the mapper targeted more than one tile.
-    pub multi: Option<MultiTileMapping>,
+    pub multi: Option<Arc<MultiTileMapping>>,
     /// Headline statistics.
     pub report: MappingReport,
     /// Statespace layout of the source program's arrays (empty for mappings
@@ -312,16 +318,26 @@ impl Mapper {
         let simplified: SimplifiedKernel =
             FlowDriver::new().run(&front, SourceInput::new(source), &mut cx)?;
         let post_key = PostTransformKey::new(&simplified, fingerprint);
-        let (allocated, outcome) = match cache.get_post_transform(&post_key) {
+        let (mut result, outcome) = match cache.get_post_transform(&post_key) {
             Some(artifacts) => {
+                // Rehydration is pure reference-count traffic: the cached
+                // artifacts stay shared and only the per-run pieces (CDFG,
+                // layout, report, trace) are fresh.
                 let SimplifiedKernel {
                     simplified: cdfg,
                     layout,
                 } = simplified;
-                (
-                    artifacts.rehydrate(cdfg, layout),
-                    CacheOutcome::PostTransformHit,
-                )
+                let result = finish_parts(
+                    Arc::new(cdfg),
+                    layout,
+                    Arc::clone(&artifacts.graph),
+                    Arc::clone(&artifacts.clustered),
+                    Arc::clone(&artifacts.schedule),
+                    Arc::clone(&artifacts.program),
+                    artifacts.multi.clone(),
+                    cx,
+                );
+                (result, CacheOutcome::PostTransformHit)
             }
             None => {
                 let back = ExtractStage
@@ -330,11 +346,11 @@ impl Mapper {
                     .then(ScheduleStage)
                     .then(AllocateStage);
                 let allocated = FlowDriver::new().run(&back, simplified, &mut cx)?;
-                cache.insert_post_transform(post_key, PostTransformArtifacts::of(&allocated));
-                (allocated, CacheOutcome::Miss)
+                let result = finish(allocated, cx);
+                cache.insert_post_transform(post_key, PostTransformArtifacts::of(&result));
+                (result, CacheOutcome::Miss)
             }
         };
-        let mut result = finish(allocated, cx);
         result.report.cache = outcome;
         let shared = Arc::new(result);
         cache.insert_mapping_arc(key, Arc::clone(&shared));
@@ -374,7 +390,31 @@ fn finish(allocated: AllocatedKernel, cx: FlowContext) -> MappingResult {
         program,
         multi,
     } = allocated;
+    finish_parts(
+        Arc::new(simplified),
+        layout,
+        Arc::new(graph),
+        Arc::new(clustered),
+        Arc::new(schedule),
+        Arc::new(program),
+        multi.map(Arc::new),
+        cx,
+    )
+}
 
+/// [`finish`] over already shared artifacts — the post-transform hit path,
+/// where the heavy pieces come straight from the cache.
+#[allow(clippy::too_many_arguments)]
+fn finish_parts(
+    simplified: Arc<Cdfg>,
+    layout: MemoryLayout,
+    graph: Arc<MappingGraph>,
+    clustered: Arc<ClusteredGraph>,
+    schedule: Arc<Schedule>,
+    program: Arc<TileProgram>,
+    multi: Option<Arc<MultiTileMapping>>,
+    cx: FlowContext,
+) -> MappingResult {
     // Preserve the historical meaning of `mapping_time_us`: the time spent
     // in the mapping phases (clustering + partitioning + scheduling +
     // allocation; partitioning is a no-op on single-tile flows).

@@ -71,6 +71,26 @@ impl MappingService {
         MappingService { mapper, cache }
     }
 
+    /// Wraps a mapper with a cache of `capacity` entries per level backed by
+    /// a persistent disk tier under `cache_dir` (the `--cache-dir` knob of
+    /// `fpfa-map` and `fpfa-serve`).  The directory is created if missing
+    /// and warm-started from any segment files already present — a restarted
+    /// service answers previously mapped kernels without re-running the
+    /// flow.
+    ///
+    /// # Errors
+    /// Only I/O errors creating or listing the directory; corrupt cache
+    /// *contents* are skipped (and counted) instead of failing the open.
+    pub fn with_cache_dir(
+        mapper: Mapper,
+        capacity: usize,
+        cache_dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
+        let tier = Arc::new(crate::persist::DiskTier::open(cache_dir)?);
+        let cache = MappingCache::with_capacity(capacity).with_disk_tier(tier);
+        Ok(Self::with_cache(mapper, Arc::new(cache)))
+    }
+
     /// Derives a service targeting a different mapper configuration while
     /// sharing this service's cache (configs never alias: the cache key
     /// fingerprints the configuration).

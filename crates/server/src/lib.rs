@@ -67,4 +67,4 @@ pub use protocol::{
     program_digest, BatchSummary, CacheFlavor, HelloAck, Histogram, KernelSource, MapKnobs,
     MapSummary, ProtocolError, Request, Response, ShardStatsSummary, StatsSummary, WireError,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, ShutdownTrigger};

@@ -1096,6 +1096,25 @@ pub struct StatsSummary {
     /// without queueing (a subset of `served_ok`; these hits are also folded
     /// into `cache_mapping_hits` so the hit ratio covers them).
     pub fast_hits: u64,
+    /// The subset of `fast_hits` answered from the shard's L0 tier — a
+    /// pre-encoded response frame copied into the write buffer with only the
+    /// request id and `server_micros` patched (no summary rebuild, no
+    /// re-encode).  `fast_hits - l0_hits` is the L1 (shared in-memory cache)
+    /// share of the fast path.
+    pub l0_hits: u64,
+    /// Mappings loaded from the persistent disk tier (L2) after an in-memory
+    /// miss.  Zero when the server runs without `--cache-dir`.
+    pub persist_loads: u64,
+    /// Mappings written through to the disk tier.
+    pub persist_stores: u64,
+    /// Disk-tier records whose digest or framing failed verification and
+    /// were skipped (each one degrades to a typed miss, never an error).
+    pub persist_corrupt_skipped: u64,
+    /// Valid records indexed from pre-existing segment files when the tier
+    /// was opened — the warm-start inventory a restarted server begins with.
+    pub persist_warm_start_entries: u64,
+    /// Times the disk tier rewrote its segments to drop superseded records.
+    pub persist_compactions: u64,
     /// Configured worker threads.
     pub workers: u64,
     /// Configured job-queue capacity.
@@ -1141,6 +1160,12 @@ impl StatsSummary {
             self.rejected_version,
             self.protocol_errors,
             self.fast_hits,
+            self.l0_hits,
+            self.persist_loads,
+            self.persist_stores,
+            self.persist_corrupt_skipped,
+            self.persist_warm_start_entries,
+            self.persist_compactions,
             self.workers,
             self.queue_depth,
             self.cache_mapping_hits,
@@ -1172,6 +1197,12 @@ impl StatsSummary {
             rejected_version: d.u64("stats.rejected_version")?,
             protocol_errors: d.u64("stats.protocol_errors")?,
             fast_hits: d.u64("stats.fast_hits")?,
+            l0_hits: d.u64("stats.l0_hits")?,
+            persist_loads: d.u64("stats.persist_loads")?,
+            persist_stores: d.u64("stats.persist_stores")?,
+            persist_corrupt_skipped: d.u64("stats.persist_corrupt_skipped")?,
+            persist_warm_start_entries: d.u64("stats.persist_warm_start_entries")?,
+            persist_compactions: d.u64("stats.persist_compactions")?,
             workers: d.u64("stats.workers")?,
             queue_depth: d.u64("stats.queue_depth")?,
             cache_mapping_hits: d.u64("stats.cache_mapping_hits")?,
@@ -1607,6 +1638,12 @@ mod tests {
                 rejected_version: 1,
                 protocol_errors: 2,
                 fast_hits: 40,
+                l0_hits: 33,
+                persist_loads: 7,
+                persist_stores: 11,
+                persist_corrupt_skipped: 1,
+                persist_warm_start_entries: 5,
+                persist_compactions: 2,
                 map_latency: {
                     let mut h = Histogram::default();
                     h.record(10);

@@ -281,6 +281,7 @@ pub struct ServerStats {
     rejected_version: AtomicU64,
     protocol_errors: AtomicU64,
     fast_hits: AtomicU64,
+    l0_hits: AtomicU64,
     in_flight: AtomicU64,
     map_latency: AtomicHistogram,
     batch_latency: AtomicHistogram,
@@ -299,6 +300,7 @@ impl ServerStats {
             rejected_version: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             fast_hits: AtomicU64::new(0),
+            l0_hits: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             map_latency: AtomicHistogram::new(),
             batch_latency: AtomicHistogram::new(),
@@ -317,6 +319,7 @@ impl ServerStats {
             &self.rejected_version,
             &self.protocol_errors,
             &self.fast_hits,
+            &self.l0_hits,
         ] {
             counter.store(0, Ordering::Relaxed);
         }
@@ -399,7 +402,9 @@ struct Completion {
     /// `reset` raced the job, so its warm entry is discarded.
     epoch: u64,
     response: Response,
-    warm: Option<(u64, Arc<str>, WarmValue)>,
+    /// `(config fingerprint, source, request name, digested answer)` — the
+    /// seed of an L0 entry on the owning shard.
+    warm: Option<(u64, Arc<str>, Arc<str>, WarmValue)>,
 }
 
 /// The mailbox through which the acceptor and the workers reach a shard.
@@ -470,6 +475,7 @@ impl Inner {
 
     fn stats_summary(&self) -> StatsSummary {
         let cache = self.base.stats();
+        let persist = self.base.cache().persist_stats();
         StatsSummary {
             connections: self.stats.connections.load(Ordering::Relaxed),
             accepted: self.stats.accepted.load(Ordering::Relaxed),
@@ -481,6 +487,12 @@ impl Inner {
             rejected_version: self.stats.rejected_version.load(Ordering::Relaxed),
             protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
             fast_hits: self.stats.fast_hits.load(Ordering::Relaxed),
+            l0_hits: self.stats.l0_hits.load(Ordering::Relaxed),
+            persist_loads: persist.loads,
+            persist_stores: persist.stores,
+            persist_corrupt_skipped: persist.corrupt_skipped,
+            persist_warm_start_entries: persist.warm_start_entries,
+            persist_compactions: persist.compactions,
             workers: self.config.workers as u64,
             queue_depth: self.config.queue_depth as u64,
             cache_mapping_hits: cache.mapping_hits,
@@ -525,6 +537,15 @@ impl ServerHandle {
         initiate_shutdown(&self.inner);
     }
 
+    /// A cloneable handle that can begin the same graceful shutdown from
+    /// another thread (e.g. a signal watcher) while this handle sits in
+    /// [`join`](Self::join).
+    pub fn shutdown_trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
     /// A snapshot of the daemon's statistics (same payload as the `stats`
     /// verb, without a connection).
     pub fn stats(&self) -> StatsSummary {
@@ -536,6 +557,20 @@ impl ServerHandle {
     pub fn join(self) -> StatsSummary {
         let _ = self.thread.join();
         self.inner.stats_summary()
+    }
+}
+
+/// A detached, cloneable shutdown switch for a running daemon — see
+/// [`ServerHandle::shutdown_trigger`].
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    inner: Arc<Inner>,
+}
+
+impl ShutdownTrigger {
+    /// Begins the graceful shutdown (idempotent).
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.inner);
     }
 }
 
@@ -717,16 +752,17 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
     } = job;
     let batch = matches!(work, Work::Many(_));
     let epoch = inner.cache_epoch.load(Ordering::SeqCst);
-    let done = |response: Response, warm: Option<(u64, Arc<str>, WarmValue)>| Completion {
-        conn,
-        generation,
-        request_id,
-        decoded_at,
-        batch,
-        epoch,
-        response,
-        warm,
-    };
+    let done =
+        |response: Response, warm: Option<(u64, Arc<str>, Arc<str>, WarmValue)>| Completion {
+            conn,
+            generation,
+            request_id,
+            decoded_at,
+            batch,
+            epoch,
+            response,
+            warm,
+        };
 
     let deadline = inner.deadline_of(&knobs);
     if !deadline.is_zero() && decoded_at.elapsed() > deadline {
@@ -748,7 +784,12 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
             Ok((summary, value)) => {
                 inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
                 let fingerprint = service.mapper().cache_fingerprint();
-                let warm = Some((fingerprint, Arc::from(kernel.source.as_str()), value));
+                let warm = Some((
+                    fingerprint,
+                    Arc::from(kernel.source.as_str()),
+                    Arc::from(kernel.name.as_str()),
+                    value,
+                ));
                 done(Response::Mapped(summary), warm)
             }
             Err(error) => {
@@ -887,7 +928,7 @@ fn validate(knobs: &MapKnobs, batch_len: usize) -> Result<(), String> {
 /// to build a [`MapSummary`] without touching the shared cache or cloning a
 /// mapping.
 #[derive(Clone, Copy, Debug)]
-struct WarmValue {
+pub(crate) struct WarmValue {
     digest: u64,
     operations: u64,
     clusters: u64,
@@ -895,6 +936,46 @@ struct WarmValue {
     cycles: u64,
     tiles: u64,
     inter_tile_transfers: u64,
+}
+
+/// One L0 entry: a complete, length-prefixed `Mapped` response frame,
+/// pre-encoded once at insert time.  A hit copies the bytes into the write
+/// buffer and patches exactly two fields in place — the echoed request id
+/// (bytes 4..12, after the length prefix) and `server_micros` (the final 8
+/// bytes of a sim-less `MapSummary` body) — so the warm path performs no
+/// mapping clone and no protocol re-encode.  `value` is kept so a repeat of
+/// the same kernel under a *different* request name can mint its own entry
+/// without a shared-cache probe.
+#[derive(Clone, Debug)]
+struct L0Entry {
+    frame: Vec<u8>,
+    value: WarmValue,
+}
+
+/// One fingerprint's slice of the L0 tier: kernel source → named entries.
+type WarmBySource = HashMap<Arc<str>, Vec<(Arc<str>, L0Entry)>>;
+
+impl L0Entry {
+    fn of(value: WarmValue, name: &str) -> Self {
+        let summary = MapSummary {
+            name: name.to_string(),
+            digest: value.digest,
+            operations: value.operations,
+            clusters: value.clusters,
+            levels: value.levels,
+            cycles: value.cycles,
+            tiles: value.tiles,
+            inter_tile_transfers: value.inter_tile_transfers,
+            cache: CacheFlavor::MappingHit,
+            sim: None,
+            server_micros: 0,
+        };
+        let payload = encode_response_frame(0, &Response::Mapped(summary));
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        L0Entry { frame, value }
+    }
 }
 
 impl WarmValue {
@@ -1006,8 +1087,9 @@ struct ShardRt<'a> {
     generations: Vec<u64>,
     free: Vec<usize>,
     live: usize,
-    /// config-fingerprint → (kernel source → pre-digested answer).
-    warm: HashMap<u64, HashMap<Arc<str>, WarmValue>>,
+    /// The L0 tier: config-fingerprint → kernel source → pre-encoded
+    /// response frames (one per request name, almost always exactly one).
+    warm: HashMap<u64, WarmBySource>,
     warm_len: usize,
     warm_epoch: u64,
     knob_fingerprints: HashMap<(u32, u32, bool, bool), u64>,
@@ -1366,29 +1448,51 @@ impl<'a> ShardRt<'a> {
         if !knobs.simulate {
             self.sync_epoch();
             let fingerprint = self.fingerprint_of(&knobs);
-            let warm_hit = self
+            // L0: a repeat of (knobs, source, name) is answered by copying
+            // the pre-encoded frame — no summary build, no encode.
+            if let Some(entries) = self
                 .warm
                 .get(&fingerprint)
                 .and_then(|table| table.get(kernel.source.as_str()))
-                .copied();
-            if let Some(value) = warm_hit {
-                inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
-                inner.base.cache().note_shard_hit();
-                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
-                let summary = value.summary(kernel.name, CacheFlavor::MappingHit, None, decoded_at);
-                self.finish(conn, id, &Response::Mapped(summary), decoded_at, false);
-                return;
+            {
+                if let Some((_, entry)) = entries.iter().find(|(n, _)| **n == *kernel.name) {
+                    let frame = entry.frame.clone();
+                    inner.stats.l0_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.base.cache().note_shard_hit();
+                    inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                    self.finish_preencoded(conn, id, &frame, decoded_at);
+                    return;
+                }
+                // Same kernel under a new name: mint an entry from the
+                // digested answer we already hold, still without touching
+                // the shared cache.
+                if let Some(value) = entries.first().map(|(_, e)| e.value) {
+                    inner.stats.l0_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.base.cache().note_shard_hit();
+                    inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                    let name: Arc<str> = Arc::from(kernel.name.as_str());
+                    let entry = L0Entry::of(value, &name);
+                    let frame = entry.frame.clone();
+                    self.warm_insert(fingerprint, Arc::from(kernel.source.as_str()), name, entry);
+                    self.finish_preencoded(conn, id, &frame, decoded_at);
+                    return;
+                }
             }
+            // L1: the shared in-memory cache (zero-copy `Arc` hit).  The
+            // answer is digested into a fresh L0 entry for next time.
             let cache = inner.base.cache();
             let lookup = cache.prepare(&kernel.source, fingerprint);
             if let Some(result) = cache.peek_prepared(&lookup) {
                 cache.note_shard_hit();
                 inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
                 inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
-                let value = WarmValue::of(&result);
-                let summary = value.summary(kernel.name, CacheFlavor::MappingHit, None, decoded_at);
-                self.warm_insert(fingerprint, Arc::from(kernel.source.as_str()), value);
-                self.finish(conn, id, &Response::Mapped(summary), decoded_at, false);
+                let name: Arc<str> = Arc::from(kernel.name.as_str());
+                let entry = L0Entry::of(WarmValue::of(&result), &name);
+                let frame = entry.frame.clone();
+                self.warm_insert(fingerprint, Arc::from(kernel.source.as_str()), name, entry);
+                self.finish_preencoded(conn, id, &frame, decoded_at);
                 return;
             }
         }
@@ -1468,8 +1572,9 @@ impl<'a> ShardRt<'a> {
         for completion in completions.drain(..) {
             inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             if completion.epoch == current_epoch {
-                if let Some((fingerprint, source, value)) = completion.warm {
-                    self.warm_insert(fingerprint, source, value);
+                if let Some((fingerprint, source, name, value)) = completion.warm {
+                    let entry = L0Entry::of(value, &name);
+                    self.warm_insert(fingerprint, source, name, entry);
                 }
             }
             let idx = completion.conn;
@@ -1624,20 +1729,43 @@ impl<'a> ShardRt<'a> {
         fingerprint
     }
 
-    fn warm_insert(&mut self, fingerprint: u64, source: Arc<str>, value: WarmValue) {
+    fn warm_insert(&mut self, fingerprint: u64, source: Arc<str>, name: Arc<str>, entry: L0Entry) {
         if self.warm_len >= WARM_CAPACITY {
             self.warm.clear();
             self.warm_len = 0;
         }
-        if self
+        let entries = self
             .warm
             .entry(fingerprint)
             .or_default()
-            .insert(source, value)
-            .is_none()
-        {
+            .entry(source)
+            .or_default();
+        if let Some(slot) = entries.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = entry;
+        } else {
+            entries.push((name, entry));
             self.warm_len += 1;
         }
+    }
+
+    /// Serves an L0 hit: copies the pre-encoded frame into the write buffer
+    /// and patches the two per-request fields in place — the echoed id
+    /// (bytes 4..12, after the length prefix) and `server_micros` (the
+    /// trailing 8 bytes of a sim-less `Mapped` body).  Bypasses
+    /// [`append_frame`](Self::append_frame), so the served counter and the
+    /// map-latency histogram are maintained here.
+    fn finish_preencoded(&mut self, conn: &mut Conn, id: u64, frame: &[u8], decoded_at: Instant) {
+        let start = conn.wbuf.len();
+        conn.wbuf.extend_from_slice(frame);
+        conn.wbuf[start + 4..start + 12].copy_from_slice(&id.to_le_bytes());
+        let micros = decoded_at.elapsed().as_micros() as u64;
+        let end = conn.wbuf.len();
+        conn.wbuf[end - 8..end].copy_from_slice(&micros.to_le_bytes());
+        self.mailbox()
+            .counters
+            .served
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.map_latency.record(micros);
     }
 }
 

@@ -176,7 +176,7 @@ fn arb_response() -> BoxedStrategy<Response> {
                 })
             ),
         (
-            prop::collection::vec(any::<u64>(), 18..=18),
+            prop::collection::vec(any::<u64>(), 24..=24),
             arb_histogram(),
             arb_histogram(),
             prop::collection::vec(arb_shard_stats(), 0..4)
@@ -193,14 +193,20 @@ fn arb_response() -> BoxedStrategy<Response> {
                     rejected_version: counters[7],
                     protocol_errors: counters[8],
                     fast_hits: counters[9],
-                    workers: counters[10],
-                    queue_depth: counters[11],
-                    cache_mapping_hits: counters[12],
-                    cache_mapping_misses: counters[13],
-                    cache_post_hits: counters[14],
-                    cache_post_misses: counters[15],
-                    cache_entries: counters[16],
-                    cache_capacity: counters[17],
+                    l0_hits: counters[10],
+                    persist_loads: counters[11],
+                    persist_stores: counters[12],
+                    persist_corrupt_skipped: counters[13],
+                    persist_warm_start_entries: counters[14],
+                    persist_compactions: counters[15],
+                    workers: counters[16],
+                    queue_depth: counters[17],
+                    cache_mapping_hits: counters[18],
+                    cache_mapping_misses: counters[19],
+                    cache_post_hits: counters[20],
+                    cache_post_misses: counters[21],
+                    cache_entries: counters[22],
+                    cache_capacity: counters[23],
                     map_latency,
                     batch_latency,
                     shards,

@@ -404,6 +404,55 @@ fn stats_reset_clears_cache_and_counters() {
 }
 
 #[test]
+fn reset_truncates_the_disk_tier_and_the_l0_frames() {
+    let dir = std::env::temp_dir().join(format!("fpfa-e2e-reset-tier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = MappingService::with_cache_dir(Mapper::new(), 64, &dir).expect("open disk tier");
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default(), service).expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let cold = client.map("k", TRIVIAL, MapKnobs::default()).expect("cold");
+    assert_eq!(cold.cache, fpfa_server::CacheFlavor::Miss);
+    let warm = client.map("k", TRIVIAL, MapKnobs::default()).expect("warm");
+    assert_eq!(warm.cache, fpfa_server::CacheFlavor::MappingHit);
+    assert_eq!(warm.digest, cold.digest);
+    let repeat = client
+        .map("k", TRIVIAL, MapKnobs::default())
+        .expect("repeat");
+    assert_eq!(repeat.digest, cold.digest);
+
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.persist_stores >= 1,
+        "cold mappings are written through to the disk tier"
+    );
+    assert!(
+        stats.l0_hits >= 1,
+        "the identical repeat was answered from the pre-encoded L0 tier"
+    );
+
+    // `reset` (the `--cold-storm` primitive) must invalidate every tier:
+    // the shards' L0 frames, the in-memory cache AND the on-disk segments.
+    // A subsequent map must be a genuine cold miss — if the disk tier
+    // survived the reset it would come back as a warm mapping hit.
+    let dropped = client.reset().expect("reset");
+    assert!(dropped >= 1);
+    let cold_again = client
+        .map("k", TRIVIAL, MapKnobs::default())
+        .expect("re-map");
+    assert_eq!(cold_again.cache, fpfa_server::CacheFlavor::Miss);
+    assert_eq!(
+        cold_again.digest, cold.digest,
+        "a cold re-map reproduces the program"
+    );
+
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn v1_clients_are_rejected_with_a_typed_unsupported_version() {
     let handle = start(ServerConfig::default(), Mapper::new());
 

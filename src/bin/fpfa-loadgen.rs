@@ -267,13 +267,14 @@ fn run(options: &Options) -> Result<(), String> {
     let hit_ratio = stats.mapping_hit_rate().unwrap_or(0.0);
     println!(
         "  server: accepted {}, served ok {}, map failures {}, overloaded {}, \
-         deadline-expired {}, fast-path hits {}, protocol errors {}",
+         deadline-expired {}, fast-path hits {} (L0 {}), protocol errors {}",
         stats.accepted,
         stats.served_ok,
         stats.served_err,
         stats.rejected_overload,
         stats.rejected_deadline,
         stats.fast_hits,
+        stats.l0_hits,
         stats.protocol_errors,
     );
     println!(
@@ -282,6 +283,17 @@ fn run(options: &Options) -> Result<(), String> {
         stats.cache_mapping_hits + stats.cache_mapping_misses,
         stats.cache_entries
     );
+    if stats.persist_loads + stats.persist_stores + stats.persist_warm_start_entries > 0 {
+        println!(
+            "  persist: {} load(s), {} store(s), {} corrupt skipped, \
+             {} warm-start entr(ies), {} compaction(s)",
+            stats.persist_loads,
+            stats.persist_stores,
+            stats.persist_corrupt_skipped,
+            stats.persist_warm_start_entries,
+            stats.persist_compactions
+        );
+    }
     for (index, shard) in stats.shards.iter().enumerate() {
         println!(
             "  shard {index}: {} conn(s), {} queued, {} served, {} B in, {} B out",

@@ -53,14 +53,16 @@ struct Options {
     parallel_stages: bool,
     repeat: usize,
     cache_capacity: Option<usize>,
+    cache_dir: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
      [--legacy-transform] [--parallel-stages] [--listing] [--dot cdfg|clusters|schedule] \
-     [--simulate] [--timings] [--repeat N] [--cache-capacity N]\n\
+     [--simulate] [--timings] [--repeat N] [--cache-capacity N] [--cache-dir DIR]\n\
      \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
-     [--legacy-transform] [--parallel-stages] [--timings] [--repeat N] [--cache-capacity N]"
+     [--legacy-transform] [--parallel-stages] [--timings] [--repeat N] [--cache-capacity N] \
+     [--cache-dir DIR]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -80,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         parallel_stages: false,
         repeat: 1,
         cache_capacity: None,
+        cache_dir: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -120,6 +123,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--cache-capacity needs at least one entry".to_string());
                 }
             }
+            "--cache-dir" => {
+                let value = iter.next().ok_or("--cache-dir needs a directory")?;
+                options.cache_dir = Some(value.clone());
+            }
             "--no-clustering" => options.clustering = false,
             "--no-locality" => options.locality = false,
             "--legacy-transform" => options.legacy_transform = true,
@@ -157,10 +164,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads only applies to --batch or --parallel-stages\n{}",
             usage()
         ));
-    } else if options.cache_capacity.is_some() && options.repeat == 1 {
-        // The cache only exists on the MappingService paths.
+    } else if options.cache_capacity.is_some() && options.repeat == 1 && options.cache_dir.is_none()
+    {
+        // The cache only exists on the MappingService paths (`--cache-dir`
+        // routes even a single run through a service).
         return Err(format!(
-            "--cache-capacity only applies to --batch or --repeat runs\n{}",
+            "--cache-capacity only applies to --batch, --repeat or --cache-dir runs\n{}",
             usage()
         ));
     } else {
@@ -202,12 +211,20 @@ fn build_mapper(options: &Options) -> Mapper {
 }
 
 /// A long-lived service around the configured mapper, with the cache bounded
-/// to `--cache-capacity` when given.
-fn build_service(options: &Options) -> MappingService {
+/// to `--cache-capacity` when given and backed by the persistent disk tier
+/// of `--cache-dir` when given.
+fn build_service(options: &Options) -> Result<MappingService, String> {
     let mapper = build_mapper(options);
-    match options.cache_capacity {
-        Some(capacity) => MappingService::with_capacity(mapper, capacity),
-        None => MappingService::new(mapper),
+    let capacity = options
+        .cache_capacity
+        .unwrap_or(fpfa::core::cache::DEFAULT_CAPACITY);
+    match &options.cache_dir {
+        Some(dir) => MappingService::with_cache_dir(mapper, capacity, dir)
+            .map_err(|e| format!("cannot open cache dir {dir}: {e}")),
+        None => Ok(match options.cache_capacity {
+            Some(capacity) => MappingService::with_capacity(mapper, capacity),
+            None => MappingService::new(mapper),
+        }),
     }
 }
 
@@ -230,7 +247,7 @@ fn run_batch(options: &Options) -> Result<(), String> {
         specs
     };
 
-    let service = build_service(options);
+    let service = build_service(options)?;
     let mut report = service.map_many(&specs);
     print!("{report}");
     for pass in 2..=options.repeat {
@@ -252,6 +269,18 @@ fn run_batch(options: &Options) -> Result<(), String> {
         }
         println!("\ncache: {}", service.stats());
     }
+    if options.cache_dir.is_some() {
+        let persist = service.cache().persist_stats();
+        println!(
+            "persist: {} load(s), {} store(s), {} corrupt skipped, \
+             {} warm-start entr(ies), {} compaction(s)",
+            persist.loads,
+            persist.stores,
+            persist.corrupt_skipped,
+            persist.warm_start_entries,
+            persist.compactions
+        );
+    }
     if report.failed() > 0 {
         // Name every failing spec (by its disambiguated entry name) on
         // stderr, so a scripted batch caller sees which kernel broke without
@@ -271,10 +300,12 @@ fn run(options: &Options) -> Result<(), String> {
     let path = &options.paths[0];
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
-    let mapping = if options.repeat > 1 {
-        // Repeat runs share one long-lived service: the first pass is cold,
-        // later passes are answered from the content-addressed cache.
-        let service = build_service(options);
+    let mapping = if options.repeat > 1 || options.cache_dir.is_some() {
+        // Repeat (and persistent-cache) runs share one long-lived service:
+        // the first pass is cold — unless `--cache-dir` warm-started it from
+        // a previous process — and later passes are answered from the
+        // content-addressed cache.
+        let service = build_service(options)?;
         let mut mapping = None;
         for pass in 1..=options.repeat {
             let started = Instant::now();
@@ -286,7 +317,20 @@ fn run(options: &Options) -> Result<(), String> {
             );
             mapping = Some(result);
         }
-        println!("cache: {}\n", service.stats());
+        println!("cache: {}", service.stats());
+        if options.cache_dir.is_some() {
+            let persist = service.cache().persist_stats();
+            println!(
+                "persist: {} load(s), {} store(s), {} corrupt skipped, \
+                 {} warm-start entr(ies), {} compaction(s)",
+                persist.loads,
+                persist.stores,
+                persist.corrupt_skipped,
+                persist.warm_start_entries,
+                persist.compactions
+            );
+        }
+        println!();
         mapping.ok_or("--repeat ran no passes")?
     } else {
         build_mapper(options)

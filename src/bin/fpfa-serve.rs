@@ -12,16 +12,25 @@
 //! fpfa-serve --shards 2              # I/O shards (default: one per core, capped)
 //! fpfa-serve --deadline-ms 2000      # default per-request budget
 //! fpfa-serve --cache-capacity 1024   # mapping-cache entries per level
+//! fpfa-serve --cache-dir /var/cache/fpfa  # persistent (L2) mapping cache
 //! fpfa-serve --tiles 4 --pps 3       # default mapper configuration
 //! ```
 //!
 //! The daemon prints one `listening on <addr>` line once it accepts
 //! connections (scripts wait for it), serves until a client sends the
-//! `shutdown` verb, then prints the final statistics.
+//! `shutdown` verb — or, on Linux, until `SIGTERM`/`SIGINT` arrives —
+//! then drains in-flight work and prints the final statistics.
+//!
+//! With `--cache-dir`, mapped kernels are also written through to
+//! append-only segment files in that directory, and a restarted daemon
+//! warm-starts from them: previously served kernels are answered from the
+//! cache on the very first pass after the restart.
 
 use fpfa::arch::TileConfig;
+use fpfa::core::cache::DEFAULT_CAPACITY;
 use fpfa::core::pipeline::Mapper;
 use fpfa::core::MappingService;
+use fpfa::server::sys::TermSignals;
 use fpfa::server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -33,13 +42,14 @@ struct Options {
     shards: usize,
     deadline_ms: u64,
     cache_capacity: Option<usize>,
+    cache_dir: Option<String>,
     tiles: usize,
     pps: usize,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--shards N] \
-     [--deadline-ms N] [--cache-capacity N] [--tiles N] [--pps N]"
+     [--deadline-ms N] [--cache-capacity N] [--cache-dir DIR] [--tiles N] [--pps N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -51,6 +61,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         shards: 0,
         deadline_ms: 5000,
         cache_capacity: None,
+        cache_dir: None,
         tiles: 1,
         pps: TileConfig::paper().num_pps,
     };
@@ -84,6 +95,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "--cache-capacity",
                 )?);
             }
+            "--cache-dir" => options.cache_dir = Some(value_of("--cache-dir")?),
             "--tiles" => options.tiles = parse_positive(&value_of("--tiles")?, "--tiles")?,
             "--pps" => options.pps = parse_positive(&value_of("--pps")?, "--pps")?,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -113,13 +125,37 @@ fn main() -> ExitCode {
         }
     };
 
+    // Mask SIGTERM/SIGINT before any thread exists so every thread the
+    // server spawns inherits the mask; a dedicated watcher thread turns the
+    // signal into a graceful drain.  Unsupported (non-Linux) is fine: the
+    // daemon still stops on the `shutdown` verb.
+    let signals = TermSignals::install().ok();
+
     let mapper = Mapper::new()
         .with_config(TileConfig::paper().with_num_pps(options.pps))
         .with_tiles(options.tiles);
-    let service = match options.cache_capacity {
-        Some(capacity) => MappingService::with_capacity(mapper, capacity),
-        None => MappingService::new(mapper),
+    let service = match (&options.cache_dir, options.cache_capacity) {
+        (Some(dir), capacity) => {
+            match MappingService::with_cache_dir(mapper, capacity.unwrap_or(DEFAULT_CAPACITY), dir)
+            {
+                Ok(service) => service,
+                Err(e) => {
+                    eprintln!("fpfa-serve: cannot open cache dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(capacity)) => MappingService::with_capacity(mapper, capacity),
+        (None, None) => MappingService::new(mapper),
     };
+    if options.cache_dir.is_some() {
+        let persist = service.cache().persist_stats();
+        println!(
+            "fpfa-serve: warm-started {} cached mapping(s) from {}",
+            persist.warm_start_entries,
+            options.cache_dir.as_deref().unwrap_or_default()
+        );
+    }
 
     let mut config = ServerConfig {
         queue_depth: options.queue_depth,
@@ -165,6 +201,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(signals) = signals {
+        let trigger = handle.shutdown_trigger();
+        std::thread::spawn(move || {
+            if let Ok(signo) = signals.wait() {
+                eprintln!("fpfa-serve: caught signal {signo}, draining");
+                trigger.shutdown();
+            }
+        });
+    }
     let stats = handle.join();
     println!(
         "fpfa-serve: drained and stopped; {} connection(s), {} request(s) accepted, \
@@ -180,9 +225,21 @@ fn main() -> ExitCode {
         println!("fpfa-serve: final cache hit ratio {rate:.3}");
     }
     println!(
-        "fpfa-serve: {} fast-path hit(s), {} version rejection(s), {} protocol error(s)",
-        stats.fast_hits, stats.rejected_version, stats.protocol_errors
+        "fpfa-serve: {} fast-path hit(s) ({} from the L0 pre-encoded tier), \
+         {} version rejection(s), {} protocol error(s)",
+        stats.fast_hits, stats.l0_hits, stats.rejected_version, stats.protocol_errors
     );
+    if options.cache_dir.is_some() {
+        println!(
+            "fpfa-serve: persist: {} load(s), {} store(s), {} corrupt skipped, \
+             {} warm-start entr(ies), {} compaction(s)",
+            stats.persist_loads,
+            stats.persist_stores,
+            stats.persist_corrupt_skipped,
+            stats.persist_warm_start_entries,
+            stats.persist_compactions
+        );
+    }
     for (index, shard) in stats.shards.iter().enumerate() {
         println!(
             "fpfa-serve: shard {index}: {} conn(s), {} queued, {} served, \

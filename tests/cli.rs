@@ -244,7 +244,7 @@ fn cache_capacity_flag_is_validated_and_accepted() {
     assert!(!misplaced.status.success());
     let stderr = String::from_utf8_lossy(&misplaced.stderr);
     assert!(
-        stderr.contains("only applies to --batch or --repeat"),
+        stderr.contains("only applies to --batch, --repeat or --cache-dir"),
         "{stderr}"
     );
 

@@ -7,9 +7,10 @@
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, Stdio};
 
-/// Spawns `fpfa-serve` on an OS-assigned port and returns the child plus
-/// the address it printed in its listen line.
-fn spawn_daemon(extra_args: &[&str]) -> (Child, String) {
+/// Spawns `fpfa-serve` on an OS-assigned port and returns the child, the
+/// address it printed in its listen line, and any preamble lines printed
+/// before it (e.g. the `--cache-dir` warm-start report).
+fn spawn_daemon(extra_args: &[&str]) -> (Child, String, String) {
     let mut daemon = Command::new(env!("CARGO_BIN_EXE_fpfa-serve"))
         .args(["--addr", "127.0.0.1:0", "--queue-depth", "64"])
         .args(extra_args)
@@ -18,25 +19,32 @@ fn spawn_daemon(extra_args: &[&str]) -> (Child, String) {
         .expect("spawn fpfa-serve");
     let daemon_stdout = daemon.stdout.take().expect("daemon stdout");
     let mut reader = BufReader::new(daemon_stdout);
-    let mut listen_line = String::new();
-    reader
-        .read_line(&mut listen_line)
-        .expect("daemon prints a listen line");
-    let addr = listen_line
-        .split("listening on ")
-        .nth(1)
-        .and_then(|rest| rest.split_whitespace().next())
-        .unwrap_or_else(|| panic!("unparseable listen line: {listen_line}"))
-        .to_string();
+    let mut preamble = String::new();
+    let addr = loop {
+        let mut line = String::new();
+        let read = reader.read_line(&mut line).expect("daemon stdout readable");
+        assert!(
+            read > 0,
+            "daemon exited before its listen line:\n{preamble}"
+        );
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .unwrap_or_else(|| panic!("unparseable listen line: {line}"))
+                .to_string();
+        }
+        preamble.push_str(&line);
+    };
     // Nothing beyond the listen line is printed until the drain report, so
     // handing the raw pipe back to the child loses no buffered output.
     daemon.stdout = Some(reader.into_inner());
-    (daemon, addr)
+    (daemon, addr, preamble)
 }
 
 #[test]
 fn daemon_serves_loadgen_and_drains_on_shutdown() {
-    let (mut daemon, addr) = spawn_daemon(&[]);
+    let (mut daemon, addr, _) = spawn_daemon(&[]);
 
     let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
         .args([
@@ -85,7 +93,7 @@ fn drain_daemon(daemon: &mut Child) -> String {
 /// daemon's drain report.
 #[test]
 fn daemon_serves_open_loop_pipelined_traffic() {
-    let (mut daemon, addr) = spawn_daemon(&["--shards", "2"]);
+    let (mut daemon, addr, _) = spawn_daemon(&["--shards", "2"]);
 
     let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
         .args([
@@ -124,4 +132,114 @@ fn daemon_serves_open_loop_pipelined_traffic() {
     assert!(tail.contains("drained and stopped"), "{tail}");
     assert!(tail.contains("shard 0:"), "{tail}");
     assert!(tail.contains("shard 1:"), "{tail}");
+}
+
+/// Maps the whole workload registry once over one connection and returns
+/// each kernel's program digest, plus the server's mapping hit rate over
+/// exactly that pass.
+fn map_registry(addr: &str) -> (Vec<(String, u64)>, f64) {
+    use fpfa::server::{Client, MapKnobs};
+    let mut client = Client::connect(addr).expect("connect to daemon");
+    let digests: Vec<(String, u64)> = fpfa::workloads::registry()
+        .into_iter()
+        .map(|kernel| {
+            let summary = client
+                .map(&kernel.name, &kernel.source, MapKnobs::default())
+                .expect("registry kernel maps");
+            (kernel.name, summary.digest)
+        })
+        .collect();
+    let stats = client.stats().expect("stats verb");
+    (digests, stats.mapping_hit_rate().unwrap_or(0.0))
+}
+
+/// A full warm-restart cycle through the persistent disk tier: warm a
+/// `--cache-dir` daemon, drain it with SIGTERM, restart it over the same
+/// directory, and check the restarted daemon's *first* pass over the
+/// registry is digest-identical with a ≥0.9 hit ratio.
+#[cfg(target_os = "linux")]
+#[test]
+fn daemon_warm_restarts_from_the_disk_tier() {
+    let dir = std::env::temp_dir().join(format!("fpfa-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_arg = dir.to_string_lossy().into_owned();
+
+    // Lifetime 1: loadgen warms the daemon, then a direct pass records the
+    // authoritative digest per kernel; every cold map stores through to the
+    // segment files.
+    let (mut daemon, addr, _) = spawn_daemon(&["--cache-dir", &dir_arg]);
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
+        .args([
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "30",
+            "--min-hit-ratio",
+            "0.5",
+            "--forbid-overload",
+        ])
+        .output()
+        .expect("run fpfa-loadgen");
+    assert!(
+        loadgen.status.success(),
+        "warmup loadgen failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&loadgen.stdout),
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    let (cold_digests, _) = map_registry(&addr);
+
+    // SIGTERM drains the daemon exactly like the shutdown verb.
+    let killed = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success(), "kill -TERM failed");
+    let tail = drain_daemon(&mut daemon);
+    assert!(tail.contains("drained and stopped"), "{tail}");
+    assert!(tail.contains("persist:"), "{tail}");
+    assert!(tail.contains("store(s)"), "{tail}");
+
+    // Lifetime 2 over the same directory: the daemon announces the
+    // warm-start, and the first pass over the registry is answered from
+    // the disk tier — identical digests, ≥0.9 hit ratio without a single
+    // cold map having run in this lifetime.
+    let (mut daemon, addr, preamble) = spawn_daemon(&["--cache-dir", &dir_arg]);
+    assert!(preamble.contains("warm-started"), "{preamble}");
+    let (warm_digests, hit_rate) = map_registry(&addr);
+    assert_eq!(cold_digests, warm_digests);
+    assert!(
+        hit_rate >= 0.9,
+        "restarted daemon hit rate {hit_rate} < 0.9"
+    );
+
+    // A second loadgen holds the warmed daemon to the full hit-ratio bar
+    // and shuts it down; the drain report accounts for the disk loads.
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_fpfa-loadgen"))
+        .args([
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "30",
+            "--min-hit-ratio",
+            "0.9",
+            "--forbid-overload",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run fpfa-loadgen");
+    assert!(
+        loadgen.status.success(),
+        "warm loadgen failed\nstdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&loadgen.stdout),
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    let tail = drain_daemon(&mut daemon);
+    assert!(tail.contains("drained and stopped"), "{tail}");
+    assert!(tail.contains("load(s)"), "{tail}");
+    assert!(tail.contains("warm-start"), "{tail}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
