@@ -17,13 +17,30 @@ use std::collections::HashSet;
 ///   themselves valid.
 ///
 /// # Errors
-/// The first problem found is returned as a [`CdfgError`].
+/// The first problem found is returned as a [`CdfgError`]. Use
+/// [`validate_all`] to collect every violation instead of stopping at the
+/// first.
 pub fn validate(graph: &Cdfg) -> Result<(), CdfgError> {
+    match validate_all(graph).into_iter().next() {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
+}
+
+/// Checks the same well-formedness rules as [`validate`] but accumulates
+/// *every* violation found instead of returning only the first.
+///
+/// An empty vector means the graph is well formed. The first element, when
+/// present, is the same error [`validate`] would have returned, so the two
+/// entry points always agree on validity.
+pub fn validate_all(graph: &Cdfg) -> Vec<CdfgError> {
+    let mut errors = Vec::new();
+
     // Port connectivity.
     for (id, node) in graph.nodes() {
         for port in 0..node.input_count() {
             if node.input_edge(port).is_none() {
-                return Err(CdfgError::PortUnconnected { node: id, port });
+                errors.push(CdfgError::PortUnconnected { node: id, port });
             }
         }
     }
@@ -31,57 +48,72 @@ pub fn validate(graph: &Cdfg) -> Result<(), CdfgError> {
     // Edge endpoints refer to live nodes and valid ports (connect() enforces
     // this at insertion time, but transformations may have removed nodes).
     for (_, edge) in graph.edges() {
-        let from = graph.node(edge.from.node)?;
-        if edge.from.port_index() >= from.output_count() {
-            return Err(CdfgError::PortOutOfRange {
-                node: edge.from.node,
-                port: edge.from.port_index(),
-                arity: from.output_count(),
-                is_input: false,
-            });
+        match graph.node(edge.from.node) {
+            Ok(from) => {
+                if edge.from.port_index() >= from.output_count() {
+                    errors.push(CdfgError::PortOutOfRange {
+                        node: edge.from.node,
+                        port: edge.from.port_index(),
+                        arity: from.output_count(),
+                        is_input: false,
+                    });
+                }
+            }
+            Err(err) => errors.push(err),
         }
-        let to = graph.node(edge.to.node)?;
-        if edge.to.port_index() >= to.input_count() {
-            return Err(CdfgError::PortOutOfRange {
-                node: edge.to.node,
-                port: edge.to.port_index(),
-                arity: to.input_count(),
-                is_input: true,
-            });
+        match graph.node(edge.to.node) {
+            Ok(to) => {
+                if edge.to.port_index() >= to.input_count() {
+                    errors.push(CdfgError::PortOutOfRange {
+                        node: edge.to.node,
+                        port: edge.to.port_index(),
+                        arity: to.input_count(),
+                        is_input: true,
+                    });
+                }
+            }
+            Err(err) => errors.push(err),
         }
     }
 
     // Acyclicity.
-    graph.topo_order()?;
+    if let Err(err) = graph.topo_order() {
+        errors.push(err);
+    }
 
     // Unique interface names.
     let mut seen_in = HashSet::new();
     for (name, _) in graph.inputs() {
         if !seen_in.insert(name.clone()) {
-            return Err(CdfgError::DuplicateName(name));
+            errors.push(CdfgError::DuplicateName(name));
         }
     }
     let mut seen_out = HashSet::new();
     for (name, _) in graph.outputs() {
         if !seen_out.insert(name.clone()) {
-            return Err(CdfgError::DuplicateName(name));
+            errors.push(CdfgError::DuplicateName(name));
         }
     }
 
     // Loop specifications.
     for (id, node) in graph.nodes() {
         if let NodeKind::Loop(spec) = &node.kind {
-            validate_loop(graph, id, spec)?;
+            validate_loop(graph, id, spec, &mut errors);
         }
     }
 
-    Ok(())
+    errors
 }
 
-fn validate_loop(graph: &Cdfg, id: crate::ids::NodeId, spec: &LoopSpec) -> Result<(), CdfgError> {
+fn validate_loop(
+    graph: &Cdfg,
+    id: crate::ids::NodeId,
+    spec: &LoopSpec,
+    errors: &mut Vec<CdfgError>,
+) {
     let _ = graph;
     if spec.vars.is_empty() {
-        return Err(CdfgError::MalformedLoop {
+        errors.push(CdfgError::MalformedLoop {
             node: id,
             reason: "loop has no carried variables".into(),
         });
@@ -89,7 +121,7 @@ fn validate_loop(graph: &Cdfg, id: crate::ids::NodeId, spec: &LoopSpec) -> Resul
     let mut seen = HashSet::new();
     for var in &spec.vars {
         if !seen.insert(var.clone()) {
-            return Err(CdfgError::MalformedLoop {
+            errors.push(CdfgError::MalformedLoop {
                 node: id,
                 reason: format!("duplicate loop variable `{var}`"),
             });
@@ -97,14 +129,14 @@ fn validate_loop(graph: &Cdfg, id: crate::ids::NodeId, spec: &LoopSpec) -> Resul
     }
     // Condition graph must expose %cond and may only read carried variables.
     if spec.cond.output_named(LoopSpec::COND_OUTPUT).is_none() {
-        return Err(CdfgError::MalformedLoop {
+        errors.push(CdfgError::MalformedLoop {
             node: id,
             reason: format!("condition graph lacks `{}` output", LoopSpec::COND_OUTPUT),
         });
     }
     for (name, _) in spec.cond.inputs() {
         if !spec.vars.contains(&name) {
-            return Err(CdfgError::MalformedLoop {
+            errors.push(CdfgError::MalformedLoop {
                 node: id,
                 reason: format!("condition graph reads `{name}` which is not loop carried"),
             });
@@ -114,7 +146,7 @@ fn validate_loop(graph: &Cdfg, id: crate::ids::NodeId, spec: &LoopSpec) -> Resul
     // variables.
     for var in &spec.vars {
         if spec.body.output_named(var).is_none() {
-            return Err(CdfgError::MalformedLoop {
+            errors.push(CdfgError::MalformedLoop {
                 node: id,
                 reason: format!("body graph does not produce `{var}`"),
             });
@@ -122,22 +154,29 @@ fn validate_loop(graph: &Cdfg, id: crate::ids::NodeId, spec: &LoopSpec) -> Resul
     }
     for (name, _) in spec.body.inputs() {
         if !spec.vars.contains(&name) {
-            return Err(CdfgError::MalformedLoop {
+            errors.push(CdfgError::MalformedLoop {
                 node: id,
                 reason: format!("body graph reads `{name}` which is not loop carried"),
             });
         }
     }
     // Sub-graphs must themselves be valid.
-    validate(&spec.cond).map_err(|e| CdfgError::MalformedLoop {
-        node: id,
-        reason: format!("condition graph invalid: {e}"),
-    })?;
-    validate(&spec.body).map_err(|e| CdfgError::MalformedLoop {
-        node: id,
-        reason: format!("body graph invalid: {e}"),
-    })?;
-    Ok(())
+    errors.extend(
+        validate_all(&spec.cond)
+            .into_iter()
+            .map(|e| CdfgError::MalformedLoop {
+                node: id,
+                reason: format!("condition graph invalid: {e}"),
+            }),
+    );
+    errors.extend(
+        validate_all(&spec.body)
+            .into_iter()
+            .map(|e| CdfgError::MalformedLoop {
+                node: id,
+                reason: format!("body graph invalid: {e}"),
+            }),
+    );
 }
 
 #[cfg(test)]
@@ -156,6 +195,7 @@ mod tests {
         g.connect(b, 0, add, 1).unwrap();
         g.connect(add, 0, out, 0).unwrap();
         assert!(validate(&g).is_ok());
+        assert!(validate_all(&g).is_empty());
     }
 
     #[test]
@@ -232,5 +272,32 @@ mod tests {
         let err = validate(&g).unwrap_err();
         assert!(matches!(err, CdfgError::MalformedLoop { .. }));
         assert!(err.to_string().contains("%cond"));
+    }
+
+    #[test]
+    fn validate_all_accumulates_every_violation() {
+        // Two unconnected ports and a duplicate output name: three distinct
+        // violations, all reported in one pass.
+        let mut g = Cdfg::new("bad");
+        let a = g.add_node(NodeKind::Input("a".into()));
+        let _add = g.add_node(NodeKind::BinOp(BinOp::Add)); // both ports open
+        let o1 = g.add_node(NodeKind::Output("r".into()));
+        let o2 = g.add_node(NodeKind::Output("r".into()));
+        g.connect(a, 0, o1, 0).unwrap();
+        g.connect(a, 0, o2, 0).unwrap();
+        let errors = validate_all(&g);
+        assert_eq!(errors.len(), 3);
+        assert_eq!(
+            errors
+                .iter()
+                .filter(|e| matches!(e, CdfgError::PortUnconnected { .. }))
+                .count(),
+            2
+        );
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, CdfgError::DuplicateName(_))));
+        // The first accumulated error is the one validate() returns.
+        assert_eq!(validate(&g).unwrap_err(), errors[0]);
     }
 }

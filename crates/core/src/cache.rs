@@ -180,6 +180,12 @@ pub struct PostTransformArtifacts {
     pub program: Arc<TileProgram>,
     /// The multi-tile mapping, when the flow targeted more than one tile.
     pub multi: Option<Arc<MultiTileMapping>>,
+    /// [`config_fingerprint`] of the configuration the artifacts were
+    /// produced under.  Rehydration copies it into the served
+    /// [`MappingResult`], so a verifier can cross-check that a cache entry
+    /// (in particular one loaded from the disk tier) matches the requesting
+    /// configuration.
+    pub fingerprint: u64,
 }
 
 impl PostTransformArtifacts {
@@ -192,6 +198,7 @@ impl PostTransformArtifacts {
             schedule: Arc::clone(&result.schedule),
             program: Arc::clone(&result.program),
             multi: result.multi.clone(),
+            fingerprint: result.config_fingerprint,
         }
     }
 }

@@ -52,7 +52,11 @@ use std::time::Duration;
 /// Magic prefix of every payload produced by this module.
 const MAGIC: &[u8; 4] = b"FPFM";
 /// Format version; bump on any layout change below.
-const VERSION: u32 = 1;
+///
+/// v2 appended the config fingerprint to both payload kinds (for the
+/// verifier's cache-boundary check); v1 records on disk decode as typed
+/// misses and are re-mapped.
+const VERSION: u32 = 2;
 /// Payload kind tag: a full [`MappingResult`].
 const KIND_MAPPING: u8 = 1;
 /// Payload kind tag: [`PostTransformArtifacts`].
@@ -1177,6 +1181,7 @@ pub fn encode_mapping_result(result: &MappingResult) -> Vec<u8> {
     }
     put_report(&mut out, &result.report);
     put_trace(&mut out, &result.trace);
+    put_u64(&mut out, result.config_fingerprint);
     out
 }
 
@@ -1200,6 +1205,7 @@ pub fn decode_mapping_result(mut input: &[u8]) -> Result<MappingResult> {
     };
     let report = get_report(input)?;
     let trace = get_trace(input)?;
+    let config_fingerprint = get_u64(input)?;
     if !input.is_empty() {
         return Err(CodecError::Malformed("trailing bytes"));
     }
@@ -1213,6 +1219,7 @@ pub fn decode_mapping_result(mut input: &[u8]) -> Result<MappingResult> {
         report,
         layout,
         trace,
+        config_fingerprint,
     })
 }
 
@@ -1231,6 +1238,7 @@ pub fn encode_post_transform(artifacts: &PostTransformArtifacts) -> Vec<u8> {
             put_multi(&mut out, multi);
         }
     }
+    put_u64(&mut out, artifacts.fingerprint);
     out
 }
 
@@ -1250,6 +1258,7 @@ pub fn decode_post_transform(mut input: &[u8]) -> Result<PostTransformArtifacts>
         1 => Some(Arc::new(get_multi(input)?)),
         _ => return Err(CodecError::Malformed("multi presence tag")),
     };
+    let fingerprint = get_u64(input)?;
     if !input.is_empty() {
         return Err(CodecError::Malformed("trailing bytes"));
     }
@@ -1259,6 +1268,7 @@ pub fn decode_post_transform(mut input: &[u8]) -> Result<PostTransformArtifacts>
         schedule,
         program,
         multi,
+        fingerprint,
     })
 }
 

@@ -76,6 +76,14 @@ pub enum MapError {
         /// Description of the failure.
         reason: String,
     },
+    /// The static mapping verifier rejected the result (deny-level
+    /// diagnostics were found).
+    VerificationFailed {
+        /// Number of deny-level diagnostics.
+        denies: usize,
+        /// The first deny-level diagnostic, rendered.
+        first: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -114,6 +122,12 @@ impl fmt::Display for MapError {
             }
             MapError::Simulation { reason } => {
                 write!(f, "simulation failed: {reason}")
+            }
+            MapError::VerificationFailed { denies, first } => {
+                write!(
+                    f,
+                    "verification failed with {denies} error(s); first: {first}"
+                )
             }
         }
     }

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 // ---------------------------------------------------------------------------
 
 /// Feature toggles of the mapping flow (the `Mapper` builder switches).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FlowToggles {
     /// Phase-1 clustering (disabled = one operation per cluster).
     pub clustering: bool,
@@ -64,6 +64,36 @@ pub struct FlowToggles {
     /// part of [`FlowToggles`]'s `Hash`, so cached mappings never cross the
     /// serial/parallel boundary.
     pub parallel_stages: bool,
+    /// Run the static mapping verifier (`fpfa-verify`) over every produced
+    /// mapping.  The flag is advisory — the core crate cannot depend on the
+    /// verifier — so callers (CLI bins, the server) consult it to decide
+    /// whether to verify.  Deliberately *excluded* from `Hash` (see the
+    /// manual impl below): verification is an observer, so a verified and an
+    /// unverified request must share cache entries and config fingerprints.
+    pub verify: bool,
+}
+
+/// `Hash` is written by hand to leave [`FlowToggles::verify`] out: the
+/// verifier never changes the produced mapping, so cache keys and config
+/// fingerprints must not fork on it.  (Two toggles that compare unequal on
+/// `verify` alone hashing identically is benign — the `Hash`/`Eq` law only
+/// requires equal values to hash equally.)
+impl std::hash::Hash for FlowToggles {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let FlowToggles {
+            clustering,
+            locality,
+            simplify,
+            incremental_transform,
+            parallel_stages,
+            verify: _,
+        } = self;
+        clustering.hash(state);
+        locality.hash(state);
+        simplify.hash(state);
+        incremental_transform.hash(state);
+        parallel_stages.hash(state);
+    }
 }
 
 impl Default for FlowToggles {
@@ -74,6 +104,7 @@ impl Default for FlowToggles {
             simplify: true,
             incremental_transform: true,
             parallel_stages: false,
+            verify: false,
         }
     }
 }

@@ -57,6 +57,11 @@ pub struct MappingResult {
     pub layout: MemoryLayout,
     /// Per-stage wall-clock timings and diagnostics of the flow run.
     pub trace: FlowTrace,
+    /// [`config_fingerprint`] of the configuration this result was produced
+    /// under.  Rehydrated results carry the fingerprint *stored with the
+    /// cached artifacts*, so a verifier can detect a stale or corrupted
+    /// cache entry served to a differently-configured request.
+    pub config_fingerprint: u64,
 }
 
 /// The configurable end-to-end mapper.
@@ -155,9 +160,26 @@ impl Mapper {
         self
     }
 
+    /// Requests static verification of every produced mapping.
+    ///
+    /// The toggle is advisory: the core crate cannot depend on the
+    /// `fpfa-verify` crate, so callers that honour it (the CLI bins, the
+    /// server) run the verifier themselves.  It deliberately does not enter
+    /// the cache fingerprint — verification observes a mapping, it never
+    /// changes one.
+    pub fn with_verify(mut self) -> Self {
+        self.toggles.verify = true;
+        self
+    }
+
     /// The tile configuration this mapper targets.
     pub fn config(&self) -> &TileConfig {
         &self.config
+    }
+
+    /// The tile-array configuration this mapper targets.
+    pub fn array(&self) -> &ArrayConfig {
+        &self.array
     }
 
     /// The feature toggles of this mapper.
@@ -327,7 +349,7 @@ impl Mapper {
                     simplified: cdfg,
                     layout,
                 } = simplified;
-                let result = finish_parts(
+                let mut result = finish_parts(
                     Arc::new(cdfg),
                     layout,
                     Arc::clone(&artifacts.graph),
@@ -337,6 +359,11 @@ impl Mapper {
                     artifacts.multi.clone(),
                     cx,
                 );
+                // Rehydrated results carry the fingerprint stored with the
+                // artifacts, not the requester's: a verifier comparing it
+                // against the requesting configuration then catches entries
+                // served across a config boundary (rule FV013).
+                result.config_fingerprint = artifacts.fingerprint;
                 (result, CacheOutcome::PostTransformHit)
             }
             None => {
@@ -447,6 +474,7 @@ fn finish_parts(
         None => report.absorb_program(&program),
     }
 
+    let config_fingerprint = config_fingerprint(&cx.config, &cx.array, &cx.toggles);
     MappingResult {
         simplified,
         mapping_graph: graph,
@@ -457,6 +485,7 @@ fn finish_parts(
         report,
         layout,
         trace: cx.into_trace(),
+        config_fingerprint,
     }
 }
 

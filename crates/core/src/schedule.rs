@@ -66,6 +66,43 @@ impl Schedule {
         }
     }
 
+    /// Swaps the contents of two levels wholesale.
+    ///
+    /// This deliberately produces an *illegal* schedule whenever a dependence
+    /// crosses the two levels; it exists so mutation harnesses (such as the
+    /// `fpfa-verify` kill suite) can seed known-bad schedules. The flow never
+    /// calls it. Out-of-range or equal indices are a no-op.
+    pub fn swap_levels(&mut self, a: usize, b: usize) {
+        if a == b || a >= self.levels.len() || b >= self.levels.len() {
+            return;
+        }
+        self.levels.swap(a, b);
+        for &cluster in &self.levels[a] {
+            self.level_of.insert(cluster, a);
+        }
+        for &cluster in &self.levels[b] {
+            self.level_of.insert(cluster, b);
+        }
+    }
+
+    /// Moves one cluster to the given level, growing the level list as
+    /// needed.
+    ///
+    /// Like [`Schedule::swap_levels`] this is a mutation-harness hook: it
+    /// happily oversubscribes a level or breaks dependence ordering, which is
+    /// exactly what a verifier kill suite needs to seed. The flow never calls
+    /// it.
+    pub fn move_cluster(&mut self, cluster: ClusterId, level: usize) {
+        if let Some(old) = self.level_of.get(&cluster).copied() {
+            self.levels[old].retain(|c| *c != cluster);
+        }
+        if level >= self.levels.len() {
+            self.levels.resize(level + 1, Vec::new());
+        }
+        self.levels[level].push(cluster);
+        self.level_of.insert(cluster, level);
+    }
+
     /// Average number of busy ALUs per level.
     pub fn average_parallelism(&self) -> f64 {
         if self.levels.is_empty() {

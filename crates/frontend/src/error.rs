@@ -95,6 +95,55 @@ pub enum FrontendError {
     Graph(CdfgError),
 }
 
+impl FrontendError {
+    /// The source position the error points at, when it has one.
+    ///
+    /// [`FrontendError::MissingMain`] and [`FrontendError::Graph`] describe
+    /// whole-program problems and carry no span.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            FrontendError::UnexpectedChar { span, .. }
+            | FrontendError::IntegerOverflow { span, .. }
+            | FrontendError::UnterminatedComment { span }
+            | FrontendError::UnexpectedToken { span, .. }
+            | FrontendError::UndeclaredIdentifier { span, .. }
+            | FrontendError::DuplicateDeclaration { span, .. }
+            | FrontendError::KindMismatch { span, .. }
+            | FrontendError::UseBeforeAssignment { span, .. }
+            | FrontendError::Unsupported { span, .. }
+            | FrontendError::BadArraySize { span, .. }
+            | FrontendError::AddressSpaceExhausted { span, .. } => Some(*span),
+            FrontendError::MissingMain | FrontendError::Graph(_) => None,
+        }
+    }
+
+    /// Renders the error with a caret snippet of the offending source line:
+    ///
+    /// ```text
+    /// kernel.c:2:11: error: `x` is not declared
+    ///   2 |   y = x + 1;
+    ///     |       ^
+    /// ```
+    ///
+    /// Errors without a span (and spans outside `source`) degrade to the
+    /// plain one-line form.
+    pub fn render(&self, file: &str, source: &str) -> String {
+        match self.span() {
+            Some(span) => {
+                // Display already prefixes "line:col: "; strip it so the
+                // header reads `file:line:col: error: message`.
+                let text = self.to_string();
+                let message = text
+                    .strip_prefix(&format!("{span}: "))
+                    .unwrap_or(&text)
+                    .to_string();
+                crate::source::render_annotated(file, source, span, &format!("error: {message}"))
+            }
+            None => format!("{file}: error: {self}"),
+        }
+    }
+}
+
 impl fmt::Display for FrontendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -176,6 +225,23 @@ mod tests {
         assert_eq!(
             FrontendError::MissingMain.to_string(),
             "translation unit does not define `main`"
+        );
+    }
+
+    #[test]
+    fn render_attaches_source_snippets() {
+        let src = "void main() {\n  y = x + 1;\n}";
+        let e = FrontendError::UndeclaredIdentifier {
+            name: "x".into(),
+            span: Span::new(2, 7),
+        };
+        let text = e.render("kernel.c", src);
+        assert!(text.starts_with("kernel.c:2:7: error: `x` is not declared\n"));
+        assert!(text.contains("y = x + 1;"));
+        assert!(text.contains("^"));
+        assert_eq!(
+            FrontendError::MissingMain.render("kernel.c", src),
+            "kernel.c: error: translation unit does not define `main`"
         );
     }
 

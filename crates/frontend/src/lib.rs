@@ -52,11 +52,14 @@ pub mod layout;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod source;
 pub mod token;
 
 pub use error::FrontendError;
 pub use layout::{ArraySymbol, MemoryLayout};
 pub use lower::{lower, Program};
+pub use source::{render_annotated, render_snippet, LineIndex};
+pub use token::Span;
 
 use fpfa_cdfg::StateSpace;
 

@@ -1,0 +1,175 @@
+//! Source-position utilities: byte-offset ↔ line:column mapping and
+//! caret-snippet rendering for diagnostics.
+//!
+//! The lexer tracks 1-based line/column positions directly ([`Span`]); this
+//! module supplies the inverse mapping (a [`LineIndex`] over the raw byte
+//! text) and the presentation layer that turns a span into a `rustc`-style
+//! annotated source excerpt:
+//!
+//! ```text
+//! kernel.c:2:24: error[FS003]: `acc` may be read before assignment
+//!   2 |     while (i < 4) { acc = acc + 1; i = i + 1; }
+//!     |                     ^
+//! ```
+
+use crate::token::Span;
+use std::fmt::Write as _;
+
+/// Byte-offset index of a source text: maps byte offsets to 1-based
+/// line/column [`Span`]s and back, and exposes the raw text of each line.
+#[derive(Clone, Debug)]
+pub struct LineIndex<'s> {
+    source: &'s str,
+    /// Byte offset of the first byte of each line (line 1 starts at 0).
+    line_starts: Vec<usize>,
+}
+
+impl<'s> LineIndex<'s> {
+    /// Builds the index for `source`.
+    pub fn new(source: &'s str) -> Self {
+        let mut line_starts = vec![0];
+        for (offset, byte) in source.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(offset + 1);
+            }
+        }
+        LineIndex {
+            source,
+            line_starts,
+        }
+    }
+
+    /// Number of lines in the source (at least 1, even for empty input).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Maps a byte offset to its 1-based line/column span. Offsets past the
+    /// end of the text clamp to one past the last character.
+    pub fn span_of_offset(&self, offset: usize) -> Span {
+        let offset = offset.min(self.source.len());
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let column = offset - self.line_starts[line] + 1;
+        Span::new(line as u32 + 1, column as u32)
+    }
+
+    /// Maps a 1-based line/column span back to a byte offset, when the span
+    /// lies inside the text.
+    pub fn offset_of_span(&self, span: Span) -> Option<usize> {
+        let line = (span.line as usize).checked_sub(1)?;
+        let start = *self.line_starts.get(line)?;
+        let column = (span.column as usize).checked_sub(1)?;
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .copied()
+            .unwrap_or(self.source.len());
+        let offset = start + column;
+        (offset <= end).then_some(offset)
+    }
+
+    /// The raw text of a 1-based line, without its trailing newline.
+    pub fn line_text(&self, line: u32) -> Option<&'s str> {
+        let index = (line as usize).checked_sub(1)?;
+        let start = *self.line_starts.get(index)?;
+        let end = self
+            .line_starts
+            .get(index + 1)
+            .map(|e| e - 1)
+            .unwrap_or(self.source.len());
+        self.source
+            .get(start..end)
+            .map(|l| l.trim_end_matches('\r'))
+    }
+}
+
+/// Renders a caret snippet for `span` over `source`:
+///
+/// ```text
+///   12 |     acc = acc + x;
+///      |           ^
+/// ```
+///
+/// Returns an empty string when the span does not point into the text (for
+/// example a span synthesised for end-of-input).
+pub fn render_snippet(source: &str, span: Span) -> String {
+    let index = LineIndex::new(source);
+    let Some(text) = index.line_text(span.line) else {
+        return String::new();
+    };
+    let gutter = span.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    // The caret column counts characters, matching the lexer's columns.
+    let caret_offset: usize = text
+        .chars()
+        .take((span.column as usize).saturating_sub(1))
+        .map(|c| if c == '\t' { 4 } else { 1 })
+        .sum();
+    let display: String = text
+        .chars()
+        .map(|c| {
+            if c == '\t' {
+                "    ".to_string()
+            } else {
+                c.to_string()
+            }
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "  {gutter} | {display}");
+    let _ = write!(out, "  {pad} | {}^", " ".repeat(caret_offset));
+    out
+}
+
+/// Renders a full one-line header plus caret snippet for a diagnostic at
+/// `span`: `file:line:col: <label>` followed by the annotated source line.
+pub fn render_annotated(file: &str, source: &str, span: Span, label: &str) -> String {
+    let snippet = render_snippet(source, span);
+    if snippet.is_empty() {
+        format!("{file}:{span}: {label}")
+    } else {
+        format!("{file}:{span}: {label}\n{snippet}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_round_trip_through_spans() {
+        let src = "ab\ncde\n\nf";
+        let index = LineIndex::new(src);
+        assert_eq!(index.line_count(), 4);
+        for (offset, _) in src.char_indices() {
+            let span = index.span_of_offset(offset);
+            assert_eq!(index.offset_of_span(span), Some(offset));
+        }
+        assert_eq!(index.span_of_offset(3), Span::new(2, 1));
+        assert_eq!(index.span_of_offset(100), Span::new(4, 2));
+        assert_eq!(index.line_text(2), Some("cde"));
+        assert_eq!(index.line_text(3), Some(""));
+        assert_eq!(index.line_text(9), None);
+    }
+
+    #[test]
+    fn snippet_places_the_caret() {
+        let src = "void main() {\n  int x;\n}";
+        let snippet = render_snippet(src, Span::new(2, 7));
+        assert_eq!(snippet, "  2 |   int x;\n    |       ^");
+    }
+
+    #[test]
+    fn annotated_render_includes_file_and_label() {
+        let src = "int x;";
+        let text = render_annotated("kernel.c", src, Span::new(1, 5), "error[FS001]: unused `x`");
+        assert!(text.starts_with("kernel.c:1:5: error[FS001]: unused `x`\n"));
+        assert!(text.contains("^"));
+        // Out-of-range spans degrade to the header alone.
+        let bare = render_annotated("kernel.c", src, Span::new(9, 1), "oops");
+        assert_eq!(bare, "kernel.c:9:1: oops");
+    }
+}

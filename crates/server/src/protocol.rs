@@ -556,6 +556,10 @@ pub struct MapKnobs {
     /// Also run the mapped program on the cycle-accurate simulator with the
     /// deterministic test signal and report the executed cycles/checksum.
     pub simulate: bool,
+    /// Statically verify the mapping (and lint the kernel source) before
+    /// answering; a deny-level diagnostic turns the response into a typed
+    /// [`WireError::VerifyFailed`].
+    pub verify: bool,
     /// Per-request deadline budget in milliseconds, measured from admission
     /// to the job queue; `0` uses the server's default.  A request that
     /// waits out its budget in the queue is answered with
@@ -571,6 +575,7 @@ impl Default for MapKnobs {
             clustering: true,
             locality: true,
             simulate: false,
+            verify: false,
             deadline_ms: 0,
         }
     }
@@ -583,6 +588,7 @@ impl MapKnobs {
         e.bool(self.clustering);
         e.bool(self.locality);
         e.bool(self.simulate);
+        e.bool(self.verify);
         e.u32(self.deadline_ms);
     }
 
@@ -593,6 +599,7 @@ impl MapKnobs {
             clustering: d.bool("knobs.clustering")?,
             locality: d.bool("knobs.locality")?,
             simulate: d.bool("knobs.simulate")?,
+            verify: d.bool("knobs.verify")?,
             deadline_ms: d.u32("knobs.deadline_ms")?,
         })
     }
@@ -1079,6 +1086,11 @@ pub struct StatsSummary {
     pub served_ok: u64,
     /// Requests whose kernel failed to map (typed `MapFailed` responses).
     pub served_err: u64,
+    /// `map` requests whose mapping the static verifier rejected (typed
+    /// `VerifyFailed` responses; disjoint from `served_err`).
+    pub verify_failures_map: u64,
+    /// `batch` requests containing at least one verify-rejected kernel.
+    pub verify_failures_batch: u64,
     /// Requests rejected at admission because the queue was full.
     pub rejected_overload: u64,
     /// Requests dropped because their deadline budget lapsed in the queue.
@@ -1154,6 +1166,8 @@ impl StatsSummary {
             self.accepted,
             self.served_ok,
             self.served_err,
+            self.verify_failures_map,
+            self.verify_failures_batch,
             self.rejected_overload,
             self.rejected_deadline,
             self.rejected_shutdown,
@@ -1191,6 +1205,8 @@ impl StatsSummary {
             accepted: d.u64("stats.accepted")?,
             served_ok: d.u64("stats.served_ok")?,
             served_err: d.u64("stats.served_err")?,
+            verify_failures_map: d.u64("stats.verify_failures_map")?,
+            verify_failures_batch: d.u64("stats.verify_failures_batch")?,
             rejected_overload: d.u64("stats.rejected_overload")?,
             rejected_deadline: d.u64("stats.rejected_deadline")?,
             rejected_shutdown: d.u64("stats.rejected_shutdown")?,
@@ -1263,6 +1279,16 @@ pub enum WireError {
         /// The mapping error.
         error: String,
     },
+    /// The kernel mapped, but the static verifier found deny-level
+    /// diagnostics (`knobs.verify`); the connection stays healthy.
+    VerifyFailed {
+        /// The kernel name from the request.
+        name: String,
+        /// Number of deny-level diagnostics.
+        denies: u64,
+        /// The first deny-level diagnostic, rendered.
+        first: String,
+    },
     /// The peer's protocol version is not served.  Sent in the *requested*
     /// version's encoding when it is decodable (a v1 client gets a plain v1
     /// error frame, not a hang), after which the server closes the
@@ -1288,6 +1314,14 @@ impl fmt::Display for WireError {
             WireError::ShuttingDown => f.write_str("server is shutting down"),
             WireError::Invalid(reason) => write!(f, "invalid request: {reason}"),
             WireError::MapFailed { name, error } => write!(f, "mapping `{name}` failed: {error}"),
+            WireError::VerifyFailed {
+                name,
+                denies,
+                first,
+            } => write!(
+                f,
+                "verifying `{name}` failed with {denies} error(s); first: {first}"
+            ),
             WireError::UnsupportedVersion {
                 requested,
                 supported,
@@ -1341,6 +1375,7 @@ const ERR_SHUTTING_DOWN: u8 = 3;
 const ERR_INVALID: u8 = 4;
 const ERR_MAP_FAILED: u8 = 5;
 const ERR_UNSUPPORTED_VERSION: u8 = 6;
+const ERR_VERIFY_FAILED: u8 = 7;
 
 impl Response {
     /// Encodes the response into a frame payload.
@@ -1390,6 +1425,16 @@ impl Response {
                         e.u8(ERR_MAP_FAILED);
                         e.str(name);
                         e.str(error);
+                    }
+                    WireError::VerifyFailed {
+                        name,
+                        denies,
+                        first,
+                    } => {
+                        e.u8(ERR_VERIFY_FAILED);
+                        e.str(name);
+                        e.u64(*denies);
+                        e.str(first);
                     }
                     WireError::UnsupportedVersion {
                         requested,
@@ -1443,6 +1488,11 @@ impl Response {
                 ERR_MAP_FAILED => WireError::MapFailed {
                     name: d.str("error.name")?,
                     error: d.str("error.error")?,
+                },
+                ERR_VERIFY_FAILED => WireError::VerifyFailed {
+                    name: d.str("error.name")?,
+                    denies: d.u64("error.denies")?,
+                    first: d.str("error.first")?,
                 },
                 ERR_UNSUPPORTED_VERSION => WireError::UnsupportedVersion {
                     requested: d.u32("error.requested")?,
@@ -1578,6 +1628,7 @@ mod tests {
                     clustering: false,
                     locality: true,
                     simulate: true,
+                    verify: true,
                     deadline_ms: 250,
                 },
             },

@@ -275,6 +275,8 @@ pub struct ServerStats {
     accepted: AtomicU64,
     served_ok: AtomicU64,
     served_err: AtomicU64,
+    verify_failures_map: AtomicU64,
+    verify_failures_batch: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_deadline: AtomicU64,
     rejected_shutdown: AtomicU64,
@@ -294,6 +296,8 @@ impl ServerStats {
             accepted: AtomicU64::new(0),
             served_ok: AtomicU64::new(0),
             served_err: AtomicU64::new(0),
+            verify_failures_map: AtomicU64::new(0),
+            verify_failures_batch: AtomicU64::new(0),
             rejected_overload: AtomicU64::new(0),
             rejected_deadline: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
@@ -313,6 +317,8 @@ impl ServerStats {
             &self.accepted,
             &self.served_ok,
             &self.served_err,
+            &self.verify_failures_map,
+            &self.verify_failures_batch,
             &self.rejected_overload,
             &self.rejected_deadline,
             &self.rejected_shutdown,
@@ -455,6 +461,9 @@ impl Inner {
         if !knobs.locality {
             mapper = mapper.without_locality();
         }
+        if knobs.verify {
+            mapper = mapper.with_verify();
+        }
         self.base.with_mapper(mapper)
     }
 
@@ -481,6 +490,8 @@ impl Inner {
             accepted: self.stats.accepted.load(Ordering::Relaxed),
             served_ok: self.stats.served_ok.load(Ordering::Relaxed),
             served_err: self.stats.served_err.load(Ordering::Relaxed),
+            verify_failures_map: self.stats.verify_failures_map.load(Ordering::Relaxed),
+            verify_failures_batch: self.stats.verify_failures_batch.load(Ordering::Relaxed),
             rejected_overload: self.stats.rejected_overload.load(Ordering::Relaxed),
             rejected_deadline: self.stats.rejected_deadline.load(Ordering::Relaxed),
             rejected_shutdown: self.stats.rejected_shutdown.load(Ordering::Relaxed),
@@ -793,7 +804,12 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
                 done(Response::Mapped(summary), warm)
             }
             Err(error) => {
-                inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
+                let counter = if matches!(error, WireError::VerifyFailed { .. }) {
+                    &inner.stats.verify_failures_map
+                } else {
+                    &inner.stats.served_err
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
                 done(Response::Error(error), None)
             }
         },
@@ -803,22 +819,42 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
                 .map(|k| KernelSpec::new(k.name.clone(), k.source.clone()))
                 .collect();
             let report = service.map_many(&specs);
-            if report.failed() == 0 {
-                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
-            } else {
-                inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
-            }
+            let mut verify_failed = 0usize;
             let entries = report
                 .entries
                 .iter()
-                .map(|entry| BatchEntrySummary {
+                .zip(&specs)
+                .map(|(entry, spec)| BatchEntrySummary {
                     name: entry.name.clone(),
                     outcome: match &entry.outcome {
-                        Ok(result) => Ok(summarize(&entry.name, result, None, decoded_at)),
+                        Ok(result) => {
+                            let rejection = knobs
+                                .verify
+                                .then(|| verify_result(&service, &entry.name, &spec.source, result))
+                                .flatten();
+                            match rejection {
+                                Some(error) => {
+                                    verify_failed += 1;
+                                    Err(error.to_string())
+                                }
+                                None => Ok(summarize(&entry.name, result, None, decoded_at)),
+                            }
+                        }
                         Err(error) => Err(error.to_string()),
                     },
                 })
                 .collect();
+            if verify_failed > 0 {
+                inner
+                    .stats
+                    .verify_failures_batch
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if report.failed() == 0 && verify_failed == 0 {
+                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+            } else if report.failed() > 0 {
+                inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
+            }
             done(
                 Response::Batch(BatchSummary {
                     entries,
@@ -844,6 +880,11 @@ fn serve_map_job(
                 name: kernel.name.clone(),
                 error: error.to_string(),
             })?;
+    if knobs.verify {
+        if let Some(error) = verify_result(service, &kernel.name, &kernel.source, &result) {
+            return Err(error);
+        }
+    }
     let sim = if knobs.simulate {
         Some(simulate(&result).map_err(|error| WireError::MapFailed {
             name: kernel.name.clone(),
@@ -860,6 +901,34 @@ fn serve_map_job(
         decoded_at,
     );
     Ok((summary, value))
+}
+
+/// Lints the kernel source and statically verifies its mapping; `Some` is
+/// the typed [`WireError::VerifyFailed`] to answer with.
+fn verify_result(
+    service: &MappingService,
+    name: &str,
+    source: &str,
+    result: &MappingResult,
+) -> Option<WireError> {
+    // The source mapped, so it parses; an analyzer parse error is
+    // unreachable here and degrades to "no lint findings".
+    let mut report = fpfa_verify::analyze(source).unwrap_or_default();
+    report.merge(fpfa_verify::Verifier::for_mapper(service.mapper()).verify(result));
+    if report.is_clean() {
+        return None;
+    }
+    let first = report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == fpfa_verify::Severity::Deny)
+        .map(ToString::to_string)
+        .unwrap_or_default();
+    Some(WireError::VerifyFailed {
+        name: name.to_string(),
+        denies: report.deny_count() as u64,
+        first,
+    })
 }
 
 fn summarize(
@@ -1445,7 +1514,9 @@ impl<'a> ShardRt<'a> {
             self.finish(conn, id, &response, decoded_at, false);
             return;
         }
-        if !knobs.simulate {
+        // Verify requests must actually verify: the warm tables hold digested
+        // answers, not full mappings, so they cannot vouch for legality.
+        if !knobs.simulate && !knobs.verify {
             self.sync_epoch();
             let fingerprint = self.fingerprint_of(&knobs);
             // L0: a repeat of (knobs, source, name) is answered by copying

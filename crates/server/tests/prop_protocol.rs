@@ -33,15 +33,17 @@ fn arb_knobs() -> impl Strategy<Value = MapKnobs> {
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
+        any::<bool>(),
         any::<u32>(),
     )
         .prop_map(
-            |(tiles, pps, clustering, locality, simulate, deadline_ms)| MapKnobs {
+            |(tiles, pps, clustering, locality, simulate, verify, deadline_ms)| MapKnobs {
                 tiles,
                 pps,
                 clustering,
                 locality,
                 simulate,
+                verify,
                 deadline_ms,
             },
         )
@@ -125,6 +127,13 @@ fn arb_wire_error() -> BoxedStrategy<WireError> {
         Just(WireError::ShuttingDown),
         arb_string().prop_map(WireError::Invalid),
         (arb_string(), arb_string()).prop_map(|(name, error)| WireError::MapFailed { name, error }),
+        (arb_string(), any::<u64>(), arb_string()).prop_map(|(name, denies, first)| {
+            WireError::VerifyFailed {
+                name,
+                denies,
+                first,
+            }
+        }),
         (any::<u32>(), any::<u32>()).prop_map(|(requested, supported)| {
             WireError::UnsupportedVersion {
                 requested,
@@ -176,7 +185,7 @@ fn arb_response() -> BoxedStrategy<Response> {
                 })
             ),
         (
-            prop::collection::vec(any::<u64>(), 24..=24),
+            prop::collection::vec(any::<u64>(), 26..=26),
             arb_histogram(),
             arb_histogram(),
             prop::collection::vec(arb_shard_stats(), 0..4)
@@ -187,26 +196,28 @@ fn arb_response() -> BoxedStrategy<Response> {
                     accepted: counters[1],
                     served_ok: counters[2],
                     served_err: counters[3],
-                    rejected_overload: counters[4],
-                    rejected_deadline: counters[5],
-                    rejected_shutdown: counters[6],
-                    rejected_version: counters[7],
-                    protocol_errors: counters[8],
-                    fast_hits: counters[9],
-                    l0_hits: counters[10],
-                    persist_loads: counters[11],
-                    persist_stores: counters[12],
-                    persist_corrupt_skipped: counters[13],
-                    persist_warm_start_entries: counters[14],
-                    persist_compactions: counters[15],
-                    workers: counters[16],
-                    queue_depth: counters[17],
-                    cache_mapping_hits: counters[18],
-                    cache_mapping_misses: counters[19],
-                    cache_post_hits: counters[20],
-                    cache_post_misses: counters[21],
-                    cache_entries: counters[22],
-                    cache_capacity: counters[23],
+                    verify_failures_map: counters[4],
+                    verify_failures_batch: counters[5],
+                    rejected_overload: counters[6],
+                    rejected_deadline: counters[7],
+                    rejected_shutdown: counters[8],
+                    rejected_version: counters[9],
+                    protocol_errors: counters[10],
+                    fast_hits: counters[11],
+                    l0_hits: counters[12],
+                    persist_loads: counters[13],
+                    persist_stores: counters[14],
+                    persist_corrupt_skipped: counters[15],
+                    persist_warm_start_entries: counters[16],
+                    persist_compactions: counters[17],
+                    workers: counters[18],
+                    queue_depth: counters[19],
+                    cache_mapping_hits: counters[20],
+                    cache_mapping_misses: counters[21],
+                    cache_post_hits: counters[22],
+                    cache_post_misses: counters[23],
+                    cache_entries: counters[24],
+                    cache_capacity: counters[25],
                     map_latency,
                     batch_latency,
                     shards,

@@ -371,6 +371,72 @@ fn invalid_knobs_and_payloads_are_typed_not_fatal() {
 }
 
 #[test]
+fn verify_knob_rejects_bad_kernels_with_a_typed_error() {
+    // Maps fine (the flow has no bounds model) but carries a deny-level
+    // FS006 lint: the constant index 7 is out of bounds for `a[4]`.
+    const OOB: &str = "void main() { int a[4]; int x; int y; x = a[7]; y = x; }";
+
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Without the knob the kernel is served — and seeds the shard's warm
+    // table, so the verified retry below also proves the fast path cannot
+    // vouch for a request that asked for verification.
+    let unchecked = client
+        .map("oob", OOB, MapKnobs::default())
+        .expect("maps without verification");
+    assert_eq!(unchecked.name, "oob");
+
+    let verify = MapKnobs {
+        verify: true,
+        ..MapKnobs::default()
+    };
+    let rejected = client.map("oob", OOB, verify).unwrap_err();
+    match rejected {
+        ClientError::Server(WireError::VerifyFailed {
+            name,
+            denies,
+            first,
+        }) => {
+            assert_eq!(name, "oob");
+            assert!(denies >= 1);
+            assert!(first.contains("FS006"), "unexpected diagnostic: {first}");
+        }
+        other => panic!("expected VerifyFailed, got {other:?}"),
+    }
+
+    // The rejection is typed, not fatal: the same connection keeps serving,
+    // and a clean kernel passes verification (cold and cache-served alike).
+    let cold = client.map("k", TRIVIAL, verify).expect("clean verifies");
+    let warm = client.map("k", TRIVIAL, verify).expect("warm re-verify");
+    assert_eq!(warm.digest, cold.digest);
+
+    // Batches verify per entry: the bad kernel is rejected in place while
+    // its neighbours are served.
+    let batch = client
+        .batch(
+            vec![
+                KernelSource::new("good", TRIVIAL),
+                KernelSource::new("oob", OOB),
+            ],
+            verify,
+        )
+        .expect("batch call");
+    assert!(batch.entries[0].outcome.is_ok());
+    let error = batch.entries[1].outcome.as_ref().unwrap_err();
+    assert!(error.contains("FS006"), "unexpected batch error: {error}");
+
+    let stats = handle.stats();
+    assert!(stats.verify_failures_map >= 1, "map rejections: {stats:?}");
+    assert!(
+        stats.verify_failures_batch >= 1,
+        "batch rejections: {stats:?}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn stats_reset_clears_cache_and_counters() {
     let handle = start(ServerConfig::default(), Mapper::new());
     let mut client = Client::connect(handle.addr()).expect("connect");

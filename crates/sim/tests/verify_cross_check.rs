@@ -1,0 +1,80 @@
+//! Cross-check between the two equivalence oracles: the static verifier
+//! (`fpfa-verify`, translation validation over the finished mapping) and
+//! the dynamic one (the cycle-accurate simulator diffed against the CDFG
+//! reference interpreter).  A mapping the verifier passes must also
+//! simulate equivalently, and a mutation the verifier rejects for a
+//! *semantic* defect must not be vouched for by the simulator either.
+
+use fpfa_core::pipeline::Mapper;
+use fpfa_sim::{check_against_cdfg, check_multi_against_cdfg, SimInputs};
+use fpfa_verify::{Mutation, Verifier};
+use fpfa_workloads::Kernel;
+
+fn inputs_for(kernel: &Kernel, mapping: &fpfa_core::MappingResult) -> SimInputs {
+    let mut inputs = SimInputs::new();
+    for (name, values) in &kernel.arrays {
+        let sym = mapping.layout.array(name).expect("array in layout");
+        inputs.statespace.store_array(sym.base, values);
+    }
+    for (name, value) in &kernel.scalars {
+        inputs.scalars.insert(name.clone(), *value);
+    }
+    inputs
+}
+
+#[test]
+fn statically_verified_mappings_also_simulate_equivalently() {
+    for tiles in [1usize, 4] {
+        let mapper = Mapper::new().with_tiles(tiles);
+        let verifier = Verifier::for_mapper(&mapper);
+        for kernel in fpfa_workloads::registry() {
+            let mapping = mapper.map_source(&kernel.source).expect("registry maps");
+            let report = verifier.verify(&mapping);
+            assert!(
+                report.is_clean(),
+                "`{}` on {tiles} tile(s) fails static verification:\n{report}",
+                kernel.name
+            );
+            let inputs = inputs_for(&kernel, &mapping);
+            let equivalence = match mapping.multi.as_deref() {
+                Some(multi) => {
+                    check_multi_against_cdfg(&mapping.simplified, &multi.program, &inputs)
+                }
+                None => check_against_cdfg(&mapping.simplified, &mapping.program, &inputs),
+            }
+            .expect("both oracles execute");
+            assert!(
+                equivalence.is_equivalent(),
+                "`{}` on {tiles} tile(s): the verifier passed a mapping the \
+                 simulator rejects — {equivalence}",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn a_dropped_transfer_is_caught_by_both_oracles() {
+    // Seed the one mutation class whose defect is observable dynamically
+    // (missing inter-tile data): the static verifier must flag it as FV009
+    // and the simulator must not certify the mutant as equivalent.
+    let kernel = fpfa_workloads::fir(64);
+    let mapper = Mapper::new().with_tiles(4);
+    let mut mapping = mapper.map_source(&kernel.source).expect("fir64 maps");
+    Mutation::DropTransfer
+        .apply(&mut mapping)
+        .expect("a 4-tile fir64 mapping has transfers");
+
+    let report = Verifier::for_mapper(&mapper).verify(&mapping);
+    assert!(report.has_rule("FV009"), "static oracle missed:\n{report}");
+
+    let inputs = inputs_for(&kernel, &mapping);
+    let multi = mapping.multi.as_deref().expect("multi-tile result");
+    let dynamically_ok = check_multi_against_cdfg(&mapping.simplified, &multi.program, &inputs)
+        .map(|equivalence| equivalence.is_equivalent())
+        .unwrap_or(false);
+    assert!(
+        !dynamically_ok,
+        "the simulator certified a mapping with a dropped transfer"
+    );
+}

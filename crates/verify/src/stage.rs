@@ -1,0 +1,103 @@
+//! [`VerifyStage`]: the mapping verifier packaged as an opt-in flow stage.
+//!
+//! The stage passes its input through untouched when
+//! [`fpfa_core::FlowToggles::verify`] is off; when on, it runs the full
+//! [`Verifier`] against the result and turns any deny-level diagnostic into a
+//! [`MapError::VerificationFailed`]. Warnings never fail the stage.
+//!
+//! `fpfa-core` cannot depend on this crate (the verifier depends on the
+//! flow's types), so the stage is appended by the *callers* of the mapper —
+//! the CLI binaries, the server's job loop, or any custom
+//! [`Stage`] chain built downstream.
+
+use crate::diag::Severity;
+use crate::mapping::Verifier;
+use fpfa_core::{FlowContext, MapError, MappingResult, Stage};
+
+/// A flow stage that verifies the mapping it is handed.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct VerifyStage;
+
+impl Stage<MappingResult, MappingResult> for VerifyStage {
+    fn name(&self) -> &'static str {
+        "verify"
+    }
+
+    fn run(&self, input: MappingResult, cx: &mut FlowContext) -> Result<MappingResult, MapError> {
+        if !cx.toggles.verify {
+            return Ok(input);
+        }
+        let verifier = Verifier::new(cx.config, cx.array, cx.toggles);
+        let report = verifier.verify(&input);
+        if report.is_clean() {
+            return Ok(input);
+        }
+        let first = report
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Deny)
+            .map(ToString::to_string)
+            .unwrap_or_default();
+        Err(MapError::VerificationFailed {
+            denies: report.deny_count(),
+            first,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpfa_arch::TileConfig;
+    use fpfa_core::{FlowToggles, Mapper};
+
+    const FIR: &str = r#"
+        void main() {
+            int a[8];
+            int c[8];
+            int sum;
+            int i;
+            sum = 0; i = 0;
+            while (i < 8) { sum = sum + a[i] * c[i]; i = i + 1; }
+        }
+    "#;
+
+    fn context(verify: bool) -> FlowContext {
+        let toggles = FlowToggles {
+            verify,
+            ..FlowToggles::default()
+        };
+        FlowContext::new(TileConfig::default()).with_toggles(toggles)
+    }
+
+    #[test]
+    fn passes_clean_results_through() {
+        let result = Mapper::default().map_source(FIR).unwrap();
+        let mut cx = context(true);
+        let out = VerifyStage.run(result, &mut cx).unwrap();
+        assert_eq!(out.report.kernel, "main");
+    }
+
+    #[test]
+    fn rejects_tampered_results_when_toggled_on() {
+        let mut result = Mapper::default().map_source(FIR).unwrap();
+        result.report.cycles += 1;
+        let mut cx = context(true);
+        let err = VerifyStage.run(result, &mut cx).unwrap_err();
+        match err {
+            MapError::VerificationFailed { denies, first } => {
+                assert!(denies >= 1);
+                assert!(first.contains("FV014"), "first diagnostic: {first}");
+            }
+            other => panic!("expected VerificationFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn is_a_no_op_when_toggled_off() {
+        let mut result = Mapper::default().map_source(FIR).unwrap();
+        result.report.cycles += 1;
+        let mut cx = context(false);
+        assert!(VerifyStage.run(result, &mut cx).is_ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! Mutation-kill suite: every seeded defect class from
+//! [`fpfa_verify::Mutation`] must be rejected by the verifier with its
+//! documented rule id, on every result shape the mutation applies to.
+//!
+//! This is the empirical half of the translation-validation argument: the
+//! rules in `mapping.rs` claim to catch whole defect classes, and this suite
+//! demonstrates each class is actually killed, not just plausibly covered.
+
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::MappingResult;
+use fpfa_verify::{Mutation, Verifier};
+
+/// A kernel with enough clusters and schedule levels that every single-tile
+/// mutation finds something to corrupt.
+const FIR16: &str = r#"
+    void main() {
+        int a[16];
+        int c[16];
+        int sum;
+        int i;
+        sum = 0; i = 0;
+        while (i < 16) { sum = sum + a[i] * c[i]; i = i + 1; }
+    }
+"#;
+
+fn single_tile() -> (Mapper, MappingResult) {
+    let mapper = Mapper::new();
+    let result = mapper.map_source(FIR16).expect("FIR-16 maps on one tile");
+    assert!(result.multi.is_none());
+    (mapper, result)
+}
+
+fn multi_tile() -> (Mapper, MappingResult) {
+    let mapper = Mapper::new().with_tiles(4);
+    let result = mapper.map_source(FIR16).expect("FIR-16 maps on 4 tiles");
+    assert!(result.multi.is_some());
+    (mapper, result)
+}
+
+/// Applies `mutation` to a fresh mapping of the given shape; returns the
+/// verifier's report when the mutation applied, `None` when it reported
+/// itself inapplicable to that shape.
+fn kill_on(
+    mutation: Mutation,
+    make: fn() -> (Mapper, MappingResult),
+) -> Option<fpfa_verify::VerifyReport> {
+    let (mapper, mut result) = make();
+    let baseline = Verifier::for_mapper(&mapper).verify(&result);
+    assert!(
+        baseline.is_clean(),
+        "the unmutated mapping must verify clean, got:\n{baseline}"
+    );
+    match mutation.apply(&mut result) {
+        Ok(_) => Some(Verifier::for_mapper(&mapper).verify(&result)),
+        Err(_) => None,
+    }
+}
+
+#[test]
+fn every_mutation_class_is_killed_with_its_documented_rule() {
+    for &mutation in Mutation::all() {
+        let rule = mutation.expected_rule();
+        let mut applied_somewhere = false;
+        for make in [single_tile as fn() -> _, multi_tile as fn() -> _] {
+            if let Some(report) = kill_on(mutation, make) {
+                applied_somewhere = true;
+                assert!(
+                    report.has_rule(rule),
+                    "{mutation:?} survived: expected {rule}, got:\n{report}"
+                );
+                assert!(report.deny_count() >= 1, "{rule} must be deny-level");
+            }
+        }
+        assert!(
+            applied_somewhere,
+            "{mutation:?} applied to neither result shape — the kill suite \
+             never exercised it"
+        );
+    }
+}
+
+#[test]
+fn schedule_mutations_apply_to_single_tile_results() {
+    for mutation in [Mutation::SwapScheduleLevels, Mutation::OversubscribeLevel] {
+        let (_, mut result) = single_tile();
+        mutation
+            .apply(&mut result)
+            .unwrap_or_else(|reason| panic!("{mutation:?} should apply: {reason}"));
+    }
+}
+
+#[test]
+fn transfer_drop_applies_to_multi_tile_results() {
+    let (_, mut result) = multi_tile();
+    Mutation::DropTransfer
+        .apply(&mut result)
+        .expect("a 4-tile FIR-16 mapping has inter-tile transfers");
+}
+
+#[test]
+fn inapplicable_mutations_leave_the_result_untouched() {
+    let (mapper, mut result) = single_tile();
+    let refused = Mutation::DropTransfer.apply(&mut result);
+    assert!(refused.is_err(), "single-tile results have no transfers");
+    let report = Verifier::for_mapper(&mapper).verify(&result);
+    assert!(report.is_clean(), "refused mutation corrupted the result");
+}

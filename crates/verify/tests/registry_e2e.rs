@@ -1,0 +1,51 @@
+//! End-to-end verification over the whole workload registry: every
+//! registry kernel, at one and four tiles, cold-mapped and cache-served,
+//! must come out of the flow with zero deny-level diagnostics — the
+//! repository-wide "the flow produces only legal mappings" gate.
+
+use fpfa_core::pipeline::Mapper;
+use fpfa_core::service::MappingService;
+use fpfa_verify::Verifier;
+
+#[test]
+fn the_whole_registry_verifies_clean_at_one_and_four_tiles() {
+    for tiles in [1usize, 4] {
+        let mapper = Mapper::new().with_tiles(tiles);
+        let verifier = Verifier::for_mapper(&mapper);
+        let service = MappingService::new(mapper);
+        for kernel in fpfa_workloads::registry() {
+            // Frontend lints: registry kernels must be deny-free (warnings
+            // are tolerated — some kernels keep illustrative scratch vars).
+            let lints = fpfa_verify::analyze(&kernel.source)
+                .unwrap_or_else(|e| panic!("`{}` fails the frontend: {e}", kernel.name));
+            assert_eq!(
+                lints.deny_count(),
+                0,
+                "`{}` has deny-level lints:\n{lints}",
+                kernel.name
+            );
+
+            let cold = service.map_source(&kernel.source).unwrap_or_else(|e| {
+                panic!("`{}` fails to map on {tiles} tile(s): {e}", kernel.name)
+            });
+            let report = verifier.verify(&cold);
+            assert_eq!(
+                report.deny_count(),
+                0,
+                "`{}` cold-mapped on {tiles} tile(s) fails verification:\n{report}",
+                kernel.name
+            );
+
+            let warm = service
+                .map_source(&kernel.source)
+                .unwrap_or_else(|e| panic!("`{}` warm repeat failed: {e}", kernel.name));
+            let report = verifier.verify(&warm);
+            assert_eq!(
+                report.deny_count(),
+                0,
+                "`{}` cache-served on {tiles} tile(s) fails verification:\n{report}",
+                kernel.name
+            );
+        }
+    }
+}

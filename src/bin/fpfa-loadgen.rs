@@ -26,6 +26,7 @@
 //! fpfa-loadgen --min-hit-ratio 0.9 --forbid-overload  # CI assertions
 //! fpfa-loadgen --min-throughput 1000                  # req/s floor (exit non-zero below)
 //! fpfa-loadgen --cold-storm                           # reset the cache before measuring
+//! fpfa-loadgen --verify                               # server-side verification on every request
 //! fpfa-loadgen --shutdown                             # stop the daemon afterwards
 //! ```
 //!
@@ -68,13 +69,14 @@ struct Options {
     min_throughput: Option<f64>,
     forbid_overload: bool,
     cold_storm: bool,
+    verify: bool,
     shutdown: bool,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--tiles N] \
      [--open-loop --rate R] [--min-hit-ratio F] [--min-throughput F] [--forbid-overload] \
-     [--cold-storm] [--shutdown]"
+     [--cold-storm] [--verify] [--shutdown]"
 }
 
 fn quick_mode() -> bool {
@@ -94,6 +96,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         min_throughput: None,
         forbid_overload: false,
         cold_storm: false,
+        verify: false,
         shutdown: false,
     };
     let mut iter = args.iter();
@@ -138,6 +141,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--forbid-overload" => options.forbid_overload = true,
             "--cold-storm" => options.cold_storm = true,
+            "--verify" => options.verify = true,
             "--shutdown" => options.shutdown = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
@@ -197,6 +201,7 @@ fn run(options: &Options) -> Result<(), String> {
         .collect();
     let knobs = MapKnobs {
         tiles: options.tiles as u32,
+        verify: options.verify,
         ..MapKnobs::default()
     };
 
@@ -277,6 +282,14 @@ fn run(options: &Options) -> Result<(), String> {
         stats.l0_hits,
         stats.protocol_errors,
     );
+    if options.verify || stats.verify_failures_map + stats.verify_failures_batch > 0 {
+        println!(
+            "  server: {} verify failure(s) (map/batch {}/{})",
+            stats.verify_failures_map + stats.verify_failures_batch,
+            stats.verify_failures_map,
+            stats.verify_failures_batch
+        );
+    }
     println!(
         "  cache: {}/{} mapping hit(s), ratio {hit_ratio:.3}, {} resident entr(ies)",
         stats.cache_mapping_hits,

@@ -11,6 +11,8 @@
 //! fpfa-map kernel.c --pps 3          # target a 3-PP tile
 //! fpfa-map kernel.c --tiles 4        # partition across a 4-tile array
 //! fpfa-map kernel.c --no-clustering --no-locality
+//! fpfa-map kernel.c --verify         # lint the source + verify the mapping
+//! fpfa-map kernel.c --diag-json      # ... with machine-readable diagnostics
 //! fpfa-map kernel.c --simulate       # run on the cycle-accurate simulator
 //! fpfa-map kernel.c --timings        # per-stage wall-clock breakdown
 //! fpfa-map kernel.c --repeat 5       # re-map through one MappingService
@@ -29,6 +31,13 @@
 //! mapping N times through one long-lived `MappingService`, printing the
 //! wall-clock and cache stats of every pass: the first pass is cold, later
 //! passes are served from the cache.
+//!
+//! With `--verify`, the kernel source is linted by the `fpfa-verify` semantic
+//! pass (`FS0xx` rules, spans and snippets included) and the finished mapping
+//! is re-checked by the static mapping verifier (`FV0xx` rules); any
+//! deny-level diagnostic fails the run with a non-zero exit code.
+//! `--diag-json` (implies `--verify`) additionally prints every diagnostic as
+//! one JSON array of `{"kernel":..,"diagnostics":[..]}` objects on stdout.
 
 use fpfa::arch::{EnergyModel, TileConfig};
 use fpfa::core::pipeline::Mapper;
@@ -54,15 +63,18 @@ struct Options {
     repeat: usize,
     cache_capacity: Option<usize>,
     cache_dir: Option<String>,
+    verify: bool,
+    diag_json: bool,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
      [--legacy-transform] [--parallel-stages] [--listing] [--dot cdfg|clusters|schedule] \
-     [--simulate] [--timings] [--repeat N] [--cache-capacity N] [--cache-dir DIR]\n\
+     [--simulate] [--timings] [--verify] [--diag-json] [--repeat N] [--cache-capacity N] \
+     [--cache-dir DIR]\n\
      \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
-     [--legacy-transform] [--parallel-stages] [--timings] [--repeat N] [--cache-capacity N] \
-     [--cache-dir DIR]"
+     [--legacy-transform] [--parallel-stages] [--timings] [--verify] [--diag-json] \
+     [--repeat N] [--cache-capacity N] [--cache-dir DIR]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -83,6 +95,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         repeat: 1,
         cache_capacity: None,
         cache_dir: None,
+        verify: false,
+        diag_json: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -132,6 +146,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--legacy-transform" => options.legacy_transform = true,
             "--parallel-stages" => options.parallel_stages = true,
             "--listing" => options.listing = true,
+            "--verify" => options.verify = true,
+            "--diag-json" => {
+                options.diag_json = true;
+                options.verify = true;
+            }
             "--simulate" => options.simulate = true,
             "--timings" => options.timings = true,
             "--batch" => options.batch = true,
@@ -202,6 +221,9 @@ fn build_mapper(options: &Options) -> Mapper {
     if options.parallel_stages {
         mapper = mapper.with_parallel_stages();
     }
+    if options.verify {
+        mapper = mapper.with_verify();
+    }
     if let Some(threads) = options.threads {
         mapper = mapper
             .with_batch_threads(threads)
@@ -226,6 +248,55 @@ fn build_service(options: &Options) -> Result<MappingService, String> {
             None => MappingService::new(mapper),
         }),
     }
+}
+
+/// Lints one kernel source and statically verifies its mapping, collecting
+/// every diagnostic into one report. Parse failures surface as an error.
+fn verify_kernel(
+    verifier: &fpfa::verify::Verifier,
+    name: &str,
+    source: &str,
+    mapping: Option<&MappingResult>,
+) -> Result<fpfa::verify::VerifyReport, String> {
+    let mut report = fpfa::verify::analyze(source)
+        .map_err(|e| format!("cannot lint {name}:\n{}", e.render(name, source)))?;
+    if let Some(mapping) = mapping {
+        report.merge(verifier.verify(mapping));
+    }
+    Ok(report)
+}
+
+/// Prints a report's diagnostics in `rustc` style: `name:line:col:
+/// severity[rule]: message`, followed by the annotated source line for
+/// span-carrying (frontend) diagnostics.
+fn print_diagnostics(name: &str, source: &str, report: &fpfa::verify::VerifyReport) {
+    for diagnostic in &report.diagnostics {
+        match diagnostic.span {
+            Some(span) => {
+                eprintln!("{name}:{diagnostic}");
+                let snippet = fpfa::frontend::render_snippet(source, span);
+                if !snippet.is_empty() {
+                    eprintln!("{snippet}");
+                }
+            }
+            None => eprintln!("{name}: {diagnostic}"),
+        }
+    }
+}
+
+/// One `{"kernel":..,"diagnostics":[..]}` object of the `--diag-json` array.
+fn diag_json_entry(name: &str, report: &fpfa::verify::VerifyReport) -> String {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    format!(
+        "{{\"kernel\":\"{escaped}\",\"diagnostics\":{}}}",
+        report.to_json()
+    )
 }
 
 /// `--batch`: maps every given kernel (or the built-in workload registry)
@@ -281,6 +352,32 @@ fn run_batch(options: &Options) -> Result<(), String> {
             persist.compactions
         );
     }
+    let mut verify_denies = 0usize;
+    if options.verify {
+        let verifier = fpfa::verify::Verifier::for_mapper(&build_mapper(options));
+        let mut json_entries = Vec::new();
+        for (spec, entry) in specs.iter().zip(&report.entries) {
+            let diags = verify_kernel(
+                &verifier,
+                &entry.name,
+                &spec.source,
+                entry.outcome.as_ref().ok(),
+            )?;
+            print_diagnostics(&entry.name, &spec.source, &diags);
+            verify_denies += diags.deny_count();
+            if options.diag_json {
+                json_entries.push(diag_json_entry(&entry.name, &diags));
+            }
+        }
+        if options.diag_json {
+            println!("[{}]", json_entries.join(","));
+        }
+    }
+    if verify_denies > 0 {
+        return Err(format!(
+            "verification failed with {verify_denies} error(s) across the batch"
+        ));
+    }
     if report.failed() > 0 {
         // Name every failing spec (by its disambiguated entry name) on
         // stderr, so a scripted batch caller sees which kernel broke without
@@ -299,6 +396,24 @@ fn run_batch(options: &Options) -> Result<(), String> {
 fn run(options: &Options) -> Result<(), String> {
     let path = &options.paths[0];
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    // Lint before mapping, so kernels the lowering rejects still produce
+    // span-carrying diagnostics instead of a bare frontend error.
+    let mut diags = fpfa::verify::VerifyReport::new();
+    if options.verify {
+        diags = fpfa::verify::analyze(&source)
+            .map_err(|e| format!("cannot lint {path}:\n{}", e.render(path, &source)))?;
+        if !diags.is_clean() {
+            print_diagnostics(path, &source, &diags);
+            if options.diag_json {
+                println!("[{}]", diag_json_entry(path, &diags));
+            }
+            return Err(format!(
+                "verification failed with {} error(s) in {path}",
+                diags.deny_count()
+            ));
+        }
+    }
 
     let mapping = if options.repeat > 1 || options.cache_dir.is_some() {
         // Repeat (and persistent-cache) runs share one long-lived service:
@@ -337,6 +452,21 @@ fn run(options: &Options) -> Result<(), String> {
             .map_source(&source)
             .map_err(|e| e.to_string())?
     };
+
+    if options.verify {
+        let verifier = fpfa::verify::Verifier::for_mapper(&build_mapper(options));
+        diags.merge(verifier.verify(&mapping));
+        print_diagnostics(path, &source, &diags);
+        if options.diag_json {
+            println!("[{}]", diag_json_entry(path, &diags));
+        }
+        if !diags.is_clean() {
+            return Err(format!(
+                "verification failed with {} error(s) in {path}",
+                diags.deny_count()
+            ));
+        }
+    }
 
     match options.dot.as_deref() {
         Some("cdfg") => {

@@ -213,11 +213,15 @@ fn main() -> ExitCode {
     let stats = handle.join();
     println!(
         "fpfa-serve: drained and stopped; {} connection(s), {} request(s) accepted, \
-         {} served ok, {} map failure(s), {} overloaded, {} deadline-expired",
+         {} served ok, {} map failure(s), {} verify failure(s) (map/batch {}/{}), \
+         {} overloaded, {} deadline-expired",
         stats.connections,
         stats.accepted,
         stats.served_ok,
         stats.served_err,
+        stats.verify_failures_map + stats.verify_failures_batch,
+        stats.verify_failures_map,
+        stats.verify_failures_batch,
         stats.rejected_overload,
         stats.rejected_deadline
     );

@@ -8,6 +8,7 @@
 //! * [`core`] — clustering, scheduling and resource allocation;
 //! * [`server`] — mapping-as-a-service: wire protocol, daemon and client;
 //! * [`sim`] — the cycle-accurate tile simulator;
+//! * [`verify`] — static mapping verification and frontend lints;
 //! * [`workloads`] — parameterised DSP kernels.
 
 pub use fpfa_arch as arch;
@@ -17,4 +18,5 @@ pub use fpfa_frontend as frontend;
 pub use fpfa_server as server;
 pub use fpfa_sim as sim;
 pub use fpfa_transform as transform;
+pub use fpfa_verify as verify;
 pub use fpfa_workloads as workloads;
