@@ -190,6 +190,28 @@ impl FlowTrace {
     pub fn total_wall(&self) -> Duration {
         self.timings.iter().map(|t| t.wall).sum()
     }
+
+    /// The per-stage timings as one JSON array of
+    /// `{"stage":..,"wall_micros":..,"changes":..}` objects, in completion
+    /// order — the machine-readable counterpart of the `Display` listing,
+    /// consumed by `fpfa-map --timings-json` and the serving layer's span
+    /// bridge.  Stage names are identifier-like, so no escaping is needed.
+    pub fn timings_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, timing) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"wall_micros\":{},\"changes\":{}}}",
+                timing.stage,
+                timing.wall.as_micros(),
+                timing.changes
+            ));
+        }
+        out.push(']');
+        out
+    }
 }
 
 impl fmt::Display for FlowTrace {

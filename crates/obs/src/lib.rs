@@ -1,0 +1,29 @@
+//! `fpfa-obs` — unified observability for the FPFA flow and serving layer.
+//!
+//! Three pieces, all std-only and allocation-free on the hot path:
+//!
+//! - [`metrics`]: a [`Registry`] of typed counters, gauges and power-of-two
+//!   histograms under stable dotted names with label sets, recorded with
+//!   relaxed atomics and rendered as Prometheus-style text or JSON.
+//! - [`trace`]: an RAII [`Span`] API over a bounded ring-buffer
+//!   [`TraceSink`], attributing named intervals to a per-request trace id.
+//! - [`flight`]: a per-shard [`FlightRecorder`] ring of recent request
+//!   summaries, dumped as JSON on drain, on SIGUSR1, or on demand.
+//!
+//! See `docs/OBSERVABILITY.md` at the repository root for the metric name
+//! table, the span taxonomy, and the flight-recorder dump schema.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{dump_json, FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use metrics::{
+    bucket_of, quantile_upper_bound, Counter, Gauge, Histogram, MetricKey, MetricSnapshot,
+    MetricValue, Registry, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{Span, SpanEvent, TraceSink};

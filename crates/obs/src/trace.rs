@@ -1,0 +1,195 @@
+//! Request tracing: a lightweight span API over a fixed-size ring of events.
+//!
+//! Spans are cheap by construction: a [`SpanEvent`] is `Copy` (static name,
+//! four integers), recording appends to a bounded `VecDeque` behind a mutex
+//! that is only touched for *sampled* requests, and the RAII [`Span`] guard
+//! measures wall time without any allocation.  The sink keeps the most
+//! recent `capacity` events; older events are evicted, which is the point —
+//! it answers "where did the last few requests' time go", not "archive
+//! everything".
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::json;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One recorded span: a named interval attributed to a trace id.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpanEvent {
+    /// Trace id (derived from the v2 request id).
+    pub trace_id: u64,
+    /// Static span name from the span taxonomy (e.g. `queue.wait`).
+    pub name: &'static str,
+    /// Span start, microseconds since the sink's epoch.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct SinkInner {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+}
+
+/// A shared ring-buffer sink for span events.
+#[derive(Clone)]
+pub struct TraceSink {
+    inner: Arc<Mutex<SinkInner>>,
+    epoch: Instant,
+}
+
+impl TraceSink {
+    /// Creates a sink retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(SinkInner {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity: capacity.max(1),
+            })),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the sink was created; span timestamps are
+    /// expressed on this clock.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a completed span directly (for intervals measured externally,
+    /// e.g. queue wait reconstructed from enqueue/dequeue stamps).
+    pub fn record(&self, event: SpanEvent) {
+        let mut inner = lock(&self.inner);
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Opens an RAII span: the interval from now until the guard drops is
+    /// recorded under `name` for `trace_id`.
+    pub fn enter(&self, trace_id: u64, name: &'static str) -> Span {
+        Span {
+            sink: self.clone(),
+            trace_id,
+            name,
+            started: Instant::now(),
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn recent(&self) -> Vec<SpanEvent> {
+        lock(&self.inner).events.iter().copied().collect()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        lock(&self.inner).events.clear();
+    }
+
+    /// Renders the retained events as a JSON array (used by the flight
+    /// recorder dump).
+    pub fn to_json(&self) -> String {
+        let events = self.recent();
+        let mut out = String::from("[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"trace_id\":{},\"name\":", ev.trace_id);
+            json::escape_into(&mut out, ev.name);
+            let _ = write!(
+                out,
+                ",\"start_us\":{},\"dur_us\":{}}}",
+                ev.start_us, ev.dur_us
+            );
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// RAII guard created by [`TraceSink::enter`]; records its span on drop.
+pub struct Span {
+    sink: TraceSink,
+    trace_id: u64,
+    name: &'static str,
+    started: Instant,
+    start_us: u64,
+}
+
+impl Span {
+    /// Microseconds elapsed since the span was opened.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.sink.record(SpanEvent {
+            trace_id: self.trace_id,
+            name: self.name,
+            start_us: self.start_us,
+            dur_us: self.elapsed_us(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raii_span_records_on_drop() {
+        let sink = TraceSink::new(8);
+        {
+            let _span = sink.enter(42, "decode");
+        }
+        let events = sink.recent();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace_id, 42);
+        assert_eq!(events[0].name, "decode");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let sink = TraceSink::new(3);
+        for i in 0..5u64 {
+            sink.record(SpanEvent {
+                trace_id: i,
+                name: "x",
+                start_us: i,
+                dur_us: 1,
+            });
+        }
+        let ids: Vec<u64> = sink.recent().iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn json_render_parses() {
+        let sink = TraceSink::new(4);
+        sink.record(SpanEvent {
+            trace_id: 7,
+            name: "queue.wait",
+            start_us: 10,
+            dur_us: 3,
+        });
+        let doc = json::parse(&sink.to_json()).expect("valid json");
+        let items = doc.as_array().expect("array");
+        assert_eq!(items.len(), 1);
+        let obj = items[0].as_object().expect("object");
+        assert_eq!(obj["trace_id"].as_u64(), Some(7));
+        assert_eq!(obj["name"].as_str(), Some("queue.wait"));
+    }
+}

@@ -1,0 +1,278 @@
+//! Property tests for the exposition formats: any registered metric set must
+//! render valid Prometheus text and JSON that round-trips, and concurrent
+//! recording must never lose counts.
+
+use std::thread;
+
+use fpfa_obs::{MetricValue, Registry, Snapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Decl {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(Vec<u64>),
+}
+
+fn decl_strategy() -> impl Strategy<Value = Decl> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Decl::Counter),
+        (0u64..1_000_000).prop_map(Decl::Gauge),
+        prop::collection::vec(0u64..5_000_000, 0..8).prop_map(Decl::Histogram),
+    ]
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just("serve"),
+            Just("cache"),
+            Just("map"),
+            Just("latency"),
+            Just("queue.wait"),
+            Just("9weird"),
+            Just("p99"),
+        ],
+        1..3,
+    )
+    .prop_map(|parts| parts.join("."))
+}
+
+fn labels_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![Just("shard"), Just("outcome"), Just("verb")],
+            prop_oneof![
+                Just("0".to_string()),
+                Just("ok".to_string()),
+                Just("l0".to_string()),
+                Just("with \"quotes\"".to_string()),
+                Just("back\\slash\nnewline".to_string()),
+            ],
+        )
+            .prop_map(|(k, v)| (k.to_string(), v)),
+        0..3,
+    )
+}
+
+type MetricDecl = (String, Vec<(String, String)>, Decl);
+
+fn build_registry(decls: &[MetricDecl]) -> Registry {
+    let reg = Registry::new();
+    for (name, labels, decl) in decls {
+        let labels: Vec<(&str, &str)> = labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        match decl {
+            Decl::Counter(v) => reg.counter(name, &labels).add(*v),
+            Decl::Gauge(v) => reg.gauge(name, &labels).set(*v),
+            Decl::Histogram(samples) => {
+                let h = reg.histogram(name, &labels);
+                for &s in samples {
+                    h.record(s);
+                }
+            }
+        }
+    }
+    reg
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrips_for_any_metric_set(
+        decls in prop::collection::vec(
+            (name_strategy(), labels_strategy(), decl_strategy()),
+            0..12,
+        )
+    ) {
+        // Same (name, labels) may repeat with a different instrument type;
+        // keep the first declaration per key so registration stays
+        // homogeneous, and merge repeats of the same type like real callers
+        // would.
+        let mut seen: Vec<(String, Vec<(String, String)>)> = Vec::new();
+        let mut kept = Vec::new();
+        for (name, mut labels, decl) in decls {
+            labels.sort();
+            labels.dedup_by(|a, b| a.0 == b.0);
+            let key = (name.clone(), labels.clone());
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            kept.push((name, labels, decl));
+        }
+        let reg = build_registry(&kept);
+        let snap = reg.snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).expect("snapshot JSON parses");
+        prop_assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed(
+        decls in prop::collection::vec(
+            (name_strategy(), labels_strategy(), decl_strategy()),
+            0..12,
+        )
+    ) {
+        let mut seen: Vec<(String, Vec<(String, String)>)> = Vec::new();
+        let mut kept = Vec::new();
+        for (name, mut labels, decl) in decls {
+            labels.sort();
+            labels.dedup_by(|a, b| a.0 == b.0);
+            let key = (name.clone(), labels.clone());
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            kept.push((name, labels, decl));
+        }
+        let reg = build_registry(&kept);
+        let text = reg.render_prometheus();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                prop_assert!(is_valid_metric_name(family), "bad family `{}`", family);
+                prop_assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "bad type `{}`", kind
+                );
+                prop_assert!(parts.next().is_none(), "trailing tokens in `{}`", line);
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let space = line.rfind(' ').expect("sample line has a value");
+            let (series, value) = line.split_at(space);
+            prop_assert!(
+                value[1..].parse::<u64>().is_ok(),
+                "sample value not a u64 in `{}`", line
+            );
+            let name_end = series.find('{').unwrap_or(series.len());
+            prop_assert!(
+                is_valid_metric_name(&series[..name_end]),
+                "bad series name in `{}`", line
+            );
+            if name_end < series.len() {
+                prop_assert!(series.ends_with('}'), "unterminated labels in `{}`", line);
+                let body = &series[name_end + 1..series.len() - 1];
+                prop_assert!(labels_well_formed(body), "bad labels in `{}`", line);
+            }
+        }
+    }
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates the inside of a `{...}` label block: `key="value",...` with
+/// `\\`, `\"` and `\n` as the only escapes.
+fn labels_well_formed(body: &str) -> bool {
+    let bytes = body.as_bytes();
+    let mut pos = 0;
+    loop {
+        let key_start = pos;
+        while pos < bytes.len() && bytes[pos] != b'=' {
+            pos += 1;
+        }
+        if pos == key_start || pos == bytes.len() {
+            return false;
+        }
+        if !is_valid_metric_name(&body[key_start..pos]) {
+            return false;
+        }
+        pos += 1; // '='
+        if pos >= bytes.len() || bytes[pos] != b'"' {
+            return false;
+        }
+        pos += 1;
+        loop {
+            match bytes.get(pos) {
+                Some(b'\\') => {
+                    if !matches!(bytes.get(pos + 1), Some(b'\\' | b'"' | b'n')) {
+                        return false;
+                    }
+                    pos += 2;
+                }
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(_) => pos += 1,
+                None => return false,
+            }
+        }
+        match bytes.get(pos) {
+            None => return true,
+            Some(b',') => pos += 1,
+            Some(_) => return false,
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_never_loses_counts() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+    let reg = Registry::new();
+    let counter = reg.counter("test.hits", &[]);
+    let histogram = reg.histogram("test.latency", &[]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    // Snapshot concurrently with the writers to exercise the lock split.
+    let reg_reader = reg.clone();
+    let reader = thread::spawn(move || {
+        for _ in 0..50 {
+            let _ = reg_reader.render_prometheus();
+            let _ = reg_reader.render_json();
+        }
+    });
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+    reader.join().expect("reader thread");
+    assert_eq!(counter.get(), THREADS * PER_THREAD);
+    assert_eq!(histogram.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).sum();
+    assert_eq!(histogram.sum(), expected_sum);
+    let snap = reg.snapshot();
+    let hits = snap
+        .metrics
+        .iter()
+        .find(|m| m.key.name == "test.hits")
+        .expect("registered");
+    assert_eq!(hits.value, MetricValue::Counter(THREADS * PER_THREAD));
+    let lat = snap
+        .metrics
+        .iter()
+        .find(|m| m.key.name == "test.latency")
+        .expect("registered");
+    match &lat.value {
+        MetricValue::Histogram { buckets, sum } => {
+            assert_eq!(buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+            assert_eq!(*sum, expected_sum);
+            assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        }
+        other => panic!("unexpected value {other:?}"),
+    }
+}

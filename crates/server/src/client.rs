@@ -13,8 +13,8 @@
 
 use crate::protocol::{
     decode_response_frame, encode_request_frame, read_frame, write_frame, BatchSummary, FrameError,
-    HealthSummary, Hello, HelloAck, KernelSource, MapKnobs, MapSummary, ProtocolError, Request,
-    Response, StatsSummary, WireError,
+    HealthSummary, Hello, HelloAck, KernelSource, MapKnobs, MapSummary, MetricsFormat,
+    ProtocolError, Request, Response, StatsSummary, WireError,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -255,6 +255,31 @@ impl Client {
             Response::ResetDone { dropped_entries } => Ok(dropped_entries),
             Response::Error(error) => Err(ClientError::Server(error)),
             _ => Err(ClientError::Unexpected("expected a reset ack")),
+        }
+    }
+
+    /// Scrapes the server's metrics registry in the requested exposition
+    /// format; returns the rendered document.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics { format })? {
+            Response::Metrics { body, .. } => Ok(body),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a metrics scrape")),
+        }
+    }
+
+    /// Fetches the flight-recorder dump as one JSON document.
+    ///
+    /// # Errors
+    /// Fails on transport errors or typed server rejections.
+    pub fn dump(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Dump)? {
+            Response::Dump { json } => Ok(json),
+            Response::Error(error) => Err(ClientError::Server(error)),
+            _ => Err(ClientError::Unexpected("expected a flight dump")),
         }
     }
 

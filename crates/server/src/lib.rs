@@ -65,6 +65,7 @@ pub mod server;
 pub use client::{Client, ClientError, Ticket};
 pub use protocol::{
     program_digest, BatchSummary, CacheFlavor, HelloAck, Histogram, KernelSource, MapKnobs,
-    MapSummary, ProtocolError, Request, Response, ShardStatsSummary, StatsSummary, WireError,
+    MapSummary, MetricsFormat, ProtocolError, Request, Response, ShardStatsSummary, StatsSummary,
+    WireError,
 };
 pub use server::{Server, ServerConfig, ServerHandle, ShutdownTrigger};

@@ -664,6 +664,44 @@ pub enum Request {
     /// Begin a graceful shutdown: the server stops accepting work, drains
     /// queued jobs, then exits.
     Shutdown,
+    /// Scrape the server's metrics registry in the requested exposition
+    /// format.
+    Metrics {
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// Dump the flight recorder: recent request summaries per shard plus
+    /// any sampled trace events, as one JSON document.
+    Dump,
+}
+
+/// Exposition format for the `metrics` verb.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricsFormat {
+    /// Prometheus-style text.
+    Prometheus,
+    /// JSON.
+    Json,
+}
+
+impl MetricsFormat {
+    fn tag(self) -> u8 {
+        match self {
+            MetricsFormat::Prometheus => 0,
+            MetricsFormat::Json => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, ProtocolError> {
+        match tag {
+            0 => Ok(MetricsFormat::Prometheus),
+            1 => Ok(MetricsFormat::Json),
+            tag => Err(ProtocolError::BadTag {
+                context: "metrics format",
+                tag,
+            }),
+        }
+    }
 }
 
 const REQ_MAP: u8 = 1;
@@ -672,6 +710,8 @@ const REQ_STATS: u8 = 3;
 const REQ_RESET: u8 = 4;
 const REQ_HEALTH: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_METRICS: u8 = 7;
+const REQ_DUMP: u8 = 8;
 
 impl Request {
     /// Encodes the request into a frame payload.
@@ -695,6 +735,11 @@ impl Request {
             Request::Reset => e.u8(REQ_RESET),
             Request::Health => e.u8(REQ_HEALTH),
             Request::Shutdown => e.u8(REQ_SHUTDOWN),
+            Request::Metrics { format } => {
+                e.u8(REQ_METRICS);
+                e.u8(format.tag());
+            }
+            Request::Dump => e.u8(REQ_DUMP),
         }
         e.buf
     }
@@ -726,6 +771,10 @@ impl Request {
             REQ_RESET => Request::Reset,
             REQ_HEALTH => Request::Health,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_METRICS => Request::Metrics {
+                format: MetricsFormat::from_tag(d.u8("metrics format")?)?,
+            },
+            REQ_DUMP => Request::Dump,
             tag => {
                 return Err(ProtocolError::BadTag {
                     context: "request tag",
@@ -1358,6 +1407,18 @@ pub enum Response {
     Error(WireError),
     /// Acknowledges a [`Hello`] handshake (protocol v2).
     Hello(HelloAck),
+    /// A metrics scrape: the exposition format and the rendered body.
+    Metrics {
+        /// The format the body is rendered in.
+        format: MetricsFormat,
+        /// The rendered exposition document.
+        body: String,
+    },
+    /// A flight-recorder dump as one JSON document.
+    Dump {
+        /// The JSON dump (`{"shards":[...],"traces":[...]}`).
+        json: String,
+    },
 }
 
 const RESP_MAPPED: u8 = 1;
@@ -1368,6 +1429,8 @@ const RESP_RESET: u8 = 5;
 const RESP_SHUTDOWN: u8 = 6;
 const RESP_ERROR: u8 = 7;
 const RESP_HELLO: u8 = 8;
+const RESP_METRICS: u8 = 9;
+const RESP_DUMP: u8 = 10;
 
 const ERR_OVERLOADED: u8 = 1;
 const ERR_DEADLINE: u8 = 2;
@@ -1452,6 +1515,15 @@ impl Response {
                 e.u32(ack.shards);
                 e.u32(ack.max_in_flight);
             }
+            Response::Metrics { format, body } => {
+                e.u8(RESP_METRICS);
+                e.u8(format.tag());
+                e.str(body);
+            }
+            Response::Dump { json } => {
+                e.u8(RESP_DUMP);
+                e.str(json);
+            }
         }
         e.buf
     }
@@ -1510,6 +1582,13 @@ impl Response {
                 shards: d.u32("hello.shards")?,
                 max_in_flight: d.u32("hello.max_in_flight")?,
             }),
+            RESP_METRICS => Response::Metrics {
+                format: MetricsFormat::from_tag(d.u8("metrics format")?)?,
+                body: d.str("metrics.body")?,
+            },
+            RESP_DUMP => Response::Dump {
+                json: d.str("dump.json")?,
+            },
             tag => {
                 return Err(ProtocolError::BadTag {
                     context: "response tag",
@@ -1643,6 +1722,13 @@ mod tests {
             Request::Reset,
             Request::Health,
             Request::Shutdown,
+            Request::Metrics {
+                format: MetricsFormat::Prometheus,
+            },
+            Request::Metrics {
+                format: MetricsFormat::Json,
+            },
+            Request::Dump,
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -1737,6 +1823,17 @@ mod tests {
                 name: "bad".into(),
                 error: "loops remain".into(),
             }),
+            Response::Metrics {
+                format: MetricsFormat::Prometheus,
+                body: "# TYPE serve_accepted counter\nserve_accepted 3\n".into(),
+            },
+            Response::Metrics {
+                format: MetricsFormat::Json,
+                body: "{\"metrics\":[]}".into(),
+            },
+            Response::Dump {
+                json: "{\"shards\":[],\"traces\":[]}".into(),
+            },
         ];
         for response in responses {
             let decoded = Response::decode(&response.encode()).unwrap();

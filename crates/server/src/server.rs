@@ -44,13 +44,14 @@
 use crate::protocol::{
     decode_request_frame, encode_response_frame, program_digest, request_id_of, BatchEntrySummary,
     BatchSummary, CacheFlavor, FrameBuffer, HealthSummary, Hello, HelloAck, Histogram,
-    KernelSource, MapKnobs, MapSummary, Request, Response, ShardStatsSummary, SimSummary,
-    StatsSummary, WireError, HISTOGRAM_BUCKETS, PROTOCOL_VERSION, UNKNOWN_REQUEST_ID,
+    KernelSource, MapKnobs, MapSummary, MetricsFormat, Request, Response, ShardStatsSummary,
+    SimSummary, StatsSummary, WireError, PROTOCOL_VERSION, UNKNOWN_REQUEST_ID,
 };
 use crate::sys::{Event, Interest, Poller, WakeSender, Waker, WAKE_TOKEN};
 use fpfa_core::flow::KernelSpec;
 use fpfa_core::pipeline::MappingResult;
 use fpfa_core::service::MappingService;
+use fpfa_obs::{FlightEntry, FlightRecorder, Registry, SpanEvent, TraceSink};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -84,6 +85,9 @@ const WBUF_LIMIT: usize = 64 * 1024 * 1024;
 /// Poll timeout while draining, bounding how often shards re-check the
 /// shutdown conditions.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
+/// Span events retained by the trace ring (each is a few dozen bytes; the
+/// ring answers "where did the last sampled requests' time go").
+const TRACE_RING_CAPACITY: usize = 4096;
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -106,6 +110,16 @@ pub struct ServerConfig {
     /// begins, so lingering clients receive typed `ShuttingDown` answers
     /// instead of a closed socket.
     pub drain_grace: Duration,
+    /// Trace-sampling rate: every Nth request id is traced (span events go
+    /// to the ring-buffer sink and slow-request lines carry a per-stage
+    /// breakdown).  `0` disables tracing entirely.
+    pub trace_sample: u32,
+    /// A request whose decode → write-back latency exceeds this threshold
+    /// is logged on stderr with its span breakdown.  [`Duration::ZERO`]
+    /// disables slow-request logging.
+    pub slow_threshold: Duration,
+    /// Flight-recorder entries retained per I/O shard.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +132,9 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(5),
             shards: 0,
             drain_grace: Duration::from_secs(1),
+            trace_sample: 0,
+            slow_threshold: Duration::ZERO,
+            flight_capacity: fpfa_obs::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -232,149 +249,122 @@ impl<T> JobQueue<T> {
 // Stats
 // ---------------------------------------------------------------------------
 
-/// Atomics-backed latency histogram (same bucket layout as the wire
-/// [`Histogram`]).
-#[derive(Debug)]
-struct AtomicHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-}
-
-impl AtomicHistogram {
-    fn new() -> Self {
-        AtomicHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    fn record(&self, micros: u64) {
-        self.buckets[Histogram::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self) -> Histogram {
-        Histogram {
-            buckets: self
-                .buckets
-                .iter()
-                .map(|bucket| bucket.load(Ordering::Relaxed))
-                .collect(),
-        }
-    }
-
-    fn reset(&self) {
-        for bucket in &self.buckets {
-            bucket.store(0, Ordering::Relaxed);
-        }
-    }
-}
-
-/// The daemon's counters, all atomics so every thread updates them without
-/// locking.
-#[derive(Debug)]
+/// The daemon's counters: typed handles onto the shared [`Registry`], so
+/// the hot path records with relaxed atomics while the `metrics` verb and
+/// `--metrics-file` snapshots read the very same cells.  The 26-field wire
+/// [`StatsSummary`] is now a *view* over this registry, assembled when a
+/// `stats` request is served.
 pub struct ServerStats {
-    connections: AtomicU64,
-    accepted: AtomicU64,
-    served_ok: AtomicU64,
-    served_err: AtomicU64,
-    verify_failures_map: AtomicU64,
-    verify_failures_batch: AtomicU64,
-    rejected_overload: AtomicU64,
-    rejected_deadline: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    rejected_version: AtomicU64,
-    protocol_errors: AtomicU64,
-    fast_hits: AtomicU64,
-    l0_hits: AtomicU64,
-    in_flight: AtomicU64,
-    map_latency: AtomicHistogram,
-    batch_latency: AtomicHistogram,
+    connections: fpfa_obs::Counter,
+    accepted: fpfa_obs::Counter,
+    served_ok: fpfa_obs::Counter,
+    served_err: fpfa_obs::Counter,
+    verify_failures_map: fpfa_obs::Counter,
+    verify_failures_batch: fpfa_obs::Counter,
+    rejected_overload: fpfa_obs::Counter,
+    rejected_deadline: fpfa_obs::Counter,
+    rejected_shutdown: fpfa_obs::Counter,
+    rejected_version: fpfa_obs::Counter,
+    protocol_errors: fpfa_obs::Counter,
+    fast_hits: fpfa_obs::Counter,
+    l0_hits: fpfa_obs::Counter,
+    in_flight: fpfa_obs::Gauge,
+    map_latency: fpfa_obs::Histogram,
+    batch_latency: fpfa_obs::Histogram,
+    /// Decode → worker-pop wait of queued (cold-path) jobs.
+    queue_wait: fpfa_obs::Histogram,
 }
 
 impl ServerStats {
-    fn new() -> Self {
+    fn new(registry: &Registry) -> Self {
         ServerStats {
-            connections: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            served_ok: AtomicU64::new(0),
-            served_err: AtomicU64::new(0),
-            verify_failures_map: AtomicU64::new(0),
-            verify_failures_batch: AtomicU64::new(0),
-            rejected_overload: AtomicU64::new(0),
-            rejected_deadline: AtomicU64::new(0),
-            rejected_shutdown: AtomicU64::new(0),
-            rejected_version: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
-            fast_hits: AtomicU64::new(0),
-            l0_hits: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            map_latency: AtomicHistogram::new(),
-            batch_latency: AtomicHistogram::new(),
+            connections: registry.counter("serve.connections", &[]),
+            accepted: registry.counter("serve.accepted", &[]),
+            served_ok: registry.counter("serve.served", &[("outcome", "ok")]),
+            served_err: registry.counter("serve.served", &[("outcome", "err")]),
+            verify_failures_map: registry.counter("serve.verify_failures", &[("verb", "map")]),
+            verify_failures_batch: registry.counter("serve.verify_failures", &[("verb", "batch")]),
+            rejected_overload: registry.counter("serve.rejected", &[("reason", "overload")]),
+            rejected_deadline: registry.counter("serve.rejected", &[("reason", "deadline")]),
+            rejected_shutdown: registry.counter("serve.rejected", &[("reason", "shutdown")]),
+            rejected_version: registry.counter("serve.rejected", &[("reason", "version")]),
+            protocol_errors: registry.counter("serve.protocol_errors", &[]),
+            fast_hits: registry.counter("serve.fast_hits", &[]),
+            l0_hits: registry.counter("serve.l0_hits", &[]),
+            in_flight: registry.gauge("serve.in_flight", &[]),
+            map_latency: registry.histogram("serve.map.latency", &[]),
+            batch_latency: registry.histogram("serve.batch.latency", &[]),
+            queue_wait: registry.histogram("serve.queue.wait", &[]),
         }
     }
+}
 
-    fn reset(&self) {
-        for counter in [
-            &self.connections,
-            &self.accepted,
-            &self.served_ok,
-            &self.served_err,
-            &self.verify_failures_map,
-            &self.verify_failures_batch,
-            &self.rejected_overload,
-            &self.rejected_deadline,
-            &self.rejected_shutdown,
-            &self.rejected_version,
-            &self.protocol_errors,
-            &self.fast_hits,
-            &self.l0_hits,
-        ] {
-            counter.store(0, Ordering::Relaxed);
-        }
-        self.map_latency.reset();
-        self.batch_latency.reset();
+/// Converts an obs histogram reading into the wire [`Histogram`] (identical
+/// power-of-two bucket layout).
+fn wire_histogram(histogram: &fpfa_obs::Histogram) -> Histogram {
+    Histogram {
+        buckets: histogram.buckets().to_vec(),
+    }
+}
+
+/// Bridges the cache and persistence counters (owned by `fpfa-core`, which
+/// knows nothing of the registry) into it as snapshot-time callback gauges.
+fn register_cache_gauges(registry: &Registry, service: &MappingService) {
+    type CacheRead = fn(&fpfa_core::cache::MappingCache) -> u64;
+    const READS: &[(&str, CacheRead)] = &[
+        ("cache.mapping.hits", |c| c.stats().mapping_hits),
+        ("cache.mapping.misses", |c| c.stats().mapping_misses),
+        ("cache.post.hits", |c| c.stats().post_transform_hits),
+        ("cache.post.misses", |c| c.stats().post_transform_misses),
+        ("cache.entries", |c| c.stats().entries),
+        ("cache.capacity", |c| c.capacity() as u64),
+        ("persist.loads", |c| c.persist_stats().loads),
+        ("persist.stores", |c| c.persist_stats().stores),
+        ("persist.corrupt_skipped", |c| {
+            c.persist_stats().corrupt_skipped
+        }),
+        ("persist.warm_start_entries", |c| {
+            c.persist_stats().warm_start_entries
+        }),
+        ("persist.compactions", |c| c.persist_stats().compactions),
+    ];
+    for &(name, read) in READS {
+        let cache = Arc::clone(service.cache());
+        registry.gauge_fn(name, &[], move || read(&cache));
     }
 }
 
 /// Per-shard serving counters (mirrored onto the wire as
-/// [`ShardStatsSummary`]).
-#[derive(Debug)]
+/// [`ShardStatsSummary`]), registered under `shard.*` names with a
+/// `shard` label.
 struct ShardCounters {
-    open: AtomicU64,
-    accepted: AtomicU64,
-    served: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+    open: fpfa_obs::Gauge,
+    accepted: fpfa_obs::Counter,
+    served: fpfa_obs::Counter,
+    bytes_in: fpfa_obs::Counter,
+    bytes_out: fpfa_obs::Counter,
 }
 
 impl ShardCounters {
-    fn new() -> Self {
+    fn new(registry: &Registry, shard: usize) -> Self {
+        let shard = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
         ShardCounters {
-            open: AtomicU64::new(0),
-            accepted: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            bytes_in: AtomicU64::new(0),
-            bytes_out: AtomicU64::new(0),
+            open: registry.gauge("shard.open", labels),
+            accepted: registry.counter("shard.accepted", labels),
+            served: registry.counter("shard.served", labels),
+            bytes_in: registry.counter("shard.bytes_in", labels),
+            bytes_out: registry.counter("shard.bytes_out", labels),
         }
     }
 
     fn summary(&self) -> ShardStatsSummary {
         ShardStatsSummary {
-            connections: self.open.load(Ordering::Relaxed),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-        }
-    }
-
-    fn reset(&self) {
-        // `open` is a gauge of live connections, not a counter; leave it.
-        for counter in [
-            &self.accepted,
-            &self.served,
-            &self.bytes_in,
-            &self.bytes_out,
-        ] {
-            counter.store(0, Ordering::Relaxed);
+            connections: self.open.get(),
+            accepted: self.accepted.get(),
+            served: self.served.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
         }
     }
 }
@@ -396,6 +386,27 @@ struct Job {
     decoded_at: Instant,
     work: Work,
     knobs: MapKnobs,
+    /// Whether this request was selected by `--trace-sample`: the worker
+    /// then collects per-flow-stage timings for its span breakdown.
+    traced: bool,
+}
+
+/// Per-flow-stage wall times in microseconds, in flow order.
+type StageTimings = Vec<(&'static str, u64)>;
+
+/// Worker-path timing attached to every completion: where the request's
+/// time went, measured honestly at each boundary (decode → pop → done →
+/// write-back) rather than derived.
+struct JobTiming {
+    /// Decode → worker-pop wait.
+    queue_us: u64,
+    /// Worker service time (deadline check + map/batch work).
+    service_us: u64,
+    /// When the worker finished; the shard derives respond time from it.
+    completed_at: Instant,
+    /// Per-flow-stage wall times bridged from `FlowContext`, present only
+    /// on traced single-map jobs.
+    stages: Option<StageTimings>,
 }
 
 struct Completion {
@@ -411,6 +422,7 @@ struct Completion {
     /// `(config fingerprint, source, request name, digested answer)` — the
     /// seed of an L0 entry on the owning shard.
     warm: Option<(u64, Arc<str>, Arc<str>, WarmValue)>,
+    timing: JobTiming,
 }
 
 /// The mailbox through which the acceptor and the workers reach a shard.
@@ -420,6 +432,8 @@ struct ShardMailbox {
     wake: WakeSender,
     waker: Mutex<Option<Waker>>,
     counters: ShardCounters,
+    /// Ring of recent request summaries, dumped on drain / SIGUSR1 / `dump`.
+    flight: FlightRecorder,
 }
 
 // ---------------------------------------------------------------------------
@@ -432,6 +446,10 @@ struct Inner {
     addr: SocketAddr,
     queue: JobQueue<Job>,
     stats: ServerStats,
+    /// The unified metrics registry every counter above is a handle onto.
+    registry: Registry,
+    /// Ring-buffer sink for sampled request spans.
+    trace: TraceSink,
     shutting_down: AtomicBool,
     workers_done: AtomicBool,
     /// Bumped by `reset`; shards drop their warm tables when it moves.
@@ -476,29 +494,52 @@ impl Inner {
     }
 
     fn reset_counters(&self) {
-        self.stats.reset();
+        // One sweep over the registry zeroes every counter and histogram —
+        // the daemon's, the shards', and the queue-wait tracker — while
+        // gauges (`serve.in_flight`, `shard.open`, cache occupancy) keep
+        // describing current state.
+        self.registry.reset();
         for mailbox in &self.shards {
-            mailbox.counters.reset();
+            mailbox.flight.clear();
         }
+        self.trace.clear();
+    }
+
+    /// Whether a request id falls in the `--trace-sample` sample.
+    fn traced(&self, request_id: u64) -> bool {
+        let sample = self.config.trace_sample;
+        sample > 0 && request_id.is_multiple_of(u64::from(sample))
+    }
+
+    /// Composes the flight-recorder dump across every shard, plus the
+    /// sampled trace events.
+    fn flight_json(&self) -> String {
+        let shards: Vec<(usize, Vec<FlightEntry>)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, mailbox)| (i, mailbox.flight.snapshot()))
+            .collect();
+        fpfa_obs::dump_json(&shards, &self.trace.to_json())
     }
 
     fn stats_summary(&self) -> StatsSummary {
         let cache = self.base.stats();
         let persist = self.base.cache().persist_stats();
         StatsSummary {
-            connections: self.stats.connections.load(Ordering::Relaxed),
-            accepted: self.stats.accepted.load(Ordering::Relaxed),
-            served_ok: self.stats.served_ok.load(Ordering::Relaxed),
-            served_err: self.stats.served_err.load(Ordering::Relaxed),
-            verify_failures_map: self.stats.verify_failures_map.load(Ordering::Relaxed),
-            verify_failures_batch: self.stats.verify_failures_batch.load(Ordering::Relaxed),
-            rejected_overload: self.stats.rejected_overload.load(Ordering::Relaxed),
-            rejected_deadline: self.stats.rejected_deadline.load(Ordering::Relaxed),
-            rejected_shutdown: self.stats.rejected_shutdown.load(Ordering::Relaxed),
-            rejected_version: self.stats.rejected_version.load(Ordering::Relaxed),
-            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
-            fast_hits: self.stats.fast_hits.load(Ordering::Relaxed),
-            l0_hits: self.stats.l0_hits.load(Ordering::Relaxed),
+            connections: self.stats.connections.get(),
+            accepted: self.stats.accepted.get(),
+            served_ok: self.stats.served_ok.get(),
+            served_err: self.stats.served_err.get(),
+            verify_failures_map: self.stats.verify_failures_map.get(),
+            verify_failures_batch: self.stats.verify_failures_batch.get(),
+            rejected_overload: self.stats.rejected_overload.get(),
+            rejected_deadline: self.stats.rejected_deadline.get(),
+            rejected_shutdown: self.stats.rejected_shutdown.get(),
+            rejected_version: self.stats.rejected_version.get(),
+            protocol_errors: self.stats.protocol_errors.get(),
+            fast_hits: self.stats.fast_hits.get(),
+            l0_hits: self.stats.l0_hits.get(),
             persist_loads: persist.loads,
             persist_stores: persist.stores,
             persist_corrupt_skipped: persist.corrupt_skipped,
@@ -512,8 +553,8 @@ impl Inner {
             cache_post_misses: cache.post_transform_misses,
             cache_entries: cache.entries,
             cache_capacity: self.base.cache().capacity() as u64,
-            map_latency: self.stats.map_latency.snapshot(),
-            batch_latency: self.stats.batch_latency.snapshot(),
+            map_latency: wire_histogram(&self.stats.map_latency),
+            batch_latency: wire_histogram(&self.stats.batch_latency),
             shards: self
                 .shards
                 .iter()
@@ -563,6 +604,18 @@ impl ServerHandle {
         self.inner.stats_summary()
     }
 
+    /// The daemon's metrics registry (same cells the `metrics` verb
+    /// renders), for out-of-band snapshots like `--metrics-file`.
+    pub fn registry(&self) -> Registry {
+        self.inner.registry.clone()
+    }
+
+    /// The flight-recorder dump (same JSON as the `dump` verb), for drain-
+    /// time and SIGUSR1 snapshots without a connection.
+    pub fn flight_json(&self) -> String {
+        self.inner.flight_json()
+    }
+
     /// Waits for the daemon to finish draining and exit; returns the final
     /// statistics.
     pub fn join(self) -> StatsSummary {
@@ -582,6 +635,18 @@ impl ShutdownTrigger {
     /// Begins the graceful shutdown (idempotent).
     pub fn shutdown(&self) {
         initiate_shutdown(&self.inner);
+    }
+
+    /// The flight-recorder dump — available from the detached trigger so a
+    /// signal watcher can snapshot on SIGUSR1, and so the final dump can be
+    /// taken after [`ServerHandle::join`] consumed the handle.
+    pub fn flight_json(&self) -> String {
+        self.inner.flight_json()
+    }
+
+    /// The daemon's metrics registry, for out-of-band snapshots.
+    pub fn registry(&self) -> Registry {
+        self.inner.registry.clone()
     }
 }
 
@@ -617,16 +682,23 @@ impl Server {
             default_deadline: config.default_deadline,
             shards: effective_shards(config.shards),
             drain_grace: config.drain_grace,
+            trace_sample: config.trace_sample,
+            slow_threshold: config.slow_threshold,
+            flight_capacity: config.flight_capacity.max(1),
         };
+        let registry = Registry::new();
+        let stats = ServerStats::new(&registry);
+        register_cache_gauges(&registry, &service);
         let mut shards = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for shard_id in 0..config.shards {
             let waker = Waker::new()?;
             shards.push(ShardMailbox {
                 inbox: Mutex::new(Vec::new()),
                 completions: Mutex::new(VecDeque::new()),
                 wake: waker.sender()?,
                 waker: Mutex::new(Some(waker)),
-                counters: ShardCounters::new(),
+                counters: ShardCounters::new(&registry, shard_id),
+                flight: FlightRecorder::new(config.flight_capacity),
             });
         }
         Ok(Server {
@@ -636,7 +708,9 @@ impl Server {
                 config,
                 addr: local,
                 queue: JobQueue::new(config.queue_depth),
-                stats: ServerStats::new(),
+                stats,
+                registry,
+                trace: TraceSink::new(TRACE_RING_CAPACITY),
                 shutting_down: AtomicBool::new(false),
                 workers_done: AtomicBool::new(false),
                 cache_epoch: AtomicU64::new(0),
@@ -691,7 +765,7 @@ impl Server {
             }
             match stream {
                 Ok(stream) => {
-                    inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.connections.inc();
                     let mailbox = &inner.shards[next_shard % inner.shards.len()];
                     next_shard = next_shard.wrapping_add(1);
                     lock_state(&mailbox.inbox).push(stream);
@@ -743,15 +817,19 @@ impl Server {
 
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
+        // Decode → pop is the queue wait (plus the negligible shard-side
+        // validation between decode and push).
+        let queue_us = job.decoded_at.elapsed().as_micros() as u64;
+        inner.stats.queue_wait.record(queue_us);
         let shard = job.shard.min(inner.shards.len().saturating_sub(1));
-        let completion = process_job(inner, job);
+        let completion = process_job(inner, job, queue_us);
         let mailbox = &inner.shards[shard];
         lock_state(&mailbox.completions).push_back(completion);
         mailbox.wake.wake();
     }
 }
 
-fn process_job(inner: &Inner, job: Job) -> Completion {
+fn process_job(inner: &Inner, job: Job, queue_us: u64) -> Completion {
     let Job {
         conn,
         generation,
@@ -759,12 +837,16 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
         decoded_at,
         work,
         knobs,
+        traced,
         ..
     } = job;
     let batch = matches!(work, Work::Many(_));
     let epoch = inner.cache_epoch.load(Ordering::SeqCst);
-    let done =
-        |response: Response, warm: Option<(u64, Arc<str>, Arc<str>, WarmValue)>| Completion {
+    let service_started = Instant::now();
+    let done = |response: Response,
+                warm: Option<(u64, Arc<str>, Arc<str>, WarmValue)>,
+                stages: Option<StageTimings>| {
+        Completion {
             conn,
             generation,
             request_id,
@@ -773,27 +855,32 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
             epoch,
             response,
             warm,
-        };
+            timing: JobTiming {
+                queue_us,
+                service_us: service_started.elapsed().as_micros() as u64,
+                completed_at: Instant::now(),
+                stages,
+            },
+        }
+    };
 
     let deadline = inner.deadline_of(&knobs);
     if !deadline.is_zero() && decoded_at.elapsed() > deadline {
-        inner
-            .stats
-            .rejected_deadline
-            .fetch_add(1, Ordering::Relaxed);
+        inner.stats.rejected_deadline.inc();
         return done(
             Response::Error(WireError::DeadlineExceeded {
                 budget_ms: deadline.as_millis() as u64,
             }),
+            None,
             None,
         );
     }
 
     let service = inner.service_for(&knobs);
     match work {
-        Work::One(kernel) => match serve_map_job(&service, &kernel, &knobs, decoded_at) {
-            Ok((summary, value)) => {
-                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+        Work::One(kernel) => match serve_map_job(&service, &kernel, &knobs, decoded_at, traced) {
+            Ok((summary, value, stages)) => {
+                inner.stats.served_ok.inc();
                 let fingerprint = service.mapper().cache_fingerprint();
                 let warm = Some((
                     fingerprint,
@@ -801,7 +888,7 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
                     Arc::from(kernel.name.as_str()),
                     value,
                 ));
-                done(Response::Mapped(summary), warm)
+                done(Response::Mapped(summary), warm, stages)
             }
             Err(error) => {
                 let counter = if matches!(error, WireError::VerifyFailed { .. }) {
@@ -809,8 +896,8 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
                 } else {
                     &inner.stats.served_err
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
-                done(Response::Error(error), None)
+                counter.inc();
+                done(Response::Error(error), None, None)
             }
         },
         Work::Many(kernels) => {
@@ -845,15 +932,12 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
                 })
                 .collect();
             if verify_failed > 0 {
-                inner
-                    .stats
-                    .verify_failures_batch
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.stats.verify_failures_batch.inc();
             }
             if report.failed() == 0 && verify_failed == 0 {
-                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                inner.stats.served_ok.inc();
             } else if report.failed() > 0 {
-                inner.stats.served_err.fetch_add(1, Ordering::Relaxed);
+                inner.stats.served_err.inc();
             }
             done(
                 Response::Batch(BatchSummary {
@@ -861,6 +945,7 @@ fn process_job(inner: &Inner, job: Job) -> Completion {
                     wall_micros: report.wall.as_micros() as u64,
                     deduped: report.deduped as u64,
                 }),
+                None,
                 None,
             )
         }
@@ -872,7 +957,8 @@ fn serve_map_job(
     kernel: &KernelSource,
     knobs: &MapKnobs,
     decoded_at: Instant,
-) -> Result<(MapSummary, WarmValue), WireError> {
+    traced: bool,
+) -> Result<(MapSummary, WarmValue, Option<StageTimings>), WireError> {
     let (result, outcome) =
         service
             .map_source_shared(&kernel.source)
@@ -893,6 +979,17 @@ fn serve_map_job(
     } else {
         None
     };
+    // The per-flow-stage child spans, bridged straight from the
+    // `FlowContext` timings the pipeline already collects.  Only sampled
+    // requests pay the (small) allocation.
+    let stages = traced.then(|| {
+        result
+            .trace
+            .timings
+            .iter()
+            .map(|timing| (timing.stage, timing.wall.as_micros() as u64))
+            .collect()
+    });
     let value = WarmValue::of(&result);
     let summary = value.summary(
         kernel.name.clone(),
@@ -900,7 +997,7 @@ fn serve_map_job(
         sim,
         decoded_at,
     );
-    Ok((summary, value))
+    Ok((summary, value, stages))
 }
 
 /// Lints the kernel source and statically verifies its mapping; `Some` is
@@ -1213,7 +1310,7 @@ impl<'a> ShardRt<'a> {
         if !self.inner.workers_done.load(Ordering::SeqCst) {
             return false;
         }
-        if self.inner.stats.in_flight.load(Ordering::Relaxed) != 0 {
+        if self.inner.stats.in_flight.get() != 0 {
             return false;
         }
         self.live == 0 || now >= deadline
@@ -1238,8 +1335,8 @@ impl<'a> ShardRt<'a> {
                 continue;
             }
             let counters = &self.mailbox().counters;
-            counters.accepted.fetch_add(1, Ordering::Relaxed);
-            counters.open.fetch_add(1, Ordering::Relaxed);
+            counters.accepted.inc();
+            counters.open.inc();
             self.conns[idx] = Some(Conn {
                 stream,
                 fd,
@@ -1263,7 +1360,7 @@ impl<'a> ShardRt<'a> {
         self.generations[idx] = self.generations[idx].wrapping_add(1);
         self.free.push(idx);
         self.live -= 1;
-        self.mailbox().counters.open.fetch_sub(1, Ordering::Relaxed);
+        self.mailbox().counters.open.dec();
     }
 
     fn handle_readable(&mut self, token: usize) {
@@ -1310,10 +1407,7 @@ impl<'a> ShardRt<'a> {
                     break;
                 }
                 Ok(n) => {
-                    self.mailbox()
-                        .counters
-                        .bytes_in
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.mailbox().counters.bytes_in.add(n as u64);
                     conn.rbuf.extend(&self.scratch[..n]);
                     if n < self.scratch.len() {
                         break;
@@ -1333,10 +1427,7 @@ impl<'a> ShardRt<'a> {
                 Ok(None) => break,
                 Err(_) => {
                     // An oversized announced length cannot be resynchronised.
-                    self.inner
-                        .stats
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.protocol_errors.inc();
                     return false;
                 }
                 Ok(Some(frame)) => match conn.state {
@@ -1373,10 +1464,7 @@ impl<'a> ShardRt<'a> {
                     conn.state = ConnState::Ready;
                 }
                 Step::BadVersion(requested) => {
-                    self.inner
-                        .stats
-                        .rejected_version
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.rejected_version.inc();
                     self.append_plain(
                         conn,
                         &Response::Error(WireError::UnsupportedVersion {
@@ -1387,10 +1475,7 @@ impl<'a> ShardRt<'a> {
                     conn.close_after_flush = true;
                 }
                 Step::GarbledHello => {
-                    self.inner
-                        .stats
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.protocol_errors.inc();
                     self.append_plain(
                         conn,
                         &Response::Error(WireError::Invalid("malformed hello".to_string())),
@@ -1403,10 +1488,7 @@ impl<'a> ShardRt<'a> {
                 Step::Malformed(id, error) => {
                     // The frame boundary survived, so the stream stays
                     // usable; only this request is answered with `Invalid`.
-                    self.inner
-                        .stats
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.protocol_errors.inc();
                     self.append_response(conn, id, &Response::Error(WireError::Invalid(error)));
                 }
             }
@@ -1426,15 +1508,32 @@ impl<'a> ShardRt<'a> {
         match request {
             Request::Stats => {
                 let stats = inner.stats_summary();
-                self.append_response(conn, id, &Response::Stats(stats));
+                self.finish_control(conn, id, &Response::Stats(stats), decoded_at, "stats");
             }
             Request::Health => {
                 let health = HealthSummary {
                     uptime_micros: inner.started.elapsed().as_micros() as u64,
-                    in_flight: inner.stats.in_flight.load(Ordering::Relaxed),
+                    in_flight: inner.stats.in_flight.get(),
                     draining: inner.shutting_down.load(Ordering::SeqCst),
                 };
-                self.append_response(conn, id, &Response::Health(health));
+                self.finish_control(conn, id, &Response::Health(health), decoded_at, "health");
+            }
+            Request::Metrics { format } => {
+                let body = match format {
+                    MetricsFormat::Prometheus => inner.registry.render_prometheus(),
+                    MetricsFormat::Json => inner.registry.render_json(),
+                };
+                self.finish_control(
+                    conn,
+                    id,
+                    &Response::Metrics { format, body },
+                    decoded_at,
+                    "metrics",
+                );
+            }
+            Request::Dump => {
+                let json = inner.flight_json();
+                self.finish_control(conn, id, &Response::Dump { json }, decoded_at, "dump");
             }
             Request::Reset => {
                 let dropped = inner.base.clear_cache() as u64;
@@ -1449,17 +1548,19 @@ impl<'a> ShardRt<'a> {
                         mailbox.wake.wake();
                     }
                 }
-                self.append_response(
+                self.finish_control(
                     conn,
                     id,
                     &Response::ResetDone {
                         dropped_entries: dropped,
                     },
+                    decoded_at,
+                    "reset",
                 );
             }
             Request::Shutdown => {
                 initiate_shutdown(inner);
-                self.append_response(conn, id, &Response::ShutdownStarted);
+                self.finish_control(conn, id, &Response::ShutdownStarted, decoded_at, "shutdown");
             }
             Request::Map { kernel, knobs } => {
                 self.serve_map(conn, idx, id, kernel, knobs, decoded_at)
@@ -1467,19 +1568,19 @@ impl<'a> ShardRt<'a> {
             Request::Batch { kernels, knobs } => {
                 if kernels.is_empty() {
                     let response = Response::Error(WireError::Invalid("empty batch".to_string()));
-                    self.finish(conn, id, &response, decoded_at, true);
+                    self.finish(conn, id, &response, decoded_at, true, None);
                     return;
                 }
                 if let Err(reason) = validate(&knobs, kernels.len()) {
                     let response = Response::Error(WireError::Invalid(reason));
-                    self.finish(conn, id, &response, decoded_at, true);
+                    self.finish(conn, id, &response, decoded_at, true, None);
                     return;
                 }
                 if knobs.simulate {
                     let response = Response::Error(WireError::Invalid(
                         "simulate is not supported for batches".to_string(),
                     ));
-                    self.finish(conn, id, &response, decoded_at, true);
+                    self.finish(conn, id, &response, decoded_at, true, None);
                     return;
                 }
                 self.submit_job(conn, idx, id, Work::Many(kernels), knobs, decoded_at);
@@ -1502,16 +1603,13 @@ impl<'a> ShardRt<'a> {
         let inner = self.inner;
         if let Err(reason) = validate(&knobs, 1) {
             let response = Response::Error(WireError::Invalid(reason));
-            self.finish(conn, id, &response, decoded_at, false);
+            self.finish(conn, id, &response, decoded_at, false, None);
             return;
         }
         if inner.shutting_down.load(Ordering::SeqCst) {
-            inner
-                .stats
-                .rejected_shutdown
-                .fetch_add(1, Ordering::Relaxed);
+            inner.stats.rejected_shutdown.inc();
             let response = Response::Error(WireError::ShuttingDown);
-            self.finish(conn, id, &response, decoded_at, false);
+            self.finish(conn, id, &response, decoded_at, false, None);
             return;
         }
         // Verify requests must actually verify: the warm tables hold digested
@@ -1528,10 +1626,10 @@ impl<'a> ShardRt<'a> {
             {
                 if let Some((_, entry)) = entries.iter().find(|(n, _)| **n == *kernel.name) {
                     let frame = entry.frame.clone();
-                    inner.stats.l0_hits.fetch_add(1, Ordering::Relaxed);
-                    inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.l0_hits.inc();
+                    inner.stats.fast_hits.inc();
                     inner.base.cache().note_shard_hit();
-                    inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.served_ok.inc();
                     self.finish_preencoded(conn, id, &frame, decoded_at);
                     return;
                 }
@@ -1539,10 +1637,10 @@ impl<'a> ShardRt<'a> {
                 // digested answer we already hold, still without touching
                 // the shared cache.
                 if let Some(value) = entries.first().map(|(_, e)| e.value) {
-                    inner.stats.l0_hits.fetch_add(1, Ordering::Relaxed);
-                    inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.l0_hits.inc();
+                    inner.stats.fast_hits.inc();
                     inner.base.cache().note_shard_hit();
-                    inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.served_ok.inc();
                     let name: Arc<str> = Arc::from(kernel.name.as_str());
                     let entry = L0Entry::of(value, &name);
                     let frame = entry.frame.clone();
@@ -1557,8 +1655,8 @@ impl<'a> ShardRt<'a> {
             let lookup = cache.prepare(&kernel.source, fingerprint);
             if let Some(result) = cache.peek_prepared(&lookup) {
                 cache.note_shard_hit();
-                inner.stats.fast_hits.fetch_add(1, Ordering::Relaxed);
-                inner.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+                inner.stats.fast_hits.inc();
+                inner.stats.served_ok.inc();
                 let name: Arc<str> = Arc::from(kernel.name.as_str());
                 let entry = L0Entry::of(WarmValue::of(&result), &name);
                 let frame = entry.frame.clone();
@@ -1582,17 +1680,14 @@ impl<'a> ShardRt<'a> {
         let inner = self.inner;
         let batch = matches!(work, Work::Many(_));
         if conn.in_flight >= MAX_CONN_IN_FLIGHT {
-            inner
-                .stats
-                .rejected_overload
-                .fetch_add(1, Ordering::Relaxed);
+            inner.stats.rejected_overload.inc();
             let response = Response::Error(WireError::Overloaded {
                 queue_depth: u64::from(MAX_CONN_IN_FLIGHT),
             });
-            self.finish(conn, id, &response, decoded_at, batch);
+            self.finish(conn, id, &response, decoded_at, batch, None);
             return;
         }
-        inner.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        inner.stats.in_flight.inc();
         let job = Job {
             shard: self.shard_id,
             conn: idx,
@@ -1601,33 +1696,28 @@ impl<'a> ShardRt<'a> {
             decoded_at,
             work,
             knobs,
+            traced: inner.traced(id),
         };
         match inner.queue.try_push(job) {
             Ok(()) => {
-                inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                inner.stats.accepted.inc();
                 conn.in_flight += 1;
             }
             Err(refused) => {
-                inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                inner.stats.in_flight.dec();
                 let response = match refused {
                     PushRefused::Full => {
-                        inner
-                            .stats
-                            .rejected_overload
-                            .fetch_add(1, Ordering::Relaxed);
+                        inner.stats.rejected_overload.inc();
                         Response::Error(WireError::Overloaded {
                             queue_depth: inner.config.queue_depth as u64,
                         })
                     }
                     PushRefused::Closed => {
-                        inner
-                            .stats
-                            .rejected_shutdown
-                            .fetch_add(1, Ordering::Relaxed);
+                        inner.stats.rejected_shutdown.inc();
                         Response::Error(WireError::ShuttingDown)
                     }
                 };
-                self.finish(conn, id, &response, decoded_at, batch);
+                self.finish(conn, id, &response, decoded_at, batch, None);
             }
         }
     }
@@ -1641,7 +1731,7 @@ impl<'a> ShardRt<'a> {
         let current_epoch = inner.cache_epoch.load(Ordering::SeqCst);
         let mut touched: Vec<usize> = Vec::with_capacity(completions.len());
         for completion in completions.drain(..) {
-            inner.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            inner.stats.in_flight.dec();
             if completion.epoch == current_epoch {
                 if let Some((fingerprint, source, name, value)) = completion.warm {
                     let entry = L0Entry::of(value, &name);
@@ -1667,6 +1757,7 @@ impl<'a> ShardRt<'a> {
                 &completion.response,
                 completion.decoded_at,
                 completion.batch,
+                Some(&completion.timing),
             );
             self.conns[idx] = Some(conn);
             touched.push(idx);
@@ -1685,7 +1776,10 @@ impl<'a> ShardRt<'a> {
         }
     }
 
-    /// Appends a response frame and records its decode → write-back latency.
+    /// Appends a response frame, records its decode → write-back latency,
+    /// and feeds the observability sinks (flight ring, trace ring, slow
+    /// log).  `timing` carries the worker-side decomposition when the
+    /// request went through the queue; shard-side rejections pass `None`.
     fn finish(
         &mut self,
         conn: &mut Conn,
@@ -1693,19 +1787,134 @@ impl<'a> ShardRt<'a> {
         response: &Response,
         decoded_at: Instant,
         batch: bool,
+        timing: Option<&JobTiming>,
     ) {
-        self.append_response(conn, id, response);
+        let bytes = self.append_response(conn, id, response);
         let micros = decoded_at.elapsed().as_micros() as u64;
         if batch {
             self.inner.stats.batch_latency.record(micros);
         } else {
             self.inner.stats.map_latency.record(micros);
         }
+        let verb = if batch { "batch" } else { "map" };
+        let outcome = match response {
+            Response::Error(_) => "error",
+            _ => "ok",
+        };
+        self.observe(id, verb, outcome, micros, bytes, timing);
     }
 
-    fn append_response(&mut self, conn: &mut Conn, id: u64, response: &Response) {
+    /// Appends a control-verb response (stats, health, metrics, …).  These
+    /// land in the flight recorder so a dump shows the whole conversation,
+    /// but stay out of the map/batch latency histograms so the serving
+    /// percentiles keep describing real mapping work.
+    fn finish_control(
+        &mut self,
+        conn: &mut Conn,
+        id: u64,
+        response: &Response,
+        decoded_at: Instant,
+        verb: &'static str,
+    ) {
+        let bytes = self.append_response(conn, id, response);
+        let micros = decoded_at.elapsed().as_micros() as u64;
+        self.observe(id, verb, "ok", micros, bytes, None);
+    }
+
+    /// Feeds one finished request into the observability sinks: a flight
+    /// entry on this shard's ring always; trace spans and the slow-request
+    /// log only when the worker-side timing is available.
+    fn observe(
+        &mut self,
+        id: u64,
+        verb: &'static str,
+        outcome: &'static str,
+        e2e_us: u64,
+        bytes: u64,
+        timing: Option<&JobTiming>,
+    ) {
+        let inner = self.inner;
+        self.mailbox().flight.record(FlightEntry {
+            id,
+            verb,
+            outcome,
+            queue_us: timing.map_or(0, |t| t.queue_us),
+            e2e_us,
+            bytes,
+            at_us: inner.started.elapsed().as_micros() as u64,
+        });
+        let Some(timing) = timing else {
+            return;
+        };
+        let respond_us = timing.completed_at.elapsed().as_micros() as u64;
+        if inner.traced(id) {
+            // Reconstruct the span tree from the boundary timestamps: the
+            // request span covers decode → write-back, its children lay the
+            // queue wait, the worker service (with the flow stages nested
+            // inside it) and the write-back transit end to end.
+            let now = inner.trace.now_us();
+            let start = now.saturating_sub(e2e_us);
+            inner.trace.record(SpanEvent {
+                trace_id: id,
+                name: "request",
+                start_us: start,
+                dur_us: e2e_us,
+            });
+            inner.trace.record(SpanEvent {
+                trace_id: id,
+                name: "queue.wait",
+                start_us: start,
+                dur_us: timing.queue_us,
+            });
+            inner.trace.record(SpanEvent {
+                trace_id: id,
+                name: "map.service",
+                start_us: start + timing.queue_us,
+                dur_us: timing.service_us,
+            });
+            if let Some(stages) = &timing.stages {
+                let mut stage_start = start + timing.queue_us;
+                for &(stage, wall) in stages {
+                    inner.trace.record(SpanEvent {
+                        trace_id: id,
+                        name: stage,
+                        start_us: stage_start,
+                        dur_us: wall,
+                    });
+                    stage_start += wall;
+                }
+            }
+            inner.trace.record(SpanEvent {
+                trace_id: id,
+                name: "respond",
+                start_us: now.saturating_sub(respond_us),
+                dur_us: respond_us,
+            });
+        }
+        let threshold = inner.config.slow_threshold;
+        if !threshold.is_zero() && Duration::from_micros(e2e_us) >= threshold {
+            let stages = timing.stages.as_deref().unwrap_or(&[]);
+            let mut stage_list = String::new();
+            for (i, (stage, wall)) in stages.iter().enumerate() {
+                if i > 0 {
+                    stage_list.push(',');
+                }
+                stage_list.push_str(stage);
+                stage_list.push(':');
+                stage_list.push_str(&wall.to_string());
+            }
+            eprintln!(
+                "fpfa-serve: slow-request id={id} verb={verb} outcome={outcome} \
+                 e2e_us={e2e_us} queue_us={} map_us={} respond_us={respond_us} \
+                 stages={stage_list}",
+                timing.queue_us, timing.service_us,
+            );
+        }
+    }
+
+    fn append_response(&mut self, conn: &mut Conn, id: u64, response: &Response) -> u64 {
         let payload = encode_response_frame(id, response);
-        self.append_frame(conn, &payload);
+        self.append_frame(conn, &payload)
     }
 
     /// A raw (un-id'd) frame — only the handshake speaks these.
@@ -1714,14 +1923,13 @@ impl<'a> ShardRt<'a> {
         self.append_frame(conn, &payload);
     }
 
-    fn append_frame(&mut self, conn: &mut Conn, payload: &[u8]) {
+    /// Returns the number of bytes buffered (payload plus length prefix).
+    fn append_frame(&mut self, conn: &mut Conn, payload: &[u8]) -> u64 {
         conn.wbuf
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         conn.wbuf.extend_from_slice(payload);
-        self.mailbox()
-            .counters
-            .served
-            .fetch_add(1, Ordering::Relaxed);
+        self.mailbox().counters.served.inc();
+        payload.len() as u64 + 4
     }
 
     /// Writes as much of the buffered output as the socket accepts,
@@ -1733,10 +1941,7 @@ impl<'a> ShardRt<'a> {
                 Ok(0) => return false,
                 Ok(n) => {
                     conn.wpos += n;
-                    self.mailbox()
-                        .counters
-                        .bytes_out
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.mailbox().counters.bytes_out.add(n as u64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -1832,11 +2037,9 @@ impl<'a> ShardRt<'a> {
         let micros = decoded_at.elapsed().as_micros() as u64;
         let end = conn.wbuf.len();
         conn.wbuf[end - 8..end].copy_from_slice(&micros.to_le_bytes());
-        self.mailbox()
-            .counters
-            .served
-            .fetch_add(1, Ordering::Relaxed);
+        self.mailbox().counters.served.inc();
         self.inner.stats.map_latency.record(micros);
+        self.observe(id, "map", "l0", micros, frame.len() as u64, None);
     }
 }
 

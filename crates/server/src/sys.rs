@@ -437,12 +437,13 @@ mod backend {
     }
 }
 
-/// Termination signals (`SIGTERM`/`SIGINT`) delivered as a blocking read
-/// instead of an async handler, so a daemon can drain gracefully.
+/// Process signals (`SIGTERM`/`SIGINT`/`SIGUSR1`) delivered as a blocking
+/// read instead of an async handler, so a daemon can drain gracefully (or,
+/// for `SIGUSR1`, dump diagnostics and keep serving).
 ///
-/// On Linux this is a `signalfd(2)`: [`TermSignals::install`] masks both
-/// signals in the calling thread (threads spawned afterwards inherit the
-/// mask, so nothing in the process dies to the default disposition) and
+/// On Linux this is a `signalfd(2)`: [`TermSignals::install`] masks all
+/// three signals in the calling thread (threads spawned afterwards inherit
+/// the mask, so nothing in the process dies to the default disposition) and
 /// opens a descriptor that a dedicated thread reads with
 /// [`TermSignals::wait`].  On other Unixes the type still builds but
 /// `install` reports [`io::ErrorKind::Unsupported`] — callers fall back to
@@ -455,12 +456,14 @@ pub struct TermSignals {
 
 /// `SIGINT`, numerically (identical on every Linux architecture).
 pub const SIGINT: i32 = 2;
+/// `SIGUSR1`, numerically (identical on every Linux architecture).
+pub const SIGUSR1: i32 = 10;
 /// `SIGTERM`, numerically (identical on every Linux architecture).
 pub const SIGTERM: i32 = 15;
 
 #[cfg(target_os = "linux")]
 mod sig {
-    use super::{RawFd, SIGINT, SIGTERM};
+    use super::{RawFd, SIGINT, SIGTERM, SIGUSR1};
     use std::io;
 
     const SIG_BLOCK: i32 = 0;
@@ -486,7 +489,7 @@ mod sig {
     }
 
     pub fn install() -> io::Result<RawFd> {
-        let set = sigset_of(&[SIGTERM, SIGINT]);
+        let set = sigset_of(&[SIGTERM, SIGINT, SIGUSR1]);
         // SAFETY: the set pointer is to a live, fully initialised array at
         // least as large as the platform `sigset_t`; no old mask requested.
         let rc = unsafe { pthread_sigmask(SIG_BLOCK, set.as_ptr(), std::ptr::null_mut()) };
@@ -537,9 +540,9 @@ mod sig {
 }
 
 impl TermSignals {
-    /// Masks `SIGTERM`/`SIGINT` in the calling thread and opens the signal
-    /// descriptor.  Call before spawning any other thread so the mask is
-    /// inherited process-wide.
+    /// Masks `SIGTERM`/`SIGINT`/`SIGUSR1` in the calling thread and opens
+    /// the signal descriptor.  Call before spawning any other thread so the
+    /// mask is inherited process-wide.
     ///
     /// # Errors
     /// The raw `pthread_sigmask`/`signalfd` errno on Linux;
@@ -560,8 +563,8 @@ impl TermSignals {
         }
     }
 
-    /// Blocks until a masked termination signal arrives; returns its number
-    /// ([`SIGTERM`] or [`SIGINT`]).
+    /// Blocks until a masked signal arrives; returns its number
+    /// ([`SIGTERM`], [`SIGINT`] or [`SIGUSR1`]).
     ///
     /// # Errors
     /// The raw `read` errno (`EINTR` is retried internally).
@@ -642,6 +645,21 @@ mod tests {
             raise(SIGTERM);
         }
         assert_eq!(signals.wait().unwrap(), SIGTERM);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn term_signals_deliver_sigusr1_via_descriptor() {
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        let signals = TermSignals::install().unwrap();
+        // SAFETY: as above — the signal is masked in this thread, so it
+        // stays pending until the signalfd read collects it.
+        unsafe {
+            raise(SIGUSR1);
+        }
+        assert_eq!(signals.wait().unwrap(), SIGUSR1);
     }
 
     #[test]

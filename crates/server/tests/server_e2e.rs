@@ -7,7 +7,7 @@ use fpfa_core::pipeline::Mapper;
 use fpfa_core::service::MappingService;
 use fpfa_server::protocol::{
     decode_response_frame, encode_request_frame, read_frame, write_frame, Hello, KernelSource,
-    MapKnobs, Request, Response, WireError, PROTOCOL_VERSION,
+    MapKnobs, MetricsFormat, Request, Response, WireError, PROTOCOL_VERSION,
 };
 use fpfa_server::server::{Server, ServerConfig, ServerHandle};
 use fpfa_server::{program_digest, Client, ClientError};
@@ -686,4 +686,180 @@ fn graceful_shutdown_drains_and_rejects_new_work() {
         stats.rejected_shutdown >= 1,
         "the refused request is accounted: {stats:?}"
     );
+}
+
+#[test]
+fn metrics_verb_renders_prometheus_and_json_over_the_registry() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.map("k", TRIVIAL, MapKnobs::default()).expect("cold");
+    client.map("k", TRIVIAL, MapKnobs::default()).expect("warm");
+
+    let text = client
+        .metrics(MetricsFormat::Prometheus)
+        .expect("prometheus scrape");
+    assert!(
+        text.contains("# TYPE serve_served counter"),
+        "served family missing:\n{text}"
+    );
+    assert!(
+        text.contains("serve_served{outcome=\"ok\"} 2"),
+        "served{{ok}} sample missing:\n{text}"
+    );
+    assert!(
+        text.contains("# TYPE serve_map_latency histogram")
+            && text.contains("serve_map_latency_p99"),
+        "map-latency histogram missing:\n{text}"
+    );
+    // The cold map went through the queue, so the queue-wait histogram has
+    // at least one observation and renders its quantile lines.
+    assert!(
+        text.contains("serve_queue_wait_p99"),
+        "queue-wait p99 missing:\n{text}"
+    );
+    assert!(
+        text.contains("cache_mapping_hits 1"),
+        "cache gauges missing:\n{text}"
+    );
+    assert!(
+        text.contains("shard_served{shard=\"0\"}"),
+        "per-shard counters missing:\n{text}"
+    );
+
+    // The JSON exposition round-trips through the obs parser and agrees
+    // with the stats verb (the wire stats are a view over the registry).
+    let json = client.metrics(MetricsFormat::Json).expect("json scrape");
+    let snapshot = fpfa_obs::Snapshot::from_json(&json).expect("scrape parses");
+    let served_ok = snapshot
+        .metrics
+        .iter()
+        .find(|m| m.key.name == "serve.served" && m.key.labels == [("outcome".into(), "ok".into())])
+        .expect("serve.served{outcome=ok} present");
+    let stats = client.stats().expect("stats");
+    match served_ok.value {
+        fpfa_obs::MetricValue::Counter(v) => assert_eq!(v, stats.served_ok),
+        ref other => panic!("serve.served is not a counter: {other:?}"),
+    }
+
+    // `reset` zeroes the registry's counters along with the legacy stats.
+    client.reset().expect("reset");
+    let text = client
+        .metrics(MetricsFormat::Prometheus)
+        .expect("post-reset scrape");
+    assert!(
+        text.contains("serve_served{outcome=\"ok\"} 0"),
+        "reset must zero the registry:\n{text}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn dump_verb_reports_flight_entries_and_sampled_spans_decompose() {
+    let handle = start(
+        ServerConfig {
+            trace_sample: 1,
+            ..ServerConfig::default()
+        },
+        Mapper::new(),
+    );
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // A cold map takes the worker path, so its flight entry carries a queue
+    // wait and its sampled trace carries the full span decomposition.
+    client.map("k", TRIVIAL, MapKnobs::default()).expect("cold");
+    // A warm repeat is answered from the L0 tier and still flight-recorded.
+    client.map("k", TRIVIAL, MapKnobs::default()).expect("warm");
+
+    let dump = client.dump().expect("dump");
+    let parsed = fpfa_obs::json::parse(&dump).expect("dump is valid JSON");
+    let top = parsed.as_object().expect("dump is an object");
+    let shards = top
+        .get("shards")
+        .and_then(|v| v.as_array())
+        .expect("shards array");
+    let entries: Vec<_> = shards
+        .iter()
+        .flat_map(|shard| {
+            shard
+                .as_object()
+                .and_then(|o| o.get("recent"))
+                .and_then(|v| v.as_array())
+                .map(<[fpfa_obs::json::JsonValue]>::to_vec)
+                .unwrap_or_default()
+        })
+        .collect();
+    let outcome_of = |entry: &fpfa_obs::json::JsonValue, want: &str| {
+        entry
+            .as_object()
+            .and_then(|o| o.get("outcome"))
+            .and_then(|v| v.as_str().map(|s| s == want))
+            .unwrap_or(false)
+    };
+    assert!(
+        entries.iter().any(|e| outcome_of(e, "ok")),
+        "no worker-path flight entry in: {dump}"
+    );
+    assert!(
+        entries.iter().any(|e| outcome_of(e, "l0")),
+        "no L0 flight entry in: {dump}"
+    );
+
+    // The sampled trace decomposes the worker-path request: queue wait,
+    // worker service and write-back transit must sum to the request span's
+    // end-to-end duration within 10%.
+    let traces = top
+        .get("traces")
+        .and_then(|v| v.as_array())
+        .expect("traces array");
+    let span = |trace_id: u64, name: &str| -> Option<u64> {
+        traces.iter().find_map(|span| {
+            let span = span.as_object()?;
+            (span.get("trace_id")?.as_u64()? == trace_id && span.get("name")?.as_str()? == name)
+                .then(|| span.get("dur_us").and_then(|v| v.as_u64()))?
+        })
+    };
+    let request_id = traces
+        .iter()
+        .find_map(|span| {
+            let span = span.as_object()?;
+            (span.get("name")?.as_str()? == "request").then(|| span.get("trace_id")?.as_u64())?
+        })
+        .expect("a sampled request span");
+    let e2e = span(request_id, "request").expect("request span");
+    let queue = span(request_id, "queue.wait").expect("queue.wait child");
+    let service = span(request_id, "map.service").expect("map.service child");
+    let respond = span(request_id, "respond").expect("respond child");
+    let sum = queue + service + respond;
+    let gap = e2e.abs_diff(sum);
+    assert!(
+        gap * 10 <= e2e,
+        "span decomposition ({queue} + {service} + {respond} = {sum} us) strays more \
+         than 10% from the request span ({e2e} us)"
+    );
+    // The flow's own stage spans ride along under the same trace id.
+    assert!(
+        span(request_id, "frontend").is_some() && span(request_id, "schedule").is_some(),
+        "flow stage spans missing from: {dump}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn untraced_servers_record_flight_entries_but_no_spans() {
+    let handle = start(ServerConfig::default(), Mapper::new());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.map("k", TRIVIAL, MapKnobs::default()).expect("map");
+    let dump = client.dump().expect("dump");
+    let parsed = fpfa_obs::json::parse(&dump).expect("valid JSON");
+    let top = parsed.as_object().expect("object");
+    assert!(
+        top.get("traces")
+            .and_then(|v| v.as_array())
+            .is_some_and(<[fpfa_obs::json::JsonValue]>::is_empty),
+        "trace_sample=0 must not record spans: {dump}"
+    );
+    handle.shutdown();
+    handle.join();
 }

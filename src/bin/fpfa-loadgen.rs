@@ -1,7 +1,11 @@
 //! `fpfa-loadgen` — load generator for `fpfa-serve`.
 //!
 //! Two modes share warmup, digest verification and the final server-side
-//! cross-check:
+//! cross-check, which includes a latency sanity gate: the client-observed
+//! p99 of the measured phase is compared against the server's own
+//! decode → write-back histogram for the same phase (pre-phase counts
+//! subtracted), and a gross disagreement — client p99 more than 8x below
+//! the server's bucket floor — fails the run:
 //!
 //! * **Closed loop** (default): N connections, each issuing map requests
 //!   back-to-back (one outstanding request per connection), cycling through
@@ -49,7 +53,7 @@
 
 use fpfa::server::protocol::{decode_response_frame, read_frame, write_frame, FrameBuffer, Hello};
 use fpfa::server::sys::{Event, Interest, Poller};
-use fpfa::server::{Client, MapKnobs, Request, Response, WireError};
+use fpfa::server::{Client, Histogram, MapKnobs, Request, Response, WireError};
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
@@ -232,6 +236,14 @@ fn run(options: &Options) -> Result<(), String> {
         );
     }
 
+    // Snapshot the server's map-latency histogram before the measured
+    // phase, so the cross-check below compares phase-against-phase instead
+    // of letting the warmup mappings pollute the server side.
+    let before = warm
+        .stats()
+        .map_err(|e| format!("pre-phase stats failed: {e}"))?;
+    drop(warm);
+
     // Measured phase.
     let mut outcome = if options.open_loop {
         run_open_loop(options, &kernels, knobs, &digests)?
@@ -315,6 +327,41 @@ fn run(options: &Options) -> Result<(), String> {
     }
     if let Some(p99) = stats.map_latency.quantile_upper_bound(0.99) {
         println!("  server-side map p99 < {p99} us (decode \u{2192} write-back)");
+    }
+
+    // Cross-check the two latency views of the measured phase: subtract
+    // the pre-phase histogram from the post-phase one so only the storm's
+    // own requests remain, then compare the server's decode → write-back
+    // p99 against the client-observed p99.  The client side always
+    // contains the server side (plus network and generator overhead), so a
+    // client p99 *grossly below* the server's own p99 means one of the two
+    // measurement paths is broken — fail loudly rather than report it.
+    let phase = Histogram {
+        buckets: stats
+            .map_latency
+            .buckets
+            .iter()
+            .zip(&before.map_latency.buckets)
+            .map(|(after, before)| after.saturating_sub(*before))
+            .collect(),
+    };
+    if let Some(server_p99) = phase.quantile_upper_bound(0.99) {
+        let client_p99 = percentile(&outcome.latencies_us, 0.99);
+        println!(
+            "  cross-check: client p99 {client_p99} us vs server map p99 < {server_p99} us \
+             (measured phase only)"
+        );
+        // The server bound is its bucket's upper edge; the true value is
+        // at least half that.  8x on top of the 2x bucket slack separates
+        // "clock noise" from "a measurement path is lying".
+        let server_floor = server_p99 / 2;
+        if client_p99 > 0 && client_p99.saturating_mul(8) < server_floor {
+            return Err(format!(
+                "client-observed p99 ({client_p99} us) is more than 8x below the server's \
+                 own map-latency floor ({server_floor} us) for the same phase — the client \
+                 and server latency measurements disagree grossly"
+            ));
+        }
     }
 
     if options.shutdown {

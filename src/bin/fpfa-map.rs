@@ -15,6 +15,7 @@
 //! fpfa-map kernel.c --diag-json      # ... with machine-readable diagnostics
 //! fpfa-map kernel.c --simulate       # run on the cycle-accurate simulator
 //! fpfa-map kernel.c --timings        # per-stage wall-clock breakdown
+//! fpfa-map kernel.c --timings-json   # ... as one machine-readable JSON array
 //! fpfa-map kernel.c --repeat 5       # re-map through one MappingService
 //! fpfa-map --batch a.c b.c c.c       # map many kernels in parallel
 //! fpfa-map --batch                   # ... the built-in workload suite
@@ -57,6 +58,7 @@ struct Options {
     dot: Option<String>,
     simulate: bool,
     timings: bool,
+    timings_json: bool,
     batch: bool,
     threads: Option<usize>,
     parallel_stages: bool,
@@ -70,11 +72,11 @@ struct Options {
 fn usage() -> &'static str {
     "usage: fpfa-map <kernel.c> [--pps N] [--tiles N] [--no-clustering] [--no-locality] \
      [--legacy-transform] [--parallel-stages] [--listing] [--dot cdfg|clusters|schedule] \
-     [--simulate] [--timings] [--verify] [--diag-json] [--repeat N] [--cache-capacity N] \
-     [--cache-dir DIR]\n\
+     [--simulate] [--timings] [--timings-json] [--verify] [--diag-json] [--repeat N] \
+     [--cache-capacity N] [--cache-dir DIR]\n\
      \x20      fpfa-map --batch [kernel.c ...] [--pps N] [--tiles N] [--threads N] \
-     [--legacy-transform] [--parallel-stages] [--timings] [--verify] [--diag-json] \
-     [--repeat N] [--cache-capacity N] [--cache-dir DIR]"
+     [--legacy-transform] [--parallel-stages] [--timings] [--timings-json] [--verify] \
+     [--diag-json] [--repeat N] [--cache-capacity N] [--cache-dir DIR]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -89,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dot: None,
         simulate: false,
         timings: false,
+        timings_json: false,
         batch: false,
         threads: None,
         parallel_stages: false,
@@ -153,6 +156,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--simulate" => options.simulate = true,
             "--timings" => options.timings = true,
+            "--timings-json" => options.timings_json = true,
             "--batch" => options.batch = true,
             "--dot" => {
                 let value = iter.next().ok_or("--dot needs cdfg|clusters|schedule")?;
@@ -284,17 +288,22 @@ fn print_diagnostics(name: &str, source: &str, report: &fpfa::verify::VerifyRepo
     }
 }
 
-/// One `{"kernel":..,"diagnostics":[..]}` object of the `--diag-json` array.
-fn diag_json_entry(name: &str, report: &fpfa::verify::VerifyReport) -> String {
-    let escaped: String = name
-        .chars()
+/// Kernel names come from the command line, so they may hold anything —
+/// escape the two characters JSON string syntax cares about.
+fn json_escape_name(name: &str) -> String {
+    name.chars()
         .flat_map(|c| match c {
             '"' | '\\' => vec!['\\', c],
             c => vec![c],
         })
-        .collect();
+        .collect()
+}
+
+/// One `{"kernel":..,"diagnostics":[..]}` object of the `--diag-json` array.
+fn diag_json_entry(name: &str, report: &fpfa::verify::VerifyReport) -> String {
     format!(
-        "{{\"kernel\":\"{escaped}\",\"diagnostics\":{}}}",
+        "{{\"kernel\":\"{}\",\"diagnostics\":{}}}",
+        json_escape_name(name),
         report.to_json()
     )
 }
@@ -339,6 +348,22 @@ fn run_batch(options: &Options) -> Result<(), String> {
             }
         }
         println!("\ncache: {}", service.stats());
+    }
+    if options.timings_json {
+        let entries: Vec<String> = report
+            .entries
+            .iter()
+            .filter_map(|entry| {
+                entry.outcome.as_ref().ok().map(|mapping| {
+                    format!(
+                        "{{\"kernel\":\"{}\",\"timings\":{}}}",
+                        json_escape_name(&entry.name),
+                        mapping.trace.timings_json()
+                    )
+                })
+            })
+            .collect();
+        println!("[{}]", entries.join(","));
     }
     if options.cache_dir.is_some() {
         let persist = service.cache().persist_stats();
@@ -502,6 +527,9 @@ fn run(options: &Options) -> Result<(), String> {
     if options.timings {
         println!();
         print!("{}", mapping.trace);
+    }
+    if options.timings_json {
+        println!("{}", mapping.trace.timings_json());
     }
     if options.listing {
         match &mapping.multi {

@@ -14,6 +14,10 @@
 //! fpfa-serve --cache-capacity 1024   # mapping-cache entries per level
 //! fpfa-serve --cache-dir /var/cache/fpfa  # persistent (L2) mapping cache
 //! fpfa-serve --tiles 4 --pps 3       # default mapper configuration
+//! fpfa-serve --metrics-file m.prom   # periodic Prometheus-text snapshots
+//! fpfa-serve --flight-file f.json    # flight-recorder dump on drain/SIGUSR1
+//! fpfa-serve --trace-sample 100      # trace every 100th request
+//! fpfa-serve --slow-us 5000          # log requests slower than 5 ms
 //! ```
 //!
 //! The daemon prints one `listening on <addr>` line once it accepts
@@ -25,13 +29,22 @@
 //! append-only segment files in that directory, and a restarted daemon
 //! warm-starts from them: previously served kernels are answered from the
 //! cache on the very first pass after the restart.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): `--metrics-file` writes
+//! the metrics registry to disk every `--metrics-interval-ms` (atomic
+//! tmp-then-rename, final write on drain), `--flight-file` receives the
+//! flight-recorder JSON on graceful drain and whenever `SIGUSR1` arrives
+//! (the daemon keeps serving), `--trace-sample N` records span breakdowns
+//! for every Nth request, and `--slow-us` logs any slower request with its
+//! queue/service/respond decomposition.
 
 use fpfa::arch::TileConfig;
 use fpfa::core::cache::DEFAULT_CAPACITY;
 use fpfa::core::pipeline::Mapper;
 use fpfa::core::MappingService;
-use fpfa::server::sys::TermSignals;
+use fpfa::server::sys::{TermSignals, SIGUSR1};
 use fpfa::server::{Server, ServerConfig};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -45,11 +58,18 @@ struct Options {
     cache_dir: Option<String>,
     tiles: usize,
     pps: usize,
+    metrics_file: Option<String>,
+    metrics_interval_ms: u64,
+    flight_file: Option<String>,
+    trace_sample: u32,
+    slow_us: u64,
 }
 
 fn usage() -> &'static str {
     "usage: fpfa-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--shards N] \
-     [--deadline-ms N] [--cache-capacity N] [--cache-dir DIR] [--tiles N] [--pps N]"
+     [--deadline-ms N] [--cache-capacity N] [--cache-dir DIR] [--tiles N] [--pps N] \
+     [--metrics-file PATH] [--metrics-interval-ms N] [--flight-file PATH] \
+     [--trace-sample N] [--slow-us N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -64,6 +84,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache_dir: None,
         tiles: 1,
         pps: TileConfig::paper().num_pps,
+        metrics_file: None,
+        metrics_interval_ms: 1000,
+        flight_file: None,
+        trace_sample: 0,
+        slow_us: 0,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -98,11 +123,39 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--cache-dir" => options.cache_dir = Some(value_of("--cache-dir")?),
             "--tiles" => options.tiles = parse_positive(&value_of("--tiles")?, "--tiles")?,
             "--pps" => options.pps = parse_positive(&value_of("--pps")?, "--pps")?,
+            "--metrics-file" => options.metrics_file = Some(value_of("--metrics-file")?),
+            "--metrics-interval-ms" => {
+                options.metrics_interval_ms =
+                    parse_positive(&value_of("--metrics-interval-ms")?, "--metrics-interval-ms")?
+                        as u64;
+            }
+            "--flight-file" => options.flight_file = Some(value_of("--flight-file")?),
+            "--trace-sample" => {
+                // 0 is meaningful here: tracing disabled.
+                options.trace_sample = value_of("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample needs a number".to_string())?;
+            }
+            "--slow-us" => {
+                // 0 is meaningful here: slow-request logging disabled.
+                options.slow_us = value_of("--slow-us")?
+                    .parse()
+                    .map_err(|_| "--slow-us needs a number".to_string())?;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
     Ok(options)
+}
+
+/// Writes via a sibling `.tmp` file and renames over the target, so a
+/// scraper never reads a half-written snapshot.
+fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn parse_positive(value: &str, flag: &str) -> Result<usize, String> {
@@ -161,6 +214,8 @@ fn main() -> ExitCode {
         queue_depth: options.queue_depth,
         shards: options.shards,
         default_deadline: Duration::from_millis(options.deadline_ms),
+        trace_sample: options.trace_sample,
+        slow_threshold: Duration::from_micros(options.slow_us),
         ..ServerConfig::default()
     };
     if let Some(workers) = options.workers {
@@ -201,16 +256,69 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trigger = handle.shutdown_trigger();
     if let Some(signals) = signals {
-        let trigger = handle.shutdown_trigger();
+        let trigger = trigger.clone();
+        let flight_file = options.flight_file.clone();
         std::thread::spawn(move || {
-            if let Ok(signo) = signals.wait() {
+            // SIGUSR1 dumps the flight recorder and keeps serving; any
+            // other masked signal begins the graceful drain.
+            while let Ok(signo) = signals.wait() {
+                if signo == SIGUSR1 {
+                    let json = trigger.flight_json();
+                    match &flight_file {
+                        Some(path) => match write_atomic(Path::new(path), json.as_bytes()) {
+                            Ok(()) => eprintln!("fpfa-serve: SIGUSR1: flight dump -> {path}"),
+                            Err(e) => {
+                                eprintln!("fpfa-serve: SIGUSR1: cannot write {path}: {e}")
+                            }
+                        },
+                        None => eprintln!("fpfa-serve: SIGUSR1 flight dump: {json}"),
+                    }
+                    continue;
+                }
                 eprintln!("fpfa-serve: caught signal {signo}, draining");
                 trigger.shutdown();
+                break;
             }
         });
     }
+    // The metrics writer wakes every interval until `main` drops the
+    // channel sender after the drain, then exits; the final on-disk
+    // snapshot is written below so it reflects the fully drained state.
+    let metrics_stop = options.metrics_file.as_ref().map(|path| {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let registry = handle.registry();
+        let path = path.clone();
+        let interval = Duration::from_millis(options.metrics_interval_ms);
+        std::thread::spawn(move || {
+            while rx.recv_timeout(interval) == Err(std::sync::mpsc::RecvTimeoutError::Timeout) {
+                if let Err(e) =
+                    write_atomic(Path::new(&path), registry.render_prometheus().as_bytes())
+                {
+                    eprintln!("fpfa-serve: cannot write {path}: {e}");
+                    break;
+                }
+            }
+        });
+        tx
+    });
     let stats = handle.join();
+    drop(metrics_stop);
+    if let Some(path) = &options.metrics_file {
+        if let Err(e) = write_atomic(
+            Path::new(path),
+            trigger.registry().render_prometheus().as_bytes(),
+        ) {
+            eprintln!("fpfa-serve: cannot write {path}: {e}");
+        }
+    }
+    if let Some(path) = &options.flight_file {
+        match write_atomic(Path::new(path), trigger.flight_json().as_bytes()) {
+            Ok(()) => println!("fpfa-serve: flight dump -> {path}"),
+            Err(e) => eprintln!("fpfa-serve: cannot write {path}: {e}"),
+        }
+    }
     println!(
         "fpfa-serve: drained and stopped; {} connection(s), {} request(s) accepted, \
          {} served ok, {} map failure(s), {} verify failure(s) (map/batch {}/{}), \

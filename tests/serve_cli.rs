@@ -15,6 +15,7 @@ fn spawn_daemon(extra_args: &[&str]) -> (Child, String, String) {
         .args(["--addr", "127.0.0.1:0", "--queue-depth", "64"])
         .args(extra_args)
         .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
         .spawn()
         .expect("spawn fpfa-serve");
     let daemon_stdout = daemon.stdout.take().expect("daemon stdout");
@@ -241,5 +242,132 @@ fn daemon_warm_restarts_from_the_disk_tier() {
     assert!(tail.contains("drained and stopped"), "{tail}");
     assert!(tail.contains("load(s)"), "{tail}");
     assert!(tail.contains("warm-start"), "{tail}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pulls `key=value` fields out of a slow-request log line.
+fn log_field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|field| field.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= field in: {line}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("unparseable {key}= field in: {line}"))
+}
+
+/// The observability surface through the real binary: periodic
+/// `--metrics-file` snapshots, a SIGUSR1 flight dump that does not stop the
+/// daemon, the final drain-time dump, and a `--slow-us` log line whose
+/// traced stages decompose the end-to-end latency within 10%.
+#[cfg(target_os = "linux")]
+#[test]
+fn daemon_writes_metrics_flight_and_slow_request_logs() {
+    use fpfa::server::{Client, MapKnobs};
+
+    let dir = std::env::temp_dir().join(format!("fpfa-serve-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("obs scratch dir");
+    let metrics_path = dir.join("metrics.prom");
+    let flight_path = dir.join("flight.json");
+    let (mut daemon, addr, _) = spawn_daemon(&[
+        "--metrics-file",
+        &metrics_path.to_string_lossy(),
+        "--metrics-interval-ms",
+        "25",
+        "--flight-file",
+        &flight_path.to_string_lossy(),
+        "--trace-sample",
+        "1",
+        "--slow-us",
+        "1",
+    ]);
+
+    let mut client = Client::connect(&addr).expect("connect to daemon");
+    let kernel = "void main() { int a[2]; int r; r = a[0] + a[1]; }";
+    client
+        .map("obs-cli", kernel, MapKnobs::default())
+        .expect("cold map");
+
+    // The metrics writer ticks every 25ms; wait for a snapshot that has the
+    // request counted.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let scrape = loop {
+        let contents = std::fs::read_to_string(&metrics_path).unwrap_or_default();
+        if contents.contains("serve_served{outcome=\"ok\"} 1") {
+            break contents;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no metrics snapshot with the request; last scrape:\n{contents}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    assert!(
+        scrape.contains("# TYPE serve_map_latency histogram"),
+        "{scrape}"
+    );
+    assert!(scrape.contains("serve_queue_wait_p99"), "{scrape}");
+
+    // SIGUSR1 dumps the flight recorder without stopping the daemon.
+    let killed = Command::new("kill")
+        .args(["-USR1", &daemon.id().to_string()])
+        .status()
+        .expect("send SIGUSR1");
+    assert!(killed.success(), "kill -USR1 failed");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let dump = loop {
+        let contents = std::fs::read_to_string(&flight_path).unwrap_or_default();
+        if contents.contains("\"verb\":\"map\"") {
+            break contents;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no SIGUSR1 flight dump; last contents:\n{contents}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    assert!(dump.contains("\"shards\""), "{dump}");
+    assert!(dump.contains("\"name\":\"queue.wait\""), "{dump}");
+    client
+        .map("obs-cli", kernel, MapKnobs::default())
+        .expect("daemon still serves after SIGUSR1");
+    std::fs::remove_file(&flight_path).expect("clear the SIGUSR1 dump");
+
+    // Graceful drain rewrites the flight dump and a final metrics snapshot.
+    client.shutdown().expect("shutdown verb");
+    drop(client);
+    let tail = drain_daemon(&mut daemon);
+    assert!(tail.contains("drained and stopped"), "{tail}");
+    assert!(tail.contains("flight dump ->"), "{tail}");
+    let final_dump = std::fs::read_to_string(&flight_path).expect("drain-time flight dump");
+    assert!(final_dump.contains("\"verb\":\"map\""), "{final_dump}");
+    // Both maps (cold worker path + L0 repeat) are in the drain-time
+    // snapshot written after the periodic writer stopped.
+    let final_scrape = std::fs::read_to_string(&metrics_path).expect("final metrics snapshot");
+    assert!(
+        final_scrape.contains("serve_served{outcome=\"ok\"} 2"),
+        "{final_scrape}"
+    );
+
+    // With --slow-us 1 every worker-path request logs a breakdown; the
+    // traced stages must sum to the end-to-end latency within 10%.
+    use std::io::Read as _;
+    let mut errs = String::new();
+    daemon
+        .stderr
+        .take()
+        .expect("daemon stderr")
+        .read_to_string(&mut errs)
+        .expect("readable stderr");
+    let slow = errs
+        .lines()
+        .find(|line| line.contains("slow-request") && line.contains("verb=map"))
+        .unwrap_or_else(|| panic!("no slow-request map line in stderr:\n{errs}"));
+    let e2e = log_field(slow, "e2e_us");
+    let sum =
+        log_field(slow, "queue_us") + log_field(slow, "map_us") + log_field(slow, "respond_us");
+    assert!(
+        e2e.abs_diff(sum) * 10 <= e2e,
+        "slow-request stages ({sum} us) stray more than 10% from e2e ({e2e} us): {slow}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
